@@ -1,0 +1,87 @@
+//! Analysis-pipeline benches: Eq. 2/3/4 math and result-store CSV handling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mbu_bench::ResultStore;
+use mbu_cpu::HwComponent;
+use mbu_gefin::avf::weighted_avf;
+use mbu_gefin::campaign::CampaignResult;
+use mbu_gefin::classify::ClassCounts;
+use mbu_gefin::fit::cpu_fit;
+use mbu_gefin::paper;
+use mbu_gefin::tech::{node_avf, TechNode};
+use mbu_workloads::Workload;
+
+fn full_store() -> ResultStore {
+    let mut s = ResultStore::new();
+    for (i, c) in HwComponent::ALL.into_iter().enumerate() {
+        for (j, w) in Workload::ALL.into_iter().enumerate() {
+            for faults in 1..=3usize {
+                s.insert(CampaignResult {
+                    component: c,
+                    workload: w,
+                    faults,
+                    counts: ClassCounts {
+                        masked: 1500 + (i * 31 + j * 7 + faults) as u64,
+                        sdc: 200 + (i * 13) as u64,
+                        crash: 150 + (j * 5) as u64,
+                        timeout: 100,
+                        assert_: 50,
+                    },
+                    fault_free_cycles: 10_000 + (j as u64) * 7_000,
+                    fault_free_instructions: 9_000,
+                    details: None,
+                });
+            }
+        }
+    }
+    s
+}
+
+fn bench_weighted_avf(c: &mut Criterion) {
+    let samples: Vec<(f64, u64)> = (0..15).map(|i| (0.01 * i as f64, 1000 + i * 997)).collect();
+    let mut group = c.benchmark_group("analysis");
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.bench_function("weighted_avf_eq2", |b| {
+        b.iter(|| weighted_avf(&samples));
+    });
+    group.finish();
+}
+
+fn bench_node_aggregation(c: &mut Criterion) {
+    let avfs = paper::table5_avfs();
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("node_avf_eq3_all_nodes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for node in TechNode::ALL {
+                for a in avfs.values() {
+                    acc += node_avf(a, node);
+                }
+            }
+            acc
+        });
+    });
+    group.bench_function("cpu_fit_eq4_all_nodes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for node in TechNode::ALL {
+                acc += cpu_fit(&avfs, node).total;
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_store_roundtrip(c: &mut Criterion) {
+    let store = full_store();
+    let csv = store.to_csv();
+    let mut group = c.benchmark_group("result_store");
+    group.throughput(Throughput::Elements(store.len() as u64));
+    group.bench_function("to_csv", |b| b.iter(|| store.to_csv()));
+    group.bench_function("from_csv", |b| b.iter(|| ResultStore::from_csv(&csv).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted_avf, bench_node_aggregation, bench_store_roundtrip);
+criterion_main!(benches);

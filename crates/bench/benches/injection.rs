@@ -1,0 +1,81 @@
+//! Fault-injection benches: mask-generation throughput, per-run injection
+//! cost per component, and the cluster-size ablation called out in
+//! DESIGN.md (2×2 vs 3×3 vs 4×4 windows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mbu_cpu::HwComponent;
+use mbu_gefin::campaign::{Campaign, CampaignConfig};
+use mbu_gefin::mask::{ClusterSpec, MaskGenerator};
+use mbu_sram::Geometry;
+use mbu_workloads::Workload;
+
+fn bench_mask_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_generation");
+    let geometry = Geometry::new(256, 256); // an L1-like array
+    group.throughput(Throughput::Elements(1));
+    for faults in 1..=3usize {
+        group.bench_with_input(BenchmarkId::new("cardinality", faults), &faults, |b, &n| {
+            let mut gen = MaskGenerator::seeded(1, ClusterSpec::DEFAULT);
+            b.iter(|| gen.generate(geometry, n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_injection_runs_per_component(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_per_component");
+    group.sample_size(10);
+    for component in HwComponent::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("runs8", component.name()),
+            &component,
+            |b, &comp| {
+                b.iter(|| {
+                    Campaign::new(
+                        CampaignConfig::new(Workload::Stringsearch, comp, 2)
+                            .runs(8)
+                            .seed(3)
+                            .threads(1),
+                    )
+                    .run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: how the cluster window size changes campaign results/cost.
+/// The paper fixes 3×3 (quadruple-and-larger rates are ~0); this measures
+/// the alternative windows.
+fn bench_cluster_size_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_size_ablation");
+    group.sample_size(10);
+    for (name, cluster) in [
+        ("2x2", ClusterSpec::new(2, 2)),
+        ("3x3", ClusterSpec::new(3, 3)),
+        ("4x4", ClusterSpec::new(4, 4)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                Campaign::new(
+                    CampaignConfig::new(Workload::Stringsearch, HwComponent::DTlb, 3)
+                        .runs(8)
+                        .seed(9)
+                        .threads(1)
+                        .cluster(cluster),
+                )
+                .run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mask_generation,
+    bench_injection_runs_per_component,
+    bench_cluster_size_ablation
+);
+criterion_main!(benches);

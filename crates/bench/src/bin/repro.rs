@@ -1,0 +1,247 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--paper] [--csv] [--out <path>]
+//!
+//! experiments:
+//!   table1..table8   the paper's tables
+//!   fig1..fig6       per-component AVF breakdowns (runs injection campaigns)
+//!   fig7 fig8        technology-node aggregates (derived)
+//!   measure          run all fig1-fig6 campaigns and save results
+//!   summary          per-component class character (Table IV commentary)
+//!   all              everything in paper order
+//!
+//! flags:
+//!   --paper          derive fig7/fig8 from the paper's published Table V
+//!                    instead of measured data
+//!   --csv            print CSV instead of ASCII tables
+//!   --out <path>     results CSV path (default results/measured.csv)
+//!
+//! environment: MBU_RUNS, MBU_SEED, MBU_THREADS, MBU_WORKLOADS.
+//! ```
+
+use mbu_bench::{Experiments, ResultStore};
+use mbu_cpu::HwComponent;
+use mbu_gefin::paper;
+use mbu_gefin::report::Table;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    experiment: String,
+    use_paper: bool,
+    csv: bool,
+    chart: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut experiment = None;
+    let mut use_paper = false;
+    let mut csv = false;
+    let mut out = PathBuf::from("results/measured.csv");
+    let mut chart = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--paper" => use_paper = true,
+            "--csv" => csv = true,
+            "--chart" => chart = true,
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out needs a path")?);
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Options {
+        experiment: experiment.ok_or("missing experiment id")?,
+        use_paper,
+        csv,
+        chart,
+        out,
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|all> [--paper] [--csv] [--chart] [--out path]\n\
+         env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS"
+    );
+}
+
+fn emit(table: &Table, csv: bool) {
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+    }
+}
+
+fn fig_component(id: &str) -> Option<HwComponent> {
+    Some(match id {
+        "fig1" => HwComponent::L1D,
+        "fig2" => HwComponent::L1I,
+        "fig3" => HwComponent::L2,
+        "fig4" => HwComponent::RegFile,
+        "fig5" => HwComponent::DTlb,
+        "fig6" => HwComponent::ITlb,
+        _ => return None,
+    })
+}
+
+/// Loads the measured store, or an empty one.
+fn load_store(opts: &Options) -> ResultStore {
+    if opts.out.exists() {
+        match ResultStore::load(&opts.out) {
+            Ok(s) => return s,
+            Err(e) => eprintln!("warning: could not load {}: {e}", opts.out.display()),
+        }
+    }
+    ResultStore::new()
+}
+
+fn derived_avfs(
+    e: &Experiments,
+    opts: &Options,
+    store: &mut ResultStore,
+) -> std::collections::BTreeMap<HwComponent, mbu_gefin::ComponentAvf> {
+    if opts.use_paper {
+        eprintln!("note: deriving from the paper's published Table V (--paper)");
+        return paper::table5_avfs();
+    }
+    if !store.is_complete() {
+        eprintln!(
+            "note: measured results incomplete ({} of 270 campaigns at {}); measuring now",
+            store.len(),
+            opts.out.display()
+        );
+        measure_all(e, opts, store);
+    }
+    e.component_avfs(store)
+}
+
+fn measure_all(e: &Experiments, opts: &Options, store: &mut ResultStore) {
+    for c in HwComponent::ALL {
+        eprintln!("measuring {}", e.describe(c));
+        e.measure_component(c, store);
+        if let Err(err) = store.save(&opts.out) {
+            eprintln!("warning: could not save {}: {err}", opts.out.display());
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let mut e = Experiments::from_env();
+    e.verbose = true;
+    let id = opts.experiment.as_str();
+    match id {
+        "table1" => emit(&e.table1(), opts.csv),
+        "table2" => println!("{}", e.table2()),
+        "table3" => emit(&e.table3(), opts.csv),
+        "table6" => emit(&e.table6(), opts.csv),
+        "table7" => emit(&e.table7(), opts.csv),
+        "table8" => emit(&e.table8(), opts.csv),
+        "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" => {
+            let component = fig_component(id).expect("matched above");
+            let mut store = load_store(opts);
+            eprintln!("measuring {}", e.describe(component));
+            e.measure_component(component, &mut store);
+            store.save(&opts.out).map_err(|err| err.to_string())?;
+            if opts.chart {
+                println!("{}", e.figure_chart(component, &store));
+            } else {
+                emit(&e.figure_table(component, &store), opts.csv);
+            }
+        }
+        "table4" | "table5" | "summary" => {
+            if opts.use_paper {
+                return Err("table4/table5/summary print measured data; run without --paper".into());
+            }
+            let mut store = load_store(opts);
+            if !store.is_complete() {
+                eprintln!(
+                    "note: measured results incomplete ({} of 270); measuring now",
+                    store.len()
+                );
+                measure_all(&e, opts, &mut store);
+            }
+            match id {
+                "table4" => emit(&e.table4(&store), opts.csv),
+                "table5" => emit(&e.table5(&store), opts.csv),
+                _ => emit(&e.class_character(&store), opts.csv),
+            }
+        }
+        "fig7" | "fig8" => {
+            let mut store = load_store(opts);
+            let avfs = derived_avfs(&e, opts, &mut store);
+            if id == "fig7" {
+                emit(&e.fig7(&avfs), opts.csv);
+            } else {
+                emit(&e.fig8(&avfs), opts.csv);
+            }
+        }
+        "ablation" => {
+            let mut store = load_store(opts);
+            emit(&e.ablation_tag_vs_data(), opts.csv);
+            emit(&e.ablation_in_order(), opts.csv);
+            emit(&e.ablation_cluster_size(), opts.csv);
+            let avfs = derived_avfs(&e, opts, &mut store);
+            emit(&e.projected_14nm(&avfs), opts.csv);
+            emit(&e.ablation_interleaving(), opts.csv);
+            emit(&e.ablation_speculation(), opts.csv);
+            emit(&e.beam_validation(&store), opts.csv);
+        }
+        "measure" => {
+            let mut store = load_store(opts);
+            measure_all(&e, opts, &mut store);
+            eprintln!("saved {} campaigns to {}", store.len(), opts.out.display());
+        }
+        "all" => {
+            emit(&e.table1(), opts.csv);
+            println!("{}", e.table2());
+            emit(&e.table3(), opts.csv);
+            let mut store = load_store(opts);
+            if !store.is_complete() {
+                measure_all(&e, opts, &mut store);
+            }
+            for fig in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6"] {
+                let c = fig_component(fig).expect("static list");
+                emit(&e.figure_table(c, &store), opts.csv);
+            }
+            emit(&e.table4(&store), opts.csv);
+            emit(&e.table5(&store), opts.csv);
+            emit(&e.table6(), opts.csv);
+            emit(&e.table7(), opts.csv);
+            emit(&e.table8(), opts.csv);
+            let avfs = e.component_avfs(&store);
+            emit(&e.fig7(&avfs), opts.csv);
+            emit(&e.fig8(&avfs), opts.csv);
+            emit(&e.class_character(&store), opts.csv);
+        }
+        other => return Err(format!("unknown experiment `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! The `repro` binary (`cargo run -p mbu-bench --release --bin repro -- <id>`)
+//! drives the functions in this crate; the Criterion benches reuse the same
+//! building blocks for performance measurements and ablations.
+//!
+//! Environment knobs:
+//!
+//! * `MBU_RUNS` — injections per (component, cardinality, workload);
+//!   default 150, paper scale 2000.
+//! * `MBU_SEED` — campaign seed (default `0x6EF1_2019`).
+//! * `MBU_THREADS` — worker threads (default: available parallelism).
+//! * `MBU_WORKLOADS` — comma-separated subset of workload names.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod store;
+
+pub use experiments::{ComponentData, Experiments};
+pub use store::ResultStore;

@@ -1,0 +1,219 @@
+//! CSV persistence for measured campaign results, so expensive campaigns
+//! (fig1–fig6) can be run once and the derived tables/figures (Tables IV–V,
+//! Figures 7–8) recomputed instantly.
+
+use mbu_cpu::HwComponent;
+use mbu_gefin::classify::ClassCounts;
+use mbu_gefin::campaign::CampaignResult;
+use mbu_workloads::Workload;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Key identifying one campaign.
+pub type Key = (HwComponent, Workload, usize);
+
+/// An in-memory, CSV-backed store of campaign results.
+#[derive(Debug, Clone, Default)]
+pub struct ResultStore {
+    entries: BTreeMap<Key, CampaignResult>,
+}
+
+impl ResultStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a campaign result (replacing any previous entry for its key).
+    pub fn insert(&mut self, r: CampaignResult) {
+        self.entries.insert((r.component, r.workload, r.faults), r);
+    }
+
+    /// Looks up a campaign result.
+    pub fn get(&self, component: HwComponent, workload: Workload, faults: usize) -> Option<&CampaignResult> {
+        self.entries.get(&(component, workload, faults))
+    }
+
+    /// Number of stored campaigns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all results.
+    pub fn iter(&self) -> impl Iterator<Item = &CampaignResult> {
+        self.entries.values()
+    }
+
+    /// Whether all 6 × 15 × 3 campaigns are present.
+    pub fn is_complete(&self) -> bool {
+        self.entries.len() == 6 * 15 * 3
+    }
+
+    /// Serializes to CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "component,workload,faults,masked,sdc,crash,timeout,assert,cycles,instructions\n",
+        );
+        for r in self.entries.values() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                component_slug(r.component),
+                r.workload.name(),
+                r.faults,
+                r.counts.masked,
+                r.counts.sdc,
+                r.counts.crash,
+                r.counts.timeout,
+                r.counts.assert_,
+                r.fault_free_cycles,
+                r.fault_free_instructions,
+            ));
+        }
+        out
+    }
+
+    /// Parses the CSV produced by [`ResultStore::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error on malformed rows.
+    pub fn from_csv(csv: &str) -> Result<Self, String> {
+        let mut store = Self::new();
+        for (lineno, line) in csv.lines().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 10 {
+                return Err(format!("line {}: expected 10 fields, got {}", lineno + 1, f.len()));
+            }
+            let parse = |s: &str| -> Result<u64, String> {
+                s.parse().map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            let result = CampaignResult {
+                component: f[0]
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                workload: f[1]
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                faults: parse(f[2])? as usize,
+                counts: ClassCounts {
+                    masked: parse(f[3])?,
+                    sdc: parse(f[4])?,
+                    crash: parse(f[5])?,
+                    timeout: parse(f[6])?,
+                    assert_: parse(f[7])?,
+                },
+                fault_free_cycles: parse(f[8])?,
+                fault_free_instructions: parse(f[9])?,
+                details: None,
+            };
+            store.insert(result);
+        }
+        Ok(store)
+    }
+
+    /// Saves to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and malformed-CSV errors.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_csv(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Parseable slug for a component.
+pub fn component_slug(c: HwComponent) -> &'static str {
+    match c {
+        HwComponent::L1D => "l1d",
+        HwComponent::L1I => "l1i",
+        HwComponent::L2 => "l2",
+        HwComponent::RegFile => "regfile",
+        HwComponent::DTlb => "dtlb",
+        HwComponent::ITlb => "itlb",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(component: HwComponent, workload: Workload, faults: usize) -> CampaignResult {
+        CampaignResult {
+            component,
+            workload,
+            faults,
+            counts: ClassCounts { masked: 90, sdc: 5, crash: 3, timeout: 1, assert_: 1 },
+            fault_free_cycles: 12345,
+            fault_free_instructions: 6789,
+            details: None,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut s = ResultStore::new();
+        s.insert(sample(HwComponent::L1D, Workload::Sha, 1));
+        s.insert(sample(HwComponent::ITlb, Workload::Crc32, 3));
+        let csv = s.to_csv();
+        let back = ResultStore::from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.get(HwComponent::L1D, Workload::Sha, 1).unwrap(),
+            s.get(HwComponent::L1D, Workload::Sha, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_csv_rejected() {
+        assert!(ResultStore::from_csv("header\nbad,row\n").is_err());
+        assert!(ResultStore::from_csv("h\nl1d,sha,1,a,b,c,d,e,f,g\n").is_err());
+        assert!(ResultStore::from_csv("h\nnope,sha,1,1,1,1,1,1,1,1\n").is_err());
+    }
+
+    #[test]
+    fn completeness_check() {
+        let mut s = ResultStore::new();
+        for c in HwComponent::ALL {
+            for w in Workload::ALL {
+                for f in 1..=3 {
+                    s.insert(sample(c, w, f));
+                }
+            }
+        }
+        assert!(s.is_complete());
+        assert_eq!(s.len(), 270);
+    }
+
+    #[test]
+    fn insert_replaces_same_key() {
+        let mut s = ResultStore::new();
+        s.insert(sample(HwComponent::L2, Workload::Fft, 2));
+        let mut newer = sample(HwComponent::L2, Workload::Fft, 2);
+        newer.counts.masked = 1;
+        s.insert(newer.clone());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(HwComponent::L2, Workload::Fft, 2).unwrap().counts.masked, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! AVF aggregation: class breakdowns, execution-time-weighted means (Eq. 2)
+//! and per-component vulnerability-increase views (Tables IV and V).
+
+use crate::classify::{ClassCounts, FaultEffect};
+use std::fmt;
+
+/// Per-class fractions of a campaign (sums to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassBreakdown {
+    /// Masked fraction.
+    pub masked: f64,
+    /// SDC fraction.
+    pub sdc: f64,
+    /// Crash fraction.
+    pub crash: f64,
+    /// Timeout fraction.
+    pub timeout: f64,
+    /// Assert fraction.
+    pub assert_: f64,
+}
+
+impl ClassBreakdown {
+    /// Builds a breakdown from counts.
+    pub fn from_counts(c: &ClassCounts) -> Self {
+        Self {
+            masked: c.fraction(FaultEffect::Masked),
+            sdc: c.fraction(FaultEffect::Sdc),
+            crash: c.fraction(FaultEffect::Crash),
+            timeout: c.fraction(FaultEffect::Timeout),
+            assert_: c.fraction(FaultEffect::Assert),
+        }
+    }
+
+    /// The AVF (`1 − masked`).
+    pub fn avf(&self) -> f64 {
+        1.0 - self.masked
+    }
+
+    /// Fraction for one class.
+    pub fn fraction(&self, e: FaultEffect) -> f64 {
+        match e {
+            FaultEffect::Masked => self.masked,
+            FaultEffect::Sdc => self.sdc,
+            FaultEffect::Crash => self.crash,
+            FaultEffect::Timeout => self.timeout,
+            FaultEffect::Assert => self.assert_,
+        }
+    }
+}
+
+impl fmt::Display for ClassBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "masked {:.1}% | sdc {:.1}% | crash {:.1}% | timeout {:.1}% | assert {:.1}%",
+            self.masked * 100.0,
+            self.sdc * 100.0,
+            self.crash * 100.0,
+            self.timeout * 100.0,
+            self.assert_ * 100.0
+        )
+    }
+}
+
+/// Execution-time-weighted average AVF over benchmarks (paper Eq. 2):
+///
+/// ```text
+/// W_AVF(c) = Σₖ AVFₖ(c)·tₖ / Σₖ tₖ
+/// ```
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or all weights are zero.
+pub fn weighted_avf(samples: &[(f64, u64)]) -> f64 {
+    assert!(!samples.is_empty(), "weighted AVF needs at least one sample");
+    let total: f64 = samples.iter().map(|(_, t)| *t as f64).sum();
+    assert!(total > 0.0, "total execution time must be positive");
+    samples.iter().map(|(avf, t)| avf * *t as f64).sum::<f64>() / total
+}
+
+/// Weighted AVFs of one component for single-, double- and triple-bit
+/// faults (one row of the paper's Table V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentAvf {
+    /// Weighted AVF under single-bit faults.
+    pub single: f64,
+    /// Weighted AVF under double-bit faults.
+    pub double: f64,
+    /// Weighted AVF under triple-bit faults.
+    pub triple: f64,
+}
+
+impl ComponentAvf {
+    /// Creates the triple from the three cardinality AVFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any AVF is outside `[0, 1]`.
+    pub fn new(single: f64, double: f64, triple: f64) -> Self {
+        for v in [single, double, triple] {
+            assert!((0.0..=1.0).contains(&v), "AVF must be in [0, 1], got {v}");
+        }
+        Self { single, double, triple }
+    }
+
+    /// AVF for a given cardinality (1, 2 or 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics for cardinalities outside 1–3.
+    pub fn for_cardinality(&self, faults: usize) -> f64 {
+        match faults {
+            1 => self.single,
+            2 => self.double,
+            3 => self.triple,
+            other => panic!("cardinality {other} not modeled (paper uses 1-3)"),
+        }
+    }
+
+    /// Multiplicative vulnerability increase of double-bit over single-bit
+    /// faults (Table IV's "2-bit" column, e.g. 2.4x for the L1D).
+    pub fn increase_2bit(&self) -> f64 {
+        self.double / self.single
+    }
+
+    /// Multiplicative vulnerability increase of triple-bit over single-bit
+    /// faults (Table IV's "3-bit" column, e.g. 3.2x for the L1I).
+    pub fn increase_3bit(&self) -> f64 {
+        self.triple / self.single
+    }
+
+    /// Percentage increase from single- to double-bit (Table V).
+    pub fn pct_increase_1_to_2(&self) -> f64 {
+        (self.double / self.single - 1.0) * 100.0
+    }
+
+    /// Percentage increase from double- to triple-bit (Table V).
+    pub fn pct_increase_2_to_3(&self) -> f64 {
+        (self.triple / self.double - 1.0) * 100.0
+    }
+}
+
+impl fmt::Display for ComponentAvf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "1-bit {:.2}% / 2-bit {:.2}% / 3-bit {:.2}%",
+            self.single * 100.0,
+            self.double * 100.0,
+            self.triple * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_reflects_counts() {
+        let c = ClassCounts { masked: 50, sdc: 25, crash: 15, timeout: 5, assert_: 5 };
+        let b = ClassBreakdown::from_counts(&c);
+        assert!((b.masked - 0.5).abs() < 1e-12);
+        assert!((b.avf() - 0.5).abs() < 1e-12);
+        let sum = b.masked + b.sdc + b.crash + b.timeout + b.assert_;
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_avf_is_a_convex_combination() {
+        // Long benchmark dominates.
+        let w = weighted_avf(&[(0.1, 1_000_000), (0.9, 1_000)]);
+        assert!(w > 0.1 && w < 0.2);
+        // Equal weights -> arithmetic mean.
+        let w = weighted_avf(&[(0.2, 10), (0.4, 10)]);
+        assert!((w - 0.3).abs() < 1e-12);
+        // Bounds.
+        let w = weighted_avf(&[(0.25, 3), (0.5, 7), (0.75, 11)]);
+        assert!((0.25..=0.75).contains(&w));
+    }
+
+    #[test]
+    fn increases_match_paper_example() {
+        // Paper Table V, L1D: 20.32 / 29.70 / 36.28 -> +46.16 % then +22.15 %.
+        let a = ComponentAvf::new(0.2032, 0.2970, 0.3628);
+        assert!((a.pct_increase_1_to_2() - 46.16).abs() < 0.05);
+        assert!((a.pct_increase_2_to_3() - 22.15).abs() < 0.05);
+        assert!((a.increase_3bit() - 1.785).abs() < 0.01);
+    }
+
+    #[test]
+    fn cardinality_lookup() {
+        let a = ComponentAvf::new(0.1, 0.2, 0.3);
+        assert_eq!(a.for_cardinality(1), 0.1);
+        assert_eq!(a.for_cardinality(3), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not modeled")]
+    fn cardinality_4_panics() {
+        let _ = ComponentAvf::new(0.1, 0.2, 0.3).for_cardinality(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_weighted_avf_panics() {
+        let _ = weighted_avf(&[]);
+    }
+}

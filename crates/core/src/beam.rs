@@ -1,0 +1,305 @@
+//! Accelerated-beam emulation (extension).
+//!
+//! The paper's companion study (Chatzidimitriou et al., DSN 2019, ref \[32\])
+//! compares microarchitectural fault injection against neutron-beam
+//! experiments. Under a beam, strikes arrive as a **Poisson process** over
+//! the whole run, each strike upsets 1–3 adjacent bits with the
+//! technology's MBU-rate distribution (Table VI), and a single run can
+//! absorb several independent strikes. This module emulates that protocol
+//! on the simulator: instead of one fault of fixed cardinality per run, each
+//! run draws `K ~ Poisson(λ)` strike events at uniform random cycles, with
+//! per-strike cardinality sampled from the node's rates.
+//!
+//! Comparing a beam campaign's AVF with the Eq. 3 aggregate of three
+//! fixed-cardinality campaigns validates the paper's single-fault
+//! methodology: at realistic fluxes (λ ≪ 1) the two must agree, because
+//! multi-strike runs are rare.
+
+use crate::classify::{classify, ClassCounts};
+use crate::mask::{ClusterSpec, MaskGenerator};
+use crate::tech::TechNode;
+use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
+use mbu_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Configuration of a beam-emulation campaign.
+#[derive(Debug, Clone)]
+pub struct BeamConfig {
+    /// The workload under beam.
+    pub workload: Workload,
+    /// The struck component.
+    pub component: HwComponent,
+    /// Expected number of strikes per run (Poisson mean λ).
+    pub flux: f64,
+    /// Technology node providing the per-strike cardinality distribution.
+    pub node: TechNode,
+    /// Number of beam runs.
+    pub runs: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Cluster window per strike.
+    pub cluster: ClusterSpec,
+    /// Core configuration.
+    pub core: CoreConfig,
+    /// Timeout limit as a multiple of fault-free time.
+    pub timeout_factor: u64,
+}
+
+impl BeamConfig {
+    /// A beam campaign with λ = 1 at the given node.
+    pub fn new(workload: Workload, component: HwComponent, node: TechNode) -> Self {
+        Self {
+            workload,
+            component,
+            flux: 1.0,
+            node,
+            runs: 200,
+            seed: 0xBEA4_2019,
+            cluster: ClusterSpec::DEFAULT,
+            core: CoreConfig::cortex_a9_like(),
+            timeout_factor: 4,
+        }
+    }
+
+    /// Sets the Poisson mean.
+    pub fn flux(mut self, flux: f64) -> Self {
+        self.flux = flux;
+        self
+    }
+
+    /// Sets the run count.
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of a beam campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeamResult {
+    /// Outcome counts over all runs (zero-strike runs are masked by
+    /// construction).
+    pub counts: ClassCounts,
+    /// Total strikes delivered across the campaign.
+    pub total_strikes: u64,
+    /// Runs that received no strike.
+    pub quiet_runs: u64,
+    /// Runs that received two or more strikes.
+    pub multi_strike_runs: u64,
+    /// Fault-free execution time.
+    pub fault_free_cycles: u64,
+}
+
+impl BeamResult {
+    /// AVF over all beamed runs.
+    pub fn avf(&self) -> f64 {
+        self.counts.avf()
+    }
+
+    /// AVF conditioned on at least one strike (comparable to injection
+    /// campaigns, which always strike).
+    pub fn avf_given_struck(&self) -> f64 {
+        let struck = self.counts.total() - self.quiet_runs;
+        if struck == 0 {
+            0.0
+        } else {
+            (self.counts.total() - self.counts.masked) as f64 / struck as f64
+        }
+    }
+}
+
+impl fmt::Display for BeamResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "beam: {} ({} strikes, {} quiet, {} multi-strike; AVF|struck {:.2}%)",
+            self.counts,
+            self.total_strikes,
+            self.quiet_runs,
+            self.multi_strike_runs,
+            self.avf_given_struck() * 100.0
+        )
+    }
+}
+
+/// Knuth's Poisson sampler (exact for the small λ used here).
+fn poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples a strike cardinality (1–3 bits) from the node's MBU rates.
+fn strike_cardinality(rng: &mut StdRng, node: TechNode) -> usize {
+    let r = node.mbu_rates();
+    let x: f64 = rng.gen();
+    if x < r[0] {
+        1
+    } else if x < r[0] + r[1] {
+        2
+    } else {
+        3
+    }
+}
+
+/// Runs a beam-emulation campaign (single-threaded; beam campaigns are
+/// typically small validation runs).
+///
+/// # Panics
+///
+/// Panics if the fault-free run does not exit cleanly, or on invalid
+/// configuration (`runs` = 0, non-positive flux).
+pub fn run_beam(config: &BeamConfig) -> BeamResult {
+    assert!(config.runs > 0, "beam campaign needs runs");
+    assert!(config.flux > 0.0, "flux must be positive");
+    let program = config.workload.program();
+    let golden = Simulator::new(config.core, &program).run(u64::MAX / 8);
+    let RunEnd::Exited { code: golden_code } = golden.end else {
+        panic!("fault-free run of {} must exit cleanly", config.workload);
+    };
+    let mut counts = ClassCounts::new();
+    let mut total_strikes = 0u64;
+    let mut quiet_runs = 0u64;
+    let mut multi = 0u64;
+    for i in 0..config.runs {
+        let mut rng = StdRng::seed_from_u64(
+            config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 + 1),
+        );
+        let strikes = poisson(&mut rng, config.flux);
+        total_strikes += strikes as u64;
+        if strikes == 0 {
+            quiet_runs += 1;
+        }
+        if strikes >= 2 {
+            multi += 1;
+        }
+        // Strike times, sorted.
+        let mut times: Vec<u64> = (0..strikes).map(|_| rng.gen_range(0..golden.cycles)).collect();
+        times.sort_unstable();
+        let mut gen = MaskGenerator::seeded(rng.gen(), config.cluster);
+        let mut sim = Simulator::new(config.core, &program);
+        let mut ended = None;
+        for t in times {
+            if let Some(end) = sim.run_until_cycle(t) {
+                ended = Some(end);
+                break;
+            }
+            let cardinality = strike_cardinality(&mut rng, config.node);
+            let mask = gen.generate(sim.component_geometry(config.component), cardinality);
+            sim.inject_flips(config.component, &mask.coords);
+        }
+        let end = ended
+            .or_else(|| sim.run_until_cycle(golden.cycles * config.timeout_factor))
+            .unwrap_or(RunEnd::CycleLimit);
+        let result = mbu_cpu::RunResult {
+            end,
+            output: sim.output().to_vec(),
+            cycles: sim.cycle(),
+            instructions: sim.instructions(),
+        };
+        counts.record(classify(&result, &golden.output, golden_code));
+    }
+    BeamResult {
+        counts,
+        total_strikes,
+        quiet_runs,
+        multi_strike_runs: multi,
+        fault_free_cycles: golden.cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_is_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4000;
+        let total: u64 = (0..n).map(|_| poisson(&mut rng, 1.5) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn cardinality_follows_node_rates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 4000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[strike_cardinality(&mut rng, TechNode::N22) - 1] += 1;
+        }
+        let single = counts[0] as f64 / n as f64;
+        assert!((single - 0.553).abs() < 0.03, "single rate {single}");
+        assert!(counts[2] > 0, "triple-bit strikes must occur at 22 nm");
+    }
+
+    #[test]
+    fn beam_campaign_runs_and_accounts_strikes() {
+        let r = run_beam(
+            &BeamConfig::new(Workload::Stringsearch, HwComponent::RegFile, TechNode::N22)
+                .runs(30)
+                .seed(3),
+        );
+        assert_eq!(r.counts.total(), 30);
+        assert!(
+            r.total_strikes >= 10,
+            "λ=1 over 30 runs delivers strikes ({} seen)",
+            r.total_strikes
+        );
+        assert!(r.avf_given_struck() >= r.avf() - 1e-12);
+    }
+
+    #[test]
+    fn at_250nm_all_strikes_are_single_bit() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            assert_eq!(strike_cardinality(&mut rng, TechNode::N250), 1);
+        }
+    }
+
+    #[test]
+    fn beam_is_deterministic() {
+        let mk = || {
+            run_beam(
+                &BeamConfig::new(Workload::Stringsearch, HwComponent::DTlb, TechNode::N32)
+                    .runs(15)
+                    .seed(77),
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn higher_flux_strikes_more() {
+        let low = run_beam(
+            &BeamConfig::new(Workload::Stringsearch, HwComponent::L1D, TechNode::N22)
+                .runs(20)
+                .flux(0.2)
+                .seed(5),
+        );
+        let high = run_beam(
+            &BeamConfig::new(Workload::Stringsearch, HwComponent::L1D, TechNode::N22)
+                .runs(20)
+                .flux(3.0)
+                .seed(5),
+        );
+        assert!(high.total_strikes > low.total_strikes);
+        assert!(high.quiet_runs <= low.quiet_runs);
+    }
+}

@@ -1,0 +1,493 @@
+//! Statistical fault-injection campaigns (paper §III.A).
+//!
+//! A campaign fixes a (workload, component, fault cardinality) triple and
+//! performs `runs` independent injection simulations:
+//!
+//! 1. one fault-free **golden run** establishes the reference output and the
+//!    fault-free execution time `T`;
+//! 2. each injection run draws a random injection cycle in `[0, T)` and a
+//!    random fault mask, simulates up to the injection point, applies the
+//!    bit flips, and continues until exit, crash, assert, or the timeout
+//!    limit of `4 × T` (paper §III.C);
+//! 3. outcomes are classified and aggregated into [`ClassCounts`].
+//!
+//! Runs are distributed over worker threads; results are deterministic for
+//! a given seed regardless of thread count, because each run's RNG is
+//! seeded from `(campaign seed, run index)`.
+
+use crate::classify::{classify, ClassCounts, FaultEffect};
+use crate::mask::{ClusterSpec, FaultMask, MaskGenerator};
+use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
+use mbu_isa::Program;
+use mbu_workloads::Workload;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which SRAM array of the target component to inject into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InjectionTarget {
+    /// The component's storage/data array — the paper's target (Table VIII
+    /// bit counts).
+    #[default]
+    DataArray,
+    /// A cache's tag array (tag + valid + dirty bits) — the ablation target
+    /// for tag-protection studies; only valid for the three caches.
+    TagArray,
+}
+
+impl fmt::Display for InjectionTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectionTarget::DataArray => f.write_str("data array"),
+            InjectionTarget::TagArray => f.write_str("tag array"),
+        }
+    }
+}
+
+/// Configuration of one injection campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The workload to run.
+    pub workload: Workload,
+    /// The hardware structure to inject into.
+    pub component: HwComponent,
+    /// Fault cardinality (bits flipped per injection), 1–3 in the paper.
+    pub faults: usize,
+    /// Number of injection runs (the paper uses 2 000; see [`crate::stats`]).
+    pub runs: usize,
+    /// Campaign seed; same seed ⇒ same results.
+    pub seed: u64,
+    /// Cluster window for spatial multi-bit faults.
+    pub cluster: ClusterSpec,
+    /// Core configuration.
+    pub core: CoreConfig,
+    /// Timeout limit as a multiple of the fault-free execution time.
+    pub timeout_factor: u64,
+    /// Worker threads (0 ⇒ available parallelism).
+    pub threads: usize,
+    /// Which array of the component to inject into.
+    pub target: InjectionTarget,
+    /// Collect a per-run fault list ([`RunDetail`]) in the result.
+    pub collect_details: bool,
+}
+
+impl CampaignConfig {
+    /// Creates a campaign with the paper's defaults (3 × 3 cluster,
+    /// Cortex-A9-like core, 4 × timeout, 200 runs).
+    pub fn new(workload: Workload, component: HwComponent, faults: usize) -> Self {
+        Self {
+            workload,
+            component,
+            faults,
+            runs: 200,
+            seed: 0x6EF1_2019,
+            cluster: ClusterSpec::DEFAULT,
+            core: CoreConfig::cortex_a9_like(),
+            timeout_factor: 4,
+            threads: 0,
+            target: InjectionTarget::DataArray,
+            collect_details: false,
+        }
+    }
+
+    /// Sets the number of runs.
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the campaign seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the cluster window.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Targets the cache tag array instead of the data array (ablation).
+    pub fn target(mut self, target: InjectionTarget) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Collects the per-run fault list in the result.
+    pub fn collect_details(mut self, collect: bool) -> Self {
+        self.collect_details = collect;
+        self
+    }
+}
+
+/// One injection run's record (the classic fault-list entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDetail {
+    /// Run index within the campaign.
+    pub index: usize,
+    /// Cycle the mask was applied at.
+    pub inject_cycle: u64,
+    /// The applied fault mask.
+    pub mask: FaultMask,
+    /// Classified outcome.
+    pub effect: FaultEffect,
+    /// Cycles the faulty run took.
+    pub cycles: u64,
+}
+
+/// Aggregated result of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// The configuration that produced this result.
+    pub workload: Workload,
+    /// Target component.
+    pub component: HwComponent,
+    /// Fault cardinality.
+    pub faults: usize,
+    /// Class counts over all runs.
+    pub counts: ClassCounts,
+    /// Fault-free execution time in cycles.
+    pub fault_free_cycles: u64,
+    /// Fault-free committed instructions.
+    pub fault_free_instructions: u64,
+    /// Per-run fault list, present when
+    /// [`CampaignConfig::collect_details`] was enabled.
+    pub details: Option<Vec<RunDetail>>,
+}
+
+impl CampaignResult {
+    /// AVF of this campaign (`1 − masked fraction`).
+    pub fn avf(&self) -> f64 {
+        self.counts.avf()
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} / {}-bit: {}",
+            self.component, self.workload, self.faults, self.counts
+        )
+    }
+}
+
+/// A runnable campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` is zero or exceeds the cluster capacity, or if
+    /// `runs` is zero.
+    pub fn new(config: CampaignConfig) -> Self {
+        assert!(config.runs > 0, "campaign needs at least one run");
+        assert!(
+            config.faults >= 1 && config.faults <= config.cluster.cells(),
+            "fault cardinality must fit the cluster"
+        );
+        if config.target == InjectionTarget::TagArray {
+            assert!(
+                matches!(
+                    config.component,
+                    HwComponent::L1D | HwComponent::L1I | HwComponent::L2
+                ),
+                "tag-array injection is only defined for caches"
+            );
+        }
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Executes the golden run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault-free run does not exit cleanly — that would be a
+    /// workload or simulator bug, not a fault effect.
+    fn golden(&self, program: &Program) -> (Vec<u8>, u32, u64, u64) {
+        let r = Simulator::new(self.config.core, program).run(u64::MAX / 8);
+        match r.end {
+            RunEnd::Exited { code } => (r.output, code, r.cycles, r.instructions),
+            other => panic!(
+                "fault-free run of {} must exit cleanly, got {other:?}",
+                self.config.workload
+            ),
+        }
+    }
+
+    /// Executes one injection run.
+    fn one_run(
+        &self,
+        program: &Program,
+        run_index: usize,
+        fault_free_cycles: u64,
+        golden_output: &[u8],
+        golden_code: u32,
+    ) -> RunDetail {
+        let cfg = &self.config;
+        // Independent per-run RNG: deterministic under any thread schedule.
+        let run_seed = cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(run_index as u64 + 1);
+        let mut gen = MaskGenerator::seeded(run_seed, cfg.cluster);
+        let mut sim = Simulator::new(cfg.core, program);
+        let inject_at = gen.injection_cycle(fault_free_cycles);
+        let geometry = match cfg.target {
+            InjectionTarget::DataArray => sim.component_geometry(cfg.component),
+            InjectionTarget::TagArray => sim.tag_geometry(cfg.component),
+        };
+        let mask = gen.generate(geometry, cfg.faults);
+        let limit = fault_free_cycles * cfg.timeout_factor;
+        // The injection point precedes the fault-free end, so the run cannot
+        // have finished yet.
+        if sim.run_until_cycle(inject_at).is_none() {
+            match cfg.target {
+                InjectionTarget::DataArray => sim.inject_flips(cfg.component, &mask.coords),
+                InjectionTarget::TagArray => sim.inject_tag_flips(cfg.component, &mask.coords),
+            }
+        }
+        let end = sim.run_until_cycle(limit).unwrap_or(RunEnd::CycleLimit);
+        let result = mbu_cpu::RunResult {
+            end,
+            output: sim.output().to_vec(),
+            cycles: sim.cycle(),
+            instructions: sim.instructions(),
+        };
+        RunDetail {
+            index: run_index,
+            inject_cycle: inject_at,
+            mask,
+            effect: classify(&result, golden_output, golden_code),
+            cycles: result.cycles,
+        }
+    }
+
+    /// Runs the whole campaign (parallel, deterministic).
+    pub fn run(&self) -> CampaignResult {
+        let cfg = &self.config;
+        let program = cfg.workload.program();
+        let (golden_output, golden_code, cycles, instructions) = self.golden(&program);
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            cfg.threads
+        }
+        .min(cfg.runs);
+        let next = AtomicUsize::new(0);
+        let mut counts = ClassCounts::new();
+        let mut details: Vec<RunDetail> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let program = &program;
+                let golden_output = &golden_output;
+                let next = &next;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = ClassCounts::new();
+                    let mut local_details = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cfg.runs {
+                            break;
+                        }
+                        let detail =
+                            self.one_run(program, i, cycles, golden_output, golden_code);
+                        local.record(detail.effect);
+                        if cfg.collect_details {
+                            local_details.push(detail);
+                        }
+                    }
+                    (local, local_details)
+                }));
+            }
+            for h in handles {
+                let (local, local_details) = h.join().expect("campaign worker panicked");
+                counts.merge(&local);
+                details.extend(local_details);
+            }
+        })
+        .expect("campaign thread scope failed");
+        details.sort_by_key(|d| d.index);
+        CampaignResult {
+            workload: cfg.workload,
+            component: cfg.component,
+            faults: cfg.faults,
+            counts,
+            fault_free_cycles: cycles,
+            fault_free_instructions: instructions,
+            details: if cfg.collect_details { Some(details) } else { None },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(workload: Workload, component: HwComponent, faults: usize) -> CampaignResult {
+        Campaign::new(CampaignConfig::new(workload, component, faults).runs(24).seed(7)).run()
+    }
+
+    #[test]
+    fn campaign_counts_match_run_count() {
+        let r = small(Workload::Stringsearch, HwComponent::RegFile, 1);
+        assert_eq!(r.counts.total(), 24);
+        assert!(r.fault_free_cycles > 1000);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_thread_counts() {
+        let base = CampaignConfig::new(Workload::Stringsearch, HwComponent::L1D, 2)
+            .runs(16)
+            .seed(123);
+        let a = Campaign::new(base.clone().threads(1)).run();
+        let b = Campaign::new(base.threads(4)).run();
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn different_seeds_generally_differ() {
+        let base = CampaignConfig::new(Workload::Stringsearch, HwComponent::DTlb, 3).runs(32);
+        let a = Campaign::new(base.clone().seed(1)).run();
+        let b = Campaign::new(base.seed(2)).run();
+        // Not guaranteed in principle, but overwhelmingly likely for a
+        // vulnerable component.
+        assert!(a.counts != b.counts || a.counts.masked == 32);
+    }
+
+    #[test]
+    fn large_structures_mostly_mask_single_bits() {
+        // The L2 is 4 Mbit; a short workload touches a tiny fraction, so
+        // most single-bit faults must be masked.
+        let r = small(Workload::Stringsearch, HwComponent::L2, 1);
+        assert!(
+            r.counts.fraction(FaultEffect::Masked) > 0.7,
+            "expected mostly masked, got {}",
+            r.counts
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let _ = Campaign::new(
+            CampaignConfig::new(Workload::Sha, HwComponent::L1D, 1).runs(0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fit the cluster")]
+    fn oversized_cardinality_rejected() {
+        let _ = Campaign::new(CampaignConfig::new(Workload::Sha, HwComponent::L1D, 10));
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    #[test]
+    fn tag_array_campaign_runs_and_classifies() {
+        let r = Campaign::new(
+            CampaignConfig::new(Workload::Stringsearch, HwComponent::L1D, 2)
+                .runs(16)
+                .seed(31)
+                .target(InjectionTarget::TagArray),
+        )
+        .run();
+        assert_eq!(r.counts.total(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for caches")]
+    fn tag_array_rejected_for_tlbs() {
+        let _ = Campaign::new(
+            CampaignConfig::new(Workload::Sha, HwComponent::DTlb, 1)
+                .target(InjectionTarget::TagArray),
+        );
+    }
+
+    #[test]
+    fn in_order_core_is_slower_but_correct() {
+        let p = Workload::Stringsearch.program();
+        let ooo = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(u64::MAX / 8);
+        let ino = Simulator::new(CoreConfig::in_order_a9(), &p).run(u64::MAX / 8);
+        assert_eq!(ooo.output, ino.output, "architectural results must agree");
+        assert!(
+            ino.cycles > ooo.cycles,
+            "in-order issue must cost cycles ({} vs {})",
+            ino.cycles,
+            ooo.cycles
+        );
+    }
+
+    #[test]
+    fn quad_bit_campaign_is_supported() {
+        // The paper folds >=4-bit rates into the triple class; the injector
+        // itself supports any cardinality that fits the cluster.
+        let r = Campaign::new(
+            CampaignConfig::new(Workload::Stringsearch, HwComponent::RegFile, 4)
+                .runs(12)
+                .seed(8),
+        )
+        .run();
+        assert_eq!(r.counts.total(), 12);
+    }
+}
+
+#[cfg(test)]
+mod detail_tests {
+    use super::*;
+
+    #[test]
+    fn details_cover_every_run_in_order() {
+        let r = Campaign::new(
+            CampaignConfig::new(Workload::Stringsearch, HwComponent::RegFile, 2)
+                .runs(20)
+                .seed(11)
+                .collect_details(true),
+        )
+        .run();
+        let details = r.details.as_ref().expect("details requested");
+        assert_eq!(details.len(), 20);
+        for (i, d) in details.iter().enumerate() {
+            assert_eq!(d.index, i);
+            assert_eq!(d.mask.cardinality(), 2);
+            assert!(d.inject_cycle < r.fault_free_cycles);
+            assert!(d.cycles <= r.fault_free_cycles * 4 + 1);
+        }
+        // The class counts must agree with the detail records.
+        let mut counts = ClassCounts::new();
+        for d in details {
+            counts.record(d.effect);
+        }
+        assert_eq!(counts, r.counts);
+    }
+
+    #[test]
+    fn details_absent_by_default() {
+        let r = Campaign::new(
+            CampaignConfig::new(Workload::Stringsearch, HwComponent::RegFile, 1).runs(4),
+        )
+        .run();
+        assert!(r.details.is_none());
+    }
+}

@@ -1,0 +1,242 @@
+//! Fault-effect classification (paper §III.C).
+
+use mbu_cpu::{RunEnd, RunResult};
+use std::fmt;
+
+/// The five fault-effect classes of the paper's §III.C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultEffect {
+    /// The run is indistinguishable from the fault-free run.
+    Masked,
+    /// The program finished but produced different output — silent data
+    /// corruption.
+    Sdc,
+    /// Process or system crash (trap raised at commit).
+    Crash,
+    /// The run exceeded the timeout limit (deadlock or livelock).
+    Timeout,
+    /// The simulator asserted (e.g. a corrupted translation produced a
+    /// physical address outside the system map).
+    Assert,
+}
+
+impl FaultEffect {
+    /// All classes, in the paper's ordering.
+    pub const ALL: [FaultEffect; 5] = [
+        FaultEffect::Masked,
+        FaultEffect::Sdc,
+        FaultEffect::Crash,
+        FaultEffect::Timeout,
+        FaultEffect::Assert,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultEffect::Masked => "Masked",
+            FaultEffect::Sdc => "SDC",
+            FaultEffect::Crash => "Crash",
+            FaultEffect::Timeout => "Timeout",
+            FaultEffect::Assert => "Assert",
+        }
+    }
+}
+
+impl fmt::Display for FaultEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classifies one faulty run against the golden (fault-free) run.
+///
+/// `hit_cycle_limit` must be true when the simulation was stopped by the
+/// campaign's timeout limit (4 × fault-free execution time).
+pub fn classify(result: &RunResult, golden_output: &[u8], golden_code: u32) -> FaultEffect {
+    match result.end {
+        RunEnd::Exited { code } => {
+            if result.output == golden_output && code == golden_code {
+                FaultEffect::Masked
+            } else {
+                FaultEffect::Sdc
+            }
+        }
+        RunEnd::Crashed(_) => FaultEffect::Crash,
+        RunEnd::Assert { .. } => FaultEffect::Assert,
+        RunEnd::CycleLimit => FaultEffect::Timeout,
+    }
+}
+
+/// Aggregated class counts for a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Masked runs.
+    pub masked: u64,
+    /// Silent-data-corruption runs.
+    pub sdc: u64,
+    /// Crashed runs.
+    pub crash: u64,
+    /// Timed-out runs.
+    pub timeout: u64,
+    /// Simulator-assert runs.
+    pub assert_: u64,
+}
+
+impl ClassCounts {
+    /// Creates empty counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classified run.
+    pub fn record(&mut self, effect: FaultEffect) {
+        match effect {
+            FaultEffect::Masked => self.masked += 1,
+            FaultEffect::Sdc => self.sdc += 1,
+            FaultEffect::Crash => self.crash += 1,
+            FaultEffect::Timeout => self.timeout += 1,
+            FaultEffect::Assert => self.assert_ += 1,
+        }
+    }
+
+    /// Count for one class.
+    pub fn count(&self, effect: FaultEffect) -> u64 {
+        match effect {
+            FaultEffect::Masked => self.masked,
+            FaultEffect::Sdc => self.sdc,
+            FaultEffect::Crash => self.crash,
+            FaultEffect::Timeout => self.timeout,
+            FaultEffect::Assert => self.assert_,
+        }
+    }
+
+    /// Total classified runs.
+    pub fn total(&self) -> u64 {
+        FaultEffect::ALL.iter().map(|&e| self.count(e)).sum()
+    }
+
+    /// Fraction of runs in one class (0 when empty).
+    pub fn fraction(&self, effect: FaultEffect) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(effect) as f64 / t as f64
+        }
+    }
+
+    /// The architectural vulnerability factor: the probability that a fault
+    /// leads to any visible failure (`1 − masked fraction`; 0 when no runs
+    /// have been recorded).
+    pub fn avf(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            1.0 - self.fraction(FaultEffect::Masked)
+        }
+    }
+
+    /// Merges counts from another campaign shard.
+    pub fn merge(&mut self, other: &ClassCounts) {
+        self.masked += other.masked;
+        self.sdc += other.sdc;
+        self.crash += other.crash;
+        self.timeout += other.timeout;
+        self.assert_ += other.assert_;
+    }
+}
+
+impl fmt::Display for ClassCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "masked {} | sdc {} | crash {} | timeout {} | assert {} (AVF {:.2}%)",
+            self.masked,
+            self.sdc,
+            self.crash,
+            self.timeout,
+            self.assert_,
+            self.avf() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbu_isa::interp::Trap;
+
+    fn run(end: RunEnd, output: &[u8]) -> RunResult {
+        RunResult { end, output: output.to_vec(), cycles: 100, instructions: 50 }
+    }
+
+    #[test]
+    fn classification_matches_paper_definitions() {
+        let golden = vec![1, 2, 3];
+        assert_eq!(
+            classify(&run(RunEnd::Exited { code: 0 }, &golden), &golden, 0),
+            FaultEffect::Masked
+        );
+        assert_eq!(
+            classify(&run(RunEnd::Exited { code: 0 }, &[9]), &golden, 0),
+            FaultEffect::Sdc
+        );
+        assert_eq!(
+            classify(&run(RunEnd::Exited { code: 1 }, &golden), &golden, 0),
+            FaultEffect::Sdc,
+            "changed exit code is silent corruption"
+        );
+        assert_eq!(
+            classify(
+                &run(RunEnd::Crashed(Trap::DivisionByZero { pc: 0 }), &golden),
+                &golden,
+                0
+            ),
+            FaultEffect::Crash
+        );
+        assert_eq!(
+            classify(&run(RunEnd::Assert { pa: 0xFFFF_0000 }, &golden), &golden, 0),
+            FaultEffect::Assert
+        );
+        assert_eq!(
+            classify(&run(RunEnd::CycleLimit, &golden), &golden, 0),
+            FaultEffect::Timeout
+        );
+    }
+
+    #[test]
+    fn counts_fractions_sum_to_one() {
+        let mut c = ClassCounts::new();
+        for (e, n) in [
+            (FaultEffect::Masked, 70),
+            (FaultEffect::Sdc, 15),
+            (FaultEffect::Crash, 10),
+            (FaultEffect::Timeout, 4),
+            (FaultEffect::Assert, 1),
+        ] {
+            for _ in 0..n {
+                c.record(e);
+            }
+        }
+        assert_eq!(c.total(), 100);
+        let sum: f64 = FaultEffect::ALL.iter().map(|&e| c.fraction(e)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((c.avf() - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = ClassCounts { masked: 1, sdc: 2, crash: 3, timeout: 4, assert_: 5 };
+        let b = ClassCounts { masked: 10, sdc: 20, crash: 30, timeout: 40, assert_: 50 };
+        a.merge(&b);
+        assert_eq!(a.total(), 165);
+        assert_eq!(a.sdc, 22);
+    }
+
+    #[test]
+    fn empty_counts_have_zero_avf() {
+        let c = ClassCounts::new();
+        assert_eq!(c.avf(), 0.0);
+        assert_eq!(c.fraction(FaultEffect::Masked), 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Failures-in-Time analysis (paper §VI, Eq. 4 and Fig. 8).
+//!
+//! ```text
+//! FIT_struct = AVF_struct × rawFIT_bit × #Bits_struct
+//! ```
+//!
+//! The CPU FIT at a node is the sum over the six structures. The multi-bit
+//! contribution is the part a single-bit-only assessment misses:
+//! `FIT(Node_AVF) − FIT(AVF₁)`.
+
+use crate::avf::ComponentAvf;
+use crate::tech::{component_bits, node_avf, TechNode};
+use mbu_cpu::HwComponent;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// FIT of one structure given an AVF value (Eq. 4).
+pub fn component_fit(avf_value: f64, node: TechNode, component: HwComponent) -> f64 {
+    avf_value * node.raw_fit_per_bit() * component_bits(component) as f64
+}
+
+/// FIT decomposition of the whole CPU at one technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuFit {
+    /// Total FIT with realistic multi-bit AVFs (Eq. 3 + Eq. 4).
+    pub total: f64,
+    /// FIT a single-bit-only assessment would report.
+    pub single_bit_only: f64,
+}
+
+impl CpuFit {
+    /// The FIT attributable to multi-bit upsets (Fig. 8's red area).
+    pub fn mbu_part(&self) -> f64 {
+        self.total - self.single_bit_only
+    }
+
+    /// Percentage of the total FIT contributed by multi-bit upsets
+    /// (0 % at 250 nm, 21 % at 22 nm in the paper).
+    pub fn mbu_contribution_pct(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.mbu_part() / self.total * 100.0
+        }
+    }
+}
+
+impl fmt::Display for CpuFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FIT {:.3} (single-bit {:.3}, MBU {:.1}%)",
+            self.total,
+            self.single_bit_only,
+            self.mbu_contribution_pct()
+        )
+    }
+}
+
+/// Computes the CPU FIT at `node` from per-component weighted AVFs.
+///
+/// # Panics
+///
+/// Panics if `avfs` is missing any of the six components.
+pub fn cpu_fit(avfs: &BTreeMap<HwComponent, ComponentAvf>, node: TechNode) -> CpuFit {
+    let mut total = 0.0;
+    let mut single = 0.0;
+    for c in HwComponent::ALL {
+        let avf = avfs
+            .get(&c)
+            .unwrap_or_else(|| panic!("missing AVF for component {c}"));
+        total += component_fit(node_avf(avf, node), node, c);
+        single += component_fit(avf.single, node, c);
+    }
+    CpuFit { total, single_bit_only: single }
+}
+
+/// FIT of one component across all nodes (a Fig. 8-style series).
+pub fn component_fit_series(avf: &ComponentAvf, component: HwComponent) -> Vec<(TechNode, f64)> {
+    TechNode::ALL
+        .iter()
+        .map(|&n| (n, component_fit(node_avf(avf, n), n, component)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn fit_is_monotone_in_avf_and_bits() {
+        let f1 = component_fit(0.1, TechNode::N90, HwComponent::L1D);
+        let f2 = component_fit(0.2, TechNode::N90, HwComponent::L1D);
+        assert!(f2 > f1);
+        let small = component_fit(0.2, TechNode::N90, HwComponent::DTlb);
+        assert!(f2 > small, "L1D has 256x the bits of the DTLB");
+    }
+
+    #[test]
+    fn mbu_contribution_is_zero_at_250nm() {
+        let fit = cpu_fit(&paper::table5_avfs(), TechNode::N250);
+        assert!(fit.mbu_contribution_pct().abs() < 1e-9);
+    }
+
+    #[test]
+    fn mbu_contribution_reaches_21_percent_at_22nm_with_paper_avfs() {
+        // The paper's headline Fig. 8 number, recomputed from its Table V.
+        let fit = cpu_fit(&paper::table5_avfs(), TechNode::N22);
+        let pct = fit.mbu_contribution_pct();
+        assert!((15.0..=22.0).contains(&pct), "got {pct:.1}% (paper reports 21%)");
+    }
+
+    #[test]
+    fn mbu_contribution_grows_monotonically_across_nodes() {
+        let avfs = paper::table5_avfs();
+        let mut prev = -1.0;
+        for node in TechNode::ALL {
+            let pct = cpu_fit(&avfs, node).mbu_contribution_pct();
+            assert!(pct >= prev, "{node}: {pct}");
+            prev = pct;
+        }
+    }
+
+    #[test]
+    fn cpu_fit_tracks_raw_fit_shape_rise_then_fall() {
+        // Fig. 8: FIT rises to 130 nm then decreases to 22 nm.
+        let avfs = paper::table5_avfs();
+        let f250 = cpu_fit(&avfs, TechNode::N250).total;
+        let f130 = cpu_fit(&avfs, TechNode::N130).total;
+        let f22 = cpu_fit(&avfs, TechNode::N22).total;
+        assert!(f130 > f250);
+        assert!(f22 < f130);
+    }
+
+    #[test]
+    fn l2_dominates_cpu_fit() {
+        // The L2 holds ~89 % of the bits; its FIT dominates the CPU total.
+        let avfs = paper::table5_avfs();
+        let l2 = component_fit(
+            crate::tech::node_avf(&avfs[&HwComponent::L2], TechNode::N22),
+            TechNode::N22,
+            HwComponent::L2,
+        );
+        let total = cpu_fit(&avfs, TechNode::N22).total;
+        assert!(l2 / total > 0.8);
+    }
+
+    #[test]
+    fn series_covers_all_nodes() {
+        let s = component_fit_series(&ComponentAvf::new(0.1, 0.2, 0.3), HwComponent::L1I);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0].0, TechNode::N250);
+    }
+}
+
+/// FIT of one structure split by failure class (extension): multiplying the
+/// per-class vulnerability fractions into Eq. 4 shows *what kind* of
+/// failure the FIT is made of — SDC FIT argues for error detection, crash
+/// FIT for recovery, the split the paper's "informed protection" discussion
+/// needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassFit {
+    /// FIT leading to silent data corruption.
+    pub sdc: f64,
+    /// FIT leading to crashes.
+    pub crash: f64,
+    /// FIT leading to timeouts (dead/livelock).
+    pub timeout: f64,
+    /// FIT leading to simulator asserts (system-map violations).
+    pub assert_: f64,
+}
+
+impl ClassFit {
+    /// Total failure FIT (sum over the vulnerable classes).
+    pub fn total(&self) -> f64 {
+        self.sdc + self.crash + self.timeout + self.assert_
+    }
+}
+
+/// Splits a component's FIT at `node` into failure classes using a
+/// breakdown measured at a given cardinality mix.
+///
+/// The breakdown's non-masked fractions are renormalized over the AVF so
+/// the class split applies to the aggregate node AVF.
+pub fn class_fit(
+    breakdown: &crate::avf::ClassBreakdown,
+    node_avf_value: f64,
+    node: TechNode,
+    component: HwComponent,
+) -> ClassFit {
+    let base = component_fit(node_avf_value, node, component);
+    let avf = breakdown.avf();
+    let share = |class_fraction: f64| {
+        if avf <= 0.0 {
+            0.0
+        } else {
+            base * class_fraction / avf
+        }
+    };
+    ClassFit {
+        sdc: share(breakdown.sdc),
+        crash: share(breakdown.crash),
+        timeout: share(breakdown.timeout),
+        assert_: share(breakdown.assert_),
+    }
+}
+
+#[cfg(test)]
+mod class_fit_tests {
+    use super::*;
+    use crate::avf::ClassBreakdown;
+
+    fn breakdown() -> ClassBreakdown {
+        ClassBreakdown { masked: 0.6, sdc: 0.2, crash: 0.1, timeout: 0.06, assert_: 0.04 }
+    }
+
+    #[test]
+    fn class_fit_partitions_the_component_fit() {
+        let b = breakdown();
+        let node_avf_value = 0.5;
+        let f = class_fit(&b, node_avf_value, TechNode::N22, HwComponent::L1D);
+        let total = component_fit(node_avf_value, TechNode::N22, HwComponent::L1D);
+        assert!((f.total() - total).abs() < 1e-12);
+        assert!(f.sdc > f.crash && f.crash > f.timeout && f.timeout > f.assert_);
+    }
+
+    #[test]
+    fn fully_masked_breakdown_has_zero_class_fit() {
+        let b = ClassBreakdown { masked: 1.0, sdc: 0.0, crash: 0.0, timeout: 0.0, assert_: 0.0 };
+        let f = class_fit(&b, 0.0, TechNode::N22, HwComponent::L2);
+        assert_eq!(f.total(), 0.0);
+    }
+}

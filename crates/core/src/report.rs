@@ -1,0 +1,211 @@
+//! ASCII-table and CSV rendering for the experiment harness.
+
+use std::fmt;
+
+/// A simple ASCII table (monospace, pipe-separated) used by the `repro`
+/// binary to print paper-style tables.
+///
+/// # Example
+///
+/// ```
+/// use mbu_gefin::report::Table;
+/// let mut t = Table::new("Demo", &["name", "value"]);
+/// t.row(vec!["x".into(), "1".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("| x"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header + rows), for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Formats a multiplicative factor with one decimal (`2.4x`).
+pub fn factor(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("T", &["a", "long_header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("| xxxxxx | 1"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("T", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["3".into(), "4".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.2032), "20.32%");
+        assert_eq!(factor(2.44), "2.4x");
+    }
+}
+
+/// One bar of a stacked horizontal bar chart.
+#[derive(Debug, Clone)]
+pub struct StackedBar {
+    /// Row label (e.g. a benchmark name).
+    pub label: String,
+    /// `(glyph, fraction)` segments; fractions should sum to ≤ 1.
+    pub segments: Vec<(char, f64)>,
+}
+
+/// Renders stacked horizontal bars (the ASCII analogue of the paper's
+/// Fig. 1–6 stacked class charts).
+///
+/// # Example
+///
+/// ```
+/// use mbu_gefin::report::{stacked_chart, StackedBar};
+/// let bars = vec![StackedBar {
+///     label: "sha/1".into(),
+///     segments: vec![('.', 0.8), ('S', 0.2)],
+/// }];
+/// let s = stacked_chart("demo", &bars, 20);
+/// assert!(s.contains("SSSS"));
+/// ```
+pub fn stacked_chart(title: &str, bars: &[StackedBar], width: usize) -> String {
+    let label_w = bars.iter().map(|b| b.label.len()).max().unwrap_or(0);
+    let mut out = format!("== {title} ==\n");
+    for bar in bars {
+        let mut cells = String::with_capacity(width);
+        let mut used = 0usize;
+        for (glyph, frac) in &bar.segments {
+            let n = ((frac * width as f64).round() as usize).min(width - used);
+            cells.extend(std::iter::repeat_n(*glyph, n));
+            used += n;
+        }
+        cells.extend(std::iter::repeat_n(' ', width - used));
+        out.push_str(&format!("{:<label_w$} |{}|\n", bar.label, cells));
+    }
+    out
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::*;
+
+    #[test]
+    fn bars_fill_proportionally() {
+        let bars = vec![
+            StackedBar { label: "a".into(), segments: vec![('.', 0.5), ('S', 0.5)] },
+            StackedBar { label: "bb".into(), segments: vec![('C', 1.0)] },
+        ];
+        let s = stacked_chart("t", &bars, 10);
+        assert!(s.contains("|.....SSSSS|"));
+        assert!(s.contains("|CCCCCCCCCC|"));
+        // Labels aligned to the widest.
+        assert!(s.contains("a  |"));
+    }
+
+    #[test]
+    fn overfull_segments_are_clamped() {
+        let bars =
+            vec![StackedBar { label: "x".into(), segments: vec![('A', 0.9), ('B', 0.9)] }];
+        let s = stacked_chart("t", &bars, 10);
+        let line = s.lines().nth(1).unwrap();
+        assert_eq!(line.matches(['A', 'B']).count(), 10, "clamped to width");
+    }
+
+    #[test]
+    fn empty_chart_renders_title_only() {
+        let s = stacked_chart("empty", &[], 10);
+        assert_eq!(s, "== empty ==\n");
+    }
+}

@@ -1,0 +1,109 @@
+//! Statistical fault sampling per Leveugle et al. (paper §III.A).
+//!
+//! Sample size for a target error margin `e`, confidence `z` and initial
+//! failure-probability estimate `p` over a population `N`:
+//!
+//! ```text
+//! n = N / (1 + e²·(N − 1) / (z²·p·(1 − p)))
+//! ```
+//!
+//! The paper uses `p = 0.5` (the conservative maximum), 99 % confidence
+//! (`z = 2.5758`) and 2 000 samples per campaign, which this module
+//! reproduces: the achieved margin is 2.88 %. After a campaign, the margin
+//! can be re-computed with the *measured* AVF as `p`, which tightens it to
+//! 2.4–2.88 % exactly as §III.A describes.
+
+/// z-value for 99 % confidence.
+pub const Z_99: f64 = 2.5758;
+/// z-value for 95 % confidence.
+pub const Z_95: f64 = 1.9600;
+
+/// Required sample size for the given population, margin, confidence and
+/// initial probability estimate.
+///
+/// # Panics
+///
+/// Panics if `margin`, `p` or `population` are out of range.
+pub fn sample_size(population: u64, margin: f64, z: f64, p: f64) -> u64 {
+    assert!(population > 0, "population must be nonzero");
+    assert!(margin > 0.0 && margin < 1.0, "margin must be in (0, 1)");
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+    let n = population as f64;
+    let denom = 1.0 + margin * margin * (n - 1.0) / (z * z * p * (1.0 - p));
+    (n / denom).ceil() as u64
+}
+
+/// The error margin achieved by `samples` draws from `population` at
+/// confidence `z` with probability estimate `p` (inverse of
+/// [`sample_size`]).
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or exceeds the population.
+pub fn error_margin(population: u64, samples: u64, z: f64, p: f64) -> f64 {
+    assert!(samples > 0 && samples <= population, "samples must be in 1..=population");
+    let n = population as f64;
+    let s = samples as f64;
+    if samples == population {
+        return 0.0;
+    }
+    z * (p * (1.0 - p) * (n - s) / (s * (n - 1.0))).sqrt()
+}
+
+/// The effective fault-space population of a structure: every bit at every
+/// cycle of the fault-free run is a distinct candidate fault site.
+pub fn fault_population(bits: u64, cycles: u64) -> u64 {
+    bits.saturating_mul(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_campaign_size_is_2000() {
+        // Large population, e = 2.88 %, 99 % confidence, p = 0.5 -> ~2000.
+        let n = sample_size(u64::MAX / 2, 0.0288, Z_99, 0.5);
+        assert!((1995..=2005).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn margin_of_2000_samples_is_2_88_percent() {
+        let e = error_margin(u64::MAX / 2, 2000, Z_99, 0.5);
+        assert!((e - 0.0288).abs() < 0.0002, "got {e}");
+    }
+
+    #[test]
+    fn readjusted_p_tightens_margin() {
+        // §III.A: with a measured AVF of ~0.2 the margin drops below 2.88 %.
+        let wide = error_margin(u64::MAX / 2, 2000, Z_99, 0.5);
+        let tight = error_margin(u64::MAX / 2, 2000, Z_99, 0.2);
+        assert!(tight < wide);
+        assert!(tight > 0.02 && tight < 0.0288);
+    }
+
+    #[test]
+    fn sampling_whole_population_has_zero_margin() {
+        assert_eq!(error_margin(1000, 1000, Z_99, 0.5), 0.0);
+    }
+
+    #[test]
+    fn small_population_needs_fewer_samples() {
+        let small = sample_size(5_000, 0.0288, Z_99, 0.5);
+        let large = sample_size(5_000_000, 0.0288, Z_99, 0.5);
+        assert!(small < large);
+        assert!(small < 5_000);
+    }
+
+    #[test]
+    fn fault_population_saturates() {
+        assert_eq!(fault_population(u64::MAX, 2), u64::MAX);
+        assert_eq!(fault_population(262_144, 1000), 262_144_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn zero_margin_rejected() {
+        let _ = sample_size(100, 0.0, Z_99, 0.5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the injector and analysis invariants.
+
+use mbu_gefin::avf::{weighted_avf, ComponentAvf};
+use mbu_gefin::classify::{ClassCounts, FaultEffect};
+use mbu_gefin::mask::{ClusterSpec, MaskGenerator};
+use mbu_gefin::stats::{error_margin, sample_size, Z_99};
+use mbu_gefin::tech::{node_avf, TechNode};
+use mbu_sram::Geometry;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    /// Masks always have exactly N distinct in-bounds flips inside one
+    /// cluster window, for arbitrary geometries and cluster shapes.
+    #[test]
+    fn mask_invariants(
+        seed in any::<u64>(),
+        rows in 3usize..512,
+        cols in 3usize..512,
+        crows in 1usize..5,
+        ccols in 1usize..5,
+        cardinality_sel in any::<prop::sample::Index>()
+    ) {
+        let cluster = ClusterSpec::new(crows, ccols);
+        let geometry = Geometry::new(rows, cols);
+        let max_n = cluster.cells().min(geometry.total_bits());
+        let n = 1 + cardinality_sel.index(max_n);
+        let mut gen = MaskGenerator::seeded(seed, cluster);
+        let mask = gen.generate(geometry, n);
+        prop_assert_eq!(mask.cardinality(), n);
+        let set: BTreeSet<_> = mask.coords.iter().collect();
+        prop_assert_eq!(set.len(), n, "flips must be distinct");
+        for c in &mask.coords {
+            prop_assert!(geometry.contains(c.row, c.col));
+            prop_assert!(c.row >= mask.origin.row && c.row < mask.origin.row + mask.cluster.rows);
+            prop_assert!(c.col >= mask.origin.col && c.col < mask.origin.col + mask.cluster.cols);
+        }
+    }
+
+    /// Class fractions are a probability distribution and AVF = 1 − masked.
+    #[test]
+    fn class_counts_distribution(
+        masked in 0u64..10_000,
+        sdc in 0u64..10_000,
+        crash in 0u64..10_000,
+        timeout in 0u64..10_000,
+        assert_ in 0u64..10_000
+    ) {
+        let c = ClassCounts { masked, sdc, crash, timeout, assert_ };
+        prop_assume!(c.total() > 0);
+        let sum: f64 = FaultEffect::ALL.iter().map(|&e| c.fraction(e)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!((c.avf() - (1.0 - c.fraction(FaultEffect::Masked))).abs() < 1e-12);
+        prop_assert!(c.avf() >= 0.0 && c.avf() <= 1.0);
+    }
+
+    /// Eq. 2 is a convex combination: bounded by min/max of its inputs and
+    /// invariant under weight scaling.
+    #[test]
+    fn weighted_avf_is_convex_and_scale_invariant(
+        samples in proptest::collection::vec((0.0f64..=1.0, 1u64..1_000_000), 1..16),
+        scale in 1u64..1000
+    ) {
+        let w = weighted_avf(&samples);
+        let lo = samples.iter().map(|(a, _)| *a).fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().map(|(a, _)| *a).fold(0.0, f64::max);
+        prop_assert!(w >= lo - 1e-12 && w <= hi + 1e-12);
+        let scaled: Vec<(f64, u64)> = samples.iter().map(|&(a, t)| (a, t * scale)).collect();
+        prop_assert!((weighted_avf(&scaled) - w).abs() < 1e-9);
+    }
+
+    /// Eq. 3 is a convex combination of the three cardinality AVFs, for
+    /// every node.
+    #[test]
+    fn node_avf_is_convex(s in 0.0f64..=1.0, d in 0.0f64..=1.0, t in 0.0f64..=1.0) {
+        let a = ComponentAvf::new(s, d, t);
+        let lo = s.min(d).min(t);
+        let hi = s.max(d).max(t);
+        for node in TechNode::ALL {
+            let v = node_avf(&a, node);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{node}: {v}");
+        }
+        prop_assert!((node_avf(&a, TechNode::N250) - s).abs() < 1e-12);
+    }
+
+    /// sample_size and error_margin are mutually consistent: the margin of
+    /// the computed sample size never exceeds the requested margin.
+    #[test]
+    fn sampling_formulas_are_inverse(
+        population in 100u64..1_000_000_000,
+        margin_mill in 5u32..200, // 0.5 % .. 20 %
+        p_pct in 1u32..100
+    ) {
+        let margin = margin_mill as f64 / 1000.0;
+        let p = p_pct as f64 / 100.0;
+        let n = sample_size(population, margin, Z_99, p).min(population);
+        let achieved = error_margin(population, n, Z_99, p);
+        prop_assert!(achieved <= margin + 1e-9, "n={n}: achieved {achieved} > requested {margin}");
+        // One fewer sample must not do better than the requested margin.
+        if n > 1 && n < population {
+            let worse = error_margin(population, n - 1, Z_99, p);
+            prop_assert!(worse >= achieved);
+        }
+    }
+
+    /// Injection cycles are uniform over the fault-free window (bounds).
+    #[test]
+    fn injection_cycles_in_bounds(seed in any::<u64>(), cycles in 1u64..1_000_000) {
+        let mut gen = MaskGenerator::seeded(seed, ClusterSpec::DEFAULT);
+        for _ in 0..16 {
+            prop_assert!(gen.injection_cycle(cycles) < cycles);
+        }
+    }
+}

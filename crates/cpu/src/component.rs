@@ -1,0 +1,112 @@
+//! Registry of the six injectable hardware components studied by the paper.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The six hardware structures the paper injects faults into (§III.A):
+/// together they hold more than 94 % of the CPU's memory cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HwComponent {
+    /// L1 data cache (data array).
+    L1D,
+    /// L1 instruction cache (data array).
+    L1I,
+    /// Unified L2 cache (data array).
+    L2,
+    /// Physical register file.
+    RegFile,
+    /// Data TLB.
+    DTlb,
+    /// Instruction TLB.
+    ITlb,
+}
+
+impl HwComponent {
+    /// All six components in the paper's presentation order.
+    pub const ALL: [HwComponent; 6] = [
+        HwComponent::L1D,
+        HwComponent::L1I,
+        HwComponent::L2,
+        HwComponent::RegFile,
+        HwComponent::DTlb,
+        HwComponent::ITlb,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HwComponent::L1D => "L1D Cache",
+            HwComponent::L1I => "L1I Cache",
+            HwComponent::L2 => "L2 Cache",
+            HwComponent::RegFile => "Register File",
+            HwComponent::DTlb => "DTLB",
+            HwComponent::ITlb => "ITLB",
+        }
+    }
+}
+
+impl fmt::Display for HwComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown component name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseComponentError(String);
+
+impl fmt::Display for ParseComponentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown hardware component `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseComponentError {}
+
+impl FromStr for HwComponent {
+    type Err = ParseComponentError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "l1d" => Ok(HwComponent::L1D),
+            "l1i" => Ok(HwComponent::L1I),
+            "l2" => Ok(HwComponent::L2),
+            "regfile" | "rf" | "prf" => Ok(HwComponent::RegFile),
+            "dtlb" => Ok(HwComponent::DTlb),
+            "itlb" => Ok(HwComponent::ITlb),
+            other => Err(ParseComponentError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_six_components() {
+        assert_eq!(HwComponent::ALL.len(), 6);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in HwComponent::ALL {
+            let name = match c {
+                HwComponent::L1D => "l1d",
+                HwComponent::L1I => "l1i",
+                HwComponent::L2 => "l2",
+                HwComponent::RegFile => "regfile",
+                HwComponent::DTlb => "dtlb",
+                HwComponent::ITlb => "itlb",
+            };
+            assert_eq!(name.parse::<HwComponent>().unwrap(), c);
+        }
+        assert!("bogus".parse::<HwComponent>().is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(HwComponent::L1D.to_string(), "L1D Cache");
+        assert_eq!(HwComponent::ITlb.to_string(), "ITLB");
+    }
+}

@@ -1,0 +1,53 @@
+//! Cycle-level out-of-order CPU model (ARM Cortex-A9-like, Table I).
+//!
+//! This crate is the gem5-O3 stand-in of the reproduction: a full
+//! out-of-order core with register renaming over a 56-entry physical
+//! register file, a 40-entry reorder buffer, a 32-entry instruction queue,
+//! and fetch/issue/writeback widths of 2/4/4, running on top of the
+//! `mbu-mem` cache/TLB hierarchy.
+//!
+//! Design points relevant to fault injection:
+//!
+//! * **Precise architectural state.** Faults (undefined instructions, page
+//!   faults, division by zero, …) are recorded at execute but only raised
+//!   when the faulting instruction reaches the head of the reorder buffer,
+//!   so a fault injected into a squashed-dead value never crashes the run.
+//! * **Register renaming.** A flipped physical-register bit only matters if
+//!   the register holds a live (renamed or architecturally committed)
+//!   value — exactly the liveness the paper's register-file AVF measures.
+//! * **Stores drain at commit, loads issue speculatively** with conservative
+//!   store-to-load disambiguation, so cache state sees the same traffic
+//!   pattern an out-of-order machine produces.
+//! * **Control flow stalls fetch until resolution** (no branch predictor —
+//!   the paper injects no faults into speculation structures; see
+//!   DESIGN.md for the documented divergence).
+//!
+//! The crate also defines [`HwComponent`], the registry of the six
+//! injectable structures studied by the paper, and the [`Simulator`] API the
+//! fault injector drives (run → flip bits mid-flight → run to completion).
+//!
+//! # Example
+//!
+//! ```
+//! use mbu_cpu::{CoreConfig, Simulator};
+//! use mbu_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     ".text\nmain:\nli r3, 65\nli r2, 1\nsyscall\nli r2, 0\nli r3, 0\nsyscall\n",
+//! )?;
+//! let result = Simulator::new(CoreConfig::cortex_a9_like(), &program).run(100_000);
+//! assert_eq!(result.output, b"A");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod component;
+pub mod config;
+pub mod regfile;
+pub mod sim;
+
+pub use component::HwComponent;
+pub use config::CoreConfig;
+pub use regfile::PhysRegFile;
+pub use sim::{Fault, PipelineStats, RunEnd, RunResult, Simulator};

@@ -1,0 +1,801 @@
+//! A two-pass text assembler for the `mbusim` ISA.
+//!
+//! The workloads of the reproduction (`mbu-workloads`) are written in this
+//! assembly dialect. Supported syntax:
+//!
+//! ```text
+//! .text                       # code section (default)
+//! main:                       # labels
+//!     li   r1, 0x1234_5678    # pseudo: load 32-bit immediate
+//!     la   r2, buffer         # pseudo: load symbol address
+//!     lw   r3, 4(r2)          # loads/stores: offset(base)
+//!     add  r3, r3, r1
+//!     bnez r3, main           # branch pseudos
+//!     syscall
+//! .data
+//! buffer: .word 1, 2, 3       # also .half .byte .ascii .space .align
+//! ```
+//!
+//! Comments start with `#` or `;`. Numbers may be decimal, hexadecimal
+//! (`0x…`), negative, and may contain `_` separators. Symbol operands accept
+//! a `+offset`/`-offset` suffix (`table+8`).
+
+use crate::instr::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth, Reg};
+use crate::program::{Program, DATA_BASE, TEXT_BASE};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced while assembling, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+type Result<T> = std::result::Result<T, AsmError>;
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
+    Err(AsmError { line, message: message.into() })
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// The entry point is the `main` label if defined, otherwise the start of the
+/// text segment.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] pinpointing the offending line for syntax errors,
+/// unknown mnemonics or registers, undefined labels, and out-of-range
+/// immediates/branch offsets.
+///
+/// # Example
+///
+/// ```
+/// let p = mbu_isa::asm::assemble(".text\nmain: li r1, 7\n syscall\n")?;
+/// assert_eq!(p.text.len(), 2);
+/// # Ok::<(), mbu_isa::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program> {
+    let items = parse(source)?;
+    let (symbols, text_len, data) = layout(&items)?;
+    let mut text = Vec::with_capacity(text_len);
+    for item in &items {
+        if let Item::Code { line, stmt } = item {
+            let pc = TEXT_BASE + (text.len() * 4) as u32;
+            stmt.encode(*line, pc, &symbols, &mut text)?;
+        }
+    }
+    debug_assert_eq!(text.len(), text_len);
+    let entry = symbols.get("main").copied().unwrap_or(TEXT_BASE);
+    let mut program = Program::new(text, data, entry);
+    program.symbols = symbols;
+    Ok(program)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A numeric-or-symbolic operand (`123`, `0xFF`, `label`, `label+4`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Num(i64),
+    Sym(String, i64),
+}
+
+impl Value {
+    fn resolve(&self, line: usize, symbols: &BTreeMap<String, u32>) -> Result<i64> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            Value::Sym(name, off) => match symbols.get(name) {
+                Some(addr) => Ok(*addr as i64 + off),
+                None => err(line, format!("undefined symbol `{name}`")),
+            },
+        }
+    }
+}
+
+/// One parsed assembly statement (possibly a pseudo-instruction).
+#[derive(Debug, Clone)]
+enum Stmt {
+    Real(Instruction),
+    /// `li rd, value` / `la rd, symbol` — expands to 1 or 2 instructions.
+    LoadImm { rd: Reg, value: Value, force_wide: bool },
+    /// Conditional branch to a label or numeric offset.
+    Branch { cond: BranchCond, rs: Reg, rt: Reg, target: Value },
+    /// `j`/`jal` to a label or address.
+    Jump { link: bool, target: Value },
+}
+
+impl Stmt {
+    /// Number of machine instructions this statement expands to.
+    fn size(&self) -> usize {
+        match self {
+            Stmt::LoadImm { value, force_wide, .. } => {
+                if *force_wide {
+                    return 2;
+                }
+                match value {
+                    Value::Num(n) if (-32768..=32767).contains(n) => 1,
+                    Value::Num(n) if n & 0xFFFF == 0 && (*n as u64) <= u32::MAX as u64 => 1,
+                    _ => 2,
+                }
+            }
+            _ => 1,
+        }
+    }
+
+    fn encode(
+        &self,
+        line: usize,
+        pc: u32,
+        symbols: &BTreeMap<String, u32>,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        match self {
+            Stmt::Real(i) => out.push(crate::instr::encode(*i)),
+            Stmt::LoadImm { rd, value, force_wide } => {
+                let v = value.resolve(line, symbols)?;
+                if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
+                    return err(line, format!("immediate {v} does not fit in 32 bits"));
+                }
+                let v32 = v as u32;
+                if !force_wide && self.size() == 1 {
+                    if (-32768..=32767).contains(&v) {
+                        out.push(crate::instr::encode(Instruction::AluImm {
+                            op: AluImmOp::Addi,
+                            rd: *rd,
+                            rs: Reg::ZERO,
+                            imm: v32 as u16,
+                        }));
+                    } else {
+                        out.push(crate::instr::encode(Instruction::Lui { rd: *rd, imm: (v32 >> 16) as u16 }));
+                    }
+                } else {
+                    out.push(crate::instr::encode(Instruction::Lui { rd: *rd, imm: (v32 >> 16) as u16 }));
+                    out.push(crate::instr::encode(Instruction::AluImm {
+                        op: AluImmOp::Ori,
+                        rd: *rd,
+                        rs: *rd,
+                        imm: (v32 & 0xFFFF) as u16,
+                    }));
+                }
+            }
+            Stmt::Branch { cond, rs, rt, target } => {
+                let t = target.resolve(line, symbols)?;
+                let delta = t - (pc as i64 + 4);
+                if delta % 4 != 0 {
+                    return err(line, "branch target is not instruction-aligned");
+                }
+                let words = delta / 4;
+                if !(-32768..=32767).contains(&words) {
+                    return err(line, format!("branch offset {words} out of range"));
+                }
+                out.push(crate::instr::encode(Instruction::Branch {
+                    cond: *cond,
+                    rs: *rs,
+                    rt: *rt,
+                    offset: words as i16,
+                }));
+            }
+            Stmt::Jump { link, target } => {
+                let t = target.resolve(line, symbols)?;
+                if t % 4 != 0 {
+                    return err(line, "jump target is not instruction-aligned");
+                }
+                let word = (t / 4) as u64;
+                if word > 0x00FF_FFFF {
+                    return err(line, format!("jump target 0x{t:x} out of 26-bit range"));
+                }
+                let word = word as u32;
+                out.push(crate::instr::encode(if *link {
+                    Instruction::Jal { target: word }
+                } else {
+                    Instruction::J { target: word }
+                }));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Code { line: usize, stmt: Stmt },
+    Label { line: usize, name: String, section: Section },
+    Data { bytes: Vec<u8> },
+    /// Alignment request inside the data section.
+    DataAlign { to: usize },
+}
+
+fn parse(source: &str) -> Result<Vec<Item>> {
+    let mut items = Vec::new();
+    let mut section = Section::Text;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find(['#', ';']) {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+                break;
+            }
+            items.push(Item::Label { line, name: name.to_string(), section });
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(directive) = text.strip_prefix('.') {
+            let (name, args) = match directive.find(char::is_whitespace) {
+                Some(p) => (&directive[..p], directive[p..].trim()),
+                None => (directive, ""),
+            };
+            match name {
+                "text" => section = Section::Text,
+                "data" => section = Section::Data,
+                "word" | "half" | "byte" | "space" | "ascii" | "asciiz" | "align" => {
+                    if section != Section::Data {
+                        return err(line, format!(".{name} only allowed in .data section"));
+                    }
+                    parse_data_directive(line, name, args, &mut items)?;
+                }
+                other => return err(line, format!("unknown directive .{other}")),
+            }
+            continue;
+        }
+        if section != Section::Text {
+            return err(line, "instructions only allowed in .text section");
+        }
+        let stmt = parse_instruction(line, text)?;
+        items.push(Item::Code { line, stmt });
+    }
+    Ok(items)
+}
+
+fn parse_data_directive(line: usize, name: &str, args: &str, items: &mut Vec<Item>) -> Result<()> {
+    match name {
+        "word" | "half" => {
+            let width = if name == "word" { 4 } else { 2 };
+            items.push(Item::DataAlign { to: width });
+            let mut bytes = Vec::new();
+            for field in split_args(args) {
+                let v = parse_value(line, &field)?;
+                let n = match v {
+                    Value::Num(n) => n,
+                    Value::Sym(..) => {
+                        // Symbols in .word are resolved in a later pass; to
+                        // keep the assembler single-layout we disallow them in
+                        // .half and handle .word via a placeholder rewrite.
+                        return err(line, "symbol operands are not supported in data directives; build tables with `la` at runtime");
+                    }
+                };
+                let lo = n as u64;
+                for i in 0..width {
+                    bytes.push((lo >> (8 * i)) as u8);
+                }
+            }
+            items.push(Item::Data { bytes });
+        }
+        "byte" => {
+            let mut bytes = Vec::new();
+            for field in split_args(args) {
+                match parse_value(line, &field)? {
+                    Value::Num(n) => bytes.push(n as u8),
+                    Value::Sym(..) => return err(line, "symbols not allowed in .byte"),
+                }
+            }
+            items.push(Item::Data { bytes });
+        }
+        "space" => {
+            let n = match parse_value(line, args.trim())? {
+                Value::Num(n) if n >= 0 => n as usize,
+                _ => return err(line, ".space needs a non-negative size"),
+            };
+            items.push(Item::Data { bytes: vec![0u8; n] });
+        }
+        "ascii" | "asciiz" => {
+            let s = args.trim();
+            if s.len() < 2 || !s.starts_with('"') || !s.ends_with('"') {
+                return err(line, "string literal must be double-quoted");
+            }
+            let mut bytes = unescape(line, &s[1..s.len() - 1])?;
+            if name == "asciiz" {
+                bytes.push(0);
+            }
+            items.push(Item::Data { bytes });
+        }
+        "align" => {
+            let n = match parse_value(line, args.trim())? {
+                Value::Num(n) if n > 0 => n as usize,
+                _ => return err(line, ".align needs a positive argument"),
+            };
+            items.push(Item::DataAlign { to: n });
+        }
+        _ => unreachable!("caller filters directive names"),
+    }
+    Ok(())
+}
+
+fn unescape(line: usize, s: &str) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push(b'\n'),
+            Some('t') => out.push(b'\t'),
+            Some('0') => out.push(0),
+            Some('\\') => out.push(b'\\'),
+            Some('"') => out.push(b'"'),
+            other => return err(line, format!("unknown escape sequence \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn layout(items: &[Item]) -> Result<(BTreeMap<String, u32>, usize, Vec<u8>)> {
+    let mut symbols = BTreeMap::new();
+    let mut text_len = 0usize;
+    let mut data = Vec::new();
+    for item in items {
+        match item {
+            Item::Code { stmt, .. } => text_len += stmt.size(),
+            Item::Label { line, name, section } => {
+                let addr = match section {
+                    Section::Text => TEXT_BASE + (text_len * 4) as u32,
+                    Section::Data => DATA_BASE + data.len() as u32,
+                };
+                if symbols.insert(name.clone(), addr).is_some() {
+                    return err(*line, format!("duplicate label `{name}`"));
+                }
+            }
+            Item::Data { bytes } => data.extend_from_slice(bytes),
+            Item::DataAlign { to } => {
+                while data.len() % to != 0 {
+                    data.push(0);
+                }
+            }
+        }
+    }
+    Ok((symbols, text_len, data))
+}
+
+fn split_args(s: &str) -> Vec<String> {
+    s.split(',').map(|f| f.trim().to_string()).filter(|f| !f.is_empty()).collect()
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<Reg> {
+    let s = s.trim();
+    match s {
+        "zero" => return Ok(Reg::ZERO),
+        "sp" => return Ok(Reg::SP),
+        "ra" => return Ok(Reg::RA),
+        _ => {}
+    }
+    if let Some(n) = s.strip_prefix('r') {
+        if let Ok(i) = n.parse::<u8>() {
+            if i < 16 {
+                return Ok(Reg::new(i));
+            }
+        }
+    }
+    err(line, format!("unknown register `{s}`"))
+}
+
+fn parse_num(s: &str) -> Option<i64> {
+    let s = s.replace('_', "");
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest.to_string()),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        s.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_value(line: usize, s: &str) -> Result<Value> {
+    let s = s.trim();
+    if s.is_empty() {
+        return err(line, "empty operand");
+    }
+    if let Some(n) = parse_num(s) {
+        return Ok(Value::Num(n));
+    }
+    // symbol, symbol+N, symbol-N
+    let split_pos = s[1..].find(['+', '-']).map(|p| p + 1);
+    let (name, off) = match split_pos {
+        Some(p) => {
+            let off = parse_num(&s[p..].replace(' ', ""))
+                .ok_or_else(|| AsmError { line, message: format!("bad offset in `{s}`") })?;
+            (&s[..p], off)
+        }
+        None => (s, 0),
+    };
+    let name = name.trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+        return err(line, format!("bad operand `{s}`"));
+    }
+    Ok(Value::Sym(name.to_string(), off))
+}
+
+fn parse_imm16(line: usize, s: &str) -> Result<u16> {
+    match parse_value(line, s)? {
+        Value::Num(n) if (-32768..=65535).contains(&n) => Ok(n as u16),
+        Value::Num(n) => err(line, format!("immediate {n} out of 16-bit range")),
+        Value::Sym(..) => err(line, "symbol not allowed here (use li/la)"),
+    }
+}
+
+/// Parses `offset(base)` memory operands.
+fn parse_mem_operand(line: usize, s: &str) -> Result<(i16, Reg)> {
+    let s = s.trim();
+    let open = s
+        .find('(')
+        .ok_or_else(|| AsmError { line, message: format!("expected offset(base), got `{s}`") })?;
+    if !s.ends_with(')') {
+        return err(line, format!("expected offset(base), got `{s}`"));
+    }
+    let off_str = s[..open].trim();
+    let offset = if off_str.is_empty() {
+        0
+    } else {
+        match parse_value(line, off_str)? {
+            Value::Num(n) if (-32768..=32767).contains(&n) => n as i16,
+            Value::Num(n) => return err(line, format!("offset {n} out of range")),
+            Value::Sym(..) => return err(line, "symbolic offsets not supported"),
+        }
+    };
+    let base = parse_reg(line, &s[open + 1..s.len() - 1])?;
+    Ok((offset, base))
+}
+
+fn parse_instruction(line: usize, text: &str) -> Result<Stmt> {
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(p) => (&text[..p], text[p..].trim()),
+        None => (text, ""),
+    };
+    let args = split_args(rest);
+    let nargs = args.len();
+    let need = |n: usize| -> Result<()> {
+        if nargs != n {
+            err(line, format!("`{mnemonic}` expects {n} operands, got {nargs}"))
+        } else {
+            Ok(())
+        }
+    };
+
+    let alu3 = |op: AluOp, args: &[String]| -> Result<Stmt> {
+        Ok(Stmt::Real(Instruction::Alu {
+            op,
+            rd: parse_reg(line, &args[0])?,
+            rs: parse_reg(line, &args[1])?,
+            rt: parse_reg(line, &args[2])?,
+        }))
+    };
+    let alui = |op: AluImmOp, args: &[String]| -> Result<Stmt> {
+        Ok(Stmt::Real(Instruction::AluImm {
+            op,
+            rd: parse_reg(line, &args[0])?,
+            rs: parse_reg(line, &args[1])?,
+            imm: parse_imm16(line, &args[2])?,
+        }))
+    };
+    let load = |w: MemWidth, signed: bool, args: &[String]| -> Result<Stmt> {
+        let (offset, rs) = parse_mem_operand(line, &args[1])?;
+        Ok(Stmt::Real(Instruction::Load { width: w, signed, rd: parse_reg(line, &args[0])?, rs, offset }))
+    };
+    let store = |w: MemWidth, args: &[String]| -> Result<Stmt> {
+        let (offset, rs) = parse_mem_operand(line, &args[1])?;
+        Ok(Stmt::Real(Instruction::Store { width: w, rt: parse_reg(line, &args[0])?, rs, offset }))
+    };
+    let branch = |cond: BranchCond, swap: bool, args: &[String]| -> Result<Stmt> {
+        let (a, b) = if swap { (1, 0) } else { (0, 1) };
+        Ok(Stmt::Branch {
+            cond,
+            rs: parse_reg(line, &args[a])?,
+            rt: parse_reg(line, &args[b])?,
+            target: parse_value(line, &args[2])?,
+        })
+    };
+    let branch_zero = |cond: BranchCond, args: &[String]| -> Result<Stmt> {
+        Ok(Stmt::Branch {
+            cond,
+            rs: parse_reg(line, &args[0])?,
+            rt: Reg::ZERO,
+            target: parse_value(line, &args[1])?,
+        })
+    };
+
+    match mnemonic {
+        "nop" => {
+            need(0)?;
+            Ok(Stmt::Real(Instruction::Nop))
+        }
+        "add" => { need(3)?; alu3(AluOp::Add, &args) }
+        "sub" => { need(3)?; alu3(AluOp::Sub, &args) }
+        "mul" => { need(3)?; alu3(AluOp::Mul, &args) }
+        "mulhu" => { need(3)?; alu3(AluOp::Mulhu, &args) }
+        "div" => { need(3)?; alu3(AluOp::Div, &args) }
+        "divu" => { need(3)?; alu3(AluOp::Divu, &args) }
+        "rem" => { need(3)?; alu3(AluOp::Rem, &args) }
+        "remu" => { need(3)?; alu3(AluOp::Remu, &args) }
+        "and" => { need(3)?; alu3(AluOp::And, &args) }
+        "or" => { need(3)?; alu3(AluOp::Or, &args) }
+        "xor" => { need(3)?; alu3(AluOp::Xor, &args) }
+        "nor" => { need(3)?; alu3(AluOp::Nor, &args) }
+        "sll" => { need(3)?; alu3(AluOp::Sll, &args) }
+        "srl" => { need(3)?; alu3(AluOp::Srl, &args) }
+        "sra" => { need(3)?; alu3(AluOp::Sra, &args) }
+        "slt" => { need(3)?; alu3(AluOp::Slt, &args) }
+        "sltu" => { need(3)?; alu3(AluOp::Sltu, &args) }
+        "addi" => { need(3)?; alui(AluImmOp::Addi, &args) }
+        "andi" => { need(3)?; alui(AluImmOp::Andi, &args) }
+        "ori" => { need(3)?; alui(AluImmOp::Ori, &args) }
+        "xori" => { need(3)?; alui(AluImmOp::Xori, &args) }
+        "slti" => { need(3)?; alui(AluImmOp::Slti, &args) }
+        "sltiu" => { need(3)?; alui(AluImmOp::Sltiu, &args) }
+        "slli" => { need(3)?; alui(AluImmOp::Slli, &args) }
+        "srli" => { need(3)?; alui(AluImmOp::Srli, &args) }
+        "srai" => { need(3)?; alui(AluImmOp::Srai, &args) }
+        "lui" => {
+            need(2)?;
+            Ok(Stmt::Real(Instruction::Lui {
+                rd: parse_reg(line, &args[0])?,
+                imm: parse_imm16(line, &args[1])?,
+            }))
+        }
+        "lw" => { need(2)?; load(MemWidth::Word, true, &args) }
+        "lh" => { need(2)?; load(MemWidth::Half, true, &args) }
+        "lhu" => { need(2)?; load(MemWidth::Half, false, &args) }
+        "lb" => { need(2)?; load(MemWidth::Byte, true, &args) }
+        "lbu" => { need(2)?; load(MemWidth::Byte, false, &args) }
+        "sw" => { need(2)?; store(MemWidth::Word, &args) }
+        "sh" => { need(2)?; store(MemWidth::Half, &args) }
+        "sb" => { need(2)?; store(MemWidth::Byte, &args) }
+        "beq" => { need(3)?; branch(BranchCond::Eq, false, &args) }
+        "bne" => { need(3)?; branch(BranchCond::Ne, false, &args) }
+        "blt" => { need(3)?; branch(BranchCond::Lt, false, &args) }
+        "bge" => { need(3)?; branch(BranchCond::Ge, false, &args) }
+        "bltu" => { need(3)?; branch(BranchCond::Ltu, false, &args) }
+        "bgeu" => { need(3)?; branch(BranchCond::Geu, false, &args) }
+        "bgt" => { need(3)?; branch(BranchCond::Lt, true, &args) }
+        "ble" => { need(3)?; branch(BranchCond::Ge, true, &args) }
+        "bgtu" => { need(3)?; branch(BranchCond::Ltu, true, &args) }
+        "bleu" => { need(3)?; branch(BranchCond::Geu, true, &args) }
+        "beqz" => { need(2)?; branch_zero(BranchCond::Eq, &args) }
+        "bnez" => { need(2)?; branch_zero(BranchCond::Ne, &args) }
+        "bltz" => { need(2)?; branch_zero(BranchCond::Lt, &args) }
+        "bgez" => { need(2)?; branch_zero(BranchCond::Ge, &args) }
+        "b" => {
+            need(1)?;
+            Ok(Stmt::Branch {
+                cond: BranchCond::Eq,
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                target: parse_value(line, &args[0])?,
+            })
+        }
+        "j" => { need(1)?; Ok(Stmt::Jump { link: false, target: parse_value(line, &args[0])? }) }
+        "jal" => { need(1)?; Ok(Stmt::Jump { link: true, target: parse_value(line, &args[0])? }) }
+        "jr" => {
+            need(1)?;
+            Ok(Stmt::Real(Instruction::Jr { rs: parse_reg(line, &args[0])? }))
+        }
+        "jalr" => {
+            need(2)?;
+            Ok(Stmt::Real(Instruction::Jalr {
+                rd: parse_reg(line, &args[0])?,
+                rs: parse_reg(line, &args[1])?,
+            }))
+        }
+        "li" => {
+            need(2)?;
+            Ok(Stmt::LoadImm {
+                rd: parse_reg(line, &args[0])?,
+                value: parse_value(line, &args[1])?,
+                force_wide: false,
+            })
+        }
+        "la" => {
+            need(2)?;
+            Ok(Stmt::LoadImm {
+                rd: parse_reg(line, &args[0])?,
+                value: parse_value(line, &args[1])?,
+                force_wide: true,
+            })
+        }
+        "mv" => {
+            need(2)?;
+            Ok(Stmt::Real(Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: parse_reg(line, &args[0])?,
+                rs: parse_reg(line, &args[1])?,
+                imm: 0,
+            }))
+        }
+        "not" => {
+            need(2)?;
+            Ok(Stmt::Real(Instruction::Alu {
+                op: AluOp::Nor,
+                rd: parse_reg(line, &args[0])?,
+                rs: parse_reg(line, &args[1])?,
+                rt: Reg::ZERO,
+            }))
+        }
+        "neg" => {
+            need(2)?;
+            Ok(Stmt::Real(Instruction::Alu {
+                op: AluOp::Sub,
+                rd: parse_reg(line, &args[0])?,
+                rs: Reg::ZERO,
+                rt: parse_reg(line, &args[1])?,
+            }))
+        }
+        "syscall" => {
+            need(0)?;
+            Ok(Stmt::Real(Instruction::Syscall))
+        }
+        other => err(line, format!("unknown mnemonic `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::decode;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            r#"
+            .text
+            main:
+                li   r1, 10
+                la   r2, buf
+                lw   r3, 0(r2)
+                add  r3, r3, r1
+                sw   r3, 4(r2)
+                beqz r3, main
+                syscall
+            .data
+            buf: .word 41, 0
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.entry, TEXT_BASE);
+        assert_eq!(p.symbol("buf"), Some(DATA_BASE));
+        assert_eq!(p.data, vec![41, 0, 0, 0, 0, 0, 0, 0]);
+        // li(1) + la(2) + 5 real = 8 instructions.
+        assert_eq!(p.text.len(), 8);
+        for w in &p.text {
+            decode(*w).expect("assembled word must decode");
+        }
+    }
+
+    #[test]
+    fn li_chooses_narrow_and_wide_forms() {
+        let p = assemble(".text\nli r1, 5\nli r2, 0x12340000\nli r3, 0x12345678\n").unwrap();
+        assert_eq!(p.text.len(), 1 + 1 + 2);
+    }
+
+    #[test]
+    fn li_negative_value() {
+        let p = assemble(".text\nli r1, -2\nsyscall\n").unwrap();
+        match decode(p.text[0]).unwrap() {
+            Instruction::AluImm { op: AluImmOp::Addi, imm, .. } => assert_eq!(imm as i16, -2),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn branch_offsets_resolve_both_directions() {
+        let p = assemble(
+            ".text\nstart:\nnop\nbeq r1, r2, fwd\nnop\nbne r1, r2, start\nfwd:\nnop\n",
+        )
+        .unwrap();
+        match decode(p.text[1]).unwrap() {
+            Instruction::Branch { offset, .. } => assert_eq!(offset, 2),
+            other => panic!("unexpected {other}"),
+        }
+        match decode(p.text[3]).unwrap() {
+            Instruction::Branch { offset, .. } => assert_eq!(offset, -4),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_reports_line() {
+        let e = assemble(".text\nnop\nj nowhere\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble(".text\nx:\nnop\nx:\nnop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn data_directives_layout() {
+        let p = assemble(
+            ".data\na: .byte 1, 2\nb: .half 0x0304\nc: .word 0x05060708\nd: .space 3\ne: .ascii \"hi\"\n",
+        )
+        .unwrap();
+        // a: 2 bytes, pad to 4? .half aligns to 2 -> b at offset 2.
+        assert_eq!(p.symbol("a"), Some(DATA_BASE));
+        assert_eq!(p.symbol("b"), Some(DATA_BASE + 2));
+        assert_eq!(p.symbol("c"), Some(DATA_BASE + 4));
+        assert_eq!(p.symbol("d"), Some(DATA_BASE + 8));
+        assert_eq!(p.symbol("e"), Some(DATA_BASE + 11));
+        assert_eq!(p.data, vec![1, 2, 4, 3, 8, 7, 6, 5, 0, 0, 0, b'h', b'i']);
+    }
+
+    #[test]
+    fn symbol_plus_offset_operand() {
+        let p = assemble(".text\nla r1, tab+8\n.data\ntab: .space 16\n").unwrap();
+        // lui+ori; ori immediate should be low 16 bits of DATA_BASE+8.
+        match decode(p.text[1]).unwrap() {
+            Instruction::AluImm { op: AluImmOp::Ori, imm, .. } => {
+                assert_eq!(imm as u32, (DATA_BASE + 8) & 0xFFFF);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn pseudo_branches_swap_operands() {
+        let p = assemble(".text\nx: bgt r1, r2, x\n").unwrap();
+        match decode(p.text[0]).unwrap() {
+            Instruction::Branch { cond: BranchCond::Lt, rs, rt, .. } => {
+                assert_eq!(rs, Reg::new(2));
+                assert_eq!(rt, Reg::new(1));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_instruction_in_data_section() {
+        let e = assemble(".data\nadd r1, r2, r3\n").unwrap_err();
+        assert!(e.message.contains(".text"));
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic_and_register() {
+        assert!(assemble(".text\nfrobnicate r1\n").is_err());
+        assert!(assemble(".text\nadd r1, r99, r3\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# header\n.text\n\n  ; note\nnop # trailing\n").unwrap();
+        assert_eq!(p.text.len(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! A compact 32-bit RISC instruction-set architecture used as the software
+//! substrate of the `mbusim` reproduction.
+//!
+//! The paper runs ARMv7 MiBench binaries on gem5; this crate provides the
+//! stand-in ISA: fixed-width 32-bit encodings, 16 architectural registers
+//! (`r0` hardwired to zero), loads/stores with byte/half/word granularity,
+//! compare-and-branch instructions, direct and indirect jumps, and a syscall
+//! instruction used by the thin system layer for program output and exit.
+//!
+//! Components:
+//!
+//! * [`Instruction`] — the decoded instruction forms and their metadata
+//!   (register reads/writes, classes used by the out-of-order core).
+//! * [`encode`]/[`decode`] — binary instruction encoding. Bit flips in the
+//!   instruction cache corrupt these 32-bit words; corrupt encodings either
+//!   decode to *different valid* instructions (silent corruption paths) or
+//!   fail to decode (undefined-instruction traps), exactly the failure modes
+//!   the paper observes for the L1I cache.
+//! * [`asm`] — a two-pass text assembler with labels, data directives and the
+//!   usual pseudo-instructions (`li`, `la`, `mv`, `b`, …).
+//! * [`program`] — the loaded-program image (text/data segments, symbols).
+//! * [`interp`] — a simple architectural interpreter used as the golden model
+//!   in differential tests against the cycle-level core.
+//!
+//! # Example
+//!
+//! ```
+//! use mbu_isa::{asm::assemble, interp::ArchInterpreter};
+//!
+//! let program = assemble(
+//!     r#"
+//!     .text
+//!     main:
+//!         li   r1, 5
+//!         li   r2, 0
+//!     loop:
+//!         add  r2, r2, r1
+//!         addi r1, r1, -1
+//!         bne  r1, zero, loop
+//!         mv   r3, r2          # output 5+4+3+2+1 = 15
+//!         li   r2, 1           # SYS_PUTC
+//!         syscall
+//!         li   r2, 0           # SYS_EXIT
+//!         li   r3, 0
+//!         syscall
+//!     "#,
+//! )?;
+//! let run = ArchInterpreter::new(&program).run(100_000)?;
+//! assert_eq!(run.output, vec![15]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod asm;
+pub mod instr;
+pub mod interp;
+pub mod program;
+
+pub use instr::{decode, encode, BranchCond, DecodeError, Instruction, Reg};
+pub use program::{Program, TEXT_BASE, DATA_BASE, STACK_TOP};
+
+/// Syscall numbers understood by the system layer (placed in `r2`).
+pub mod sys {
+    /// Exit the program; exit code in `r3`.
+    pub const EXIT: u32 = 0;
+    /// Write the low byte of `r3` to the program output stream.
+    pub const PUTC: u32 = 1;
+    /// Write `r3` to the output stream as 4 little-endian bytes.
+    pub const PUTW: u32 = 2;
+}

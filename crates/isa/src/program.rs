@@ -1,0 +1,115 @@
+//! Loaded-program images: text/data segments, entry point and symbol table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Base virtual address of the text (code) segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// Base virtual address of the data segment.
+pub const DATA_BASE: u32 = 0x1000_0000;
+/// Initial stack pointer (stack grows downwards). The top page of the 1 GB
+/// virtual address space is reserved so wild positive offsets off `sp` fault.
+pub const STACK_TOP: u32 = 0x3FFF_F000;
+/// Default stack reservation in bytes.
+pub const STACK_SIZE: u32 = 64 * 1024;
+
+/// An assembled program image ready to be loaded by a simulator.
+///
+/// # Example
+///
+/// ```
+/// use mbu_isa::asm::assemble;
+/// let p = assemble(".text\nmain: syscall\n.data\nx: .word 7\n")?;
+/// assert_eq!(p.text.len(), 1);
+/// assert_eq!(p.symbol("x"), Some(mbu_isa::DATA_BASE));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Encoded instructions, loaded at [`TEXT_BASE`].
+    pub text: Vec<u32>,
+    /// Initialized data bytes, loaded at [`DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Entry point virtual address (the `main` label if present, else
+    /// [`TEXT_BASE`]).
+    pub entry: u32,
+    /// Label → virtual address.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a program from raw segments.
+    pub fn new(text: Vec<u32>, data: Vec<u8>, entry: u32) -> Self {
+        Self { text, data, entry, symbols: BTreeMap::new() }
+    }
+
+    /// Looks up a label address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Size of the text segment in bytes.
+    pub fn text_size(&self) -> u32 {
+        (self.text.len() * 4) as u32
+    }
+
+    /// Size of the initialized data segment in bytes.
+    pub fn data_size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Overwrites `len` bytes of the data segment at `offset` from `bytes`,
+    /// used by workload builders to splice in generated inputs at a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside the data segment.
+    pub fn patch_data(&mut self, offset: usize, bytes: &[u8]) {
+        assert!(
+            offset + bytes.len() <= self.data.len(),
+            "data patch out of range: {}..{} > {}",
+            offset,
+            offset + bytes.len(),
+            self.data.len()
+        );
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program: {} instructions, {} data bytes, entry 0x{:08x}",
+            self.text.len(),
+            self.data.len(),
+            self.entry
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_data_replaces_range() {
+        let mut p = Program::new(vec![], vec![0; 8], TEXT_BASE);
+        p.patch_data(2, &[1, 2, 3]);
+        assert_eq!(p.data, vec![0, 0, 1, 2, 3, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn patch_data_oob_panics() {
+        let mut p = Program::new(vec![], vec![0; 4], TEXT_BASE);
+        p.patch_data(2, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn segment_sizes() {
+        let p = Program::new(vec![0, 0, 0], vec![1, 2], TEXT_BASE);
+        assert_eq!(p.text_size(), 12);
+        assert_eq!(p.data_size(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the ISA: encoding is a bijection on valid
+//! instructions, decoding is total (never panics), and the interpreter
+//! respects architectural invariants on arbitrary straight-line programs.
+
+use mbu_isa::instr::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth, Reg};
+use mbu_isa::interp::{ArchInterpreter, StopReason};
+use mbu_isa::{decode, encode, Program, DATA_BASE, TEXT_BASE};
+use proptest::prelude::*;
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Mul), Just(AluOp::Mulhu),
+        Just(AluOp::Div), Just(AluOp::Divu), Just(AluOp::Rem), Just(AluOp::Remu),
+        Just(AluOp::And), Just(AluOp::Or), Just(AluOp::Xor), Just(AluOp::Nor),
+        Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra), Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+    ]
+}
+
+fn alu_imm_op() -> impl Strategy<Value = AluImmOp> {
+    prop_oneof![
+        Just(AluImmOp::Addi), Just(AluImmOp::Andi), Just(AluImmOp::Ori),
+        Just(AluImmOp::Xori), Just(AluImmOp::Slti), Just(AluImmOp::Sltiu),
+        Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai),
+    ]
+}
+
+fn mem_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)]
+}
+
+fn branch_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq), Just(BranchCond::Ne), Just(BranchCond::Lt),
+        Just(BranchCond::Ge), Just(BranchCond::Ltu), Just(BranchCond::Geu),
+    ]
+}
+
+fn instruction_strategy() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Syscall),
+        (alu_op(), reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(op, rd, rs, rt)| Instruction::Alu { op, rd, rs, rt }),
+        (alu_imm_op(), reg_strategy(), reg_strategy(), any::<u16>())
+            .prop_map(|(op, rd, rs, imm)| Instruction::AluImm { op, rd, rs, imm }),
+        (reg_strategy(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+        (mem_width(), any::<bool>(), reg_strategy(), reg_strategy(), any::<i16>()).prop_map(
+            |(width, signed, rd, rs, offset)| {
+                // LW ignores the signed flag in the encoding.
+                let signed = if width == MemWidth::Word { true } else { signed };
+                Instruction::Load { width, signed, rd, rs, offset }
+            }
+        ),
+        (mem_width(), reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(width, rt, rs, offset)| Instruction::Store { width, rt, rs, offset }),
+        (branch_cond(), reg_strategy(), reg_strategy(), any::<i16>())
+            .prop_map(|(cond, rs, rt, offset)| Instruction::Branch { cond, rs, rt, offset }),
+        (0u32..0x0100_0000).prop_map(|target| Instruction::J { target }),
+        (0u32..0x0100_0000).prop_map(|target| Instruction::Jal { target }),
+        reg_strategy().prop_map(|rs| Instruction::Jr { rs }),
+        (reg_strategy(), reg_strategy()).prop_map(|(rd, rs)| Instruction::Jalr { rd, rs }),
+    ]
+}
+
+proptest! {
+    /// decode ∘ encode = identity on all valid instructions.
+    #[test]
+    fn encode_decode_roundtrip(instr in instruction_strategy()) {
+        prop_assert_eq!(decode(encode(instr)), Ok(instr));
+    }
+
+    /// The decoder is total: any 32-bit word either decodes or returns a
+    /// clean error — it never panics. Successfully decoded words re-encode
+    /// to a word that decodes identically (canonicalization is stable).
+    #[test]
+    fn decode_never_panics_and_reencode_is_stable(word in any::<u32>()) {
+        if let Ok(instr) = decode(word) {
+            let canon = encode(instr);
+            prop_assert_eq!(decode(canon), Ok(instr));
+        }
+    }
+
+    /// Arbitrary straight-line ALU programs never fault, and r0 stays zero.
+    #[test]
+    fn straight_line_alu_programs_run_clean(
+        ops in proptest::collection::vec(
+            (alu_imm_op(), 1u8..16, 1u8..16, any::<u16>()), 1..40
+        )
+    ) {
+        let mut text: Vec<u32> = ops
+            .iter()
+            .map(|&(op, rd, rs, imm)| {
+                encode(Instruction::AluImm { op, rd: Reg::new(rd), rs: Reg::new(rs), imm })
+            })
+            .collect();
+        // exit(0): r2 = 0, r3 = 0, syscall.
+        text.push(encode(Instruction::AluImm { op: AluImmOp::Andi, rd: Reg::new(2), rs: Reg::ZERO, imm: 0 }));
+        text.push(encode(Instruction::AluImm { op: AluImmOp::Andi, rd: Reg::new(3), rs: Reg::ZERO, imm: 0 }));
+        text.push(encode(Instruction::Syscall));
+        let program = Program::new(text, vec![], TEXT_BASE);
+        let run = ArchInterpreter::new(&program).run(10_000).expect("ALU ops cannot fault");
+        prop_assert_eq!(run.stop, StopReason::Exited { code: 0 });
+    }
+
+    /// Memory round-trips through the interpreter: storing then loading any
+    /// word at any aligned data address returns the stored value.
+    #[test]
+    fn interpreter_memory_roundtrip(value in any::<u32>(), slot in 0u32..4096) {
+        let addr = DATA_BASE + slot * 4;
+        let program = Program::new(vec![encode(Instruction::Nop)], vec![], TEXT_BASE);
+        let mut interp = ArchInterpreter::new(&program);
+        interp.memory_mut().map_range(addr, 4);
+        prop_assert!(interp.memory_mut().write_le(addr, 4, value));
+        prop_assert_eq!(interp.memory().read_le(addr, 4), Some(value));
+    }
+
+    /// `AluOp::apply` matches the host semantics for the easy cases.
+    #[test]
+    fn alu_semantics_match_host(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(AluOp::Add.apply(a, b), Some(a.wrapping_add(b)));
+        prop_assert_eq!(AluOp::Xor.apply(a, b), Some(a ^ b));
+        prop_assert_eq!(AluOp::Sltu.apply(a, b), Some((a < b) as u32));
+        prop_assert_eq!(AluOp::Sll.apply(a, b), Some(a.wrapping_shl(b & 31)));
+        if b != 0 {
+            prop_assert_eq!(AluOp::Divu.apply(a, b), Some(a / b));
+            prop_assert_eq!(AluOp::Remu.apply(a, b), Some(a % b));
+        } else {
+            prop_assert_eq!(AluOp::Divu.apply(a, b), None);
+        }
+    }
+}

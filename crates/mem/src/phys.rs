@@ -1,0 +1,201 @@
+//! Physical ("system map") memory.
+//!
+//! The modeled machine has a DRAM of `dram_frames × PAGE_SIZE` starting at
+//! physical address 0. Frames are allocated lazily and read as zero until
+//! first written. Physical addresses beyond the DRAM are **not part of the
+//! system map**: accessing them is an impossible event in a fault-free run
+//! and raises the simulator-assertion failure class, exactly like gem5 does
+//! when a corrupted TLB or cache tag produces such an address (paper §IV.E).
+
+use crate::PAGE_SIZE;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error raised when a physical access leaves the system map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnmappedPhysical {
+    /// The offending physical address.
+    pub pa: u32,
+}
+
+impl fmt::Display for UnmappedPhysical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "physical address 0x{:08x} is outside the system map", self.pa)
+    }
+}
+
+impl std::error::Error for UnmappedPhysical {}
+
+/// Lazily-allocated physical DRAM.
+///
+/// # Example
+///
+/// ```
+/// let mut m = mbu_mem::PhysicalMemory::new(1024); // 256 KB of DRAM
+/// m.write_line(64, &[7; 32])?;
+/// assert_eq!(m.read_line(64)?[0], 7);
+/// assert!(m.read_line(0x0400_0000).is_err()); // beyond DRAM
+/// # Ok::<(), mbu_mem::phys::UnmappedPhysical>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhysicalMemory {
+    dram_frames: u32,
+    frames: BTreeMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl PhysicalMemory {
+    /// Creates a DRAM of `dram_frames` page-sized frames (zero-filled, lazily
+    /// allocated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dram_frames` is zero.
+    pub fn new(dram_frames: u32) -> Self {
+        assert!(dram_frames > 0, "DRAM must have at least one frame");
+        Self { dram_frames, frames: BTreeMap::new() }
+    }
+
+    /// Number of DRAM frames in the system map.
+    pub fn dram_frames(&self) -> u32 {
+        self.dram_frames
+    }
+
+    /// Total DRAM bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_frames as u64 * PAGE_SIZE as u64
+    }
+
+    /// Whether `pa` lies inside the system map.
+    pub fn contains(&self, pa: u32) -> bool {
+        (pa / PAGE_SIZE) < self.dram_frames
+    }
+
+    fn check(&self, pa: u32, len: u32) -> Result<(), UnmappedPhysical> {
+        let end = pa as u64 + len as u64 - 1;
+        if end >= self.dram_bytes() {
+            return Err(UnmappedPhysical { pa });
+        }
+        Ok(())
+    }
+
+    /// Reads one aligned 32-byte line.
+    ///
+    /// # Errors
+    ///
+    /// [`UnmappedPhysical`] if the line is outside the system map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 32-byte aligned.
+    pub fn read_line(&self, pa: u32) -> Result<[u8; 32], UnmappedPhysical> {
+        assert_eq!(pa % 32, 0, "line read must be 32-byte aligned");
+        self.check(pa, 32)?;
+        let mut line = [0u8; 32];
+        if let Some(frame) = self.frames.get(&(pa / PAGE_SIZE)) {
+            let off = (pa % PAGE_SIZE) as usize;
+            line.copy_from_slice(&frame[off..off + 32]);
+        }
+        Ok(line)
+    }
+
+    /// Writes one aligned 32-byte line.
+    ///
+    /// # Errors
+    ///
+    /// [`UnmappedPhysical`] if the line is outside the system map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 32-byte aligned.
+    pub fn write_line(&mut self, pa: u32, line: &[u8; 32]) -> Result<(), UnmappedPhysical> {
+        assert_eq!(pa % 32, 0, "line write must be 32-byte aligned");
+        self.check(pa, 32)?;
+        let frame = self
+            .frames
+            .entry(pa / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        let off = (pa % PAGE_SIZE) as usize;
+        frame[off..off + 32].copy_from_slice(line);
+        Ok(())
+    }
+
+    /// Reads a single byte (test/loader convenience).
+    ///
+    /// # Errors
+    ///
+    /// [`UnmappedPhysical`] if outside the system map.
+    pub fn read_u8(&self, pa: u32) -> Result<u8, UnmappedPhysical> {
+        self.check(pa, 1)?;
+        Ok(self
+            .frames
+            .get(&(pa / PAGE_SIZE))
+            .map(|f| f[(pa % PAGE_SIZE) as usize])
+            .unwrap_or(0))
+    }
+
+    /// Writes a single byte (loader convenience).
+    ///
+    /// # Errors
+    ///
+    /// [`UnmappedPhysical`] if outside the system map.
+    pub fn write_u8(&mut self, pa: u32, value: u8) -> Result<(), UnmappedPhysical> {
+        self.check(pa, 1)?;
+        let frame = self
+            .frames
+            .entry(pa / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        frame[(pa % PAGE_SIZE) as usize] = value;
+        Ok(())
+    }
+
+    /// Number of frames actually allocated (touched) so far.
+    pub fn allocated_frames(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazily_zero_filled() {
+        let m = PhysicalMemory::new(4);
+        assert_eq!(m.read_line(0).unwrap(), [0u8; 32]);
+        assert_eq!(m.allocated_frames(), 0);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut m = PhysicalMemory::new(4);
+        let mut line = [0u8; 32];
+        line[5] = 0xAB;
+        m.write_line(PAGE_SIZE + 32, &line).unwrap();
+        assert_eq!(m.read_line(PAGE_SIZE + 32).unwrap()[5], 0xAB);
+        assert_eq!(m.read_line(PAGE_SIZE).unwrap(), [0u8; 32]);
+        assert_eq!(m.allocated_frames(), 1);
+    }
+
+    #[test]
+    fn outside_system_map_errors() {
+        let mut m = PhysicalMemory::new(2);
+        assert_eq!(m.read_line(2 * PAGE_SIZE), Err(UnmappedPhysical { pa: 2 * PAGE_SIZE }));
+        assert!(m.write_line(0x7FFF_FFE0, &[0; 32]).is_err());
+        assert!(m.read_u8(2 * PAGE_SIZE).is_err());
+    }
+
+    #[test]
+    fn byte_ops() {
+        let mut m = PhysicalMemory::new(1);
+        m.write_u8(100, 42).unwrap();
+        assert_eq!(m.read_u8(100).unwrap(), 42);
+        assert_eq!(m.read_u8(101).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_line_panics() {
+        let m = PhysicalMemory::new(1);
+        let _ = m.read_line(16);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the SRAM bit-array invariants.
+
+use mbu_sram::{BitArray, BitCoord, Geometry, Injectable};
+use proptest::prelude::*;
+
+fn geometry_strategy() -> impl Strategy<Value = Geometry> {
+    (1usize..64, 1usize..200).prop_map(|(r, c)| Geometry::new(r, c))
+}
+
+proptest! {
+    /// (row, col) ↔ linear index is a bijection.
+    #[test]
+    fn linear_index_bijection(g in geometry_strategy(), idx in any::<prop::sample::Index>()) {
+        let i = idx.index(g.total_bits());
+        let (r, c) = g.coordinate(i);
+        prop_assert!(g.contains(r, c));
+        prop_assert_eq!(g.linear_index(r, c), i);
+    }
+
+    /// Flip is an involution: flipping twice restores the array.
+    #[test]
+    fn flip_is_involution(
+        g in geometry_strategy(),
+        seeds in proptest::collection::vec(any::<prop::sample::Index>(), 1..20)
+    ) {
+        let mut a = BitArray::new(g);
+        // Randomize contents first.
+        for (k, s) in seeds.iter().enumerate() {
+            let (r, c) = g.coordinate(s.index(g.total_bits()));
+            a.set(r, c, k % 2 == 0);
+        }
+        let before = a.clone();
+        let coords: Vec<BitCoord> = seeds
+            .iter()
+            .map(|s| {
+                let (r, c) = g.coordinate(s.index(g.total_bits()));
+                BitCoord::new(r, c)
+            })
+            .collect();
+        a.flip_all(coords.clone());
+        a.flip_all(coords);
+        prop_assert_eq!(a, before);
+    }
+
+    /// Word writes read back exactly and do not disturb other rows.
+    #[test]
+    fn word_roundtrip_isolated(
+        rows in 2usize..16,
+        cols in 64usize..128,
+        row in any::<prop::sample::Index>(),
+        col in any::<prop::sample::Index>(),
+        width in 1usize..=64,
+        value in any::<u64>()
+    ) {
+        let g = Geometry::new(rows, cols);
+        let row = row.index(rows);
+        let col = col.index(cols - width + 1);
+        let mut a = BitArray::new(g);
+        let masked = if width == 64 { value } else { value & ((1 << width) - 1) };
+        a.write_word(row, col, width, value);
+        prop_assert_eq!(a.read_word(row, col, width), masked);
+        prop_assert_eq!(a.count_ones(), masked.count_ones() as usize);
+        for other in 0..rows {
+            if other != row {
+                prop_assert_eq!(a.read_word(other, 0, 64.min(cols)), 0);
+            }
+        }
+    }
+
+    /// The Injectable impl agrees with direct flips.
+    #[test]
+    fn injectable_matches_direct_flip(g in geometry_strategy(), idx in any::<prop::sample::Index>()) {
+        let (r, c) = g.coordinate(idx.index(g.total_bits()));
+        let mut a = BitArray::new(g);
+        let mut b = BitArray::new(g);
+        a.flip(r, c);
+        b.inject_flip(BitCoord::new(r, c));
+        prop_assert_eq!(b.injectable_geometry(), g);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Row-bytes round-trip for byte-aligned geometries.
+    #[test]
+    fn row_bytes_roundtrip(rows in 1usize..8, bytes_per_row in 1usize..16, row in any::<prop::sample::Index>(), data in proptest::collection::vec(any::<u8>(), 1..16)) {
+        let g = Geometry::new(rows, bytes_per_row * 8);
+        let row = row.index(rows);
+        let mut a = BitArray::new(g);
+        let mut payload = data;
+        payload.resize(bytes_per_row, 0);
+        a.write_row_bytes(row, &payload);
+        prop_assert_eq!(a.read_row_bytes(row), payload);
+    }
+}

@@ -1,0 +1,44 @@
+//! Developer utility: run one workload on the architectural interpreter and
+//! compare its output with the independent Rust reference.
+//!
+//! ```text
+//! cargo run --release -p mbu-workloads --example check_one -- sha [large]
+//! ```
+
+use mbu_isa::interp::{ArchInterpreter, StopReason};
+use mbu_workloads::{DataSet, Workload};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "sha".into());
+    let w: Workload = name.parse().expect("unknown workload name");
+    let ds = match args.next().as_deref() {
+        Some("large") => DataSet::Large,
+        _ => DataSet::Small,
+    };
+    let p = w.program_with(ds);
+    match ArchInterpreter::new(&p).run(2_000_000_000) {
+        Ok(r) => {
+            println!(
+                "{w} ({ds}): stop={:?} instructions={} output_bytes={}",
+                r.stop,
+                r.instructions,
+                r.output.len()
+            );
+            if r.stop != (StopReason::Exited { code: 0 }) {
+                eprintln!("DID NOT EXIT CLEANLY");
+                std::process::exit(1);
+            }
+            if r.output == w.reference_with(ds) {
+                println!("MATCH");
+            } else {
+                eprintln!("MISMATCH\n sim: {:02x?}\n ref: {:02x?}", r.output, w.reference_with(ds));
+                std::process::exit(1);
+            }
+        }
+        Err(t) => {
+            eprintln!("TRAP: {t}");
+            std::process::exit(1);
+        }
+    }
+}

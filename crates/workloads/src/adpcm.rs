@@ -1,0 +1,234 @@
+//! adpcm_dec (telecomm): IMA ADPCM decoder over 4096 (small) / 16384
+//! (large) nibbles of compressed audio, with the standard step-size and
+//! index tables.
+
+use crate::gen::{bytes, checksum_words, words, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+fn nibble_bytes(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 2048, // 4096 samples
+        DataSet::Large => 8192, // 16384 samples
+    }
+}
+
+/// The standard IMA step-size table (89 entries).
+const STEP_TABLE: [u32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// The standard IMA index-adjust table.
+const INDEX_TABLE: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+fn input(ds: DataSet) -> Vec<u8> {
+    let mut rng = Xorshift32::new(0xADCD_0013);
+    (0..nibble_bytes(ds)).map(|_| rng.next_u8()).collect()
+}
+
+fn decode(data: &[u8]) -> Vec<i32> {
+    let mut predictor: i32 = 0;
+    let mut index: i32 = 0;
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for byte in data {
+        for nib in [byte & 0xF, byte >> 4] {
+            let step = STEP_TABLE[index as usize] as i32;
+            let mut diff = step >> 3;
+            if nib & 1 != 0 {
+                diff += step >> 2;
+            }
+            if nib & 2 != 0 {
+                diff += step >> 1;
+            }
+            if nib & 4 != 0 {
+                diff += step;
+            }
+            if nib & 8 != 0 {
+                predictor -= diff;
+            } else {
+                predictor += diff;
+            }
+            predictor = predictor.clamp(-32768, 32767);
+            index = (index + INDEX_TABLE[nib as usize]).clamp(0, 88);
+            out.push(predictor);
+        }
+    }
+    out
+}
+
+/// Reference: checksum of all PCM samples plus every 512th sample.
+pub fn reference(ds: DataSet) -> Vec<u8> {
+    let pcm = decode(&input(ds));
+    let mut out = Vec::new();
+    out.extend_from_slice(&checksum_words(pcm.iter().map(|v| *v as u32)).to_le_bytes());
+    for i in (0..pcm.len()).step_by(512) {
+        out.extend_from_slice(&(pcm[i] as u32).to_le_bytes());
+    }
+    out
+}
+
+/// The assembled decoder program.
+pub fn program(ds: DataSet) -> Program {
+    let nb = nibble_bytes(ds);
+    let idx_tab: Vec<u32> = INDEX_TABLE.iter().map(|v| *v as u32).collect();
+    // Registers: r1 = input ptr, r3 = bytes left, r4 = predictor, r5 = index,
+    // r6 = nibble, r7 = step, r8 = diff, r9..r11 = temps, r12 = pcm out ptr,
+    // r13 = nibble selector (0 = low, 1 = high).
+    let src = format!(
+        r#"
+.text
+main:
+    la   r1, data
+    li   r3, {nbytes}
+    li   r4, 0               # predictor
+    li   r5, 0               # index
+    la   r12, pcm
+byte_loop:
+    lbu  r9, 0(r1)
+    li   r13, 0
+nib_loop:
+    beqz r13, low_nib
+    srli r6, r9, 4
+    b    have_nib
+low_nib:
+    andi r6, r9, 0xF
+have_nib:
+    # step = stepTab[index]
+    la   r10, steptab
+    slli r7, r5, 2
+    add  r7, r10, r7
+    lw   r7, 0(r7)
+    # diff = step>>3 (+ step>>2 if b0) (+ step>>1 if b1) (+ step if b2)
+    srli r8, r7, 3
+    andi r10, r6, 1
+    beqz r10, no_b0
+    srli r10, r7, 2
+    add  r8, r8, r10
+no_b0:
+    andi r10, r6, 2
+    beqz r10, no_b1
+    srli r10, r7, 1
+    add  r8, r8, r10
+no_b1:
+    andi r10, r6, 4
+    beqz r10, no_b2
+    add  r8, r8, r7
+no_b2:
+    andi r10, r6, 8
+    beqz r10, add_diff
+    sub  r4, r4, r8
+    b    clamp_pred
+add_diff:
+    add  r4, r4, r8
+clamp_pred:
+    li   r10, 32767
+    ble  r4, r10, not_hi
+    mv   r4, r10
+not_hi:
+    li   r10, -32768
+    bge  r4, r10, not_lo
+    mv   r4, r10
+not_lo:
+    # index += idxTab[nib], clamp 0..88
+    la   r10, idxtab
+    slli r11, r6, 2
+    add  r10, r10, r11
+    lw   r10, 0(r10)
+    add  r5, r5, r10
+    bgez r5, idx_not_neg
+    li   r5, 0
+idx_not_neg:
+    li   r10, 88
+    ble  r5, r10, idx_ok
+    mv   r5, r10
+idx_ok:
+    sw   r4, 0(r12)
+    addi r12, r12, 4
+    addi r13, r13, 1
+    li   r10, 2
+    blt  r13, r10, nib_loop
+    addi r1, r1, 1
+    addi r3, r3, -1
+    bnez r3, byte_loop
+    # ---- checksum all samples + every 512th
+    la   r12, pcm
+    li   r3, {nsamples}
+    li   r4, 0
+cksum:
+    lw   r9, 0(r12)
+    li   r10, 31
+    mul  r4, r4, r10
+    add  r4, r4, r9
+    addi r12, r12, 4
+    addi r3, r3, -1
+    bnez r3, cksum
+    li   r2, 2
+    mv   r3, r4
+    syscall
+    la   r12, pcm
+    li   r4, 0
+samples:
+    slli r9, r4, 2
+    add  r9, r12, r9
+    lw   r3, 0(r9)
+    syscall
+    addi r4, r4, 512
+    li   r9, {nsamples}
+    blt  r4, r9, samples
+{EXIT0}
+.data
+steptab:
+{steps}
+idxtab:
+{idx}
+data:
+{data}
+pcm:
+    .space {pcm_bytes}
+"#,
+        nbytes = nb,
+        nsamples = nb * 2,
+        pcm_bytes = nb * 2 * 4,
+        steps = words(&STEP_TABLE),
+        idx = words(&idx_tab),
+        data = bytes(&input(ds)),
+    );
+    assemble(&src).expect("adpcm workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_tracks_a_known_sequence() {
+        // Magnitude-7 nibbles add step>>3 + step>>2 + step>>1 + step.
+        let pcm = decode(&[0x77, 0x77]);
+        assert_eq!(pcm.len(), 4);
+        assert!(pcm.iter().all(|&v| v > 0), "positive nibbles move the predictor up");
+        assert!(pcm.windows(2).all(|w| w[0] < w[1]), "index growth accelerates the predictor");
+        // Sign bit (8) moves the predictor down.
+        let pcm = decode(&[0x88]);
+        assert!(pcm[1] <= pcm[0]);
+    }
+
+    #[test]
+    fn predictor_stays_clamped() {
+        for ds in [DataSet::Small, DataSet::Large] {
+            let pcm = decode(&input(ds));
+            assert!(pcm.iter().all(|&v| (-32768..=32767).contains(&v)));
+            assert_eq!(pcm.len(), nibble_bytes(ds) * 2);
+        }
+    }
+
+    #[test]
+    fn step_table_is_monotonic() {
+        assert!(STEP_TABLE.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,194 @@
+//! basicmath (automotive): integer square roots (shift-based), GCDs
+//! (Euclid with hardware remainder) and degree→radian fixed-point
+//! conversions — the paper's basicmath mix of simple math kernels.
+
+use crate::gen::{checksum_words, words, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+fn counts(ds: DataSet) -> (usize, usize, usize) {
+    match ds {
+        DataSet::Small => (400, 200, 360),
+        DataSet::Large => (1600, 800, 1440),
+    }
+}
+
+/// π/180 in Q26 (matches the assembly constant).
+const DEG2RAD_Q26: u32 = 1_171_027;
+
+fn sqrt_inputs(ds: DataSet) -> Vec<u32> {
+    let mut rng = Xorshift32::new(0xBA51_0017);
+    (0..counts(ds).0).map(|_| rng.next_u32() & 0x3FFF_FFFF).collect()
+}
+
+fn gcd_inputs(ds: DataSet) -> Vec<u32> {
+    let mut rng = Xorshift32::new(0xBA51_0019);
+    (0..counts(ds).1 * 2).map(|_| 1 + (rng.next_u32() & 0x000F_FFFF)).collect()
+}
+
+/// Shift-based integer square root (no division).
+fn isqrt(mut v: u32) -> u32 {
+    let mut res = 0u32;
+    let mut bit = 1u32 << 30;
+    while bit > v {
+        bit >>= 2;
+    }
+    while bit != 0 {
+        if v >= res + bit {
+            v -= res + bit;
+            res = (res >> 1) + bit;
+        } else {
+            res >>= 1;
+        }
+        bit >>= 2;
+    }
+    res
+}
+
+fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Reference: one checksum per kernel.
+pub fn reference(ds: DataSet) -> Vec<u8> {
+    let c1 = checksum_words(sqrt_inputs(ds).iter().map(|&v| isqrt(v)));
+    let pairs = gcd_inputs(ds);
+    let c2 = checksum_words(pairs.chunks(2).map(|p| gcd(p[0], p[1])));
+    let c3 = checksum_words((0..counts(ds).2 as u32).map(|d| d.wrapping_mul(DEG2RAD_Q26) >> 10));
+    [c1, c2, c3].iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// The assembled basicmath program.
+pub fn program(ds: DataSet) -> Program {
+    let (n_sqrt, n_gcd, n_deg) = counts(ds);
+    let src = format!(
+        r#"
+.text
+main:
+    # ================= kernel 1: integer square roots =================
+    la   r1, sq_in
+    li   r3, {nsqrt}
+    li   r4, 0               # checksum
+sq_loop:
+    lw   r5, 0(r1)           # v
+    li   r6, 0               # res
+    li   r7, 0x40000000      # bit
+find_bit:
+    bleu r7, r5, have_bit
+    srli r7, r7, 2
+    b    find_bit
+have_bit:
+    beqz r7, sq_done
+sq_iter:
+    add  r8, r6, r7          # res + bit
+    bltu r5, r8, sq_smaller
+    sub  r5, r5, r8
+    srli r6, r6, 1
+    add  r6, r6, r7
+    b    sq_next
+sq_smaller:
+    srli r6, r6, 1
+sq_next:
+    srli r7, r7, 2
+    bnez r7, sq_iter
+sq_done:
+    li   r8, 31
+    mul  r4, r4, r8
+    add  r4, r4, r6
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, sq_loop
+    li   r2, 2
+    mv   r3, r4
+    syscall
+    # ================= kernel 2: GCDs =================
+    la   r1, gcd_in
+    li   r3, {ngcd}
+    li   r4, 0
+gcd_loop:
+    lw   r5, 0(r1)           # a
+    lw   r6, 4(r1)           # b
+euclid:
+    beqz r6, gcd_done
+    remu r7, r5, r6
+    mv   r5, r6
+    mv   r6, r7
+    b    euclid
+gcd_done:
+    li   r8, 31
+    mul  r4, r4, r8
+    add  r4, r4, r5
+    addi r1, r1, 8
+    addi r3, r3, -1
+    bnez r3, gcd_loop
+    li   r2, 2
+    mv   r3, r4
+    syscall
+    # ================= kernel 3: degree -> radian (Q26 -> Q16) ========
+    li   r3, 0               # deg
+    li   r4, 0
+    li   r9, {dr}
+deg_loop:
+    mul  r5, r3, r9
+    srli r5, r5, 10
+    li   r8, 31
+    mul  r4, r4, r8
+    add  r4, r4, r5
+    addi r3, r3, 1
+    li   r8, {ndeg}
+    blt  r3, r8, deg_loop
+    li   r2, 2
+    mv   r3, r4
+    syscall
+{EXIT0}
+.data
+sq_in:
+{sq}
+gcd_in:
+{gc}
+"#,
+        nsqrt = n_sqrt,
+        ngcd = n_gcd,
+        ndeg = n_deg,
+        dr = DEG2RAD_Q26,
+        sq = words(&sqrt_inputs(ds)),
+        gc = words(&gcd_inputs(ds)),
+    );
+    assemble(&src).expect("basicmath workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_is_exact_floor_sqrt() {
+        for v in [0u32, 1, 2, 3, 4, 15, 16, 17, 999, 1 << 20, u32::MAX >> 2] {
+            let r = isqrt(v);
+            assert!(r as u64 * r as u64 <= v as u64);
+            assert!((r as u64 + 1) * (r as u64 + 1) > v as u64, "isqrt({v}) = {r}");
+        }
+    }
+
+    #[test]
+    fn gcd_basic_properties() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+    }
+
+    #[test]
+    fn deg2rad_approximates_pi() {
+        // 180 degrees -> pi in Q16: (180*Q26)>>10 ≈ 3.14159 * 65536.
+        let rad = (180u32 * DEG2RAD_Q26) >> 10;
+        let pi_q16 = (std::f64::consts::PI * 65536.0) as u32;
+        assert!((rad as i64 - pi_q16 as i64).abs() < 64);
+    }
+}

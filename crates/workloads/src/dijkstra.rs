@@ -1,0 +1,237 @@
+//! dijkstra (network): single-source shortest paths over a dense 48-node
+//! (small) / 96-node (large) weighted graph (adjacency matrix, O(N²) scan),
+//! from three sources.
+
+use crate::gen::{checksum_words, words, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+const INF: u32 = 0x0FFF_FFFF;
+const SOURCES: [usize; 3] = [0, 7, 23];
+
+fn nodes(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 48,
+        DataSet::Large => 96,
+    }
+}
+
+/// Adjacency matrix: ~35 % density, weights 1..100, `INF` elsewhere.
+fn matrix(ds: DataSet) -> Vec<u32> {
+    let n = nodes(ds);
+    let mut rng = Xorshift32::new(0xD1_4C57);
+    let mut m = vec![INF; n * n];
+    for i in 0..n {
+        m[i * n + i] = 0;
+        for j in 0..n {
+            if i != j && rng.below(100) < 35 {
+                m[i * n + j] = 1 + rng.below(100);
+            }
+        }
+    }
+    m
+}
+
+fn dijkstra(m: &[u32], src: usize, n: usize) -> Vec<u32> {
+    let mut dist = vec![INF; n];
+    let mut visited = vec![false; n];
+    dist[src] = 0;
+    for _ in 0..n {
+        // Pick the unvisited node with the smallest distance.
+        let mut best = usize::MAX;
+        let mut best_d = INF;
+        for v in 0..n {
+            if !visited[v] && dist[v] < best_d {
+                best_d = dist[v];
+                best = v;
+            }
+        }
+        if best == usize::MAX {
+            break;
+        }
+        visited[best] = true;
+        for v in 0..n {
+            let w = m[best * n + v];
+            if w != INF && dist[best] + w < dist[v] {
+                dist[v] = dist[best] + w;
+            }
+        }
+    }
+    dist
+}
+
+/// Reference: per source, checksum of the distance vector.
+pub fn reference(ds: DataSet) -> Vec<u8> {
+    let m = matrix(ds);
+    SOURCES
+        .iter()
+        .flat_map(|&s| checksum_words(dijkstra(&m, s, nodes(ds))).to_le_bytes())
+        .collect()
+}
+
+/// The assembled Dijkstra program.
+pub fn program(ds: DataSet) -> Program {
+    let n = nodes(ds);
+    // Registers: r1 = matrix, r4 = outer counter, r5 = v, r6 = best,
+    // r7 = best_d, r8..r11 temps, r12 = dist base, r13 = visited base.
+    // The source list is iterated by the outermost loop with r3.
+    let src_list = SOURCES.map(|s| s as u32);
+    let src = format!(
+        r#"
+.text
+main:
+    la   r1, mat
+    li   r3, 0               # source index
+src_loop:
+    # ---- init dist=INF, visited=0
+    la   r12, dist
+    la   r13, visited
+    li   r5, {n}
+    li   r8, {inf}
+init:
+    sw   r8, 0(r12)
+    sw   zero, 0(r13)
+    addi r12, r12, 4
+    addi r13, r13, 4
+    addi r5, r5, -1
+    bnez r5, init
+    # dist[src] = 0
+    la   r9, srcs
+    slli r10, r3, 2
+    add  r9, r9, r10
+    lw   r9, 0(r9)           # src node
+    la   r12, dist
+    slli r10, r9, 2
+    add  r10, r12, r10
+    sw   zero, 0(r10)
+    # ---- main loop: N iterations
+    li   r4, {n}
+outer:
+    # pick unvisited min
+    li   r6, -1              # best
+    li   r7, {inf}           # best_d
+    li   r5, 0
+pick:
+    la   r13, visited
+    slli r8, r5, 2
+    add  r9, r13, r8
+    lw   r9, 0(r9)
+    bnez r9, pick_next
+    la   r12, dist
+    add  r9, r12, r8
+    lw   r9, 0(r9)
+    bgeu r9, r7, pick_next
+    mv   r7, r9
+    mv   r6, r5
+pick_next:
+    addi r5, r5, 1
+    li   r8, {n}
+    blt  r5, r8, pick
+    li   r8, -1
+    beq  r6, r8, relax_done  # no reachable unvisited node
+    # visited[best] = 1
+    la   r13, visited
+    slli r8, r6, 2
+    add  r9, r13, r8
+    li   r10, 1
+    sw   r10, 0(r9)
+    # relax neighbours: row base = mat + best*N*4
+    li   r8, {row_bytes}
+    mul  r8, r6, r8
+    add  r8, r1, r8          # row ptr
+    la   r12, dist
+    slli r9, r6, 2
+    add  r9, r12, r9
+    lw   r7, 0(r9)           # dist[best]
+    li   r5, 0
+relax:
+    slli r9, r5, 2
+    add  r10, r8, r9
+    lw   r10, 0(r10)         # w
+    li   r11, {inf}
+    beq  r10, r11, relax_next
+    add  r10, r10, r7        # cand = dist[best] + w
+    add  r11, r12, r9
+    lw   r9, 0(r11)          # dist[v]
+    bgeu r10, r9, relax_next
+    sw   r10, 0(r11)
+relax_next:
+    addi r5, r5, 1
+    li   r9, {n}
+    blt  r5, r9, relax
+    addi r4, r4, -1
+    bnez r4, outer
+relax_done:
+    # ---- checksum dist vector
+    la   r12, dist
+    li   r5, {n}
+    li   r7, 0
+cksum:
+    lw   r8, 0(r12)
+    li   r9, 31
+    mul  r7, r7, r9
+    add  r7, r7, r8
+    addi r12, r12, 4
+    addi r5, r5, -1
+    bnez r5, cksum
+    li   r2, 2
+    # preserve r3 across syscall: r3 is the argument register, so spill
+    mv   r9, r3
+    mv   r3, r7
+    syscall
+    mv   r3, r9
+    addi r3, r3, 1
+    li   r8, {nsrc}
+    blt  r3, r8, src_loop
+{EXIT0}
+.data
+srcs:
+{srcs}
+mat:
+{mat}
+dist:
+    .space {dist_bytes}
+visited:
+    .space {dist_bytes}
+"#,
+        n = n,
+        inf = INF,
+        row_bytes = n * 4,
+        nsrc = SOURCES.len(),
+        dist_bytes = n * 4,
+        srcs = words(&src_list),
+        mat = words(&matrix(ds)),
+    );
+    assemble(&src).expect("dijkstra workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_satisfy_triangle_property() {
+        for ds in [DataSet::Small, DataSet::Large] {
+            let n = nodes(ds);
+            let m = matrix(ds);
+            let d = dijkstra(&m, 0, n);
+            assert_eq!(d[0], 0);
+            // Every edge must be relaxed: d[v] <= d[u] + w(u,v).
+            for u in 0..n {
+                for v in 0..n {
+                    let w = m[u * n + v];
+                    if w != INF && d[u] != INF {
+                        assert!(d[v] <= d[u] + w, "edge ({u},{v}) not relaxed");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_has_three_checksums() {
+        assert_eq!(reference(DataSet::Small).len(), 12);
+        assert_eq!(reference(DataSet::Large).len(), 12);
+    }
+}

@@ -1,0 +1,324 @@
+//! FFT (telecomm): 256-point (small) / 1024-point (large) radix-2
+//! decimation-in-time fixed-point FFT.
+//!
+//! Q15 arithmetic with per-stage scaling (each butterfly output is halved)
+//! so intermediate values never overflow 32 bits. The twiddle tables are
+//! computed host-side (the paper's workload links a math library; ours
+//! embeds the tables as data).
+
+use crate::gen::{checksum_words, words, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+fn log2n(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 8,  // 256 points
+        DataSet::Large => 10, // 1024 points
+    }
+}
+
+fn points(ds: DataSet) -> usize {
+    1 << log2n(ds)
+}
+
+/// Input: Q15 mix of two sines plus small noise (stored sign-extended in
+/// 32-bit words).
+fn input_re(ds: DataSet) -> Vec<i32> {
+    let n = points(ds);
+    let mut rng = Xorshift32::new(0xFF7_0009);
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            let s = 0.5 * (2.0 * std::f64::consts::PI * 5.0 * t).sin()
+                + 0.25 * (2.0 * std::f64::consts::PI * 23.0 * t).sin();
+            let noise = (rng.below(401) as i32 - 200) as f64 / 32768.0;
+            ((s + noise) * 16384.0).round() as i32
+        })
+        .collect()
+}
+
+/// Twiddle factors `w_k = exp(-2πik/N)` in Q15, for `k` in `0..N/2`.
+fn twiddles(n: usize) -> (Vec<i32>, Vec<i32>) {
+    let mut re = Vec::with_capacity(n / 2);
+    let mut im = Vec::with_capacity(n / 2);
+    for k in 0..n / 2 {
+        let th = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        re.push((th.cos() * 32767.0).round() as i32);
+        im.push((-th.sin() * 32767.0).round() as i32);
+    }
+    (re, im)
+}
+
+fn bitrev(mut x: usize, bits: usize) -> usize {
+    let mut r = 0;
+    for _ in 0..bits {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    r
+}
+
+/// Reference fixed-point FFT, arithmetic identical to the assembly kernel.
+fn fft_fixed(re: &mut [i32], im: &mut [i32], bits: usize) {
+    let n = 1 << bits;
+    let (twr, twi) = twiddles(n);
+    for i in 0..n {
+        let j = bitrev(i, bits);
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut m = 2;
+    while m <= n {
+        let half = m / 2;
+        let stride = n / m;
+        let mut k = 0;
+        while k < n {
+            for j in 0..half {
+                let w_re = twr[j * stride];
+                let w_im = twi[j * stride];
+                let br = re[k + j + half];
+                let bi = im[k + j + half];
+                let tr = (w_re.wrapping_mul(br).wrapping_sub(w_im.wrapping_mul(bi))) >> 15;
+                let ti = (w_re.wrapping_mul(bi).wrapping_add(w_im.wrapping_mul(br))) >> 15;
+                let ar = re[k + j];
+                let ai = im[k + j];
+                re[k + j + half] = ar.wrapping_sub(tr) >> 1;
+                im[k + j + half] = ai.wrapping_sub(ti) >> 1;
+                re[k + j] = ar.wrapping_add(tr) >> 1;
+                im[k + j] = ai.wrapping_add(ti) >> 1;
+            }
+            k += m;
+        }
+        m *= 2;
+    }
+}
+
+/// Reference output: checksums of both halves plus the first 8 real bins.
+pub fn reference(ds: DataSet) -> Vec<u8> {
+    let mut re = input_re(ds);
+    let mut im = vec![0i32; points(ds)];
+    fft_fixed(&mut re, &mut im, log2n(ds));
+    let mut out = Vec::new();
+    out.extend_from_slice(&checksum_words(re.iter().map(|v| *v as u32)).to_le_bytes());
+    out.extend_from_slice(&checksum_words(im.iter().map(|v| *v as u32)).to_le_bytes());
+    for v in re.iter().take(8) {
+        out.extend_from_slice(&(*v as u32).to_le_bytes());
+    }
+    out
+}
+
+/// The assembled FFT program.
+pub fn program(ds: DataSet) -> Program {
+    let re: Vec<u32> = input_re(ds).iter().map(|v| *v as u32).collect();
+    let (twr, twi) = twiddles(points(ds));
+    let twr: Vec<u32> = twr.iter().map(|v| *v as u32).collect();
+    let twi: Vec<u32> = twi.iter().map(|v| *v as u32).collect();
+    let src = format!(
+        r#"
+.text
+main:
+    # ---- bit-reversal permutation
+    li   r4, 0               # i
+brv_loop:
+    mv   r5, r4
+    li   r6, 0               # rev
+    li   r7, {log2n}
+brv_bits:
+    slli r6, r6, 1
+    andi r8, r5, 1
+    or   r6, r6, r8
+    srli r5, r5, 1
+    addi r7, r7, -1
+    bnez r7, brv_bits
+    bge  r4, r6, brv_next    # swap only when i < rev
+    la   r1, re
+    slli r8, r4, 2
+    add  r8, r1, r8
+    slli r9, r6, 2
+    add  r9, r1, r9
+    lw   r10, 0(r8)
+    lw   r11, 0(r9)
+    sw   r11, 0(r8)
+    sw   r10, 0(r9)
+    la   r1, im
+    slli r8, r4, 2
+    add  r8, r1, r8
+    slli r9, r6, 2
+    add  r9, r1, r9
+    lw   r10, 0(r8)
+    lw   r11, 0(r9)
+    sw   r11, 0(r8)
+    sw   r10, 0(r9)
+brv_next:
+    addi r4, r4, 1
+    li   r8, {n}
+    blt  r4, r8, brv_loop
+    # ---- stages: m = 2, 4, ..., N
+    li   r3, 2               # m
+stage_loop:
+    srli r4, r3, 1           # half
+    li   r5, 0               # k
+k_loop:
+    li   r6, 0               # j
+j_loop:
+    # stride = N/m; tw index = j * stride
+    li   r8, {n}
+    divu r8, r8, r3
+    mul  r8, r8, r6
+    slli r8, r8, 2
+    la   r9, twr
+    add  r9, r9, r8
+    lw   r10, 0(r9)          # w_re
+    la   r9, twi
+    add  r9, r9, r8
+    lw   r11, 0(r9)          # w_im
+    # load b = (re,im)[k+j+half]
+    add  r7, r5, r6
+    add  r7, r7, r4          # k+j+half
+    slli r7, r7, 2
+    la   r9, re
+    add  r9, r9, r7
+    lw   r12, 0(r9)          # br
+    la   r9, im
+    add  r9, r9, r7
+    lw   r13, 0(r9)          # bi
+    # tr = (w_re*br - w_im*bi) >> 15 ; ti = (w_re*bi + w_im*br) >> 15
+    mul  r8, r10, r12
+    mul  r9, r11, r13
+    sub  r8, r8, r9
+    srai r8, r8, 15          # tr
+    mul  r9, r10, r13
+    mul  r10, r11, r12
+    add  r9, r9, r10
+    srai r9, r9, 15          # ti
+    # load a = (re,im)[k+j]
+    add  r7, r5, r6
+    slli r7, r7, 2
+    la   r10, re
+    add  r10, r10, r7
+    lw   r11, 0(r10)         # ar
+    # re[k+j] = (ar+tr)>>1 ; re[k+j+half] = (ar-tr)>>1
+    add  r12, r11, r8
+    srai r12, r12, 1
+    sw   r12, 0(r10)
+    sub  r12, r11, r8
+    srai r12, r12, 1
+    slli r13, r4, 2
+    add  r10, r10, r13
+    sw   r12, 0(r10)
+    la   r10, im
+    add  r10, r10, r7
+    lw   r11, 0(r10)         # ai
+    add  r12, r11, r9
+    srai r12, r12, 1
+    sw   r12, 0(r10)
+    sub  r12, r11, r9
+    srai r12, r12, 1
+    add  r10, r10, r13
+    sw   r12, 0(r10)
+    addi r6, r6, 1
+    blt  r6, r4, j_loop
+    add  r5, r5, r3
+    li   r8, {n}
+    blt  r5, r8, k_loop
+    slli r3, r3, 1
+    li   r8, {n}
+    ble  r3, r8, stage_loop
+    # ---- checksums of re and im
+    la   r1, re
+    jal  cksum
+    mv   r12, r3
+    la   r1, im
+    jal  cksum
+    mv   r13, r3
+    li   r2, 2
+    mv   r3, r12
+    syscall
+    mv   r3, r13
+    syscall
+    # first 8 real bins
+    la   r1, re
+    li   r4, 8
+bins:
+    lw   r3, 0(r1)
+    syscall
+    addi r1, r1, 4
+    addi r4, r4, -1
+    bnez r4, bins
+{EXIT0}
+cksum:
+    # r1 = base; returns checksum in r3
+    li   r3, 0
+    li   r5, {n}
+ck_loop:
+    lw   r6, 0(r1)
+    li   r7, 31
+    mul  r3, r3, r7
+    add  r3, r3, r6
+    addi r1, r1, 4
+    addi r5, r5, -1
+    bnez r5, ck_loop
+    jr   ra
+.data
+re:
+{re_data}
+im:
+    .space {im_bytes}
+twr:
+{twr_data}
+twi:
+{twi_data}
+"#,
+        n = points(ds),
+        log2n = log2n(ds),
+        im_bytes = points(ds) * 4,
+        re_data = words(&re),
+        twr_data = words(&twr),
+        twi_data = words(&twi),
+    );
+    assemble(&src).expect("fft workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_finds_the_input_tones() {
+        let ds = DataSet::Small;
+        let mut re = input_re(ds);
+        let mut im = vec![0i32; points(ds)];
+        fft_fixed(&mut re, &mut im, log2n(ds));
+        // Magnitude² at the 5-cycle bin must dominate a quiet bin.
+        let mag2 = |k: usize| {
+            let r = re[k] as i64;
+            let i = im[k] as i64;
+            r * r + i * i
+        };
+        assert!(mag2(5) > 16 * mag2(50), "bin 5 = {}, bin 50 = {}", mag2(5), mag2(50));
+        assert!(mag2(23) > 4 * mag2(50));
+    }
+
+    #[test]
+    fn bitrev_is_an_involution() {
+        for bits in [8, 10] {
+            for i in 0..(1usize << bits) {
+                assert_eq!(bitrev(bitrev(i, bits), bits), i);
+            }
+        }
+    }
+
+    #[test]
+    fn values_stay_bounded() {
+        let ds = DataSet::Large;
+        let mut re = input_re(ds);
+        let mut im = vec![0i32; points(ds)];
+        fft_fixed(&mut re, &mut im, log2n(ds));
+        for v in re.iter().chain(im.iter()) {
+            assert!(v.abs() <= 40000, "per-stage scaling keeps Q15 range: {v}");
+        }
+    }
+}

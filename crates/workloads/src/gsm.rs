@@ -1,0 +1,192 @@
+//! gsm_dec (telecomm): GSM-style short-term synthesis — an 8th-order
+//! reflection-coefficient lattice filter reconstructing PCM from residual
+//! frames, the computational core of the GSM 06.10 decoder.
+
+use crate::gen::{checksum_words, words, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+const ORDER: usize = 8;
+const FRAME: usize = 160;
+
+fn nframes(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 6,
+        DataSet::Large => 24,
+    }
+}
+
+/// Reflection coefficients per frame, Q15, |r| ≤ 0.5 for stability.
+fn coefficients(ds: DataSet) -> Vec<i32> {
+    let mut rng = Xorshift32::new(0x650_0023);
+    (0..nframes(ds) * ORDER)
+        .map(|_| rng.below(32768) as i32 - 16384)
+        .collect()
+}
+
+/// Residual excitation samples, small Q15 values.
+fn residual(ds: DataSet) -> Vec<i32> {
+    let mut rng = Xorshift32::new(0x650_0029);
+    (0..nframes(ds) * FRAME)
+        .map(|_| rng.below(4096) as i32 - 2048)
+        .collect()
+}
+
+/// The lattice synthesis step, arithmetic identical to the assembly
+/// (wrapping 32-bit, Q15 products).
+fn synthesize(ds: DataSet) -> Vec<i32> {
+    let coef = coefficients(ds);
+    let res = residual(ds);
+    let mut v = [0i32; ORDER + 1];
+    let mut out = Vec::with_capacity(res.len());
+    for f in 0..nframes(ds) {
+        let rp = &coef[f * ORDER..(f + 1) * ORDER];
+        for s in 0..FRAME {
+            let mut sri = res[f * FRAME + s];
+            for i in (0..ORDER).rev() {
+                sri = sri.wrapping_sub(rp[i].wrapping_mul(v[i]) >> 15);
+                v[i + 1] = v[i].wrapping_add(rp[i].wrapping_mul(sri) >> 15);
+            }
+            v[0] = sri;
+            out.push(sri);
+        }
+    }
+    out
+}
+
+/// Reference: checksum of the synthesized PCM plus every 160th sample.
+pub fn reference(ds: DataSet) -> Vec<u8> {
+    let pcm = synthesize(ds);
+    let mut out = Vec::new();
+    out.extend_from_slice(&checksum_words(pcm.iter().map(|v| *v as u32)).to_le_bytes());
+    for i in (0..pcm.len()).step_by(FRAME) {
+        out.extend_from_slice(&(pcm[i] as u32).to_le_bytes());
+    }
+    out
+}
+
+/// The assembled decoder program.
+pub fn program(ds: DataSet) -> Program {
+    let nf = nframes(ds);
+    let coef: Vec<u32> = coefficients(ds).iter().map(|v| *v as u32).collect();
+    let res: Vec<u32> = residual(ds).iter().map(|v| *v as u32).collect();
+    // Registers: r1 = residual ptr, r3 = frame counter, r4 = sample counter,
+    // r5 = sri, r6 = i, r7 = rp base (this frame), r8..r11 temps,
+    // r12 = v base, r13 = output ptr.
+    let src = format!(
+        r#"
+.text
+main:
+    la   r1, res
+    la   r7, coef
+    la   r13, pcm
+    li   r3, {nframes}
+frame_loop:
+    li   r4, {frame}
+sample_loop:
+    lw   r5, 0(r1)           # sri = residual
+    addi r1, r1, 4
+    li   r6, {order_minus_1} # i = ORDER-1
+lattice:
+    slli r8, r6, 2
+    add  r9, r7, r8
+    lw   r9, 0(r9)           # rp[i]
+    la   r12, vbuf
+    add  r10, r12, r8
+    lw   r11, 0(r10)         # v[i]
+    mul  r11, r9, r11
+    srai r11, r11, 15
+    sub  r5, r5, r11         # sri -= rp[i]*v[i] >> 15
+    mul  r11, r9, r5
+    srai r11, r11, 15
+    lw   r9, 0(r10)          # v[i] again
+    add  r11, r9, r11
+    sw   r11, 4(r10)         # v[i+1] = v[i] + rp[i]*sri >> 15
+    addi r6, r6, -1
+    bgez r6, lattice
+    la   r12, vbuf
+    sw   r5, 0(r12)          # v[0] = sri
+    sw   r5, 0(r13)
+    addi r13, r13, 4
+    addi r4, r4, -1
+    bnez r4, sample_loop
+    addi r7, r7, {order_bytes}
+    addi r3, r3, -1
+    bnez r3, frame_loop
+    # ---- checksum + per-frame samples
+    la   r13, pcm
+    li   r3, {total}
+    li   r4, 0
+cksum:
+    lw   r8, 0(r13)
+    li   r9, 31
+    mul  r4, r4, r9
+    add  r4, r4, r8
+    addi r13, r13, 4
+    addi r3, r3, -1
+    bnez r3, cksum
+    li   r2, 2
+    mv   r3, r4
+    syscall
+    la   r13, pcm
+    li   r4, 0
+samples:
+    slli r8, r4, 2
+    add  r8, r13, r8
+    lw   r3, 0(r8)
+    syscall
+    addi r4, r4, {frame}
+    li   r8, {total}
+    blt  r4, r8, samples
+{EXIT0}
+.data
+coef:
+{coef}
+res:
+{res}
+vbuf:
+    .space {vbytes}
+pcm:
+    .space {pcm_bytes}
+"#,
+        nframes = nf,
+        frame = FRAME,
+        order_minus_1 = ORDER - 1,
+        order_bytes = ORDER * 4,
+        total = nf * FRAME,
+        vbytes = (ORDER + 1) * 4,
+        pcm_bytes = nf * FRAME * 4,
+        coef = words(&coef),
+        res = words(&res),
+    );
+    assemble(&src).expect("gsm workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_residual_yields_zero_output() {
+        // With v initialized to zero and zero excitation the lattice is
+        // quiescent: check via a local run of the same arithmetic.
+        let coef = coefficients(DataSet::Small);
+        let mut v = [0i32; ORDER + 1];
+        let rp = &coef[..ORDER];
+        let mut sri = 0i32;
+        for i in (0..ORDER).rev() {
+            sri = sri.wrapping_sub(rp[i].wrapping_mul(v[i]) >> 15);
+            v[i + 1] = v[i].wrapping_add(rp[i].wrapping_mul(sri) >> 15);
+        }
+        assert_eq!(sri, 0);
+        assert!(v.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn output_is_bounded_with_stable_coefficients() {
+        let pcm = synthesize(DataSet::Small);
+        assert_eq!(pcm.len(), nframes(DataSet::Small) * FRAME);
+        assert!(pcm.iter().all(|v| v.abs() < 1 << 20), "stable lattice stays bounded");
+    }
+}

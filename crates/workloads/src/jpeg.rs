@@ -1,0 +1,563 @@
+//! cjpeg / djpeg (consumer): the JPEG computational core — 8×8 fixed-point
+//! forward DCT + quantization (encode) and dequantization + inverse DCT
+//! (decode) with the standard luminance quantization table.
+//!
+//! The DCT is a Q12 cosine-matrix product, `G = C·f·Cᵀ`, with explicit
+//! rounding after each pass so the Rust reference and the assembly kernel
+//! perform bit-identical arithmetic. Entropy coding is omitted (the
+//! MiBench hotspot is the DCT/quantization pipeline).
+
+use crate::gen::{bytes, checksum_words, words, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+/// Standard JPEG luminance quantization table (row-major).
+const QTAB: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Q12 DCT basis: `C[u][x] = alpha(u) * cos((2x+1)uπ/16) * 4096`.
+fn dct_matrix() -> [i32; 64] {
+    let mut c = [0i32; 64];
+    for u in 0..8 {
+        let alpha = if u == 0 { (1.0f64 / 8.0).sqrt() } else { 0.5 };
+        for x in 0..8 {
+            let v = alpha
+                * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            c[u * 8 + x] = (v * 4096.0).round() as i32;
+        }
+    }
+    c
+}
+
+const ROUND_Q12: i32 = 2048;
+
+/// Forward DCT + quantization of one level-shifted block, bit-identical to
+/// the assembly.
+fn fdct_quant(block: &[i32; 64]) -> [i32; 64] {
+    let c = dct_matrix();
+    // Pass 1: t[u][y] = round(Σ_x C[u][x] * f[x][y]).
+    let mut t = [0i32; 64];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0i32;
+            for x in 0..8 {
+                acc = acc.wrapping_add(c[u * 8 + x].wrapping_mul(block[x * 8 + y]));
+            }
+            t[u * 8 + y] = acc.wrapping_add(ROUND_Q12) >> 12;
+        }
+    }
+    // Pass 2: G[u][v] = round(Σ_y t[u][y] * C[v][y]), then quantize.
+    let mut q = [0i32; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0i32;
+            for y in 0..8 {
+                acc = acc.wrapping_add(t[u * 8 + y].wrapping_mul(c[v * 8 + y]));
+            }
+            let g = acc.wrapping_add(ROUND_Q12) >> 12;
+            q[u * 8 + v] = g / QTAB[u * 8 + v];
+        }
+    }
+    q
+}
+
+/// Dequantization + inverse DCT, producing clamped pixels, bit-identical to
+/// the assembly (`f = Cᵀ·G·C`).
+fn dequant_idct(q: &[i32; 64]) -> [i32; 64] {
+    let c = dct_matrix();
+    let mut g = [0i32; 64];
+    for i in 0..64 {
+        g[i] = q[i].wrapping_mul(QTAB[i]);
+    }
+    // Pass 1: t[x][v] = round(Σ_u C[u][x] * G[u][v]).
+    let mut t = [0i32; 64];
+    for x in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0i32;
+            for u in 0..8 {
+                acc = acc.wrapping_add(c[u * 8 + x].wrapping_mul(g[u * 8 + v]));
+            }
+            t[x * 8 + v] = acc.wrapping_add(ROUND_Q12) >> 12;
+        }
+    }
+    // Pass 2: f[x][y] = round(Σ_v t[x][v] * C[v][y]) + 128, clamped.
+    let mut f = [0i32; 64];
+    for x in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0i32;
+            for v in 0..8 {
+                acc = acc.wrapping_add(t[x * 8 + v].wrapping_mul(c[v * 8 + y]));
+            }
+            let p = (acc.wrapping_add(ROUND_Q12) >> 12) + 128;
+            f[x * 8 + y] = p.clamp(0, 255);
+        }
+    }
+    f
+}
+
+fn c_w(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 24, // 9 blocks
+        DataSet::Large => 48, // 36 blocks
+    }
+}
+
+fn d_w(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 16, // 4 blocks
+        DataSet::Large => 32, // 16 blocks
+    }
+}
+
+fn image(width: usize, seed: u32) -> Vec<u8> {
+    let mut rng = Xorshift32::new(seed);
+    (0..width * width)
+        .map(|i| {
+            let (x, y) = (i % width, i / width);
+            let base = (x * 5 + y * 3) as u32 % 200;
+            (base + rng.below(56)) as u8
+        })
+        .collect()
+}
+
+fn encode_image(img: &[u8], width: usize) -> Vec<i32> {
+    let blocks = width / 8;
+    let mut out = Vec::with_capacity(width * width);
+    for by in 0..blocks {
+        for bx in 0..blocks {
+            let mut f = [0i32; 64];
+            for x in 0..8 {
+                for y in 0..8 {
+                    f[x * 8 + y] = img[(by * 8 + x) * width + bx * 8 + y] as i32 - 128;
+                }
+            }
+            out.extend_from_slice(&fdct_quant(&f));
+        }
+    }
+    out
+}
+
+/// Reference cjpeg output: coefficient checksum and nonzero count.
+pub fn cjpeg_reference(ds: DataSet) -> Vec<u8> {
+    let w = c_w(ds);
+    let coeffs = encode_image(&image(w, 0x17E6_0031), w);
+    let nz = coeffs.iter().filter(|&&v| v != 0).count() as u32;
+    let mut out = checksum_words(coeffs.iter().map(|v| *v as u32)).to_le_bytes().to_vec();
+    out.extend_from_slice(&nz.to_le_bytes());
+    out
+}
+
+/// Reference djpeg output: decoded-pixel checksum and 4 sample pixels.
+pub fn djpeg_reference(ds: DataSet) -> Vec<u8> {
+    let w = d_w(ds);
+    let coeffs = encode_image(&image(w, 0x17E6_0037), w);
+    let mut pixels = Vec::new();
+    for block in coeffs.chunks(64) {
+        let mut q = [0i32; 64];
+        q.copy_from_slice(block);
+        pixels.extend_from_slice(&dequant_idct(&q));
+    }
+    let mut out = checksum_words(pixels.iter().map(|v| *v as u32)).to_le_bytes().to_vec();
+    for i in [0usize, 63, 128, 255] {
+        out.extend_from_slice(&(pixels[i] as u32).to_le_bytes());
+    }
+    out
+}
+
+/// Shared assembly for the two matrix passes of the forward DCT + quant.
+///
+/// Block layout in memory (all word arrays): `fbuf[64]` input, `tbuf[64]`
+/// intermediate, `qout` destination pointer advanced per block.
+fn cjpeg_asm(width: usize) -> String {
+    let nblocks = (width / 8) * (width / 8);
+    format!(
+        r#"
+.text
+main:
+    li   r3, 0               # block index
+block_loop:
+    # ---- gather the 8x8 block, level-shifted: fbuf[x*8+y] = img[...]-128
+    # block row = (block / (W/8)) * 8, block col = (block % (W/8)) * 8
+    li   r8, {bw}
+    divu r4, r3, r8          # by
+    remu r5, r3, r8          # bx
+    li   r6, 0               # x
+gather_x:
+    li   r7, 0               # y
+gather_y:
+    slli r9, r4, 3
+    add  r9, r9, r6          # by*8 + x
+    li   r10, {w}
+    mul  r9, r9, r10
+    slli r10, r5, 3
+    add  r9, r9, r10
+    add  r9, r9, r7          # + bx*8 + y
+    la   r10, img
+    add  r9, r10, r9
+    lbu  r9, 0(r9)
+    addi r9, r9, -128
+    slli r10, r6, 3
+    add  r10, r10, r7
+    slli r10, r10, 2
+    la   r11, fbuf
+    add  r10, r11, r10
+    sw   r9, 0(r10)
+    addi r7, r7, 1
+    li   r9, 8
+    blt  r7, r9, gather_y
+    addi r6, r6, 1
+    li   r9, 8
+    blt  r6, r9, gather_x
+    # ---- pass 1: t[u][y] = (sum_x C[u][x]*f[x][y] + 2048) >> 12
+    li   r6, 0               # u
+p1_u:
+    li   r7, 0               # y
+p1_y:
+    li   r12, 0              # acc
+    li   r8, 0               # x
+p1_x:
+    slli r9, r6, 3
+    add  r9, r9, r8
+    slli r9, r9, 2
+    la   r10, cmat
+    add  r9, r10, r9
+    lw   r9, 0(r9)           # C[u][x]
+    slli r10, r8, 3
+    add  r10, r10, r7
+    slli r10, r10, 2
+    la   r11, fbuf
+    add  r10, r11, r10
+    lw   r10, 0(r10)         # f[x][y]
+    mul  r9, r9, r10
+    add  r12, r12, r9
+    addi r8, r8, 1
+    li   r9, 8
+    blt  r8, r9, p1_x
+    li   r9, 2048
+    add  r12, r12, r9
+    srai r12, r12, 12
+    slli r9, r6, 3
+    add  r9, r9, r7
+    slli r9, r9, 2
+    la   r10, tbuf
+    add  r9, r10, r9
+    sw   r12, 0(r9)
+    addi r7, r7, 1
+    li   r9, 8
+    blt  r7, r9, p1_y
+    addi r6, r6, 1
+    li   r9, 8
+    blt  r6, r9, p1_u
+    # ---- pass 2 + quant: q = ((sum_y t[u][y]*C[v][y] + 2048) >> 12) / Q[u][v]
+    li   r6, 0               # u
+p2_u:
+    li   r7, 0               # v
+p2_v:
+    li   r12, 0
+    li   r8, 0               # y
+p2_y:
+    slli r9, r6, 3
+    add  r9, r9, r8
+    slli r9, r9, 2
+    la   r10, tbuf
+    add  r9, r10, r9
+    lw   r9, 0(r9)           # t[u][y]
+    slli r10, r7, 3
+    add  r10, r10, r8
+    slli r10, r10, 2
+    la   r11, cmat
+    add  r10, r11, r10
+    lw   r10, 0(r10)         # C[v][y]
+    mul  r9, r9, r10
+    add  r12, r12, r9
+    addi r8, r8, 1
+    li   r9, 8
+    blt  r8, r9, p2_y
+    li   r9, 2048
+    add  r12, r12, r9
+    srai r12, r12, 12
+    slli r9, r6, 3
+    add  r9, r9, r7
+    slli r9, r9, 2
+    la   r10, qtab
+    add  r10, r10, r9
+    lw   r10, 0(r10)
+    div  r12, r12, r10       # quantize
+    # ---- fold into checksum and nonzero count (r13 = cksum, kept in mem)
+    la   r10, acc
+    lw   r11, 0(r10)         # checksum
+    li   r9, 31
+    mul  r11, r11, r9
+    add  r11, r11, r12
+    sw   r11, 0(r10)
+    beqz r12, p2_zero
+    lw   r11, 4(r10)
+    addi r11, r11, 1
+    sw   r11, 4(r10)
+p2_zero:
+    addi r7, r7, 1
+    li   r9, 8
+    blt  r7, r9, p2_v
+    addi r6, r6, 1
+    li   r9, 8
+    blt  r6, r9, p2_u
+    addi r3, r3, 1
+    li   r9, {nblocks}
+    blt  r3, r9, block_loop
+    la   r10, acc
+    li   r2, 2
+    lw   r3, 0(r10)
+    syscall
+    lw   r3, 4(r10)
+    syscall
+{EXIT0}
+.data
+cmat:
+{cmat}
+qtab:
+{qtab}
+acc:
+    .word 0, 0
+fbuf:
+    .space 256
+tbuf:
+    .space 256
+img:
+{img}
+"#,
+        w = width,
+        bw = width / 8,
+        nblocks = nblocks,
+        cmat = words(&dct_matrix().map(|v| v as u32)),
+        qtab = words(&QTAB.map(|v| v as u32)),
+        img = bytes(&image(width, 0x17E6_0031)),
+    )
+}
+
+/// The assembled cjpeg (encode) program.
+pub fn cjpeg_program(ds: DataSet) -> Program {
+    assemble(&cjpeg_asm(c_w(ds))).expect("cjpeg workload must assemble")
+}
+
+/// The assembled djpeg (decode) program: dequantize + inverse DCT the
+/// host-encoded coefficients of a 16×16 image.
+pub fn djpeg_program(ds: DataSet) -> Program {
+    let w = d_w(ds);
+    let coeffs = encode_image(&image(w, 0x17E6_0037), w);
+    let nblocks = coeffs.len() / 64;
+    let src = format!(
+        r#"
+.text
+main:
+    li   r3, 0               # block index
+block_loop:
+    # ---- dequantize into fbuf: g[i] = q[i] * Qtab[i]
+    slli r4, r3, 8           # block * 64 words * 4 bytes
+    la   r5, coeffs
+    add  r4, r5, r4          # block base
+    li   r6, 0
+dq_loop:
+    slli r7, r6, 2
+    add  r8, r4, r7
+    lw   r8, 0(r8)
+    la   r9, qtab
+    add  r9, r9, r7
+    lw   r9, 0(r9)
+    mul  r8, r8, r9
+    la   r9, fbuf
+    add  r9, r9, r7
+    sw   r8, 0(r9)
+    addi r6, r6, 1
+    li   r7, 64
+    blt  r6, r7, dq_loop
+    # ---- pass 1: t[x][v] = (sum_u C[u][x]*G[u][v] + 2048) >> 12
+    li   r6, 0               # x
+i1_x:
+    li   r7, 0               # v
+i1_v:
+    li   r12, 0
+    li   r8, 0               # u
+i1_u:
+    slli r9, r8, 3
+    add  r9, r9, r6
+    slli r9, r9, 2
+    la   r10, cmat
+    add  r9, r10, r9
+    lw   r9, 0(r9)           # C[u][x]
+    slli r10, r8, 3
+    add  r10, r10, r7
+    slli r10, r10, 2
+    la   r11, fbuf
+    add  r10, r11, r10
+    lw   r10, 0(r10)         # G[u][v]
+    mul  r9, r9, r10
+    add  r12, r12, r9
+    addi r8, r8, 1
+    li   r9, 8
+    blt  r8, r9, i1_u
+    li   r9, 2048
+    add  r12, r12, r9
+    srai r12, r12, 12
+    slli r9, r6, 3
+    add  r9, r9, r7
+    slli r9, r9, 2
+    la   r10, tbuf
+    add  r9, r10, r9
+    sw   r12, 0(r9)
+    addi r7, r7, 1
+    li   r9, 8
+    blt  r7, r9, i1_v
+    addi r6, r6, 1
+    li   r9, 8
+    blt  r6, r9, i1_x
+    # ---- pass 2: f[x][y] = clamp(((sum_v t[x][v]*C[v][y]+2048)>>12)+128)
+    li   r6, 0               # x
+i2_x:
+    li   r7, 0               # y
+i2_y:
+    li   r12, 0
+    li   r8, 0               # v
+i2_v:
+    slli r9, r6, 3
+    add  r9, r9, r8
+    slli r9, r9, 2
+    la   r10, tbuf
+    add  r9, r10, r9
+    lw   r9, 0(r9)           # t[x][v]
+    slli r10, r8, 3
+    add  r10, r10, r7
+    slli r10, r10, 2
+    la   r11, cmat
+    add  r10, r11, r10
+    lw   r10, 0(r10)         # C[v][y]
+    mul  r9, r9, r10
+    add  r12, r12, r9
+    addi r8, r8, 1
+    li   r9, 8
+    blt  r8, r9, i2_v
+    li   r9, 2048
+    add  r12, r12, r9
+    srai r12, r12, 12
+    addi r12, r12, 128
+    bgez r12, i2_pos
+    li   r12, 0
+i2_pos:
+    li   r9, 255
+    ble  r12, r9, i2_ok
+    mv   r12, r9
+i2_ok:
+    # store pixel into out buffer at block*64 + x*8 + y
+    slli r9, r3, 8
+    la   r10, pix
+    add  r10, r10, r9
+    slli r9, r6, 3
+    add  r9, r9, r7
+    slli r9, r9, 2
+    add  r10, r10, r9
+    sw   r12, 0(r10)
+    addi r7, r7, 1
+    li   r9, 8
+    blt  r7, r9, i2_y
+    addi r6, r6, 1
+    li   r9, 8
+    blt  r6, r9, i2_x
+    addi r3, r3, 1
+    li   r9, {nblocks}
+    blt  r3, r9, block_loop
+    # ---- checksum + samples 0, 63, 128, 255
+    la   r4, pix
+    li   r3, {npix}
+    li   r5, 0
+cksum:
+    lw   r6, 0(r4)
+    li   r7, 31
+    mul  r5, r5, r7
+    add  r5, r5, r6
+    addi r4, r4, 4
+    addi r3, r3, -1
+    bnez r3, cksum
+    li   r2, 2
+    mv   r3, r5
+    syscall
+    la   r4, pix
+    lw   r3, 0(r4)
+    syscall
+    lw   r3, 252(r4)
+    syscall
+    lw   r3, 512(r4)
+    syscall
+    lw   r3, 1020(r4)
+    syscall
+{EXIT0}
+.data
+cmat:
+{cmat}
+qtab:
+{qtab}
+coeffs:
+{coeffs}
+fbuf:
+    .space 256
+tbuf:
+    .space 256
+pix:
+    .space {pix_bytes}
+"#,
+        nblocks = nblocks,
+        npix = nblocks * 64,
+        pix_bytes = nblocks * 64 * 4,
+        cmat = words(&dct_matrix().map(|v| v as u32)),
+        qtab = words(&QTAB.map(|v| v as u32)),
+        coeffs = words(&coeffs.iter().map(|v| *v as u32).collect::<Vec<_>>()),
+    );
+    assemble(&src).expect("djpeg workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_of_flat_block_is_dc_only() {
+        let f = [50i32; 64];
+        let q = fdct_quant(&f);
+        // DC = 8 * 50 / alpha scaling -> 400-ish before quant; AC all ~0.
+        assert!(q[0] != 0, "DC survives quantization");
+        assert!(q[1..].iter().all(|&v| v.abs() <= 1), "AC nearly zero for flat input");
+    }
+
+    #[test]
+    fn roundtrip_error_is_small() {
+        // Encode then decode a smooth block: pixels within quantization error.
+        let mut f = [0i32; 64];
+        for x in 0..8 {
+            for y in 0..8 {
+                f[x * 8 + y] = (x * 7 + y * 5) as i32 - 30;
+            }
+        }
+        let q = fdct_quant(&f);
+        let out = dequant_idct(&q);
+        for i in 0..64 {
+            let err = (out[i] - (f[i] + 128)).abs();
+            assert!(err <= 24, "pixel {i}: {} vs {} (err {err})", out[i], f[i] + 128);
+        }
+    }
+
+    #[test]
+    fn idct_output_is_clamped() {
+        let w = d_w(DataSet::Small);
+        let coeffs = encode_image(&image(w, 0x17E6_0037), w);
+        let mut q = [0i32; 64];
+        q.copy_from_slice(&coeffs[..64]);
+        assert!(dequant_idct(&q).iter().all(|&p| (0..=255).contains(&p)));
+    }
+}

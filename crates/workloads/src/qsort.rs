@@ -1,0 +1,155 @@
+//! qsort (automotive): iterative quicksort of a 768-word (small) /
+//! 3072-word (large) array with an explicit range stack (Lomuto partition).
+//!
+//! Faults that corrupt partition indices or the range stack can make the
+//! sort loop re-push ranges indefinitely — the paper observes qsort's
+//! characteristic timeout rates (5.5–12 %) for exactly this reason.
+
+use crate::gen::{checksum_words, words, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+fn n(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 768,
+        DataSet::Large => 3072,
+    }
+}
+
+fn input(ds: DataSet) -> Vec<u32> {
+    let mut rng = Xorshift32::new(0x9507_0011);
+    (0..n(ds)).map(|_| rng.next_u32() & 0x00FF_FFFF).collect()
+}
+
+/// Reference: sort and emit checksum + every 64th element.
+pub fn reference(ds: DataSet) -> Vec<u8> {
+    let mut v = input(ds);
+    v.sort_unstable();
+    let mut out = Vec::new();
+    out.extend_from_slice(&checksum_words(v.iter().copied()).to_le_bytes());
+    for i in (0..n(ds)).step_by(64) {
+        out.extend_from_slice(&v[i].to_le_bytes());
+    }
+    out
+}
+
+/// The assembled quicksort program.
+pub fn program(ds: DataSet) -> Program {
+    let n = n(ds);
+    // Registers: r1 = arr base, r4 = lo, r5 = hi, r6 = i, r7 = j,
+    // r8 = pivot, r9/r10/r11 = temps, r12 = stack ptr (range stack),
+    // r13 = stack base.
+    let src = format!(
+        r#"
+.text
+main:
+    la   r1, arr
+    la   r13, qstack
+    mv   r12, r13
+    li   r4, 0
+    li   r5, {last}
+    sw   r4, 0(r12)          # push (0, N-1)
+    sw   r5, 4(r12)
+    addi r12, r12, 8
+pop_loop:
+    beq  r12, r13, done      # stack empty?
+    addi r12, r12, -8
+    lw   r4, 0(r12)          # lo
+    lw   r5, 4(r12)          # hi
+    bge  r4, r5, pop_loop
+    # ---- Lomuto partition: pivot = arr[hi]
+    slli r9, r5, 2
+    add  r9, r1, r9
+    lw   r8, 0(r9)           # pivot
+    addi r6, r4, -1          # i = lo-1
+    mv   r7, r4              # j = lo
+part_loop:
+    bge  r7, r5, part_done
+    slli r9, r7, 2
+    add  r9, r1, r9
+    lw   r10, 0(r9)          # arr[j]
+    bgtu r10, r8, no_swap    # unsigned compare vs pivot
+    addi r6, r6, 1
+    slli r11, r6, 2
+    add  r11, r1, r11
+    lw   r2, 0(r11)          # arr[i]
+    sw   r10, 0(r11)
+    sw   r2, 0(r9)
+no_swap:
+    addi r7, r7, 1
+    b    part_loop
+part_done:
+    addi r6, r6, 1           # p = i+1
+    slli r9, r6, 2
+    add  r9, r1, r9
+    lw   r10, 0(r9)          # arr[p]
+    slli r11, r5, 2
+    add  r11, r1, r11
+    lw   r2, 0(r11)          # arr[hi]
+    sw   r10, 0(r11)
+    sw   r2, 0(r9)
+    # ---- push (lo, p-1) and (p+1, hi)
+    addi r9, r6, -1
+    sw   r4, 0(r12)
+    sw   r9, 4(r12)
+    addi r12, r12, 8
+    addi r9, r6, 1
+    sw   r9, 0(r12)
+    sw   r5, 4(r12)
+    addi r12, r12, 8
+    b    pop_loop
+done:
+    # ---- checksum = fold(sum*31 + v) and samples
+    li   r4, {n}
+    li   r5, 0               # checksum
+    mv   r9, r1
+cksum:
+    lw   r10, 0(r9)
+    li   r11, 31
+    mul  r5, r5, r11
+    add  r5, r5, r10
+    addi r9, r9, 4
+    addi r4, r4, -1
+    bnez r4, cksum
+    li   r2, 2
+    mv   r3, r5
+    syscall
+    li   r4, 0
+samples:
+    slli r9, r4, 2
+    add  r9, r1, r9
+    lw   r3, 0(r9)
+    syscall
+    addi r4, r4, 64
+    li   r9, {n}
+    blt  r4, r9, samples
+{EXIT0}
+.data
+arr:
+{data}
+qstack:
+    .space {stack_bytes}
+"#,
+        last = n - 1,
+        n = n,
+        stack_bytes = (n + 8) * 8,
+        data = words(&input(ds)),
+    );
+    assemble(&src).expect("qsort workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_output_is_sorted_samples() {
+        let out = reference(DataSet::Small);
+        // 4-byte checksum + N/64 samples.
+        assert_eq!(out.len(), 4 + (n(DataSet::Small) / 64) * 4);
+        let s0 = u32::from_le_bytes([out[4], out[5], out[6], out[7]]);
+        let s1 = u32::from_le_bytes([out[8], out[9], out[10], out[11]]);
+        assert!(s0 <= s1, "samples from a sorted array must be ordered");
+    }
+}

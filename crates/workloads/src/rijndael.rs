@@ -1,0 +1,522 @@
+//! rijndael_dec (security): AES-128 ECB decryption of 24 (small) / 96
+//! (large) blocks.
+//!
+//! The ciphertext and the expanded key schedule are produced host-side by an
+//! independent Rust AES implementation (the paper's workload reads key and
+//! ciphertext from files); the assembly program implements the full
+//! InvCipher: AddRoundKey, InvShiftRows ∘ InvSubBytes (fused through a
+//! permutation table), and table-driven InvMixColumns (GF(2⁸) multiply
+//! tables for 9, 11, 13, 14).
+
+use crate::gen::{bytes, checksum_words, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+fn nblocks(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 24,
+        DataSet::Large => 96,
+    }
+}
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &v) in SBOX.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ if x & 0x80 != 0 { 0x1B } else { 0 }
+}
+
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+fn mul_table(k: u8) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    for (i, slot) in t.iter_mut().enumerate() {
+        *slot = gf_mul(i as u8, k);
+    }
+    t
+}
+
+/// AES-128 key expansion: 11 round keys of 16 bytes.
+fn expand_key(key: &[u8; 16]) -> [u8; 176] {
+    let mut w = [0u8; 176];
+    w[..16].copy_from_slice(key);
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut t = [w[4 * i - 4], w[4 * i - 3], w[4 * i - 2], w[4 * i - 1]];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = SBOX[*b as usize];
+            }
+            t[0] ^= rcon;
+            rcon = xtime(rcon);
+        }
+        for j in 0..4 {
+            w[4 * i + j] = w[4 * (i - 4) + j] ^ t[j];
+        }
+    }
+    w
+}
+
+fn encrypt_block(block: &mut [u8; 16], keys: &[u8; 176]) {
+    let add_rk = |s: &mut [u8; 16], r: usize| {
+        for i in 0..16 {
+            s[i] ^= keys[r * 16 + i];
+        }
+    };
+    let sub = |s: &mut [u8; 16]| {
+        for b in s.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    };
+    // Column-major state: s[4*c + r] = byte r of column c.
+    let shift_rows = |s: &mut [u8; 16]| {
+        let t = *s;
+        for c in 0..4 {
+            for r in 0..4 {
+                s[4 * c + r] = t[4 * ((c + r) % 4) + r];
+            }
+        }
+    };
+    let mix = |s: &mut [u8; 16]| {
+        for c in 0..4 {
+            let a: [u8; 4] = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+            s[4 * c] = gf_mul(a[0], 2) ^ gf_mul(a[1], 3) ^ a[2] ^ a[3];
+            s[4 * c + 1] = a[0] ^ gf_mul(a[1], 2) ^ gf_mul(a[2], 3) ^ a[3];
+            s[4 * c + 2] = a[0] ^ a[1] ^ gf_mul(a[2], 2) ^ gf_mul(a[3], 3);
+            s[4 * c + 3] = gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ gf_mul(a[3], 2);
+        }
+    };
+    add_rk(block, 0);
+    for r in 1..10 {
+        sub(block);
+        shift_rows(block);
+        mix(block);
+        add_rk(block, r);
+    }
+    sub(block);
+    shift_rows(block);
+    add_rk(block, 10);
+}
+
+/// Reference decryption (inverse of [`encrypt_block`]), used both for the
+/// expected output and in tests.
+fn decrypt_block(block: &mut [u8; 16], keys: &[u8; 176]) {
+    let inv = inv_sbox();
+    let add_rk = |s: &mut [u8; 16], r: usize| {
+        for i in 0..16 {
+            s[i] ^= keys[r * 16 + i];
+        }
+    };
+    let inv_sub = |s: &mut [u8; 16]| {
+        for b in s.iter_mut() {
+            *b = inv[*b as usize];
+        }
+    };
+    let inv_shift_rows = |s: &mut [u8; 16]| {
+        let t = *s;
+        for c in 0..4 {
+            for r in 0..4 {
+                s[4 * ((c + r) % 4) + r] = t[4 * c + r];
+            }
+        }
+    };
+    let inv_mix = |s: &mut [u8; 16]| {
+        for c in 0..4 {
+            let a: [u8; 4] = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+            s[4 * c] = gf_mul(a[0], 14) ^ gf_mul(a[1], 11) ^ gf_mul(a[2], 13) ^ gf_mul(a[3], 9);
+            s[4 * c + 1] =
+                gf_mul(a[0], 9) ^ gf_mul(a[1], 14) ^ gf_mul(a[2], 11) ^ gf_mul(a[3], 13);
+            s[4 * c + 2] =
+                gf_mul(a[0], 13) ^ gf_mul(a[1], 9) ^ gf_mul(a[2], 14) ^ gf_mul(a[3], 11);
+            s[4 * c + 3] =
+                gf_mul(a[0], 11) ^ gf_mul(a[1], 13) ^ gf_mul(a[2], 9) ^ gf_mul(a[3], 14);
+        }
+    };
+    add_rk(block, 10);
+    for r in (1..10).rev() {
+        inv_shift_rows(block);
+        inv_sub(block);
+        add_rk(block, r);
+        inv_mix(block);
+    }
+    inv_shift_rows(block);
+    inv_sub(block);
+    add_rk(block, 0);
+}
+
+fn key() -> [u8; 16] {
+    *b"mbusim-aes-key01"
+}
+
+fn plaintext(ds: DataSet) -> Vec<u8> {
+    let mut rng = Xorshift32::new(0xAE5_0041);
+    (0..nblocks(ds) * 16).map(|_| rng.next_u8()).collect()
+}
+
+fn ciphertext(ds: DataSet) -> Vec<u8> {
+    let keys = expand_key(&key());
+    let mut data = plaintext(ds);
+    for chunk in data.chunks_mut(16) {
+        let mut b = [0u8; 16];
+        b.copy_from_slice(chunk);
+        encrypt_block(&mut b, &keys);
+        chunk.copy_from_slice(&b);
+    }
+    data
+}
+
+/// Reference output: checksum over the decrypted plaintext plus its first
+/// two words. Computed by actually decrypting the embedded ciphertext with
+/// the independent Rust implementation (tests additionally check that the
+/// decryption equals the original plaintext).
+pub fn reference(ds: DataSet) -> Vec<u8> {
+    let keys = expand_key(&key());
+    let mut p = ciphertext(ds);
+    for chunk in p.chunks_mut(16) {
+        let mut b = [0u8; 16];
+        b.copy_from_slice(chunk);
+        decrypt_block(&mut b, &keys);
+        chunk.copy_from_slice(&b);
+    }
+    let word = |i: usize| u32::from_le_bytes([p[i], p[i + 1], p[i + 2], p[i + 3]]);
+    let mut out = checksum_words(p.chunks(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .to_le_bytes()
+        .to_vec();
+    out.extend_from_slice(&word(0).to_le_bytes());
+    out.extend_from_slice(&word(4).to_le_bytes());
+    out
+}
+
+/// Combined `InvShiftRows ∘ InvSubBytes` source permutation:
+/// `new[dst] = inv_sbox[old[perm[dst]]]` with column-major state layout.
+fn inv_shift_perm() -> [u8; 16] {
+    // InvShiftRows maps old[4c + r] -> new[4((c+r)%4) + r];
+    // so new[4c + r] = old[4((c - r) mod 4) + r].
+    let mut p = [0u8; 16];
+    for c in 0..4usize {
+        for r in 0..4usize {
+            p[4 * c + r] = (4 * ((c + 4 - r) % 4) + r) as u8;
+        }
+    }
+    p
+}
+
+/// The assembled decryption program.
+pub fn program(ds: DataSet) -> Program {
+    let keys = expand_key(&key());
+    // Registers: r1 = block ptr (in-place state), r3 = block counter,
+    // r4 = round, r5 = key ptr, r6..r11 temps, r12/r13 base pointers.
+    let src = format!(
+        r#"
+.text
+main:
+    la   r1, ct
+    li   r3, {nblocks}
+block_loop:
+    # ---- AddRoundKey(10)
+    la   r5, keys
+    addi r5, r5, 160
+    jal  add_rk
+    li   r4, 9
+round_loop:
+    jal  inv_sr_sb           # InvShiftRows + InvSubBytes into state
+    slli r5, r4, 4
+    la   r6, keys
+    add  r5, r6, r5
+    jal  add_rk
+    jal  inv_mix
+    addi r4, r4, -1
+    bnez r4, round_loop
+    jal  inv_sr_sb
+    la   r5, keys
+    jal  add_rk
+    addi r1, r1, 16
+    addi r3, r3, -1
+    bnez r3, block_loop
+    # ---- checksum the decrypted buffer (as LE words) + first two words
+    la   r1, ct
+    li   r3, {nwords}
+    li   r4, 0
+cksum:
+    lw   r6, 0(r1)
+    li   r7, 31
+    mul  r4, r4, r7
+    add  r4, r4, r6
+    addi r1, r1, 4
+    addi r3, r3, -1
+    bnez r3, cksum
+    li   r2, 2
+    mv   r3, r4
+    syscall
+    la   r1, ct
+    lw   r3, 0(r1)
+    syscall
+    lw   r3, 4(r1)
+    syscall
+{EXIT0}
+
+# ---- state ^= round key at r5 (r1 = state) ----
+add_rk:
+    lw   r6, 0(r1)
+    lw   r7, 0(r5)
+    xor  r6, r6, r7
+    sw   r6, 0(r1)
+    lw   r6, 4(r1)
+    lw   r7, 4(r5)
+    xor  r6, r6, r7
+    sw   r6, 4(r1)
+    lw   r6, 8(r1)
+    lw   r7, 8(r5)
+    xor  r6, r6, r7
+    sw   r6, 8(r1)
+    lw   r6, 12(r1)
+    lw   r7, 12(r5)
+    xor  r6, r6, r7
+    sw   r6, 12(r1)
+    jr   ra
+
+# ---- tmp[i] = inv_sbox[state[perm[i]]]; state = tmp ----
+inv_sr_sb:
+    li   r6, 0
+srsb_loop:
+    la   r7, perm
+    add  r7, r7, r6
+    lbu  r7, 0(r7)           # perm[i]
+    add  r7, r1, r7
+    lbu  r7, 0(r7)           # state[perm[i]]
+    la   r8, isbox
+    add  r8, r8, r7
+    lbu  r7, 0(r8)           # inv_sbox[...]
+    la   r8, tmp16
+    add  r8, r8, r6
+    sb   r7, 0(r8)
+    addi r6, r6, 1
+    li   r7, 16
+    blt  r6, r7, srsb_loop
+    la   r8, tmp16
+    lw   r6, 0(r8)
+    sw   r6, 0(r1)
+    lw   r6, 4(r8)
+    sw   r6, 4(r1)
+    lw   r6, 8(r8)
+    sw   r6, 8(r1)
+    lw   r6, 12(r8)
+    sw   r6, 12(r1)
+    jr   ra
+
+# ---- InvMixColumns on the 4 columns of state ----
+inv_mix:
+    li   r6, 0               # column byte offset 0, 4, 8, 12
+mix_col:
+    add  r7, r1, r6
+    lbu  r8, 0(r7)           # a0
+    lbu  r9, 1(r7)           # a1
+    lbu  r10, 2(r7)          # a2
+    lbu  r11, 3(r7)          # a3
+    # b0 = m14[a0]^m11[a1]^m13[a2]^m9[a3]
+    la   r12, m14
+    add  r13, r12, r8
+    lbu  r13, 0(r13)
+    la   r12, m11
+    add  r12, r12, r9
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    la   r12, m13
+    add  r12, r12, r10
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    la   r12, m9
+    add  r12, r12, r11
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    sb   r13, 0(r7)
+    # b1 = m9[a0]^m14[a1]^m11[a2]^m13[a3]
+    la   r12, m9
+    add  r13, r12, r8
+    lbu  r13, 0(r13)
+    la   r12, m14
+    add  r12, r12, r9
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    la   r12, m11
+    add  r12, r12, r10
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    la   r12, m13
+    add  r12, r12, r11
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    sb   r13, 1(r7)
+    # b2 = m13[a0]^m9[a1]^m14[a2]^m11[a3]
+    la   r12, m13
+    add  r13, r12, r8
+    lbu  r13, 0(r13)
+    la   r12, m9
+    add  r12, r12, r9
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    la   r12, m14
+    add  r12, r12, r10
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    la   r12, m11
+    add  r12, r12, r11
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    sb   r13, 2(r7)
+    # b3 = m11[a0]^m13[a1]^m9[a2]^m14[a3]
+    la   r12, m11
+    add  r13, r12, r8
+    lbu  r13, 0(r13)
+    la   r12, m13
+    add  r12, r12, r9
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    la   r12, m9
+    add  r12, r12, r10
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    la   r12, m14
+    add  r12, r12, r11
+    lbu  r12, 0(r12)
+    xor  r13, r13, r12
+    sb   r13, 3(r7)
+    addi r6, r6, 4
+    li   r7, 16
+    blt  r6, r7, mix_col
+    jr   ra
+.data
+keys:
+{keys}
+isbox:
+{isbox}
+perm:
+{perm}
+m9:
+{m9}
+m11:
+{m11}
+m13:
+{m13}
+m14:
+{m14}
+tmp16:
+    .space 16
+ct:
+{ct}
+"#,
+        nblocks = nblocks(ds),
+        nwords = nblocks(ds) * 4,
+        keys = bytes(&keys),
+        isbox = bytes(&inv_sbox()),
+        perm = bytes(&inv_shift_perm()),
+        m9 = bytes(&mul_table(9)),
+        m11 = bytes(&mul_table(11)),
+        m13 = bytes(&mul_table(13)),
+        m14 = bytes(&mul_table(14)),
+        ct = bytes(&ciphertext(ds)),
+    );
+    assemble(&src).expect("rijndael workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes128_matches_fips197_vector() {
+        // FIPS-197 appendix C.1: key 000102...0f, plaintext 00112233...ff.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let mut block: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let keys = expand_key(&key);
+        encrypt_block(&mut block, &keys);
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+        decrypt_block(&mut block, &keys);
+        assert_eq!(block, core::array::from_fn(|i| (i * 0x11) as u8));
+    }
+
+    #[test]
+    fn ciphertext_decrypts_to_plaintext() {
+        for ds in [DataSet::Small, DataSet::Large] {
+            let keys = expand_key(&key());
+            let mut data = ciphertext(ds);
+            for chunk in data.chunks_mut(16) {
+                let mut b = [0u8; 16];
+                b.copy_from_slice(chunk);
+                decrypt_block(&mut b, &keys);
+                chunk.copy_from_slice(&b);
+            }
+            assert_eq!(data, plaintext(ds));
+        }
+    }
+
+    #[test]
+    fn gf_mul_agrees_with_xtime() {
+        for a in 0..=255u8 {
+            assert_eq!(gf_mul(a, 2), xtime(a));
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, 3), xtime(a) ^ a);
+        }
+    }
+
+    #[test]
+    fn inv_shift_perm_inverts_shift_rows() {
+        // Applying perm gathering to a shifted state must restore identity.
+        let mut s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        // ShiftRows forward (as in encrypt_block).
+        let t = s;
+        for c in 0..4 {
+            for r in 0..4 {
+                s[4 * c + r] = t[4 * ((c + r) % 4) + r];
+            }
+        }
+        let p = inv_shift_perm();
+        let restored: [u8; 16] = core::array::from_fn(|i| s[p[i] as usize]);
+        assert_eq!(restored, t);
+    }
+}

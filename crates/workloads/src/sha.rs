@@ -1,0 +1,247 @@
+//! sha (security): SHA-1 digest of a 2 KB (small) / 8 KB (large) message.
+//!
+//! The message is padded host-side (the paper's workload reads a file; ours
+//! embeds the padded file image) and stored as big-endian words so the
+//! assembly kernel can load schedule words directly.
+
+use crate::gen::{words, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+fn msg_len(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 2048,
+        DataSet::Large => 8192,
+    }
+}
+
+fn message(ds: DataSet) -> Vec<u8> {
+    let mut rng = Xorshift32::new(0x5AA5_0007);
+    (0..msg_len(ds)).map(|_| rng.next_u8()).collect()
+}
+
+/// SHA-1 padding, returning big-endian words.
+fn padded_words(ds: DataSet) -> Vec<u32> {
+    let mut m = message(ds);
+    let bit_len = (m.len() as u64) * 8;
+    m.push(0x80);
+    while m.len() % 64 != 56 {
+        m.push(0);
+    }
+    m.extend_from_slice(&bit_len.to_be_bytes());
+    m.chunks(4).map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]])).collect()
+}
+
+fn sha1_words(data: &[u32]) -> [u32; 5] {
+    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    for chunk in data.chunks(16) {
+        let mut w = [0u32; 80];
+        w[..16].copy_from_slice(chunk);
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    h
+}
+
+/// Reference SHA-1 digest of the same input.
+pub fn reference(ds: DataSet) -> Vec<u8> {
+    sha1_words(&padded_words(ds)).iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// The assembled SHA-1 program.
+pub fn program(ds: DataSet) -> Program {
+    let data = padded_words(ds);
+    let nchunks = data.len() / 16;
+    // Register plan: r1 = chunk ptr, r2 = t, r3 = chunk counter,
+    // a..e = r4..r8, r9/r10 = temps, r12 = W/base ptr, r13 = f+k accumulator.
+    let src = format!(
+        r#"
+.text
+main:
+    la   r1, msg
+    li   r3, {nchunks}
+chunk_loop:
+    # ---- message schedule: W[0..16) = chunk words
+    la   r12, wbuf
+    li   r2, 16
+copy16:
+    lw   r9, 0(r1)
+    sw   r9, 0(r12)
+    addi r1, r1, 4
+    addi r12, r12, 4
+    addi r2, r2, -1
+    bnez r2, copy16
+    # ---- W[16..80): rol1(W[t-3]^W[t-8]^W[t-14]^W[t-16])
+    li   r2, 64
+extend:
+    lw   r9, -12(r12)
+    lw   r10, -32(r12)
+    xor  r9, r9, r10
+    lw   r10, -56(r12)
+    xor  r9, r9, r10
+    lw   r10, -64(r12)
+    xor  r9, r9, r10
+    slli r10, r9, 1
+    srli r9, r9, 31
+    or   r9, r9, r10
+    sw   r9, 0(r12)
+    addi r12, r12, 4
+    addi r2, r2, -1
+    bnez r2, extend
+    # ---- load state
+    la   r12, hst
+    lw   r4, 0(r12)
+    lw   r5, 4(r12)
+    lw   r6, 8(r12)
+    lw   r7, 12(r12)
+    lw   r8, 16(r12)
+    la   r12, wbuf
+    li   r2, 0
+rounds:
+    slti r9, r2, 20
+    beqz r9, not_f1
+    and  r13, r5, r6         # f = (b&c) | (~b & d)
+    not  r9, r5
+    and  r9, r9, r7
+    or   r13, r13, r9
+    li   r9, 0x5A827999
+    b    have_f
+not_f1:
+    slti r9, r2, 40
+    beqz r9, not_f2
+    xor  r13, r5, r6
+    xor  r13, r13, r7
+    li   r9, 0x6ED9EBA1
+    b    have_f
+not_f2:
+    slti r9, r2, 60
+    beqz r9, not_f3
+    and  r13, r5, r6
+    and  r10, r5, r7
+    or   r13, r13, r10
+    and  r10, r6, r7
+    or   r13, r13, r10
+    li   r9, 0x8F1BBCDC
+    b    have_f
+not_f3:
+    xor  r13, r5, r6
+    xor  r13, r13, r7
+    li   r9, 0xCA62C1D6
+have_f:
+    add  r13, r13, r9        # f + k
+    slli r9, r4, 5
+    srli r10, r4, 27
+    or   r9, r9, r10         # rol5(a)
+    add  r13, r13, r9
+    add  r13, r13, r8        # + e
+    lw   r9, 0(r12)
+    add  r13, r13, r9        # + W[t]
+    addi r12, r12, 4
+    mv   r8, r7              # e = d
+    mv   r7, r6              # d = c
+    slli r9, r5, 30
+    srli r10, r5, 2
+    or   r6, r9, r10         # c = rol30(b)
+    mv   r5, r4              # b = a
+    mv   r4, r13             # a = temp
+    addi r2, r2, 1
+    li   r9, 80
+    bne  r2, r9, rounds
+    # ---- accumulate state
+    la   r12, hst
+    lw   r9, 0(r12)
+    add  r9, r9, r4
+    sw   r9, 0(r12)
+    lw   r9, 4(r12)
+    add  r9, r9, r5
+    sw   r9, 4(r12)
+    lw   r9, 8(r12)
+    add  r9, r9, r6
+    sw   r9, 8(r12)
+    lw   r9, 12(r12)
+    add  r9, r9, r7
+    sw   r9, 12(r12)
+    lw   r9, 16(r12)
+    add  r9, r9, r8
+    sw   r9, 16(r12)
+    addi r3, r3, -1
+    bnez r3, chunk_loop
+    # ---- output digest
+    la   r12, hst
+    li   r2, 2
+    lw   r3, 0(r12)
+    syscall
+    lw   r3, 4(r12)
+    syscall
+    lw   r3, 8(r12)
+    syscall
+    lw   r3, 12(r12)
+    syscall
+    lw   r3, 16(r12)
+    syscall
+{EXIT0}
+.data
+hst:
+    .word 0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0
+wbuf:
+    .space 320
+msg:
+{msg}
+"#,
+        msg = words(&data),
+    );
+    assemble(&src).expect("sha workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_known_vector() {
+        // SHA-1("abc") = A9993E36 4706816A BA3E2571 7850C26C 9CD0D89D.
+        let mut m = b"abc".to_vec();
+        m.push(0x80);
+        while m.len() % 64 != 56 {
+            m.push(0);
+        }
+        m.extend_from_slice(&24u64.to_be_bytes());
+        let chunk: Vec<u32> =
+            m.chunks(4).map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]])).collect();
+        let h = sha1_words(&chunk);
+        assert_eq!(h, [0xA999_3E36, 0x4706_816A, 0xBA3E_2571, 0x7850_C26C, 0x9CD0_D89D]);
+    }
+
+    #[test]
+    fn padded_length_is_multiple_of_16_words() {
+        assert_eq!(padded_words(DataSet::Small).len() % 16, 0);
+        assert_eq!(padded_words(DataSet::Large).len() % 16, 0);
+    }
+}

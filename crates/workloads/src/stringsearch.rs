@@ -1,0 +1,198 @@
+//! stringsearch (office): Boyer–Moore–Horspool search of several patterns
+//! in a 1 KB (small) / 4 KB (large) text. The shortest workload, as in the
+//! paper's Table III.
+
+use crate::gen::{bytes, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+const PAT_LEN: usize = 6;
+
+fn text_len(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 1024,
+        DataSet::Large => 4096,
+    }
+}
+
+fn text(ds: DataSet) -> Vec<u8> {
+    let mut rng = Xorshift32::new(0x57A7_0003);
+    (0..text_len(ds)).map(|_| b'a' + (rng.below(26)) as u8).collect()
+}
+
+/// Present patterns (copied out of the text) and two absent ones.
+fn patterns(ds: DataSet) -> Vec<[u8; PAT_LEN]> {
+    let t = text(ds);
+    let offsets: &[usize] = match ds {
+        DataSet::Small => &[100, 700],
+        DataSet::Large => &[100, 700, 2000, 3900],
+    };
+    let mut pats = Vec::new();
+    for &off in offsets {
+        let mut p = [0u8; PAT_LEN];
+        p.copy_from_slice(&t[off..off + PAT_LEN]);
+        pats.push(p);
+    }
+    pats.push(*b"zqzqzq");
+    pats.push(*b"xxyyzz");
+    pats
+}
+
+fn bmh_search(text: &[u8], pat: &[u8]) -> i32 {
+    let m = pat.len();
+    if m > text.len() {
+        return -1;
+    }
+    let mut skip = [m as u32; 256];
+    for (i, &c) in pat.iter().take(m - 1).enumerate() {
+        skip[c as usize] = (m - 1 - i) as u32;
+    }
+    let mut pos = 0usize;
+    while pos + m <= text.len() {
+        let mut j = m;
+        while j > 0 && text[pos + j - 1] == pat[j - 1] {
+            j -= 1;
+        }
+        if j == 0 {
+            return pos as i32;
+        }
+        pos += skip[text[pos + m - 1] as usize] as usize;
+    }
+    -1
+}
+
+/// Reference: first match index (or −1) per pattern.
+pub fn reference(ds: DataSet) -> Vec<u8> {
+    let t = text(ds);
+    patterns(ds)
+        .iter()
+        .flat_map(|p| (bmh_search(&t, p) as u32).to_le_bytes())
+        .collect()
+}
+
+/// The assembled string-search program.
+pub fn program(ds: DataSet) -> Program {
+    let pats: Vec<u8> = patterns(ds).iter().flat_map(|p| p.iter().copied()).collect();
+    // Registers: r1 = text, r4 = pattern ptr, r5 = pattern counter,
+    // r6 = pos, r7 = j, r8/r9/r10/r11 = temps, r12 = skip table, r13 = result.
+    let src = format!(
+        r#"
+.text
+main:
+    la   r4, pats
+    li   r5, {npat}
+pat_loop:
+    # ---- build skip table: all = m
+    la   r12, skip
+    li   r6, 256
+    li   r7, {m}
+fill_skip:
+    sw   r7, 0(r12)
+    addi r12, r12, 4
+    addi r6, r6, -1
+    bnez r6, fill_skip
+    # skip[pat[i]] = m-1-i for i in 0..m-1
+    li   r6, 0
+    li   r10, {m_minus_1}
+build_skip:
+    add  r8, r4, r6
+    lbu  r8, 0(r8)           # pat[i]
+    slli r8, r8, 2
+    la   r12, skip
+    add  r8, r12, r8
+    sub  r9, r10, r6         # m-1-i
+    sw   r9, 0(r8)
+    addi r6, r6, 1
+    blt  r6, r10, build_skip
+    # ---- search
+    la   r1, text
+    li   r6, 0               # pos
+    li   r13, -1             # result
+search_loop:
+    li   r8, {limit}
+    bgt  r6, r8, search_done # pos > TEXT_LEN - m
+    li   r7, {m}
+cmp_loop:
+    beqz r7, found
+    add  r8, r1, r6
+    add  r8, r8, r7
+    lbu  r9, -1(r8)          # text[pos+j-1]
+    add  r8, r4, r7
+    lbu  r10, -1(r8)         # pat[j-1]
+    bne  r9, r10, advance
+    addi r7, r7, -1
+    b    cmp_loop
+found:
+    mv   r13, r6
+    b    search_done
+advance:
+    add  r8, r1, r6
+    lbu  r9, {m_minus_1}(r8) # text[pos+m-1]
+    slli r9, r9, 2
+    la   r12, skip
+    add  r9, r12, r9
+    lw   r9, 0(r9)
+    add  r6, r6, r9
+    b    search_loop
+search_done:
+    li   r2, 2
+    mv   r3, r13
+    syscall
+    addi r4, r4, {m}
+    addi r5, r5, -1
+    bnez r5, pat_loop
+{EXIT0}
+.data
+text:
+{text}
+pats:
+{pats}
+skip:
+    .space 1024
+"#,
+        npat = patterns(ds).len(),
+        m = PAT_LEN,
+        m_minus_1 = PAT_LEN - 1,
+        limit = text_len(ds) - PAT_LEN,
+        text = bytes(&text(ds)),
+        pats = bytes(&pats),
+    );
+    assemble(&src).expect("stringsearch workload must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn present_patterns_found_absent_not() {
+        for ds in [DataSet::Small, DataSet::Large] {
+            let out = reference(ds);
+            let vals: Vec<i32> = out
+                .chunks(4)
+                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            let npat = patterns(ds).len();
+            assert!(vals[0] >= 0 && vals[0] <= 100, "pattern 0 copied from offset 100");
+            assert!(vals[..npat - 2].iter().all(|&v| v >= 0), "{ds}: present patterns");
+            assert_eq!(vals[npat - 2], -1);
+            assert_eq!(vals[npat - 1], -1);
+        }
+    }
+
+    #[test]
+    fn bmh_agrees_with_naive_search() {
+        for ds in [DataSet::Small, DataSet::Large] {
+            let t = text(ds);
+            for p in patterns(ds) {
+                let naive = t
+                    .windows(PAT_LEN)
+                    .position(|w| w == p)
+                    .map(|i| i as i32)
+                    .unwrap_or(-1);
+                assert_eq!(bmh_search(&t, &p), naive);
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! susan_c / susan_e / susan_s (automotive image processing): the SUSAN
+//! family — corner detection, edge detection and structure-preserving
+//! smoothing, built around a brightness-similarity look-up table
+//! `c(Δ) = round(100·exp(−(Δ/t)⁶))` exactly like the MiBench original.
+//!
+//! * corners: 5×5 USAN area, corner when the area is below the geometric
+//!   threshold `g = nmax/2`;
+//! * edges: 3×3 USAN area, edge when below `g = 3·nmax/4`;
+//! * smoothing: 3×3 spatially-weighted, similarity-weighted average with an
+//!   integer division per pixel.
+
+use crate::gen::{bytes, checksum_words, words, Xorshift32};
+use crate::{DataSet, EXIT0};
+use mbu_isa::asm::assemble;
+use mbu_isa::Program;
+
+fn image(width: usize, seed: u32) -> Vec<u8> {
+    let mut rng = Xorshift32::new(seed);
+    (0..width * width)
+        .map(|i| {
+            let (x, y) = (i % width, i / width);
+            // Two flat regions with a diagonal boundary plus speckle: gives
+            // the detectors real corners/edges to find.
+            let base = if x + 2 * y < width + width / 2 { 60 } else { 180 };
+            (base + rng.below(25) as i32 - 12).clamp(0, 255) as u8
+        })
+        .collect()
+}
+
+/// Brightness-similarity LUT over Δ ∈ [−255, 255], scaled to 0..100.
+fn similarity_lut(t: f64) -> Vec<u32> {
+    (-255i32..=255)
+        .map(|d| {
+            let x = d as f64 / t;
+            (100.0 * (-x.powi(6)).exp()).round() as u32
+        })
+        .collect()
+}
+
+/// Mask byte-offsets for a square neighbourhood (excluding the centre).
+fn mask_offsets(width: usize, radius: i32) -> Vec<i32> {
+    let mut v = Vec::new();
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            if dx != 0 || dy != 0 {
+                v.push(dy * width as i32 + dx);
+            }
+        }
+    }
+    v
+}
+
+struct UsanParams {
+    width: usize,
+    seed: u32,
+    radius: i32,
+    threshold_t: f64,
+    /// Geometric threshold g (response when `usan < g`).
+    g: u32,
+}
+
+fn corner_params(ds: DataSet) -> UsanParams {
+    let width = match ds {
+        DataSet::Small => 16,
+        DataSet::Large => 32,
+    };
+    UsanParams { width, seed: 0x5A5A_0043, radius: 2, threshold_t: 27.0, g: 1200 }
+}
+
+fn edge_params(ds: DataSet) -> UsanParams {
+    let width = match ds {
+        DataSet::Small => 20,
+        DataSet::Large => 40,
+    };
+    UsanParams { width, seed: 0x5A5A_0047, radius: 1, threshold_t: 27.0, g: 600 }
+}
+
+/// USAN detector reference: emits (response checksum, detection count).
+fn usan_reference(p: &UsanParams) -> Vec<u8> {
+    let img = image(p.width, p.seed);
+    let lut = similarity_lut(p.threshold_t);
+    let offs = mask_offsets(p.width, p.radius);
+    let r = p.radius as usize;
+    let mut cksum_vals = Vec::new();
+    let mut count = 0u32;
+    for y in r..p.width - r {
+        for x in r..p.width - r {
+            let center = img[y * p.width + x] as i32;
+            let mut n = 0u32;
+            for &off in &offs {
+                let idx = (y * p.width + x) as i32 + off;
+                let diff = img[idx as usize] as i32 - center;
+                n += lut[(diff + 255) as usize];
+            }
+            let response = p.g.saturating_sub(n);
+            cksum_vals.push(response);
+            if response > 0 {
+                count += 1;
+            }
+        }
+    }
+    let mut out = checksum_words(cksum_vals).to_le_bytes().to_vec();
+    out.extend_from_slice(&count.to_le_bytes());
+    out
+}
+
+/// Shared USAN assembly (corners and edges differ only in parameters).
+fn usan_asm(p: &UsanParams) -> String {
+    let img = image(p.width, p.seed);
+    let lut = similarity_lut(p.threshold_t);
+    let offs: Vec<u32> = mask_offsets(p.width, p.radius).iter().map(|v| *v as u32).collect();
+    format!(
+        r#"
+.text
+main:
+    li   r3, {r}             # y
+    li   r12, 0              # checksum
+    li   r13, 0              # count
+y_loop:
+    li   r4, {r}             # x
+x_loop:
+    # center = img[y*W + x]
+    li   r5, {w}
+    mul  r5, r3, r5
+    add  r5, r5, r4
+    la   r6, img
+    add  r5, r6, r5          # center ptr
+    lbu  r6, 0(r5)           # center value
+    li   r7, 0               # n (usan)
+    la   r8, offs
+    li   r9, {noffs}
+mask_loop:
+    lw   r10, 0(r8)
+    add  r10, r5, r10
+    lbu  r10, 0(r10)         # neighbour
+    sub  r10, r10, r6        # diff
+    addi r10, r10, 255
+    slli r10, r10, 2
+    la   r11, lut
+    add  r10, r11, r10
+    lw   r10, 0(r10)
+    add  r7, r7, r10
+    addi r8, r8, 4
+    addi r9, r9, -1
+    bnez r9, mask_loop
+    # response = g - n if n < g else 0
+    li   r10, {g}
+    bgeu r7, r10, no_resp
+    sub  r10, r10, r7
+    addi r13, r13, 1
+    b    fold
+no_resp:
+    li   r10, 0
+fold:
+    li   r11, 31
+    mul  r12, r12, r11
+    add  r12, r12, r10
+    addi r4, r4, 1
+    li   r10, {xmax}
+    blt  r4, r10, x_loop
+    addi r3, r3, 1
+    li   r10, {xmax}
+    blt  r3, r10, y_loop
+    li   r2, 2
+    mv   r3, r12
+    syscall
+    mv   r3, r13
+    syscall
+{EXIT0}
+.data
+lut:
+{lut}
+offs:
+{offs}
+img:
+{img}
+"#,
+        r = p.radius,
+        w = p.width,
+        noffs = offs.len(),
+        g = p.g,
+        xmax = p.width - p.radius as usize,
+        lut = words(&lut),
+        offs = words(&offs),
+        img = bytes(&img),
+    )
+}
+
+/// The assembled SUSAN corner detector.
+pub fn corners_program(ds: DataSet) -> Program {
+    assemble(&usan_asm(&corner_params(ds))).expect("susan_c must assemble")
+}
+
+/// Reference output for the corner detector.
+pub fn corners_reference(ds: DataSet) -> Vec<u8> {
+    usan_reference(&corner_params(ds))
+}
+
+/// The assembled SUSAN edge detector.
+pub fn edges_program(ds: DataSet) -> Program {
+    assemble(&usan_asm(&edge_params(ds))).expect("susan_e must assemble")
+}
+
+/// Reference output for the edge detector.
+pub fn edges_reference(ds: DataSet) -> Vec<u8> {
+    usan_reference(&edge_params(ds))
+}
+
+fn smooth_w(ds: DataSet) -> usize {
+    match ds {
+        DataSet::Small => 24,
+        DataSet::Large => 48,
+    }
+}
+
+const SMOOTH_SEED: u32 = 0x5A5A_0053;
+/// Spatial weights of the 3×3 smoothing kernel, row-major.
+const SPATIAL: [u32; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+
+/// Smoothing reference: per-pixel weighted average, checksum of outputs.
+pub fn smoothing_reference(ds: DataSet) -> Vec<u8> {
+    let w_img = smooth_w(ds);
+    let img = image(w_img, SMOOTH_SEED);
+    let lut = similarity_lut(27.0);
+    let mut vals = Vec::new();
+    for y in 1..w_img - 1 {
+        for x in 1..w_img - 1 {
+            let center = img[y * w_img + x] as i32;
+            let mut num = 0u32;
+            let mut den = 0u32;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    let pix = img[(y + dy - 1) * w_img + (x + dx - 1)] as i32;
+                    let w = SPATIAL[dy * 3 + dx] * lut[(pix - center + 255) as usize];
+                    num += w * pix as u32;
+                    den += w;
+                }
+            }
+            vals.push(num / den); // den >= 400: the centre always matches
+        }
+    }
+    checksum_words(vals).to_le_bytes().to_vec()
+}
+
+/// The assembled SUSAN smoothing program.
+pub fn smoothing_program(ds: DataSet) -> Program {
+    let w_img = smooth_w(ds);
+    let img = image(w_img, SMOOTH_SEED);
+    let lut = similarity_lut(27.0);
+    // Offsets and weights for the 3×3 kernel, interleaved (off, weight).
+    let mut kern = Vec::new();
+    for dy in -1i32..=1 {
+        for dx in -1i32..=1 {
+            kern.push((dy * w_img as i32 + dx) as u32);
+            kern.push(SPATIAL[((dy + 1) * 3 + dx + 1) as usize]);
+        }
+    }
+    let src = format!(
+        r#"
+.text
+main:
+    li   r3, 1               # y
+    li   r12, 0              # checksum
+y_loop:
+    li   r4, 1               # x
+x_loop:
+    li   r5, {w}
+    mul  r5, r3, r5
+    add  r5, r5, r4
+    la   r6, img
+    add  r5, r6, r5          # center ptr
+    lbu  r6, 0(r5)           # center
+    li   r7, 0               # num
+    li   r13, 0              # den
+    la   r8, kern
+    li   r9, 9
+kern_loop:
+    lw   r10, 0(r8)          # offset
+    add  r10, r5, r10
+    lbu  r10, 0(r10)         # pix
+    sub  r11, r10, r6
+    addi r11, r11, 255
+    slli r11, r11, 2
+    la   r2, lut
+    add  r11, r2, r11
+    lw   r11, 0(r11)         # c(diff)
+    lw   r2, 4(r8)           # spatial weight
+    mul  r11, r11, r2        # w
+    add  r13, r13, r11       # den += w
+    mul  r11, r11, r10       # w * pix
+    add  r7, r7, r11         # num += w*pix
+    addi r8, r8, 8
+    addi r9, r9, -1
+    bnez r9, kern_loop
+    divu r7, r7, r13         # out pixel
+    li   r11, 31
+    mul  r12, r12, r11
+    add  r12, r12, r7
+    addi r4, r4, 1
+    li   r10, {xmax}
+    blt  r4, r10, x_loop
+    addi r3, r3, 1
+    li   r10, {xmax}
+    blt  r3, r10, y_loop
+    li   r2, 2
+    mv   r3, r12
+    syscall
+{EXIT0}
+.data
+lut:
+{lut}
+kern:
+{kern}
+img:
+{img}
+"#,
+        w = w_img,
+        xmax = w_img - 1,
+        lut = words(&lut),
+        kern = words(&kern),
+        img = bytes(&img),
+    );
+    assemble(&src).expect("susan_s must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_is_100_at_zero_and_decays() {
+        let lut = similarity_lut(27.0);
+        assert_eq!(lut[255], 100);
+        assert!(lut[255 + 27] > lut[255 + 60]);
+        assert_eq!(lut[0], 0);
+        assert_eq!(lut[510], 0);
+    }
+
+    #[test]
+    fn detectors_find_the_diagonal_boundary() {
+        for ds in [DataSet::Small, DataSet::Large] {
+            let out = corners_reference(ds);
+            let count = u32::from_le_bytes([out[4], out[5], out[6], out[7]]);
+            assert!(count > 0, "{ds}: corner detector must fire on the boundary");
+            let out = edges_reference(ds);
+            let count = u32::from_le_bytes([out[4], out[5], out[6], out[7]]);
+            assert!(count > 0, "{ds}: edge detector must fire on the boundary");
+        }
+    }
+
+    #[test]
+    fn mask_offsets_exclude_center() {
+        let o = mask_offsets(16, 2);
+        assert_eq!(o.len(), 24);
+        assert!(!o.contains(&0));
+    }
+
+    #[test]
+    fn smoothing_preserves_flat_regions() {
+        // Interior pixels of a flat synthetic image stay identical.
+        let lut = similarity_lut(27.0);
+        let img = [90u8; 9];
+        let center = img[4] as i32;
+        let mut num = 0u32;
+        let mut den = 0u32;
+        for k in 0..9 {
+            let w = SPATIAL[k] * lut[(img[k] as i32 - center + 255) as usize];
+            num += w * img[k] as u32;
+            den += w;
+        }
+        assert_eq!(num / den, 90);
+    }
+}

@@ -1,0 +1,63 @@
+//! Differential test: every workload, run on the cycle-level out-of-order
+//! simulator, must produce exactly the output of the Rust reference (and of
+//! the architectural interpreter, by transitivity).
+
+use mbu_cpu::{CoreConfig, RunEnd, Simulator};
+use mbu_workloads::{DataSet, Workload};
+
+#[test]
+fn all_workloads_match_reference_on_ooo_simulator() {
+    for w in Workload::ALL {
+        let p = w.program();
+        let r = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(500_000_000);
+        assert_eq!(r.end, RunEnd::Exited { code: 0 }, "{w} must exit cleanly, got {:?}", r.end);
+        assert_eq!(r.output, w.reference_output(), "{w} output mismatch on OoO core");
+        assert!(r.cycles > 1_000, "{w} suspiciously short ({} cycles)", r.cycles);
+    }
+}
+
+#[test]
+fn all_workloads_match_reference_with_speculation() {
+    // The branch-prediction extension must be architecturally transparent
+    // on every real workload (heavy branching, loops, function calls).
+    for w in Workload::ALL {
+        let p = w.program();
+        let r = Simulator::new(CoreConfig::speculative_a9(), &p).run(500_000_000);
+        assert_eq!(r.end, RunEnd::Exited { code: 0 }, "{w} must exit cleanly, got {:?}", r.end);
+        assert_eq!(r.output, w.reference_output(), "{w} output mismatch under speculation");
+    }
+}
+
+#[test]
+fn speculation_never_slows_down_overall() {
+    // Aggregate cycles across the suite must improve with prediction.
+    let mut base = 0u64;
+    let mut spec = 0u64;
+    for w in Workload::ALL {
+        let p = w.program();
+        base += Simulator::new(CoreConfig::cortex_a9_like(), &p).run(500_000_000).cycles;
+        spec += Simulator::new(CoreConfig::speculative_a9(), &p).run(500_000_000).cycles;
+    }
+    assert!(spec < base, "speculative {spec} vs baseline {base}");
+}
+
+#[test]
+fn large_dataset_spot_checks_on_ooo_core() {
+    for w in [Workload::Sha, Workload::Dijkstra, Workload::SusanS] {
+        let p = w.program_with(DataSet::Large);
+        let r = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(2_000_000_000);
+        assert_eq!(r.end, RunEnd::Exited { code: 0 }, "{w} large must exit");
+        assert_eq!(r.output, w.reference_with(DataSet::Large), "{w} large output");
+    }
+}
+
+#[test]
+fn fault_free_runs_are_cycle_deterministic() {
+    for w in [Workload::Stringsearch, Workload::SusanC] {
+        let p = w.program();
+        let a = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(500_000_000);
+        let b = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(500_000_000);
+        assert_eq!(a.cycles, b.cycles, "{w} must be deterministic");
+        assert_eq!(a.output, b.output);
+    }
+}

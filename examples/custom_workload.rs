@@ -1,0 +1,135 @@
+//! Bring your own workload: assemble a program from source text, validate
+//! it against the architectural interpreter, then run an injection campaign
+//! on it.
+//!
+//! ```text
+//! cargo run --release -p mbu-gefin --example custom_workload
+//! ```
+
+use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
+use mbu_gefin::classify::{classify, ClassCounts};
+use mbu_gefin::mask::{ClusterSpec, MaskGenerator};
+use mbu_isa::asm::assemble;
+use mbu_isa::interp::ArchInterpreter;
+
+/// A small matrix-multiply kernel written directly in the ISA's assembly
+/// dialect: C = A × B over 8×8 word matrices, then checksum.
+const SOURCE: &str = r#"
+.text
+main:
+    li   r1, 0               # i
+i_loop:
+    li   r4, 0               # j
+j_loop:
+    li   r5, 0               # k
+    li   r6, 0               # acc
+k_loop:
+    # a[i*8+k]
+    slli r7, r1, 3
+    add  r7, r7, r5
+    slli r7, r7, 2
+    la   r8, mat_a
+    add  r7, r8, r7
+    lw   r7, 0(r7)
+    # b[k*8+j]
+    slli r8, r5, 3
+    add  r8, r8, r4
+    slli r8, r8, 2
+    la   r9, mat_b
+    add  r8, r9, r8
+    lw   r8, 0(r8)
+    mul  r7, r7, r8
+    add  r6, r6, r7
+    addi r5, r5, 1
+    li   r7, 8
+    blt  r5, r7, k_loop
+    # c[i*8+j] = acc
+    slli r7, r1, 3
+    add  r7, r7, r4
+    slli r7, r7, 2
+    la   r8, mat_c
+    add  r7, r8, r7
+    sw   r6, 0(r7)
+    addi r4, r4, 1
+    li   r7, 8
+    blt  r4, r7, j_loop
+    addi r1, r1, 1
+    li   r7, 8
+    blt  r1, r7, i_loop
+    # checksum C
+    la   r1, mat_c
+    li   r4, 64
+    li   r5, 0
+ck:
+    lw   r6, 0(r1)
+    li   r7, 31
+    mul  r5, r5, r7
+    add  r5, r5, r6
+    addi r1, r1, 4
+    addi r4, r4, -1
+    bnez r4, ck
+    li   r2, 2
+    mv   r3, r5
+    syscall
+    li   r2, 0
+    li   r3, 0
+    syscall
+.data
+mat_a:
+    .word 1, 2, 3, 4, 5, 6, 7, 8
+    .word 8, 7, 6, 5, 4, 3, 2, 1
+    .word 2, 4, 6, 8, 1, 3, 5, 7
+    .word 9, 8, 7, 6, 5, 4, 3, 2
+    .word 1, 1, 2, 3, 5, 8, 13, 21
+    .word 2, 3, 5, 7, 11, 13, 17, 19
+    .word 1, 0, 1, 0, 1, 0, 1, 0
+    .word 4, 4, 4, 4, 4, 4, 4, 4
+mat_b:
+    .word 1, 0, 0, 0, 0, 0, 0, 1
+    .word 0, 1, 0, 0, 0, 0, 1, 0
+    .word 0, 0, 1, 0, 0, 1, 0, 0
+    .word 0, 0, 0, 1, 1, 0, 0, 0
+    .word 1, 0, 0, 1, 1, 0, 0, 1
+    .word 0, 1, 1, 0, 0, 1, 1, 0
+    .word 2, 0, 0, 2, 2, 0, 0, 2
+    .word 0, 2, 2, 0, 0, 2, 2, 0
+mat_c:
+    .space 256
+"#;
+
+fn main() {
+    let program = assemble(SOURCE).expect("kernel must assemble");
+    println!("assembled: {program}");
+
+    // Validate on the architectural interpreter first.
+    let golden = ArchInterpreter::new(&program).run(10_000_000).expect("golden run");
+    println!("interpreter: {} instructions, output {:02x?}", golden.instructions, golden.output);
+
+    // Cross-check on the cycle-level core.
+    let core = CoreConfig::cortex_a9_like();
+    let timed = Simulator::new(core, &program).run(u64::MAX / 8);
+    assert_eq!(timed.output, golden.output, "OoO core must match the interpreter");
+    let RunEnd::Exited { code } = timed.end else { panic!("must exit") };
+    println!("OoO core: {} cycles (IPC {:.2})", timed.cycles, timed.instructions as f64 / timed.cycles as f64);
+
+    // A small 3-bit campaign against the DTLB.
+    let runs = 100;
+    let mut counts = ClassCounts::new();
+    for i in 0..runs {
+        let mut gen = MaskGenerator::seeded(5000 + i, ClusterSpec::DEFAULT);
+        let mut sim = Simulator::new(core, &program);
+        let at = gen.injection_cycle(timed.cycles);
+        let mask = gen.generate(sim.component_geometry(HwComponent::DTlb), 3);
+        sim.run_until_cycle(at);
+        sim.inject_flips(HwComponent::DTlb, &mask.coords);
+        let end = sim.run_until_cycle(timed.cycles * 4).unwrap_or(RunEnd::CycleLimit);
+        let result = mbu_cpu::RunResult {
+            end,
+            output: sim.output().to_vec(),
+            cycles: sim.cycle(),
+            instructions: sim.instructions(),
+        };
+        counts.record(classify(&result, &golden.output, code));
+    }
+    println!("DTLB 3-bit campaign over {runs} runs: {counts}");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: inject one spatial multi-bit upset into the L1 data cache
+//! while the SHA-1 workload runs, and classify the outcome.
+//!
+//! ```text
+//! cargo run --release -p mbu-gefin --example quickstart
+//! ```
+
+use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
+use mbu_gefin::classify::{classify, FaultEffect};
+use mbu_gefin::mask::{ClusterSpec, MaskGenerator};
+use mbu_workloads::Workload;
+
+fn main() {
+    let workload = Workload::Sha;
+    let program = workload.program();
+    let core = CoreConfig::cortex_a9_like();
+
+    // 1. Fault-free golden run: reference output and execution time.
+    let golden = Simulator::new(core, &program).run(u64::MAX / 8);
+    let RunEnd::Exited { code: golden_code } = golden.end else {
+        panic!("fault-free run must exit cleanly");
+    };
+    println!(
+        "fault-free: {} cycles, {} instructions, {} output bytes",
+        golden.cycles,
+        golden.instructions,
+        golden.output.len()
+    );
+
+    // 2. Generate a double-bit fault in a 3x3 cluster and pick a cycle.
+    let mut gen = MaskGenerator::seeded(2024, ClusterSpec::DEFAULT);
+    let mut sim = Simulator::new(core, &program);
+    let inject_at = gen.injection_cycle(golden.cycles);
+    let mask = gen.generate(sim.component_geometry(HwComponent::L1D), 2);
+    println!("injecting {mask} at cycle {inject_at}:");
+    for line in mask.pattern().lines() {
+        println!("    {line}");
+    }
+
+    // 3. Run to the injection point, flip the bits, run to completion.
+    sim.run_until_cycle(inject_at);
+    sim.inject_flips(HwComponent::L1D, &mask.coords);
+    let end = sim.run_until_cycle(golden.cycles * 4).unwrap_or(RunEnd::CycleLimit);
+    let result = mbu_cpu::RunResult {
+        end,
+        output: sim.output().to_vec(),
+        cycles: sim.cycle(),
+        instructions: sim.instructions(),
+    };
+
+    // 4. Classify against the golden run (paper §III.C).
+    let effect = classify(&result, &golden.output, golden_code);
+    println!("outcome: {effect} (ended {:?} after {} cycles)", result.end, result.cycles);
+    match effect {
+        FaultEffect::Masked => println!("the flipped bits were never consumed — output identical"),
+        FaultEffect::Sdc => println!("silent data corruption — output differs, no error raised"),
+        other => println!("abnormal termination class: {other}"),
+    }
+}

@@ -1,0 +1,71 @@
+//! Technology-node scaling (the paper's §V–VI): combine per-cardinality
+//! AVFs with the per-node MBU rates (Table VI) and raw FIT rates
+//! (Table VII) to produce Fig. 7 / Fig. 8-style views.
+//!
+//! Uses the paper's published Table V AVFs by default so it runs instantly;
+//! pass `--measure` to measure a quick register-file campaign instead.
+//!
+//! ```text
+//! cargo run --release -p mbu-gefin --example technology_scaling [--measure]
+//! ```
+
+use mbu_cpu::HwComponent;
+use mbu_gefin::avf::ComponentAvf;
+use mbu_gefin::campaign::{Campaign, CampaignConfig};
+use mbu_gefin::fit::cpu_fit;
+use mbu_gefin::paper;
+use mbu_gefin::tech::{assessment_gap, node_avf, TechNode};
+use mbu_workloads::Workload;
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--measure");
+    let mut avfs = paper::table5_avfs();
+
+    if measure {
+        println!("measuring a quick register-file campaign (sha, 100 runs per cardinality)...");
+        let per_card: Vec<f64> = (1..=3)
+            .map(|faults| {
+                Campaign::new(
+                    CampaignConfig::new(Workload::Sha, HwComponent::RegFile, faults)
+                        .runs(100)
+                        .seed(7),
+                )
+                .run()
+                .avf()
+            })
+            .collect();
+        let measured = ComponentAvf::new(per_card[0], per_card[1], per_card[2]);
+        println!("measured register-file AVF: {measured}");
+        avfs.insert(HwComponent::RegFile, measured);
+    } else {
+        println!("using the paper's published Table V AVFs (pass --measure to measure)");
+    }
+
+    println!("\naggregate multi-bit AVF per node (Eq. 3) — register file:");
+    let rf = &avfs[&HwComponent::RegFile];
+    for node in TechNode::ALL {
+        println!(
+            "  {node:>7}: single-bit {:.2}%  aggregate {:.2}%  gap {:+.1}%",
+            rf.single * 100.0,
+            node_avf(rf, node) * 100.0,
+            assessment_gap(rf, node) * 100.0
+        );
+    }
+
+    println!("\nCPU FIT per node (Eq. 4) and the share a single-bit-only analysis misses:");
+    for node in TechNode::ALL {
+        let fit = cpu_fit(&avfs, node);
+        println!(
+            "  {node:>7}: FIT {:>7.4}  (single-bit only {:>7.4}, MBU share {:>5.1}%)",
+            fit.total,
+            fit.single_bit_only,
+            fit.mbu_contribution_pct()
+        );
+    }
+    let fit22 = cpu_fit(&avfs, TechNode::N22);
+    println!(
+        "\nheadline: at 22 nm, multi-bit upsets contribute {:.0}% of the CPU FIT \
+         (the paper reports 21%)",
+        fit22.mbu_contribution_pct()
+    );
+}

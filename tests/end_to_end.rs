@@ -1,0 +1,123 @@
+//! End-to-end pipeline tests: campaigns → weighted AVF (Eq. 2) →
+//! technology aggregation (Eq. 3) → FIT (Eq. 4), plus validation of the
+//! analysis stage against the paper's own published numbers.
+
+use mbu_cpu::HwComponent;
+use mbu_gefin::avf::{weighted_avf, ComponentAvf};
+use mbu_gefin::campaign::{Campaign, CampaignConfig};
+use mbu_gefin::fit::{component_fit, cpu_fit};
+use mbu_gefin::paper;
+use mbu_gefin::tech::{assessment_gap, node_avf, TechNode};
+use mbu_workloads::Workload;
+use std::collections::BTreeMap;
+
+/// A miniature end-to-end run of the entire paper pipeline on one
+/// component and two workloads, with small campaigns.
+#[test]
+fn mini_pipeline_produces_consistent_artifacts() {
+    let workloads = [Workload::Stringsearch, Workload::SusanC];
+    let component = HwComponent::RegFile;
+    let mut per_card = Vec::new();
+    for faults in 1..=3 {
+        let samples: Vec<(f64, u64)> = workloads
+            .iter()
+            .map(|&w| {
+                let r = Campaign::new(
+                    CampaignConfig::new(w, component, faults).runs(40).seed(13),
+                )
+                .run();
+                (r.avf(), r.fault_free_cycles)
+            })
+            .collect();
+        per_card.push(weighted_avf(&samples));
+    }
+    let avf = ComponentAvf::new(per_card[0], per_card[1], per_card[2]);
+
+    // Eq. 3 aggregation stays within the per-cardinality bounds.
+    for node in TechNode::ALL {
+        let v = node_avf(&avf, node);
+        let lo = per_card.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = per_card.iter().cloned().fold(0.0f64, f64::max);
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{node}: {v} outside [{lo}, {hi}]");
+    }
+
+    // Eq. 4: FIT scales linearly with raw FIT per bit across nodes.
+    let f130 = component_fit(node_avf(&avf, TechNode::N130), TechNode::N130, component);
+    let f22 = component_fit(node_avf(&avf, TechNode::N22), TechNode::N22, component);
+    if avf.single > 0.0 {
+        assert!(f130 > f22, "130 nm has ~4.6x the raw FIT of 22 nm");
+    }
+}
+
+/// Multi-bit AVFs dominate single-bit AVFs for a vulnerable component —
+/// the paper's central observation, measured end to end.
+#[test]
+fn multi_bit_avf_exceeds_single_bit() {
+    let mut avfs = Vec::new();
+    for faults in [1, 3] {
+        let r = Campaign::new(
+            CampaignConfig::new(Workload::Sha, HwComponent::RegFile, faults)
+                .runs(150)
+                .seed(21),
+        )
+        .run();
+        avfs.push(r.avf());
+    }
+    assert!(
+        avfs[1] > avfs[0],
+        "3-bit AVF ({:.3}) must exceed 1-bit AVF ({:.3})",
+        avfs[1],
+        avfs[0]
+    );
+}
+
+/// The analysis stage reproduces the paper's derived headline numbers
+/// exactly from the paper's published Table V inputs:
+/// Fig. 7's 35 % register-file gap and Fig. 8's 21 % MBU FIT share at 22 nm.
+#[test]
+fn analysis_reproduces_paper_headlines_from_table5() {
+    let avfs = paper::table5_avfs();
+    // Fig. 7 headline: gaps at 22 nm range from ~11 % (DTLB) to ~35 % (RF).
+    let rf_gap = assessment_gap(&avfs[&HwComponent::RegFile], TechNode::N22);
+    assert!((rf_gap - 0.355).abs() < 0.015, "rf gap {rf_gap}");
+    let dtlb_gap = assessment_gap(&avfs[&HwComponent::DTlb], TechNode::N22);
+    assert!((dtlb_gap - 0.11).abs() < 0.02, "dtlb gap {dtlb_gap}");
+    // Fig. 8 headline: MBU share of CPU FIT reaches ~21 % at 22 nm.
+    let share = cpu_fit(&avfs, TechNode::N22).mbu_contribution_pct();
+    assert!((15.0..23.0).contains(&share), "MBU share {share}%");
+    // And it is identically zero at 250 nm.
+    assert_eq!(cpu_fit(&avfs, TechNode::N250).mbu_contribution_pct(), 0.0);
+}
+
+/// The FIT trend across nodes follows Table VII's rise-then-fall shape for
+/// any AVF profile (AVF is node-independent in the model).
+#[test]
+fn fit_trend_is_rise_then_fall_for_any_profile() {
+    for (s, d, t) in [(0.05, 0.1, 0.2), (0.5, 0.6, 0.7), (0.2, 0.2, 0.2)] {
+        let mut avfs = BTreeMap::new();
+        for c in HwComponent::ALL {
+            avfs.insert(c, ComponentAvf::new(s, d, t));
+        }
+        let series: Vec<f64> = TechNode::ALL.iter().map(|&n| cpu_fit(&avfs, n).total).collect();
+        let peak = series.iter().cloned().fold(0.0f64, f64::max);
+        assert_eq!(series[2], peak, "peak at 130 nm");
+        assert!(series[7] < series[0], "22 nm below 250 nm");
+    }
+}
+
+/// Campaign determinism end to end: identical configurations give
+/// identical AVFs and class counts.
+#[test]
+fn full_campaign_determinism() {
+    let mk = || {
+        Campaign::new(
+            CampaignConfig::new(Workload::Stringsearch, HwComponent::DTlb, 2)
+                .runs(25)
+                .seed(4242),
+        )
+        .run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a, b);
+}
