@@ -1,10 +1,10 @@
 //! Analysis-pipeline benches: Eq. 2/3/4 math and result-store CSV handling.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mbu_bench::tinybench;
 use mbu_bench::ResultStore;
 use mbu_cpu::HwComponent;
 use mbu_gefin::avf::weighted_avf;
-use mbu_gefin::campaign::CampaignResult;
+use mbu_gefin::campaign::{AnomalyLog, CampaignResult};
 use mbu_gefin::classify::ClassCounts;
 use mbu_gefin::fit::cpu_fit;
 use mbu_gefin::paper;
@@ -30,6 +30,7 @@ fn full_store() -> ResultStore {
                     fault_free_cycles: 10_000 + (j as u64) * 7_000,
                     fault_free_instructions: 9_000,
                     details: None,
+                    anomalies: AnomalyLog::new(),
                 });
             }
         }
@@ -37,19 +38,19 @@ fn full_store() -> ResultStore {
     s
 }
 
-fn bench_weighted_avf(c: &mut Criterion) {
+fn bench_weighted_avf() {
     let samples: Vec<(f64, u64)> = (0..15).map(|i| (0.01 * i as f64, 1000 + i * 997)).collect();
-    let mut group = c.benchmark_group("analysis");
-    group.throughput(Throughput::Elements(samples.len() as u64));
+    let mut group = tinybench::group("analysis");
+    group.throughput_elements(samples.len() as u64);
     group.bench_function("weighted_avf_eq2", |b| {
         b.iter(|| weighted_avf(&samples));
     });
     group.finish();
 }
 
-fn bench_node_aggregation(c: &mut Criterion) {
+fn bench_node_aggregation() {
     let avfs = paper::table5_avfs();
-    let mut group = c.benchmark_group("analysis");
+    let mut group = tinybench::group("analysis");
     group.bench_function("node_avf_eq3_all_nodes", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -73,15 +74,18 @@ fn bench_node_aggregation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_store_roundtrip(c: &mut Criterion) {
+fn bench_store_roundtrip() {
     let store = full_store();
     let csv = store.to_csv();
-    let mut group = c.benchmark_group("result_store");
-    group.throughput(Throughput::Elements(store.len() as u64));
+    let mut group = tinybench::group("result_store");
+    group.throughput_elements(store.len() as u64);
     group.bench_function("to_csv", |b| b.iter(|| store.to_csv()));
     group.bench_function("from_csv", |b| b.iter(|| ResultStore::from_csv(&csv).unwrap()));
     group.finish();
 }
 
-criterion_group!(benches, bench_weighted_avf, bench_node_aggregation, bench_store_roundtrip);
-criterion_main!(benches);
+fn main() {
+    bench_weighted_avf();
+    bench_node_aggregation();
+    bench_store_roundtrip();
+}

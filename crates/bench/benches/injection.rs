@@ -2,45 +2,41 @@
 //! cost per component, and the cluster-size ablation called out in
 //! DESIGN.md (2×2 vs 3×3 vs 4×4 windows).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mbu_bench::tinybench;
 use mbu_cpu::HwComponent;
 use mbu_gefin::campaign::{Campaign, CampaignConfig};
 use mbu_gefin::mask::{ClusterSpec, MaskGenerator};
 use mbu_sram::Geometry;
 use mbu_workloads::Workload;
 
-fn bench_mask_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mask_generation");
+fn bench_mask_generation() {
+    let mut group = tinybench::group("mask_generation");
     let geometry = Geometry::new(256, 256); // an L1-like array
-    group.throughput(Throughput::Elements(1));
+    group.throughput_elements(1);
     for faults in 1..=3usize {
-        group.bench_with_input(BenchmarkId::new("cardinality", faults), &faults, |b, &n| {
+        group.bench_function(&format!("cardinality/{faults}"), |b| {
             let mut gen = MaskGenerator::seeded(1, ClusterSpec::DEFAULT);
-            b.iter(|| gen.generate(geometry, n));
+            b.iter(|| gen.generate(geometry, faults));
         });
     }
     group.finish();
 }
 
-fn bench_injection_runs_per_component(c: &mut Criterion) {
-    let mut group = c.benchmark_group("campaign_per_component");
+fn bench_injection_runs_per_component() {
+    let mut group = tinybench::group("campaign_per_component");
     group.sample_size(10);
     for component in HwComponent::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("runs8", component.name()),
-            &component,
-            |b, &comp| {
-                b.iter(|| {
-                    Campaign::new(
-                        CampaignConfig::new(Workload::Stringsearch, comp, 2)
-                            .runs(8)
-                            .seed(3)
-                            .threads(1),
-                    )
-                    .run()
-                });
-            },
-        );
+        group.bench_function(&format!("runs8/{}", component.name()), |b| {
+            b.iter(|| {
+                Campaign::new(
+                    CampaignConfig::new(Workload::Stringsearch, component, 2)
+                        .runs(8)
+                        .seed(3)
+                        .threads(1),
+                )
+                .run()
+            });
+        });
     }
     group.finish();
 }
@@ -48,8 +44,8 @@ fn bench_injection_runs_per_component(c: &mut Criterion) {
 /// Ablation: how the cluster window size changes campaign results/cost.
 /// The paper fixes 3×3 (quadruple-and-larger rates are ~0); this measures
 /// the alternative windows.
-fn bench_cluster_size_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cluster_size_ablation");
+fn bench_cluster_size_ablation() {
+    let mut group = tinybench::group("cluster_size_ablation");
     group.sample_size(10);
     for (name, cluster) in [
         ("2x2", ClusterSpec::new(2, 2)),
@@ -72,10 +68,8 @@ fn bench_cluster_size_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_mask_generation,
-    bench_injection_runs_per_component,
-    bench_cluster_size_ablation
-);
-criterion_main!(benches);
+fn main() {
+    bench_mask_generation();
+    bench_injection_runs_per_component();
+    bench_cluster_size_ablation();
+}

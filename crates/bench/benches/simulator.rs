@@ -2,14 +2,14 @@
 //! paper's workloads, on the scaled experimental configuration and on the
 //! full Table I configuration (capacity ablation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mbu_bench::tinybench;
 use mbu_cpu::{CoreConfig, RunEnd, Simulator};
 use mbu_isa::interp::ArchInterpreter;
 use mbu_mem::MemorySystemConfig;
 use mbu_workloads::Workload;
 
-fn bench_workload_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ooo_simulator");
+fn bench_workload_simulation() {
+    let mut group = tinybench::group("ooo_simulator");
     group.sample_size(10);
     for w in [Workload::Stringsearch, Workload::SusanE, Workload::Sha] {
         let program = w.program();
@@ -18,17 +18,17 @@ fn bench_workload_simulation(c: &mut Criterion) {
             assert_eq!(r.end, RunEnd::Exited { code: 0 });
             r.cycles
         };
-        group.throughput(Throughput::Elements(cycles));
-        group.bench_with_input(BenchmarkId::new("cycles", w.name()), &program, |b, p| {
-            b.iter(|| Simulator::new(CoreConfig::cortex_a9_like(), p).run(u64::MAX / 8));
+        group.throughput_elements(cycles);
+        group.bench_function(&format!("cycles/{}", w.name()), |b| {
+            b.iter(|| Simulator::new(CoreConfig::cortex_a9_like(), &program).run(u64::MAX / 8));
         });
     }
     group.finish();
 }
 
-fn bench_interpreter_vs_ooo(c: &mut Criterion) {
+fn bench_interpreter_vs_ooo() {
     let program = Workload::Stringsearch.program();
-    let mut group = c.benchmark_group("interpreter_vs_ooo");
+    let mut group = tinybench::group("interpreter_vs_ooo");
     group.sample_size(10);
     group.bench_function("arch_interpreter", |b| {
         b.iter(|| ArchInterpreter::new(&program).run(10_000_000).unwrap());
@@ -40,9 +40,9 @@ fn bench_interpreter_vs_ooo(c: &mut Criterion) {
 }
 
 /// Ablation: scaled experimental memory vs the full Table I capacities.
-fn bench_capacity_ablation(c: &mut Criterion) {
+fn bench_capacity_ablation() {
     let program = Workload::SusanC.program();
-    let mut group = c.benchmark_group("capacity_ablation");
+    let mut group = tinybench::group("capacity_ablation");
     group.sample_size(10);
     for (name, mem) in [
         ("scaled", MemorySystemConfig::scaled()),
@@ -56,8 +56,8 @@ fn bench_capacity_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_program_build_and_load(c: &mut Criterion) {
-    let mut group = c.benchmark_group("program_setup");
+fn bench_program_build_and_load() {
+    let mut group = tinybench::group("program_setup");
     group.bench_function("assemble_sha", |b| {
         b.iter(|| Workload::Sha.program());
     });
@@ -68,11 +68,9 @@ fn bench_program_build_and_load(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_workload_simulation,
-    bench_interpreter_vs_ooo,
-    bench_capacity_ablation,
-    bench_program_build_and_load
-);
-criterion_main!(benches);
+fn main() {
+    bench_workload_simulation();
+    bench_interpreter_vs_ooo();
+    bench_capacity_ablation();
+    bench_program_build_and_load();
+}

@@ -124,13 +124,33 @@ fn derived_avfs(
     e.component_avfs(store)
 }
 
+/// Runs every missing campaign, flushing each one to the checkpoint CSV as
+/// it finishes — a killed `measure` loses at most the campaign in flight,
+/// and a restart re-runs only what is missing.
 fn measure_all(e: &Experiments, opts: &Options, store: &mut ResultStore) {
     for c in HwComponent::ALL {
         eprintln!("measuring {}", e.describe(c));
-        e.measure_component(c, store);
-        if let Err(err) = store.save(&opts.out) {
-            eprintln!("warning: could not save {}: {err}", opts.out.display());
+        match e.run_sweep(&[c], store, Some(&opts.out)) {
+            Ok(report) => {
+                if report.skipped_existing > 0 {
+                    eprintln!(
+                        "  resumed: {} campaigns already in {}",
+                        report.skipped_existing,
+                        opts.out.display()
+                    );
+                }
+                for ((comp, w, faults), err) in &report.failed {
+                    eprintln!("  warning: skipped {comp}/{w}/{faults}-bit: {err}");
+                }
+            }
+            Err(err) => {
+                eprintln!("warning: could not checkpoint to {}: {err}", opts.out.display());
+            }
         }
+    }
+    // Compact the append-only checkpoint (drops re-measured duplicates).
+    if let Err(err) = store.save(&opts.out) {
+        eprintln!("warning: could not save {}: {err}", opts.out.display());
     }
 }
 
@@ -149,7 +169,12 @@ fn run(opts: &Options) -> Result<(), String> {
             let component = fig_component(id).expect("matched above");
             let mut store = load_store(opts);
             eprintln!("measuring {}", e.describe(component));
-            e.measure_component(component, &mut store);
+            let report = e
+                .run_sweep(&[component], &mut store, Some(&opts.out))
+                .map_err(|err| err.to_string())?;
+            for ((comp, w, faults), err) in &report.failed {
+                eprintln!("warning: skipped {comp}/{w}/{faults}-bit: {err}");
+            }
             store.save(&opts.out).map_err(|err| err.to_string())?;
             if opts.chart {
                 println!("{}", e.figure_chart(component, &store));

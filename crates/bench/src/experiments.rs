@@ -1,7 +1,8 @@
 //! The per-table / per-figure experiment implementations.
 
-use crate::store::{component_slug, ResultStore};
+use crate::store::{component_slug, Key, ResultStore, StoreError};
 use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
+use mbu_gefin::error::CampaignError;
 use mbu_gefin::avf::{weighted_avf, ClassBreakdown, ComponentAvf};
 use mbu_gefin::beam::{run_beam, BeamConfig};
 use mbu_gefin::campaign::{Campaign, CampaignConfig, CampaignResult, InjectionTarget};
@@ -14,6 +15,28 @@ use mbu_gefin::tech::{assessment_gap, component_bits, node_avf, node_avf_with_ra
 use mbu_gefin::paper;
 use mbu_workloads::Workload;
 use std::collections::BTreeMap;
+use std::path::Path;
+
+/// What a [`Experiments::run_sweep`] call actually did — the resume
+/// accounting that lets callers (and tests) verify that completed campaigns
+/// are never re-executed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepReport {
+    /// Campaigns executed in this call.
+    pub executed: usize,
+    /// Campaigns skipped because the store already held their key.
+    pub skipped_existing: usize,
+    /// Campaigns that could not run (e.g. a failed golden run); the sweep
+    /// continues past them.
+    pub failed: Vec<(Key, CampaignError)>,
+}
+
+impl SweepReport {
+    /// Whether every attempted campaign succeeded.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
 
 /// Per-component campaign data: one [`CampaignResult`] per (workload,
 /// cardinality).
@@ -146,20 +169,102 @@ impl Experiments {
         .run()
     }
 
+    /// Runs one campaign without panicking on configuration/golden-run
+    /// failures.
+    pub fn try_campaign(
+        &self,
+        component: HwComponent,
+        workload: Workload,
+        faults: usize,
+    ) -> Result<CampaignResult, CampaignError> {
+        Campaign::try_new(
+            CampaignConfig::new(workload, component, faults)
+                .runs(self.runs)
+                .seed(self.seed)
+                .threads(self.threads),
+        )?
+        .try_run()
+    }
+
+    /// The crash-safe sweep driver: runs every missing (component, workload,
+    /// cardinality) campaign over `components`, skipping keys the store
+    /// already holds, optionally flushing each finished campaign to
+    /// `checkpoint` via [`ResultStore::append_row`].
+    ///
+    /// Resumability comes from the skip + flush pair: load the checkpoint
+    /// into `store` before calling, and an interrupted sweep restarts where
+    /// it stopped, losing at most the single campaign that was in flight. A
+    /// workload whose golden run fails is reported in
+    /// [`SweepReport::failed`] and skipped (including its remaining
+    /// cardinalities) rather than aborting the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Only checkpoint I/O aborts the sweep — losing the ability to flush
+    /// would silently forfeit crash-safety. Campaign failures never do.
+    pub fn run_sweep(
+        &self,
+        components: &[HwComponent],
+        store: &mut ResultStore,
+        checkpoint: Option<&Path>,
+    ) -> Result<SweepReport, StoreError> {
+        let mut report = SweepReport::default();
+        for &component in components {
+            for &w in &self.workloads {
+                let mut workload_poisoned = false;
+                for faults in 1..=3 {
+                    if store.contains(component, w, faults) {
+                        report.skipped_existing += 1;
+                        continue;
+                    }
+                    if workload_poisoned {
+                        continue;
+                    }
+                    match self.try_campaign(component, w, faults) {
+                        Ok(r) => {
+                            report.executed += 1;
+                            if self.verbose {
+                                eprintln!("  {r}");
+                                if !r.anomalies.is_empty() {
+                                    eprintln!("  {}", r.anomalies);
+                                }
+                            }
+                            if let Some(path) = checkpoint {
+                                ResultStore::append_row(path, &r)?;
+                            }
+                            store.insert(r);
+                        }
+                        Err(e) => {
+                            if self.verbose {
+                                eprintln!("  {component}/{w}/{faults}-bit failed: {e}");
+                            }
+                            // A golden-run failure poisons every cardinality
+                            // of this workload; don't burn time rediscovering
+                            // it twice.
+                            workload_poisoned =
+                                matches!(e, CampaignError::GoldenRunFailed { .. });
+                            report.failed.push(((component, w, faults), e));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
     /// Runs the full campaign set of one component (every workload × 1/2/3
     /// bits) and stores the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any campaign fails; use [`Experiments::run_sweep`] for the
+    /// fault-tolerant, checkpointing form.
     pub fn measure_component(&self, component: HwComponent, store: &mut ResultStore) {
-        for &w in &self.workloads {
-            for faults in 1..=3 {
-                if store.get(component, w, faults).is_some() {
-                    continue;
-                }
-                let r = self.campaign(component, w, faults);
-                if self.verbose {
-                    eprintln!("  {r}");
-                }
-                store.insert(r);
-            }
+        let report = self
+            .run_sweep(&[component], store, None)
+            .expect("no checkpoint file, so no I/O can fail");
+        if let Some((key, e)) = report.failed.first() {
+            panic!("campaign {}/{}/{} failed: {e}", key.0, key.1, key.2);
         }
     }
 
@@ -717,5 +822,50 @@ mod tests {
         assert_eq!(e.table6().len(), 8);
         assert_eq!(e.table7().len(), 8);
         assert_eq!(e.table8().len(), 6);
+    }
+
+    #[test]
+    fn sweep_resumes_skipping_completed_keys() {
+        let e = tiny();
+        let w = Workload::Stringsearch;
+        let c = HwComponent::RegFile;
+        let mut store = ResultStore::new();
+        let first = e.run_sweep(&[c], &mut store, None).unwrap();
+        assert_eq!(first.executed, 3, "fresh sweep runs every campaign");
+        assert_eq!(first.skipped_existing, 0);
+        assert!(first.is_clean());
+        // Re-running against the same store executes nothing.
+        let second = e.run_sweep(&[c], &mut store, None).unwrap();
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.skipped_existing, 3);
+        // Resume from a partial store (as after a kill): only the missing
+        // key runs, and deterministically reproduces the original result.
+        let mut partial = ResultStore::new();
+        partial.insert(store.get(c, w, 1).unwrap().clone());
+        partial.insert(store.get(c, w, 3).unwrap().clone());
+        let resumed = e.run_sweep(&[c], &mut partial, None).unwrap();
+        assert_eq!(resumed.executed, 1, "only the missing campaign re-runs");
+        assert_eq!(resumed.skipped_existing, 2);
+        assert_eq!(partial.get(c, w, 2).unwrap(), store.get(c, w, 2).unwrap());
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_from_disk() {
+        let e = tiny();
+        let c = HwComponent::RegFile;
+        let dir = std::env::temp_dir().join(format!("mbu-sweep-test-{}", std::process::id()));
+        let path = dir.join("sweep.csv");
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::new();
+        e.run_sweep(&[c], &mut store, Some(&path)).unwrap();
+        // Every finished campaign was flushed as it completed.
+        let reloaded = ResultStore::load(&path).unwrap();
+        assert_eq!(reloaded.len(), 3);
+        // A restarted process loads the checkpoint and has nothing to do.
+        let mut resumed_store = reloaded;
+        let report = e.run_sweep(&[c], &mut resumed_store, Some(&path)).unwrap();
+        assert_eq!(report.executed, 0);
+        assert_eq!(report.skipped_existing, 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,8 +1,14 @@
 //! Experiment harness regenerating every table and figure of the paper.
 //!
 //! The `repro` binary (`cargo run -p mbu-bench --release --bin repro -- <id>`)
-//! drives the functions in this crate; the Criterion benches reuse the same
-//! building blocks for performance measurements and ablations.
+//! drives the functions in this crate; the [`tinybench`]-based benches
+//! (behind the `bench-harness` feature) reuse the same building blocks for
+//! performance measurements and ablations.
+//!
+//! Campaign sweeps are crash-safe: [`Experiments::run_sweep`] skips
+//! campaigns the [`ResultStore`] already holds and flushes each finished
+//! campaign to the checkpoint CSV immediately, so an interrupted `measure`
+//! resumes where it stopped.
 //!
 //! Environment knobs:
 //!
@@ -16,6 +22,8 @@
 
 pub mod experiments;
 pub mod store;
+#[cfg(feature = "bench-harness")]
+pub mod tinybench;
 
-pub use experiments::{ComponentData, Experiments};
-pub use store::ResultStore;
+pub use experiments::{ComponentData, Experiments, SweepReport};
+pub use store::{ResultStore, StoreError};

@@ -1,17 +1,69 @@
 //! CSV persistence for measured campaign results, so expensive campaigns
 //! (fig1–fig6) can be run once and the derived tables/figures (Tables IV–V,
 //! Figures 7–8) recomputed instantly.
+//!
+//! # Checkpointing
+//!
+//! The store doubles as a sweep checkpoint: [`ResultStore::append_row`]
+//! flushes one finished campaign to disk immediately, and
+//! [`ResultStore::from_csv`] applies rows in order with last-row-wins
+//! semantics, so a file produced by an interrupted sweep (possibly with a
+//! torn final line) reloads cleanly up to the last complete row and the
+//! sweep driver re-runs only the missing campaigns.
 
 use mbu_cpu::HwComponent;
+use mbu_gefin::campaign::{AnomalyLog, CampaignResult};
 use mbu_gefin::classify::ClassCounts;
-use mbu_gefin::campaign::CampaignResult;
 use mbu_workloads::Workload;
 use std::collections::BTreeMap;
-use std::io;
+use std::fmt;
+use std::io::{self, Write};
 use std::path::Path;
 
 /// Key identifying one campaign.
 pub type Key = (HwComponent, Workload, usize);
+
+/// Why a store could not be read or written.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The CSV text is malformed at a specific line.
+    Syntax {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// The fixed CSV header.
+pub const CSV_HEADER: &str =
+    "component,workload,faults,masked,sdc,crash,timeout,assert,cycles,instructions";
 
 /// An in-memory, CSV-backed store of campaign results.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +87,11 @@ impl ResultStore {
         self.entries.get(&(component, workload, faults))
     }
 
+    /// Whether a campaign for this key is already present.
+    pub fn contains(&self, component: HwComponent, workload: Workload, faults: usize) -> bool {
+        self.entries.contains_key(&(component, workload, faults))
+    }
+
     /// Number of stored campaigns.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -55,54 +112,59 @@ impl ResultStore {
         self.entries.len() == 6 * 15 * 3
     }
 
+    /// Renders one result as a CSV row (no trailing newline).
+    fn csv_row(r: &CampaignResult) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{}",
+            component_slug(r.component),
+            r.workload.name(),
+            r.faults,
+            r.counts.masked,
+            r.counts.sdc,
+            r.counts.crash,
+            r.counts.timeout,
+            r.counts.assert_,
+            r.fault_free_cycles,
+            r.fault_free_instructions,
+        )
+    }
+
     /// Serializes to CSV.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "component,workload,faults,masked,sdc,crash,timeout,assert,cycles,instructions\n",
-        );
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
         for r in self.entries.values() {
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{}\n",
-                component_slug(r.component),
-                r.workload.name(),
-                r.faults,
-                r.counts.masked,
-                r.counts.sdc,
-                r.counts.crash,
-                r.counts.timeout,
-                r.counts.assert_,
-                r.fault_free_cycles,
-                r.fault_free_instructions,
-            ));
+            out.push_str(&Self::csv_row(r));
+            out.push('\n');
         }
         out
     }
 
-    /// Parses the CSV produced by [`ResultStore::to_csv`].
+    /// Parses the CSV produced by [`ResultStore::to_csv`] /
+    /// [`ResultStore::append_row`]. Duplicate keys are legal (an appended
+    /// checkpoint may re-measure a campaign); the last row wins.
     ///
     /// # Errors
     ///
-    /// Returns a descriptive error on malformed rows.
-    pub fn from_csv(csv: &str) -> Result<Self, String> {
+    /// Returns [`StoreError::Syntax`] with the line number on malformed
+    /// rows; never panics, whatever the input.
+    pub fn from_csv(csv: &str) -> Result<Self, StoreError> {
         let mut store = Self::new();
         for (lineno, line) in csv.lines().enumerate().skip(1) {
             if line.trim().is_empty() {
                 continue;
             }
+            let syntax = |message: String| StoreError::Syntax { line: lineno + 1, message };
             let f: Vec<&str> = line.split(',').collect();
             if f.len() != 10 {
-                return Err(format!("line {}: expected 10 fields, got {}", lineno + 1, f.len()));
+                return Err(syntax(format!("expected 10 fields, got {}", f.len())));
             }
-            let parse = |s: &str| -> Result<u64, String> {
-                s.parse().map_err(|e| format!("line {}: {e}", lineno + 1))
+            let parse = |s: &str| -> Result<u64, StoreError> {
+                s.parse().map_err(|e| syntax(format!("{e} (field {s:?})")))
             };
             let result = CampaignResult {
-                component: f[0]
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?,
-                workload: f[1]
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                component: f[0].parse().map_err(|e| syntax(format!("{e}")))?,
+                workload: f[1].parse().map_err(|e| syntax(format!("{e}")))?,
                 faults: parse(f[2])? as usize,
                 counts: ClassCounts {
                     masked: parse(f[3])?,
@@ -114,22 +176,44 @@ impl ResultStore {
                 fault_free_cycles: parse(f[8])?,
                 fault_free_instructions: parse(f[9])?,
                 details: None,
+                anomalies: AnomalyLog::new(),
             };
             store.insert(result);
         }
         Ok(store)
     }
 
-    /// Saves to a file, creating parent directories.
+    /// Saves the whole store to a file, creating parent directories.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, self.to_csv())
+        std::fs::write(path, self.to_csv())?;
+        Ok(())
+    }
+
+    /// Appends one finished campaign to the checkpoint file (creating it,
+    /// with header, if absent). This is the incremental-flush primitive the
+    /// sweep driver calls after *every* campaign, so a killed sweep loses at
+    /// most the campaign in flight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append_row(path: &Path, r: &CampaignResult) -> Result<(), StoreError> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        if file.metadata()?.len() == 0 {
+            writeln!(file, "{CSV_HEADER}")?;
+        }
+        writeln!(file, "{}", Self::csv_row(r))?;
+        Ok(())
     }
 
     /// Loads from a file.
@@ -137,9 +221,9 @@ impl ResultStore {
     /// # Errors
     ///
     /// Propagates I/O errors and malformed-CSV errors.
-    pub fn load(path: &Path) -> io::Result<Self> {
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
         let text = std::fs::read_to_string(path)?;
-        Self::from_csv(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        Self::from_csv(&text)
     }
 }
 
@@ -168,6 +252,7 @@ mod tests {
             fault_free_cycles: 12345,
             fault_free_instructions: 6789,
             details: None,
+            anomalies: AnomalyLog::new(),
         }
     }
 
@@ -193,6 +278,31 @@ mod tests {
     }
 
     #[test]
+    fn garbage_and_truncation_return_typed_errors_not_panics() {
+        // Binary garbage.
+        let garbage = "\u{0}\u{1}\u{2}\nl1d,\u{fffd},x,y\n";
+        match ResultStore::from_csv(garbage) {
+            Err(StoreError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        // A checkpoint whose last row was torn mid-write.
+        let mut s = ResultStore::new();
+        s.insert(sample(HwComponent::L1D, Workload::Sha, 1));
+        let full = s.to_csv();
+        // Tear the row inside its final field, comma included, so the line
+        // is left with too few fields.
+        let torn = &full[..full.rfind(',').unwrap()];
+        let err = ResultStore::from_csv(torn).unwrap_err();
+        assert!(matches!(err, StoreError::Syntax { .. }), "torn row is a syntax error: {err}");
+        // Negative and overflowing numeric fields.
+        assert!(ResultStore::from_csv("h\nl1d,sha,1,-5,1,1,1,1,1,1\n").is_err());
+        assert!(ResultStore::from_csv(
+            "h\nl1d,sha,1,999999999999999999999999,1,1,1,1,1,1\n"
+        )
+        .is_err());
+    }
+
+    #[test]
     fn completeness_check() {
         let mut s = ResultStore::new();
         for c in HwComponent::ALL {
@@ -215,5 +325,31 @@ mod tests {
         s.insert(newer.clone());
         assert_eq!(s.len(), 1);
         assert_eq!(s.get(HwComponent::L2, Workload::Fft, 2).unwrap().counts.masked, 1);
+    }
+
+    #[test]
+    fn append_row_checkpoints_incrementally() {
+        let dir = std::env::temp_dir().join(format!("mbu-store-test-{}", std::process::id()));
+        let path = dir.join("checkpoint.csv");
+        let _ = std::fs::remove_file(&path);
+        let a = sample(HwComponent::L1D, Workload::Sha, 1);
+        let b = sample(HwComponent::RegFile, Workload::Fft, 2);
+        ResultStore::append_row(&path, &a).unwrap();
+        ResultStore::append_row(&path, &b).unwrap();
+        // Re-measurement of the same key appends; last row wins on load.
+        let mut newer = a.clone();
+        newer.counts.masked = 42;
+        ResultStore::append_row(&path, &newer).unwrap();
+        let loaded = ResultStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(HwComponent::L1D, Workload::Sha, 1).unwrap().counts.masked, 42);
+        assert!(loaded.contains(HwComponent::RegFile, Workload::Fft, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = ResultStore::load(Path::new("/nonexistent/dir/store.csv")).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
     }
 }

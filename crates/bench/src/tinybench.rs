@@ -1,0 +1,159 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace must build fully offline, so Criterion is not available;
+//! this module provides the small slice of its surface the benches need:
+//! named groups, per-group sample counts, element throughput, and a
+//! `Bencher::iter` that auto-calibrates the batch size so even
+//! nanosecond-scale functions are measured over ≥ 1 ms batches.
+//!
+//! Run with `cargo bench -p mbu-bench --features bench-harness`; the
+//! `TINYBENCH_SAMPLES` environment variable overrides every group's sample
+//! count (handy for a quick smoke run in CI: `TINYBENCH_SAMPLES=2`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can guard values against constant folding.
+pub use std::hint::black_box as bb;
+
+/// Target wall-clock time of one measured batch.
+const TARGET_BATCH: Duration = Duration::from_millis(1);
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    /// Nanoseconds per iteration of each sample.
+    samples_ns: Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Self { samples_ns: Vec::with_capacity(sample_count), sample_count }
+    }
+
+    /// Times `f`, batching calls so each sample spans at least
+    /// [`TARGET_BATCH`] of wall-clock.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up + batch calibration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct Group {
+    name: String,
+    sample_count: usize,
+    throughput_elements: Option<u64>,
+}
+
+impl Group {
+    /// Sets the number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Declares that one iteration processes `n` elements, enabling the
+    /// elements-per-second column.
+    pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
+        self.throughput_elements = Some(n);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let samples = env_samples().unwrap_or(self.sample_count);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        report(&self.name, name, &b.samples_ns, self.throughput_elements);
+        self
+    }
+
+    /// No-op, kept for call-site symmetry with Criterion.
+    pub fn finish(&mut self) {}
+}
+
+/// Creates a benchmark group.
+pub fn group(name: &str) -> Group {
+    Group { name: name.to_string(), sample_count: 20, throughput_elements: None }
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("TINYBENCH_SAMPLES").ok()?.parse().ok().map(|n: usize| n.max(2))
+}
+
+fn report(group: &str, name: &str, samples_ns: &[f64], throughput: Option<u64>) {
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let mut line = format!(
+        "{group}/{name}: median {} (min {}, mean {}, {} samples)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(mean),
+        sorted.len(),
+    );
+    if let Some(elements) = throughput {
+        let per_sec = elements as f64 / (median * 1e-9);
+        line.push_str(&format!(", {} elem/s", fmt_rate(per_sec)));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| 2u64 + 2);
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_rate(5e6).ends_with('M'));
+    }
+}

@@ -17,11 +17,10 @@
 
 use crate::classify::{classify, ClassCounts};
 use crate::mask::{ClusterSpec, MaskGenerator};
+use crate::rng::Rng64;
 use crate::tech::TechNode;
 use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
 use mbu_workloads::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Configuration of a beam-emulation campaign.
@@ -131,7 +130,7 @@ impl fmt::Display for BeamResult {
 }
 
 /// Knuth's Poisson sampler (exact for the small λ used here).
-fn poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+fn poisson(rng: &mut Rng64, lambda: f64) -> u32 {
     let l = (-lambda).exp();
     let mut k = 0u32;
     let mut p = 1.0f64;
@@ -145,7 +144,7 @@ fn poisson(rng: &mut StdRng, lambda: f64) -> u32 {
 }
 
 /// Samples a strike cardinality (1–3 bits) from the node's MBU rates.
-fn strike_cardinality(rng: &mut StdRng, node: TechNode) -> usize {
+fn strike_cardinality(rng: &mut Rng64, node: TechNode) -> usize {
     let r = node.mbu_rates();
     let x: f64 = rng.gen();
     if x < r[0] {
@@ -177,7 +176,7 @@ pub fn run_beam(config: &BeamConfig) -> BeamResult {
     let mut quiet_runs = 0u64;
     let mut multi = 0u64;
     for i in 0..config.runs {
-        let mut rng = StdRng::seed_from_u64(
+        let mut rng = Rng64::seed_from_u64(
             config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 + 1),
         );
         let strikes = poisson(&mut rng, config.flux);
@@ -229,7 +228,7 @@ mod tests {
 
     #[test]
     fn poisson_mean_is_close_to_lambda() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let n = 4000;
         let total: u64 = (0..n).map(|_| poisson(&mut rng, 1.5) as u64).sum();
         let mean = total as f64 / n as f64;
@@ -238,7 +237,7 @@ mod tests {
 
     #[test]
     fn cardinality_follows_node_rates() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng64::seed_from_u64(8);
         let n = 4000;
         let mut counts = [0u32; 3];
         for _ in 0..n {
@@ -267,7 +266,7 @@ mod tests {
 
     #[test]
     fn at_250nm_all_strikes_are_single_bit() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng64::seed_from_u64(9);
         for _ in 0..200 {
             assert_eq!(strike_cardinality(&mut rng, TechNode::N250), 1);
         }

@@ -1,0 +1,94 @@
+//! Typed errors for the campaign engine.
+//!
+//! The public campaign API reports invalid configurations and failed golden
+//! runs as [`CampaignError`] values instead of panicking, so sweep drivers
+//! (e.g. `mbu-bench`) can skip a poisoned workload and keep going. The
+//! panicking constructors ([`crate::campaign::Campaign::new`],
+//! [`crate::campaign::Campaign::run`]) remain as thin conveniences whose
+//! messages are these errors' `Display` output.
+
+use crate::mask::ClusterSpec;
+use mbu_cpu::{HwComponent, RunEnd};
+use mbu_workloads::Workload;
+use std::fmt;
+
+/// Why a campaign could not be configured or executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// `runs` was zero.
+    ZeroRuns,
+    /// The fault cardinality does not fit the cluster window.
+    CardinalityTooLarge {
+        /// Requested flips per injection.
+        faults: usize,
+        /// The configured cluster window.
+        cluster: ClusterSpec,
+    },
+    /// Tag-array injection was requested for a component without a tag
+    /// array.
+    TagArrayUnsupported {
+        /// The offending component.
+        component: HwComponent,
+    },
+    /// The fault-free golden run did not exit cleanly — a workload or
+    /// simulator problem, not a fault effect; the campaign has no reference
+    /// output to classify against.
+    GoldenRunFailed {
+        /// The workload whose golden run failed.
+        workload: Workload,
+        /// How the golden run actually ended.
+        end: RunEnd,
+    },
+    /// A worker thread died outside the per-run isolation boundary (an
+    /// engine bug, not an injected-fault effect).
+    WorkerPanicked,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::ZeroRuns => f.write_str("campaign needs at least one run"),
+            CampaignError::CardinalityTooLarge { faults, cluster } => write!(
+                f,
+                "fault cardinality must fit the cluster ({faults} bits in a {cluster} window)"
+            ),
+            CampaignError::TagArrayUnsupported { component } => write!(
+                f,
+                "tag-array injection is only defined for caches (got {component})"
+            ),
+            CampaignError::GoldenRunFailed { workload, end } => write!(
+                f,
+                "fault-free run of {workload} must exit cleanly, got {end:?}"
+            ),
+            CampaignError::WorkerPanicked => {
+                f.write_str("campaign worker thread panicked outside an isolated run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_keep_legacy_panic_substrings() {
+        // The panicking wrappers' `#[should_panic(expected = ...)]` tests
+        // match on these fragments.
+        assert!(CampaignError::ZeroRuns.to_string().contains("at least one run"));
+        assert!(CampaignError::CardinalityTooLarge { faults: 10, cluster: ClusterSpec::DEFAULT }
+            .to_string()
+            .contains("fit the cluster"));
+        assert!(CampaignError::TagArrayUnsupported { component: HwComponent::DTlb }
+            .to_string()
+            .contains("only defined for caches"));
+        assert!(CampaignError::GoldenRunFailed {
+            workload: Workload::Sha,
+            end: RunEnd::CycleLimit
+        }
+        .to_string()
+        .contains("must exit cleanly"));
+    }
+}

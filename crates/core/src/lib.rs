@@ -46,15 +46,18 @@ pub mod avf;
 pub mod beam;
 pub mod campaign;
 pub mod classify;
+pub mod error;
 pub mod fit;
 pub mod mask;
 pub mod paper;
 pub mod report;
+pub mod rng;
 pub mod stats;
 pub mod tech;
 
 pub use avf::{ClassBreakdown, ComponentAvf};
-pub use campaign::{Campaign, CampaignConfig, CampaignResult};
+pub use campaign::{Anomaly, AnomalyLog, Campaign, CampaignConfig, CampaignResult};
 pub use classify::{ClassCounts, FaultEffect};
+pub use error::CampaignError;
 pub use mask::{ClusterSpec, FaultMask, MaskGenerator};
 pub use tech::TechNode;

@@ -8,9 +8,8 @@
 //! includes all smaller sub-clusters in the analysis, unlike the MBU coding
 //! of Ibe et al. which normalizes to the minimal bounding box.
 
+use crate::rng::Rng64;
 use mbu_sram::{BitCoord, Geometry};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Cluster window dimensions (rows × cols).
@@ -110,14 +109,14 @@ impl fmt::Display for FaultMask {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MaskGenerator {
-    rng: StdRng,
+    rng: Rng64,
     cluster: ClusterSpec,
 }
 
 impl MaskGenerator {
     /// Creates a generator with a deterministic seed.
     pub fn seeded(seed: u64, cluster: ClusterSpec) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), cluster }
+        Self { rng: Rng64::seed_from_u64(seed), cluster }
     }
 
     /// The cluster window used by this generator.

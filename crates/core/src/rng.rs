@@ -1,0 +1,172 @@
+//! Deterministic pseudo-random generator for mask generation and beam
+//! emulation.
+//!
+//! The workspace builds fully offline, so `rand` is not available; this
+//! module provides the small slice of its API the injector needs
+//! (`seed_from_u64`, `gen`, `gen_range`) on top of xoshiro256** seeded via
+//! SplitMix64. Streams are stable across platforms and releases: campaign
+//! results for a given seed are part of the reproducibility contract
+//! (checkpoint/resume relies on re-running a run index giving the same
+//! fault), so **do not change the algorithm without bumping campaign
+//! seeds**.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic 64-bit PRNG (xoshiro256**, SplitMix64-seeded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let r = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        r
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0)");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Generates a value of `T` over its full/unit range (rand's `gen`).
+    pub fn gen<T: RandomValue>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Uniform value in the given range (rand's `gen_range`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Value {
+        range.sample(self)
+    }
+}
+
+/// Types [`Rng64::gen`] can produce.
+pub trait RandomValue {
+    /// Draws one value.
+    fn random(rng: &mut Rng64) -> Self;
+}
+
+impl RandomValue for u64 {
+    fn random(rng: &mut Rng64) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl RandomValue for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random(rng: &mut Rng64) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng64::gen_range`] can sample uniformly.
+pub trait UniformRange {
+    /// The sampled type.
+    type Value;
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut Rng64) -> Self::Value;
+}
+
+impl UniformRange for Range<u64> {
+    type Value = u64;
+    fn sample(self, rng: &mut Rng64) -> u64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl UniformRange for Range<usize> {
+    type Value = usize;
+    fn sample(self, rng: &mut Rng64) -> usize {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl UniformRange for RangeInclusive<usize> {
+    type Value = usize;
+    fn sample(self, rng: &mut Rng64) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        lo + rng.below((hi - lo) as u64 + 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        assert!((0..16).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn ranges_are_honored_and_cover_endpoints() {
+        let mut rng = Rng64::seed_from_u64(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.gen_range(3usize..=7);
+            assert!((3..=7).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 7;
+            let w = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&w));
+        }
+        assert!(seen_lo && seen_hi, "inclusive endpoints must both occur");
+    }
+
+    #[test]
+    fn unit_f64_stays_in_unit_interval() {
+        let mut rng = Rng64::seed_from_u64(9);
+        for _ in 0..2000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Rng64::seed_from_u64(0);
+        let _ = rng.gen_range(5u64..5);
+    }
+}

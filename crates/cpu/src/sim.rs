@@ -17,6 +17,22 @@ use mbu_mem::{MemFault, MemorySystem};
 use mbu_sram::{BitCoord, Geometry, Injectable};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Steps without a single committed instruction after which
+/// [`Simulator::run_until_cycle`] gives up and reports [`RunEnd::CycleLimit`].
+///
+/// A fault-free workload commits continuously; the longest legitimate stall
+/// (a chain of L2 misses) is a few hundred cycles. A fault that wedges the
+/// pipeline (e.g. a corrupted ROB dependency) would otherwise burn the whole
+/// `4 × T` budget one idle cycle at a time; the fuse converts such livelocks
+/// into an early, still-deterministic `Timeout` classification.
+const STALL_FUSE: u64 = 1 << 18;
+
+/// How often (in steps) [`Simulator::run_until_cycle`] polls the cooperative
+/// cancel flag. Power of two so the check compiles to a mask.
+const CANCEL_POLL_INTERVAL: u64 = 1 << 10;
 
 /// A pipeline-recorded fault, raised precisely at commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +213,8 @@ pub struct Simulator {
     committed: u64,
     output: Vec<u8>,
     end: Option<RunEnd>,
+    /// Cooperative cancellation flag, polled by [`Simulator::run_until_cycle`].
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl fmt::Debug for Simulator {
@@ -242,7 +260,18 @@ impl Simulator {
             committed: 0,
             output: Vec::new(),
             end: None,
+            cancel: None,
         }
+    }
+
+    /// Installs a cooperative cancellation flag. While the flag is `false`
+    /// the simulator runs normally; once another thread (e.g. a campaign
+    /// watchdog) sets it, [`Simulator::run_until_cycle`] returns at the next
+    /// poll point with the run still unfinished, which callers classify as a
+    /// timeout. Polling is amortized over [`CANCEL_POLL_INTERVAL`] steps, so
+    /// cancellation latency is bounded but not instant.
+    pub fn set_cancel_flag(&mut self, cancel: Arc<AtomicBool>) {
+        self.cancel = Some(cancel);
     }
 
     /// The configuration this simulator was built with.
@@ -850,9 +879,39 @@ impl Simulator {
     }
 
     /// Runs until the cycle counter reaches `cycle` or the program ends.
+    ///
+    /// Two safety rails bound the loop beyond the plain cycle budget:
+    ///
+    /// * a **stall fuse** — [`STALL_FUSE`] consecutive cycles without a
+    ///   commit end the run as [`RunEnd::CycleLimit`] (a wedged pipeline is a
+    ///   livelock; burning the remaining budget would only waste wall-clock);
+    /// * a **cancel poll** — if a flag installed via
+    ///   [`Simulator::set_cancel_flag`] turns `true`, the loop exits early
+    ///   with the run unfinished (`None` end unless it already ended).
     pub fn run_until_cycle(&mut self, cycle: u64) -> Option<RunEnd> {
+        let mut last_committed = self.committed;
+        let mut stalled: u64 = 0;
+        let mut steps: u64 = 0;
         while self.end.is_none() && self.cycle < cycle {
             self.step();
+            if self.committed == last_committed {
+                stalled += 1;
+                if stalled >= STALL_FUSE {
+                    self.end = Some(RunEnd::CycleLimit);
+                    break;
+                }
+            } else {
+                last_committed = self.committed;
+                stalled = 0;
+            }
+            steps += 1;
+            if steps.is_multiple_of(CANCEL_POLL_INTERVAL) {
+                if let Some(cancel) = &self.cancel {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            }
         }
         self.end
     }
