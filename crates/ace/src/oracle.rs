@@ -1,0 +1,182 @@
+//! Provably-masked injection pruning from fault-free residency.
+//!
+//! A [`LivenessOracle`] answers one question for the campaign driver: *is
+//! this fault mask provably masked?* A mask is provably masked when every
+//! flipped bit is dead at the injection cycle — per the fault-free trace it
+//! is fully overwritten before any read — because then the injected run is
+//! cycle-for-cycle identical to the golden run:
+//!
+//! 1. up to the injection cycle the runs are identical by construction;
+//! 2. a flipped dead bit is, by the recorded intervals, overwritten (with
+//!    data produced by the so-far-identical execution) before anything
+//!    reads it, so no architectural or timing state ever differs;
+//! 3. by induction the runs stay identical through program end — same
+//!    output, same exit, same cycle count.
+//!
+//! The oracle is **conservative**: any uncertainty (a bit inside a live
+//! interval, an unmapped coordinate, an interval merged over a short dead
+//! gap) reports "possibly live" and the campaign falls through to full
+//! simulation, so classifications are bit-identical with the oracle on or
+//! off — only the wall-clock changes.
+
+use crate::capture::{capture_component, CaptureError};
+use crate::residency::StructureResidency;
+use mbu_cpu::{CoreConfig, HwComponent};
+use mbu_isa::program::Program;
+use mbu_sram::BitCoord;
+
+/// Fault-free residency of one component's data array, queryable by the
+/// *physical* injection coordinates the campaign generates.
+#[derive(Debug, Clone)]
+pub struct LivenessOracle {
+    component: HwComponent,
+    residency: StructureResidency,
+    /// Physical column interleaving of the component's bit array (caches);
+    /// 1 for structures whose physical and logical geometries coincide.
+    interleave: usize,
+    total_cycles: u64,
+}
+
+impl LivenessOracle {
+    /// Captures a fault-free run of `program` and builds the oracle for
+    /// `component`'s data array.
+    ///
+    /// # Errors
+    ///
+    /// [`CaptureError::RunFailed`] if the observation run does not exit
+    /// cleanly.
+    pub fn build(
+        core: CoreConfig,
+        program: &Program,
+        component: HwComponent,
+    ) -> Result<Self, CaptureError> {
+        let (residency, total_cycles) = capture_component(core, program, component)?;
+        let interleave = match component {
+            HwComponent::L1D => core.mem.l1d.interleave as usize,
+            HwComponent::L1I => core.mem.l1i.interleave as usize,
+            HwComponent::L2 => core.mem.l2.interleave as usize,
+            HwComponent::RegFile | HwComponent::DTlb | HwComponent::ITlb => 1,
+        };
+        Ok(Self {
+            component,
+            residency,
+            interleave: interleave.max(1),
+            total_cycles,
+        })
+    }
+
+    /// The component this oracle describes.
+    pub fn component(&self) -> HwComponent {
+        self.component
+    }
+
+    /// Cycles of the observed fault-free run.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// The underlying residency record.
+    pub fn residency(&self) -> &StructureResidency {
+        &self.residency
+    }
+
+    /// Maps a physical injection coordinate to the logical `(row, bit)`
+    /// the residency record tracks (inverse of the injector's interleave
+    /// permutation: `line = row·I + col mod I`, `bit = col / I`).
+    fn logical(&self, coord: BitCoord) -> (usize, usize) {
+        (
+            coord.row * self.interleave + coord.col % self.interleave,
+            coord.col / self.interleave,
+        )
+    }
+
+    /// Whether the bit at physical `coord` is (possibly) live at `cycle`.
+    pub fn is_live_at(&self, coord: BitCoord, cycle: u64) -> bool {
+        let (row, bit) = self.logical(coord);
+        self.residency.is_live_at(row, bit, cycle)
+    }
+
+    /// Whether flipping exactly `coords` at `inject_cycle` is provably
+    /// masked (every flipped bit dead per the fault-free trace). `false`
+    /// means "unknown — simulate".
+    pub fn provably_masked(&self, coords: &[BitCoord], inject_cycle: u64) -> bool {
+        if inject_cycle >= self.total_cycles || coords.is_empty() {
+            return false;
+        }
+        coords.iter().all(|&c| !self.is_live_at(c, inject_cycle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::residency::{FieldMap, ResidencyRecorder};
+    use mbu_sram::LivenessProbe;
+
+    fn oracle_with(interleave: usize) -> LivenessOracle {
+        let mut rec = ResidencyRecorder::new(
+            4,
+            FieldMap::Chunks {
+                chunk: 8,
+                cols: 256,
+            },
+        );
+        // Line 2, byte 0 live over [10, 90].
+        rec.on_write(10, 2, 0, 8);
+        rec.on_read(90, 2, 0, 8);
+        rec.on_write(95, 2, 0, 8);
+        LivenessOracle {
+            component: HwComponent::L1D,
+            residency: rec.finish(1000),
+            interleave,
+            total_cycles: 1000,
+        }
+    }
+
+    #[test]
+    fn dead_everywhere_masks_live_does_not() {
+        let o = oracle_with(1);
+        let live = BitCoord::new(2, 3); // byte 0 of line 2
+        let dead = BitCoord::new(2, 100); // untouched byte of line 2
+        assert!(!o.provably_masked(&[live], 50));
+        assert!(
+            o.provably_masked(&[live], 200),
+            "dead after overwrite window"
+        );
+        assert!(o.provably_masked(&[dead], 50));
+        assert!(!o.provably_masked(&[live, dead], 50), "any live bit blocks");
+        assert!(o.provably_masked(&[live, dead], 200));
+    }
+
+    #[test]
+    fn injection_past_run_end_is_not_provable() {
+        let o = oracle_with(1);
+        assert!(!o.provably_masked(&[BitCoord::new(2, 100)], 1000));
+        assert!(!o.provably_masked(&[], 50), "empty mask is not a claim");
+    }
+
+    #[test]
+    fn interleave_mapping_matches_injector() {
+        // With I = 2: physical (row 1, col 1) → line 1·2 + 1 = 3, bit 0.
+        let mut rec = ResidencyRecorder::new(
+            4,
+            FieldMap::Chunks {
+                chunk: 8,
+                cols: 256,
+            },
+        );
+        rec.on_write(10, 3, 0, 8);
+        rec.on_read(500, 3, 0, 8);
+        let o = LivenessOracle {
+            component: HwComponent::L1D,
+            residency: rec.finish(1000),
+            interleave: 2,
+            total_cycles: 1000,
+        };
+        assert!(
+            o.is_live_at(BitCoord::new(1, 1), 100),
+            "maps to live line 3 byte 0"
+        );
+        assert!(!o.is_live_at(BitCoord::new(1, 0), 100), "line 2 untouched");
+    }
+}

@@ -1,0 +1,441 @@
+//! Per-field live-interval recording from a structure's probe event stream.
+//!
+//! A [`ResidencyRecorder`] implements [`LivenessProbe`] and folds the
+//! write/read/invalidate stream of one storage array into *live intervals*:
+//! a field (a group of fate-sharing bits) is live from a defining write to
+//! the **last read** of that value before its next full overwrite, and dead
+//! everywhere else. The paper's ACE framing (Mukherjee et al.): un-ACE
+//! cycles are exactly the dead intervals, so
+//!
+//! ```text
+//! analytical AVF = live-bit-cycles / (total bits × total cycles)
+//! ```
+//!
+//! Conservatism rules (the campaign oracle must never call a live bit dead):
+//!
+//! * a write that only *partially* covers a field is treated as a read —
+//!   the field's old value may survive in the untouched bits;
+//! * a read of any bit of a field marks the whole field read (fate-sharing);
+//! * a field read before any recorded write is live from cycle 0 (initial
+//!   contents);
+//! * invalidations are advisory only — the bits physically persist, and a
+//!   later read without an intervening write would still observe them, so
+//!   invalidation never terminates an interval early.
+
+use mbu_sram::LivenessProbe;
+use std::any::Any;
+use std::ops::Range;
+
+/// Adjacent live intervals closer than this many cycles are merged in the
+/// stored interval list. Merging only ever *adds* liveness (the gap becomes
+/// live), so oracle queries stay conservative; the exact pre-merge
+/// live-cycle tally is kept separately for analytical AVF.
+const MERGE_GAP: u64 = 32;
+
+/// How a row's bit columns partition into fate-sharing fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldMap {
+    /// The whole row is one field (e.g. a 32-bit physical register).
+    Row {
+        /// Bits per row.
+        cols: usize,
+    },
+    /// The row splits into equal-width chunks (e.g. a cache line tracked
+    /// per byte: `chunk = 8`, `cols = 256`).
+    Chunks {
+        /// Bits per chunk; must divide `cols`.
+        chunk: usize,
+        /// Bits per row.
+        cols: usize,
+    },
+    /// Explicit field ranges covering `0..cols` without gaps (e.g. the TLB
+    /// entry's perm / PPN / VPN / valid fields).
+    Ranges(Vec<Range<usize>>),
+}
+
+impl FieldMap {
+    /// Total bit columns per row.
+    pub fn cols(&self) -> usize {
+        match self {
+            FieldMap::Row { cols } => *cols,
+            FieldMap::Chunks { cols, .. } => *cols,
+            FieldMap::Ranges(ranges) => ranges.last().map(|r| r.end).unwrap_or(0),
+        }
+    }
+
+    /// Number of fields per row.
+    pub fn fields_per_row(&self) -> usize {
+        match self {
+            FieldMap::Row { .. } => 1,
+            FieldMap::Chunks { chunk, cols } => cols / chunk,
+            FieldMap::Ranges(ranges) => ranges.len(),
+        }
+    }
+
+    /// The field index a bit column belongs to.
+    pub fn field_of(&self, col: usize) -> usize {
+        match self {
+            FieldMap::Row { .. } => 0,
+            FieldMap::Chunks { chunk, .. } => col / chunk,
+            FieldMap::Ranges(ranges) => ranges
+                .iter()
+                .position(|r| r.contains(&col))
+                .unwrap_or(ranges.len().saturating_sub(1)),
+        }
+    }
+
+    /// The bit range of a field.
+    pub fn field_range(&self, field: usize) -> Range<usize> {
+        match self {
+            FieldMap::Row { cols } => 0..*cols,
+            FieldMap::Chunks { chunk, .. } => field * chunk..(field + 1) * chunk,
+            FieldMap::Ranges(ranges) => ranges[field].clone(),
+        }
+    }
+}
+
+/// Per-field interval-tracking state.
+#[derive(Debug, Clone, Copy)]
+struct FieldState {
+    /// Cycle the current value was (fully) written; 0 for initial contents.
+    written_at: u64,
+    /// Last cycle the current value was read.
+    last_read: u64,
+    /// Whether the current value has been read at all.
+    has_read: bool,
+}
+
+impl FieldState {
+    fn fresh(now: u64) -> Self {
+        Self {
+            written_at: now,
+            last_read: 0,
+            has_read: false,
+        }
+    }
+}
+
+/// Records one structure's event stream into per-field live intervals.
+#[derive(Debug)]
+pub struct ResidencyRecorder {
+    map: FieldMap,
+    rows: usize,
+    states: Vec<FieldState>,
+    /// Merged live intervals `[start, end]` (inclusive) per field, sorted.
+    intervals: Vec<Vec<(u64, u64)>>,
+    /// Exact (pre-merge) live bit-cycles over all fields.
+    live_bit_cycles: u64,
+    /// Advisory invalidation events seen (statistic only; see module docs).
+    invalidates: u64,
+    events: u64,
+}
+
+impl ResidencyRecorder {
+    /// Creates a recorder for a `rows × map.cols()` structure.
+    pub fn new(rows: usize, map: FieldMap) -> Self {
+        let nfields = rows * map.fields_per_row();
+        Self {
+            map,
+            rows,
+            states: vec![FieldState::fresh(0); nfields],
+            intervals: vec![Vec::new(); nfields],
+            live_bit_cycles: 0,
+            invalidates: 0,
+            events: 0,
+        }
+    }
+
+    /// Field indices overlapped by `[col, col + width)` in `row`, together
+    /// with whether the range *fully* covers each field.
+    fn touched(&self, col: usize, width: usize) -> Range<usize> {
+        let first = self
+            .map
+            .field_of(col.min(self.map.cols().saturating_sub(1)));
+        let last = self
+            .map
+            .field_of((col + width - 1).min(self.map.cols().saturating_sub(1)));
+        first..last + 1
+    }
+
+    fn close_interval(&mut self, slot: usize, field: usize) {
+        let st = self.states[slot];
+        if st.has_read && st.last_read >= st.written_at {
+            let bits = self.map.field_range(field).len() as u64;
+            self.live_bit_cycles += (st.last_read - st.written_at + 1) * bits;
+            let iv = &mut self.intervals[slot];
+            match iv.last_mut() {
+                Some(last) if st.written_at <= last.1.saturating_add(MERGE_GAP) => {
+                    last.1 = last.1.max(st.last_read);
+                }
+                _ => iv.push((st.written_at, st.last_read)),
+            }
+        }
+    }
+
+    fn mark_read(&mut self, now: u64, row: usize, col: usize, width: usize) {
+        if row >= self.rows || width == 0 {
+            return;
+        }
+        let base = row * self.map.fields_per_row();
+        for field in self.touched(col, width) {
+            let st = &mut self.states[base + field];
+            st.last_read = st.last_read.max(now);
+            st.has_read = true;
+        }
+    }
+
+    /// Closes all pending intervals and freezes the recording.
+    pub fn finish(mut self, total_cycles: u64) -> StructureResidency {
+        for slot in 0..self.states.len() {
+            let field = slot % self.map.fields_per_row();
+            self.close_interval(slot, field);
+        }
+        let total_bits = (self.rows * self.map.cols()) as u64;
+        StructureResidency {
+            map: self.map,
+            rows: self.rows,
+            intervals: self.intervals,
+            live_bit_cycles: self.live_bit_cycles,
+            total_bits,
+            total_cycles,
+            invalidates: self.invalidates,
+            events: self.events,
+        }
+    }
+}
+
+impl LivenessProbe for ResidencyRecorder {
+    fn on_write(&mut self, now: u64, row: usize, col: usize, width: usize) {
+        if row >= self.rows || width == 0 {
+            return;
+        }
+        self.events += 1;
+        let base = row * self.map.fields_per_row();
+        for field in self.touched(col, width) {
+            let r = self.map.field_range(field);
+            if col <= r.start && col + width >= r.end {
+                // Full overwrite: the old value's observation window closes.
+                self.close_interval(base + field, field);
+                self.states[base + field] = FieldState::fresh(now);
+            } else {
+                // Partial write: the field's old bits may survive — treat
+                // as an observation (keeps the whole field conservative).
+                let st = &mut self.states[base + field];
+                st.last_read = st.last_read.max(now);
+                st.has_read = true;
+            }
+        }
+    }
+
+    fn on_read(&mut self, now: u64, row: usize, col: usize, width: usize) {
+        self.events += 1;
+        self.mark_read(now, row, col, width);
+    }
+
+    fn on_invalidate(&mut self, _now: u64, _row: usize, _col: usize, _width: usize) {
+        // Advisory only: invalidated bits persist physically and could still
+        // be observed by a later read, so deadness is decided purely by the
+        // read/overwrite pattern (module docs).
+        self.events += 1;
+        self.invalidates += 1;
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Frozen per-field live intervals of one structure over one run.
+#[derive(Debug, Clone)]
+pub struct StructureResidency {
+    map: FieldMap,
+    rows: usize,
+    intervals: Vec<Vec<(u64, u64)>>,
+    live_bit_cycles: u64,
+    total_bits: u64,
+    total_cycles: u64,
+    /// Advisory invalidation events observed during the run.
+    pub invalidates: u64,
+    /// Total probe events observed during the run.
+    pub events: u64,
+}
+
+impl StructureResidency {
+    /// Rows of the structure's logical geometry.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bit columns per row.
+    pub fn cols(&self) -> usize {
+        self.map.cols()
+    }
+
+    /// Total bits of the structure.
+    pub fn total_bits(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Cycles of the recorded run.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Exact live bit-cycles (pre-merge; the analytical AVF numerator).
+    pub fn live_bit_cycles(&self) -> u64 {
+        self.live_bit_cycles
+    }
+
+    /// Analytical AVF: live-bit-cycles / (bits × cycles).
+    pub fn analytical_avf(&self) -> f64 {
+        if self.total_bits == 0 || self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.live_bit_cycles as f64 / (self.total_bits as f64 * self.total_cycles as f64)
+    }
+
+    /// Mean fraction of the structure's bits live at any cycle — identical
+    /// to the analytical AVF, named for occupancy reporting.
+    pub fn mean_live_fraction(&self) -> f64 {
+        self.analytical_avf()
+    }
+
+    /// Whether the bit at logical `(row, col)` is (possibly) live at
+    /// `cycle`. Out-of-range coordinates report live (conservative).
+    pub fn is_live_at(&self, row: usize, col: usize, cycle: u64) -> bool {
+        if row >= self.rows || col >= self.map.cols() {
+            return true;
+        }
+        let slot = row * self.map.fields_per_row() + self.map.field_of(col);
+        let iv = &self.intervals[slot];
+        // Last interval starting at or before `cycle`.
+        match iv
+            .partition_point(|&(start, _)| start <= cycle)
+            .checked_sub(1)
+        {
+            None => false,
+            Some(i) => cycle <= iv[i].1,
+        }
+    }
+
+    /// Number of stored (merged) live intervals across all fields.
+    pub fn interval_count(&self) -> usize {
+        self.intervals.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> ResidencyRecorder {
+        ResidencyRecorder::new(4, FieldMap::Row { cols: 32 })
+    }
+
+    #[test]
+    fn write_read_overwrite_forms_interval() {
+        let mut r = rec();
+        r.on_write(10, 0, 0, 32);
+        r.on_read(20, 0, 0, 32);
+        r.on_read(40, 0, 0, 32);
+        r.on_write(100, 0, 0, 32);
+        let res = r.finish(200);
+        assert!(res.is_live_at(0, 5, 10));
+        assert!(res.is_live_at(0, 5, 40));
+        assert!(!res.is_live_at(0, 5, 41), "dead after last read");
+        assert!(!res.is_live_at(0, 5, 150), "unread second value is dead");
+        assert_eq!(res.live_bit_cycles(), 31 * 32);
+    }
+
+    #[test]
+    fn unread_value_is_fully_dead() {
+        let mut r = rec();
+        r.on_write(10, 0, 0, 32);
+        let res = r.finish(100);
+        assert!(!res.is_live_at(0, 0, 50));
+        assert_eq!(res.live_bit_cycles(), 0);
+    }
+
+    #[test]
+    fn read_before_any_write_is_initial_content_span() {
+        let mut r = rec();
+        r.on_read(30, 1, 0, 32);
+        let res = r.finish(100);
+        assert!(res.is_live_at(1, 0, 0), "live from cycle 0");
+        assert!(res.is_live_at(1, 0, 30));
+        assert!(!res.is_live_at(1, 0, 31));
+    }
+
+    #[test]
+    fn invalidate_does_not_end_liveness() {
+        let mut r = rec();
+        r.on_write(10, 0, 0, 32);
+        r.on_invalidate(20, 0, 0, 32);
+        r.on_read(50, 0, 0, 32); // bits persisted and were observed
+        let res = r.finish(100);
+        assert!(res.is_live_at(0, 0, 30), "read-after-invalidate keeps span");
+        assert_eq!(res.invalidates, 1);
+    }
+
+    #[test]
+    fn chunked_fields_track_independently() {
+        let mut r = ResidencyRecorder::new(
+            2,
+            FieldMap::Chunks {
+                chunk: 8,
+                cols: 256,
+            },
+        );
+        r.on_write(5, 0, 0, 256); // full-line fill
+        r.on_read(50, 0, 32, 8); // read byte 4 only
+        r.on_write(80, 0, 0, 256);
+        let res = r.finish(100);
+        assert!(res.is_live_at(0, 35, 40), "read byte live until its read");
+        assert!(!res.is_live_at(0, 0, 40), "unread byte dead");
+    }
+
+    #[test]
+    fn partial_write_is_conservative_read() {
+        let mut r = ResidencyRecorder::new(1, FieldMap::Ranges(vec![0..3, 3..21]));
+        r.on_write(5, 0, 0, 21);
+        r.on_write(30, 0, 0, 2); // covers only part of field 0..3
+        let res = r.finish(100);
+        assert!(res.is_live_at(0, 1, 20), "partial write observes old value");
+        assert!(
+            !res.is_live_at(0, 10, 20),
+            "other field untouched and unread"
+        );
+    }
+
+    #[test]
+    fn nearby_intervals_merge_but_exact_cycles_do_not() {
+        let mut r = rec();
+        for k in 0..3u64 {
+            r.on_write(k * 10, 0, 0, 32);
+            r.on_read(k * 10 + 2, 0, 0, 32);
+        }
+        let res = r.finish(100);
+        // Three 3-cycle spans, gaps of 7 < MERGE_GAP: one stored interval.
+        assert_eq!(res.interval_count(), 1);
+        assert_eq!(res.live_bit_cycles(), 3 * 3 * 32);
+        assert!(res.is_live_at(0, 0, 5), "merged gap reads as live");
+    }
+
+    #[test]
+    fn out_of_range_queries_are_live() {
+        let res = rec().finish(10);
+        assert!(res.is_live_at(99, 0, 0));
+        assert!(res.is_live_at(0, 99, 0));
+    }
+
+    #[test]
+    fn analytical_avf_ratio() {
+        let mut r = ResidencyRecorder::new(1, FieldMap::Row { cols: 32 });
+        r.on_write(0, 0, 0, 32);
+        r.on_read(49, 0, 0, 32);
+        r.on_write(50, 0, 0, 32);
+        let res = r.finish(100);
+        // Live [0,49] = 50 cycles of 100, all 32 bits share fate.
+        assert!((res.analytical_avf() - 0.5).abs() < 1e-12);
+    }
+}

@@ -31,6 +31,7 @@ fn full_store() -> ResultStore {
                     fault_free_instructions: 9_000,
                     details: None,
                     anomalies: AnomalyLog::new(),
+                    oracle_skips: 0,
                 });
             }
         }
@@ -80,7 +81,9 @@ fn bench_store_roundtrip() {
     let mut group = tinybench::group("result_store");
     group.throughput_elements(store.len() as u64);
     group.bench_function("to_csv", |b| b.iter(|| store.to_csv()));
-    group.bench_function("from_csv", |b| b.iter(|| ResultStore::from_csv(&csv).unwrap()));
+    group.bench_function("from_csv", |b| {
+        b.iter(|| ResultStore::from_csv(&csv).unwrap())
+    });
     group.finish();
 }
 

@@ -68,8 +68,53 @@ fn bench_cluster_size_ablation() {
     group.finish();
 }
 
+/// Tentpole speedup measurement: the same campaign with and without the
+/// provably-masked liveness oracle. Reports wall-clock for both paths plus
+/// the skip rate, and cross-checks that the classifications are identical.
+fn bench_liveness_oracle_fast_path() {
+    let mut group = tinybench::group("liveness_oracle");
+    group.sample_size(10);
+    // Watchdog off: its shutdown poll (~100 ms) would dwarf the
+    // millisecond-scale runs and hide the fast path we are measuring.
+    let config = |on: bool| {
+        CampaignConfig::new(Workload::Stringsearch, HwComponent::L2, 1)
+            .runs(32)
+            .seed(17)
+            .threads(1)
+            .run_wall_budget(None)
+            .use_liveness_oracle(on)
+    };
+    for (name, on) in [("oracle_off", false), ("oracle_on", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| Campaign::new(config(on)).run());
+        });
+    }
+    group.finish();
+    // One timed pair outside the harness for the headline numbers.
+    let t0 = std::time::Instant::now();
+    let plain = Campaign::new(config(false)).run();
+    let plain_wall = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let fast = Campaign::new(config(true)).run();
+    let fast_wall = t1.elapsed();
+    assert_eq!(
+        plain.counts, fast.counts,
+        "oracle must not change classifications"
+    );
+    eprintln!(
+        "liveness oracle: skipped {}/{} runs ({:.0}%), wall {:?} -> {:?} ({:.2}x)",
+        fast.oracle_skips,
+        fast.counts.total(),
+        100.0 * fast.oracle_skips as f64 / fast.counts.total() as f64,
+        plain_wall,
+        fast_wall,
+        plain_wall.as_secs_f64() / fast_wall.as_secs_f64().max(1e-9),
+    );
+}
+
 fn main() {
     bench_mask_generation();
     bench_injection_runs_per_component();
     bench_cluster_size_ablation();
+    bench_liveness_oracle_fast_path();
 }

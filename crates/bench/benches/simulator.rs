@@ -48,7 +48,10 @@ fn bench_capacity_ablation() {
         ("scaled", MemorySystemConfig::scaled()),
         ("table1", MemorySystemConfig::table1()),
     ] {
-        let cfg = CoreConfig { mem, ..CoreConfig::cortex_a9_like() };
+        let cfg = CoreConfig {
+            mem,
+            ..CoreConfig::cortex_a9_like()
+        };
         group.bench_function(name, |b| {
             b.iter(|| Simulator::new(cfg, &program).run(u64::MAX / 8));
         });

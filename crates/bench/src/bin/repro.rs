@@ -9,6 +9,10 @@
 //!   fig7 fig8        technology-node aggregates (derived)
 //!   measure          run all fig1-fig6 campaigns and save results
 //!   summary          per-component class character (Table IV commentary)
+//!   xval             analytical (ACE liveness) vs injected AVF, all
+//!                    components x workloads (checkpointed)
+//!   occupancy        per-structure liveness + pipeline occupancy for one
+//!                    workload (--workload), time series saved to results/
 //!   all              everything in paper order
 //!
 //! flags:
@@ -16,14 +20,16 @@
 //!                    instead of measured data
 //!   --csv            print CSV instead of ASCII tables
 //!   --out <path>     results CSV path (default results/measured.csv)
+//!   --workload <w>   workload for `occupancy` (default stringsearch)
 //!
 //! environment: MBU_RUNS, MBU_SEED, MBU_THREADS, MBU_WORKLOADS.
 //! ```
 
-use mbu_bench::{Experiments, ResultStore};
+use mbu_bench::{AnalyticalStore, Experiments, ResultStore};
 use mbu_cpu::HwComponent;
 use mbu_gefin::paper;
 use mbu_gefin::report::Table;
+use mbu_workloads::Workload;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -33,6 +39,7 @@ struct Options {
     csv: bool,
     chart: bool,
     out: PathBuf,
+    workload: Workload,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -42,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
     let mut csv = false;
     let mut out = PathBuf::from("results/measured.csv");
     let mut chart = false;
+    let mut workload = Workload::Stringsearch;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper" => use_paper = true,
@@ -49,6 +57,12 @@ fn parse_args() -> Result<Options, String> {
             "--chart" => chart = true,
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a path")?);
+            }
+            "--workload" => {
+                let name = args.next().ok_or("--workload needs a name")?;
+                workload = name
+                    .parse()
+                    .map_err(|_| format!("unknown workload `{name}`"))?;
             }
             "-h" | "--help" => return Err(String::new()),
             other if experiment.is_none() && !other.starts_with('-') => {
@@ -63,12 +77,13 @@ fn parse_args() -> Result<Options, String> {
         csv,
         chart,
         out,
+        workload,
     })
 }
 
 fn usage() {
     eprintln!(
-        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|all> [--paper] [--csv] [--chart] [--out path]\n\
+        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|xval|occupancy|all> [--paper] [--csv] [--chart] [--out path] [--workload w]\n\
          env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS"
     );
 }
@@ -144,7 +159,10 @@ fn measure_all(e: &Experiments, opts: &Options, store: &mut ResultStore) {
                 }
             }
             Err(err) => {
-                eprintln!("warning: could not checkpoint to {}: {err}", opts.out.display());
+                eprintln!(
+                    "warning: could not checkpoint to {}: {err}",
+                    opts.out.display()
+                );
             }
         }
     }
@@ -184,7 +202,9 @@ fn run(opts: &Options) -> Result<(), String> {
         }
         "table4" | "table5" | "summary" => {
             if opts.use_paper {
-                return Err("table4/table5/summary print measured data; run without --paper".into());
+                return Err(
+                    "table4/table5/summary print measured data; run without --paper".into(),
+                );
             }
             let mut store = load_store(opts);
             if !store.is_complete() {
@@ -219,6 +239,56 @@ fn run(opts: &Options) -> Result<(), String> {
             emit(&e.ablation_interleaving(), opts.csv);
             emit(&e.ablation_speculation(), opts.csv);
             emit(&e.beam_validation(&store), opts.csv);
+        }
+        "xval" => {
+            // Checkpoints live next to the measured-results CSV.
+            let dir = opts
+                .out
+                .parent()
+                .unwrap_or_else(|| std::path::Path::new("results"));
+            let a_path = dir.join("analytical.csv");
+            let i_path = dir.join("xval_injected.csv");
+            let mut astore = if a_path.exists() {
+                AnalyticalStore::load(&a_path).map_err(|err| err.to_string())?
+            } else {
+                AnalyticalStore::new()
+            };
+            let mut rstore = if i_path.exists() {
+                ResultStore::load(&i_path).map_err(|err| err.to_string())?
+            } else {
+                ResultStore::new()
+            };
+            eprintln!(
+                "cross-validating analytical vs injected AVF: {} workloads x 6 components ({} runs each)",
+                e.workloads.len(),
+                e.runs
+            );
+            let table = e
+                .xval_table(&mut astore, &mut rstore, Some(&a_path), Some(&i_path))
+                .map_err(|err| err.to_string())?;
+            emit(&table, opts.csv);
+            eprintln!(
+                "checkpoints: {} ({} captures), {} ({} campaigns)",
+                a_path.display(),
+                astore.len(),
+                i_path.display(),
+                rstore.len()
+            );
+        }
+        "occupancy" => {
+            let w = opts.workload;
+            eprintln!("observing fault-free run of {w}");
+            let map = e.observe(w).map_err(|err| err.to_string())?;
+            emit(&e.occupancy_table(w, &map), opts.csv);
+            emit(&e.pipeline_occupancy_table(&map), opts.csv);
+            let dir = opts
+                .out
+                .parent()
+                .unwrap_or_else(|| std::path::Path::new("results"));
+            let series = dir.join(format!("occupancy_{}.csv", w.name()));
+            std::fs::create_dir_all(dir).map_err(|err| err.to_string())?;
+            std::fs::write(&series, e.occupancy_series_csv(&map)).map_err(|err| err.to_string())?;
+            eprintln!("occupancy time series saved to {}", series.display());
         }
         "measure" => {
             let mut store = load_store(opts);

@@ -26,4 +26,4 @@ pub mod store;
 pub mod tinybench;
 
 pub use experiments::{ComponentData, Experiments, SweepReport};
-pub use store::{ResultStore, StoreError};
+pub use store::{AnalyticalRow, AnalyticalStore, ResultStore, StoreError};

@@ -83,7 +83,12 @@ impl ResultStore {
     }
 
     /// Looks up a campaign result.
-    pub fn get(&self, component: HwComponent, workload: Workload, faults: usize) -> Option<&CampaignResult> {
+    pub fn get(
+        &self,
+        component: HwComponent,
+        workload: Workload,
+        faults: usize,
+    ) -> Option<&CampaignResult> {
         self.entries.get(&(component, workload, faults))
     }
 
@@ -154,7 +159,10 @@ impl ResultStore {
             if line.trim().is_empty() {
                 continue;
             }
-            let syntax = |message: String| StoreError::Syntax { line: lineno + 1, message };
+            let syntax = |message: String| StoreError::Syntax {
+                line: lineno + 1,
+                message,
+            };
             let f: Vec<&str> = line.split(',').collect();
             if f.len() != 10 {
                 return Err(syntax(format!("expected 10 fields, got {}", f.len())));
@@ -177,6 +185,7 @@ impl ResultStore {
                 fault_free_instructions: parse(f[9])?,
                 details: None,
                 anomalies: AnomalyLog::new(),
+                oracle_skips: 0,
             };
             store.insert(result);
         }
@@ -208,9 +217,163 @@ impl ResultStore {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
         if file.metadata()?.len() == 0 {
             writeln!(file, "{CSV_HEADER}")?;
+        }
+        writeln!(file, "{}", Self::csv_row(r))?;
+        Ok(())
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and malformed-CSV errors.
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_csv(&text)
+    }
+}
+
+/// One analytically-derived AVF measurement (ACE-style fault-free capture).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticalRow {
+    /// Component whose data array was observed.
+    pub component: HwComponent,
+    /// Workload driving the observation run.
+    pub workload: Workload,
+    /// `live-bit-cycles / (bits × cycles)` of the fault-free run.
+    pub analytical_avf: f64,
+    /// Cycles of the observation run.
+    pub total_cycles: u64,
+}
+
+/// The fixed CSV header of the analytical-AVF checkpoint.
+pub const ANALYTICAL_CSV_HEADER: &str = "component,workload,analytical_avf,total_cycles";
+
+/// CSV-backed store of analytical AVF captures, with the same
+/// incremental-checkpoint semantics as [`ResultStore`]: one row per
+/// finished (component, workload) capture, last row wins on reload.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyticalStore {
+    entries: BTreeMap<(HwComponent, Workload), AnalyticalRow>,
+}
+
+impl AnalyticalStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a row (replacing any previous entry for its key).
+    pub fn insert(&mut self, row: AnalyticalRow) {
+        self.entries.insert((row.component, row.workload), row);
+    }
+
+    /// Looks up a capture.
+    pub fn get(&self, component: HwComponent, workload: Workload) -> Option<&AnalyticalRow> {
+        self.entries.get(&(component, workload))
+    }
+
+    /// Whether a capture for this key is already present.
+    pub fn contains(&self, component: HwComponent, workload: Workload) -> bool {
+        self.entries.contains_key(&(component, workload))
+    }
+
+    /// Number of stored captures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all rows.
+    pub fn iter(&self) -> impl Iterator<Item = &AnalyticalRow> {
+        self.entries.values()
+    }
+
+    fn csv_row(r: &AnalyticalRow) -> String {
+        format!(
+            "{},{},{},{}",
+            component_slug(r.component),
+            r.workload.name(),
+            r.analytical_avf,
+            r.total_cycles,
+        )
+    }
+
+    /// Serializes to CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(ANALYTICAL_CSV_HEADER);
+        out.push('\n');
+        for r in self.entries.values() {
+            out.push_str(&Self::csv_row(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the CSV produced by [`AnalyticalStore::to_csv`] /
+    /// [`AnalyticalStore::append_row`] (duplicates legal, last row wins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Syntax`] with the line number on malformed rows.
+    pub fn from_csv(csv: &str) -> Result<Self, StoreError> {
+        let mut store = Self::new();
+        for (lineno, line) in csv.lines().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let syntax = |message: String| StoreError::Syntax {
+                line: lineno + 1,
+                message,
+            };
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 4 {
+                return Err(syntax(format!("expected 4 fields, got {}", f.len())));
+            }
+            let avf: f64 = f[2]
+                .parse()
+                .map_err(|e| syntax(format!("{e} (field {:?})", f[2])))?;
+            if !(0.0..=1.0).contains(&avf) {
+                return Err(syntax(format!("AVF {avf} outside [0, 1]")));
+            }
+            store.insert(AnalyticalRow {
+                component: f[0].parse().map_err(|e| syntax(format!("{e}")))?,
+                workload: f[1].parse().map_err(|e| syntax(format!("{e}")))?,
+                analytical_avf: avf,
+                total_cycles: f[3]
+                    .parse()
+                    .map_err(|e| syntax(format!("{e} (field {:?})", f[3])))?,
+            });
+        }
+        Ok(store)
+    }
+
+    /// Appends one finished capture to the checkpoint file (creating it,
+    /// with header, if absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append_row(path: &Path, r: &AnalyticalRow) -> Result<(), StoreError> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if file.metadata()?.len() == 0 {
+            writeln!(file, "{ANALYTICAL_CSV_HEADER}")?;
         }
         writeln!(file, "{}", Self::csv_row(r))?;
         Ok(())
@@ -248,11 +411,18 @@ mod tests {
             component,
             workload,
             faults,
-            counts: ClassCounts { masked: 90, sdc: 5, crash: 3, timeout: 1, assert_: 1 },
+            counts: ClassCounts {
+                masked: 90,
+                sdc: 5,
+                crash: 3,
+                timeout: 1,
+                assert_: 1,
+            },
             fault_free_cycles: 12345,
             fault_free_instructions: 6789,
             details: None,
             anomalies: AnomalyLog::new(),
+            oracle_skips: 0,
         }
     }
 
@@ -293,13 +463,15 @@ mod tests {
         // is left with too few fields.
         let torn = &full[..full.rfind(',').unwrap()];
         let err = ResultStore::from_csv(torn).unwrap_err();
-        assert!(matches!(err, StoreError::Syntax { .. }), "torn row is a syntax error: {err}");
+        assert!(
+            matches!(err, StoreError::Syntax { .. }),
+            "torn row is a syntax error: {err}"
+        );
         // Negative and overflowing numeric fields.
         assert!(ResultStore::from_csv("h\nl1d,sha,1,-5,1,1,1,1,1,1\n").is_err());
-        assert!(ResultStore::from_csv(
-            "h\nl1d,sha,1,999999999999999999999999,1,1,1,1,1,1\n"
-        )
-        .is_err());
+        assert!(
+            ResultStore::from_csv("h\nl1d,sha,1,999999999999999999999999,1,1,1,1,1,1\n").is_err()
+        );
     }
 
     #[test]
@@ -324,7 +496,13 @@ mod tests {
         newer.counts.masked = 1;
         s.insert(newer.clone());
         assert_eq!(s.len(), 1);
-        assert_eq!(s.get(HwComponent::L2, Workload::Fft, 2).unwrap().counts.masked, 1);
+        assert_eq!(
+            s.get(HwComponent::L2, Workload::Fft, 2)
+                .unwrap()
+                .counts
+                .masked,
+            1
+        );
     }
 
     #[test]
@@ -342,8 +520,72 @@ mod tests {
         ResultStore::append_row(&path, &newer).unwrap();
         let loaded = ResultStore::load(&path).unwrap();
         assert_eq!(loaded.len(), 2);
-        assert_eq!(loaded.get(HwComponent::L1D, Workload::Sha, 1).unwrap().counts.masked, 42);
+        assert_eq!(
+            loaded
+                .get(HwComponent::L1D, Workload::Sha, 1)
+                .unwrap()
+                .counts
+                .masked,
+            42
+        );
         assert!(loaded.contains(HwComponent::RegFile, Workload::Fft, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analytical_store_roundtrips_and_checkpoints() {
+        let mut s = AnalyticalStore::new();
+        s.insert(AnalyticalRow {
+            component: HwComponent::L1D,
+            workload: Workload::Sha,
+            analytical_avf: 0.03125,
+            total_cycles: 54321,
+        });
+        s.insert(AnalyticalRow {
+            component: HwComponent::RegFile,
+            workload: Workload::Qsort,
+            analytical_avf: 0.25,
+            total_cycles: 999,
+        });
+        let back = AnalyticalStore::from_csv(&s.to_csv()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.get(HwComponent::L1D, Workload::Sha),
+            s.get(HwComponent::L1D, Workload::Sha)
+        );
+        // Malformed rows are typed errors.
+        assert!(AnalyticalStore::from_csv("h\nl1d,sha,notafloat,1\n").is_err());
+        assert!(
+            AnalyticalStore::from_csv("h\nl1d,sha,1.5,1\n").is_err(),
+            "AVF > 1 rejected"
+        );
+        assert!(
+            AnalyticalStore::from_csv("h\nl1d,sha,0.5\n").is_err(),
+            "missing field"
+        );
+        // Incremental checkpoint with last-row-wins reload.
+        let dir = std::env::temp_dir().join(format!("mbu-astore-test-{}", std::process::id()));
+        let path = dir.join("analytical.csv");
+        let _ = std::fs::remove_file(&path);
+        let row = AnalyticalRow {
+            component: HwComponent::L2,
+            workload: Workload::Fft,
+            analytical_avf: 0.001,
+            total_cycles: 10,
+        };
+        AnalyticalStore::append_row(&path, &row).unwrap();
+        let mut newer = row.clone();
+        newer.analytical_avf = 0.002;
+        AnalyticalStore::append_row(&path, &newer).unwrap();
+        let loaded = AnalyticalStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(
+            loaded
+                .get(HwComponent::L2, Workload::Fft)
+                .unwrap()
+                .analytical_avf,
+            0.002
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

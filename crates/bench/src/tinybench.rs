@@ -28,7 +28,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(sample_count: usize) -> Self {
-        Self { samples_ns: Vec::with_capacity(sample_count), sample_count }
+        Self {
+            samples_ns: Vec::with_capacity(sample_count),
+            sample_count,
+        }
     }
 
     /// Times `f`, batching calls so each sample spans at least
@@ -45,7 +48,8 @@ impl Bencher {
                 black_box(f());
             }
             let elapsed = start.elapsed();
-            self.samples_ns.push(elapsed.as_nanos() as f64 / batch as f64);
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / batch as f64);
         }
     }
 }
@@ -86,11 +90,19 @@ impl Group {
 
 /// Creates a benchmark group.
 pub fn group(name: &str) -> Group {
-    Group { name: name.to_string(), sample_count: 20, throughput_elements: None }
+    Group {
+        name: name.to_string(),
+        sample_count: 20,
+        throughput_elements: None,
+    }
 }
 
 fn env_samples() -> Option<usize> {
-    std::env::var("TINYBENCH_SAMPLES").ok()?.parse().ok().map(|n: usize| n.max(2))
+    std::env::var("TINYBENCH_SAMPLES")
+        .ok()?
+        .parse()
+        .ok()
+        .map(|n: usize| n.max(2))
 }
 
 fn report(group: &str, name: &str, samples_ns: &[f64], throughput: Option<u64>) {

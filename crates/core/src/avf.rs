@@ -72,7 +72,10 @@ impl fmt::Display for ClassBreakdown {
 ///
 /// Panics if `samples` is empty or all weights are zero.
 pub fn weighted_avf(samples: &[(f64, u64)]) -> f64 {
-    assert!(!samples.is_empty(), "weighted AVF needs at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "weighted AVF needs at least one sample"
+    );
     let total: f64 = samples.iter().map(|(_, t)| *t as f64).sum();
     assert!(total > 0.0, "total execution time must be positive");
     samples.iter().map(|(avf, t)| avf * *t as f64).sum::<f64>() / total
@@ -100,7 +103,11 @@ impl ComponentAvf {
         for v in [single, double, triple] {
             assert!((0.0..=1.0).contains(&v), "AVF must be in [0, 1], got {v}");
         }
-        Self { single, double, triple }
+        Self {
+            single,
+            double,
+            triple,
+        }
     }
 
     /// AVF for a given cardinality (1, 2 or 3).
@@ -158,7 +165,13 @@ mod tests {
 
     #[test]
     fn breakdown_reflects_counts() {
-        let c = ClassCounts { masked: 50, sdc: 25, crash: 15, timeout: 5, assert_: 5 };
+        let c = ClassCounts {
+            masked: 50,
+            sdc: 25,
+            crash: 15,
+            timeout: 5,
+            assert_: 5,
+        };
         let b = ClassBreakdown::from_counts(&c);
         assert!((b.masked - 0.5).abs() < 1e-12);
         assert!((b.avf() - 0.5).abs() < 1e-12);

@@ -177,7 +177,10 @@ pub fn run_beam(config: &BeamConfig) -> BeamResult {
     let mut multi = 0u64;
     for i in 0..config.runs {
         let mut rng = Rng64::seed_from_u64(
-            config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 + 1),
+            config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64 + 1),
         );
         let strikes = poisson(&mut rng, config.flux);
         total_strikes += strikes as u64;
@@ -188,7 +191,9 @@ pub fn run_beam(config: &BeamConfig) -> BeamResult {
             multi += 1;
         }
         // Strike times, sorted.
-        let mut times: Vec<u64> = (0..strikes).map(|_| rng.gen_range(0..golden.cycles)).collect();
+        let mut times: Vec<u64> = (0..strikes)
+            .map(|_| rng.gen_range(0..golden.cycles))
+            .collect();
         times.sort_unstable();
         let mut gen = MaskGenerator::seeded(rng.gen(), config.cluster);
         let mut sim = Simulator::new(config.core, &program);

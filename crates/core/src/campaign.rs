@@ -39,9 +39,10 @@
 use crate::classify::{classify, ClassCounts, FaultEffect};
 use crate::error::CampaignError;
 use crate::mask::{ClusterSpec, FaultMask, MaskGenerator};
+use mbu_ace::LivenessOracle;
 use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
 use mbu_isa::Program;
-use mbu_sram::BitCoord;
+use mbu_sram::{BitCoord, Geometry};
 use mbu_workloads::Workload;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
@@ -67,6 +68,25 @@ impl fmt::Display for InjectionTarget {
             InjectionTarget::DataArray => f.write_str("data array"),
             InjectionTarget::TagArray => f.write_str("tag array"),
         }
+    }
+}
+
+/// A per-run hook: an arbitrary (possibly stateful) closure invoked with
+/// the run index at the start of each injection run, inside the isolation
+/// boundary. Cloning shares the underlying closure.
+#[derive(Clone)]
+pub struct RunHook(pub Arc<dyn Fn(usize) + Send + Sync>);
+
+impl RunHook {
+    /// Wraps a closure as a hook.
+    pub fn new(hook: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(hook))
+    }
+}
+
+impl fmt::Debug for RunHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RunHook(..)")
     }
 }
 
@@ -102,11 +122,19 @@ pub struct CampaignConfig {
     /// make results non-deterministic — the generous default only fires on
     /// genuinely wedged runs.
     pub run_wall_budget: Option<Duration>,
+    /// Consult a fault-free [`LivenessOracle`] before simulating each run:
+    /// a mask whose flipped bits are all provably dead at the injection
+    /// cycle classifies as [`FaultEffect::Masked`] without simulation. The
+    /// oracle is conservative, so classifications are bit-identical with
+    /// this on or off; skipped runs are counted in
+    /// [`CampaignResult::oracle_skips`]. Only applies to
+    /// [`InjectionTarget::DataArray`] campaigns.
+    pub use_liveness_oracle: bool,
     /// Test-only fault hook, invoked with the run index at the start of each
     /// injection run *inside* the isolation boundary. Lets tests provoke
     /// panics and stalls in an otherwise healthy engine.
     #[doc(hidden)]
-    pub run_hook: Option<fn(usize)>,
+    pub run_hook: Option<RunHook>,
 }
 
 impl CampaignConfig {
@@ -126,6 +154,7 @@ impl CampaignConfig {
             target: InjectionTarget::DataArray,
             collect_details: false,
             run_wall_budget: Some(Duration::from_secs(60)),
+            use_liveness_oracle: false,
             run_hook: None,
         }
     }
@@ -172,10 +201,19 @@ impl CampaignConfig {
         self
     }
 
+    /// Enables (or disables) the provably-masked liveness-oracle fast path
+    /// (see [`CampaignConfig::use_liveness_oracle`]).
+    pub fn use_liveness_oracle(mut self, on: bool) -> Self {
+        self.use_liveness_oracle = on;
+        self
+    }
+
     /// Installs a test-only per-run hook (see [`CampaignConfig::run_hook`]).
+    /// Accepts any `Fn(usize) + Send + Sync` — plain `fn` items and stateful
+    /// capturing closures alike.
     #[doc(hidden)]
-    pub fn with_run_hook(mut self, hook: fn(usize)) -> Self {
-        self.run_hook = Some(hook);
+    pub fn with_run_hook(mut self, hook: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        self.run_hook = Some(RunHook::new(hook));
         self
     }
 }
@@ -316,6 +354,9 @@ pub struct CampaignResult {
     /// Runs that panicked or were cancelled by the watchdog (empty for a
     /// healthy campaign).
     pub anomalies: AnomalyLog,
+    /// Runs the liveness oracle classified as Masked without simulation
+    /// (zero unless [`CampaignConfig::use_liveness_oracle`] was set).
+    pub oracle_skips: u64,
 }
 
 impl CampaignResult {
@@ -375,7 +416,9 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// and relied on by checkpoint/resume (re-running index `i` under the same
 /// campaign seed must regenerate the same fault).
 fn derive_run_seed(campaign_seed: u64, run_index: usize) -> u64 {
-    campaign_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(run_index as u64 + 1)
+    campaign_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(run_index as u64 + 1)
 }
 
 /// A watchdog slot: the run currently executing on one worker thread.
@@ -412,7 +455,9 @@ impl Campaign {
                 HwComponent::L1D | HwComponent::L1I | HwComponent::L2
             )
         {
-            return Err(CampaignError::TagArrayUnsupported { component: config.component });
+            return Err(CampaignError::TagArrayUnsupported {
+                component: config.component,
+            });
         }
         Ok(Self { config })
     }
@@ -441,11 +486,21 @@ impl Campaign {
         let r = Simulator::new(self.config.core, program).run(u64::MAX / 8);
         match r.end {
             RunEnd::Exited { code } => Ok((r.output, code, r.cycles, r.instructions)),
-            end => Err(CampaignError::GoldenRunFailed { workload: self.config.workload, end }),
+            end => Err(CampaignError::GoldenRunFailed {
+                workload: self.config.workload,
+                end,
+            }),
         }
     }
 
-    /// Executes one injection run.
+    /// Executes one injection run. Returns the run record plus whether the
+    /// liveness oracle proved it masked without simulation.
+    ///
+    /// The oracle check is sound because a skipped run would have been
+    /// cycle-identical to the golden run (see [`LivenessOracle`]): its
+    /// detail record — `Masked`, `cycles == fault_free_cycles` — is exactly
+    /// what full simulation would have produced.
+    #[allow(clippy::too_many_arguments)]
     fn one_run(
         &self,
         program: &Program,
@@ -453,23 +508,35 @@ impl Campaign {
         fault_free_cycles: u64,
         golden_output: &[u8],
         golden_code: u32,
+        geometry: Geometry,
+        oracle: Option<&LivenessOracle>,
         cancel: &Arc<AtomicBool>,
-    ) -> RunDetail {
+    ) -> (RunDetail, bool) {
         let cfg = &self.config;
-        if let Some(hook) = cfg.run_hook {
-            hook(run_index);
+        if let Some(hook) = &cfg.run_hook {
+            (hook.0)(run_index);
         }
         // Independent per-run RNG: deterministic under any thread schedule.
+        // The draw order (injection cycle, then mask) must not depend on the
+        // oracle, so skipped and simulated runs see identical faults.
         let run_seed = derive_run_seed(cfg.seed, run_index);
         let mut gen = MaskGenerator::seeded(run_seed, cfg.cluster);
+        let inject_at = gen.injection_cycle(fault_free_cycles);
+        let mask = gen.generate(geometry, cfg.faults);
+        if let Some(o) = oracle {
+            if o.provably_masked(&mask.coords, inject_at) {
+                let detail = RunDetail {
+                    index: run_index,
+                    inject_cycle: inject_at,
+                    mask,
+                    effect: FaultEffect::Masked,
+                    cycles: fault_free_cycles,
+                };
+                return (detail, true);
+            }
+        }
         let mut sim = Simulator::new(cfg.core, program);
         sim.set_cancel_flag(Arc::clone(cancel));
-        let inject_at = gen.injection_cycle(fault_free_cycles);
-        let geometry = match cfg.target {
-            InjectionTarget::DataArray => sim.component_geometry(cfg.component),
-            InjectionTarget::TagArray => sim.tag_geometry(cfg.component),
-        };
-        let mask = gen.generate(geometry, cfg.faults);
         let limit = fault_free_cycles * cfg.timeout_factor;
         // The injection point precedes the fault-free end, so the run cannot
         // have finished yet.
@@ -486,13 +553,14 @@ impl Campaign {
             cycles: sim.cycle(),
             instructions: sim.instructions(),
         };
-        RunDetail {
+        let detail = RunDetail {
             index: run_index,
             inject_cycle: inject_at,
             mask,
             effect: classify(&result, golden_output, golden_code),
             cycles: result.cycles,
-        }
+        };
+        (detail, false)
     }
 
     /// Executes one injection run inside the isolation boundary: panics are
@@ -505,6 +573,7 @@ impl Campaign {
     /// mutable state — simulator, mask generator — lives *inside* the
     /// closure and is dropped on unwind, so nothing observable can be left
     /// half-updated; the `AssertUnwindSafe` is sound.
+    #[allow(clippy::too_many_arguments)]
     fn one_run_isolated(
         &self,
         program: &Program,
@@ -512,19 +581,30 @@ impl Campaign {
         fault_free_cycles: u64,
         golden_output: &[u8],
         golden_code: u32,
+        geometry: Geometry,
+        oracle: Option<&LivenessOracle>,
         cancel: &Arc<AtomicBool>,
-    ) -> (RunDetail, Option<Anomaly>) {
+    ) -> (RunDetail, bool, Option<Anomaly>) {
         install_quiet_panic_hook();
         let outcome = IN_ISOLATED_RUN.with(|flag| {
             flag.set(true);
             let r = panic::catch_unwind(AssertUnwindSafe(|| {
-                self.one_run(program, run_index, fault_free_cycles, golden_output, golden_code, cancel)
+                self.one_run(
+                    program,
+                    run_index,
+                    fault_free_cycles,
+                    golden_output,
+                    golden_code,
+                    geometry,
+                    oracle,
+                    cancel,
+                )
             }));
             flag.set(false);
             r
         });
         match outcome {
-            Ok(detail) => {
+            Ok((detail, skipped)) => {
                 let anomaly = if cancel.load(Ordering::Relaxed) {
                     Some(Anomaly {
                         run_index,
@@ -538,7 +618,7 @@ impl Campaign {
                 } else {
                     None
                 };
-                (detail, anomaly)
+                (detail, skipped, anomaly)
             }
             Err(payload) => {
                 // A panic is the software image of a hardware assert: an
@@ -560,7 +640,7 @@ impl Campaign {
                     kind: AnomalyKind::Panic,
                     message: payload_message(payload.as_ref()),
                 };
-                (detail, Some(anomaly))
+                (detail, false, Some(anomaly))
             }
         }
     }
@@ -571,8 +651,29 @@ impl Campaign {
         let cfg = &self.config;
         let program = cfg.workload.program();
         let (golden_output, golden_code, cycles, instructions) = self.golden(&program)?;
+        // Target geometry is config-determined; compute it once instead of
+        // per run so the oracle fast path can skip Simulator construction.
+        let geometry = {
+            let sim = Simulator::new(cfg.core, &program);
+            match cfg.target {
+                InjectionTarget::DataArray => sim.component_geometry(cfg.component),
+                InjectionTarget::TagArray => sim.tag_geometry(cfg.component),
+            }
+        };
+        // One fault-free observation run buys the provably-masked pre-filter
+        // for every injection run. Build failures (e.g. an observation run
+        // that does not exit cleanly) silently disable the fast path: the
+        // campaign is then merely slower, never wrong.
+        let oracle = if cfg.use_liveness_oracle && cfg.target == InjectionTarget::DataArray {
+            LivenessOracle::build(cfg.core, &program, cfg.component).ok()
+        } else {
+            None
+        };
+        let oracle = oracle.as_ref();
         let threads = if cfg.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             cfg.threads
         }
@@ -583,6 +684,7 @@ impl Campaign {
         let mut counts = ClassCounts::new();
         let mut details: Vec<RunDetail> = Vec::new();
         let mut anomalies = AnomalyLog::new();
+        let mut oracle_skips = 0u64;
         let mut worker_panicked = false;
         std::thread::scope(|scope| {
             if let Some(budget) = cfg.run_wall_budget {
@@ -599,24 +701,30 @@ impl Campaign {
                     let mut local = ClassCounts::new();
                     let mut local_details = Vec::new();
                     let mut local_anomalies = AnomalyLog::new();
+                    let mut local_skips = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= cfg.runs {
                             break;
                         }
                         let cancel = Arc::new(AtomicBool::new(false));
-                        *slot.lock().unwrap_or_else(|e| e.into_inner()) =
-                            Some(ActiveRun { started: Instant::now(), cancel: Arc::clone(&cancel) });
-                        let (detail, anomaly) = self.one_run_isolated(
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(ActiveRun {
+                            started: Instant::now(),
+                            cancel: Arc::clone(&cancel),
+                        });
+                        let (detail, skipped, anomaly) = self.one_run_isolated(
                             program,
                             i,
                             cycles,
                             golden_output,
                             golden_code,
+                            geometry,
+                            oracle,
                             &cancel,
                         );
                         *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
                         local.record(detail.effect);
+                        local_skips += u64::from(skipped);
                         if let Some(a) = anomaly {
                             local_anomalies.record(a);
                         }
@@ -624,15 +732,16 @@ impl Campaign {
                             local_details.push(detail);
                         }
                     }
-                    (local, local_details, local_anomalies)
+                    (local, local_details, local_anomalies, local_skips)
                 }));
             }
             for h in handles {
                 match h.join() {
-                    Ok((local, local_details, local_anomalies)) => {
+                    Ok((local, local_details, local_anomalies, local_skips)) => {
                         counts.merge(&local);
                         details.extend(local_details);
                         anomalies.merge(local_anomalies);
+                        oracle_skips += local_skips;
                     }
                     // A panic *outside* the per-run isolation boundary is an
                     // engine bug; salvage the other workers' results and
@@ -654,8 +763,13 @@ impl Campaign {
             counts,
             fault_free_cycles: cycles,
             fault_free_instructions: instructions,
-            details: if cfg.collect_details { Some(details) } else { None },
+            details: if cfg.collect_details {
+                Some(details)
+            } else {
+                None
+            },
             anomalies,
+            oracle_skips,
         })
     }
 
@@ -697,7 +811,12 @@ mod tests {
     use super::*;
 
     fn small(workload: Workload, component: HwComponent, faults: usize) -> CampaignResult {
-        Campaign::new(CampaignConfig::new(workload, component, faults).runs(24).seed(7)).run()
+        Campaign::new(
+            CampaignConfig::new(workload, component, faults)
+                .runs(24)
+                .seed(7),
+        )
+        .run()
     }
 
     #[test]
@@ -705,7 +824,10 @@ mod tests {
         let r = small(Workload::Stringsearch, HwComponent::RegFile, 1);
         assert_eq!(r.counts.total(), 24);
         assert!(r.fault_free_cycles > 1000);
-        assert!(r.anomalies.is_empty(), "healthy campaign must be anomaly-free");
+        assert!(
+            r.anomalies.is_empty(),
+            "healthy campaign must be anomaly-free"
+        );
     }
 
     #[test]
@@ -716,6 +838,26 @@ mod tests {
         let a = Campaign::new(base.clone().threads(1)).run();
         let b = Campaign::new(base.threads(4)).run();
         assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn run_hook_accepts_stateful_closures() {
+        // The hook takes any `Fn` closure, not just fn pointers: capture an
+        // atomic counter and check every run index was observed exactly once.
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen_in_hook = Arc::clone(&seen);
+        let r = Campaign::new(
+            CampaignConfig::new(Workload::Stringsearch, HwComponent::RegFile, 1)
+                .runs(12)
+                .seed(7)
+                .threads(3)
+                .with_run_hook(move |_| {
+                    seen_in_hook.fetch_add(1, Ordering::Relaxed);
+                }),
+        )
+        .run();
+        assert_eq!(r.counts.total(), 12);
+        assert_eq!(seen.load(Ordering::Relaxed), 12);
     }
 
     #[test]
@@ -743,9 +885,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one run")]
     fn zero_runs_rejected() {
-        let _ = Campaign::new(
-            CampaignConfig::new(Workload::Sha, HwComponent::L1D, 1).runs(0),
-        );
+        let _ = Campaign::new(CampaignConfig::new(Workload::Sha, HwComponent::L1D, 1).runs(0));
     }
 
     #[test]
@@ -756,12 +896,10 @@ mod tests {
 
     #[test]
     fn try_new_reports_typed_errors() {
-        let zero = Campaign::try_new(
-            CampaignConfig::new(Workload::Sha, HwComponent::L1D, 1).runs(0),
-        );
+        let zero =
+            Campaign::try_new(CampaignConfig::new(Workload::Sha, HwComponent::L1D, 1).runs(0));
         assert_eq!(zero.unwrap_err(), CampaignError::ZeroRuns);
-        let oversized =
-            Campaign::try_new(CampaignConfig::new(Workload::Sha, HwComponent::L1D, 10));
+        let oversized = Campaign::try_new(CampaignConfig::new(Workload::Sha, HwComponent::L1D, 10));
         assert!(matches!(
             oversized.unwrap_err(),
             CampaignError::CardinalityTooLarge { faults: 10, .. }
@@ -772,7 +910,9 @@ mod tests {
         );
         assert_eq!(
             tags.unwrap_err(),
-            CampaignError::TagArrayUnsupported { component: HwComponent::ITlb }
+            CampaignError::TagArrayUnsupported {
+                component: HwComponent::ITlb
+            }
         );
     }
 }
@@ -891,7 +1031,11 @@ mod resilience_tests {
         .run();
         // Every run completes; indices 0, 5, 10, 15 panicked.
         assert_eq!(r.counts.total(), 20);
-        assert!(r.counts.assert_ >= 4, "panicked runs classify as Assert: {}", r.counts);
+        assert!(
+            r.counts.assert_ >= 4,
+            "panicked runs classify as Assert: {}",
+            r.counts
+        );
         assert_eq!(r.anomalies.len(), 4);
         for (a, expected_index) in r.anomalies.entries().iter().zip([0usize, 5, 10, 15]) {
             assert_eq!(a.run_index, expected_index);
@@ -962,7 +1106,11 @@ mod resilience_tests {
         // Run 1 slept through its budget: cancelled → Timeout + anomaly.
         // (A slow or loaded host may additionally cancel a healthy run, so
         // assert containment, not exact equality.)
-        assert!(r.counts.timeout >= 1, "watchdog must cancel the stalled run: {}", r.counts);
+        assert!(
+            r.counts.timeout >= 1,
+            "watchdog must cancel the stalled run: {}",
+            r.counts
+        );
         let wall: Vec<_> = r
             .anomalies
             .entries()

@@ -167,7 +167,12 @@ mod tests {
     use mbu_isa::interp::Trap;
 
     fn run(end: RunEnd, output: &[u8]) -> RunResult {
-        RunResult { end, output: output.to_vec(), cycles: 100, instructions: 50 }
+        RunResult {
+            end,
+            output: output.to_vec(),
+            cycles: 100,
+            instructions: 50,
+        }
     }
 
     #[test]
@@ -195,7 +200,11 @@ mod tests {
             FaultEffect::Crash
         );
         assert_eq!(
-            classify(&run(RunEnd::Assert { pa: 0xFFFF_0000 }, &golden), &golden, 0),
+            classify(
+                &run(RunEnd::Assert { pa: 0xFFFF_0000 }, &golden),
+                &golden,
+                0
+            ),
             FaultEffect::Assert
         );
         assert_eq!(
@@ -226,8 +235,20 @@ mod tests {
 
     #[test]
     fn merge_adds_componentwise() {
-        let mut a = ClassCounts { masked: 1, sdc: 2, crash: 3, timeout: 4, assert_: 5 };
-        let b = ClassCounts { masked: 10, sdc: 20, crash: 30, timeout: 40, assert_: 50 };
+        let mut a = ClassCounts {
+            masked: 1,
+            sdc: 2,
+            crash: 3,
+            timeout: 4,
+            assert_: 5,
+        };
+        let b = ClassCounts {
+            masked: 10,
+            sdc: 20,
+            crash: 30,
+            timeout: 40,
+            assert_: 50,
+        };
         a.merge(&b);
         assert_eq!(a.total(), 165);
         assert_eq!(a.sdc, 22);

@@ -77,13 +77,20 @@ mod tests {
     fn messages_keep_legacy_panic_substrings() {
         // The panicking wrappers' `#[should_panic(expected = ...)]` tests
         // match on these fragments.
-        assert!(CampaignError::ZeroRuns.to_string().contains("at least one run"));
-        assert!(CampaignError::CardinalityTooLarge { faults: 10, cluster: ClusterSpec::DEFAULT }
+        assert!(CampaignError::ZeroRuns
             .to_string()
-            .contains("fit the cluster"));
-        assert!(CampaignError::TagArrayUnsupported { component: HwComponent::DTlb }
-            .to_string()
-            .contains("only defined for caches"));
+            .contains("at least one run"));
+        assert!(CampaignError::CardinalityTooLarge {
+            faults: 10,
+            cluster: ClusterSpec::DEFAULT
+        }
+        .to_string()
+        .contains("fit the cluster"));
+        assert!(CampaignError::TagArrayUnsupported {
+            component: HwComponent::DTlb
+        }
+        .to_string()
+        .contains("only defined for caches"));
         assert!(CampaignError::GoldenRunFailed {
             workload: Workload::Sha,
             end: RunEnd::CycleLimit

@@ -72,7 +72,10 @@ pub fn cpu_fit(avfs: &BTreeMap<HwComponent, ComponentAvf>, node: TechNode) -> Cp
         total += component_fit(node_avf(avf, node), node, c);
         single += component_fit(avf.single, node, c);
     }
-    CpuFit { total, single_bit_only: single }
+    CpuFit {
+        total,
+        single_bit_only: single,
+    }
 }
 
 /// FIT of one component across all nodes (a Fig. 8-style series).
@@ -108,7 +111,10 @@ mod tests {
         // The paper's headline Fig. 8 number, recomputed from its Table V.
         let fit = cpu_fit(&paper::table5_avfs(), TechNode::N22);
         let pct = fit.mbu_contribution_pct();
-        assert!((15.0..=22.0).contains(&pct), "got {pct:.1}% (paper reports 21%)");
+        assert!(
+            (15.0..=22.0).contains(&pct),
+            "got {pct:.1}% (paper reports 21%)"
+        );
     }
 
     #[test]
@@ -212,7 +218,13 @@ mod class_fit_tests {
     use crate::avf::ClassBreakdown;
 
     fn breakdown() -> ClassBreakdown {
-        ClassBreakdown { masked: 0.6, sdc: 0.2, crash: 0.1, timeout: 0.06, assert_: 0.04 }
+        ClassBreakdown {
+            masked: 0.6,
+            sdc: 0.2,
+            crash: 0.1,
+            timeout: 0.06,
+            assert_: 0.04,
+        }
     }
 
     #[test]
@@ -227,7 +239,13 @@ mod class_fit_tests {
 
     #[test]
     fn fully_masked_breakdown_has_zero_class_fit() {
-        let b = ClassBreakdown { masked: 1.0, sdc: 0.0, crash: 0.0, timeout: 0.0, assert_: 0.0 };
+        let b = ClassBreakdown {
+            masked: 1.0,
+            sdc: 0.0,
+            crash: 0.0,
+            timeout: 0.0,
+            assert_: 0.0,
+        };
         let f = class_fit(&b, 0.0, TechNode::N22, HwComponent::L2);
         assert_eq!(f.total(), 0.0);
     }

@@ -56,7 +56,7 @@ pub mod stats;
 pub mod tech;
 
 pub use avf::{ClassBreakdown, ComponentAvf};
-pub use campaign::{Anomaly, AnomalyLog, Campaign, CampaignConfig, CampaignResult};
+pub use campaign::{Anomaly, AnomalyLog, Campaign, CampaignConfig, CampaignResult, RunHook};
 pub use classify::{ClassCounts, FaultEffect};
 pub use error::CampaignError;
 pub use mask::{ClusterSpec, FaultMask, MaskGenerator};

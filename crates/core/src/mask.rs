@@ -91,7 +91,13 @@ impl FaultMask {
 
 impl fmt::Display for FaultMask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}-bit fault at {} in a {} cluster", self.cardinality(), self.origin, self.cluster)
+        write!(
+            f,
+            "{}-bit fault at {} in a {} cluster",
+            self.cardinality(),
+            self.origin,
+            self.cluster
+        )
     }
 }
 
@@ -116,7 +122,10 @@ pub struct MaskGenerator {
 impl MaskGenerator {
     /// Creates a generator with a deterministic seed.
     pub fn seeded(seed: u64, cluster: ClusterSpec) -> Self {
-        Self { rng: Rng64::seed_from_u64(seed), cluster }
+        Self {
+            rng: Rng64::seed_from_u64(seed),
+            cluster,
+        }
     }
 
     /// The cluster window used by this generator.
@@ -159,7 +168,11 @@ impl MaskGenerator {
             ));
         }
         coords.sort_unstable();
-        FaultMask { coords, origin, cluster: window }
+        FaultMask {
+            coords,
+            origin,
+            cluster: window,
+        }
     }
 
     /// Draws a uniformly random injection cycle in `[0, fault_free_cycles)`.
@@ -168,7 +181,10 @@ impl MaskGenerator {
     ///
     /// Panics if `fault_free_cycles` is zero.
     pub fn injection_cycle(&mut self, fault_free_cycles: u64) -> u64 {
-        assert!(fault_free_cycles > 0, "fault-free run must take at least one cycle");
+        assert!(
+            fault_free_cycles > 0,
+            "fault-free run must take at least one cycle"
+        );
         self.rng.gen_range(0..fault_free_cycles)
     }
 }
@@ -230,7 +246,10 @@ mod tests {
                 seen_last_row = true;
             }
         }
-        assert!(seen_first_row && seen_last_row, "placement must span the array");
+        assert!(
+            seen_first_row && seen_last_row,
+            "placement must span the array"
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub fn table5_avfs() -> BTreeMap<HwComponent, ComponentAvf> {
     m.insert(HwComponent::L1D, ComponentAvf::new(0.2032, 0.2970, 0.3628));
     m.insert(HwComponent::L1I, ComponentAvf::new(0.1201, 0.1957, 0.2514));
     m.insert(HwComponent::L2, ComponentAvf::new(0.1794, 0.2483, 0.3013));
-    m.insert(HwComponent::RegFile, ComponentAvf::new(0.1095, 0.1865, 0.2301));
+    m.insert(
+        HwComponent::RegFile,
+        ComponentAvf::new(0.1095, 0.1865, 0.2301),
+    );
     m.insert(HwComponent::ITlb, ComponentAvf::new(0.5031, 0.6291, 0.6667));
     m.insert(HwComponent::DTlb, ComponentAvf::new(0.5066, 0.6177, 0.6722));
     m
@@ -85,15 +88,28 @@ mod tests {
         ];
         for (c, inc12, inc23) in checks {
             let a = &t[&c];
-            assert!((a.pct_increase_1_to_2() - inc12).abs() < 0.25, "{c}: {}", a.pct_increase_1_to_2());
-            assert!((a.pct_increase_2_to_3() - inc23).abs() < 0.25, "{c}: {}", a.pct_increase_2_to_3());
+            assert!(
+                (a.pct_increase_1_to_2() - inc12).abs() < 0.25,
+                "{c}: {}",
+                a.pct_increase_1_to_2()
+            );
+            assert!(
+                (a.pct_increase_2_to_3() - inc23).abs() < 0.25,
+                "{c}: {}",
+                a.pct_increase_2_to_3()
+            );
         }
     }
 
     #[test]
     fn tlbs_are_the_most_vulnerable_in_table5() {
         let t = table5_avfs();
-        for c in [HwComponent::L1D, HwComponent::L1I, HwComponent::L2, HwComponent::RegFile] {
+        for c in [
+            HwComponent::L1D,
+            HwComponent::L1I,
+            HwComponent::L2,
+            HwComponent::RegFile,
+        ] {
             assert!(t[&HwComponent::ITlb].single > t[&c].single);
             assert!(t[&HwComponent::DTlb].single > t[&c].single);
         }
@@ -103,8 +119,10 @@ mod tests {
     fn assessment_gaps_at_22nm_span_11_to_35_percent() {
         // Fig. 7: the gap varies from ~11 % (DTLB) to ~35 % (register file).
         let t = table5_avfs();
-        let gaps: Vec<f64> =
-            HwComponent::ALL.iter().map(|c| assessment_gap(&t[c], TechNode::N22)).collect();
+        let gaps: Vec<f64> = HwComponent::ALL
+            .iter()
+            .map(|c| assessment_gap(&t[c], TechNode::N22))
+            .collect();
         let min = gaps.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = gaps.iter().cloned().fold(0.0, f64::max);
         assert!((0.10..=0.13).contains(&min), "min gap {min}");
@@ -115,7 +133,10 @@ mod tests {
     fn table3_lists_all_15_benchmarks() {
         use mbu_workloads::Workload;
         for w in Workload::ALL {
-            assert!(table3_cycles(w.name()).is_some(), "{w} missing from Table III data");
+            assert!(
+                table3_cycles(w.name()).is_some(),
+                "{w} missing from Table III data"
+            );
         }
         assert!(table3_cycles("nonexistent").is_none());
     }

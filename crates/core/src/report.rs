@@ -137,6 +137,87 @@ mod tests {
     }
 }
 
+/// One (component, workload) pair of the analytical-vs-injected AVF
+/// cross-validation (ACE-style liveness analysis vs statistical injection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvfCrossValidation {
+    /// Component slug (e.g. `l1d`).
+    pub component: String,
+    /// Workload name.
+    pub workload: String,
+    /// AVF derived analytically from fault-free liveness
+    /// (`live-bit-cycles / (bits × cycles)`).
+    pub analytical: f64,
+    /// AVF measured by injection (`1 − masked fraction`).
+    pub injected: f64,
+}
+
+impl AvfCrossValidation {
+    /// Absolute disagreement between the two estimates.
+    pub fn abs_error(&self) -> f64 {
+        (self.analytical - self.injected).abs()
+    }
+}
+
+/// Renders the analytical-vs-injected cross-validation as a table, one row
+/// per (component, workload), with per-row absolute error and a trailing
+/// mean-absolute-error summary row.
+pub fn cross_validation_table(rows: &[AvfCrossValidation]) -> Table {
+    let mut t = Table::new(
+        "Analytical (ACE) vs injected AVF",
+        &["component", "workload", "analytical", "injected", "|error|"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.component.clone(),
+            r.workload.clone(),
+            pct(r.analytical),
+            pct(r.injected),
+            pct(r.abs_error()),
+        ]);
+    }
+    if !rows.is_empty() {
+        let mae = rows.iter().map(AvfCrossValidation::abs_error).sum::<f64>() / rows.len() as f64;
+        t.row(vec![
+            "—".into(),
+            "mean".into(),
+            "".into(),
+            "".into(),
+            pct(mae),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod xval_tests {
+    use super::*;
+
+    #[test]
+    fn cross_validation_table_reports_errors_and_mean() {
+        let rows = vec![
+            AvfCrossValidation {
+                component: "l1d".into(),
+                workload: "sha".into(),
+                analytical: 0.10,
+                injected: 0.12,
+            },
+            AvfCrossValidation {
+                component: "l2".into(),
+                workload: "qsort".into(),
+                analytical: 0.02,
+                injected: 0.02,
+            },
+        ];
+        let t = cross_validation_table(&rows);
+        assert_eq!(t.len(), 3, "two data rows plus the mean row");
+        let s = t.to_string();
+        assert!(s.contains("2.00%"), "per-row |error| rendered: {s}");
+        assert!(s.contains("1.00%"), "mean absolute error rendered: {s}");
+        assert!(cross_validation_table(&[]).is_empty());
+    }
+}
+
 /// One bar of a stacked horizontal bar chart.
 #[derive(Debug, Clone)]
 pub struct StackedBar {
@@ -184,8 +265,14 @@ mod chart_tests {
     #[test]
     fn bars_fill_proportionally() {
         let bars = vec![
-            StackedBar { label: "a".into(), segments: vec![('.', 0.5), ('S', 0.5)] },
-            StackedBar { label: "bb".into(), segments: vec![('C', 1.0)] },
+            StackedBar {
+                label: "a".into(),
+                segments: vec![('.', 0.5), ('S', 0.5)],
+            },
+            StackedBar {
+                label: "bb".into(),
+                segments: vec![('C', 1.0)],
+            },
         ];
         let s = stacked_chart("t", &bars, 10);
         assert!(s.contains("|.....SSSSS|"));
@@ -196,8 +283,10 @@ mod chart_tests {
 
     #[test]
     fn overfull_segments_are_clamped() {
-        let bars =
-            vec![StackedBar { label: "x".into(), segments: vec![('A', 0.9), ('B', 0.9)] }];
+        let bars = vec![StackedBar {
+            label: "x".into(),
+            segments: vec![('A', 0.9), ('B', 0.9)],
+        }];
         let s = stacked_chart("t", &bars, 10);
         let line = s.lines().nth(1).unwrap();
         assert_eq!(line.matches(['A', 'B']).count(), 10, "clamped to width");

@@ -29,7 +29,9 @@ impl Rng64 {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        Self { s: [next(), next(), next(), next()] }
+        Self {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Next raw 64-bit output.

@@ -41,7 +41,10 @@ pub fn sample_size(population: u64, margin: f64, z: f64, p: f64) -> u64 {
 ///
 /// Panics if `samples` is zero or exceeds the population.
 pub fn error_margin(population: u64, samples: u64, z: f64, p: f64) -> f64 {
-    assert!(samples > 0 && samples <= population, "samples must be in 1..=population");
+    assert!(
+        samples > 0 && samples <= population,
+        "samples must be in 1..=population"
+    );
     let n = population as f64;
     let s = samples as f64;
     if samples == population {

@@ -218,7 +218,10 @@ mod tests {
         for node in TechNode::ALL {
             let v = node_avf(&a, node);
             assert!(v >= a.single && v <= a.triple, "convex combination bounds");
-            assert!(v >= prev, "AVF grows toward denser nodes when AVF₂,₃ > AVF₁");
+            assert!(
+                v >= prev,
+                "AVF grows toward denser nodes when AVF₂,₃ > AVF₁"
+            );
             prev = v;
         }
     }
@@ -263,7 +266,10 @@ mod projected_tests {
             assert!((node_avf_with_rates(&a, node.mbu_rates()) - node_avf(&a, node)).abs() < 1e-12);
         }
         let v = node_avf_with_rates(&a, projected::finfet_14nm_rates());
-        assert!(v > node_avf(&a, TechNode::N22), "projected node has higher aggregate AVF");
+        assert!(
+            v > node_avf(&a, TechNode::N22),
+            "projected node has higher aggregate AVF"
+        );
     }
 
     #[test]

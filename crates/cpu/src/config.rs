@@ -56,14 +56,20 @@ impl CoreConfig {
     /// The same machine with bimodal branch prediction and speculative
     /// execution enabled (extension; see the speculation ablation bench).
     pub fn speculative_a9() -> Self {
-        Self { branch_prediction: true, ..Self::cortex_a9_like() }
+        Self {
+            branch_prediction: true,
+            ..Self::cortex_a9_like()
+        }
     }
 
     /// The same machine with strictly in-order issue — the in-order-CPU
     /// extension the paper's conclusion mentions; everything else
     /// (structures, widths, memory) is unchanged.
     pub fn in_order_a9() -> Self {
-        Self { in_order: true, ..Self::cortex_a9_like() }
+        Self {
+            in_order: true,
+            ..Self::cortex_a9_like()
+        }
     }
 
     /// A deliberately tiny configuration for stress-testing structural
@@ -91,8 +97,14 @@ impl CoreConfig {
     /// Panics if the configuration cannot support execution (fewer physical
     /// registers than architectural, zero-sized windows, …).
     pub fn validate(&self) {
-        assert!(self.phys_regs >= 17, "need at least 17 physical registers (15 arch + 2 in flight)");
-        assert!(self.phys_regs <= 64, "physical register file is modeled up to 64 entries");
+        assert!(
+            self.phys_regs >= 17,
+            "need at least 17 physical registers (15 arch + 2 in flight)"
+        );
+        assert!(
+            self.phys_regs <= 64,
+            "physical register file is modeled up to 64 entries"
+        );
         assert!(self.rob_entries >= 1 && self.iq_entries >= 1);
         assert!(self.fetch_width >= 1 && self.issue_width >= 1);
         assert!(self.writeback_width >= 1 && self.commit_width >= 1);

@@ -44,10 +44,12 @@
 
 pub mod component;
 pub mod config;
+pub mod probe;
 pub mod regfile;
 pub mod sim;
 
 pub use component::HwComponent;
 pub use config::CoreConfig;
+pub use probe::{PipelineProbe, SimProbes};
 pub use regfile::PhysRegFile;
 pub use sim::{Fault, PipelineStats, RunEnd, RunResult, Simulator};

@@ -1,0 +1,59 @@
+//! Core-side liveness / occupancy probe attachment points (ACE analysis).
+//!
+//! [`SimProbes`] bundles everything an observer can attach to one
+//! [`crate::Simulator`]: the full memory-side probe set
+//! ([`mbu_mem::MemProbes`]), a [`mbu_sram::LivenessProbe`] on the physical
+//! register file, and a [`PipelineProbe`] sampling per-cycle occupancy of
+//! the queue structures (ROB, issue queue, store buffer). All slots are
+//! optional; with nothing attached the simulator's hot path pays a single
+//! branch per cycle.
+
+use mbu_mem::MemProbes;
+use mbu_sram::LivenessProbe;
+use std::any::Any;
+use std::fmt;
+
+/// Observer of per-cycle pipeline-queue occupancy.
+///
+/// Called once per simulated cycle (before the cycle's stages run) with the
+/// current number of valid entries in each queue structure. Occupancy is the
+/// liveness proxy for queues whose entries live from allocate to
+/// commit/squash: AVF ≈ mean occupancy / capacity (Mukherjee et al.,
+/// "little's-law" ACE estimate).
+pub trait PipelineProbe: Send {
+    /// Occupancy sample at `cycle`: ROB entries, issue-queue entries and
+    /// ROB entries holding a not-yet-committed store (the store buffer).
+    fn on_cycle(&mut self, cycle: u64, rob: usize, iq: usize, store_buffer: usize);
+
+    /// Recovers the concrete observer after a run.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// Everything attachable to one simulator run.
+#[derive(Default)]
+pub struct SimProbes {
+    /// Memory-hierarchy probes (caches, TLBs).
+    pub mem: MemProbes,
+    /// Physical register file probe (rows = physical registers, 32 bit
+    /// columns; a register's bits share fate, so events are whole-row).
+    pub prf: Option<Box<dyn LivenessProbe>>,
+    /// Pipeline-queue occupancy sampler.
+    pub pipeline: Option<Box<dyn PipelineProbe>>,
+}
+
+impl SimProbes {
+    /// Whether any probe is attached.
+    pub fn any_attached(&self) -> bool {
+        self.mem.any_attached() || self.prf.is_some() || self.pipeline.is_some()
+    }
+}
+
+impl fmt::Debug for SimProbes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimProbes")
+            .field("mem", &self.mem)
+            .field("prf", &self.prf.is_some())
+            .field("pipeline", &self.pipeline.is_some())
+            .finish()
+    }
+}

@@ -45,7 +45,10 @@ impl PhysRegFile {
     ///
     /// Panics if `phys_regs` is not in `17..=64`.
     pub fn new(phys_regs: u32) -> Self {
-        assert!((17..=64).contains(&phys_regs), "phys_regs must be in 17..=64");
+        assert!(
+            (17..=64).contains(&phys_regs),
+            "phys_regs must be in 17..=64"
+        );
         let n = phys_regs as usize;
         let mut rename = [0u8; 16];
         for (arch, slot) in rename.iter_mut().enumerate().skip(1) {
@@ -110,7 +113,8 @@ impl PhysRegFile {
     pub fn unallocate(&mut self, arch: Reg, new: PhysReg, prev: PhysReg) {
         assert!(!arch.is_zero(), "r0 is never renamed");
         assert_eq!(
-            self.rename[arch.index() as usize], new,
+            self.rename[arch.index() as usize],
+            new,
             "squash must restore mappings youngest-first"
         );
         self.rename[arch.index() as usize] = prev;
@@ -125,7 +129,10 @@ impl PhysRegFile {
     ///
     /// Panics if `phys` is out of range.
     pub fn release(&mut self, phys: PhysReg) {
-        assert!((phys as usize) < self.values.len(), "physical register out of range");
+        assert!(
+            (phys as usize) < self.values.len(),
+            "physical register out of range"
+        );
         self.free.push_back(phys);
     }
 

@@ -8,13 +8,14 @@
 
 use crate::component::HwComponent;
 use crate::config::CoreConfig;
+use crate::probe::{PipelineProbe, SimProbes};
 use crate::regfile::{PhysReg, PhysRegFile};
 use mbu_isa::instr::MemWidth;
 use mbu_isa::interp::Trap;
 use mbu_isa::program::Program;
 use mbu_isa::{decode, sys, Instruction, Reg};
 use mbu_mem::{MemFault, MemorySystem};
-use mbu_sram::{BitCoord, Geometry, Injectable};
+use mbu_sram::{BitCoord, Geometry, Injectable, LivenessProbe};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -215,6 +216,13 @@ pub struct Simulator {
     end: Option<RunEnd>,
     /// Cooperative cancellation flag, polled by [`Simulator::run_until_cycle`].
     cancel: Option<Arc<AtomicBool>>,
+    /// Register-file liveness probe (ACE analysis), if attached.
+    prf_probe: Option<Box<dyn LivenessProbe>>,
+    /// Pipeline-queue occupancy probe, if attached.
+    pipeline_probe: Option<Box<dyn PipelineProbe>>,
+    /// Whether any probe (core- or memory-side) is attached; gates the
+    /// per-cycle probe bookkeeping so the unprobed hot path pays one branch.
+    probes_attached: bool,
 }
 
 impl fmt::Debug for Simulator {
@@ -261,6 +269,30 @@ impl Simulator {
             output: Vec::new(),
             end: None,
             cancel: None,
+            prf_probe: None,
+            pipeline_probe: None,
+            probes_attached: false,
+        }
+    }
+
+    /// Attaches liveness/occupancy probes for a fault-free observation run.
+    /// Probe events carry the simulator's cycle counter; detach with
+    /// [`Simulator::detach_probes`] to recover the observers.
+    pub fn attach_probes(&mut self, probes: SimProbes) {
+        let SimProbes { mem, prf, pipeline } = probes;
+        self.mem.attach_probes(mem);
+        self.prf_probe = prf;
+        self.pipeline_probe = pipeline;
+        self.probes_attached = true;
+    }
+
+    /// Detaches all probes, returning the bundle for downcasting.
+    pub fn detach_probes(&mut self) -> SimProbes {
+        self.probes_attached = false;
+        SimProbes {
+            mem: self.mem.detach_probes().unwrap_or_default(),
+            prf: self.prf_probe.take(),
+            pipeline: self.pipeline_probe.take(),
         }
     }
 
@@ -377,6 +409,31 @@ impl Simulator {
         }
     }
 
+    /// Reads a source physical register, reporting the read to the probe.
+    /// Wrong-path reads are included — conservative for ACE analysis (a bit
+    /// observed speculatively is *possibly* live).
+    fn prf_read(&mut self, phys: Option<PhysReg>) -> u32 {
+        if let (Some(probe), Some(p)) = (self.prf_probe.as_deref_mut(), phys) {
+            probe.on_read(self.cycle, p as usize, 0, 32);
+        }
+        self.prf.read_src(phys)
+    }
+
+    /// Writes a physical register, reporting the write to the probe.
+    fn prf_write(&mut self, phys: PhysReg, value: u32) {
+        if let Some(probe) = self.prf_probe.as_deref_mut() {
+            probe.on_write(self.cycle, phys as usize, 0, 32);
+        }
+        self.prf.write(phys, value);
+    }
+
+    /// Reports a register returning to the free list (its value is dead).
+    fn prf_invalidate(&mut self, phys: PhysReg) {
+        if let Some(probe) = self.prf_probe.as_deref_mut() {
+            probe.on_invalidate(self.cycle, phys as usize, 0, 32);
+        }
+    }
+
     fn entry(&self, seq: u64) -> &RobEntry {
         &self.rob[(seq - self.head_seq) as usize]
     }
@@ -393,6 +450,7 @@ impl Simulator {
         while self.head_seq + self.rob.len() as u64 > seq + 1 {
             let entry = self.rob.pop_back().expect("tail exists");
             if let Some(d) = entry.dest {
+                self.prf_invalidate(d.new);
                 self.prf.unallocate(d.arch, d.new, d.prev);
             }
         }
@@ -446,13 +504,13 @@ impl Simulator {
                     sys::PUTC => self.output.push(arg as u8),
                     sys::PUTW => self.output.extend_from_slice(&arg.to_le_bytes()),
                     other => {
-                        self.end =
-                            Some(RunEnd::Crashed(Trap::BadSyscall { pc, number: other }));
+                        self.end = Some(RunEnd::Crashed(Trap::BadSyscall { pc, number: other }));
                         return;
                     }
                 }
             }
             if let Some(d) = self.rob[0].dest {
+                self.prf_invalidate(d.prev);
                 self.prf.release(d.prev);
             }
             self.rob.pop_front();
@@ -488,11 +546,11 @@ impl Simulator {
                 (e.dest, e.result, e.redirect)
             };
             if let (Some(d), Some(v)) = (dest, result) {
-                self.prf.write(d.new, v);
+                self.prf_write(d.new, v);
             } else if let Some(d) = dest {
                 // Faulted producer: mark ready so dependents can issue; they
                 // will never commit past the fault.
-                self.prf.write(d.new, 0);
+                self.prf_write(d.new, 0);
             }
             if let Some(target) = redirect {
                 let predicted = self.entry(seq).predicted_next;
@@ -571,10 +629,15 @@ impl Simulator {
     fn execute(&mut self, seq: u64) {
         let (instr, pc, srcs, nsrcs) = {
             let e = self.entry(seq);
-            (e.instr.expect("issued entries decoded"), e.pc, e.srcs, e.nsrcs)
+            (
+                e.instr.expect("issued entries decoded"),
+                e.pc,
+                e.srcs,
+                e.nsrcs,
+            )
         };
-        let s0 = self.prf.read_src(srcs[0]);
-        let s1 = if nsrcs > 1 { self.prf.read_src(srcs[1]) } else { 0 };
+        let s0 = self.prf_read(srcs[0]);
+        let s1 = if nsrcs > 1 { self.prf_read(srcs[1]) } else { 0 };
         let mut latency = instr.latency();
         let mut result: Option<u32> = None;
         let mut fault: Option<Fault> = None;
@@ -589,7 +652,12 @@ impl Simulator {
             },
             Instruction::AluImm { op, imm, .. } => result = Some(op.apply(s0, imm)),
             Instruction::Lui { imm, .. } => result = Some((imm as u32) << 16),
-            Instruction::Load { width, signed, offset, .. } => {
+            Instruction::Load {
+                width,
+                signed,
+                offset,
+                ..
+            } => {
                 let addr = s0.wrapping_add(offset as i32 as u32);
                 let bytes = width.bytes();
                 if !addr.is_multiple_of(bytes) {
@@ -615,13 +683,18 @@ impl Simulator {
                 if !addr.is_multiple_of(bytes) {
                     fault = Some(Fault::Trap(Trap::Misaligned { pc, addr }));
                 } else {
-                    store = Some(StoreOp { addr, width: bytes, value: s1 });
+                    store = Some(StoreOp {
+                        addr,
+                        width: bytes,
+                        value: s1,
+                    });
                 }
             }
             Instruction::Branch { cond, offset, .. } => {
                 let taken = cond.eval(s0, s1);
                 redirect = Some(if taken {
-                    pc.wrapping_add(4).wrapping_add((offset as i32 as u32).wrapping_mul(4))
+                    pc.wrapping_add(4)
+                        .wrapping_add((offset as i32 as u32).wrapping_mul(4))
                 } else {
                     pc.wrapping_add(4)
                 });
@@ -642,7 +715,8 @@ impl Simulator {
         e.store = store;
         e.syscall = syscall;
         e.redirect = redirect;
-        self.completions.push((self.cycle + latency.max(1) as u64, seq));
+        self.completions
+            .push((self.cycle + latency.max(1) as u64, seq));
     }
 
     fn issue_stage(&mut self) {
@@ -669,9 +743,17 @@ impl Simulator {
                 continue;
             }
             // Loads additionally need disambiguation against older stores.
-            let e = self.entry(seq);
-            if let Some(Instruction::Load { width, offset, .. }) = e.instr {
-                let addr = self.prf.read_src(e.srcs[0]).wrapping_add(offset as i32 as u32);
+            let load_info = {
+                let e = self.entry(seq);
+                match e.instr {
+                    Some(Instruction::Load { width, offset, .. }) => {
+                        Some((e.srcs[0], width, offset))
+                    }
+                    _ => None,
+                }
+            };
+            if let Some((src, width, offset)) = load_info {
+                let addr = self.prf_read(src).wrapping_add(offset as i32 as u32);
                 let bytes = width.bytes();
                 if addr.is_multiple_of(bytes) && self.load_may_issue(seq, addr, bytes).is_none() {
                     if self.cfg.in_order {
@@ -693,7 +775,9 @@ impl Simulator {
             if self.rob.len() >= self.cfg.rob_entries as usize {
                 break;
             }
-            let Some(front) = self.decode_q.front() else { break };
+            let Some(front) = self.decode_q.front() else {
+                break;
+            };
             let seq = self.head_seq + self.rob.len() as u64;
             match &front.result {
                 Err(_) => {
@@ -733,10 +817,7 @@ impl Simulator {
                     }
                     let nsrcs = sources.len().min(2) as u8;
                     let dest = instr.dest().map(|arch| {
-                        let (new, prev) = self
-                            .prf
-                            .allocate(arch)
-                            .expect("free-list checked above");
+                        let (new, prev) = self.prf.allocate(arch).expect("free-list checked above");
                         DestInfo { arch, new, prev }
                     });
                     self.rob.push_back(RobEntry {
@@ -832,7 +913,11 @@ impl Simulator {
                                     continue;
                                 }
                             }
-                            self.decode_q.push_back(Decoded { pc, result: Ok(instr), predicted_next: None });
+                            self.decode_q.push_back(Decoded {
+                                pc,
+                                result: Ok(instr),
+                                predicted_next: None,
+                            });
                             fetched += 1;
                             if instr.is_direct_jump() {
                                 let target = match instr {
@@ -866,6 +951,13 @@ impl Simulator {
     pub fn step(&mut self) -> Option<RunEnd> {
         if let Some(end) = self.end {
             return Some(end);
+        }
+        if self.probes_attached {
+            self.mem.set_probe_cycle(self.cycle);
+            if let Some(p) = self.pipeline_probe.as_deref_mut() {
+                let sb = self.rob.iter().filter(|e| e.store.is_some()).count();
+                p.on_cycle(self.cycle, self.rob.len(), self.iq.len(), sb);
+            }
         }
         self.commit_stage();
         if self.end.is_none() {
@@ -920,7 +1012,12 @@ impl Simulator {
     pub fn run(mut self, max_cycles: u64) -> RunResult {
         self.run_until_cycle(max_cycles);
         let end = self.end.unwrap_or(RunEnd::CycleLimit);
-        RunResult { end, output: self.output, cycles: self.cycle, instructions: self.committed }
+        RunResult {
+            end,
+            output: self.output,
+            cycles: self.cycle,
+            instructions: self.committed,
+        }
     }
 }
 
@@ -950,11 +1047,24 @@ mod tests {
 
     fn assert_matches_interpreter(src: &str) {
         let p = assemble(src).expect("assemble");
-        let golden = ArchInterpreter::new(&p).run(10_000_000).expect("golden run");
-        assert_eq!(golden.stop, StopReason::Exited { code: 0 }, "golden must exit");
+        let golden = ArchInterpreter::new(&p)
+            .run(10_000_000)
+            .expect("golden run");
+        assert_eq!(
+            golden.stop,
+            StopReason::Exited { code: 0 },
+            "golden must exit"
+        );
         let r = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(10_000_000);
-        assert_eq!(r.end, RunEnd::Exited { code: 0 }, "simulator must exit cleanly");
-        assert_eq!(r.output, golden.output, "outputs must match the golden model");
+        assert_eq!(
+            r.end,
+            RunEnd::Exited { code: 0 },
+            "simulator must exit cleanly"
+        );
+        assert_eq!(
+            r.output, golden.output,
+            "outputs must match the golden model"
+        );
     }
 
     #[test]
@@ -1050,7 +1160,10 @@ square:
     #[test]
     fn div_by_zero_crashes() {
         let r = run_src(".text\nmain:\nli r1, 5\nli r4, 0\ndiv r5, r1, r4\n");
-        assert!(matches!(r.end, RunEnd::Crashed(Trap::DivisionByZero { .. })));
+        assert!(matches!(
+            r.end,
+            RunEnd::Crashed(Trap::DivisionByZero { .. })
+        ));
     }
 
     #[test]
@@ -1087,9 +1200,8 @@ square:
 
     #[test]
     fn deterministic_across_runs() {
-        let src = format!(
-            ".text\nmain:\nli r1, 50\nloop:\naddi r1, r1, -1\nbnez r1, loop\n{EXIT0}"
-        );
+        let src =
+            format!(".text\nmain:\nli r1, 50\nloop:\naddi r1, r1, -1\nbnez r1, loop\n{EXIT0}");
         let p = assemble(&src).unwrap();
         let a = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(1_000_000);
         let b = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(1_000_000);
@@ -1139,11 +1251,23 @@ square:
         let sim = Simulator::new(CoreConfig::cortex_a9_like(), &p);
         // Scaled experimental memory config: 2 KB L1s, 8 KB L2,
         // 4-entry ITLB / 8-entry DTLB.
-        assert_eq!(sim.component_geometry(HwComponent::L1D).total_bits(), 16_384);
+        assert_eq!(
+            sim.component_geometry(HwComponent::L1D).total_bits(),
+            16_384
+        );
         assert_eq!(sim.component_geometry(HwComponent::L2).total_bits(), 65_536);
-        assert_eq!(sim.component_geometry(HwComponent::RegFile).total_bits(), 56 * 32);
-        assert_eq!(sim.component_geometry(HwComponent::ITlb).total_bits(), 4 * 44);
-        assert_eq!(sim.component_geometry(HwComponent::DTlb).total_bits(), 8 * 44);
+        assert_eq!(
+            sim.component_geometry(HwComponent::RegFile).total_bits(),
+            56 * 32
+        );
+        assert_eq!(
+            sim.component_geometry(HwComponent::ITlb).total_bits(),
+            4 * 44
+        );
+        assert_eq!(
+            sim.component_geometry(HwComponent::DTlb).total_bits(),
+            8 * 44
+        );
     }
 }
 
@@ -1160,21 +1284,35 @@ mod edge_case_tests {
             let p = assemble(".text\nmain:\nli r1, 0x00400002\njr r1\n").unwrap();
             Simulator::new(CoreConfig::cortex_a9_like(), &p).run(100_000)
         };
-        assert!(matches!(r.end, RunEnd::Crashed(Trap::Misaligned { .. })), "{:?}", r.end);
+        assert!(
+            matches!(r.end, RunEnd::Crashed(Trap::Misaligned { .. })),
+            "{:?}",
+            r.end
+        );
     }
 
     #[test]
     fn jump_into_unmapped_text_crashes() {
         let p = assemble(".text\nmain:\nli r1, 0x00500000\njr r1\n").unwrap();
         let r = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(100_000);
-        assert!(matches!(r.end, RunEnd::Crashed(Trap::Segfault { .. })), "{:?}", r.end);
+        assert!(
+            matches!(r.end, RunEnd::Crashed(Trap::Segfault { .. })),
+            "{:?}",
+            r.end
+        );
     }
 
     #[test]
     fn bad_syscall_number_crashes() {
-        let p = assemble(&format!(".text\nmain:\nli r2, 99\nli r3, 0\nsyscall\n{EXIT0}")).unwrap();
+        let p = assemble(&format!(
+            ".text\nmain:\nli r2, 99\nli r3, 0\nsyscall\n{EXIT0}"
+        ))
+        .unwrap();
         let r = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(100_000);
-        assert!(matches!(r.end, RunEnd::Crashed(Trap::BadSyscall { number: 99, .. })));
+        assert!(matches!(
+            r.end,
+            RunEnd::Crashed(Trap::BadSyscall { number: 99, .. })
+        ));
     }
 
     #[test]
@@ -1212,7 +1350,12 @@ mod edge_case_tests {
         let ino = Simulator::new(CoreConfig::in_order_a9(), &p).run(100_000);
         assert_eq!(ooo.end, RunEnd::Exited { code: 0 });
         assert_eq!(ino.end, RunEnd::Exited { code: 0 });
-        assert!(ino.cycles >= ooo.cycles + 10, "in-order {} vs OoO {}", ino.cycles, ooo.cycles);
+        assert!(
+            ino.cycles >= ooo.cycles + 10,
+            "in-order {} vs OoO {}",
+            ino.cycles,
+            ooo.cycles
+        );
     }
 
     #[test]
@@ -1266,7 +1409,10 @@ mod speculation_tests {
         assert_eq!(base.end, RunEnd::Exited { code: 0 });
         assert_eq!(spec.end, base.end);
         assert_eq!(spec.output, base.output);
-        assert_eq!(spec.instructions, base.instructions, "committed count is architectural");
+        assert_eq!(
+            spec.instructions, base.instructions,
+            "committed count is architectural"
+        );
     }
 
     #[test]
@@ -1292,8 +1438,15 @@ mod speculation_tests {
         let mut sim = Simulator::new(CoreConfig::speculative_a9(), &p);
         let end = sim.run_until_cycle(1_000_000);
         assert_eq!(end, Some(RunEnd::Exited { code: 0 }));
-        assert!(sim.mispredicts > 20, "alternating branch must mispredict ({})", sim.mispredicts);
-        assert_eq!(sim.output(), 0u32.wrapping_add(50 * 3 + 50 * 7).to_le_bytes().as_slice());
+        assert!(
+            sim.mispredicts > 20,
+            "alternating branch must mispredict ({})",
+            sim.mispredicts
+        );
+        assert_eq!(
+            sim.output(),
+            0u32.wrapping_add(50 * 3 + 50 * 7).to_le_bytes().as_slice()
+        );
     }
 
     #[test]
@@ -1305,7 +1458,11 @@ mod speculation_tests {
         );
         let p = assemble(&src).unwrap();
         let r = Simulator::new(CoreConfig::speculative_a9(), &p).run(1_000_000);
-        assert_eq!(r.end, RunEnd::Exited { code: 0 }, "speculative faults must be squashed");
+        assert_eq!(
+            r.end,
+            RunEnd::Exited { code: 0 },
+            "speculative faults must be squashed"
+        );
     }
 
     #[test]

@@ -20,17 +20,36 @@ enum BodyOp {
 fn body_op() -> impl Strategy<Value = BodyOp> {
     let reg = 1u8..12;
     let alu = prop_oneof![
-        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Mul), Just(AluOp::Mulhu),
-        Just(AluOp::And), Just(AluOp::Or), Just(AluOp::Xor), Just(AluOp::Nor),
-        Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra), Just(AluOp::Slt),
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulhu),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Nor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
         Just(AluOp::Sltu),
     ];
     let alui = prop_oneof![
-        Just(AluImmOp::Addi), Just(AluImmOp::Andi), Just(AluImmOp::Ori),
-        Just(AluImmOp::Xori), Just(AluImmOp::Slti), Just(AluImmOp::Sltiu),
-        Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai),
+        Just(AluImmOp::Addi),
+        Just(AluImmOp::Andi),
+        Just(AluImmOp::Ori),
+        Just(AluImmOp::Xori),
+        Just(AluImmOp::Slti),
+        Just(AluImmOp::Sltiu),
+        Just(AluImmOp::Slli),
+        Just(AluImmOp::Srli),
+        Just(AluImmOp::Srai),
     ];
-    let width = prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)];
+    let width = prop_oneof![
+        Just(MemWidth::Byte),
+        Just(MemWidth::Half),
+        Just(MemWidth::Word)
+    ];
     prop_oneof![
         (alu, reg.clone(), reg.clone(), reg.clone())
             .prop_map(|(op, rd, rs, rt)| BodyOp::Alu(op, rd, rs, rt)),
@@ -47,7 +66,10 @@ fn body_op() -> impl Strategy<Value = BodyOp> {
 fn build_program(body: &[BodyOp]) -> Program {
     let mut text = Vec::new();
     // r12 = scratch buffer base (the data segment).
-    text.push(encode(Instruction::Lui { rd: Reg::new(12), imm: (mbu_isa::DATA_BASE >> 16) as u16 }));
+    text.push(encode(Instruction::Lui {
+        rd: Reg::new(12),
+        imm: (mbu_isa::DATA_BASE >> 16) as u16,
+    }));
     // Seed registers r1..r11 with distinct values.
     for r in 1..12u8 {
         text.push(encode(Instruction::AluImm {
@@ -90,7 +112,12 @@ fn build_program(body: &[BodyOp]) -> Program {
         }
     }
     // Output a checksum of every register: r3 = r1 ^ .. ^ r11, PUTW.
-    text.push(encode(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::new(3), rs: Reg::new(1), imm: 0 }));
+    text.push(encode(Instruction::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::new(3),
+        rs: Reg::new(1),
+        imm: 0,
+    }));
     for r in 2..12u8 {
         text.push(encode(Instruction::Alu {
             op: AluOp::Xor,
@@ -99,11 +126,26 @@ fn build_program(body: &[BodyOp]) -> Program {
             rt: Reg::new(r),
         }));
     }
-    text.push(encode(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::new(2), rs: Reg::ZERO, imm: 2 }));
+    text.push(encode(Instruction::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::new(2),
+        rs: Reg::ZERO,
+        imm: 2,
+    }));
     text.push(encode(Instruction::Syscall));
     // exit(0)
-    text.push(encode(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::new(2), rs: Reg::ZERO, imm: 0 }));
-    text.push(encode(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::new(3), rs: Reg::ZERO, imm: 0 }));
+    text.push(encode(Instruction::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::new(2),
+        rs: Reg::ZERO,
+        imm: 0,
+    }));
+    text.push(encode(Instruction::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::new(3),
+        rs: Reg::ZERO,
+        imm: 0,
+    }));
     text.push(encode(Instruction::Syscall));
     Program::new(text, vec![0u8; 1024 + 4], TEXT_BASE)
 }

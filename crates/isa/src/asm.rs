@@ -45,7 +45,10 @@ impl std::error::Error for AsmError {}
 type Result<T> = std::result::Result<T, AsmError>;
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Assembles source text into a [`Program`].
@@ -113,18 +116,32 @@ impl Value {
 enum Stmt {
     Real(Instruction),
     /// `li rd, value` / `la rd, symbol` — expands to 1 or 2 instructions.
-    LoadImm { rd: Reg, value: Value, force_wide: bool },
+    LoadImm {
+        rd: Reg,
+        value: Value,
+        force_wide: bool,
+    },
     /// Conditional branch to a label or numeric offset.
-    Branch { cond: BranchCond, rs: Reg, rt: Reg, target: Value },
+    Branch {
+        cond: BranchCond,
+        rs: Reg,
+        rt: Reg,
+        target: Value,
+    },
     /// `j`/`jal` to a label or address.
-    Jump { link: bool, target: Value },
+    Jump {
+        link: bool,
+        target: Value,
+    },
 }
 
 impl Stmt {
     /// Number of machine instructions this statement expands to.
     fn size(&self) -> usize {
         match self {
-            Stmt::LoadImm { value, force_wide, .. } => {
+            Stmt::LoadImm {
+                value, force_wide, ..
+            } => {
                 if *force_wide {
                     return 2;
                 }
@@ -147,7 +164,11 @@ impl Stmt {
     ) -> Result<()> {
         match self {
             Stmt::Real(i) => out.push(crate::instr::encode(*i)),
-            Stmt::LoadImm { rd, value, force_wide } => {
+            Stmt::LoadImm {
+                rd,
+                value,
+                force_wide,
+            } => {
                 let v = value.resolve(line, symbols)?;
                 if !(-(1i64 << 31)..(1i64 << 32)).contains(&v) {
                     return err(line, format!("immediate {v} does not fit in 32 bits"));
@@ -162,10 +183,16 @@ impl Stmt {
                             imm: v32 as u16,
                         }));
                     } else {
-                        out.push(crate::instr::encode(Instruction::Lui { rd: *rd, imm: (v32 >> 16) as u16 }));
+                        out.push(crate::instr::encode(Instruction::Lui {
+                            rd: *rd,
+                            imm: (v32 >> 16) as u16,
+                        }));
                     }
                 } else {
-                    out.push(crate::instr::encode(Instruction::Lui { rd: *rd, imm: (v32 >> 16) as u16 }));
+                    out.push(crate::instr::encode(Instruction::Lui {
+                        rd: *rd,
+                        imm: (v32 >> 16) as u16,
+                    }));
                     out.push(crate::instr::encode(Instruction::AluImm {
                         op: AluImmOp::Ori,
                         rd: *rd,
@@ -174,7 +201,12 @@ impl Stmt {
                     }));
                 }
             }
-            Stmt::Branch { cond, rs, rt, target } => {
+            Stmt::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
                 let t = target.resolve(line, symbols)?;
                 let delta = t - (pc as i64 + 4);
                 if delta % 4 != 0 {
@@ -214,11 +246,22 @@ impl Stmt {
 
 #[derive(Debug, Clone)]
 enum Item {
-    Code { line: usize, stmt: Stmt },
-    Label { line: usize, name: String, section: Section },
-    Data { bytes: Vec<u8> },
+    Code {
+        line: usize,
+        stmt: Stmt,
+    },
+    Label {
+        line: usize,
+        name: String,
+        section: Section,
+    },
+    Data {
+        bytes: Vec<u8>,
+    },
     /// Alignment request inside the data section.
-    DataAlign { to: usize },
+    DataAlign {
+        to: usize,
+    },
 }
 
 fn parse(source: &str) -> Result<Vec<Item>> {
@@ -235,10 +278,18 @@ fn parse(source: &str) -> Result<Vec<Item>> {
         while let Some(colon) = text.find(':') {
             let (name, rest) = text.split_at(colon);
             let name = name.trim();
-            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
                 break;
             }
-            items.push(Item::Label { line, name: name.to_string(), section });
+            items.push(Item::Label {
+                line,
+                name: name.to_string(),
+                section,
+            });
             text = rest[1..].trim();
         }
         if text.is_empty() {
@@ -310,7 +361,9 @@ fn parse_data_directive(line: usize, name: &str, args: &str, items: &mut Vec<Ite
                 Value::Num(n) if n >= 0 => n as usize,
                 _ => return err(line, ".space needs a non-negative size"),
             };
-            items.push(Item::Data { bytes: vec![0u8; n] });
+            items.push(Item::Data {
+                bytes: vec![0u8; n],
+            });
         }
         "ascii" | "asciiz" => {
             let s = args.trim();
@@ -363,7 +416,11 @@ fn layout(items: &[Item]) -> Result<(BTreeMap<String, u32>, usize, Vec<u8>)> {
     for item in items {
         match item {
             Item::Code { stmt, .. } => text_len += stmt.size(),
-            Item::Label { line, name, section } => {
+            Item::Label {
+                line,
+                name,
+                section,
+            } => {
                 let addr = match section {
                     Section::Text => TEXT_BASE + (text_len * 4) as u32,
                     Section::Data => DATA_BASE + data.len() as u32,
@@ -384,7 +441,10 @@ fn layout(items: &[Item]) -> Result<(BTreeMap<String, u32>, usize, Vec<u8>)> {
 }
 
 fn split_args(s: &str) -> Vec<String> {
-    s.split(',').map(|f| f.trim().to_string()).filter(|f| !f.is_empty()).collect()
+    s.split(',')
+        .map(|f| f.trim().to_string())
+        .filter(|f| !f.is_empty())
+        .collect()
 }
 
 fn parse_reg(line: usize, s: &str) -> Result<Reg> {
@@ -431,14 +491,20 @@ fn parse_value(line: usize, s: &str) -> Result<Value> {
     let split_pos = s[1..].find(['+', '-']).map(|p| p + 1);
     let (name, off) = match split_pos {
         Some(p) => {
-            let off = parse_num(&s[p..].replace(' ', ""))
-                .ok_or_else(|| AsmError { line, message: format!("bad offset in `{s}`") })?;
+            let off = parse_num(&s[p..].replace(' ', "")).ok_or_else(|| AsmError {
+                line,
+                message: format!("bad offset in `{s}`"),
+            })?;
             (&s[..p], off)
         }
         None => (s, 0),
     };
     let name = name.trim();
-    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
         return err(line, format!("bad operand `{s}`"));
     }
     Ok(Value::Sym(name.to_string(), off))
@@ -455,9 +521,10 @@ fn parse_imm16(line: usize, s: &str) -> Result<u16> {
 /// Parses `offset(base)` memory operands.
 fn parse_mem_operand(line: usize, s: &str) -> Result<(i16, Reg)> {
     let s = s.trim();
-    let open = s
-        .find('(')
-        .ok_or_else(|| AsmError { line, message: format!("expected offset(base), got `{s}`") })?;
+    let open = s.find('(').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected offset(base), got `{s}`"),
+    })?;
     if !s.ends_with(')') {
         return err(line, format!("expected offset(base), got `{s}`"));
     }
@@ -484,7 +551,10 @@ fn parse_instruction(line: usize, text: &str) -> Result<Stmt> {
     let nargs = args.len();
     let need = |n: usize| -> Result<()> {
         if nargs != n {
-            err(line, format!("`{mnemonic}` expects {n} operands, got {nargs}"))
+            err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {nargs}"),
+            )
         } else {
             Ok(())
         }
@@ -508,11 +578,22 @@ fn parse_instruction(line: usize, text: &str) -> Result<Stmt> {
     };
     let load = |w: MemWidth, signed: bool, args: &[String]| -> Result<Stmt> {
         let (offset, rs) = parse_mem_operand(line, &args[1])?;
-        Ok(Stmt::Real(Instruction::Load { width: w, signed, rd: parse_reg(line, &args[0])?, rs, offset }))
+        Ok(Stmt::Real(Instruction::Load {
+            width: w,
+            signed,
+            rd: parse_reg(line, &args[0])?,
+            rs,
+            offset,
+        }))
     };
     let store = |w: MemWidth, args: &[String]| -> Result<Stmt> {
         let (offset, rs) = parse_mem_operand(line, &args[1])?;
-        Ok(Stmt::Real(Instruction::Store { width: w, rt: parse_reg(line, &args[0])?, rs, offset }))
+        Ok(Stmt::Real(Instruction::Store {
+            width: w,
+            rt: parse_reg(line, &args[0])?,
+            rs,
+            offset,
+        }))
     };
     let branch = |cond: BranchCond, swap: bool, args: &[String]| -> Result<Stmt> {
         let (a, b) = if swap { (1, 0) } else { (0, 1) };
@@ -537,32 +618,110 @@ fn parse_instruction(line: usize, text: &str) -> Result<Stmt> {
             need(0)?;
             Ok(Stmt::Real(Instruction::Nop))
         }
-        "add" => { need(3)?; alu3(AluOp::Add, &args) }
-        "sub" => { need(3)?; alu3(AluOp::Sub, &args) }
-        "mul" => { need(3)?; alu3(AluOp::Mul, &args) }
-        "mulhu" => { need(3)?; alu3(AluOp::Mulhu, &args) }
-        "div" => { need(3)?; alu3(AluOp::Div, &args) }
-        "divu" => { need(3)?; alu3(AluOp::Divu, &args) }
-        "rem" => { need(3)?; alu3(AluOp::Rem, &args) }
-        "remu" => { need(3)?; alu3(AluOp::Remu, &args) }
-        "and" => { need(3)?; alu3(AluOp::And, &args) }
-        "or" => { need(3)?; alu3(AluOp::Or, &args) }
-        "xor" => { need(3)?; alu3(AluOp::Xor, &args) }
-        "nor" => { need(3)?; alu3(AluOp::Nor, &args) }
-        "sll" => { need(3)?; alu3(AluOp::Sll, &args) }
-        "srl" => { need(3)?; alu3(AluOp::Srl, &args) }
-        "sra" => { need(3)?; alu3(AluOp::Sra, &args) }
-        "slt" => { need(3)?; alu3(AluOp::Slt, &args) }
-        "sltu" => { need(3)?; alu3(AluOp::Sltu, &args) }
-        "addi" => { need(3)?; alui(AluImmOp::Addi, &args) }
-        "andi" => { need(3)?; alui(AluImmOp::Andi, &args) }
-        "ori" => { need(3)?; alui(AluImmOp::Ori, &args) }
-        "xori" => { need(3)?; alui(AluImmOp::Xori, &args) }
-        "slti" => { need(3)?; alui(AluImmOp::Slti, &args) }
-        "sltiu" => { need(3)?; alui(AluImmOp::Sltiu, &args) }
-        "slli" => { need(3)?; alui(AluImmOp::Slli, &args) }
-        "srli" => { need(3)?; alui(AluImmOp::Srli, &args) }
-        "srai" => { need(3)?; alui(AluImmOp::Srai, &args) }
+        "add" => {
+            need(3)?;
+            alu3(AluOp::Add, &args)
+        }
+        "sub" => {
+            need(3)?;
+            alu3(AluOp::Sub, &args)
+        }
+        "mul" => {
+            need(3)?;
+            alu3(AluOp::Mul, &args)
+        }
+        "mulhu" => {
+            need(3)?;
+            alu3(AluOp::Mulhu, &args)
+        }
+        "div" => {
+            need(3)?;
+            alu3(AluOp::Div, &args)
+        }
+        "divu" => {
+            need(3)?;
+            alu3(AluOp::Divu, &args)
+        }
+        "rem" => {
+            need(3)?;
+            alu3(AluOp::Rem, &args)
+        }
+        "remu" => {
+            need(3)?;
+            alu3(AluOp::Remu, &args)
+        }
+        "and" => {
+            need(3)?;
+            alu3(AluOp::And, &args)
+        }
+        "or" => {
+            need(3)?;
+            alu3(AluOp::Or, &args)
+        }
+        "xor" => {
+            need(3)?;
+            alu3(AluOp::Xor, &args)
+        }
+        "nor" => {
+            need(3)?;
+            alu3(AluOp::Nor, &args)
+        }
+        "sll" => {
+            need(3)?;
+            alu3(AluOp::Sll, &args)
+        }
+        "srl" => {
+            need(3)?;
+            alu3(AluOp::Srl, &args)
+        }
+        "sra" => {
+            need(3)?;
+            alu3(AluOp::Sra, &args)
+        }
+        "slt" => {
+            need(3)?;
+            alu3(AluOp::Slt, &args)
+        }
+        "sltu" => {
+            need(3)?;
+            alu3(AluOp::Sltu, &args)
+        }
+        "addi" => {
+            need(3)?;
+            alui(AluImmOp::Addi, &args)
+        }
+        "andi" => {
+            need(3)?;
+            alui(AluImmOp::Andi, &args)
+        }
+        "ori" => {
+            need(3)?;
+            alui(AluImmOp::Ori, &args)
+        }
+        "xori" => {
+            need(3)?;
+            alui(AluImmOp::Xori, &args)
+        }
+        "slti" => {
+            need(3)?;
+            alui(AluImmOp::Slti, &args)
+        }
+        "sltiu" => {
+            need(3)?;
+            alui(AluImmOp::Sltiu, &args)
+        }
+        "slli" => {
+            need(3)?;
+            alui(AluImmOp::Slli, &args)
+        }
+        "srli" => {
+            need(3)?;
+            alui(AluImmOp::Srli, &args)
+        }
+        "srai" => {
+            need(3)?;
+            alui(AluImmOp::Srai, &args)
+        }
         "lui" => {
             need(2)?;
             Ok(Stmt::Real(Instruction::Lui {
@@ -570,28 +729,94 @@ fn parse_instruction(line: usize, text: &str) -> Result<Stmt> {
                 imm: parse_imm16(line, &args[1])?,
             }))
         }
-        "lw" => { need(2)?; load(MemWidth::Word, true, &args) }
-        "lh" => { need(2)?; load(MemWidth::Half, true, &args) }
-        "lhu" => { need(2)?; load(MemWidth::Half, false, &args) }
-        "lb" => { need(2)?; load(MemWidth::Byte, true, &args) }
-        "lbu" => { need(2)?; load(MemWidth::Byte, false, &args) }
-        "sw" => { need(2)?; store(MemWidth::Word, &args) }
-        "sh" => { need(2)?; store(MemWidth::Half, &args) }
-        "sb" => { need(2)?; store(MemWidth::Byte, &args) }
-        "beq" => { need(3)?; branch(BranchCond::Eq, false, &args) }
-        "bne" => { need(3)?; branch(BranchCond::Ne, false, &args) }
-        "blt" => { need(3)?; branch(BranchCond::Lt, false, &args) }
-        "bge" => { need(3)?; branch(BranchCond::Ge, false, &args) }
-        "bltu" => { need(3)?; branch(BranchCond::Ltu, false, &args) }
-        "bgeu" => { need(3)?; branch(BranchCond::Geu, false, &args) }
-        "bgt" => { need(3)?; branch(BranchCond::Lt, true, &args) }
-        "ble" => { need(3)?; branch(BranchCond::Ge, true, &args) }
-        "bgtu" => { need(3)?; branch(BranchCond::Ltu, true, &args) }
-        "bleu" => { need(3)?; branch(BranchCond::Geu, true, &args) }
-        "beqz" => { need(2)?; branch_zero(BranchCond::Eq, &args) }
-        "bnez" => { need(2)?; branch_zero(BranchCond::Ne, &args) }
-        "bltz" => { need(2)?; branch_zero(BranchCond::Lt, &args) }
-        "bgez" => { need(2)?; branch_zero(BranchCond::Ge, &args) }
+        "lw" => {
+            need(2)?;
+            load(MemWidth::Word, true, &args)
+        }
+        "lh" => {
+            need(2)?;
+            load(MemWidth::Half, true, &args)
+        }
+        "lhu" => {
+            need(2)?;
+            load(MemWidth::Half, false, &args)
+        }
+        "lb" => {
+            need(2)?;
+            load(MemWidth::Byte, true, &args)
+        }
+        "lbu" => {
+            need(2)?;
+            load(MemWidth::Byte, false, &args)
+        }
+        "sw" => {
+            need(2)?;
+            store(MemWidth::Word, &args)
+        }
+        "sh" => {
+            need(2)?;
+            store(MemWidth::Half, &args)
+        }
+        "sb" => {
+            need(2)?;
+            store(MemWidth::Byte, &args)
+        }
+        "beq" => {
+            need(3)?;
+            branch(BranchCond::Eq, false, &args)
+        }
+        "bne" => {
+            need(3)?;
+            branch(BranchCond::Ne, false, &args)
+        }
+        "blt" => {
+            need(3)?;
+            branch(BranchCond::Lt, false, &args)
+        }
+        "bge" => {
+            need(3)?;
+            branch(BranchCond::Ge, false, &args)
+        }
+        "bltu" => {
+            need(3)?;
+            branch(BranchCond::Ltu, false, &args)
+        }
+        "bgeu" => {
+            need(3)?;
+            branch(BranchCond::Geu, false, &args)
+        }
+        "bgt" => {
+            need(3)?;
+            branch(BranchCond::Lt, true, &args)
+        }
+        "ble" => {
+            need(3)?;
+            branch(BranchCond::Ge, true, &args)
+        }
+        "bgtu" => {
+            need(3)?;
+            branch(BranchCond::Ltu, true, &args)
+        }
+        "bleu" => {
+            need(3)?;
+            branch(BranchCond::Geu, true, &args)
+        }
+        "beqz" => {
+            need(2)?;
+            branch_zero(BranchCond::Eq, &args)
+        }
+        "bnez" => {
+            need(2)?;
+            branch_zero(BranchCond::Ne, &args)
+        }
+        "bltz" => {
+            need(2)?;
+            branch_zero(BranchCond::Lt, &args)
+        }
+        "bgez" => {
+            need(2)?;
+            branch_zero(BranchCond::Ge, &args)
+        }
         "b" => {
             need(1)?;
             Ok(Stmt::Branch {
@@ -601,11 +826,25 @@ fn parse_instruction(line: usize, text: &str) -> Result<Stmt> {
                 target: parse_value(line, &args[0])?,
             })
         }
-        "j" => { need(1)?; Ok(Stmt::Jump { link: false, target: parse_value(line, &args[0])? }) }
-        "jal" => { need(1)?; Ok(Stmt::Jump { link: true, target: parse_value(line, &args[0])? }) }
+        "j" => {
+            need(1)?;
+            Ok(Stmt::Jump {
+                link: false,
+                target: parse_value(line, &args[0])?,
+            })
+        }
+        "jal" => {
+            need(1)?;
+            Ok(Stmt::Jump {
+                link: true,
+                target: parse_value(line, &args[0])?,
+            })
+        }
         "jr" => {
             need(1)?;
-            Ok(Stmt::Real(Instruction::Jr { rs: parse_reg(line, &args[0])? }))
+            Ok(Stmt::Real(Instruction::Jr {
+                rs: parse_reg(line, &args[0])?,
+            }))
         }
         "jalr" => {
             need(2)?;
@@ -708,17 +947,20 @@ mod tests {
     fn li_negative_value() {
         let p = assemble(".text\nli r1, -2\nsyscall\n").unwrap();
         match decode(p.text[0]).unwrap() {
-            Instruction::AluImm { op: AluImmOp::Addi, imm, .. } => assert_eq!(imm as i16, -2),
+            Instruction::AluImm {
+                op: AluImmOp::Addi,
+                imm,
+                ..
+            } => assert_eq!(imm as i16, -2),
             other => panic!("unexpected {other}"),
         }
     }
 
     #[test]
     fn branch_offsets_resolve_both_directions() {
-        let p = assemble(
-            ".text\nstart:\nnop\nbeq r1, r2, fwd\nnop\nbne r1, r2, start\nfwd:\nnop\n",
-        )
-        .unwrap();
+        let p =
+            assemble(".text\nstart:\nnop\nbeq r1, r2, fwd\nnop\nbne r1, r2, start\nfwd:\nnop\n")
+                .unwrap();
         match decode(p.text[1]).unwrap() {
             Instruction::Branch { offset, .. } => assert_eq!(offset, 2),
             other => panic!("unexpected {other}"),
@@ -762,7 +1004,11 @@ mod tests {
         let p = assemble(".text\nla r1, tab+8\n.data\ntab: .space 16\n").unwrap();
         // lui+ori; ori immediate should be low 16 bits of DATA_BASE+8.
         match decode(p.text[1]).unwrap() {
-            Instruction::AluImm { op: AluImmOp::Ori, imm, .. } => {
+            Instruction::AluImm {
+                op: AluImmOp::Ori,
+                imm,
+                ..
+            } => {
                 assert_eq!(imm as u32, (DATA_BASE + 8) & 0xFFFF);
             }
             other => panic!("unexpected {other}"),
@@ -773,7 +1019,12 @@ mod tests {
     fn pseudo_branches_swap_operands() {
         let p = assemble(".text\nx: bgt r1, r2, x\n").unwrap();
         match decode(p.text[0]).unwrap() {
-            Instruction::Branch { cond: BranchCond::Lt, rs, rt, .. } => {
+            Instruction::Branch {
+                cond: BranchCond::Lt,
+                rs,
+                rt,
+                ..
+            } => {
                 assert_eq!(rs, Reg::new(2));
                 assert_eq!(rt, Reg::new(1));
             }

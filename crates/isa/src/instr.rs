@@ -262,17 +262,43 @@ pub enum Instruction {
     /// No operation (the all-zero encoding).
     Nop,
     /// Register-register ALU operation: `rd = op(rs, rt)`.
-    Alu { op: AluOp, rd: Reg, rs: Reg, rt: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// Register-immediate ALU operation: `rd = op(rs, imm)`.
-    AluImm { op: AluImmOp, rd: Reg, rs: Reg, imm: u16 },
+    AluImm {
+        op: AluImmOp,
+        rd: Reg,
+        rs: Reg,
+        imm: u16,
+    },
     /// Load upper immediate: `rd = imm << 16`.
     Lui { rd: Reg, imm: u16 },
     /// Load: `rd = mem[rs + offset]` with optional sign extension.
-    Load { width: MemWidth, signed: bool, rd: Reg, rs: Reg, offset: i16 },
+    Load {
+        width: MemWidth,
+        signed: bool,
+        rd: Reg,
+        rs: Reg,
+        offset: i16,
+    },
     /// Store: `mem[rs + offset] = rt`.
-    Store { width: MemWidth, rt: Reg, rs: Reg, offset: i16 },
+    Store {
+        width: MemWidth,
+        rt: Reg,
+        rs: Reg,
+        offset: i16,
+    },
     /// Conditional branch to `pc + 4 + offset*4`.
-    Branch { cond: BranchCond, rs: Reg, rt: Reg, offset: i16 },
+    Branch {
+        cond: BranchCond,
+        rs: Reg,
+        rt: Reg,
+        offset: i16,
+    },
     /// Direct jump to word address `target` (byte address `target << 2`).
     J { target: u32 },
     /// Direct jump-and-link: `ra = pc + 4`, jump to `target << 2`.
@@ -355,7 +381,10 @@ mod opcodes {
 }
 
 fn r_type(op: u8, rd: Reg, rs: Reg, rt: Reg) -> u32 {
-    ((op as u32) << 24) | ((rd.index() as u32) << 20) | ((rs.index() as u32) << 16) | ((rt.index() as u32) << 12)
+    ((op as u32) << 24)
+        | ((rd.index() as u32) << 20)
+        | ((rs.index() as u32) << 16)
+        | ((rt.index() as u32) << 12)
 }
 
 fn i_type(op: u8, rd: Reg, rs: Reg, imm: u16) -> u32 {
@@ -413,7 +442,13 @@ pub fn encode(instr: Instruction) -> u32 {
             i_type(opc, rd, rs, imm)
         }
         Instruction::Lui { rd, imm } => i_type(LUI, rd, Reg::ZERO, imm),
-        Instruction::Load { width, signed, rd, rs, offset } => {
+        Instruction::Load {
+            width,
+            signed,
+            rd,
+            rs,
+            offset,
+        } => {
             let opc = match (width, signed) {
                 (MemWidth::Byte, true) => LB,
                 (MemWidth::Byte, false) => LBU,
@@ -423,7 +458,12 @@ pub fn encode(instr: Instruction) -> u32 {
             };
             i_type(opc, rd, rs, offset as u16)
         }
-        Instruction::Store { width, rt, rs, offset } => {
+        Instruction::Store {
+            width,
+            rt,
+            rs,
+            offset,
+        } => {
             let opc = match width {
                 MemWidth::Byte => SB,
                 MemWidth::Half => SH,
@@ -431,7 +471,12 @@ pub fn encode(instr: Instruction) -> u32 {
             };
             i_type(opc, rt, rs, offset as u16)
         }
-        Instruction::Branch { cond, rs, rt, offset } => {
+        Instruction::Branch {
+            cond,
+            rs,
+            rt,
+            offset,
+        } => {
             let opc = match cond {
                 BranchCond::Eq => BEQ,
                 BranchCond::Ne => BNE,
@@ -471,9 +516,25 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
 
     let alu = |o: AluOp| Instruction::Alu { op: o, rd, rs, rt };
     let alui = |o: AluImmOp| Instruction::AluImm { op: o, rd, rs, imm };
-    let load = |w: MemWidth, s: bool| Instruction::Load { width: w, signed: s, rd, rs, offset: imm as i16 };
-    let store = |w: MemWidth| Instruction::Store { width: w, rt: rd, rs, offset: imm as i16 };
-    let branch = |c: BranchCond| Instruction::Branch { cond: c, rs: rd, rt: rs, offset: imm as i16 };
+    let load = |w: MemWidth, s: bool| Instruction::Load {
+        width: w,
+        signed: s,
+        rd,
+        rs,
+        offset: imm as i16,
+    };
+    let store = |w: MemWidth| Instruction::Store {
+        width: w,
+        rt: rd,
+        rs,
+        offset: imm as i16,
+    };
+    let branch = |c: BranchCond| Instruction::Branch {
+        cond: c,
+        rs: rd,
+        rt: rs,
+        offset: imm as i16,
+    };
 
     Ok(match op {
         NOP => Instruction::Nop,
@@ -518,8 +579,12 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
         BGE => branch(BranchCond::Ge),
         BLTU => branch(BranchCond::Ltu),
         BGEU => branch(BranchCond::Geu),
-        J => Instruction::J { target: word & 0x00FF_FFFF },
-        JAL => Instruction::Jal { target: word & 0x00FF_FFFF },
+        J => Instruction::J {
+            target: word & 0x00FF_FFFF,
+        },
+        JAL => Instruction::Jal {
+            target: word & 0x00FF_FFFF,
+        },
         JR => Instruction::Jr { rs },
         JALR => Instruction::Jalr { rd, rs },
         SYSCALL => Instruction::Syscall,
@@ -609,10 +674,21 @@ impl fmt::Display for Instruction {
                 write!(f, "{} {rd}, {rs}, {rt}", format!("{op:?}").to_lowercase())
             }
             Instruction::AluImm { op, rd, rs, imm } => {
-                write!(f, "{} {rd}, {rs}, {}", format!("{op:?}").to_lowercase(), imm as i16)
+                write!(
+                    f,
+                    "{} {rd}, {rs}, {}",
+                    format!("{op:?}").to_lowercase(),
+                    imm as i16
+                )
             }
             Instruction::Lui { rd, imm } => write!(f, "lui {rd}, 0x{imm:x}"),
-            Instruction::Load { width, signed, rd, rs, offset } => {
+            Instruction::Load {
+                width,
+                signed,
+                rd,
+                rs,
+                offset,
+            } => {
                 let m = match (width, signed) {
                     (MemWidth::Byte, true) => "lb",
                     (MemWidth::Byte, false) => "lbu",
@@ -622,7 +698,12 @@ impl fmt::Display for Instruction {
                 };
                 write!(f, "{m} {rd}, {offset}({rs})")
             }
-            Instruction::Store { width, rt, rs, offset } => {
+            Instruction::Store {
+                width,
+                rt,
+                rs,
+                offset,
+            } => {
                 let m = match width {
                     MemWidth::Byte => "sb",
                     MemWidth::Half => "sh",
@@ -630,7 +711,12 @@ impl fmt::Display for Instruction {
                 };
                 write!(f, "{m} {rt}, {offset}({rs})")
             }
-            Instruction::Branch { cond, rs, rt, offset } => {
+            Instruction::Branch {
+                cond,
+                rs,
+                rt,
+                offset,
+            } => {
                 let m = match cond {
                     BranchCond::Eq => "beq",
                     BranchCond::Ne => "bne",
@@ -662,13 +748,49 @@ mod tests {
         let r3 = Reg::new(3);
         let mut v = vec![
             Instruction::Nop,
-            Instruction::Lui { rd: r1, imm: 0xBEEF },
-            Instruction::Load { width: MemWidth::Word, signed: true, rd: r1, rs: r2, offset: -8 },
-            Instruction::Load { width: MemWidth::Byte, signed: false, rd: r1, rs: r2, offset: 127 },
-            Instruction::Load { width: MemWidth::Half, signed: true, rd: r3, rs: r2, offset: 2 },
-            Instruction::Store { width: MemWidth::Word, rt: r3, rs: r2, offset: 4 },
-            Instruction::Store { width: MemWidth::Byte, rt: r3, rs: r2, offset: -1 },
-            Instruction::Store { width: MemWidth::Half, rt: r3, rs: r2, offset: 6 },
+            Instruction::Lui {
+                rd: r1,
+                imm: 0xBEEF,
+            },
+            Instruction::Load {
+                width: MemWidth::Word,
+                signed: true,
+                rd: r1,
+                rs: r2,
+                offset: -8,
+            },
+            Instruction::Load {
+                width: MemWidth::Byte,
+                signed: false,
+                rd: r1,
+                rs: r2,
+                offset: 127,
+            },
+            Instruction::Load {
+                width: MemWidth::Half,
+                signed: true,
+                rd: r3,
+                rs: r2,
+                offset: 2,
+            },
+            Instruction::Store {
+                width: MemWidth::Word,
+                rt: r3,
+                rs: r2,
+                offset: 4,
+            },
+            Instruction::Store {
+                width: MemWidth::Byte,
+                rt: r3,
+                rs: r2,
+                offset: -1,
+            },
+            Instruction::Store {
+                width: MemWidth::Half,
+                rt: r3,
+                rs: r2,
+                offset: 6,
+            },
             Instruction::J { target: 0x123456 },
             Instruction::Jal { target: 0x1 },
             Instruction::Jr { rs: r2 },
@@ -676,23 +798,63 @@ mod tests {
             Instruction::Syscall,
         ];
         for op in [
-            AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Mulhu, AluOp::Div, AluOp::Divu,
-            AluOp::Rem, AluOp::Remu, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Nor,
-            AluOp::Sll, AluOp::Srl, AluOp::Sra, AluOp::Slt, AluOp::Sltu,
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Mulhu,
+            AluOp::Div,
+            AluOp::Divu,
+            AluOp::Rem,
+            AluOp::Remu,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Nor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Slt,
+            AluOp::Sltu,
         ] {
-            v.push(Instruction::Alu { op, rd: r1, rs: r2, rt: r3 });
+            v.push(Instruction::Alu {
+                op,
+                rd: r1,
+                rs: r2,
+                rt: r3,
+            });
         }
         for op in [
-            AluImmOp::Addi, AluImmOp::Andi, AluImmOp::Ori, AluImmOp::Xori,
-            AluImmOp::Slti, AluImmOp::Sltiu, AluImmOp::Slli, AluImmOp::Srli, AluImmOp::Srai,
+            AluImmOp::Addi,
+            AluImmOp::Andi,
+            AluImmOp::Ori,
+            AluImmOp::Xori,
+            AluImmOp::Slti,
+            AluImmOp::Sltiu,
+            AluImmOp::Slli,
+            AluImmOp::Srli,
+            AluImmOp::Srai,
         ] {
-            v.push(Instruction::AluImm { op, rd: r1, rs: r2, imm: 0x7FFF });
+            v.push(Instruction::AluImm {
+                op,
+                rd: r1,
+                rs: r2,
+                imm: 0x7FFF,
+            });
         }
         for cond in [
-            BranchCond::Eq, BranchCond::Ne, BranchCond::Lt,
-            BranchCond::Ge, BranchCond::Ltu, BranchCond::Geu,
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::Ltu,
+            BranchCond::Geu,
         ] {
-            v.push(Instruction::Branch { cond, rs: r1, rt: r2, offset: -4 });
+            v.push(Instruction::Branch {
+                cond,
+                rs: r1,
+                rt: r2,
+                offset: -4,
+            });
         }
         v
     }
@@ -733,7 +895,12 @@ mod tests {
 
     #[test]
     fn dest_hides_writes_to_zero() {
-        let i = Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::ZERO, rs: Reg::new(1), imm: 1 };
+        let i = Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::ZERO,
+            rs: Reg::new(1),
+            imm: 1,
+        };
         assert_eq!(i.dest(), None);
         assert_eq!(Instruction::Jal { target: 0 }.dest(), Some(Reg::RA));
     }
@@ -751,7 +918,12 @@ mod tests {
     #[test]
     fn store_decode_maps_fields() {
         // sw r3, 4(r2): value register in rd slot, base in rs slot.
-        let w = encode(Instruction::Store { width: MemWidth::Word, rt: Reg::new(3), rs: Reg::new(2), offset: 4 });
+        let w = encode(Instruction::Store {
+            width: MemWidth::Word,
+            rt: Reg::new(3),
+            rs: Reg::new(2),
+            offset: 4,
+        });
         match decode(w).unwrap() {
             Instruction::Store { rt, rs, offset, .. } => {
                 assert_eq!(rt, Reg::new(3));
@@ -794,7 +966,12 @@ mod disasm_tests {
     #[test]
     fn disassembles_mixed_stream() {
         let words = [
-            encode(Instruction::AluImm { op: AluImmOp::Addi, rd: Reg::new(1), rs: Reg::ZERO, imm: 5 }),
+            encode(Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::new(1),
+                rs: Reg::ZERO,
+                imm: 5,
+            }),
             encode(Instruction::Jal { target: 0x100 }),
             0xDEAD_BEEF,
         ];

@@ -99,7 +99,9 @@ impl FlatMemory {
         let first = base / PAGE_SIZE;
         let last = (base + len - 1) / PAGE_SIZE;
         for vpn in first..=last {
-            self.pages.entry(vpn).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+            self.pages
+                .entry(vpn)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
         }
     }
 
@@ -110,7 +112,9 @@ impl FlatMemory {
 
     /// Reads one byte; `None` if unmapped.
     pub fn read_u8(&self, addr: u32) -> Option<u8> {
-        self.pages.get(&(addr / PAGE_SIZE)).map(|p| p[(addr % PAGE_SIZE) as usize])
+        self.pages
+            .get(&(addr / PAGE_SIZE))
+            .map(|p| p[(addr % PAGE_SIZE) as usize])
     }
 
     /// Writes one byte; `false` if unmapped.
@@ -180,7 +184,12 @@ impl ArchInterpreter {
         }
         let mut regs = [0u32; 16];
         regs[Reg::SP.index() as usize] = STACK_TOP;
-        Self { regs, pc: program.entry, mem, output: Vec::new() }
+        Self {
+            regs,
+            pc: program.entry,
+            mem,
+            output: Vec::new(),
+        }
     }
 
     /// Current program counter.
@@ -227,8 +236,7 @@ impl ArchInterpreter {
             .mem
             .read_le(pc, 4)
             .ok_or(Trap::Segfault { pc, addr: pc })?;
-        let instr =
-            decode(word).map_err(|_| Trap::UndefinedInstruction { pc, word })?;
+        let instr = decode(word).map_err(|_| Trap::UndefinedInstruction { pc, word })?;
         let mut next = pc.wrapping_add(4);
         match instr {
             Instruction::Nop => {}
@@ -242,7 +250,13 @@ impl ArchInterpreter {
                 self.set_reg(rd, op.apply(self.reg(rs), imm));
             }
             Instruction::Lui { rd, imm } => self.set_reg(rd, (imm as u32) << 16),
-            Instruction::Load { width, signed, rd, rs, offset } => {
+            Instruction::Load {
+                width,
+                signed,
+                rd,
+                rs,
+                offset,
+            } => {
                 let addr = self.reg(rs).wrapping_add(offset as i32 as u32);
                 let bytes = width.bytes();
                 if !addr.is_multiple_of(bytes) {
@@ -263,7 +277,12 @@ impl ArchInterpreter {
                 };
                 self.set_reg(rd, v);
             }
-            Instruction::Store { width, rt, rs, offset } => {
+            Instruction::Store {
+                width,
+                rt,
+                rs,
+                offset,
+            } => {
                 let addr = self.reg(rs).wrapping_add(offset as i32 as u32);
                 let bytes = width.bytes();
                 if !addr.is_multiple_of(bytes) {
@@ -273,9 +292,16 @@ impl ArchInterpreter {
                     return Err(Trap::Segfault { pc, addr });
                 }
             }
-            Instruction::Branch { cond, rs, rt, offset } => {
+            Instruction::Branch {
+                cond,
+                rs,
+                rt,
+                offset,
+            } => {
                 if cond.eval(self.reg(rs), self.reg(rt)) {
-                    next = pc.wrapping_add(4).wrapping_add((offset as i32 as u32).wrapping_mul(4));
+                    next = pc
+                        .wrapping_add(4)
+                        .wrapping_add((offset as i32 as u32).wrapping_mul(4));
                 }
             }
             Instruction::J { target } => next = target << 2,
@@ -321,7 +347,11 @@ impl ArchInterpreter {
                 });
             }
         }
-        Ok(RunResult { stop: StopReason::StepLimit, output: self.output, instructions: executed })
+        Ok(RunResult {
+            stop: StopReason::StepLimit,
+            output: self.output,
+            instructions: executed,
+        })
     }
 }
 
@@ -337,7 +367,9 @@ mod tests {
 
     fn run_trap(src: &str) -> Trap {
         let p = assemble(src).expect("assemble");
-        ArchInterpreter::new(&p).run(1_000_000).expect_err("expected trap")
+        ArchInterpreter::new(&p)
+            .run(1_000_000)
+            .expect_err("expected trap")
     }
 
     const EXIT0: &str = "li r2, 0\nli r3, 0\nsyscall\n";
@@ -427,7 +459,9 @@ mod tests {
 
     #[test]
     fn writes_to_r0_discarded() {
-        let r = run(&format!(".text\nmain:\nli r1, 7\nadd zero, r1, r1\nmv r3, zero\nli r2, 1\nsyscall\n{EXIT0}"));
+        let r = run(&format!(
+            ".text\nmain:\nli r1, 7\nadd zero, r1, r1\nmv r3, zero\nli r2, 1\nsyscall\n{EXIT0}"
+        ));
         assert_eq!(r.output, vec![0]);
     }
 }

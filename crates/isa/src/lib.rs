@@ -58,7 +58,7 @@ pub mod interp;
 pub mod program;
 
 pub use instr::{decode, encode, BranchCond, DecodeError, Instruction, Reg};
-pub use program::{Program, TEXT_BASE, DATA_BASE, STACK_TOP};
+pub use program::{Program, DATA_BASE, STACK_TOP, TEXT_BASE};
 
 /// Syscall numbers understood by the system layer (placed in `r2`).
 pub mod sys {

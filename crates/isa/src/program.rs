@@ -40,7 +40,12 @@ pub struct Program {
 impl Program {
     /// Creates a program from raw segments.
     pub fn new(text: Vec<u32>, data: Vec<u8>, entry: u32) -> Self {
-        Self { text, data, entry, symbols: BTreeMap::new() }
+        Self {
+            text,
+            data,
+            entry,
+            symbols: BTreeMap::new(),
+        }
     }
 
     /// Looks up a label address.

@@ -13,30 +13,56 @@ fn reg_strategy() -> impl Strategy<Value = Reg> {
 
 fn alu_op() -> impl Strategy<Value = AluOp> {
     prop_oneof![
-        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Mul), Just(AluOp::Mulhu),
-        Just(AluOp::Div), Just(AluOp::Divu), Just(AluOp::Rem), Just(AluOp::Remu),
-        Just(AluOp::And), Just(AluOp::Or), Just(AluOp::Xor), Just(AluOp::Nor),
-        Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra), Just(AluOp::Slt),
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Nor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
         Just(AluOp::Sltu),
     ]
 }
 
 fn alu_imm_op() -> impl Strategy<Value = AluImmOp> {
     prop_oneof![
-        Just(AluImmOp::Addi), Just(AluImmOp::Andi), Just(AluImmOp::Ori),
-        Just(AluImmOp::Xori), Just(AluImmOp::Slti), Just(AluImmOp::Sltiu),
-        Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai),
+        Just(AluImmOp::Addi),
+        Just(AluImmOp::Andi),
+        Just(AluImmOp::Ori),
+        Just(AluImmOp::Xori),
+        Just(AluImmOp::Slti),
+        Just(AluImmOp::Sltiu),
+        Just(AluImmOp::Slli),
+        Just(AluImmOp::Srli),
+        Just(AluImmOp::Srai),
     ]
 }
 
 fn mem_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Half), Just(MemWidth::Word)]
+    prop_oneof![
+        Just(MemWidth::Byte),
+        Just(MemWidth::Half),
+        Just(MemWidth::Word)
+    ]
 }
 
 fn branch_cond() -> impl Strategy<Value = BranchCond> {
     prop_oneof![
-        Just(BranchCond::Eq), Just(BranchCond::Ne), Just(BranchCond::Lt),
-        Just(BranchCond::Ge), Just(BranchCond::Ltu), Just(BranchCond::Geu),
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
     ]
 }
 
@@ -49,17 +75,44 @@ fn instruction_strategy() -> impl Strategy<Value = Instruction> {
         (alu_imm_op(), reg_strategy(), reg_strategy(), any::<u16>())
             .prop_map(|(op, rd, rs, imm)| Instruction::AluImm { op, rd, rs, imm }),
         (reg_strategy(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
-        (mem_width(), any::<bool>(), reg_strategy(), reg_strategy(), any::<i16>()).prop_map(
-            |(width, signed, rd, rs, offset)| {
+        (
+            mem_width(),
+            any::<bool>(),
+            reg_strategy(),
+            reg_strategy(),
+            any::<i16>()
+        )
+            .prop_map(|(width, signed, rd, rs, offset)| {
                 // LW ignores the signed flag in the encoding.
-                let signed = if width == MemWidth::Word { true } else { signed };
-                Instruction::Load { width, signed, rd, rs, offset }
+                let signed = if width == MemWidth::Word {
+                    true
+                } else {
+                    signed
+                };
+                Instruction::Load {
+                    width,
+                    signed,
+                    rd,
+                    rs,
+                    offset,
+                }
+            }),
+        (mem_width(), reg_strategy(), reg_strategy(), any::<i16>()).prop_map(
+            |(width, rt, rs, offset)| Instruction::Store {
+                width,
+                rt,
+                rs,
+                offset
             }
         ),
-        (mem_width(), reg_strategy(), reg_strategy(), any::<i16>())
-            .prop_map(|(width, rt, rs, offset)| Instruction::Store { width, rt, rs, offset }),
-        (branch_cond(), reg_strategy(), reg_strategy(), any::<i16>())
-            .prop_map(|(cond, rs, rt, offset)| Instruction::Branch { cond, rs, rt, offset }),
+        (branch_cond(), reg_strategy(), reg_strategy(), any::<i16>()).prop_map(
+            |(cond, rs, rt, offset)| Instruction::Branch {
+                cond,
+                rs,
+                rt,
+                offset
+            }
+        ),
         (0u32..0x0100_0000).prop_map(|target| Instruction::J { target }),
         (0u32..0x0100_0000).prop_map(|target| Instruction::Jal { target }),
         reg_strategy().prop_map(|rs| Instruction::Jr { rs }),

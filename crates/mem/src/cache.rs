@@ -47,12 +47,22 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// 32 KB, 4-way, 2-cycle L1 (Table I, full size).
     pub fn l1() -> Self {
-        Self { size_bytes: 32 * 1024, ways: 4, hit_latency: 2, interleave: 1 }
+        Self {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            hit_latency: 2,
+            interleave: 1,
+        }
     }
 
     /// 512 KB, 8-way, 8-cycle L2 (Table I, full size).
     pub fn l2() -> Self {
-        Self { size_bytes: 512 * 1024, ways: 8, hit_latency: 8, interleave: 1 }
+        Self {
+            size_bytes: 512 * 1024,
+            ways: 8,
+            hit_latency: 8,
+            interleave: 1,
+        }
     }
 
     /// 2 KB, 4-way L1 data cache — the scaled experimental configuration
@@ -60,18 +70,33 @@ impl CacheConfig {
     /// *occupancy and refill traffic* match the paper's full-system runs;
     /// see DESIGN.md §1).
     pub fn l1d_scaled() -> Self {
-        Self { size_bytes: 2 * 1024, ways: 4, hit_latency: 2, interleave: 1 }
+        Self {
+            size_bytes: 2 * 1024,
+            ways: 4,
+            hit_latency: 2,
+            interleave: 1,
+        }
     }
 
     /// 2 KB, 4-way L1 instruction cache — the scaled experimental
     /// configuration.
     pub fn l1i_scaled() -> Self {
-        Self { size_bytes: 2 * 1024, ways: 4, hit_latency: 2, interleave: 1 }
+        Self {
+            size_bytes: 2 * 1024,
+            ways: 4,
+            hit_latency: 2,
+            interleave: 1,
+        }
     }
 
     /// 8 KB, 8-way L2 — the scaled experimental configuration.
     pub fn l2_scaled() -> Self {
-        Self { size_bytes: 8 * 1024, ways: 8, hit_latency: 8, interleave: 1 }
+        Self {
+            size_bytes: 8 * 1024,
+            ways: 8,
+            hit_latency: 8,
+            interleave: 1,
+        }
     }
 
     /// Returns the same configuration with the given data-array column
@@ -204,6 +229,13 @@ pub struct Cache {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LineIdx(u32);
 
+impl LineIdx {
+    /// The line's row index in the cache's logical geometry (0-based).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 impl Cache {
     /// Creates an empty (all-invalid) cache.
     ///
@@ -211,8 +243,14 @@ impl Cache {
     ///
     /// Panics if the configuration is not a power-of-two geometry.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.size_bytes.is_multiple_of(config.ways * LINE_BYTES), "size must be a multiple of ways*line");
-        assert!(config.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            config.size_bytes.is_multiple_of(config.ways * LINE_BYTES),
+            "size must be a multiple of ways*line"
+        );
+        assert!(
+            config.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(
             config.interleave >= 1 && config.lines().is_multiple_of(config.interleave),
             "line count must be divisible by the interleave degree"
@@ -237,6 +275,11 @@ impl Cache {
     /// Access counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// The set index a physical address maps to.
+    pub fn set_of(&self, pa: u32) -> u32 {
+        self.set_and_tag(pa).0
     }
 
     fn set_and_tag(&self, pa: u32) -> (u32, u64) {
@@ -300,7 +343,8 @@ impl Cache {
         let t = self.tags[line];
         if t & VALID_BIT != 0 && t & DIRTY_BIT != 0 {
             let victim_tag = t & !(VALID_BIT | DIRTY_BIT);
-            let victim_pa = ((victim_tag as u32) << (self.config.offset_bits() + self.config.index_bits()))
+            let victim_pa = ((victim_tag as u32)
+                << (self.config.offset_bits() + self.config.index_bits()))
                 | (set << self.config.offset_bits());
             let bytes: [u8; 32] = self.line_bytes(line);
             latency += next.store_line(victim_pa, &bytes)?;
@@ -342,7 +386,10 @@ impl Cache {
     ///
     /// Panics if the range leaves the line.
     pub fn write_bytes(&mut self, line: LineIdx, offset: u32, bytes: &[u8]) {
-        assert!(offset as usize + bytes.len() <= LINE_BYTES as usize, "write crosses line boundary");
+        assert!(
+            offset as usize + bytes.len() <= LINE_BYTES as usize,
+            "write crosses line boundary"
+        );
         let base = line.0 as usize * LINE_BYTES as usize + offset as usize;
         self.data[base..base + bytes.len()].copy_from_slice(bytes);
     }
@@ -371,7 +418,10 @@ impl Cache {
 
     /// Geometry of the tag array (tag bits + valid + dirty per line).
     pub fn tag_geometry(&self) -> Geometry {
-        Geometry::new(self.config.lines() as usize, self.config.tag_bits() as usize + 2)
+        Geometry::new(
+            self.config.lines() as usize,
+            self.config.tag_bits() as usize + 2,
+        )
     }
 
     /// Flips one bit of the tag array. Columns `0..tag_bits` are tag bits,
@@ -382,7 +432,10 @@ impl Cache {
     /// Panics if the coordinate is outside [`Cache::tag_geometry`].
     pub fn inject_tag_flip(&mut self, coord: BitCoord) {
         let g = self.tag_geometry();
-        assert!(g.contains(coord.row, coord.col), "tag injection out of bounds");
+        assert!(
+            g.contains(coord.row, coord.col),
+            "tag injection out of bounds"
+        );
         let tag_bits = self.config.tag_bits() as usize;
         let mask = if coord.col < tag_bits {
             1u64 << coord.col
@@ -421,14 +474,20 @@ impl Injectable for Cache {
     /// the surface is `lines/I` rows × `256·I` columns (same total bits).
     fn injectable_geometry(&self) -> Geometry {
         let i = self.config.interleave as usize;
-        Geometry::new(self.config.lines() as usize / i, (LINE_BYTES * 8) as usize * i)
+        Geometry::new(
+            self.config.lines() as usize / i,
+            (LINE_BYTES * 8) as usize * i,
+        )
     }
 
     /// Maps the physical strike coordinate through the interleaving to the
     /// logical (line, bit) cell and flips it.
     fn inject_flip(&mut self, coord: BitCoord) {
         let g = self.injectable_geometry();
-        assert!(g.contains(coord.row, coord.col), "data injection out of bounds");
+        assert!(
+            g.contains(coord.row, coord.col),
+            "data injection out of bounds"
+        );
         let i = self.config.interleave as usize;
         // Physical column c belongs to logical line (row*I + c mod I),
         // logical bit c / I.
@@ -445,7 +504,12 @@ mod tests {
 
     fn small_cache() -> Cache {
         // 8 lines, 2-way, 4 sets.
-        Cache::new(CacheConfig { size_bytes: 256, ways: 2, hit_latency: 2, interleave: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            hit_latency: 2,
+            interleave: 1,
+        })
     }
 
     fn mem() -> PhysicalMemory {
@@ -457,7 +521,10 @@ mod tests {
         let mut c = small_cache();
         let mut m = mem();
         m.write_line(0x40, &[9; 32]).unwrap();
-        let mut next = DramBacking { mem: &mut m, latency: 50 };
+        let mut next = DramBacking {
+            mem: &mut m,
+            latency: 50,
+        };
         let (line, lat) = c.access(0x44, false, &mut next).unwrap();
         assert_eq!(lat, 52);
         assert_eq!(c.read_bytes(line, 4, 2), vec![9, 9]);
@@ -473,7 +540,10 @@ mod tests {
         let mut m = mem();
         // 4 sets -> addresses 0x000, 0x080, 0x100 map to set 0 (stride = sets*32 = 128).
         {
-            let mut next = DramBacking { mem: &mut m, latency: 50 };
+            let mut next = DramBacking {
+                mem: &mut m,
+                latency: 50,
+            };
             let (l, _) = c.access(0x000, true, &mut next).unwrap();
             c.write_bytes(l, 0, &[0xAA; 4]);
             c.access(0x080, false, &mut next).unwrap();
@@ -488,7 +558,10 @@ mod tests {
     fn lru_keeps_recently_used() {
         let mut c = small_cache();
         let mut m = mem();
-        let mut next = DramBacking { mem: &mut m, latency: 50 };
+        let mut next = DramBacking {
+            mem: &mut m,
+            latency: 50,
+        };
         c.access(0x000, false, &mut next).unwrap(); // set 0 way A
         c.access(0x080, false, &mut next).unwrap(); // set 0 way B
         c.access(0x000, false, &mut next).unwrap(); // touch A -> MRU
@@ -502,7 +575,10 @@ mod tests {
     fn data_flip_corrupts_read() {
         let mut c = small_cache();
         let mut m = mem();
-        let mut next = DramBacking { mem: &mut m, latency: 50 };
+        let mut next = DramBacking {
+            mem: &mut m,
+            latency: 50,
+        };
         let (line, _) = c.access(0x00, false, &mut next).unwrap();
         assert_eq!(c.read_bytes(line, 0, 1), vec![0]);
         // The handle row equals the internal line index.
@@ -516,7 +592,10 @@ mod tests {
         let mut c = small_cache();
         let mut m = mem();
         m.write_line(0, &[7; 32]).unwrap();
-        let mut next = DramBacking { mem: &mut m, latency: 50 };
+        let mut next = DramBacking {
+            mem: &mut m,
+            latency: 50,
+        };
         c.access(0x00, false, &mut next).unwrap();
         let tag_bits = c.config().tag_bits() as usize;
         // Find which line holds set 0 way 0 == line 0.
@@ -530,17 +609,26 @@ mod tests {
     fn corrupted_dirty_tag_writeback_can_leave_system_map() {
         let mut c = small_cache();
         let mut m = PhysicalMemory::new(2); // tiny system map
-        let mut next = DramBacking { mem: &mut m, latency: 50 };
+        let mut next = DramBacking {
+            mem: &mut m,
+            latency: 50,
+        };
         let (l, _) = c.access(0x00, true, &mut next).unwrap();
         c.write_bytes(l, 0, &[1]);
         // Flip a high tag bit -> reconstructed write-back address far away.
         let tag_bits = c.config().tag_bits() as usize;
         c.inject_tag_flip(BitCoord::new(0, tag_bits - 1));
         // Force eviction of set 0 (two more lines in set 0).
-        let mut next = DramBacking { mem: &mut m, latency: 50 };
+        let mut next = DramBacking {
+            mem: &mut m,
+            latency: 50,
+        };
         c.access(0x080, false, &mut next).unwrap();
         let err = c.access(0x100, false, &mut next).unwrap_err();
-        assert!(err.pa > 2 * 4096, "write-back must target the corrupted address");
+        assert!(
+            err.pa > 2 * 4096,
+            "write-back must target the corrupted address"
+        );
     }
 
     #[test]
@@ -548,7 +636,10 @@ mod tests {
         let mut c = small_cache();
         let mut m = mem();
         {
-            let mut next = DramBacking { mem: &mut m, latency: 50 };
+            let mut next = DramBacking {
+                mem: &mut m,
+                latency: 50,
+            };
             let (l, _) = c.access(0x20, true, &mut next).unwrap();
             c.write_bytes(l, 0, &[5; 32]);
             c.flush_dirty(&mut next).unwrap();
@@ -570,9 +661,12 @@ mod tests {
         let mut m = mem();
         m.write_line(0x000, &[1; 32]).unwrap();
         m.write_line(0x080, &[2; 32]).unwrap();
-        let mut next = DramBacking { mem: &mut m, latency: 50 };
+        let mut next = DramBacking {
+            mem: &mut m,
+            latency: 50,
+        };
         c.access(0x000, false, &mut next).unwrap(); // tag 0 in set 0
-        // Flip tag bit 0 -> stored tag becomes 1, which matches PA 0x080.
+                                                    // Flip tag bit 0 -> stored tag becomes 1, which matches PA 0x080.
         c.inject_tag_flip(BitCoord::new(0, 0));
         let (line, lat) = c.access(0x080, false, &mut next).unwrap();
         assert_eq!(lat, 2, "false hit");
@@ -586,7 +680,12 @@ mod interleave_tests {
     use mbu_sram::{BitCoord, Injectable};
 
     fn interleaved_cache(i: u32) -> Cache {
-        Cache::new(CacheConfig { size_bytes: 256, ways: 2, hit_latency: 2, interleave: i })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            hit_latency: 2,
+            interleave: i,
+        })
     }
 
     #[test]

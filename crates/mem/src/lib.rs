@@ -35,12 +35,14 @@
 pub mod cache;
 pub mod paging;
 pub mod phys;
+pub mod probe;
 pub mod system;
 pub mod tlb;
 
 pub use cache::{Cache, CacheArray, CacheConfig, CacheStats};
 pub use paging::{AddressSpace, PagePerms, PageTable};
 pub use phys::PhysicalMemory;
+pub use probe::MemProbes;
 pub use system::{AccessKind, MemFault, MemorySystem, MemorySystemConfig, Timed};
 pub use tlb::{Tlb, TlbConfig};
 

@@ -27,11 +27,23 @@ pub struct PagePerms {
 
 impl PagePerms {
     /// Read-only data.
-    pub const R: PagePerms = PagePerms { read: true, write: false, exec: false };
+    pub const R: PagePerms = PagePerms {
+        read: true,
+        write: false,
+        exec: false,
+    };
     /// Read-write data.
-    pub const RW: PagePerms = PagePerms { read: true, write: true, exec: false };
+    pub const RW: PagePerms = PagePerms {
+        read: true,
+        write: true,
+        exec: false,
+    };
     /// Read-execute (text).
-    pub const RX: PagePerms = PagePerms { read: true, write: false, exec: true };
+    pub const RX: PagePerms = PagePerms {
+        read: true,
+        write: false,
+        exec: true,
+    };
 
     /// Packs into 3 bits (`exec<<2 | write<<1 | read`), the TLB entry format.
     pub fn to_bits(self) -> u32 {
@@ -40,7 +52,11 @@ impl PagePerms {
 
     /// Unpacks from 3 bits.
     pub fn from_bits(bits: u32) -> Self {
-        Self { read: bits & 1 != 0, write: bits & 2 != 0, exec: bits & 4 != 0 }
+        Self {
+            read: bits & 1 != 0,
+            write: bits & 2 != 0,
+            exec: bits & 4 != 0,
+        }
     }
 }
 
@@ -88,7 +104,10 @@ impl PageTable {
     ///
     /// Panics if `vpn` exceeds the virtual address width.
     pub fn map(&mut self, vpn: u32, entry: PageTableEntry) {
-        assert!(vpn < (1 << crate::VPN_BITS), "vpn out of virtual address space");
+        assert!(
+            vpn < (1 << crate::VPN_BITS),
+            "vpn out of virtual address space"
+        );
         self.entries.insert(vpn, entry);
     }
 
@@ -140,7 +159,12 @@ impl AddressSpace {
     /// Panics if `dram_frames` is zero.
     pub fn new(dram_frames: u32) -> Self {
         assert!(dram_frames > 0);
-        Self { table: PageTable::new(), dram_frames, used: BTreeMap::new(), cursor: 17 }
+        Self {
+            table: PageTable::new(),
+            dram_frames,
+            used: BTreeMap::new(),
+            cursor: 17,
+        }
     }
 
     fn alloc_frame(&mut self) -> u32 {

@@ -20,7 +20,11 @@ pub struct UnmappedPhysical {
 
 impl fmt::Display for UnmappedPhysical {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "physical address 0x{:08x} is outside the system map", self.pa)
+        write!(
+            f,
+            "physical address 0x{:08x} is outside the system map",
+            self.pa
+        )
     }
 }
 
@@ -52,7 +56,10 @@ impl PhysicalMemory {
     /// Panics if `dram_frames` is zero.
     pub fn new(dram_frames: u32) -> Self {
         assert!(dram_frames > 0, "DRAM must have at least one frame");
-        Self { dram_frames, frames: BTreeMap::new() }
+        Self {
+            dram_frames,
+            frames: BTreeMap::new(),
+        }
     }
 
     /// Number of DRAM frames in the system map.
@@ -179,7 +186,10 @@ mod tests {
     #[test]
     fn outside_system_map_errors() {
         let mut m = PhysicalMemory::new(2);
-        assert_eq!(m.read_line(2 * PAGE_SIZE), Err(UnmappedPhysical { pa: 2 * PAGE_SIZE }));
+        assert_eq!(
+            m.read_line(2 * PAGE_SIZE),
+            Err(UnmappedPhysical { pa: 2 * PAGE_SIZE })
+        );
         assert!(m.write_line(0x7FFF_FFE0, &[0; 32]).is_err());
         assert!(m.read_u8(2 * PAGE_SIZE).is_err());
     }

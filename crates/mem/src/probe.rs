@@ -1,0 +1,141 @@
+//! Liveness-probe attachment points for the memory hierarchy (ACE analysis).
+//!
+//! [`MemProbes`] bundles one optional [`LivenessProbe`] per injectable
+//! storage array of the [`crate::MemorySystem`]: the three cache data
+//! arrays, the three cache tag arrays and the two TLB entry arrays. The
+//! system reconstructs SRAM-level events from each access — conservatively
+//! where the model abstracts (tag compares read all ways of a set, a TLB
+//! lookup compares every entry's valid + VPN fields, a dirty write-back
+//! reads the whole victim line) — and forwards them to whichever probes are
+//! attached. With no probe attached an access pays a single branch.
+//!
+//! Cache data events use the cache's *logical* geometry: one row per line,
+//! 256 bit columns. Physical column interleaving only permutes the injector
+//! coordinates; observers that answer physical-coordinate queries must map
+//! through the same interleaving (see `Cache::injectable_geometry`).
+
+use crate::cache::{Cache, CacheStats, LineIdx, LINE_BYTES};
+use mbu_sram::LivenessProbe;
+use std::fmt;
+
+/// Optional probes for every memory-side storage array.
+#[derive(Default)]
+pub struct MemProbes {
+    /// L1 instruction cache data array (rows = lines, 256 bit columns).
+    pub l1i_data: Option<Box<dyn LivenessProbe>>,
+    /// L1 data cache data array.
+    pub l1d_data: Option<Box<dyn LivenessProbe>>,
+    /// Unified L2 data array.
+    pub l2_data: Option<Box<dyn LivenessProbe>>,
+    /// L1 instruction cache tag array (rows = lines, tag + valid + dirty).
+    pub l1i_tag: Option<Box<dyn LivenessProbe>>,
+    /// L1 data cache tag array.
+    pub l1d_tag: Option<Box<dyn LivenessProbe>>,
+    /// Unified L2 tag array.
+    pub l2_tag: Option<Box<dyn LivenessProbe>>,
+    /// Instruction TLB entry array (rows = entries, 44 bit columns).
+    pub itlb: Option<Box<dyn LivenessProbe>>,
+    /// Data TLB entry array.
+    pub dtlb: Option<Box<dyn LivenessProbe>>,
+}
+
+impl MemProbes {
+    /// Whether any probe is attached.
+    pub fn any_attached(&self) -> bool {
+        self.l1i_data.is_some()
+            || self.l1d_data.is_some()
+            || self.l2_data.is_some()
+            || self.l1i_tag.is_some()
+            || self.l1d_tag.is_some()
+            || self.l2_tag.is_some()
+            || self.itlb.is_some()
+            || self.dtlb.is_some()
+    }
+}
+
+impl fmt::Debug for MemProbes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let on = |o: &Option<Box<dyn LivenessProbe>>| o.is_some();
+        f.debug_struct("MemProbes")
+            .field("l1i_data", &on(&self.l1i_data))
+            .field("l1d_data", &on(&self.l1d_data))
+            .field("l2_data", &on(&self.l2_data))
+            .field("l1i_tag", &on(&self.l1i_tag))
+            .field("l1d_tag", &on(&self.l1d_tag))
+            .field("l2_tag", &on(&self.l2_tag))
+            .field("itlb", &on(&self.itlb))
+            .field("dtlb", &on(&self.dtlb))
+            .finish()
+    }
+}
+
+/// The demanded byte access of one cache access, for event reconstruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Demand {
+    /// Bytes `[offset, offset + width)` of the line were read.
+    Read {
+        /// Byte offset within the line.
+        offset: u32,
+        /// Bytes read.
+        width: u32,
+    },
+    /// Bytes `[offset, offset + width)` of the line were written.
+    Write {
+        /// Byte offset within the line.
+        offset: u32,
+        /// Bytes written.
+        width: u32,
+    },
+}
+
+/// Reconstructs the SRAM events of one completed [`Cache::access`] from the
+/// stats delta (`before` vs. the cache's current counters) and the returned
+/// line handle, and forwards them to the attached probes:
+///
+/// * every access compares the tags of all ways in the set (full tag rows);
+/// * a miss overwrites the victim row's tag and the whole data line, after
+///   reading the whole victim line out if it was written back dirty;
+/// * the demanded bytes are then read or written.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_cache_access(
+    cache: &Cache,
+    data_probe: &mut Option<Box<dyn LivenessProbe>>,
+    tag_probe: &mut Option<Box<dyn LivenessProbe>>,
+    now: u64,
+    pa: u32,
+    line: LineIdx,
+    before: CacheStats,
+    demand: Demand,
+) {
+    let after = cache.stats();
+    let missed = after.misses > before.misses;
+    let row = line.index();
+    let line_bits = (LINE_BYTES * 8) as usize;
+    if let Some(tp) = tag_probe {
+        let ways = cache.config().ways as usize;
+        let base = cache.set_of(pa) as usize * ways;
+        let cols = cache.tag_geometry().cols();
+        for way in 0..ways {
+            tp.on_read(now, base + way, 0, cols);
+        }
+        if missed {
+            tp.on_overwrite(now, row, 0, cols);
+        }
+    }
+    if let Some(dp) = data_probe {
+        if missed {
+            if after.writebacks > before.writebacks {
+                dp.on_read(now, row, 0, line_bits);
+            }
+            dp.on_overwrite(now, row, 0, line_bits);
+        }
+        match demand {
+            Demand::Read { offset, width } => {
+                dp.on_read(now, row, (offset * 8) as usize, (width * 8) as usize);
+            }
+            Demand::Write { offset, width } => {
+                dp.on_write(now, row, (offset * 8) as usize, (width * 8) as usize);
+            }
+        }
+    }
+}

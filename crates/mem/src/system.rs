@@ -4,8 +4,9 @@
 use crate::cache::{Cache, CacheConfig, DramBacking, LineStore, LINE_BYTES};
 use crate::paging::{PagePerms, PageTable};
 use crate::phys::{PhysicalMemory, UnmappedPhysical};
-use crate::tlb::{Tlb, TlbConfig};
-use crate::{AddressSpace, PAGE_SIZE, VA_BITS};
+use crate::probe::{record_cache_access, Demand, MemProbes};
+use crate::tlb::{Tlb, TlbConfig, ENTRY_BITS, PPN_SHIFT, VPN_SHIFT};
+use crate::{AddressSpace, PAGE_SIZE, PPN_BITS, VA_BITS, VPN_BITS};
 use mbu_isa::program::{Program, DATA_BASE, STACK_SIZE, STACK_TOP, TEXT_BASE};
 use std::fmt;
 
@@ -124,8 +125,14 @@ impl MemorySystemConfig {
             l1i: CacheConfig::l1i_scaled(),
             l1d: CacheConfig::l1d_scaled(),
             l2: CacheConfig::l2_scaled(),
-            itlb: TlbConfig { entries: 4, walk_latency: 20 },
-            dtlb: TlbConfig { entries: 8, walk_latency: 20 },
+            itlb: TlbConfig {
+                entries: 4,
+                walk_latency: 20,
+            },
+            dtlb: TlbConfig {
+                entries: 8,
+                walk_latency: 20,
+            },
             dram_frames: 196_608,
             dram_latency: 50,
         }
@@ -144,20 +151,64 @@ struct L2Backing<'a> {
     l2: &'a mut Cache,
     mem: &'a mut PhysicalMemory,
     dram_latency: u32,
+    probes: Option<&'a mut MemProbes>,
+    now: u64,
 }
 
 impl LineStore for L2Backing<'_> {
     fn load_line(&mut self, pa_line: u32) -> Result<([u8; 32], u32), UnmappedPhysical> {
-        let mut dram = DramBacking { mem: self.mem, latency: self.dram_latency };
-        let (line, lat) = self.l2.access(pa_line, false, &mut dram)?;
+        let before = self.l2.stats();
+        let (line, lat) = {
+            let mut dram = DramBacking {
+                mem: self.mem,
+                latency: self.dram_latency,
+            };
+            self.l2.access(pa_line, false, &mut dram)?
+        };
+        if let Some(p) = self.probes.as_deref_mut() {
+            record_cache_access(
+                self.l2,
+                &mut p.l2_data,
+                &mut p.l2_tag,
+                self.now,
+                pa_line,
+                line,
+                before,
+                Demand::Read {
+                    offset: 0,
+                    width: LINE_BYTES,
+                },
+            );
+        }
         let mut bytes = [0u8; 32];
         bytes.copy_from_slice(&self.l2.read_bytes(line, 0, LINE_BYTES));
         Ok((bytes, lat))
     }
 
     fn store_line(&mut self, pa_line: u32, line_bytes: &[u8; 32]) -> Result<u32, UnmappedPhysical> {
-        let mut dram = DramBacking { mem: self.mem, latency: self.dram_latency };
-        let (line, lat) = self.l2.access(pa_line, true, &mut dram)?;
+        let before = self.l2.stats();
+        let (line, lat) = {
+            let mut dram = DramBacking {
+                mem: self.mem,
+                latency: self.dram_latency,
+            };
+            self.l2.access(pa_line, true, &mut dram)?
+        };
+        if let Some(p) = self.probes.as_deref_mut() {
+            record_cache_access(
+                self.l2,
+                &mut p.l2_data,
+                &mut p.l2_tag,
+                self.now,
+                pa_line,
+                line,
+                before,
+                Demand::Write {
+                    offset: 0,
+                    width: LINE_BYTES,
+                },
+            );
+        }
         self.l2.write_bytes(line, 0, line_bytes);
         Ok(lat)
     }
@@ -191,11 +242,15 @@ pub struct MemorySystem {
     pub dtlb: Tlb,
     page_table: PageTable,
     phys: PhysicalMemory,
+    probes: Option<Box<MemProbes>>,
+    probe_cycle: u64,
 }
 
 impl fmt::Debug for MemorySystem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MemorySystem").field("config", &self.config).finish_non_exhaustive()
+        f.debug_struct("MemorySystem")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
     }
 }
 
@@ -211,6 +266,8 @@ impl MemorySystem {
             dtlb: Tlb::new(config.dtlb),
             page_table,
             phys,
+            probes: None,
+            probe_cycle: 0,
         }
     }
 
@@ -218,19 +275,30 @@ impl MemorySystem {
     /// stack RW), loads the segments into DRAM and returns the ready system.
     pub fn for_program(config: MemorySystemConfig, program: &Program) -> Self {
         let mut aspace = AddressSpace::new(config.dram_frames);
-        aspace.map_segment(TEXT_BASE, (program.text.len().max(1) * 4) as u32, PagePerms::RX);
-        aspace.map_segment(DATA_BASE, program.data.len() as u32 + 64 * 1024, PagePerms::RW);
+        aspace.map_segment(
+            TEXT_BASE,
+            (program.text.len().max(1) * 4) as u32,
+            PagePerms::RX,
+        );
+        aspace.map_segment(
+            DATA_BASE,
+            program.data.len() as u32 + 64 * 1024,
+            PagePerms::RW,
+        );
         aspace.map_segment(STACK_TOP - STACK_SIZE, STACK_SIZE, PagePerms::RW);
         let mut phys = PhysicalMemory::new(config.dram_frames);
         for (i, word) in program.text.iter().enumerate() {
             let va = TEXT_BASE + (i * 4) as u32;
             let pa = aspace.translate(va).expect("text page mapped");
             for (b, byte) in word.to_le_bytes().iter().enumerate() {
-                phys.write_u8(pa + b as u32, *byte).expect("text inside system map");
+                phys.write_u8(pa + b as u32, *byte)
+                    .expect("text inside system map");
             }
         }
         for (i, byte) in program.data.iter().enumerate() {
-            let pa = aspace.translate(DATA_BASE + i as u32).expect("data page mapped");
+            let pa = aspace
+                .translate(DATA_BASE + i as u32)
+                .expect("data page mapped");
             phys.write_u8(pa, *byte).expect("data inside system map");
         }
         Self::new(config, aspace.page_table(), phys)
@@ -251,21 +319,72 @@ impl MemorySystem {
         &self.phys
     }
 
+    /// Attaches liveness probes; subsequent accesses report their SRAM
+    /// events at the cycle last given to [`MemorySystem::set_probe_cycle`].
+    pub fn attach_probes(&mut self, probes: MemProbes) {
+        self.probes = Some(Box::new(probes));
+    }
+
+    /// Detaches and returns the probes, if any were attached.
+    pub fn detach_probes(&mut self) -> Option<MemProbes> {
+        self.probes.take().map(|b| *b)
+    }
+
+    /// Whether any probe bundle is attached.
+    pub fn probes_attached(&self) -> bool {
+        self.probes.is_some()
+    }
+
+    /// Sets the cycle stamp attached to subsequent probe events. The owning
+    /// core calls this once per simulated cycle while probes are attached.
+    pub fn set_probe_cycle(&mut self, cycle: u64) {
+        self.probe_cycle = cycle;
+    }
+
     fn translate(&mut self, va: u32, kind: AccessKind) -> Result<Timed<u32>, MemFault> {
         if (va as u64) >= (1u64 << VA_BITS) {
             return Err(MemFault::PageFault { va });
         }
         let vpn = va / PAGE_SIZE;
-        let tlb = match kind {
-            AccessKind::Fetch => &mut self.itlb,
-            _ => &mut self.dtlb,
+        let now = self.probe_cycle;
+        let is_fetch = matches!(kind, AccessKind::Fetch);
+        let tlb = if is_fetch {
+            &mut self.itlb
+        } else {
+            &mut self.dtlb
         };
-        let (ppn, perms, latency) = match tlb.lookup(vpn) {
-            Some(t) => (t.ppn, t.perms, 0),
+        let mut probe = self.probes.as_deref_mut().and_then(|p| {
+            if is_fetch {
+                p.itlb.as_mut()
+            } else {
+                p.dtlb.as_mut()
+            }
+        });
+        if let Some(p) = probe.as_mut() {
+            // The fully-associative lookup compares valid + VPN of every
+            // entry (conservative superset of the early-exit scan).
+            for row in 0..tlb.config().entries {
+                p.on_read(now, row, VPN_SHIFT as usize, (VPN_BITS + 1) as usize);
+            }
+        }
+        let (ppn, perms, latency) = match tlb.lookup_indexed(vpn) {
+            Some((row, t)) => {
+                if let Some(p) = probe.as_mut() {
+                    p.on_read(now, row, 0, (PPN_SHIFT + PPN_BITS) as usize);
+                }
+                (t.ppn, t.perms, 0)
+            }
             None => {
                 let walk = tlb.config().walk_latency;
-                let pte = self.page_table.lookup(vpn).ok_or(MemFault::PageFault { va })?;
+                let pte = self
+                    .page_table
+                    .lookup(vpn)
+                    .ok_or(MemFault::PageFault { va })?;
+                let victim = tlb.victim_index();
                 tlb.fill(vpn, pte.ppn, pte.perms);
+                if let Some(p) = probe.as_mut() {
+                    p.on_overwrite(now, victim, 0, ENTRY_BITS as usize);
+                }
                 (pte.ppn, pte.perms, walk)
             }
         };
@@ -277,7 +396,10 @@ impl MemorySystem {
         if !allowed {
             return Err(MemFault::Protection { va, kind });
         }
-        Ok(Timed { value: ppn * PAGE_SIZE + va % PAGE_SIZE, latency })
+        Ok(Timed {
+            value: ppn * PAGE_SIZE + va % PAGE_SIZE,
+            latency,
+        })
     }
 
     /// Fetches an aligned instruction word through the ITLB and L1I.
@@ -292,15 +414,39 @@ impl MemorySystem {
     pub fn fetch(&mut self, va: u32) -> Result<Timed<u32>, MemFault> {
         assert_eq!(va % 4, 0, "fetch must be word-aligned");
         let t = self.translate(va, AccessKind::Fetch)?;
-        let mut next = L2Backing {
-            l2: &mut self.l2,
-            mem: &mut self.phys,
-            dram_latency: self.config.dram_latency,
+        let now = self.probe_cycle;
+        let before = self.l1i.stats();
+        let (line, lat) = {
+            let mut next = L2Backing {
+                l2: &mut self.l2,
+                mem: &mut self.phys,
+                dram_latency: self.config.dram_latency,
+                probes: self.probes.as_deref_mut(),
+                now,
+            };
+            self.l1i.access(t.value, false, &mut next)?
         };
-        let (line, lat) = self.l1i.access(t.value, false, &mut next)?;
+        if let Some(p) = self.probes.as_deref_mut() {
+            record_cache_access(
+                &self.l1i,
+                &mut p.l1i_data,
+                &mut p.l1i_tag,
+                now,
+                t.value,
+                line,
+                before,
+                Demand::Read {
+                    offset: t.value % LINE_BYTES,
+                    width: 4,
+                },
+            );
+        }
         let bytes = self.l1i.read_bytes(line, t.value % LINE_BYTES, 4);
         let word = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-        Ok(Timed { value: word, latency: t.latency + lat })
+        Ok(Timed {
+            value: word,
+            latency: t.latency + lat,
+        })
     }
 
     /// Loads `width` (1, 2 or 4) bytes through the DTLB and L1D.
@@ -316,18 +462,42 @@ impl MemorySystem {
         assert!(matches!(width, 1 | 2 | 4), "width must be 1, 2 or 4");
         assert_eq!(va % width, 0, "read must be width-aligned");
         let t = self.translate(va, AccessKind::Read)?;
-        let mut next = L2Backing {
-            l2: &mut self.l2,
-            mem: &mut self.phys,
-            dram_latency: self.config.dram_latency,
+        let now = self.probe_cycle;
+        let before = self.l1d.stats();
+        let (line, lat) = {
+            let mut next = L2Backing {
+                l2: &mut self.l2,
+                mem: &mut self.phys,
+                dram_latency: self.config.dram_latency,
+                probes: self.probes.as_deref_mut(),
+                now,
+            };
+            self.l1d.access(t.value, false, &mut next)?
         };
-        let (line, lat) = self.l1d.access(t.value, false, &mut next)?;
+        if let Some(p) = self.probes.as_deref_mut() {
+            record_cache_access(
+                &self.l1d,
+                &mut p.l1d_data,
+                &mut p.l1d_tag,
+                now,
+                t.value,
+                line,
+                before,
+                Demand::Read {
+                    offset: t.value % LINE_BYTES,
+                    width,
+                },
+            );
+        }
         let bytes = self.l1d.read_bytes(line, t.value % LINE_BYTES, width);
         let mut value = 0u32;
         for (i, b) in bytes.iter().enumerate() {
             value |= (*b as u32) << (8 * i);
         }
-        Ok(Timed { value, latency: t.latency + lat })
+        Ok(Timed {
+            value,
+            latency: t.latency + lat,
+        })
     }
 
     /// Stores the low `width` bytes of `value` through the DTLB and L1D.
@@ -343,15 +513,39 @@ impl MemorySystem {
         assert!(matches!(width, 1 | 2 | 4), "width must be 1, 2 or 4");
         assert_eq!(va % width, 0, "write must be width-aligned");
         let t = self.translate(va, AccessKind::Write)?;
-        let mut next = L2Backing {
-            l2: &mut self.l2,
-            mem: &mut self.phys,
-            dram_latency: self.config.dram_latency,
+        let now = self.probe_cycle;
+        let before = self.l1d.stats();
+        let (line, lat) = {
+            let mut next = L2Backing {
+                l2: &mut self.l2,
+                mem: &mut self.phys,
+                dram_latency: self.config.dram_latency,
+                probes: self.probes.as_deref_mut(),
+                now,
+            };
+            self.l1d.access(t.value, true, &mut next)?
         };
-        let (line, lat) = self.l1d.access(t.value, true, &mut next)?;
+        if let Some(p) = self.probes.as_deref_mut() {
+            record_cache_access(
+                &self.l1d,
+                &mut p.l1d_data,
+                &mut p.l1d_tag,
+                now,
+                t.value,
+                line,
+                before,
+                Demand::Write {
+                    offset: t.value % LINE_BYTES,
+                    width,
+                },
+            );
+        }
         let bytes: Vec<u8> = (0..width).map(|i| (value >> (8 * i)) as u8).collect();
         self.l1d.write_bytes(line, t.value % LINE_BYTES, &bytes);
-        Ok(Timed { value: (), latency: t.latency + lat })
+        Ok(Timed {
+            value: (),
+            latency: t.latency + lat,
+        })
     }
 
     /// Drains all dirty cache state to DRAM (verification helper).
@@ -365,10 +559,15 @@ impl MemorySystem {
                 l2: &mut self.l2,
                 mem: &mut self.phys,
                 dram_latency: self.config.dram_latency,
+                probes: self.probes.as_deref_mut(),
+                now: self.probe_cycle,
             };
             self.l1d.flush_dirty(&mut next)?;
         }
-        let mut dram = DramBacking { mem: &mut self.phys, latency: self.config.dram_latency };
+        let mut dram = DramBacking {
+            mem: &mut self.phys,
+            latency: self.config.dram_latency,
+        };
         self.l2.flush_dirty(&mut dram)?;
         Ok(())
     }
@@ -382,7 +581,10 @@ mod tests {
 
     fn system_for(src: &str) -> (MemorySystem, Program) {
         let p = assemble(src).unwrap();
-        (MemorySystem::for_program(MemorySystemConfig::default(), &p), p)
+        (
+            MemorySystem::for_program(MemorySystemConfig::default(), &p),
+            p,
+        )
     }
 
     #[test]
@@ -419,7 +621,10 @@ mod tests {
     #[test]
     fn unmapped_va_page_faults() {
         let (mut ms, _) = system_for(".text\nmain: nop\n");
-        assert_eq!(ms.read(0x2000_0000, 4), Err(MemFault::PageFault { va: 0x2000_0000 }));
+        assert_eq!(
+            ms.read(0x2000_0000, 4),
+            Err(MemFault::PageFault { va: 0x2000_0000 })
+        );
         assert_eq!(
             ms.read(0x7000_0000, 4),
             Err(MemFault::PageFault { va: 0x7000_0000 }),
@@ -431,7 +636,10 @@ mod tests {
     fn store_to_text_is_protection_fault() {
         let (mut ms, _) = system_for(".text\nmain: nop\n");
         match ms.write(TEXT_BASE, 4, 0) {
-            Err(MemFault::Protection { kind: AccessKind::Write, .. }) => {}
+            Err(MemFault::Protection {
+                kind: AccessKind::Write,
+                ..
+            }) => {}
             other => panic!("expected protection fault, got {other:?}"),
         }
     }
@@ -440,7 +648,10 @@ mod tests {
     fn fetch_from_data_is_protection_fault() {
         let (mut ms, _) = system_for(".text\nmain: nop\n");
         match ms.fetch(DATA_BASE) {
-            Err(MemFault::Protection { kind: AccessKind::Fetch, .. }) => {}
+            Err(MemFault::Protection {
+                kind: AccessKind::Fetch,
+                ..
+            }) => {}
             other => panic!("expected protection fault, got {other:?}"),
         }
     }
@@ -449,7 +660,7 @@ mod tests {
     fn corrupted_dtlb_ppn_can_leave_system_map() {
         let (mut ms, _) = system_for(".text\nmain: nop\n");
         ms.read(DATA_BASE, 4).unwrap(); // fill DTLB entry 0
-        // Flip the top PPN bit (col 3 + 13): likely leaves the 12288-frame map.
+                                        // Flip the top PPN bit (col 3 + 13): likely leaves the 12288-frame map.
         ms.dtlb.inject_flip(BitCoord::new(0, 16));
         match ms.read(DATA_BASE, 4) {
             Err(MemFault::OutsideSystemMap { .. }) => {}

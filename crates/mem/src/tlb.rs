@@ -23,10 +23,14 @@ use crate::paging::PagePerms;
 use crate::{PPN_BITS, VPN_BITS};
 use mbu_sram::{BitCoord, Geometry, Injectable};
 
-const PERM_SHIFT: u32 = 0;
-const PPN_SHIFT: u32 = 3;
-const VPN_SHIFT: u32 = PPN_SHIFT + PPN_BITS;
-const VALID_SHIFT: u32 = VPN_SHIFT + VPN_BITS;
+/// Bit position of the permission field within an entry.
+pub const PERM_SHIFT: u32 = 0;
+/// Bit position of the PPN field within an entry.
+pub const PPN_SHIFT: u32 = 3;
+/// Bit position of the VPN field within an entry.
+pub const VPN_SHIFT: u32 = PPN_SHIFT + PPN_BITS;
+/// Bit position of the valid bit within an entry.
+pub const VALID_SHIFT: u32 = VPN_SHIFT + VPN_BITS;
 /// Bits per TLB entry.
 pub const ENTRY_BITS: u32 = VALID_SHIFT + 1;
 
@@ -42,7 +46,10 @@ pub struct TlbConfig {
 impl Default for TlbConfig {
     fn default() -> Self {
         // Table I: 32-entry instruction and data TLBs.
-        Self { entries: 32, walk_latency: 20 }
+        Self {
+            entries: 32,
+            walk_latency: 20,
+        }
     }
 }
 
@@ -83,7 +90,13 @@ impl Tlb {
     /// Panics if `config.entries` is zero.
     pub fn new(config: TlbConfig) -> Self {
         assert!(config.entries > 0, "TLB must have at least one entry");
-        Self { config, entries: vec![0; config.entries], next_victim: 0, hits: 0, misses: 0 }
+        Self {
+            config,
+            entries: vec![0; config.entries],
+            next_victim: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The configuration this TLB was built with.
@@ -94,18 +107,34 @@ impl Tlb {
     /// Looks up a virtual page number. Returns the first matching valid
     /// entry (a corrupted VPN can make an entry match a foreign page).
     pub fn lookup(&mut self, vpn: u32) -> Option<Translation> {
+        self.lookup_indexed(vpn).map(|(_, t)| t)
+    }
+
+    /// Like [`Tlb::lookup`], but also reports *which* entry hit — the
+    /// observability hook for liveness probes.
+    pub fn lookup_indexed(&mut self, vpn: u32) -> Option<(usize, Translation)> {
         let vpn = vpn & ((1 << VPN_BITS) - 1);
-        for &e in &self.entries {
-            if (e >> VALID_SHIFT) & 1 == 1 && ((e >> VPN_SHIFT) as u32 & ((1 << VPN_BITS) - 1)) == vpn {
+        for (row, &e) in self.entries.iter().enumerate() {
+            if (e >> VALID_SHIFT) & 1 == 1
+                && ((e >> VPN_SHIFT) as u32 & ((1 << VPN_BITS) - 1)) == vpn
+            {
                 self.hits += 1;
-                return Some(Translation {
-                    ppn: (e >> PPN_SHIFT) as u32 & ((1 << PPN_BITS) - 1),
-                    perms: PagePerms::from_bits((e >> PERM_SHIFT) as u32 & 0b111),
-                });
+                return Some((
+                    row,
+                    Translation {
+                        ppn: (e >> PPN_SHIFT) as u32 & ((1 << PPN_BITS) - 1),
+                        perms: PagePerms::from_bits((e >> PERM_SHIFT) as u32 & 0b111),
+                    },
+                ));
             }
         }
         self.misses += 1;
         None
+    }
+
+    /// The round-robin slot the next [`Tlb::fill`] will overwrite.
+    pub fn victim_index(&self) -> usize {
+        self.next_victim
     }
 
     /// Installs a translation in the round-robin victim slot.
@@ -160,7 +189,10 @@ mod tests {
     use super::*;
 
     fn tlb() -> Tlb {
-        Tlb::new(TlbConfig { entries: 4, walk_latency: 20 })
+        Tlb::new(TlbConfig {
+            entries: 4,
+            walk_latency: 20,
+        })
     }
 
     #[test]

@@ -17,14 +17,20 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     let width = prop_oneof![Just(1u32), Just(2), Just(4)];
-    (any::<bool>(), 0u32..16 * 1024, width, any::<u32>()).prop_map(|(is_read, raw, width, value)| {
-        let offset = raw & !(width - 1); // align
-        if is_read {
-            Op::Read { offset, width }
-        } else {
-            Op::Write { offset, width, value }
-        }
-    })
+    (any::<bool>(), 0u32..16 * 1024, width, any::<u32>()).prop_map(
+        |(is_read, raw, width, value)| {
+            let offset = raw & !(width - 1); // align
+            if is_read {
+                Op::Read { offset, width }
+            } else {
+                Op::Write {
+                    offset,
+                    width,
+                    value,
+                }
+            }
+        },
+    )
 }
 
 proptest! {

@@ -61,7 +61,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        Self { s: [next(), next(), next(), next()] }
+        Self {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Next raw 64-bit output.
@@ -163,15 +165,22 @@ pub struct OneOf<T> {
 
 impl<T> Clone for OneOf<T> {
     fn clone(&self) -> Self {
-        Self { options: std::rc::Rc::clone(&self.options) }
+        Self {
+            options: std::rc::Rc::clone(&self.options),
+        }
     }
 }
 
 impl<T: fmt::Debug> OneOf<T> {
     /// Builds from the (non-empty) alternatives.
     pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
-        Self { options: std::rc::Rc::new(options) }
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Self {
+            options: std::rc::Rc::new(options),
+        }
     }
 }
 
@@ -390,7 +399,8 @@ pub mod runner {
                 attempts <= max_attempts,
                 "property `{name}`: too many rejected cases ({attempts} attempts)"
             );
-            let mut rng = TestRng::seed_from_u64(seed ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                TestRng::seed_from_u64(seed ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let (inputs, verdict) = f(&mut rng);
             match verdict {
                 Ok(()) => accepted += 1,
@@ -492,8 +502,8 @@ pub mod prelude {
 
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Any, Arbitrary,
-        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 }
 

@@ -27,6 +27,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod probe;
+
+pub use probe::LivenessProbe;
+
 use std::fmt;
 
 /// Physical geometry of an SRAM array: `rows × cols` bit cells.
@@ -80,7 +84,10 @@ impl Geometry {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn linear_index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "bit coordinate out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "bit coordinate out of bounds"
+        );
         row * self.cols + col
     }
 
@@ -152,7 +159,10 @@ impl BitArray {
     /// Creates a zero-initialized array with the given geometry.
     pub fn new(geometry: Geometry) -> Self {
         let nwords = geometry.total_bits().div_ceil(64);
-        Self { geometry, words: vec![0; nwords] }
+        Self {
+            geometry,
+            words: vec![0; nwords],
+        }
     }
 
     /// The physical geometry of this array.
@@ -228,7 +238,10 @@ impl BitArray {
     /// Panics if `width` is 0 or > 64, or if `col + width` exceeds the row.
     pub fn read_word(&self, row: usize, col: usize, width: usize) -> u64 {
         assert!(width > 0 && width <= 64, "width must be in 1..=64");
-        assert!(col + width <= self.geometry.cols, "word read crosses row boundary");
+        assert!(
+            col + width <= self.geometry.cols,
+            "word read crosses row boundary"
+        );
         let mut v = 0u64;
         for i in 0..width {
             if self.get(row, col + i) {
@@ -246,7 +259,10 @@ impl BitArray {
     /// Panics if `width` is 0 or > 64, or if `col + width` exceeds the row.
     pub fn write_word(&mut self, row: usize, col: usize, width: usize, value: u64) {
         assert!(width > 0 && width <= 64, "width must be in 1..=64");
-        assert!(col + width <= self.geometry.cols, "word write crosses row boundary");
+        assert!(
+            col + width <= self.geometry.cols,
+            "word write crosses row boundary"
+        );
         for i in 0..width {
             self.set(row, col + i, (value >> i) & 1 == 1);
         }
@@ -260,7 +276,10 @@ impl BitArray {
     ///
     /// Panics if the row is out of bounds or the width is not byte-aligned.
     pub fn read_row_bytes(&self, row: usize) -> Vec<u8> {
-        assert!(self.geometry.cols.is_multiple_of(8), "row width must be byte-aligned");
+        assert!(
+            self.geometry.cols.is_multiple_of(8),
+            "row width must be byte-aligned"
+        );
         let mut out = Vec::with_capacity(self.geometry.cols / 8);
         for byte in 0..self.geometry.cols / 8 {
             out.push(self.read_word(row, byte * 8, 8) as u8);
@@ -274,8 +293,15 @@ impl BitArray {
     ///
     /// Panics if `bytes` does not exactly fill the row.
     pub fn write_row_bytes(&mut self, row: usize, bytes: &[u8]) {
-        assert!(self.geometry.cols.is_multiple_of(8), "row width must be byte-aligned");
-        assert_eq!(bytes.len() * 8, self.geometry.cols, "bytes must exactly fill the row");
+        assert!(
+            self.geometry.cols.is_multiple_of(8),
+            "row width must be byte-aligned"
+        );
+        assert_eq!(
+            bytes.len() * 8,
+            self.geometry.cols,
+            "bytes must exactly fill the row"
+        );
         for (byte, &b) in bytes.iter().enumerate() {
             self.write_word(row, byte * 8, 8, b as u64);
         }
@@ -379,7 +405,11 @@ mod tests {
     #[test]
     fn flip_all_applies_each_coord() {
         let mut a = BitArray::new(Geometry::new(3, 3));
-        a.flip_all([BitCoord::new(0, 0), BitCoord::new(1, 1), BitCoord::new(2, 2)]);
+        a.flip_all([
+            BitCoord::new(0, 0),
+            BitCoord::new(1, 1),
+            BitCoord::new(2, 2),
+        ]);
         assert_eq!(a.count_ones(), 3);
         assert!(a.get(1, 1));
     }

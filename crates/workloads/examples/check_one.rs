@@ -32,7 +32,11 @@ fn main() {
             if r.output == w.reference_with(ds) {
                 println!("MATCH");
             } else {
-                eprintln!("MISMATCH\n sim: {:02x?}\n ref: {:02x?}", r.output, w.reference_with(ds));
+                eprintln!(
+                    "MISMATCH\n sim: {:02x?}\n ref: {:02x?}",
+                    r.output,
+                    w.reference_with(ds)
+                );
                 std::process::exit(1);
             }
         }

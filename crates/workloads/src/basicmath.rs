@@ -19,12 +19,16 @@ const DEG2RAD_Q26: u32 = 1_171_027;
 
 fn sqrt_inputs(ds: DataSet) -> Vec<u32> {
     let mut rng = Xorshift32::new(0xBA51_0017);
-    (0..counts(ds).0).map(|_| rng.next_u32() & 0x3FFF_FFFF).collect()
+    (0..counts(ds).0)
+        .map(|_| rng.next_u32() & 0x3FFF_FFFF)
+        .collect()
 }
 
 fn gcd_inputs(ds: DataSet) -> Vec<u32> {
     let mut rng = Xorshift32::new(0xBA51_0019);
-    (0..counts(ds).1 * 2).map(|_| 1 + (rng.next_u32() & 0x000F_FFFF)).collect()
+    (0..counts(ds).1 * 2)
+        .map(|_| 1 + (rng.next_u32() & 0x000F_FFFF))
+        .collect()
 }
 
 /// Shift-based integer square root (no division).
@@ -172,7 +176,10 @@ mod tests {
         for v in [0u32, 1, 2, 3, 4, 15, 16, 17, 999, 1 << 20, u32::MAX >> 2] {
             let r = isqrt(v);
             assert!(r as u64 * r as u64 <= v as u64);
-            assert!((r as u64 + 1) * (r as u64 + 1) > v as u64, "isqrt({v}) = {r}");
+            assert!(
+                (r as u64 + 1) * (r as u64 + 1) > v as u64,
+                "isqrt({v}) = {r}"
+            );
         }
     }
 

@@ -298,7 +298,12 @@ mod tests {
             let i = im[k] as i64;
             r * r + i * i
         };
-        assert!(mag2(5) > 16 * mag2(50), "bin 5 = {}, bin 50 = {}", mag2(5), mag2(50));
+        assert!(
+            mag2(5) > 16 * mag2(50),
+            "bin 5 = {}, bin 50 = {}",
+            mag2(5),
+            mag2(50)
+        );
         assert!(mag2(23) > 4 * mag2(50));
     }
 

@@ -12,7 +12,9 @@ pub struct Xorshift32 {
 impl Xorshift32 {
     /// Creates a generator; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u32) -> Self {
-        Self { state: if seed == 0 { 0x9E37_79B9 } else { seed } }
+        Self {
+            state: if seed == 0 { 0x9E37_79B9 } else { seed },
+        }
     }
 
     /// Next 32-bit value.

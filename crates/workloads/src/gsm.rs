@@ -187,6 +187,9 @@ mod tests {
     fn output_is_bounded_with_stable_coefficients() {
         let pcm = synthesize(DataSet::Small);
         assert_eq!(pcm.len(), nframes(DataSet::Small) * FRAME);
-        assert!(pcm.iter().all(|v| v.abs() < 1 << 20), "stable lattice stays bounded");
+        assert!(
+            pcm.iter().all(|v| v.abs() < 1 << 20),
+            "stable lattice stays bounded"
+        );
     }
 }

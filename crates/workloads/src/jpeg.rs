@@ -30,8 +30,7 @@ fn dct_matrix() -> [i32; 64] {
     for u in 0..8 {
         let alpha = if u == 0 { (1.0f64 / 8.0).sqrt() } else { 0.5 };
         for x in 0..8 {
-            let v = alpha
-                * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
+            let v = alpha * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos();
             c[u * 8 + x] = (v * 4096.0).round() as i32;
         }
     }
@@ -151,7 +150,9 @@ pub fn cjpeg_reference(ds: DataSet) -> Vec<u8> {
     let w = c_w(ds);
     let coeffs = encode_image(&image(w, 0x17E6_0031), w);
     let nz = coeffs.iter().filter(|&&v| v != 0).count() as u32;
-    let mut out = checksum_words(coeffs.iter().map(|v| *v as u32)).to_le_bytes().to_vec();
+    let mut out = checksum_words(coeffs.iter().map(|v| *v as u32))
+        .to_le_bytes()
+        .to_vec();
     out.extend_from_slice(&nz.to_le_bytes());
     out
 }
@@ -166,7 +167,9 @@ pub fn djpeg_reference(ds: DataSet) -> Vec<u8> {
         q.copy_from_slice(block);
         pixels.extend_from_slice(&dequant_idct(&q));
     }
-    let mut out = checksum_words(pixels.iter().map(|v| *v as u32)).to_le_bytes().to_vec();
+    let mut out = checksum_words(pixels.iter().map(|v| *v as u32))
+        .to_le_bytes()
+        .to_vec();
     for i in [0usize, 63, 128, 255] {
         out.extend_from_slice(&(pixels[i] as u32).to_le_bytes());
     }
@@ -532,7 +535,10 @@ mod tests {
         let q = fdct_quant(&f);
         // DC = 8 * 50 / alpha scaling -> 400-ish before quant; AC all ~0.
         assert!(q[0] != 0, "DC survives quantization");
-        assert!(q[1..].iter().all(|&v| v.abs() <= 1), "AC nearly zero for flat input");
+        assert!(
+            q[1..].iter().all(|&v| v.abs() <= 1),
+            "AC nearly zero for flat input"
+        );
     }
 
     #[test]
@@ -548,7 +554,12 @@ mod tests {
         let out = dequant_idct(&q);
         for i in 0..64 {
             let err = (out[i] - (f[i] + 128)).abs();
-            assert!(err <= 24, "pixel {i}: {} vs {} (err {err})", out[i], f[i] + 128);
+            assert!(
+                err <= 24,
+                "pixel {i}: {} vs {} (err {err})",
+                out[i],
+                f[i] + 128
+            );
         }
     }
 

@@ -265,7 +265,11 @@ mod tests {
                 let run = ArchInterpreter::new(&p)
                     .run(400_000_000)
                     .unwrap_or_else(|t| panic!("{w}/{ds} trapped: {t}"));
-                assert_eq!(run.stop, StopReason::Exited { code: 0 }, "{w}/{ds} must exit cleanly");
+                assert_eq!(
+                    run.stop,
+                    StopReason::Exited { code: 0 },
+                    "{w}/{ds} must exit cleanly"
+                );
                 assert_eq!(run.output, w.reference_with(ds), "{w}/{ds} output mismatch");
                 assert!(!run.output.is_empty(), "{w}/{ds} must produce output");
             }

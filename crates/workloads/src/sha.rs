@@ -30,11 +30,19 @@ fn padded_words(ds: DataSet) -> Vec<u32> {
         m.push(0);
     }
     m.extend_from_slice(&bit_len.to_be_bytes());
-    m.chunks(4).map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]])).collect()
+    m.chunks(4)
+        .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
 }
 
 fn sha1_words(data: &[u32]) -> [u32; 5] {
-    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    let mut h: [u32; 5] = [
+        0x6745_2301,
+        0xEFCD_AB89,
+        0x98BA_DCFE,
+        0x1032_5476,
+        0xC3D2_E1F0,
+    ];
     for chunk in data.chunks(16) {
         let mut w = [0u32; 80];
         w[..16].copy_from_slice(chunk);
@@ -72,7 +80,10 @@ fn sha1_words(data: &[u32]) -> [u32; 5] {
 
 /// Reference SHA-1 digest of the same input.
 pub fn reference(ds: DataSet) -> Vec<u8> {
-    sha1_words(&padded_words(ds)).iter().flat_map(|v| v.to_le_bytes()).collect()
+    sha1_words(&padded_words(ds))
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect()
 }
 
 /// The assembled SHA-1 program.
@@ -233,10 +244,21 @@ mod tests {
             m.push(0);
         }
         m.extend_from_slice(&24u64.to_be_bytes());
-        let chunk: Vec<u32> =
-            m.chunks(4).map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]])).collect();
+        let chunk: Vec<u32> = m
+            .chunks(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
         let h = sha1_words(&chunk);
-        assert_eq!(h, [0xA999_3E36, 0x4706_816A, 0xBA3E_2571, 0x7850_C26C, 0x9CD0_D89D]);
+        assert_eq!(
+            h,
+            [
+                0xA999_3E36,
+                0x4706_816A,
+                0xBA3E_2571,
+                0x7850_C26C,
+                0x9CD0_D89D
+            ]
+        );
     }
 
     #[test]

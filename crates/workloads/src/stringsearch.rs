@@ -18,7 +18,9 @@ fn text_len(ds: DataSet) -> usize {
 
 fn text(ds: DataSet) -> Vec<u8> {
     let mut rng = Xorshift32::new(0x57A7_0003);
-    (0..text_len(ds)).map(|_| b'a' + (rng.below(26)) as u8).collect()
+    (0..text_len(ds))
+        .map(|_| b'a' + (rng.below(26)) as u8)
+        .collect()
 }
 
 /// Present patterns (copied out of the text) and two absent ones.
@@ -73,7 +75,10 @@ pub fn reference(ds: DataSet) -> Vec<u8> {
 
 /// The assembled string-search program.
 pub fn program(ds: DataSet) -> Program {
-    let pats: Vec<u8> = patterns(ds).iter().flat_map(|p| p.iter().copied()).collect();
+    let pats: Vec<u8> = patterns(ds)
+        .iter()
+        .flat_map(|p| p.iter().copied())
+        .collect();
     // Registers: r1 = text, r4 = pattern ptr, r5 = pattern counter,
     // r6 = pos, r7 = j, r8/r9/r10/r11 = temps, r12 = skip table, r13 = result.
     let src = format!(
@@ -174,8 +179,14 @@ mod tests {
                 .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect();
             let npat = patterns(ds).len();
-            assert!(vals[0] >= 0 && vals[0] <= 100, "pattern 0 copied from offset 100");
-            assert!(vals[..npat - 2].iter().all(|&v| v >= 0), "{ds}: present patterns");
+            assert!(
+                vals[0] >= 0 && vals[0] <= 100,
+                "pattern 0 copied from offset 100"
+            );
+            assert!(
+                vals[..npat - 2].iter().all(|&v| v >= 0),
+                "{ds}: present patterns"
+            );
             assert_eq!(vals[npat - 2], -1);
             assert_eq!(vals[npat - 1], -1);
         }

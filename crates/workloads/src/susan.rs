@@ -21,7 +21,11 @@ fn image(width: usize, seed: u32) -> Vec<u8> {
             let (x, y) = (i % width, i / width);
             // Two flat regions with a diagonal boundary plus speckle: gives
             // the detectors real corners/edges to find.
-            let base = if x + 2 * y < width + width / 2 { 60 } else { 180 };
+            let base = if x + 2 * y < width + width / 2 {
+                60
+            } else {
+                180
+            };
             (base + rng.below(25) as i32 - 12).clamp(0, 255) as u8
         })
         .collect()
@@ -64,7 +68,13 @@ fn corner_params(ds: DataSet) -> UsanParams {
         DataSet::Small => 16,
         DataSet::Large => 32,
     };
-    UsanParams { width, seed: 0x5A5A_0043, radius: 2, threshold_t: 27.0, g: 1200 }
+    UsanParams {
+        width,
+        seed: 0x5A5A_0043,
+        radius: 2,
+        threshold_t: 27.0,
+        g: 1200,
+    }
 }
 
 fn edge_params(ds: DataSet) -> UsanParams {
@@ -72,7 +82,13 @@ fn edge_params(ds: DataSet) -> UsanParams {
         DataSet::Small => 20,
         DataSet::Large => 40,
     };
-    UsanParams { width, seed: 0x5A5A_0047, radius: 1, threshold_t: 27.0, g: 600 }
+    UsanParams {
+        width,
+        seed: 0x5A5A_0047,
+        radius: 1,
+        threshold_t: 27.0,
+        g: 600,
+    }
 }
 
 /// USAN detector reference: emits (response checksum, detection count).
@@ -108,7 +124,10 @@ fn usan_reference(p: &UsanParams) -> Vec<u8> {
 fn usan_asm(p: &UsanParams) -> String {
     let img = image(p.width, p.seed);
     let lut = similarity_lut(p.threshold_t);
-    let offs: Vec<u32> = mask_offsets(p.width, p.radius).iter().map(|v| *v as u32).collect();
+    let offs: Vec<u32> = mask_offsets(p.width, p.radius)
+        .iter()
+        .map(|v| *v as u32)
+        .collect();
     format!(
         r#"
 .text

@@ -10,9 +10,22 @@ fn all_workloads_match_reference_on_ooo_simulator() {
     for w in Workload::ALL {
         let p = w.program();
         let r = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(500_000_000);
-        assert_eq!(r.end, RunEnd::Exited { code: 0 }, "{w} must exit cleanly, got {:?}", r.end);
-        assert_eq!(r.output, w.reference_output(), "{w} output mismatch on OoO core");
-        assert!(r.cycles > 1_000, "{w} suspiciously short ({} cycles)", r.cycles);
+        assert_eq!(
+            r.end,
+            RunEnd::Exited { code: 0 },
+            "{w} must exit cleanly, got {:?}",
+            r.end
+        );
+        assert_eq!(
+            r.output,
+            w.reference_output(),
+            "{w} output mismatch on OoO core"
+        );
+        assert!(
+            r.cycles > 1_000,
+            "{w} suspiciously short ({} cycles)",
+            r.cycles
+        );
     }
 }
 
@@ -23,8 +36,17 @@ fn all_workloads_match_reference_with_speculation() {
     for w in Workload::ALL {
         let p = w.program();
         let r = Simulator::new(CoreConfig::speculative_a9(), &p).run(500_000_000);
-        assert_eq!(r.end, RunEnd::Exited { code: 0 }, "{w} must exit cleanly, got {:?}", r.end);
-        assert_eq!(r.output, w.reference_output(), "{w} output mismatch under speculation");
+        assert_eq!(
+            r.end,
+            RunEnd::Exited { code: 0 },
+            "{w} must exit cleanly, got {:?}",
+            r.end
+        );
+        assert_eq!(
+            r.output,
+            w.reference_output(),
+            "{w} output mismatch under speculation"
+        );
     }
 }
 
@@ -35,8 +57,12 @@ fn speculation_never_slows_down_overall() {
     let mut spec = 0u64;
     for w in Workload::ALL {
         let p = w.program();
-        base += Simulator::new(CoreConfig::cortex_a9_like(), &p).run(500_000_000).cycles;
-        spec += Simulator::new(CoreConfig::speculative_a9(), &p).run(500_000_000).cycles;
+        base += Simulator::new(CoreConfig::cortex_a9_like(), &p)
+            .run(500_000_000)
+            .cycles;
+        spec += Simulator::new(CoreConfig::speculative_a9(), &p)
+            .run(500_000_000)
+            .cycles;
     }
     assert!(spec < base, "speculative {spec} vs baseline {base}");
 }
@@ -47,7 +73,11 @@ fn large_dataset_spot_checks_on_ooo_core() {
         let p = w.program_with(DataSet::Large);
         let r = Simulator::new(CoreConfig::cortex_a9_like(), &p).run(2_000_000_000);
         assert_eq!(r.end, RunEnd::Exited { code: 0 }, "{w} large must exit");
-        assert_eq!(r.output, w.reference_with(DataSet::Large), "{w} large output");
+        assert_eq!(
+            r.output,
+            w.reference_with(DataSet::Large),
+            "{w} large output"
+        );
     }
 }
 

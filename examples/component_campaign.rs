@@ -29,7 +29,9 @@ fn main() {
     println!("campaign: {component} / {workload}, 1-3 bit faults, {runs} runs each");
     for faults in 1..=3 {
         let result = Campaign::new(
-            CampaignConfig::new(workload, component, faults).runs(runs).seed(99),
+            CampaignConfig::new(workload, component, faults)
+                .runs(runs)
+                .seed(99),
         )
         .run();
         let b = ClassBreakdown::from_counts(&result.counts);
@@ -41,12 +43,7 @@ fn main() {
         // AVF as the probability estimate (tighter than the p = 0.5 prior).
         let population = fault_population(component_bits(component), result.fault_free_cycles);
         let planned = sample_size(population, 0.0288, Z_99, 0.5);
-        let achieved = error_margin(
-            population,
-            runs as u64,
-            Z_99,
-            b.avf().clamp(0.01, 0.99),
-        );
+        let achieved = error_margin(population, runs as u64, Z_99, b.avf().clamp(0.01, 0.99));
         println!(
             "  population {population} fault sites; 2.88% margin needs {planned} runs; \
              these {runs} runs give ±{:.2}% at 99% confidence",

@@ -102,15 +102,29 @@ fn main() {
     println!("assembled: {program}");
 
     // Validate on the architectural interpreter first.
-    let golden = ArchInterpreter::new(&program).run(10_000_000).expect("golden run");
-    println!("interpreter: {} instructions, output {:02x?}", golden.instructions, golden.output);
+    let golden = ArchInterpreter::new(&program)
+        .run(10_000_000)
+        .expect("golden run");
+    println!(
+        "interpreter: {} instructions, output {:02x?}",
+        golden.instructions, golden.output
+    );
 
     // Cross-check on the cycle-level core.
     let core = CoreConfig::cortex_a9_like();
     let timed = Simulator::new(core, &program).run(u64::MAX / 8);
-    assert_eq!(timed.output, golden.output, "OoO core must match the interpreter");
-    let RunEnd::Exited { code } = timed.end else { panic!("must exit") };
-    println!("OoO core: {} cycles (IPC {:.2})", timed.cycles, timed.instructions as f64 / timed.cycles as f64);
+    assert_eq!(
+        timed.output, golden.output,
+        "OoO core must match the interpreter"
+    );
+    let RunEnd::Exited { code } = timed.end else {
+        panic!("must exit")
+    };
+    println!(
+        "OoO core: {} cycles (IPC {:.2})",
+        timed.cycles,
+        timed.instructions as f64 / timed.cycles as f64
+    );
 
     // A small 3-bit campaign against the DTLB.
     let runs = 100;
@@ -122,7 +136,9 @@ fn main() {
         let mask = gen.generate(sim.component_geometry(HwComponent::DTlb), 3);
         sim.run_until_cycle(at);
         sim.inject_flips(HwComponent::DTlb, &mask.coords);
-        let end = sim.run_until_cycle(timed.cycles * 4).unwrap_or(RunEnd::CycleLimit);
+        let end = sim
+            .run_until_cycle(timed.cycles * 4)
+            .unwrap_or(RunEnd::CycleLimit);
         let result = mbu_cpu::RunResult {
             end,
             output: sim.output().to_vec(),

@@ -40,7 +40,9 @@ fn main() {
     // 3. Run to the injection point, flip the bits, run to completion.
     sim.run_until_cycle(inject_at);
     sim.inject_flips(HwComponent::L1D, &mask.coords);
-    let end = sim.run_until_cycle(golden.cycles * 4).unwrap_or(RunEnd::CycleLimit);
+    let end = sim
+        .run_until_cycle(golden.cycles * 4)
+        .unwrap_or(RunEnd::CycleLimit);
     let result = mbu_cpu::RunResult {
         end,
         output: sim.output().to_vec(),
@@ -50,7 +52,10 @@ fn main() {
 
     // 4. Classify against the golden run (paper §III.C).
     let effect = classify(&result, &golden.output, golden_code);
-    println!("outcome: {effect} (ended {:?} after {} cycles)", result.end, result.cycles);
+    println!(
+        "outcome: {effect} (ended {:?} after {} cycles)",
+        result.end, result.cycles
+    );
     match effect {
         FaultEffect::Masked => println!("the flipped bits were never consumed — output identical"),
         FaultEffect::Sdc => println!("silent data corruption — output differs, no error raised"),

@@ -22,10 +22,8 @@ fn mini_pipeline_produces_consistent_artifacts() {
         let samples: Vec<(f64, u64)> = workloads
             .iter()
             .map(|&w| {
-                let r = Campaign::new(
-                    CampaignConfig::new(w, component, faults).runs(40).seed(13),
-                )
-                .run();
+                let r = Campaign::new(CampaignConfig::new(w, component, faults).runs(40).seed(13))
+                    .run();
                 (r.avf(), r.fault_free_cycles)
             })
             .collect();
@@ -38,7 +36,10 @@ fn mini_pipeline_produces_consistent_artifacts() {
         let v = node_avf(&avf, node);
         let lo = per_card.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = per_card.iter().cloned().fold(0.0f64, f64::max);
-        assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{node}: {v} outside [{lo}, {hi}]");
+        assert!(
+            v >= lo - 1e-12 && v <= hi + 1e-12,
+            "{node}: {v} outside [{lo}, {hi}]"
+        );
     }
 
     // Eq. 4: FIT scales linearly with raw FIT per bit across nodes.
@@ -98,7 +99,10 @@ fn fit_trend_is_rise_then_fall_for_any_profile() {
         for c in HwComponent::ALL {
             avfs.insert(c, ComponentAvf::new(s, d, t));
         }
-        let series: Vec<f64> = TechNode::ALL.iter().map(|&n| cpu_fit(&avfs, n).total).collect();
+        let series: Vec<f64> = TechNode::ALL
+            .iter()
+            .map(|&n| cpu_fit(&avfs, n).total)
+            .collect();
         let peak = series.iter().cloned().fold(0.0f64, f64::max);
         assert_eq!(series[2], peak, "peak at 130 nm");
         assert!(series[7] < series[0], "22 nm below 250 nm");

@@ -33,7 +33,9 @@ fn masks_are_always_in_bounds_for_every_component() {
 fn every_component_campaign_classifies_cleanly() {
     for c in HwComponent::ALL {
         let r = Campaign::new(
-            CampaignConfig::new(Workload::Stringsearch, c, 3).runs(12).seed(5),
+            CampaignConfig::new(Workload::Stringsearch, c, 3)
+                .runs(12)
+                .seed(5),
         )
         .run();
         assert_eq!(r.counts.total(), 12, "{c}");
@@ -68,7 +70,10 @@ fn masked_runs_have_bit_identical_output() {
             }
         }
     }
-    assert!(masked_seen > 0, "L2 single-bit faults should frequently mask");
+    assert!(
+        masked_seen > 0,
+        "L2 single-bit faults should frequently mask"
+    );
 }
 
 /// A flip injected after the program's last use of the data is masked:
@@ -112,9 +117,14 @@ fn double_flip_is_transparent() {
 fn itlb_faults_do_not_silently_corrupt_output() {
     let mut sdc = 0;
     let mut vulnerable = 0;
-    for (i, w) in [Workload::Dijkstra, Workload::Qsort, Workload::SusanE].iter().enumerate() {
+    for (i, w) in [Workload::Dijkstra, Workload::Qsort, Workload::SusanE]
+        .iter()
+        .enumerate()
+    {
         let r = Campaign::new(
-            CampaignConfig::new(*w, HwComponent::ITlb, 3).runs(60).seed(i as u64),
+            CampaignConfig::new(*w, HwComponent::ITlb, 3)
+                .runs(60)
+                .seed(i as u64),
         )
         .run();
         sdc += r.counts.sdc;
@@ -148,7 +158,9 @@ fn undefined_encoding_through_hierarchy_crashes() {
 #[test]
 fn class_fractions_sum_to_one_for_real_campaigns() {
     let r = Campaign::new(
-        CampaignConfig::new(Workload::SusanS, HwComponent::RegFile, 2).runs(30).seed(77),
+        CampaignConfig::new(Workload::SusanS, HwComponent::RegFile, 2)
+            .runs(30)
+            .seed(77),
     )
     .run();
     let total: f64 = FaultEffect::ALL.iter().map(|&e| r.counts.fraction(e)).sum();

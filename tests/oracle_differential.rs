@@ -1,0 +1,103 @@
+//! Differential validation of the liveness-oracle fast path: campaigns with
+//! the oracle enabled must produce *bit-identical* classifications to full
+//! simulation — the oracle may only change wall-clock, never results — and
+//! a provably-dead flipped bit must never change program output.
+
+use mbu_ace::LivenessOracle;
+use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
+use mbu_gefin::campaign::{Campaign, CampaignConfig};
+use mbu_sram::BitCoord;
+use mbu_workloads::Workload;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Seeded sweep over (component × workload × cardinality): with and without
+/// the oracle the counts, per-run details, and anomaly logs are identical,
+/// and across the sweep the oracle skips a nonzero number of runs.
+#[test]
+fn oracle_prefilter_is_bit_identical_across_components_and_workloads() {
+    let workloads = [Workload::Stringsearch, Workload::Sha, Workload::Qsort];
+    let mut total_skips = 0u64;
+    let mut total_runs = 0u64;
+    for component in HwComponent::ALL {
+        for (w, &workload) in workloads.iter().enumerate() {
+            for faults in [1usize, 2] {
+                let base = CampaignConfig::new(workload, component, faults)
+                    .runs(6)
+                    .seed(0xACE0 + w as u64)
+                    .collect_details(true);
+                let plain = Campaign::new(base.clone()).run();
+                let fast = Campaign::new(base.use_liveness_oracle(true)).run();
+                assert_eq!(
+                    plain.counts, fast.counts,
+                    "{component}/{workload}/{faults}-bit: counts diverged"
+                );
+                assert_eq!(
+                    plain.details, fast.details,
+                    "{component}/{workload}/{faults}-bit: per-run details diverged"
+                );
+                assert_eq!(plain.anomalies, fast.anomalies);
+                assert_eq!(plain.oracle_skips, 0, "oracle off must never skip");
+                total_skips += fast.oracle_skips;
+                total_runs += fast.counts.total();
+            }
+        }
+    }
+    assert!(
+        total_skips > 0,
+        "oracle never skipped any of {total_runs} runs across the sweep"
+    );
+    assert!(total_skips < total_runs, "oracle cannot skip everything");
+}
+
+struct DeadBitFixture {
+    core: CoreConfig,
+    oracle: LivenessOracle,
+    golden_output: Vec<u8>,
+    golden_cycles: u64,
+}
+
+fn fixture() -> &'static DeadBitFixture {
+    static FIX: OnceLock<DeadBitFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let core = CoreConfig::cortex_a9_like();
+        let program = Workload::Stringsearch.program();
+        let oracle = LivenessOracle::build(core, &program, HwComponent::L2).expect("oracle");
+        let golden = Simulator::new(core, &program).run(u64::MAX / 8);
+        assert!(matches!(golden.end, RunEnd::Exited { code: 0 }));
+        DeadBitFixture {
+            core,
+            oracle,
+            golden_output: golden.output,
+            golden_cycles: golden.cycles,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any bit the oracle calls dead at a random injection cycle really is
+    /// masked: flipping it leaves output, exit code, and cycle count of the
+    /// simulated run bit-identical to the golden run.
+    #[test]
+    fn provably_dead_flips_never_change_output(
+        row_sel in any::<prop::sample::Index>(),
+        col_sel in any::<prop::sample::Index>(),
+        cycle_sel in any::<prop::sample::Index>()
+    ) {
+        let fix = fixture();
+        let program = Workload::Stringsearch.program();
+        let g = Simulator::new(fix.core, &program).component_geometry(HwComponent::L2);
+        let coord = BitCoord::new(row_sel.index(g.rows()), col_sel.index(g.cols()));
+        let at = cycle_sel.index(fix.golden_cycles as usize) as u64;
+        prop_assume!(fix.oracle.provably_masked(&[coord], at));
+        let mut sim = Simulator::new(fix.core, &program);
+        prop_assert!(sim.run_until_cycle(at).is_none());
+        sim.inject_flips(HwComponent::L2, &[coord]);
+        let end = sim.run_until_cycle(fix.golden_cycles * 4);
+        prop_assert_eq!(end, Some(RunEnd::Exited { code: 0 }));
+        prop_assert_eq!(sim.output(), &fix.golden_output[..]);
+        prop_assert_eq!(sim.cycle(), fix.golden_cycles, "dead flip must not perturb timing");
+    }
+}
