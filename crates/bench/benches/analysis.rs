@@ -32,6 +32,7 @@ fn full_store() -> ResultStore {
                     details: None,
                     anomalies: AnomalyLog::new(),
                     oracle_skips: 0,
+                    achieved_margin: Some(0.0251),
                 });
             }
         }

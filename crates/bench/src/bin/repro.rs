@@ -13,6 +13,9 @@
 //!                    components x workloads (checkpointed)
 //!   occupancy        per-structure liveness + pipeline occupancy for one
 //!                    workload (--workload), time series saved to results/
+//!   verify-store <csv>  read-only integrity audit of a checkpoint file:
+//!                    format version, per-row CRCs, golden-run fingerprints
+//!                    vs the current binaries
 //!   all              everything in paper order
 //!
 //! flags:
@@ -22,7 +25,9 @@
 //!   --out <path>     results CSV path (default results/measured.csv)
 //!   --workload <w>   workload for `occupancy` (default stringsearch)
 //!
-//! environment: MBU_RUNS, MBU_SEED, MBU_THREADS, MBU_WORKLOADS.
+//! environment: MBU_RUNS, MBU_SEED, MBU_THREADS, MBU_WORKLOADS,
+//! MBU_ADAPTIVE_MARGIN (adaptive early stopping), MBU_DEADLINE_SECS
+//! (sweep wall-clock budget).
 //! ```
 
 use mbu_bench::{AnalyticalStore, Experiments, ResultStore};
@@ -35,6 +40,8 @@ use std::process::ExitCode;
 
 struct Options {
     experiment: String,
+    /// Second positional argument (the file to audit for `verify-store`).
+    target: Option<PathBuf>,
     use_paper: bool,
     csv: bool,
     chart: bool,
@@ -45,6 +52,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mut experiment = None;
+    let mut target = None;
     let mut use_paper = false;
     let mut csv = false;
     let mut out = PathBuf::from("results/measured.csv");
@@ -68,11 +76,15 @@ fn parse_args() -> Result<Options, String> {
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
             }
+            other if experiment.is_some() && target.is_none() && !other.starts_with('-') => {
+                target = Some(PathBuf::from(other));
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(Options {
         experiment: experiment.ok_or("missing experiment id")?,
+        target,
         use_paper,
         csv,
         chart,
@@ -83,8 +95,10 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() {
     eprintln!(
-        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|xval|occupancy|all> [--paper] [--csv] [--chart] [--out path] [--workload w]\n\
-         env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS"
+        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|xval|occupancy|verify-store|all> [--paper] [--csv] [--chart] [--out path] [--workload w]\n\
+         \x20      repro verify-store <checkpoint.csv>   read-only integrity audit\n\
+         env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS,\n\
+         \x20      MBU_ADAPTIVE_MARGIN, MBU_DEADLINE_SECS"
     );
 }
 
@@ -108,15 +122,35 @@ fn fig_component(id: &str) -> Option<HwComponent> {
     })
 }
 
-/// Loads the measured store, or an empty one.
+/// Loads the measured store crash-safely: defective rows are quarantined
+/// (with a warning) rather than discarding the whole checkpoint, and
+/// pre-integrity files are upgraded in place.
 fn load_store(opts: &Options) -> ResultStore {
-    if opts.out.exists() {
-        match ResultStore::load(&opts.out) {
-            Ok(s) => return s,
-            Err(e) => eprintln!("warning: could not load {}: {e}", opts.out.display()),
+    match ResultStore::recover(&opts.out) {
+        Ok((store, audit)) => {
+            if !audit.quarantined.is_empty() {
+                eprintln!(
+                    "warning: {} defective row(s) in {} moved to {} ({} intact rows kept)",
+                    audit.quarantined.len(),
+                    opts.out.display(),
+                    mbu_bench::store::quarantine_path(&opts.out).display(),
+                    audit.rows_loaded,
+                );
+            }
+            if audit.version == mbu_bench::StoreVersion::Legacy {
+                eprintln!(
+                    "warning: {} was a pre-integrity (v1) checkpoint without checksums or \
+                     fingerprints; upgraded to v2 in place",
+                    opts.out.display()
+                );
+            }
+            store
+        }
+        Err(e) => {
+            eprintln!("warning: could not load {}: {e}", opts.out.display());
+            ResultStore::new()
         }
     }
-    ResultStore::new()
 }
 
 fn derived_avfs(
@@ -154,8 +188,27 @@ fn measure_all(e: &Experiments, opts: &Options, store: &mut ResultStore) {
                         opts.out.display()
                     );
                 }
+                if report.stale_rerun > 0 {
+                    eprintln!(
+                        "  re-ran {} campaign(s) whose golden-run fingerprint was stale",
+                        report.stale_rerun
+                    );
+                }
+                if report.legacy_unverified > 0 {
+                    eprintln!(
+                        "  kept {} unverifiable pre-integrity campaign(s) (no fingerprint)",
+                        report.legacy_unverified
+                    );
+                }
+                if let Some(m) = report.worst_margin() {
+                    eprintln!("  worst achieved margin: ±{:.2}%", m * 100.0);
+                }
                 for ((comp, w, faults), err) in &report.failed {
                     eprintln!("  warning: skipped {comp}/{w}/{faults}-bit: {err}");
+                }
+                if report.deadline_expired {
+                    eprintln!("  deadline expired: partial results checkpointed; re-run to resume");
+                    break;
                 }
             }
             Err(err) => {
@@ -294,6 +347,17 @@ fn run(opts: &Options) -> Result<(), String> {
             let mut store = load_store(opts);
             measure_all(&e, opts, &mut store);
             eprintln!("saved {} campaigns to {}", store.len(), opts.out.display());
+        }
+        "verify-store" => {
+            // Read-only: audits without quarantining, rewriting or
+            // re-running anything.
+            let path = opts.target.clone().unwrap_or_else(|| opts.out.clone());
+            eprintln!(
+                "auditing {} (read-only; recomputing golden-run fingerprints)",
+                path.display()
+            );
+            let table = e.verify_store(&path).map_err(|err| err.to_string())?;
+            emit(&table, opts.csv);
         }
         "all" => {
             emit(&e.table1(), opts.csv);

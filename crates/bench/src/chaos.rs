@@ -1,0 +1,249 @@
+//! Chaos harness for the injector's *own* infrastructure.
+//!
+//! The paper's methodology stands on the campaign engine being more
+//! reliable than the hardware it models. This module turns the fault
+//! injector on itself: [`ChaosIo`] wraps a [`StoreIo`] and injects
+//! filesystem failures (rejected appends, torn writes, stalls) at
+//! scripted call indices, and the file-corruption helpers flip bits and
+//! truncate checkpoints at rest. The integration tests in
+//! `tests/chaos.rs` use these to assert the sweep-level invariant:
+//!
+//! > Every sweep either completes with results **bit-identical** to an
+//! > unfaulted sweep, or fails with a **typed error** — and a subsequent
+//! > resume reproduces the unfaulted results exactly.
+//!
+//! Nothing here is test-only cfg'd: the harness is part of the public
+//! surface so downstream users can chaos-test their own campaign drivers.
+
+use crate::io::StoreIo;
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Which append calls misbehave, by 0-based call index. A retried append
+/// is a *new* call index, so transient-failure plans compose naturally
+/// with [`crate::io::RetryIo`].
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    /// Appends that fail outright (no bytes written).
+    pub fail_appends: BTreeSet<usize>,
+    /// One append that tears: only the first `keep_bytes` bytes reach the
+    /// file, then the call reports failure — a crash mid-write.
+    pub torn_append: Option<(usize, usize)>,
+    /// From this call index on, *every* append fails (a persistently dead
+    /// disk, not a transient hiccup).
+    pub fail_appends_from: Option<usize>,
+    /// Sleep this long before every append (a stalled NFS mount).
+    pub stall: Option<Duration>,
+}
+
+impl ChaosPlan {
+    /// No chaos at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail exactly the given append call indices.
+    pub fn failing(indices: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            fail_appends: indices.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    fn should_fail(&self, index: usize) -> bool {
+        if self.fail_appends.contains(&index) {
+            return true;
+        }
+        matches!(self.fail_appends_from, Some(from) if index >= from)
+    }
+}
+
+/// A [`StoreIo`] that injects scripted failures into append calls while
+/// delegating everything else to the wrapped I/O. Reads and atomic writes
+/// stay healthy: the interesting crash surface of a checkpointed sweep is
+/// the incremental append path.
+pub struct ChaosIo<'a> {
+    inner: &'a dyn StoreIo,
+    appends: AtomicUsize,
+    plan: Mutex<ChaosPlan>,
+}
+
+impl<'a> ChaosIo<'a> {
+    /// Wraps `inner` with a failure plan.
+    pub fn new(inner: &'a dyn StoreIo, plan: ChaosPlan) -> Self {
+        Self {
+            inner,
+            appends: AtomicUsize::new(0),
+            plan: Mutex::new(plan),
+        }
+    }
+
+    /// How many append calls have been attempted so far.
+    pub fn append_calls(&self) -> usize {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the failure plan mid-flight (e.g. heal the disk after a
+    /// crash has been provoked).
+    pub fn set_plan(&self, plan: ChaosPlan) {
+        *self.plan.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    }
+
+    fn plan_snapshot(&self) -> ChaosPlan {
+        self.plan.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl StoreIo for ChaosIo<'_> {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        self.inner.read_to_string(path)
+    }
+
+    fn append(&self, path: &Path, text: &str) -> io::Result<()> {
+        let index = self.appends.fetch_add(1, Ordering::Relaxed);
+        let plan = self.plan_snapshot();
+        if let Some(stall) = plan.stall {
+            std::thread::sleep(stall);
+        }
+        if let Some((torn_index, keep_bytes)) = plan.torn_append {
+            if index == torn_index {
+                let keep = keep_bytes.min(text.len());
+                // Write the prefix through the healthy inner I/O, then
+                // report failure: the caller sees an error, the file holds
+                // a torn row.
+                self.inner.append(path, &text[..keep])?;
+                return Err(io::Error::other(format!(
+                    "chaos: append {index} torn after {keep} bytes"
+                )));
+            }
+        }
+        if plan.should_fail(index) {
+            return Err(io::Error::other(format!("chaos: append {index} rejected")));
+        }
+        self.inner.append(path, text)
+    }
+
+    fn write_atomic(&self, path: &Path, text: &str) -> io::Result<()> {
+        self.inner.write_atomic(path, text)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.len(path)
+    }
+}
+
+/// Truncates the file to its first `keep` bytes — a crash that tore the
+/// tail off a checkpoint.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn truncate_file(path: &Path, keep: u64) -> io::Result<()> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep)?;
+    file.sync_all()
+}
+
+/// Flips one bit of the file in place — silent at-rest corruption, exactly
+/// the fault model the paper studies, aimed at the injector's own records.
+///
+/// # Errors
+///
+/// Propagates I/O errors; out-of-range `byte` is an error, not a panic.
+pub fn flip_file_bit(path: &Path, byte: u64, bit: u8) -> io::Result<()> {
+    let mut data = std::fs::read(path)?;
+    let i = usize::try_from(byte).map_err(io::Error::other)?;
+    if i >= data.len() {
+        return Err(io::Error::other(format!(
+            "byte {i} out of range (file is {} bytes)",
+            data.len()
+        )));
+    }
+    data[i] ^= 1 << (bit % 8);
+    std::fs::write(path, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::RealIo;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mbu-chaos-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn scripted_appends_fail_and_heal() {
+        let dir = tmpdir("plan");
+        let path = dir.join("f.csv");
+        let io = ChaosIo::new(&RealIo, ChaosPlan::failing([1]));
+        io.append(&path, "a\n").unwrap();
+        assert!(io.append(&path, "b\n").is_err(), "call 1 scripted to fail");
+        io.append(&path, "c\n").unwrap();
+        assert_eq!(io.read_to_string(&path).unwrap(), "a\nc\n");
+        assert_eq!(io.append_calls(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_append_leaves_prefix_and_errors() {
+        let dir = tmpdir("torn");
+        let path = dir.join("f.csv");
+        let io = ChaosIo::new(
+            &RealIo,
+            ChaosPlan {
+                torn_append: Some((0, 4)),
+                ..ChaosPlan::default()
+            },
+        );
+        let err = io.append(&path, "0123456789\n").unwrap_err();
+        assert!(err.to_string().contains("torn"));
+        assert_eq!(io.read_to_string(&path).unwrap(), "0123");
+        // The next call is healthy.
+        io.append(&path, "rest\n").unwrap();
+        assert_eq!(io.read_to_string(&path).unwrap(), "0123rest\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_failure_from_index() {
+        let dir = tmpdir("dead");
+        let path = dir.join("f.csv");
+        let io = ChaosIo::new(
+            &RealIo,
+            ChaosPlan {
+                fail_appends_from: Some(1),
+                ..ChaosPlan::default()
+            },
+        );
+        io.append(&path, "a\n").unwrap();
+        for _ in 0..3 {
+            assert!(io.append(&path, "x\n").is_err());
+        }
+        // Healing the plan restores service.
+        io.set_plan(ChaosPlan::none());
+        io.append(&path, "b\n").unwrap();
+        assert_eq!(io.read_to_string(&path).unwrap(), "a\nb\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_corruption_helpers() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("f.csv");
+        RealIo.append(&path, "hello world\n").unwrap();
+        flip_file_bit(&path, 0, 1).unwrap();
+        assert_eq!(RealIo.read_to_string(&path).unwrap(), "jello world\n");
+        truncate_file(&path, 5).unwrap();
+        assert_eq!(RealIo.read_to_string(&path).unwrap(), "jello");
+        assert!(
+            flip_file_bit(&path, 999, 0).is_err(),
+            "out of range is typed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,18 +1,25 @@
 //! The per-table / per-figure experiment implementations.
 
-use crate::store::{component_slug, AnalyticalRow, AnalyticalStore, Key, ResultStore, StoreError};
+use crate::io::{RealIo, RetryIo, RetryPolicy, StoreIo};
+use crate::store::{
+    component_slug, AnalyticalRow, AnalyticalStore, Key, ResultStore, StoreError, StoreVersion,
+};
 use mbu_ace::{capture, AceStructure, CaptureError, LivenessMap};
 use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
 use mbu_gefin::avf::{weighted_avf, ClassBreakdown, ComponentAvf};
 use mbu_gefin::beam::{run_beam, BeamConfig};
-use mbu_gefin::campaign::{Campaign, CampaignConfig, CampaignResult, InjectionTarget};
+use mbu_gefin::campaign::{
+    AdaptiveSpec, Campaign, CampaignConfig, CampaignResult, InjectionTarget,
+};
 use mbu_gefin::classify::FaultEffect;
 use mbu_gefin::error::CampaignError;
 use mbu_gefin::fit::cpu_fit;
+use mbu_gefin::integrity::{golden_fingerprint, GoldenFingerprint};
 use mbu_gefin::mask::{ClusterSpec, MaskGenerator};
 use mbu_gefin::paper;
 use mbu_gefin::report::{
-    cross_validation_table, factor, pct, stacked_chart, AvfCrossValidation, StackedBar, Table,
+    cross_validation_table, factor, pct, pct_opt, stacked_chart, AvfCrossValidation, StackedBar,
+    Table,
 };
 use mbu_gefin::stats::{error_margin, fault_population, Z_99};
 use mbu_gefin::tech::{
@@ -21,6 +28,7 @@ use mbu_gefin::tech::{
 use mbu_workloads::Workload;
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// What a [`Experiments::run_sweep`] call actually did — the resume
 /// accounting that lets callers (and tests) verify that completed campaigns
@@ -34,12 +42,63 @@ pub struct SweepReport {
     /// Campaigns that could not run (e.g. a failed golden run); the sweep
     /// continues past them.
     pub failed: Vec<(Key, CampaignError)>,
+    /// Checkpointed campaigns whose golden-run fingerprint no longer
+    /// matches the current binaries/configuration; they were re-run, not
+    /// merged.
+    pub stale_rerun: usize,
+    /// Checkpointed campaigns carrying no fingerprint (pre-integrity
+    /// files); kept as-is, but flagged — their provenance is unverifiable.
+    pub legacy_unverified: usize,
+    /// Whether the sweep stopped early because its wall-clock deadline
+    /// expired. Everything finished up to that point is checkpointed;
+    /// re-running resumes where it stopped.
+    pub deadline_expired: bool,
+    /// Achieved error margin per campaign, for every campaign that has one
+    /// (executed this call or loaded from a v2 checkpoint).
+    pub margins: Vec<(Key, f64)>,
 }
 
 impl SweepReport {
     /// Whether every attempted campaign succeeded.
     pub fn is_clean(&self) -> bool {
         self.failed.is_empty()
+    }
+
+    /// The worst (largest) achieved margin across the sweep, if any
+    /// campaign reported one.
+    pub fn worst_margin(&self) -> Option<f64> {
+        self.margins
+            .iter()
+            .map(|(_, m)| *m)
+            .max_by(|a, b| a.total_cmp(b))
+    }
+}
+
+/// Knobs governing how a sweep interacts with the outside world: which I/O
+/// implementation checkpoint writes go through, how transient failures are
+/// retried, the wall-clock deadline, and whether checkpoint rows are
+/// verified against the current golden-run fingerprints on resume.
+pub struct SweepControl<'a> {
+    /// The checkpoint I/O layer (the chaos harness substitutes its own).
+    pub io: &'a dyn StoreIo,
+    /// Retry policy for transient checkpoint I/O failures.
+    pub retry: RetryPolicy,
+    /// Hard wall-clock deadline; when it passes, the sweep stops cleanly
+    /// with partial, checkpointed results instead of being killed.
+    pub deadline: Option<Instant>,
+    /// Re-verify each resumed row's golden-run fingerprint and re-run rows
+    /// that no longer match (on by default).
+    pub verify_fingerprints: bool,
+}
+
+impl Default for SweepControl<'static> {
+    fn default() -> Self {
+        Self {
+            io: &RealIo,
+            retry: RetryPolicy::DEFAULT,
+            deadline: None,
+            verify_fingerprints: true,
+        }
     }
 }
 
@@ -62,6 +121,12 @@ pub struct Experiments {
     pub core: CoreConfig,
     /// Print progress lines while measuring.
     pub verbose: bool,
+    /// Margin-driven adaptive early stopping per campaign
+    /// (`MBU_ADAPTIVE_MARGIN`, default off: fixed `runs` per campaign).
+    pub adaptive: Option<AdaptiveSpec>,
+    /// Wall-clock budget for a whole sweep (`MBU_DEADLINE_SECS`, default
+    /// none); on expiry the sweep stops cleanly with partial results.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for Experiments {
@@ -73,6 +138,8 @@ impl Default for Experiments {
             workloads: Workload::ALL.to_vec(),
             core: CoreConfig::cortex_a9_like(),
             verbose: false,
+            adaptive: None,
+            deadline: None,
         }
     }
 }
@@ -95,6 +162,18 @@ impl Experiments {
                 .split(',')
                 .map(|s| s.trim().parse().expect("unknown workload in MBU_WORKLOADS"))
                 .collect();
+        }
+        if let Ok(v) = std::env::var("MBU_ADAPTIVE_MARGIN") {
+            let target_margin: f64 = v.parse().expect("MBU_ADAPTIVE_MARGIN must be a float");
+            e.adaptive = Some(AdaptiveSpec {
+                target_margin,
+                ..AdaptiveSpec::paper()
+            });
+        }
+        if let Ok(v) = std::env::var("MBU_DEADLINE_SECS") {
+            e.deadline = Some(Duration::from_secs(
+                v.parse().expect("MBU_DEADLINE_SECS must be an integer"),
+            ));
         }
         e
     }
@@ -187,6 +266,24 @@ impl Experiments {
         t
     }
 
+    /// The campaign configuration for one (component, workload,
+    /// cardinality) — the single source of truth both execution paths and
+    /// the fingerprint computation share.
+    fn campaign_config(
+        &self,
+        component: HwComponent,
+        workload: Workload,
+        faults: usize,
+    ) -> CampaignConfig {
+        let mut cfg = CampaignConfig::new(workload, component, faults)
+            .runs(self.runs)
+            .seed(self.seed)
+            .threads(self.threads)
+            .adaptive(self.adaptive);
+        cfg.core = self.core;
+        cfg
+    }
+
     /// Runs one campaign.
     pub fn campaign(
         &self,
@@ -194,13 +291,7 @@ impl Experiments {
         workload: Workload,
         faults: usize,
     ) -> CampaignResult {
-        Campaign::new(
-            CampaignConfig::new(workload, component, faults)
-                .runs(self.runs)
-                .seed(self.seed)
-                .threads(self.threads),
-        )
-        .run()
+        Campaign::new(self.campaign_config(component, workload, faults)).run()
     }
 
     /// Runs one campaign without panicking on configuration/golden-run
@@ -211,13 +302,7 @@ impl Experiments {
         workload: Workload,
         faults: usize,
     ) -> Result<CampaignResult, CampaignError> {
-        Campaign::try_new(
-            CampaignConfig::new(workload, component, faults)
-                .runs(self.runs)
-                .seed(self.seed)
-                .threads(self.threads),
-        )?
-        .try_run()
+        Campaign::try_new(self.campaign_config(component, workload, faults))?.try_run()
     }
 
     /// The crash-safe sweep driver: runs every missing (component, workload,
@@ -242,14 +327,106 @@ impl Experiments {
         store: &mut ResultStore,
         checkpoint: Option<&Path>,
     ) -> Result<SweepReport, StoreError> {
+        let control = SweepControl {
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            ..SweepControl::default()
+        };
+        self.run_sweep_with(components, store, checkpoint, &control)
+    }
+
+    /// The current golden-run fingerprint of `workload`, computed lazily
+    /// and cached (`None` if the golden run fails — the campaign itself
+    /// will then report the failure in detail).
+    fn current_fingerprint(
+        &self,
+        cache: &mut BTreeMap<Workload, Option<GoldenFingerprint>>,
+        workload: Workload,
+    ) -> Option<GoldenFingerprint> {
+        *cache
+            .entry(workload)
+            .or_insert_with(|| golden_fingerprint(self.core, workload).ok())
+    }
+
+    /// [`Experiments::run_sweep`] with explicit [`SweepControl`]: the form
+    /// the chaos harness drives, and the one to use for custom I/O, retry,
+    /// deadline or fingerprint-verification policies.
+    ///
+    /// On resume, each checkpointed row's stored golden-run fingerprint is
+    /// compared against the fingerprint the current binaries produce; a
+    /// mismatch means the simulator, core configuration or workload changed
+    /// underneath the checkpoint, so the row is **re-run**, not merged.
+    /// Rows from pre-integrity files carry no fingerprint; they are kept
+    /// (old results are not orphaned) but counted in
+    /// [`SweepReport::legacy_unverified`].
+    ///
+    /// # Errors
+    ///
+    /// Only checkpoint I/O aborts the sweep (after the retry policy is
+    /// exhausted) — losing the ability to flush would silently forfeit
+    /// crash-safety. Campaign failures never do.
+    pub fn run_sweep_with(
+        &self,
+        components: &[HwComponent],
+        store: &mut ResultStore,
+        checkpoint: Option<&Path>,
+        control: &SweepControl<'_>,
+    ) -> Result<SweepReport, StoreError> {
+        let retry_io = RetryIo::new(control.io, control.retry);
         let mut report = SweepReport::default();
-        for &component in components {
+        let mut fingerprints: BTreeMap<Workload, Option<GoldenFingerprint>> = BTreeMap::new();
+        'sweep: for &component in components {
             for &w in &self.workloads {
                 let mut workload_poisoned = false;
                 for faults in 1..=3 {
+                    if let Some(deadline) = control.deadline {
+                        if Instant::now() >= deadline {
+                            report.deadline_expired = true;
+                            if self.verbose {
+                                eprintln!(
+                                    "  sweep deadline expired; stopping with partial results"
+                                );
+                            }
+                            break 'sweep;
+                        }
+                    }
                     if store.contains(component, w, faults) {
-                        report.skipped_existing += 1;
-                        continue;
+                        let stale = control.verify_fingerprints
+                            && match store.fingerprint(component, w, faults) {
+                                None => {
+                                    report.legacy_unverified += 1;
+                                    if self.verbose {
+                                        eprintln!(
+                                            "  warning: {component}/{w}/{faults}-bit comes from a \
+                                             pre-integrity checkpoint (no fingerprint); kept as-is"
+                                        );
+                                    }
+                                    false
+                                }
+                                Some(stored) => {
+                                    // An unobtainable current fingerprint
+                                    // (golden run fails today) cannot prove
+                                    // staleness; the row is kept.
+                                    self.current_fingerprint(&mut fingerprints, w)
+                                        .is_some_and(|current| current != stored)
+                                }
+                            };
+                        if !stale {
+                            report.skipped_existing += 1;
+                            if let Some(m) = store
+                                .get(component, w, faults)
+                                .and_then(|r| r.achieved_margin)
+                            {
+                                report.margins.push(((component, w, faults), m));
+                            }
+                            continue;
+                        }
+                        report.stale_rerun += 1;
+                        if self.verbose {
+                            eprintln!(
+                                "  {component}/{w}/{faults}-bit checkpoint is stale \
+                                 (fingerprint mismatch); re-running"
+                            );
+                        }
                     }
                     if workload_poisoned {
                         continue;
@@ -257,16 +434,20 @@ impl Experiments {
                     match self.try_campaign(component, w, faults) {
                         Ok(r) => {
                             report.executed += 1;
+                            if let Some(m) = r.achieved_margin {
+                                report.margins.push(((component, w, faults), m));
+                            }
                             if self.verbose {
                                 eprintln!("  {r}");
                                 if !r.anomalies.is_empty() {
                                     eprintln!("  {}", r.anomalies);
                                 }
                             }
+                            let fp = self.current_fingerprint(&mut fingerprints, w);
                             if let Some(path) = checkpoint {
-                                ResultStore::append_row(path, &r)?;
+                                ResultStore::append_row_with(&retry_io, path, &r, fp)?;
                             }
-                            store.insert(r);
+                            store.insert_with_fingerprint(r, fp);
                         }
                         Err(e) => {
                             if self.verbose {
@@ -283,6 +464,73 @@ impl Experiments {
             }
         }
         Ok(report)
+    }
+
+    /// Read-only integrity audit of a checkpoint file: format version,
+    /// per-row CRC verification, and each stored golden-run fingerprint
+    /// checked against what the *current* binaries produce. Nothing is
+    /// modified — defective rows are reported, not quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and [`StoreError::UnsupportedVersion`].
+    pub fn verify_store(&self, path: &Path) -> Result<Table, StoreError> {
+        let text = std::fs::read_to_string(path)?;
+        let (store, audit) = ResultStore::from_csv_lossy(&text)?;
+        let mut t = Table::new(
+            &format!("Checkpoint audit — {}", path.display()),
+            &["Check", "Result"],
+        );
+        t.row(vec![
+            "format version".into(),
+            match audit.version {
+                StoreVersion::V2 => "v2 (checksummed)".into(),
+                StoreVersion::Legacy => "legacy v1 (no checksums, no fingerprints)".into(),
+            },
+        ]);
+        t.row(vec!["rows parsed".into(), audit.rows_loaded.to_string()]);
+        t.row(vec!["distinct campaigns".into(), store.len().to_string()]);
+        t.row(vec![
+            "defective rows".into(),
+            audit.quarantined.len().to_string(),
+        ]);
+        for q in &audit.quarantined {
+            t.row(vec![format!("  line {}", q.line), q.defect.to_string()]);
+        }
+        let mut fingerprints: BTreeMap<Workload, Option<GoldenFingerprint>> = BTreeMap::new();
+        let (mut fresh, mut stale, mut unstamped) = (0usize, 0usize, 0usize);
+        for r in store.iter() {
+            match store.fingerprint(r.component, r.workload, r.faults) {
+                None => unstamped += 1,
+                Some(stored) => match self.current_fingerprint(&mut fingerprints, r.workload) {
+                    Some(current) if current == stored => fresh += 1,
+                    _ => stale += 1,
+                },
+            }
+        }
+        t.row(vec![
+            "fingerprints matching current binaries".into(),
+            fresh.to_string(),
+        ]);
+        t.row(vec![
+            "fingerprints stale (would re-run on resume)".into(),
+            stale.to_string(),
+        ]);
+        t.row(vec![
+            "rows without fingerprint".into(),
+            unstamped.to_string(),
+        ]);
+        let margins: Vec<f64> = store.iter().filter_map(|r| r.achieved_margin).collect();
+        t.row(vec![
+            "worst achieved margin".into(),
+            margins
+                .iter()
+                .copied()
+                .max_by(f64::total_cmp)
+                .map(pct)
+                .unwrap_or_else(|| "-".into()),
+        ]);
+        Ok(t)
     }
 
     /// Runs the full campaign set of one component (every workload × 1/2/3
@@ -322,6 +570,7 @@ impl Experiments {
                 "Timeout",
                 "Assert",
                 "AVF",
+                "±margin",
             ],
         );
         for &w in &self.workloads {
@@ -337,6 +586,7 @@ impl Experiments {
                         pct(b.timeout),
                         pct(b.assert_),
                         pct(b.avf()),
+                        pct_opt(r.achieved_margin),
                     ]);
                 }
             }
@@ -445,26 +695,32 @@ impl Experiments {
                     3 => format!("+{:.2}%", a.pct_increase_2_to_3()),
                     _ => "-".into(),
                 };
-                // Mean fault population across workloads for the margin.
-                let mean_cycles = self
+                // Mean fault population and mean executed sample count
+                // across workloads for the margin (adaptive campaigns may
+                // have stopped short of the configured run cap).
+                let present: Vec<&CampaignResult> = self
                     .workloads
                     .iter()
-                    .filter_map(|&w| store.get(c, w, faults).map(|r| r.fault_free_cycles))
-                    .sum::<u64>()
-                    / self.workloads.len().max(1) as u64;
+                    .filter_map(|&w| store.get(c, w, faults))
+                    .collect();
+                let denom = present.len().max(1) as u64;
+                let mean_cycles = present.iter().map(|r| r.fault_free_cycles).sum::<u64>() / denom;
+                let mean_samples = present.iter().map(|r| r.counts.total()).sum::<u64>() / denom;
                 let population = fault_population(component_bits(c), mean_cycles.max(1));
                 let margin = error_margin(
                     population,
-                    (self.runs as u64).min(population),
+                    mean_samples.clamp(1, population),
                     Z_99,
                     avf.clamp(0.01, 0.99),
-                );
+                )
+                .map(pct)
+                .unwrap_or_else(|_| "-".into());
                 t.row(vec![
                     c.to_string(),
                     faults.to_string(),
                     pct(avf),
                     increase,
-                    pct(margin),
+                    margin,
                     pct(p.for_cardinality(faults)),
                 ]);
             }

@@ -17,13 +17,24 @@
 //! * `MBU_SEED` — campaign seed (default `0x6EF1_2019`).
 //! * `MBU_THREADS` — worker threads (default: available parallelism).
 //! * `MBU_WORKLOADS` — comma-separated subset of workload names.
+//! * `MBU_ADAPTIVE_MARGIN` — target error margin (e.g. `0.0288`); enables
+//!   margin-driven adaptive early stopping per campaign.
+//! * `MBU_DEADLINE_SECS` — wall-clock budget for a whole sweep; on expiry
+//!   the sweep stops cleanly with partial (checkpointed) results.
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod experiments;
+pub mod io;
 pub mod store;
 #[cfg(feature = "bench-harness")]
 pub mod tinybench;
 
-pub use experiments::{ComponentData, Experiments, SweepReport};
-pub use store::{AnalyticalRow, AnalyticalStore, ResultStore, StoreError};
+pub use chaos::{ChaosIo, ChaosPlan};
+pub use experiments::{ComponentData, Experiments, SweepControl, SweepReport};
+pub use io::{RealIo, RetryIo, RetryPolicy, StoreIo};
+pub use store::{
+    AnalyticalRow, AnalyticalStore, LoadAudit, QuarantinedRow, ResultStore, RowDefect, StoreError,
+    StoreVersion,
+};

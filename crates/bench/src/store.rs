@@ -10,15 +10,40 @@
 //! semantics, so a file produced by an interrupted sweep (possibly with a
 //! torn final line) reloads cleanly up to the last complete row and the
 //! sweep driver re-runs only the missing campaigns.
+//!
+//! # Integrity (v2 format)
+//!
+//! A fault injector that studies silent data corruption must not itself
+//! corrupt data silently. Version-2 checkpoint files carry:
+//!
+//! * a version line (`#mbu-results v2`) so future format changes are
+//!   detected instead of misparsed;
+//! * a per-row IEEE CRC-32 over the row body, so torn writes and flipped
+//!   bits are caught on load;
+//! * the golden-run fingerprint of each row's campaign
+//!   ([`mbu_gefin::GoldenFingerprint`]), so results persisted by an older
+//!   simulator build or different core configuration are detected as stale
+//!   on resume and re-run instead of merged;
+//! * the achieved error margin of each campaign, so derived tables can
+//!   report statistical confidence per cell.
+//!
+//! [`ResultStore::recover`] is the crash-safe loading path: defective rows
+//! are moved to a `<file>.quarantine` sidecar with a typed reason and the
+//! survivors win; [`ResultStore::load`] is the strict path that refuses any
+//! defect. Files written before the integrity layer (no version line, 10
+//! fields, no CRC) still load through both paths via a migration shim —
+//! their rows simply carry no fingerprint or margin.
 
+use crate::io::{RealIo, StoreIo};
 use mbu_cpu::HwComponent;
 use mbu_gefin::campaign::{AnomalyLog, CampaignResult};
 use mbu_gefin::classify::ClassCounts;
+use mbu_gefin::integrity::{crc32, GoldenFingerprint};
 use mbu_workloads::Workload;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Key identifying one campaign.
 pub type Key = (HwComponent, Workload, usize);
@@ -33,6 +58,21 @@ pub enum StoreError {
         /// What was wrong with it.
         message: String,
     },
+    /// A row's stored CRC-32 does not match its contents: the row was torn
+    /// mid-write or corrupted at rest.
+    CrcMismatch {
+        /// 1-based line number of the corrupt row.
+        line: usize,
+        /// The checksum the row claims.
+        stored: u32,
+        /// The checksum its body actually has.
+        computed: u32,
+    },
+    /// The file declares a format version this build does not understand.
+    UnsupportedVersion {
+        /// The version line as found.
+        found: String,
+    },
     /// An underlying I/O failure.
     Io(io::Error),
 }
@@ -41,6 +81,20 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            StoreError::CrcMismatch {
+                line,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "line {line}: CRC mismatch (stored {stored:08x}, computed {computed:08x})"
+            ),
+            StoreError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported store version {found:?} (this build reads v2)"
+                )
+            }
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -50,7 +104,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
-            StoreError::Syntax { .. } => None,
+            _ => None,
         }
     }
 }
@@ -61,14 +115,101 @@ impl From<io::Error> for StoreError {
     }
 }
 
-/// The fixed CSV header.
+/// The version line leading every v2 store file.
+pub const STORE_VERSION_LINE: &str = "#mbu-results v2";
+
+/// The fixed CSV header (v2: margin, fingerprint and CRC columns).
 pub const CSV_HEADER: &str =
+    "component,workload,faults,masked,sdc,crash,timeout,assert,cycles,instructions,margin,fingerprint,crc32";
+
+/// The pre-integrity (v1) header, recognised by the migration shim.
+pub const LEGACY_CSV_HEADER: &str =
     "component,workload,faults,masked,sdc,crash,timeout,assert,cycles,instructions";
+
+/// Which on-disk format a file was parsed as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreVersion {
+    /// Current: version line, CRC-checksummed rows, fingerprint + margin.
+    V2,
+    /// Pre-integrity files: bare 10-field rows, no checksums.
+    Legacy,
+}
+
+/// Why a row was quarantined instead of loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowDefect {
+    /// The row does not parse as a result row.
+    Syntax {
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The row parses but its checksum disagrees with its contents.
+    CrcMismatch {
+        /// The checksum the row claims.
+        stored: u32,
+        /// The checksum its body actually has.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for RowDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RowDefect::Syntax { message } => write!(f, "syntax: {message}"),
+            RowDefect::CrcMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "crc mismatch (stored {stored:08x}, computed {computed:08x})"
+                )
+            }
+        }
+    }
+}
+
+/// One row set aside by lossy loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 1-based line number in the source file.
+    pub line: usize,
+    /// The raw line text, verbatim.
+    pub raw: String,
+    /// Why it was rejected.
+    pub defect: RowDefect,
+}
+
+/// What lossy loading found in a file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadAudit {
+    /// The format the file was parsed as.
+    pub version: StoreVersion,
+    /// Rows that loaded cleanly (before last-row-wins dedup).
+    pub rows_loaded: usize,
+    /// Rows set aside as defective.
+    pub quarantined: Vec<QuarantinedRow>,
+}
+
+impl LoadAudit {
+    fn empty() -> Self {
+        Self {
+            version: StoreVersion::V2,
+            rows_loaded: 0,
+            quarantined: Vec::new(),
+        }
+    }
+}
+
+/// The `.quarantine` sidecar for a checkpoint file.
+pub fn quarantine_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(".quarantine");
+    PathBuf::from(s)
+}
 
 /// An in-memory, CSV-backed store of campaign results.
 #[derive(Debug, Clone, Default)]
 pub struct ResultStore {
     entries: BTreeMap<Key, CampaignResult>,
+    fingerprints: BTreeMap<Key, GoldenFingerprint>,
 }
 
 impl ResultStore {
@@ -77,9 +218,34 @@ impl ResultStore {
         Self::default()
     }
 
-    /// Inserts a campaign result (replacing any previous entry for its key).
+    /// Inserts a campaign result (replacing any previous entry for its
+    /// key). Any stored fingerprint for the key is dropped — pair fresh
+    /// results with their fingerprint via
+    /// [`ResultStore::insert_with_fingerprint`].
     pub fn insert(&mut self, r: CampaignResult) {
-        self.entries.insert((r.component, r.workload, r.faults), r);
+        let key = (r.component, r.workload, r.faults);
+        self.fingerprints.remove(&key);
+        self.entries.insert(key, r);
+    }
+
+    /// Inserts a campaign result stamped with the golden-run fingerprint it
+    /// was measured under (`None` keeps the row unstamped, e.g. for legacy
+    /// data).
+    pub fn insert_with_fingerprint(
+        &mut self,
+        r: CampaignResult,
+        fingerprint: Option<GoldenFingerprint>,
+    ) {
+        let key = (r.component, r.workload, r.faults);
+        match fingerprint {
+            Some(fp) => {
+                self.fingerprints.insert(key, fp);
+            }
+            None => {
+                self.fingerprints.remove(&key);
+            }
+        }
+        self.entries.insert(key, r);
     }
 
     /// Looks up a campaign result.
@@ -90,6 +256,19 @@ impl ResultStore {
         faults: usize,
     ) -> Option<&CampaignResult> {
         self.entries.get(&(component, workload, faults))
+    }
+
+    /// The golden-run fingerprint a stored result was measured under, if it
+    /// carries one (legacy rows do not).
+    pub fn fingerprint(
+        &self,
+        component: HwComponent,
+        workload: Workload,
+        faults: usize,
+    ) -> Option<GoldenFingerprint> {
+        self.fingerprints
+            .get(&(component, workload, faults))
+            .copied()
     }
 
     /// Whether a campaign for this key is already present.
@@ -117,10 +296,23 @@ impl ResultStore {
         self.entries.len() == 6 * 15 * 3
     }
 
-    /// Renders one result as a CSV row (no trailing newline).
-    fn csv_row(r: &CampaignResult) -> String {
-        format!(
-            "{},{},{},{},{},{},{},{},{},{}",
+    /// Renders one result as a v2 CSV row (no trailing newline): 12 body
+    /// fields plus the CRC-32 of the body text.
+    ///
+    /// The margin is serialized with Rust's shortest-roundtrip float
+    /// formatting, so a saved and reloaded store is *bit-identical* — the
+    /// chaos harness depends on this.
+    fn csv_row(r: &CampaignResult, fingerprint: Option<GoldenFingerprint>) -> String {
+        let margin = match r.achieved_margin {
+            Some(m) => m.to_string(),
+            None => "-".to_string(),
+        };
+        let fp = match fingerprint {
+            Some(fp) => fp.to_string(),
+            None => "-".to_string(),
+        };
+        let body = format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
             component_slug(r.component),
             r.workload.name(),
             r.faults,
@@ -131,104 +323,274 @@ impl ResultStore {
             r.counts.assert_,
             r.fault_free_cycles,
             r.fault_free_instructions,
-        )
+            margin,
+            fp,
+        );
+        let crc = crc32(body.as_bytes());
+        format!("{body},{crc:08x}")
     }
 
-    /// Serializes to CSV.
+    /// Serializes to v2 CSV (version line, header, checksummed rows).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(CSV_HEADER);
+        let mut out = String::from(STORE_VERSION_LINE);
         out.push('\n');
-        for r in self.entries.values() {
-            out.push_str(&Self::csv_row(r));
+        out.push_str(CSV_HEADER);
+        out.push('\n');
+        for (key, r) in &self.entries {
+            out.push_str(&Self::csv_row(r, self.fingerprints.get(key).copied()));
             out.push('\n');
         }
         out
     }
 
-    /// Parses the CSV produced by [`ResultStore::to_csv`] /
-    /// [`ResultStore::append_row`]. Duplicate keys are legal (an appended
-    /// checkpoint may re-measure a campaign); the last row wins.
+    /// Parses one row body (v2: 12 fields; legacy: 10 fields) into a result
+    /// and optional fingerprint. `Err` is a human-readable defect message.
+    fn parse_body(
+        fields: &[&str],
+        legacy: bool,
+    ) -> Result<(CampaignResult, Option<GoldenFingerprint>), String> {
+        let expected = if legacy { 10 } else { 12 };
+        if fields.len() != expected {
+            return Err(format!("expected {expected} fields, got {}", fields.len()));
+        }
+        let parse = |s: &str| -> Result<u64, String> {
+            s.parse().map_err(|e| format!("{e} (field {s:?})"))
+        };
+        let (achieved_margin, fingerprint) = if legacy {
+            (None, None)
+        } else {
+            let margin = match fields[10] {
+                "-" => None,
+                s => {
+                    let m: f64 = s.parse().map_err(|e| format!("{e} (margin {s:?})"))?;
+                    if !(m.is_finite() && (0.0..=1.0).contains(&m)) {
+                        return Err(format!("margin {m} outside [0, 1]"));
+                    }
+                    Some(m)
+                }
+            };
+            let fp = match fields[11] {
+                "-" => None,
+                s => {
+                    if s.len() != 16 {
+                        return Err(format!("fingerprint {s:?} is not 16 hex digits"));
+                    }
+                    Some(
+                        s.parse::<GoldenFingerprint>()
+                            .map_err(|e| format!("{e} (fingerprint {s:?})"))?,
+                    )
+                }
+            };
+            (margin, fp)
+        };
+        let result = CampaignResult {
+            component: fields[0].parse().map_err(|e| format!("{e}"))?,
+            workload: fields[1].parse().map_err(|e| format!("{e}"))?,
+            faults: parse(fields[2])? as usize,
+            counts: ClassCounts {
+                masked: parse(fields[3])?,
+                sdc: parse(fields[4])?,
+                crash: parse(fields[5])?,
+                timeout: parse(fields[6])?,
+                assert_: parse(fields[7])?,
+            },
+            fault_free_cycles: parse(fields[8])?,
+            fault_free_instructions: parse(fields[9])?,
+            details: None,
+            anomalies: AnomalyLog::new(),
+            oracle_skips: 0,
+            achieved_margin,
+        };
+        Ok((result, fingerprint))
+    }
+
+    /// Checks a v2 row's CRC and parses it.
+    fn parse_v2_row(line: &str) -> Result<(CampaignResult, Option<GoldenFingerprint>), RowDefect> {
+        let syntax = |message: String| RowDefect::Syntax { message };
+        let (body, crc_hex) = line
+            .rsplit_once(',')
+            .ok_or_else(|| syntax("row has no CRC field".into()))?;
+        if crc_hex.len() != 8 {
+            return Err(syntax(format!("CRC {crc_hex:?} is not 8 hex digits")));
+        }
+        let stored = u32::from_str_radix(crc_hex, 16)
+            .map_err(|e| syntax(format!("{e} (CRC {crc_hex:?})")))?;
+        let computed = crc32(body.as_bytes());
+        if stored != computed {
+            return Err(RowDefect::CrcMismatch { stored, computed });
+        }
+        let fields: Vec<&str> = body.split(',').collect();
+        Self::parse_body(&fields, false).map_err(syntax)
+    }
+
+    /// Detects the file's format version. `Err` carries the offending
+    /// version line.
+    fn detect_version(csv: &str) -> Result<StoreVersion, String> {
+        match csv.lines().next() {
+            None => Ok(StoreVersion::V2),
+            Some(first) if first.trim_start().starts_with('#') => {
+                if first.trim() == STORE_VERSION_LINE {
+                    Ok(StoreVersion::V2)
+                } else {
+                    Err(first.to_string())
+                }
+            }
+            Some(_) => Ok(StoreVersion::Legacy),
+        }
+    }
+
+    /// Parses store CSV, collecting defective rows instead of failing: each
+    /// bad row becomes a [`QuarantinedRow`] and the survivors load with
+    /// last-row-wins semantics. This is the resume path — a checkpoint with
+    /// a torn final line or a flipped bit yields every intact campaign.
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Syntax`] with the line number on malformed
-    /// rows; never panics, whatever the input.
-    pub fn from_csv(csv: &str) -> Result<Self, StoreError> {
+    /// Only [`StoreError::UnsupportedVersion`] — an unknown format version
+    /// means *no* line can be trusted, so nothing is guessed.
+    pub fn from_csv_lossy(csv: &str) -> Result<(Self, LoadAudit), StoreError> {
+        let version =
+            Self::detect_version(csv).map_err(|found| StoreError::UnsupportedVersion { found })?;
         let mut store = Self::new();
-        for (lineno, line) in csv.lines().enumerate().skip(1) {
+        let mut audit = LoadAudit {
+            version,
+            rows_loaded: 0,
+            quarantined: Vec::new(),
+        };
+        // Line 1 is the version line (v2) or the header (legacy); line 2 of
+        // a v2 file is the header. Both are skipped, not parsed as rows.
+        let skip = match version {
+            StoreVersion::V2 => 2,
+            StoreVersion::Legacy => 1,
+        };
+        for (lineno, line) in csv.lines().enumerate().skip(skip) {
             if line.trim().is_empty() {
                 continue;
             }
-            let syntax = |message: String| StoreError::Syntax {
-                line: lineno + 1,
-                message,
+            let parsed = match version {
+                StoreVersion::V2 => Self::parse_v2_row(line),
+                StoreVersion::Legacy => {
+                    let fields: Vec<&str> = line.split(',').collect();
+                    Self::parse_body(&fields, true).map_err(|message| RowDefect::Syntax { message })
+                }
             };
-            let f: Vec<&str> = line.split(',').collect();
-            if f.len() != 10 {
-                return Err(syntax(format!("expected 10 fields, got {}", f.len())));
+            match parsed {
+                Ok((result, fingerprint)) => {
+                    store.insert_with_fingerprint(result, fingerprint);
+                    audit.rows_loaded += 1;
+                }
+                Err(defect) => audit.quarantined.push(QuarantinedRow {
+                    line: lineno + 1,
+                    raw: line.to_string(),
+                    defect,
+                }),
             }
-            let parse = |s: &str| -> Result<u64, StoreError> {
-                s.parse().map_err(|e| syntax(format!("{e} (field {s:?})")))
-            };
-            let result = CampaignResult {
-                component: f[0].parse().map_err(|e| syntax(format!("{e}")))?,
-                workload: f[1].parse().map_err(|e| syntax(format!("{e}")))?,
-                faults: parse(f[2])? as usize,
-                counts: ClassCounts {
-                    masked: parse(f[3])?,
-                    sdc: parse(f[4])?,
-                    crash: parse(f[5])?,
-                    timeout: parse(f[6])?,
-                    assert_: parse(f[7])?,
+        }
+        Ok((store, audit))
+    }
+
+    /// Parses the CSV produced by [`ResultStore::to_csv`] /
+    /// [`ResultStore::append_row`], strictly: any defective row is an
+    /// error. Duplicate keys are legal (an appended checkpoint may
+    /// re-measure a campaign); the last row wins. Pre-integrity (v1) files
+    /// are accepted via the migration shim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Syntax`] / [`StoreError::CrcMismatch`] with
+    /// the line number on malformed rows and
+    /// [`StoreError::UnsupportedVersion`] on unknown formats; never panics,
+    /// whatever the input.
+    pub fn from_csv(csv: &str) -> Result<Self, StoreError> {
+        let (store, audit) = Self::from_csv_lossy(csv)?;
+        if let Some(q) = audit.quarantined.first() {
+            return Err(match &q.defect {
+                RowDefect::Syntax { message } => StoreError::Syntax {
+                    line: q.line,
+                    message: message.clone(),
                 },
-                fault_free_cycles: parse(f[8])?,
-                fault_free_instructions: parse(f[9])?,
-                details: None,
-                anomalies: AnomalyLog::new(),
-                oracle_skips: 0,
-            };
-            store.insert(result);
+                RowDefect::CrcMismatch { stored, computed } => StoreError::CrcMismatch {
+                    line: q.line,
+                    stored: *stored,
+                    computed: *computed,
+                },
+            });
         }
         Ok(store)
     }
 
-    /// Saves the whole store to a file, creating parent directories.
+    /// Saves the whole store to a file atomically (temp file + rename),
+    /// creating parent directories: a crash mid-save leaves the previous
+    /// file intact, never a torn one.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save(&self, path: &Path) -> Result<(), StoreError> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.to_csv())?;
+        self.save_with(&RealIo, path)
+    }
+
+    /// [`ResultStore::save`] through an injectable I/O layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_with(&self, io: &dyn StoreIo, path: &Path) -> Result<(), StoreError> {
+        io.write_atomic(path, &self.to_csv())?;
         Ok(())
     }
 
     /// Appends one finished campaign to the checkpoint file (creating it,
-    /// with header, if absent). This is the incremental-flush primitive the
-    /// sweep driver calls after *every* campaign, so a killed sweep loses at
-    /// most the campaign in flight.
+    /// with version line and header, if absent). This is the
+    /// incremental-flush primitive the sweep driver calls after *every*
+    /// campaign, so a killed sweep loses at most the campaign in flight.
+    /// The data is synced to stable storage before returning.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn append_row(path: &Path, r: &CampaignResult) -> Result<(), StoreError> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
+        Self::append_row_with(&RealIo, path, r, None)
+    }
+
+    /// [`ResultStore::append_row`] through an injectable I/O layer, with
+    /// the golden-run fingerprint the campaign was measured under. A
+    /// pre-integrity (v1) checkpoint is upgraded to v2 in place (atomic
+    /// rewrite) before the row is appended, so a file never mixes formats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a corrupt legacy file surfaces its parse
+    /// error rather than being silently rewritten.
+    pub fn append_row_with(
+        io: &dyn StoreIo,
+        path: &Path,
+        r: &CampaignResult,
+        fingerprint: Option<GoldenFingerprint>,
+    ) -> Result<(), StoreError> {
+        let row = Self::csv_row(r, fingerprint);
+        if io.len(path)? == 0 {
+            // One append call for version + header + row: a single
+            // crash-consistency unit, so no observable state has the header
+            // without being a valid (empty-row-set) v2 file.
+            io.append(
+                path,
+                &format!("{STORE_VERSION_LINE}\n{CSV_HEADER}\n{row}\n"),
+            )?;
+            return Ok(());
         }
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
-        if file.metadata()?.len() == 0 {
-            writeln!(file, "{CSV_HEADER}")?;
+        let text = io.read_to_string(path)?;
+        if Self::detect_version(&text).map_err(|found| StoreError::UnsupportedVersion { found })?
+            == StoreVersion::Legacy
+        {
+            let store = Self::from_csv(&text)?;
+            io.write_atomic(path, &store.to_csv())?;
         }
-        writeln!(file, "{}", Self::csv_row(r))?;
+        io.append(path, &format!("{row}\n"))?;
         Ok(())
     }
 
-    /// Loads from a file.
+    /// Loads from a file, strictly: any defective row is an error.
     ///
     /// # Errors
     ///
@@ -236,6 +598,47 @@ impl ResultStore {
     pub fn load(path: &Path) -> Result<Self, StoreError> {
         let text = std::fs::read_to_string(path)?;
         Self::from_csv(&text)
+    }
+
+    /// Crash-safe load: defective rows are moved to a `<file>.quarantine`
+    /// sidecar (one line each: line number, typed reason, raw text) and the
+    /// survivors returned. When anything was quarantined — or the file was
+    /// in the legacy format — the main file is atomically rewritten as
+    /// clean v2, so the defect is dealt with exactly once. A missing file
+    /// yields an empty store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and [`StoreError::UnsupportedVersion`].
+    pub fn recover(path: &Path) -> Result<(Self, LoadAudit), StoreError> {
+        Self::recover_with(&RealIo, path)
+    }
+
+    /// [`ResultStore::recover`] through an injectable I/O layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and [`StoreError::UnsupportedVersion`].
+    pub fn recover_with(io: &dyn StoreIo, path: &Path) -> Result<(Self, LoadAudit), StoreError> {
+        let text = match io.read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok((Self::new(), LoadAudit::empty()))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (store, audit) = Self::from_csv_lossy(&text)?;
+        if !audit.quarantined.is_empty() {
+            let mut sidecar = String::new();
+            for q in &audit.quarantined {
+                sidecar.push_str(&format!("line {}: {}: {}\n", q.line, q.defect, q.raw));
+            }
+            io.append(&quarantine_path(path), &sidecar)?;
+        }
+        if !audit.quarantined.is_empty() || audit.version == StoreVersion::Legacy {
+            store.save_with(io, path)?;
+        }
+        Ok((store, audit))
     }
 }
 
@@ -423,6 +826,7 @@ mod tests {
             details: None,
             anomalies: AnomalyLog::new(),
             oracle_skips: 0,
+            achieved_margin: Some(0.0275),
         }
     }
 
@@ -430,14 +834,32 @@ mod tests {
     fn csv_roundtrip() {
         let mut s = ResultStore::new();
         s.insert(sample(HwComponent::L1D, Workload::Sha, 1));
-        s.insert(sample(HwComponent::ITlb, Workload::Crc32, 3));
+        s.insert_with_fingerprint(
+            sample(HwComponent::ITlb, Workload::Crc32, 3),
+            Some(GoldenFingerprint(0xDEAD_BEEF_0123_4567)),
+        );
         let csv = s.to_csv();
+        assert!(csv.starts_with(STORE_VERSION_LINE));
         let back = ResultStore::from_csv(&csv).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(
             back.get(HwComponent::L1D, Workload::Sha, 1).unwrap(),
             s.get(HwComponent::L1D, Workload::Sha, 1).unwrap()
         );
+        assert_eq!(
+            back.fingerprint(HwComponent::ITlb, Workload::Crc32, 3),
+            Some(GoldenFingerprint(0xDEAD_BEEF_0123_4567))
+        );
+        assert_eq!(back.fingerprint(HwComponent::L1D, Workload::Sha, 1), None);
+        // Margin roundtrips exactly (shortest-roundtrip float formatting).
+        assert_eq!(
+            back.get(HwComponent::L1D, Workload::Sha, 1)
+                .unwrap()
+                .achieved_margin,
+            Some(0.0275)
+        );
+        // Serialize-again is bit-identical.
+        assert_eq!(back.to_csv(), csv);
     }
 
     #[test]
@@ -460,18 +882,70 @@ mod tests {
         s.insert(sample(HwComponent::L1D, Workload::Sha, 1));
         let full = s.to_csv();
         // Tear the row inside its final field, comma included, so the line
-        // is left with too few fields.
+        // is left without its CRC.
         let torn = &full[..full.rfind(',').unwrap()];
         let err = ResultStore::from_csv(torn).unwrap_err();
         assert!(
             matches!(err, StoreError::Syntax { .. }),
             "torn row is a syntax error: {err}"
         );
-        // Negative and overflowing numeric fields.
+        // Negative and overflowing numeric fields (legacy format).
         assert!(ResultStore::from_csv("h\nl1d,sha,1,-5,1,1,1,1,1,1\n").is_err());
         assert!(
             ResultStore::from_csv("h\nl1d,sha,1,999999999999999999999999,1,1,1,1,1,1\n").is_err()
         );
+    }
+
+    #[test]
+    fn flipped_bit_is_a_crc_mismatch() {
+        let mut s = ResultStore::new();
+        s.insert(sample(HwComponent::L1D, Workload::Sha, 1));
+        let csv = s.to_csv();
+        // Flip a digit inside the masked count (body, not CRC field).
+        let corrupted = csv.replacen(",90,", ",91,", 1);
+        assert_ne!(corrupted, csv, "corruption must have been applied");
+        match ResultStore::from_csv(&corrupted) {
+            Err(StoreError::CrcMismatch { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected CRC mismatch, got {other:?}"),
+        }
+        // Lossy loading quarantines it instead.
+        let (store, audit) = ResultStore::from_csv_lossy(&corrupted).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(audit.quarantined.len(), 1);
+        assert!(matches!(
+            audit.quarantined[0].defect,
+            RowDefect::CrcMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn legacy_v1_files_load_without_integrity_columns() {
+        let legacy = format!("{LEGACY_CSV_HEADER}\nl1d,sha,1,90,5,3,1,1,12345,6789\n");
+        let (store, audit) = ResultStore::from_csv_lossy(&legacy).unwrap();
+        assert_eq!(audit.version, StoreVersion::Legacy);
+        assert_eq!(store.len(), 1);
+        let r = store.get(HwComponent::L1D, Workload::Sha, 1).unwrap();
+        assert_eq!(r.achieved_margin, None, "legacy rows carry no margin");
+        assert_eq!(
+            store.fingerprint(HwComponent::L1D, Workload::Sha, 1),
+            None,
+            "legacy rows carry no fingerprint"
+        );
+        // The strict path accepts them too.
+        assert_eq!(ResultStore::from_csv(&legacy).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_version_is_refused_not_guessed() {
+        let future = "#mbu-results v99\nanything\n";
+        assert!(matches!(
+            ResultStore::from_csv(future),
+            Err(StoreError::UnsupportedVersion { .. })
+        ));
+        assert!(matches!(
+            ResultStore::from_csv_lossy(future),
+            Err(StoreError::UnsupportedVersion { .. })
+        ));
     }
 
     #[test]
@@ -489,9 +963,12 @@ mod tests {
     }
 
     #[test]
-    fn insert_replaces_same_key() {
+    fn insert_replaces_same_key_and_drops_stale_fingerprint() {
         let mut s = ResultStore::new();
-        s.insert(sample(HwComponent::L2, Workload::Fft, 2));
+        s.insert_with_fingerprint(
+            sample(HwComponent::L2, Workload::Fft, 2),
+            Some(GoldenFingerprint(42)),
+        );
         let mut newer = sample(HwComponent::L2, Workload::Fft, 2);
         newer.counts.masked = 1;
         s.insert(newer.clone());
@@ -502,6 +979,11 @@ mod tests {
                 .counts
                 .masked,
             1
+        );
+        assert_eq!(
+            s.fingerprint(HwComponent::L2, Workload::Fft, 2),
+            None,
+            "plain insert must not keep a fingerprint it was not measured under"
         );
     }
 
@@ -529,6 +1011,90 @@ mod tests {
             42
         );
         assert!(loaded.contains(HwComponent::RegFile, Workload::Fft, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_upgrades_legacy_checkpoint_in_place() {
+        let dir = std::env::temp_dir().join(format!("mbu-store-upgrade-{}", std::process::id()));
+        let path = dir.join("checkpoint.csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            &path,
+            format!("{LEGACY_CSV_HEADER}\nl1d,sha,1,90,5,3,1,1,12345,6789\n"),
+        )
+        .unwrap();
+        let b = sample(HwComponent::RegFile, Workload::Fft, 2);
+        ResultStore::append_row_with(&RealIo, &path, &b, Some(GoldenFingerprint(7))).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.starts_with(STORE_VERSION_LINE),
+            "upgraded to v2: {text}"
+        );
+        let loaded = ResultStore::load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.contains(HwComponent::L1D, Workload::Sha, 1));
+        assert_eq!(
+            loaded.fingerprint(HwComponent::RegFile, Workload::Fft, 2),
+            Some(GoldenFingerprint(7))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_quarantines_bad_rows_and_rewrites_clean_file() {
+        let dir = std::env::temp_dir().join(format!("mbu-store-recover-{}", std::process::id()));
+        let path = dir.join("checkpoint.csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = ResultStore::new();
+        s.insert(sample(HwComponent::L1D, Workload::Sha, 1));
+        s.insert(sample(HwComponent::L2, Workload::Fft, 2));
+        let mut text = s.to_csv();
+        text.push_str("complete,garbage,row\n");
+        std::fs::write(&path, &text).unwrap();
+        let (recovered, audit) = ResultStore::recover(&path).unwrap();
+        assert_eq!(recovered.len(), 2, "survivors load");
+        assert_eq!(audit.quarantined.len(), 1);
+        // The sidecar holds the quarantined row with its reason.
+        let sidecar = std::fs::read_to_string(quarantine_path(&path)).unwrap();
+        assert!(sidecar.contains("complete,garbage,row"), "{sidecar}");
+        assert!(sidecar.contains("syntax"), "{sidecar}");
+        // The main file was rewritten clean: strict load now succeeds and a
+        // second recover quarantines nothing.
+        assert_eq!(ResultStore::load(&path).unwrap().len(), 2);
+        let (_, audit2) = ResultStore::recover(&path).unwrap();
+        assert!(audit2.quarantined.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_missing_file_is_empty_store() {
+        let path = std::env::temp_dir().join(format!(
+            "mbu-store-missing-{}/never-written.csv",
+            std::process::id()
+        ));
+        let (store, audit) = ResultStore::recover(&path).unwrap();
+        assert!(store.is_empty());
+        assert!(audit.quarantined.is_empty());
+    }
+
+    #[test]
+    fn save_is_atomic_leaving_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("mbu-store-atomic-{}", std::process::id()));
+        let path = dir.join("out.csv");
+        let mut s = ResultStore::new();
+        s.insert(sample(HwComponent::L1D, Workload::Sha, 1));
+        s.save(&path).unwrap();
+        assert_eq!(ResultStore::load(&path).unwrap().len(), 1);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

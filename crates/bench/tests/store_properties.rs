@@ -1,0 +1,227 @@
+//! Property tests for checkpoint-store corruption: whatever happens to the
+//! bytes — truncation, bit flips, interleaved garbage — loading never
+//! panics, never invents rows, and never returns wrong values. Corruption
+//! is either quarantined ([`ResultStore::from_csv_lossy`]) or a typed
+//! [`StoreError`].
+
+use mbu_bench::{ResultStore, StoreError};
+use mbu_cpu::HwComponent;
+use mbu_gefin::campaign::{AnomalyLog, CampaignResult};
+use mbu_gefin::classify::ClassCounts;
+use mbu_gefin::integrity::GoldenFingerprint;
+use mbu_workloads::Workload;
+use proptest::prelude::*;
+
+/// A fixed nine-campaign store mixing stamped/unstamped fingerprints and
+/// present/absent margins, so corruption can land on every field kind.
+fn seeded_store() -> ResultStore {
+    let mut s = ResultStore::new();
+    let combos = [
+        (HwComponent::L1D, Workload::Sha),
+        (HwComponent::RegFile, Workload::Qsort),
+        (HwComponent::DTlb, Workload::Stringsearch),
+    ];
+    for (i, (c, w)) in combos.into_iter().enumerate() {
+        for faults in 1..=3usize {
+            let r = CampaignResult {
+                component: c,
+                workload: w,
+                faults,
+                counts: ClassCounts {
+                    masked: 900 + (i * 37 + faults) as u64,
+                    sdc: 40 + i as u64,
+                    crash: 30,
+                    timeout: 5,
+                    assert_: 2,
+                },
+                fault_free_cycles: 10_000 + i as u64 * 777,
+                fault_free_instructions: 9_000 + faults as u64,
+                details: None,
+                anomalies: AnomalyLog::new(),
+                oracle_skips: 0,
+                achieved_margin: match faults {
+                    2 => None,
+                    _ => Some(0.021 + 0.001 * faults as f64),
+                },
+            };
+            let fp = match faults {
+                3 => None,
+                _ => Some(GoldenFingerprint(
+                    0x1234_5678_9ABC_DEF0 ^ ((i as u64) << 8) ^ faults as u64,
+                )),
+            };
+            s.insert_with_fingerprint(r, fp);
+        }
+    }
+    s
+}
+
+/// Every row of `loaded` must be byte-for-byte one of `original`'s rows:
+/// same key, same counts, same margin, same fingerprint. Corruption may
+/// *lose* rows, never alter them.
+fn assert_subset(
+    loaded: &ResultStore,
+    original: &ResultStore,
+) -> Result<(), proptest::TestCaseError> {
+    for r in loaded.iter() {
+        let orig = original.get(r.component, r.workload, r.faults);
+        prop_assert!(
+            orig == Some(r),
+            "row {:?}/{:?}/{} loaded with wrong values: {r:?} vs {orig:?}",
+            r.component,
+            r.workload,
+            r.faults
+        );
+        prop_assert_eq!(
+            loaded.fingerprint(r.component, r.workload, r.faults),
+            original.fingerprint(r.component, r.workload, r.faults)
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn truncation_loads_a_prefix_or_fails_typed(cut in any::<prop::sample::Index>()) {
+        let original = seeded_store();
+        let csv = original.to_csv();
+        let cut = cut.index(csv.len() + 1);
+        let truncated = &csv[..cut];
+        match ResultStore::from_csv_lossy(truncated) {
+            // A torn version line means nothing can be trusted; that must
+            // surface as the typed refusal, never as guessed rows.
+            Err(e) => prop_assert!(
+                matches!(e, StoreError::UnsupportedVersion { .. }),
+                "unexpected error kind: {e}"
+            ),
+            Ok((loaded, audit)) => {
+                prop_assert!(loaded.len() <= original.len());
+                prop_assert!(
+                    audit.quarantined.len() <= 1,
+                    "truncation tears at most the final row: {:?}",
+                    audit.quarantined
+                );
+                assert_subset(&loaded, &original)?;
+                if cut >= csv.len() {
+                    prop_assert_eq!(loaded.to_csv(), csv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_never_load_wrong_values(
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let original = seeded_store();
+        let mut bytes = original.to_csv().into_bytes();
+        let i = pos.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        // A non-UTF-8 flip cannot even reach the parser.
+        prop_assume!(std::str::from_utf8(&bytes).is_ok());
+        let flipped = String::from_utf8(bytes).unwrap();
+        match ResultStore::from_csv_lossy(&flipped) {
+            Err(e) => prop_assert!(
+                matches!(e, StoreError::UnsupportedVersion { .. }),
+                "unexpected error kind: {e}"
+            ),
+            // The flipped row is either quarantined (CRC / syntax) or the
+            // flip landed in the version/header framing — in every case no
+            // surviving row may differ from the original.
+            Ok((loaded, _audit)) => assert_subset(&loaded, &original)?,
+        }
+        // The strict loader agrees: typed error or unaltered values.
+        if let Ok(loaded) = ResultStore::from_csv(&flipped) {
+            assert_subset(&loaded, &original)?;
+        }
+    }
+
+    #[test]
+    fn garbage_lines_are_quarantined_with_survivors_intact(
+        garbage in prop::collection::vec(
+            (
+                any::<prop::sample::Index>(),
+                prop_oneof![
+                    Just("!!! not a row at all"),
+                    Just("l1d,sha,not,a,valid,row"),
+                    // Well-formed body, forged checksum.
+                    Just("l1d,sha,1,90,5,3,1,1,12345,6789,0.02,0123456789abcdef,00000000"),
+                    Just(",,,,"),
+                    Just("l1d,sha,1,90"),
+                ],
+            ),
+            1..4,
+        ),
+    ) {
+        let original = seeded_store();
+        let csv = original.to_csv();
+        let mut lines: Vec<String> = csv.lines().map(str::to_string).collect();
+        for (pos, junk) in &garbage {
+            // Only past the version + header framing (lines 0 and 1).
+            let at = 2 + pos.index(lines.len() - 1);
+            lines.insert(at, (*junk).to_string());
+        }
+        let corrupted = lines.join("\n");
+        let (loaded, audit) = ResultStore::from_csv_lossy(&corrupted).unwrap();
+        prop_assert_eq!(audit.quarantined.len(), garbage.len());
+        prop_assert_eq!(audit.rows_loaded, original.len());
+        prop_assert_eq!(
+            loaded.to_csv(),
+            csv.clone(),
+            "survivors reload bit-identically around the garbage"
+        );
+        // The strict loader refuses the same file with a typed error.
+        let strict = ResultStore::from_csv(&corrupted);
+        prop_assert!(
+            matches!(
+                strict,
+                Err(StoreError::Syntax { .. } | StoreError::CrcMismatch { .. })
+            ),
+            "strict load must fail typed: {strict:?}"
+        );
+    }
+
+    #[test]
+    fn arbitrary_stores_roundtrip_bit_identically(
+        counts in (0u64..1_000_000, 0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+        meta in (1usize..=3, 1u64..10_000_000, 1u64..10_000_000),
+        margin in prop_oneof![
+            Just(Option::<f64>::None),
+            (0.0f64..=1.0).prop_map(Some),
+        ],
+        fp in prop_oneof![
+            Just(Option::<u64>::None),
+            any::<u64>().prop_map(Some),
+        ],
+    ) {
+        let (masked, sdc, crash, timeout, assert_) = counts;
+        let (faults, cycles, instructions) = meta;
+        let mut store = ResultStore::new();
+        store.insert_with_fingerprint(
+            CampaignResult {
+                component: HwComponent::L2,
+                workload: Workload::Sha,
+                faults,
+                counts: ClassCounts { masked, sdc, crash, timeout, assert_ },
+                fault_free_cycles: cycles,
+                fault_free_instructions: instructions,
+                details: None,
+                anomalies: AnomalyLog::new(),
+                oracle_skips: 0,
+                achieved_margin: margin,
+            },
+            fp.map(GoldenFingerprint),
+        );
+        let csv = store.to_csv();
+        let reloaded = match ResultStore::from_csv(&csv) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::Fail(format!("reload failed: {e}"))),
+        };
+        prop_assert_eq!(reloaded.to_csv(), csv, "canonical serialization");
+        assert_subset(&reloaded, &store)?;
+        prop_assert_eq!(reloaded.len(), 1);
+    }
+}

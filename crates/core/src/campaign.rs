@@ -39,6 +39,8 @@
 use crate::classify::{classify, ClassCounts, FaultEffect};
 use crate::error::CampaignError;
 use crate::mask::{ClusterSpec, FaultMask, MaskGenerator};
+use crate::stats;
+use crate::tech::component_bits;
 use mbu_ace::LivenessOracle;
 use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
 use mbu_isa::Program;
@@ -90,6 +92,60 @@ impl fmt::Debug for RunHook {
     }
 }
 
+/// Margin-driven adaptive sampling (paper §III.A readjustment, applied
+/// online): after each batch of runs the achieved error margin is
+/// recomputed with the *measured* AVF as the probability estimate, and the
+/// campaign stops early once the target margin is met. A mostly-masked
+/// campaign (small `p`) reaches the paper's 2.88 % target far before the
+/// fixed 2 000 runs; a highly vulnerable one keeps sampling up to the
+/// configured maximum.
+///
+/// Early stopping depends only on the deterministic per-run outcomes, so
+/// adaptive campaigns remain reproducible across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSpec {
+    /// Stop once the achieved margin is at or below this target (e.g. the
+    /// paper's 0.0288).
+    pub target_margin: f64,
+    /// Confidence z-value for the margin ([`stats::Z_99`] in the paper).
+    pub z: f64,
+    /// Never stop before this many runs, however tight the margin looks.
+    pub min_runs: usize,
+    /// Margin is re-evaluated every `batch` runs.
+    pub batch: usize,
+}
+
+impl AdaptiveSpec {
+    /// The paper's sampling target: 2.88 % margin at 99 % confidence,
+    /// re-evaluated every 100 runs after at least 100.
+    pub fn paper() -> Self {
+        Self {
+            target_margin: 0.0288,
+            z: stats::Z_99,
+            min_runs: 100,
+            batch: 100,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CampaignError> {
+        let reason = if !(self.target_margin > 0.0 && self.target_margin < 1.0) {
+            Some("target margin must be in (0, 1)")
+        } else if !(self.z.is_finite() && self.z > 0.0) {
+            Some("z must be a positive finite number")
+        } else if self.min_runs == 0 {
+            Some("min_runs must be nonzero")
+        } else if self.batch == 0 {
+            Some("batch must be nonzero")
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => Err(CampaignError::InvalidAdaptiveSpec { reason }),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Configuration of one injection campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -130,6 +186,11 @@ pub struct CampaignConfig {
     /// [`CampaignResult::oracle_skips`]. Only applies to
     /// [`InjectionTarget::DataArray`] campaigns.
     pub use_liveness_oracle: bool,
+    /// Margin-driven adaptive sampling: when set, [`CampaignConfig::runs`]
+    /// becomes the *maximum* and the campaign stops early once the achieved
+    /// error margin (recomputed after every batch with the measured AVF as
+    /// `p`) meets the target. `None` keeps the classic fixed-run behaviour.
+    pub adaptive: Option<AdaptiveSpec>,
     /// Test-only fault hook, invoked with the run index at the start of each
     /// injection run *inside* the isolation boundary. Lets tests provoke
     /// panics and stalls in an otherwise healthy engine.
@@ -155,6 +216,7 @@ impl CampaignConfig {
             collect_details: false,
             run_wall_budget: Some(Duration::from_secs(60)),
             use_liveness_oracle: false,
+            adaptive: None,
             run_hook: None,
         }
     }
@@ -205,6 +267,13 @@ impl CampaignConfig {
     /// (see [`CampaignConfig::use_liveness_oracle`]).
     pub fn use_liveness_oracle(mut self, on: bool) -> Self {
         self.use_liveness_oracle = on;
+        self
+    }
+
+    /// Enables (with `Some`) or disables margin-driven adaptive sampling
+    /// (see [`CampaignConfig::adaptive`]).
+    pub fn adaptive(mut self, spec: Option<AdaptiveSpec>) -> Self {
+        self.adaptive = spec;
         self
     }
 
@@ -357,6 +426,12 @@ pub struct CampaignResult {
     /// Runs the liveness oracle classified as Masked without simulation
     /// (zero unless [`CampaignConfig::use_liveness_oracle`] was set).
     pub oracle_skips: u64,
+    /// The error margin achieved by the executed runs, recomputed with the
+    /// measured AVF as `p` (paper §III.A readjustment; the probability is
+    /// clamped to `[0.01, 0.99]` so fully-masked campaigns stay
+    /// computable). `None` for results loaded from pre-integrity (v1)
+    /// checkpoint files.
+    pub achieved_margin: Option<f64>,
 }
 
 impl CampaignResult {
@@ -458,6 +533,9 @@ impl Campaign {
             return Err(CampaignError::TagArrayUnsupported {
                 component: config.component,
             });
+        }
+        if let Some(adaptive) = &config.adaptive {
+            adaptive.validate()?;
         }
         Ok(Self { config })
     }
@@ -645,31 +723,25 @@ impl Campaign {
         }
     }
 
-    /// Runs the whole campaign (parallel, deterministic), reporting failures
-    /// as [`CampaignError`] instead of panicking.
-    pub fn try_run(&self) -> Result<CampaignResult, CampaignError> {
+    /// Executes the injection runs `[start, end)` in parallel (work-stealing
+    /// over an atomic index; deterministic for a given seed regardless of
+    /// thread count), merging into the caller's accumulators.
+    #[allow(clippy::too_many_arguments)]
+    fn run_batch(
+        &self,
+        program: &Program,
+        range: std::ops::Range<usize>,
+        cycles: u64,
+        golden_output: &[u8],
+        golden_code: u32,
+        geometry: Geometry,
+        oracle: Option<&LivenessOracle>,
+        counts: &mut ClassCounts,
+        details: &mut Vec<RunDetail>,
+        anomalies: &mut AnomalyLog,
+        oracle_skips: &mut u64,
+    ) -> Result<(), CampaignError> {
         let cfg = &self.config;
-        let program = cfg.workload.program();
-        let (golden_output, golden_code, cycles, instructions) = self.golden(&program)?;
-        // Target geometry is config-determined; compute it once instead of
-        // per run so the oracle fast path can skip Simulator construction.
-        let geometry = {
-            let sim = Simulator::new(cfg.core, &program);
-            match cfg.target {
-                InjectionTarget::DataArray => sim.component_geometry(cfg.component),
-                InjectionTarget::TagArray => sim.tag_geometry(cfg.component),
-            }
-        };
-        // One fault-free observation run buys the provably-masked pre-filter
-        // for every injection run. Build failures (e.g. an observation run
-        // that does not exit cleanly) silently disable the fast path: the
-        // campaign is then merely slower, never wrong.
-        let oracle = if cfg.use_liveness_oracle && cfg.target == InjectionTarget::DataArray {
-            LivenessOracle::build(cfg.core, &program, cfg.component).ok()
-        } else {
-            None
-        };
-        let oracle = oracle.as_ref();
         let threads = if cfg.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -677,14 +749,11 @@ impl Campaign {
         } else {
             cfg.threads
         }
-        .min(cfg.runs);
-        let next = AtomicUsize::new(0);
+        .min(range.len())
+        .max(1);
+        let next = AtomicUsize::new(range.start);
         let slots: WatchdogSlots = (0..threads).map(|_| Mutex::new(None)).collect();
         let watchdog_stop = AtomicBool::new(false);
-        let mut counts = ClassCounts::new();
-        let mut details: Vec<RunDetail> = Vec::new();
-        let mut anomalies = AnomalyLog::new();
-        let mut oracle_skips = 0u64;
         let mut worker_panicked = false;
         std::thread::scope(|scope| {
             if let Some(budget) = cfg.run_wall_budget {
@@ -694,9 +763,8 @@ impl Campaign {
             }
             let mut handles = Vec::new();
             for slot in &slots {
-                let program = &program;
-                let golden_output = &golden_output;
                 let next = &next;
+                let range = &range;
                 handles.push(scope.spawn(move || {
                     let mut local = ClassCounts::new();
                     let mut local_details = Vec::new();
@@ -704,7 +772,7 @@ impl Campaign {
                     let mut local_skips = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= cfg.runs {
+                        if i >= range.end {
                             break;
                         }
                         let cancel = Arc::new(AtomicBool::new(false));
@@ -741,7 +809,7 @@ impl Campaign {
                         counts.merge(&local);
                         details.extend(local_details);
                         anomalies.merge(local_anomalies);
-                        oracle_skips += local_skips;
+                        *oracle_skips += local_skips;
                     }
                     // A panic *outside* the per-run isolation boundary is an
                     // engine bug; salvage the other workers' results and
@@ -754,6 +822,90 @@ impl Campaign {
         if worker_panicked {
             return Err(CampaignError::WorkerPanicked);
         }
+        Ok(())
+    }
+
+    /// The achieved error margin of `counts` over the component's fault
+    /// population, with the measured AVF (clamped to `[0.01, 0.99]`) as the
+    /// probability estimate.
+    fn achieved_margin(
+        &self,
+        counts: &ClassCounts,
+        fault_free_cycles: u64,
+        z: f64,
+    ) -> Result<f64, CampaignError> {
+        let population = stats::fault_population(
+            component_bits(self.config.component),
+            fault_free_cycles.max(1),
+        );
+        let samples = counts.total().clamp(1, population);
+        let p = counts.avf().clamp(0.01, 0.99);
+        Ok(stats::error_margin(population, samples, z, p)?)
+    }
+
+    /// Runs the whole campaign (parallel, deterministic), reporting failures
+    /// as [`CampaignError`] instead of panicking.
+    ///
+    /// With [`CampaignConfig::adaptive`] set, runs execute in batches and
+    /// the campaign stops as soon as the achieved margin (measured AVF as
+    /// `p`) meets the target — see [`AdaptiveSpec`].
+    pub fn try_run(&self) -> Result<CampaignResult, CampaignError> {
+        let cfg = &self.config;
+        let program = cfg.workload.program();
+        let (golden_output, golden_code, cycles, instructions) = self.golden(&program)?;
+        // Target geometry is config-determined; compute it once instead of
+        // per run so the oracle fast path can skip Simulator construction.
+        let geometry = {
+            let sim = Simulator::new(cfg.core, &program);
+            match cfg.target {
+                InjectionTarget::DataArray => sim.component_geometry(cfg.component),
+                InjectionTarget::TagArray => sim.tag_geometry(cfg.component),
+            }
+        };
+        // One fault-free observation run buys the provably-masked pre-filter
+        // for every injection run. Build failures (e.g. an observation run
+        // that does not exit cleanly) silently disable the fast path: the
+        // campaign is then merely slower, never wrong.
+        let oracle = if cfg.use_liveness_oracle && cfg.target == InjectionTarget::DataArray {
+            LivenessOracle::build(cfg.core, &program, cfg.component).ok()
+        } else {
+            None
+        };
+        let oracle = oracle.as_ref();
+        let mut counts = ClassCounts::new();
+        let mut details: Vec<RunDetail> = Vec::new();
+        let mut anomalies = AnomalyLog::new();
+        let mut oracle_skips = 0u64;
+        let mut executed = 0usize;
+        while executed < cfg.runs {
+            let end = match &cfg.adaptive {
+                None => cfg.runs,
+                Some(a) => (executed + a.batch).min(cfg.runs),
+            };
+            self.run_batch(
+                &program,
+                executed..end,
+                cycles,
+                &golden_output,
+                golden_code,
+                geometry,
+                oracle,
+                &mut counts,
+                &mut details,
+                &mut anomalies,
+                &mut oracle_skips,
+            )?;
+            executed = end;
+            if let Some(a) = &cfg.adaptive {
+                if executed >= a.min_runs
+                    && self.achieved_margin(&counts, cycles, a.z)? <= a.target_margin
+                {
+                    break;
+                }
+            }
+        }
+        let z = cfg.adaptive.as_ref().map(|a| a.z).unwrap_or(stats::Z_99);
+        let achieved_margin = Some(self.achieved_margin(&counts, cycles, z)?);
         details.sort_by_key(|d| d.index);
         anomalies.sort();
         Ok(CampaignResult {
@@ -770,6 +922,7 @@ impl Campaign {
             },
             anomalies,
             oracle_skips,
+            achieved_margin,
         })
     }
 
@@ -1135,5 +1288,130 @@ mod resilience_tests {
         )
         .run();
         assert!(r.anomalies.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+
+    #[test]
+    fn invalid_adaptive_specs_are_rejected() {
+        let base = || CampaignConfig::new(Workload::Stringsearch, HwComponent::L1D, 1).runs(100);
+        let bad_margin = AdaptiveSpec {
+            target_margin: 0.0,
+            ..AdaptiveSpec::paper()
+        };
+        assert!(matches!(
+            Campaign::try_new(base().adaptive(Some(bad_margin))).unwrap_err(),
+            CampaignError::InvalidAdaptiveSpec { .. }
+        ));
+        let bad_z = AdaptiveSpec {
+            z: -1.0,
+            ..AdaptiveSpec::paper()
+        };
+        assert!(matches!(
+            Campaign::try_new(base().adaptive(Some(bad_z))).unwrap_err(),
+            CampaignError::InvalidAdaptiveSpec { .. }
+        ));
+        let bad_batch = AdaptiveSpec {
+            batch: 0,
+            ..AdaptiveSpec::paper()
+        };
+        assert!(matches!(
+            Campaign::try_new(base().adaptive(Some(bad_batch))).unwrap_err(),
+            CampaignError::InvalidAdaptiveSpec { .. }
+        ));
+        let bad_min = AdaptiveSpec {
+            min_runs: 0,
+            ..AdaptiveSpec::paper()
+        };
+        assert!(matches!(
+            Campaign::try_new(base().adaptive(Some(bad_min))).unwrap_err(),
+            CampaignError::InvalidAdaptiveSpec { .. }
+        ));
+        assert!(Campaign::try_new(base().adaptive(Some(AdaptiveSpec::paper()))).is_ok());
+    }
+
+    /// ISSUE 3 acceptance: a high-mask campaign under adaptive sampling
+    /// stops measurably earlier than the paper's fixed 2 000 runs while
+    /// still achieving the paper's 2.88 % margin.
+    #[test]
+    fn adaptive_stops_high_mask_campaign_early_with_paper_margin() {
+        let r = Campaign::new(
+            CampaignConfig::new(Workload::Stringsearch, HwComponent::L2, 1)
+                .runs(2000)
+                .seed(17)
+                .use_liveness_oracle(true)
+                .adaptive(Some(AdaptiveSpec::paper())),
+        )
+        .run();
+        let margin = r.achieved_margin.expect("margin always computed");
+        assert!(
+            r.counts.total() < 2000,
+            "adaptive sampling must stop early, ran all {} runs",
+            r.counts.total()
+        );
+        assert!(
+            margin <= 0.0288,
+            "achieved margin {margin} must meet the paper's 2.88 % target"
+        );
+        // Near-fully-masked L2 campaigns converge fast: one or two batches.
+        assert!(
+            r.counts.total() <= 400,
+            "expected convergence within a few batches, got {}",
+            r.counts.total()
+        );
+    }
+
+    #[test]
+    fn adaptive_campaign_is_deterministic_across_thread_counts() {
+        let base = CampaignConfig::new(Workload::Stringsearch, HwComponent::L2, 1)
+            .runs(600)
+            .seed(23)
+            .adaptive(Some(AdaptiveSpec {
+                target_margin: 0.0288,
+                z: stats::Z_99,
+                min_runs: 50,
+                batch: 50,
+            }));
+        let a = Campaign::new(base.clone().threads(1)).run();
+        let b = Campaign::new(base.threads(4)).run();
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.achieved_margin, b.achieved_margin);
+    }
+
+    #[test]
+    fn fixed_campaigns_still_report_achieved_margin() {
+        let r = Campaign::new(
+            CampaignConfig::new(Workload::Stringsearch, HwComponent::RegFile, 1)
+                .runs(24)
+                .seed(7),
+        )
+        .run();
+        assert_eq!(r.counts.total(), 24);
+        let margin = r
+            .achieved_margin
+            .expect("fixed campaigns report margin too");
+        assert!(margin > 0.0 && margin < 1.0, "got {margin}");
+    }
+
+    #[test]
+    fn adaptive_never_exceeds_configured_runs_cap() {
+        // A small, vulnerable structure with a loose cap: the margin check
+        // may never trigger, but the cap still bounds the campaign.
+        let r = Campaign::new(
+            CampaignConfig::new(Workload::Stringsearch, HwComponent::RegFile, 2)
+                .runs(120)
+                .seed(29)
+                .adaptive(Some(AdaptiveSpec {
+                    target_margin: 0.001,
+                    z: stats::Z_99,
+                    min_runs: 40,
+                    batch: 40,
+                })),
+        )
+        .run();
+        assert_eq!(r.counts.total(), 120, "cap must bound adaptive campaigns");
     }
 }

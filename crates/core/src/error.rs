@@ -8,6 +8,7 @@
 //! messages are these errors' `Display` output.
 
 use crate::mask::ClusterSpec;
+use crate::stats::StatsError;
 use mbu_cpu::{HwComponent, RunEnd};
 use mbu_workloads::Workload;
 use std::fmt;
@@ -42,6 +43,20 @@ pub enum CampaignError {
     /// A worker thread died outside the per-run isolation boundary (an
     /// engine bug, not an injected-fault effect).
     WorkerPanicked,
+    /// The adaptive-sampling specification was malformed.
+    InvalidAdaptiveSpec {
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A sampling-statistics computation failed (out-of-range margin,
+    /// probability or sample count).
+    Stats(StatsError),
+}
+
+impl From<StatsError> for CampaignError {
+    fn from(e: StatsError) -> Self {
+        CampaignError::Stats(e)
+    }
 }
 
 impl fmt::Display for CampaignError {
@@ -63,6 +78,10 @@ impl fmt::Display for CampaignError {
             CampaignError::WorkerPanicked => {
                 f.write_str("campaign worker thread panicked outside an isolated run")
             }
+            CampaignError::InvalidAdaptiveSpec { reason } => {
+                write!(f, "invalid adaptive-sampling spec: {reason}")
+            }
+            CampaignError::Stats(e) => write!(f, "sampling statistics: {e}"),
         }
     }
 }

@@ -1,0 +1,207 @@
+//! Campaign-integrity primitives: checksums and golden-run fingerprints.
+//!
+//! A fault injector's own infrastructure must be verifiably correct, or its
+//! AVF/FIT numbers are noise. Two ingredients live here:
+//!
+//! * [`crc32`] — the IEEE CRC-32 used to checksum every persisted result
+//!   row, so a torn write or a flipped bit in a checkpoint file is detected
+//!   on load instead of silently corrupting Tables IV–V;
+//! * [`GoldenFingerprint`] — a digest of the fault-free reference run
+//!   (output bytes, exit code, cycle count, committed instructions and a
+//!   core-configuration digest). Every checkpoint row is stamped with the
+//!   fingerprint of its workload's golden run; on resume the fingerprint is
+//!   recomputed, and a row whose fingerprint no longer matches (the
+//!   simulator or the workload binary changed underneath the checkpoint) is
+//!   re-run rather than merged into derived tables.
+
+use crate::error::CampaignError;
+use mbu_cpu::{CoreConfig, RunEnd, Simulator};
+use mbu_workloads::Workload;
+use std::fmt;
+use std::str::FromStr;
+
+/// IEEE CRC-32 lookup table (reflected polynomial 0xEDB88320), built at
+/// compile time so the hot path is one table lookup per byte.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` (the `cksum`/zlib polynomial, reflected).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A digest of the core configuration. Any change to the microarchitectural
+/// parameters (cache geometry, queue sizes, pipeline widths, …) changes the
+/// digest, which in turn invalidates every stored fingerprint.
+pub fn config_digest(core: &CoreConfig) -> u64 {
+    fnv1a64(format!("{core:?}").as_bytes())
+}
+
+/// The fingerprint of a fault-free golden run: a 64-bit digest of the
+/// reference output bytes, exit code, cycle count, committed instructions
+/// and the [`config_digest`] of the simulated core.
+///
+/// Rendered and parsed as 16 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GoldenFingerprint(pub u64);
+
+impl GoldenFingerprint {
+    /// Digests the components of a golden run.
+    pub fn digest(
+        output: &[u8],
+        exit_code: u32,
+        cycles: u64,
+        instructions: u64,
+        config: u64,
+    ) -> Self {
+        let mut h = fnv1a64(output);
+        for word in [exit_code as u64, cycles, instructions, config] {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        Self(h)
+    }
+}
+
+impl fmt::Display for GoldenFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl FromStr for GoldenFingerprint {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        u64::from_str_radix(s, 16).map(GoldenFingerprint)
+    }
+}
+
+/// Executes the fault-free golden run of `workload` on `core` and digests
+/// it. The same (simulator build, core configuration, workload program)
+/// always produces the same fingerprint; any of them changing changes it.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::GoldenRunFailed`] if the fault-free run does
+/// not exit cleanly.
+pub fn golden_fingerprint(
+    core: CoreConfig,
+    workload: Workload,
+) -> Result<GoldenFingerprint, CampaignError> {
+    let program = workload.program();
+    let r = Simulator::new(core, &program).run(u64::MAX / 8);
+    match r.end {
+        RunEnd::Exited { code } => Ok(GoldenFingerprint::digest(
+            &r.output,
+            code,
+            r.cycles,
+            r.instructions,
+            config_digest(&core),
+        )),
+        end => Err(CampaignError::GoldenRunFailed { workload, end }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_every_single_bit_flip() {
+        let base = b"l1d,sha,1,90,5,3,1,1,12345,6789";
+        let reference = crc32(base);
+        let mut buf = base.to_vec();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                buf[byte] ^= 1 << bit;
+                assert_ne!(crc32(&buf), reference, "flip at {byte}/{bit} undetected");
+                buf[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_roundtrips_through_hex() {
+        let fp = GoldenFingerprint(0x0123_4567_89AB_CDEF);
+        let s = fp.to_string();
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.parse::<GoldenFingerprint>().unwrap(), fp);
+        // Leading zeroes preserved.
+        let small = GoldenFingerprint(7);
+        assert_eq!(
+            small.to_string().parse::<GoldenFingerprint>().unwrap(),
+            small
+        );
+    }
+
+    #[test]
+    fn golden_fingerprint_is_deterministic_and_config_sensitive() {
+        let a = golden_fingerprint(CoreConfig::cortex_a9_like(), Workload::Stringsearch).unwrap();
+        let b = golden_fingerprint(CoreConfig::cortex_a9_like(), Workload::Stringsearch).unwrap();
+        assert_eq!(a, b, "same build + config + workload => same fingerprint");
+        let other_core =
+            golden_fingerprint(CoreConfig::in_order_a9(), Workload::Stringsearch).unwrap();
+        assert_ne!(a, other_core, "config change must change the fingerprint");
+        let other_workload =
+            golden_fingerprint(CoreConfig::cortex_a9_like(), Workload::Crc32).unwrap();
+        assert_ne!(
+            a, other_workload,
+            "workload change must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn digest_mixes_every_component() {
+        let base = GoldenFingerprint::digest(b"out", 0, 100, 50, 1);
+        assert_ne!(base, GoldenFingerprint::digest(b"out!", 0, 100, 50, 1));
+        assert_ne!(base, GoldenFingerprint::digest(b"out", 1, 100, 50, 1));
+        assert_ne!(base, GoldenFingerprint::digest(b"out", 0, 101, 50, 1));
+        assert_ne!(base, GoldenFingerprint::digest(b"out", 0, 100, 51, 1));
+        assert_ne!(base, GoldenFingerprint::digest(b"out", 0, 100, 50, 2));
+    }
+}

@@ -48,6 +48,7 @@ pub mod campaign;
 pub mod classify;
 pub mod error;
 pub mod fit;
+pub mod integrity;
 pub mod mask;
 pub mod paper;
 pub mod report;
@@ -56,8 +57,12 @@ pub mod stats;
 pub mod tech;
 
 pub use avf::{ClassBreakdown, ComponentAvf};
-pub use campaign::{Anomaly, AnomalyLog, Campaign, CampaignConfig, CampaignResult, RunHook};
+pub use campaign::{
+    AdaptiveSpec, Anomaly, AnomalyLog, Campaign, CampaignConfig, CampaignResult, RunHook,
+};
 pub use classify::{ClassCounts, FaultEffect};
 pub use error::CampaignError;
+pub use integrity::{golden_fingerprint, GoldenFingerprint};
 pub use mask::{ClusterSpec, FaultMask, MaskGenerator};
+pub use stats::StatsError;
 pub use tech::TechNode;

@@ -95,6 +95,16 @@ pub fn pct(v: f64) -> String {
     format!("{:.2}%", v * 100.0)
 }
 
+/// Formats an optional fraction as a percentage, `-` when absent — e.g. the
+/// achieved error margin of a campaign loaded from a pre-integrity
+/// checkpoint, which carries none.
+pub fn pct_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => pct(v),
+        None => "-".into(),
+    }
+}
+
 /// Formats a multiplicative factor with one decimal (`2.4x`).
 pub fn factor(v: f64) -> String {
     format!("{v:.1}x")

@@ -11,46 +11,112 @@
 //! (`z = 2.5758`) and 2 000 samples per campaign, which this module
 //! reproduces: the achieved margin is 2.88 %. After a campaign, the margin
 //! can be re-computed with the *measured* AVF as `p`, which tightens it to
-//! 2.4–2.88 % exactly as §III.A describes.
+//! 2.4–2.88 % exactly as §III.A describes — the margin-driven adaptive
+//! sampling in [`crate::campaign`] uses exactly this readjustment to stop
+//! early once the target margin is met.
+//!
+//! Out-of-range inputs are reported as typed [`StatsError`]s rather than
+//! panics: campaign code feeds these functions configuration values that
+//! may come straight from the environment.
+
+use std::fmt;
 
 /// z-value for 99 % confidence.
 pub const Z_99: f64 = 2.5758;
 /// z-value for 95 % confidence.
 pub const Z_95: f64 = 1.9600;
 
+/// Why a sampling computation could not be performed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// The fault-space population was zero.
+    ZeroPopulation,
+    /// The target error margin was outside `(0, 1)`.
+    MarginOutOfRange(f64),
+    /// The probability estimate was outside `(0, 1)`.
+    ProbabilityOutOfRange(f64),
+    /// The confidence z-value was not a positive finite number.
+    ConfidenceOutOfRange(f64),
+    /// The sample count was zero or exceeded the population.
+    SamplesOutOfRange {
+        /// The offending sample count.
+        samples: u64,
+        /// The population it was drawn from.
+        population: u64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::ZeroPopulation => f.write_str("population must be nonzero"),
+            StatsError::MarginOutOfRange(m) => write!(f, "margin {m} must be in (0, 1)"),
+            StatsError::ProbabilityOutOfRange(p) => write!(f, "p {p} must be in (0, 1)"),
+            StatsError::ConfidenceOutOfRange(z) => {
+                write!(f, "z {z} must be a positive finite number")
+            }
+            StatsError::SamplesOutOfRange {
+                samples,
+                population,
+            } => write!(f, "samples {samples} must be in 1..={population}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+fn check_common(population: u64, z: f64, p: f64) -> Result<(), StatsError> {
+    if population == 0 {
+        return Err(StatsError::ZeroPopulation);
+    }
+    if !(z.is_finite() && z > 0.0) {
+        return Err(StatsError::ConfidenceOutOfRange(z));
+    }
+    if !(p > 0.0 && p < 1.0) {
+        return Err(StatsError::ProbabilityOutOfRange(p));
+    }
+    Ok(())
+}
+
 /// Required sample size for the given population, margin, confidence and
 /// initial probability estimate.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `margin`, `p` or `population` are out of range.
-pub fn sample_size(population: u64, margin: f64, z: f64, p: f64) -> u64 {
-    assert!(population > 0, "population must be nonzero");
-    assert!(margin > 0.0 && margin < 1.0, "margin must be in (0, 1)");
-    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+/// Returns a [`StatsError`] if `population`, `margin`, `z` or `p` are out
+/// of range; never panics.
+pub fn sample_size(population: u64, margin: f64, z: f64, p: f64) -> Result<u64, StatsError> {
+    check_common(population, z, p)?;
+    if !(margin > 0.0 && margin < 1.0) {
+        return Err(StatsError::MarginOutOfRange(margin));
+    }
     let n = population as f64;
     let denom = 1.0 + margin * margin * (n - 1.0) / (z * z * p * (1.0 - p));
-    (n / denom).ceil() as u64
+    Ok((n / denom).ceil() as u64)
 }
 
 /// The error margin achieved by `samples` draws from `population` at
 /// confidence `z` with probability estimate `p` (inverse of
 /// [`sample_size`]).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `samples` is zero or exceeds the population.
-pub fn error_margin(population: u64, samples: u64, z: f64, p: f64) -> f64 {
-    assert!(
-        samples > 0 && samples <= population,
-        "samples must be in 1..=population"
-    );
+/// Returns a [`StatsError`] if `samples` is zero or exceeds the
+/// population, or if `z` / `p` are out of range; never panics.
+pub fn error_margin(population: u64, samples: u64, z: f64, p: f64) -> Result<f64, StatsError> {
+    check_common(population, z, p)?;
+    if samples == 0 || samples > population {
+        return Err(StatsError::SamplesOutOfRange {
+            samples,
+            population,
+        });
+    }
     let n = population as f64;
     let s = samples as f64;
     if samples == population {
-        return 0.0;
+        return Ok(0.0);
     }
-    z * (p * (1.0 - p) * (n - s) / (s * (n - 1.0))).sqrt()
+    Ok(z * (p * (1.0 - p) * (n - s) / (s * (n - 1.0))).sqrt())
 }
 
 /// The effective fault-space population of a structure: every bit at every
@@ -66,34 +132,34 @@ mod tests {
     #[test]
     fn paper_campaign_size_is_2000() {
         // Large population, e = 2.88 %, 99 % confidence, p = 0.5 -> ~2000.
-        let n = sample_size(u64::MAX / 2, 0.0288, Z_99, 0.5);
+        let n = sample_size(u64::MAX / 2, 0.0288, Z_99, 0.5).unwrap();
         assert!((1995..=2005).contains(&n), "got {n}");
     }
 
     #[test]
     fn margin_of_2000_samples_is_2_88_percent() {
-        let e = error_margin(u64::MAX / 2, 2000, Z_99, 0.5);
+        let e = error_margin(u64::MAX / 2, 2000, Z_99, 0.5).unwrap();
         assert!((e - 0.0288).abs() < 0.0002, "got {e}");
     }
 
     #[test]
     fn readjusted_p_tightens_margin() {
         // §III.A: with a measured AVF of ~0.2 the margin drops below 2.88 %.
-        let wide = error_margin(u64::MAX / 2, 2000, Z_99, 0.5);
-        let tight = error_margin(u64::MAX / 2, 2000, Z_99, 0.2);
+        let wide = error_margin(u64::MAX / 2, 2000, Z_99, 0.5).unwrap();
+        let tight = error_margin(u64::MAX / 2, 2000, Z_99, 0.2).unwrap();
         assert!(tight < wide);
         assert!(tight > 0.02 && tight < 0.0288);
     }
 
     #[test]
     fn sampling_whole_population_has_zero_margin() {
-        assert_eq!(error_margin(1000, 1000, Z_99, 0.5), 0.0);
+        assert_eq!(error_margin(1000, 1000, Z_99, 0.5), Ok(0.0));
     }
 
     #[test]
     fn small_population_needs_fewer_samples() {
-        let small = sample_size(5_000, 0.0288, Z_99, 0.5);
-        let large = sample_size(5_000_000, 0.0288, Z_99, 0.5);
+        let small = sample_size(5_000, 0.0288, Z_99, 0.5).unwrap();
+        let large = sample_size(5_000_000, 0.0288, Z_99, 0.5).unwrap();
         assert!(small < large);
         assert!(small < 5_000);
     }
@@ -105,8 +171,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "margin")]
-    fn zero_margin_rejected() {
-        let _ = sample_size(100, 0.0, Z_99, 0.5);
+    fn out_of_range_inputs_are_typed_errors_not_panics() {
+        assert_eq!(
+            sample_size(100, 0.0, Z_99, 0.5),
+            Err(StatsError::MarginOutOfRange(0.0))
+        );
+        assert_eq!(
+            sample_size(100, 1.5, Z_99, 0.5),
+            Err(StatsError::MarginOutOfRange(1.5))
+        );
+        assert_eq!(
+            sample_size(0, 0.02, Z_99, 0.5),
+            Err(StatsError::ZeroPopulation)
+        );
+        assert_eq!(
+            sample_size(100, 0.02, Z_99, 0.0),
+            Err(StatsError::ProbabilityOutOfRange(0.0))
+        );
+        assert_eq!(
+            sample_size(100, 0.02, -1.0, 0.5),
+            Err(StatsError::ConfidenceOutOfRange(-1.0))
+        );
+        assert_eq!(
+            error_margin(100, 0, Z_99, 0.5),
+            Err(StatsError::SamplesOutOfRange {
+                samples: 0,
+                population: 100
+            })
+        );
+        assert_eq!(
+            error_margin(100, 101, Z_99, 0.5),
+            Err(StatsError::SamplesOutOfRange {
+                samples: 101,
+                population: 100
+            })
+        );
+        assert_eq!(
+            error_margin(100, 10, Z_99, 1.0),
+            Err(StatsError::ProbabilityOutOfRange(1.0))
+        );
+        // NaN inputs are rejected, not propagated.
+        assert!(error_margin(100, 10, f64::NAN, 0.5).is_err());
+        assert!(sample_size(100, f64::NAN, Z_99, 0.5).is_err());
     }
 }

@@ -93,12 +93,12 @@ proptest! {
     ) {
         let margin = margin_mill as f64 / 1000.0;
         let p = p_pct as f64 / 100.0;
-        let n = sample_size(population, margin, Z_99, p).min(population);
-        let achieved = error_margin(population, n, Z_99, p);
+        let n = sample_size(population, margin, Z_99, p).unwrap().min(population);
+        let achieved = error_margin(population, n, Z_99, p).unwrap();
         prop_assert!(achieved <= margin + 1e-9, "n={n}: achieved {achieved} > requested {margin}");
         // One fewer sample must not do better than the requested margin.
         if n > 1 && n < population {
-            let worse = error_margin(population, n - 1, Z_99, p);
+            let worse = error_margin(population, n - 1, Z_99, p).unwrap();
             prop_assert!(worse >= achieved);
         }
     }

@@ -42,8 +42,9 @@ fn main() {
         // bit at every cycle; the achieved error margin uses the measured
         // AVF as the probability estimate (tighter than the p = 0.5 prior).
         let population = fault_population(component_bits(component), result.fault_free_cycles);
-        let planned = sample_size(population, 0.0288, Z_99, 0.5);
-        let achieved = error_margin(population, runs as u64, Z_99, b.avf().clamp(0.01, 0.99));
+        let planned = sample_size(population, 0.0288, Z_99, 0.5).expect("valid sampling inputs");
+        let achieved = error_margin(population, runs as u64, Z_99, b.avf().clamp(0.01, 0.99))
+            .expect("valid sampling inputs");
         println!(
             "  population {population} fault sites; 2.88% margin needs {planned} runs; \
              these {runs} runs give ±{:.2}% at 99% confidence",
