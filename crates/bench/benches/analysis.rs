@@ -33,6 +33,7 @@ fn full_store() -> ResultStore {
                     anomalies: AnomalyLog::new(),
                     oracle_skips: 0,
                     achieved_margin: Some(0.0251),
+                    snapshot_stats: None,
                 });
             }
         }

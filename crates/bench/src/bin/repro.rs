@@ -16,6 +16,8 @@
 //!   verify-store <csv>  read-only integrity audit of a checkpoint file:
 //!                    format version, per-row CRCs, golden-run fingerprints
 //!                    vs the current binaries
+//!   snapbench        campaign wall-clock with the snapshot fast path off
+//!                    vs on, per component; emits BENCH_snapshot.json
 //!   all              everything in paper order
 //!
 //! flags:
@@ -23,11 +25,16 @@
 //!                    instead of measured data
 //!   --csv            print CSV instead of ASCII tables
 //!   --out <path>     results CSV path (default results/measured.csv)
-//!   --workload <w>   workload for `occupancy` (default stringsearch)
+//!   --workload <w>   workload for `occupancy`/`snapbench` (default
+//!                    stringsearch)
+//!   --snapshots      enable checkpoint/restore fast-forward injection for
+//!                    every campaign (measure/fig1-6/xval/all);
+//!                    classifications stay bit-identical
 //!
 //! environment: MBU_RUNS, MBU_SEED, MBU_THREADS, MBU_WORKLOADS,
 //! MBU_ADAPTIVE_MARGIN (adaptive early stopping), MBU_DEADLINE_SECS
-//! (sweep wall-clock budget).
+//! (sweep wall-clock budget), MBU_SNAPSHOTS, MBU_SNAPSHOT_INTERVAL,
+//! MBU_SNAPSHOT_MEM_MB (snapshot fast path and its memory cap).
 //! ```
 
 use mbu_bench::{AnalyticalStore, Experiments, ResultStore};
@@ -47,6 +54,7 @@ struct Options {
     chart: bool,
     out: PathBuf,
     workload: Workload,
+    snapshots: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -58,11 +66,13 @@ fn parse_args() -> Result<Options, String> {
     let mut out = PathBuf::from("results/measured.csv");
     let mut chart = false;
     let mut workload = Workload::Stringsearch;
+    let mut snapshots = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper" => use_paper = true,
             "--csv" => csv = true,
             "--chart" => chart = true,
+            "--snapshots" => snapshots = true,
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a path")?);
             }
@@ -90,15 +100,18 @@ fn parse_args() -> Result<Options, String> {
         chart,
         out,
         workload,
+        snapshots,
     })
 }
 
 fn usage() {
     eprintln!(
-        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|xval|occupancy|verify-store|all> [--paper] [--csv] [--chart] [--out path] [--workload w]\n\
+        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|xval|occupancy|verify-store|snapbench|all> [--paper] [--csv] [--chart] [--out path] [--workload w] [--snapshots]\n\
          \x20      repro verify-store <checkpoint.csv>   read-only integrity audit\n\
+         \x20      repro snapbench [--workload w]        snapshot off/on wall-clock -> BENCH_snapshot.json\n\
          env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS,\n\
-         \x20      MBU_ADAPTIVE_MARGIN, MBU_DEADLINE_SECS"
+         \x20      MBU_ADAPTIVE_MARGIN, MBU_DEADLINE_SECS, MBU_SNAPSHOTS,\n\
+         \x20      MBU_SNAPSHOT_INTERVAL, MBU_SNAPSHOT_MEM_MB"
     );
 }
 
@@ -228,6 +241,9 @@ fn measure_all(e: &Experiments, opts: &Options, store: &mut ResultStore) {
 fn run(opts: &Options) -> Result<(), String> {
     let mut e = Experiments::from_env();
     e.verbose = true;
+    if opts.snapshots {
+        e.use_snapshots = true;
+    }
     let id = opts.experiment.as_str();
     match id {
         "table1" => emit(&e.table1(), opts.csv),
@@ -347,6 +363,25 @@ fn run(opts: &Options) -> Result<(), String> {
             let mut store = load_store(opts);
             measure_all(&e, opts, &mut store);
             eprintln!("saved {} campaigns to {}", store.len(), opts.out.display());
+        }
+        "snapbench" => {
+            let w = opts.workload;
+            eprintln!(
+                "benchmarking snapshot fast path off/on: 6 components x {} runs on {w}",
+                e.runs
+            );
+            let report = e.snapbench(w);
+            emit(&report.table(), opts.csv);
+            if !report.all_identical() {
+                return Err("snapshot fast path changed a classification".into());
+            }
+            let path = std::path::Path::new("BENCH_snapshot.json");
+            std::fs::write(path, report.to_json()).map_err(|err| err.to_string())?;
+            eprintln!(
+                "max speedup {:.2}x; wrote {}",
+                report.max_speedup(),
+                path.display()
+            );
         }
         "verify-store" => {
             // Read-only: audits without quarantining, rewriting or

@@ -25,6 +25,7 @@ use mbu_gefin::stats::{error_margin, fault_population, Z_99};
 use mbu_gefin::tech::{
     assessment_gap, component_bits, node_avf, node_avf_with_rates, projected, TechNode,
 };
+use mbu_gefin::SnapshotSpec;
 use mbu_workloads::Workload;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -127,6 +128,19 @@ pub struct Experiments {
     /// Wall-clock budget for a whole sweep (`MBU_DEADLINE_SECS`, default
     /// none); on expiry the sweep stops cleanly with partial results.
     pub deadline: Option<Duration>,
+    /// Checkpoint/restore fast-forward injection (`MBU_SNAPSHOTS`, default
+    /// off): every campaign records golden-run snapshots, restores the
+    /// nearest one instead of re-simulating the fault-free prefix, and
+    /// classifies reconverged runs `Masked` early. Classifications are
+    /// bit-identical to the plain path.
+    pub use_snapshots: bool,
+    /// Snapshot interval in cycles (`MBU_SNAPSHOT_INTERVAL`, default:
+    /// auto-tuned from each workload's fault-free execution time).
+    pub snapshot_interval: Option<u64>,
+    /// Hard cap on retained snapshot memory in MiB (`MBU_SNAPSHOT_MEM_MB`);
+    /// over the cap the store thins to sparser intervals instead of
+    /// growing.
+    pub snapshot_mem_mb: Option<u64>,
 }
 
 impl Default for Experiments {
@@ -140,6 +154,9 @@ impl Default for Experiments {
             verbose: false,
             adaptive: None,
             deadline: None,
+            use_snapshots: false,
+            snapshot_interval: None,
+            snapshot_mem_mb: None,
         }
     }
 }
@@ -174,6 +191,20 @@ impl Experiments {
             e.deadline = Some(Duration::from_secs(
                 v.parse().expect("MBU_DEADLINE_SECS must be an integer"),
             ));
+        }
+        if let Ok(v) = std::env::var("MBU_SNAPSHOTS") {
+            e.use_snapshots = match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" | "yes" => true,
+                "0" | "false" | "off" | "no" | "" => false,
+                other => panic!("MBU_SNAPSHOTS must be on/off, got `{other}`"),
+            };
+        }
+        if let Ok(v) = std::env::var("MBU_SNAPSHOT_INTERVAL") {
+            e.snapshot_interval =
+                Some(v.parse().expect("MBU_SNAPSHOT_INTERVAL must be an integer"));
+        }
+        if let Ok(v) = std::env::var("MBU_SNAPSHOT_MEM_MB") {
+            e.snapshot_mem_mb = Some(v.parse().expect("MBU_SNAPSHOT_MEM_MB must be an integer"));
         }
         e
     }
@@ -269,7 +300,7 @@ impl Experiments {
     /// The campaign configuration for one (component, workload,
     /// cardinality) — the single source of truth both execution paths and
     /// the fingerprint computation share.
-    fn campaign_config(
+    pub(crate) fn campaign_config(
         &self,
         component: HwComponent,
         workload: Workload,
@@ -279,7 +310,12 @@ impl Experiments {
             .runs(self.runs)
             .seed(self.seed)
             .threads(self.threads)
-            .adaptive(self.adaptive);
+            .adaptive(self.adaptive)
+            .use_snapshots(self.use_snapshots)
+            .snapshot_spec(SnapshotSpec {
+                interval: self.snapshot_interval,
+                mem_cap_bytes: self.snapshot_mem_mb.map(|mb| mb * 1024 * 1024),
+            });
         cfg.core = self.core;
         cfg
     }

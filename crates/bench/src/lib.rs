@@ -21,12 +21,21 @@
 //!   margin-driven adaptive early stopping per campaign.
 //! * `MBU_DEADLINE_SECS` — wall-clock budget for a whole sweep; on expiry
 //!   the sweep stops cleanly with partial (checkpointed) results.
+//! * `MBU_SNAPSHOTS` — `on` enables checkpoint/restore fast-forward
+//!   injection (golden-run snapshots, nearest-checkpoint restore, early
+//!   `Masked` reconvergence classification); classifications stay
+//!   bit-identical to the plain path.
+//! * `MBU_SNAPSHOT_INTERVAL` — snapshot interval in cycles (default:
+//!   auto-tuned from each workload's fault-free execution time).
+//! * `MBU_SNAPSHOT_MEM_MB` — hard cap on retained snapshot memory; over
+//!   the cap the store thins itself to sparser intervals.
 
 #![forbid(unsafe_code)]
 
 pub mod chaos;
 pub mod experiments;
 pub mod io;
+pub mod snapbench;
 pub mod store;
 #[cfg(feature = "bench-harness")]
 pub mod tinybench;
@@ -34,6 +43,7 @@ pub mod tinybench;
 pub use chaos::{ChaosIo, ChaosPlan};
 pub use experiments::{ComponentData, Experiments, SweepControl, SweepReport};
 pub use io::{RealIo, RetryIo, RetryPolicy, StoreIo};
+pub use snapbench::{SnapbenchReport, SnapbenchRow};
 pub use store::{
     AnalyticalRow, AnalyticalStore, LoadAudit, QuarantinedRow, ResultStore, RowDefect, StoreError,
     StoreVersion,

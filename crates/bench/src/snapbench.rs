@@ -1,0 +1,207 @@
+//! `repro snapbench` — campaign wall-clock with the snapshot fast path off
+//! vs on, per component, emitted as `BENCH_snapshot.json`.
+//!
+//! Each row times one complete injection campaign twice with identical
+//! configuration (same seed, same run count, same workload) — first the
+//! plain path that re-simulates every run from cycle 0, then the
+//! checkpoint/restore fast path — and cross-checks that both produce the
+//! same per-class counts, so a speedup can never come from classifying
+//! differently. The feature-gated `benches/snapshot.rs` re-measures the
+//! same pairs under the in-tree `tinybench` harness; this module keeps the
+//! measurement available to the plain `repro` binary (built without the
+//! `bench-harness` feature) and renders the machine-readable JSON.
+
+use crate::experiments::Experiments;
+use crate::store::component_slug;
+use mbu_cpu::HwComponent;
+use mbu_gefin::campaign::Campaign;
+use mbu_gefin::report::{factor, Table};
+use mbu_workloads::Workload;
+use std::time::Instant;
+
+/// One off/on wall-clock pair for a single component.
+#[derive(Debug, Clone)]
+pub struct SnapbenchRow {
+    /// The injected structure.
+    pub component: HwComponent,
+    /// Plain-path campaign wall-clock, seconds.
+    pub off_secs: f64,
+    /// Snapshot fast-path campaign wall-clock, seconds.
+    pub on_secs: f64,
+    /// Classified runs per campaign (identical off vs on).
+    pub classified_runs: u64,
+    /// Fast-path runs that restored a mid-run checkpoint.
+    pub restores: u64,
+    /// Fast-path runs classified `Masked` early by a reconvergence check.
+    pub early_masked: u64,
+    /// Whether both paths produced identical per-class counts.
+    pub identical: bool,
+}
+
+impl SnapbenchRow {
+    /// Wall-clock speedup of the fast path (plain / snapshot).
+    pub fn speedup(&self) -> f64 {
+        self.off_secs / self.on_secs.max(1e-9)
+    }
+}
+
+/// The full off/on sweep over every injectable component.
+#[derive(Debug, Clone)]
+pub struct SnapbenchReport {
+    /// The benchmarked workload.
+    pub workload: Workload,
+    /// Configured runs per campaign.
+    pub runs: usize,
+    /// Fault cardinality per injection.
+    pub faults: usize,
+    /// Campaign seed (both paths).
+    pub seed: u64,
+    /// One row per component.
+    pub rows: Vec<SnapbenchRow>,
+}
+
+impl SnapbenchReport {
+    /// The best speedup across components.
+    pub fn max_speedup(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(SnapbenchRow::speedup)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every component classified identically off vs on.
+    pub fn all_identical(&self) -> bool {
+        self.rows.iter().all(|r| r.identical)
+    }
+
+    /// Renders the report as the `BENCH_snapshot.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"workload\": \"{}\",\n", self.workload.name()));
+        out.push_str(&format!("  \"runs_per_campaign\": {},\n", self.runs));
+        out.push_str(&format!("  \"faults\": {},\n", self.faults));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"components\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"component\": \"{}\", \"off_secs\": {:.6}, \"on_secs\": {:.6}, \
+                 \"speedup\": {:.3}, \"classified_runs\": {}, \"snapshot_restores\": {}, \
+                 \"early_masked\": {}, \"identical_classifications\": {}}}{}\n",
+                component_slug(r.component),
+                r.off_secs,
+                r.on_secs,
+                r.speedup(),
+                r.classified_runs,
+                r.restores,
+                r.early_masked,
+                r.identical,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"max_speedup\": {:.3},\n", self.max_speedup()));
+        out.push_str(&format!("  \"all_identical\": {}\n", self.all_identical()));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the report as an ASCII table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "Snapshot fast-path speedup — {} ({} runs x {}-bit per campaign)",
+                self.workload, self.runs, self.faults
+            ),
+            &[
+                "Component",
+                "Plain (s)",
+                "Snapshots (s)",
+                "Speedup",
+                "Restores",
+                "Early-masked",
+                "Identical",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.component.to_string(),
+                format!("{:.3}", r.off_secs),
+                format!("{:.3}", r.on_secs),
+                factor(r.speedup()),
+                r.restores.to_string(),
+                r.early_masked.to_string(),
+                if r.identical { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+impl Experiments {
+    /// Benchmarks every component's campaign with snapshots off then on,
+    /// cross-checking that both paths classify identically.
+    pub fn snapbench(&self, workload: Workload) -> SnapbenchReport {
+        let faults = 2;
+        let mut rows = Vec::new();
+        for c in HwComponent::ALL {
+            if self.verbose {
+                eprintln!("  snapbench {c}/{workload}: plain path");
+            }
+            // Watchdog off: its shutdown poll (~100 ms) would floor the
+            // fast path's wall-clock and understate the speedup; the cycle
+            // limit (4 × T_ff) still bounds every run.
+            let base = self
+                .campaign_config(c, workload, faults)
+                .run_wall_budget(None);
+            let t0 = Instant::now();
+            let off = Campaign::new(base.clone().use_snapshots(false)).run();
+            let off_secs = t0.elapsed().as_secs_f64();
+            if self.verbose {
+                eprintln!("  snapbench {c}/{workload}: snapshot fast path");
+            }
+            let t1 = Instant::now();
+            let on = Campaign::new(base.use_snapshots(true)).run();
+            let on_secs = t1.elapsed().as_secs_f64();
+            let stats = on.snapshot_stats.unwrap_or_default();
+            rows.push(SnapbenchRow {
+                component: c,
+                off_secs,
+                on_secs,
+                classified_runs: off.counts.total(),
+                restores: stats.restores,
+                early_masked: stats.early_masked,
+                identical: off.counts == on.counts,
+            });
+        }
+        SnapbenchReport {
+            workload,
+            runs: self.runs,
+            faults,
+            seed: self.seed,
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapbench_rows_cover_all_components_and_classify_identically() {
+        let e = Experiments {
+            runs: 6,
+            workloads: vec![Workload::Stringsearch],
+            ..Experiments::default()
+        };
+        let report = e.snapbench(Workload::Stringsearch);
+        assert_eq!(report.rows.len(), HwComponent::ALL.len());
+        assert!(report.all_identical(), "off/on classifications must match");
+        assert!(report.max_speedup() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"components\": ["));
+        assert!(json.contains("\"l2\""));
+        assert!(json.contains("\"all_identical\": true"));
+        assert_eq!(report.table().len(), HwComponent::ALL.len());
+    }
+}

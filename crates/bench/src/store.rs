@@ -400,6 +400,7 @@ impl ResultStore {
             anomalies: AnomalyLog::new(),
             oracle_skips: 0,
             achieved_margin,
+            snapshot_stats: None,
         };
         Ok((result, fingerprint))
     }
@@ -827,6 +828,7 @@ mod tests {
             anomalies: AnomalyLog::new(),
             oracle_skips: 0,
             achieved_margin: Some(0.0275),
+            snapshot_stats: None,
         }
     }
 

@@ -39,6 +39,7 @@ fn seeded_store() -> ResultStore {
                 details: None,
                 anomalies: AnomalyLog::new(),
                 oracle_skips: 0,
+                snapshot_stats: None,
                 achieved_margin: match faults {
                     2 => None,
                     _ => Some(0.021 + 0.001 * faults as f64),
@@ -212,6 +213,7 @@ proptest! {
                 anomalies: AnomalyLog::new(),
                 oracle_skips: 0,
                 achieved_margin: margin,
+                snapshot_stats: None,
             },
             fp.map(GoldenFingerprint),
         );

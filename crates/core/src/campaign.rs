@@ -44,7 +44,8 @@ use crate::tech::component_bits;
 use mbu_ace::LivenessOracle;
 use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
 use mbu_isa::Program;
-use mbu_sram::{BitCoord, Geometry};
+use mbu_snap::{SnapshotSpec, SnapshotStats, SnapshotStore};
+use mbu_sram::{BitCoord, Geometry, Restorable};
 use mbu_workloads::Workload;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
@@ -191,6 +192,18 @@ pub struct CampaignConfig {
     /// error margin (recomputed after every batch with the measured AVF as
     /// `p`) meets the target. `None` keeps the classic fixed-run behaviour.
     pub adaptive: Option<AdaptiveSpec>,
+    /// Checkpointed fast-forward injection: record a [`SnapshotStore`] of
+    /// golden-run checkpoints, start each injection run from the nearest
+    /// checkpoint at or before its injection cycle, and stop a run early as
+    /// `Masked` once a post-fault reconvergence check proves its reachable
+    /// state identical to the golden run's. Classifications are
+    /// bit-identical with this on or off (see `mbu_snap`); composes freely
+    /// with [`CampaignConfig::use_liveness_oracle`] and
+    /// [`CampaignConfig::adaptive`].
+    pub use_snapshots: bool,
+    /// Recording parameters (interval, memory cap) for the snapshot store;
+    /// only consulted when [`CampaignConfig::use_snapshots`] is set.
+    pub snapshot_spec: SnapshotSpec,
     /// Test-only fault hook, invoked with the run index at the start of each
     /// injection run *inside* the isolation boundary. Lets tests provoke
     /// panics and stalls in an otherwise healthy engine.
@@ -217,6 +230,8 @@ impl CampaignConfig {
             run_wall_budget: Some(Duration::from_secs(60)),
             use_liveness_oracle: false,
             adaptive: None,
+            use_snapshots: false,
+            snapshot_spec: SnapshotSpec::default(),
             run_hook: None,
         }
     }
@@ -277,6 +292,20 @@ impl CampaignConfig {
         self
     }
 
+    /// Enables (or disables) checkpointed fast-forward injection
+    /// (see [`CampaignConfig::use_snapshots`]).
+    pub fn use_snapshots(mut self, on: bool) -> Self {
+        self.use_snapshots = on;
+        self
+    }
+
+    /// Sets the snapshot recording parameters
+    /// (see [`CampaignConfig::snapshot_spec`]).
+    pub fn snapshot_spec(mut self, spec: SnapshotSpec) -> Self {
+        self.snapshot_spec = spec;
+        self
+    }
+
     /// Installs a test-only per-run hook (see [`CampaignConfig::run_hook`]).
     /// Accepts any `Fn(usize) + Send + Sync` — plain `fn` items and stateful
     /// capturing closures alike.
@@ -311,6 +340,10 @@ pub enum AnomalyKind {
     /// The run exceeded its wall-clock budget and was cancelled by the
     /// watchdog; it was classified as [`FaultEffect::Timeout`].
     WallClock,
+    /// The snapshot store hit its memory cap while recording and degraded
+    /// to a sparser checkpoint interval (campaign-level, logged as run 0;
+    /// classifications are unaffected, only the fast-forward granularity).
+    SnapshotMemCap,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -318,6 +351,7 @@ impl fmt::Display for AnomalyKind {
         match self {
             AnomalyKind::Panic => f.write_str("panic"),
             AnomalyKind::WallClock => f.write_str("wall-clock"),
+            AnomalyKind::SnapshotMemCap => f.write_str("snapshot-mem-cap"),
         }
     }
 }
@@ -432,6 +466,11 @@ pub struct CampaignResult {
     /// computable). `None` for results loaded from pre-integrity (v1)
     /// checkpoint files.
     pub achieved_margin: Option<f64>,
+    /// Snapshot-store bookkeeping — checkpoint count, interval, retained
+    /// bytes, cap-forced thinning, fast-forwarded restores and early-Masked
+    /// reconvergence exits. `None` unless
+    /// [`CampaignConfig::use_snapshots`] was set.
+    pub snapshot_stats: Option<SnapshotStats>,
 }
 
 impl CampaignResult {
@@ -494,6 +533,17 @@ fn derive_run_seed(campaign_seed: u64, run_index: usize) -> u64 {
     campaign_seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(run_index as u64 + 1)
+}
+
+/// Per-run bookkeeping flags threaded out of the isolation boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct RunExtras {
+    /// The liveness oracle proved the run masked without simulation.
+    oracle_skip: bool,
+    /// The run fast-forwarded from a golden checkpoint.
+    snapshot_restore: bool,
+    /// A reconvergence check proved the run masked before it finished.
+    snapshot_early_masked: bool,
 }
 
 /// A watchdog slot: the run currently executing on one worker thread.
@@ -571,13 +621,17 @@ impl Campaign {
         }
     }
 
-    /// Executes one injection run. Returns the run record plus whether the
-    /// liveness oracle proved it masked without simulation.
+    /// Executes one injection run. Returns the run record plus the
+    /// fast-path flags (oracle skip / snapshot restore / early mask).
     ///
     /// The oracle check is sound because a skipped run would have been
     /// cycle-identical to the golden run (see [`LivenessOracle`]): its
     /// detail record — `Masked`, `cycles == fault_free_cycles` — is exactly
-    /// what full simulation would have produced.
+    /// what full simulation would have produced. The reconvergence early
+    /// exit is sound for the same reason, established *after* the fault
+    /// instead of before it: once every reachable bit matches the golden
+    /// checkpoint, determinism makes the rest of the run identical to the
+    /// golden run, so it is `Masked` with exactly `fault_free_cycles`.
     #[allow(clippy::too_many_arguments)]
     fn one_run(
         &self,
@@ -588,21 +642,25 @@ impl Campaign {
         golden_code: u32,
         geometry: Geometry,
         oracle: Option<&LivenessOracle>,
+        snapshots: Option<&SnapshotStore>,
         cancel: &Arc<AtomicBool>,
-    ) -> (RunDetail, bool) {
+    ) -> (RunDetail, RunExtras) {
         let cfg = &self.config;
         if let Some(hook) = &cfg.run_hook {
             (hook.0)(run_index);
         }
         // Independent per-run RNG: deterministic under any thread schedule.
         // The draw order (injection cycle, then mask) must not depend on the
-        // oracle, so skipped and simulated runs see identical faults.
+        // oracle or the snapshot store, so skipped, fast-forwarded and
+        // fully-simulated runs all see identical faults.
         let run_seed = derive_run_seed(cfg.seed, run_index);
         let mut gen = MaskGenerator::seeded(run_seed, cfg.cluster);
         let inject_at = gen.injection_cycle(fault_free_cycles);
         let mask = gen.generate(geometry, cfg.faults);
+        let mut extras = RunExtras::default();
         if let Some(o) = oracle {
             if o.provably_masked(&mask.coords, inject_at) {
+                extras.oracle_skip = true;
                 let detail = RunDetail {
                     index: run_index,
                     inject_cycle: inject_at,
@@ -610,10 +668,16 @@ impl Campaign {
                     effect: FaultEffect::Masked,
                     cycles: fault_free_cycles,
                 };
-                return (detail, true);
+                return (detail, extras);
             }
         }
         let mut sim = Simulator::new(cfg.core, program);
+        if let Some(store) = snapshots {
+            // Fast-forward: skip the fault-free prefix by restoring the
+            // nearest golden checkpoint at or before the injection cycle.
+            sim.restore(store.nearest_at_or_before(inject_at));
+            extras.snapshot_restore = true;
+        }
         sim.set_cancel_flag(Arc::clone(cancel));
         let limit = fault_free_cycles * cfg.timeout_factor;
         // The injection point precedes the fault-free end, so the run cannot
@@ -624,9 +688,26 @@ impl Campaign {
                 InjectionTarget::TagArray => sim.inject_tag_flips(cfg.component, &mask.coords),
             }
         }
-        let end = sim.run_until_cycle(limit).unwrap_or(RunEnd::CycleLimit);
+        let end = match snapshots {
+            None => sim.run_until_cycle(limit),
+            Some(store) => {
+                let (end, early) = run_with_reconvergence(&mut sim, store, limit);
+                if early {
+                    extras.snapshot_early_masked = true;
+                    let detail = RunDetail {
+                        index: run_index,
+                        inject_cycle: inject_at,
+                        mask,
+                        effect: FaultEffect::Masked,
+                        cycles: fault_free_cycles,
+                    };
+                    return (detail, extras);
+                }
+                end
+            }
+        };
         let result = mbu_cpu::RunResult {
-            end,
+            end: end.unwrap_or(RunEnd::CycleLimit),
             output: sim.output().to_vec(),
             cycles: sim.cycle(),
             instructions: sim.instructions(),
@@ -638,7 +719,7 @@ impl Campaign {
             effect: classify(&result, golden_output, golden_code),
             cycles: result.cycles,
         };
-        (detail, false)
+        (detail, extras)
     }
 
     /// Executes one injection run inside the isolation boundary: panics are
@@ -661,8 +742,9 @@ impl Campaign {
         golden_code: u32,
         geometry: Geometry,
         oracle: Option<&LivenessOracle>,
+        snapshots: Option<&SnapshotStore>,
         cancel: &Arc<AtomicBool>,
-    ) -> (RunDetail, bool, Option<Anomaly>) {
+    ) -> (RunDetail, RunExtras, Option<Anomaly>) {
         install_quiet_panic_hook();
         let outcome = IN_ISOLATED_RUN.with(|flag| {
             flag.set(true);
@@ -675,6 +757,7 @@ impl Campaign {
                     golden_code,
                     geometry,
                     oracle,
+                    snapshots,
                     cancel,
                 )
             }));
@@ -682,7 +765,7 @@ impl Campaign {
             r
         });
         match outcome {
-            Ok((detail, skipped)) => {
+            Ok((detail, extras)) => {
                 let anomaly = if cancel.load(Ordering::Relaxed) {
                     Some(Anomaly {
                         run_index,
@@ -696,7 +779,7 @@ impl Campaign {
                 } else {
                     None
                 };
-                (detail, skipped, anomaly)
+                (detail, extras, anomaly)
             }
             Err(payload) => {
                 // A panic is the software image of a hardware assert: an
@@ -718,7 +801,7 @@ impl Campaign {
                     kind: AnomalyKind::Panic,
                     message: payload_message(payload.as_ref()),
                 };
-                (detail, false, Some(anomaly))
+                (detail, RunExtras::default(), Some(anomaly))
             }
         }
     }
@@ -736,10 +819,13 @@ impl Campaign {
         golden_code: u32,
         geometry: Geometry,
         oracle: Option<&LivenessOracle>,
+        snapshots: Option<&SnapshotStore>,
         counts: &mut ClassCounts,
         details: &mut Vec<RunDetail>,
         anomalies: &mut AnomalyLog,
         oracle_skips: &mut u64,
+        snap_restores: &mut u64,
+        snap_early_masked: &mut u64,
     ) -> Result<(), CampaignError> {
         let cfg = &self.config;
         let threads = if cfg.threads == 0 {
@@ -769,7 +855,7 @@ impl Campaign {
                     let mut local = ClassCounts::new();
                     let mut local_details = Vec::new();
                     let mut local_anomalies = AnomalyLog::new();
-                    let mut local_skips = 0u64;
+                    let mut local_extras = (0u64, 0u64, 0u64);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= range.end {
@@ -780,7 +866,7 @@ impl Campaign {
                             started: Instant::now(),
                             cancel: Arc::clone(&cancel),
                         });
-                        let (detail, skipped, anomaly) = self.one_run_isolated(
+                        let (detail, extras, anomaly) = self.one_run_isolated(
                             program,
                             i,
                             cycles,
@@ -788,11 +874,14 @@ impl Campaign {
                             golden_code,
                             geometry,
                             oracle,
+                            snapshots,
                             &cancel,
                         );
                         *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
                         local.record(detail.effect);
-                        local_skips += u64::from(skipped);
+                        local_extras.0 += u64::from(extras.oracle_skip);
+                        local_extras.1 += u64::from(extras.snapshot_restore);
+                        local_extras.2 += u64::from(extras.snapshot_early_masked);
                         if let Some(a) = anomaly {
                             local_anomalies.record(a);
                         }
@@ -800,16 +889,18 @@ impl Campaign {
                             local_details.push(detail);
                         }
                     }
-                    (local, local_details, local_anomalies, local_skips)
+                    (local, local_details, local_anomalies, local_extras)
                 }));
             }
             for h in handles {
                 match h.join() {
-                    Ok((local, local_details, local_anomalies, local_skips)) => {
+                    Ok((local, local_details, local_anomalies, local_extras)) => {
                         counts.merge(&local);
                         details.extend(local_details);
                         anomalies.merge(local_anomalies);
-                        *oracle_skips += local_skips;
+                        *oracle_skips += local_extras.0;
+                        *snap_restores += local_extras.1;
+                        *snap_early_masked += local_extras.2;
                     }
                     // A panic *outside* the per-run isolation boundary is an
                     // engine bug; salvage the other workers' results and
@@ -872,10 +963,44 @@ impl Campaign {
             None
         };
         let oracle = oracle.as_ref();
+        // One extra golden (recording) run buys checkpointed fast-forwarding
+        // and reconvergence-based early exit for every injection run.
+        let snapshots = if cfg.use_snapshots {
+            Some(SnapshotStore::record_golden(
+                cfg.core,
+                &program,
+                cycles,
+                cfg.snapshot_spec,
+            ))
+        } else {
+            None
+        };
+        let snapshots = snapshots.as_ref();
         let mut counts = ClassCounts::new();
         let mut details: Vec<RunDetail> = Vec::new();
         let mut anomalies = AnomalyLog::new();
+        if let Some(store) = snapshots {
+            let thinned = store.stats().thinned;
+            if thinned > 0 {
+                anomalies.record(Anomaly {
+                    run_index: 0,
+                    run_seed: cfg.seed,
+                    kind: AnomalyKind::SnapshotMemCap,
+                    message: format!(
+                        "snapshot store exceeded its {} byte cap; thinned {}× to a {}-cycle \
+                         interval ({} checkpoints, {} bytes retained)",
+                        cfg.snapshot_spec.mem_cap_bytes.unwrap_or(0),
+                        thinned,
+                        store.interval(),
+                        store.len(),
+                        store.retained_bytes(),
+                    ),
+                });
+            }
+        }
         let mut oracle_skips = 0u64;
+        let mut snap_restores = 0u64;
+        let mut snap_early_masked = 0u64;
         let mut executed = 0usize;
         while executed < cfg.runs {
             let end = match &cfg.adaptive {
@@ -890,10 +1015,13 @@ impl Campaign {
                 golden_code,
                 geometry,
                 oracle,
+                snapshots,
                 &mut counts,
                 &mut details,
                 &mut anomalies,
                 &mut oracle_skips,
+                &mut snap_restores,
+                &mut snap_early_masked,
             )?;
             executed = end;
             if let Some(a) = &cfg.adaptive {
@@ -923,6 +1051,11 @@ impl Campaign {
             anomalies,
             oracle_skips,
             achieved_margin,
+            snapshot_stats: snapshots.map(|s| SnapshotStats {
+                restores: snap_restores,
+                early_masked: snap_early_masked,
+                ..s.stats()
+            }),
         })
     }
 
@@ -936,6 +1069,45 @@ impl Campaign {
         match self.try_run() {
             Ok(result) => result,
             Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// Runs a post-injection simulator to `limit`, pausing at every golden
+/// checkpoint cycle for a reconvergence check. Returns the run end (if the
+/// machine finished) and whether a check proved the run masked.
+///
+/// The stall-fuse counter is owned here and threaded through every segment
+/// ([`Simulator::run_until_cycle_resumable`]), so a livelocked run trips
+/// the fuse after exactly as many commit-less cycles as an unsegmented
+/// [`Simulator::run_until_cycle`] call would — segmentation cannot change
+/// a classification.
+fn run_with_reconvergence(
+    sim: &mut Simulator,
+    store: &SnapshotStore,
+    limit: u64,
+) -> (Option<RunEnd>, bool) {
+    let mut stalled = 0u64;
+    loop {
+        match store.next_check_after(sim.cycle()).filter(|&c| c < limit) {
+            None => return (sim.run_until_cycle_resumable(limit, &mut stalled), false),
+            Some(check) => {
+                let end = sim.run_until_cycle_resumable(check, &mut stalled);
+                if end.is_some() {
+                    return (end, false);
+                }
+                if sim.cycle() < check {
+                    // The cooperative cancel flag tripped mid-segment (the
+                    // wall-clock watchdog): surface the unfinished run the
+                    // same way `run_until_cycle` does.
+                    return (None, false);
+                }
+                if let Some(golden) = store.golden_at(check) {
+                    if sim.converged_with(golden) {
+                        return (None, true);
+                    }
+                }
+            }
         }
     }
 }
@@ -1288,6 +1460,80 @@ mod resilience_tests {
         )
         .run();
         assert!(r.anomalies.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod snapshot_campaign_tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_campaign_is_bit_identical_to_plain() {
+        let base = CampaignConfig::new(Workload::Stringsearch, HwComponent::RegFile, 2)
+            .runs(20)
+            .seed(41)
+            .collect_details(true);
+        let plain = Campaign::new(base.clone()).run();
+        let fast = Campaign::new(base.use_snapshots(true)).run();
+        assert_eq!(plain.counts, fast.counts);
+        assert_eq!(plain.details, fast.details);
+        assert_eq!(plain.anomalies, fast.anomalies);
+        let stats = fast.snapshot_stats.expect("stats present when enabled");
+        assert!(stats.snapshots >= 2);
+        assert!(stats.restores > 0, "runs must fast-forward: {stats:?}");
+        assert!(plain.snapshot_stats.is_none());
+    }
+
+    #[test]
+    fn snapshot_mem_cap_degrades_gracefully_and_is_logged() {
+        let base = CampaignConfig::new(Workload::Stringsearch, HwComponent::DTlb, 1)
+            .runs(12)
+            .seed(5)
+            .collect_details(true);
+        let plain = Campaign::new(base.clone()).run();
+        let capped = Campaign::new(base.use_snapshots(true).snapshot_spec(SnapshotSpec {
+            interval: Some(512),
+            // Far below what a 512-cycle interval retains: forces thinning.
+            mem_cap_bytes: Some(100_000),
+        }))
+        .run();
+        assert_eq!(plain.counts, capped.counts, "thinning never reclassifies");
+        assert_eq!(plain.details, capped.details);
+        let stats = capped.snapshot_stats.expect("stats present");
+        assert!(stats.thinned >= 1, "cap must thin the store: {stats:?}");
+        assert!(
+            capped
+                .anomalies
+                .entries()
+                .iter()
+                .any(|a| a.kind == AnomalyKind::SnapshotMemCap),
+            "cap degradation must be surfaced in the anomaly log"
+        );
+    }
+
+    #[test]
+    fn early_masked_runs_report_golden_cycles() {
+        // A large, mostly-dead structure: most faults mask, so reconvergence
+        // must fire and the early-exited runs must record exactly the golden
+        // cycle count (what full simulation of a masked run produces).
+        let r = Campaign::new(
+            CampaignConfig::new(Workload::Stringsearch, HwComponent::L2, 1)
+                .runs(16)
+                .seed(13)
+                .use_snapshots(true)
+                .collect_details(true),
+        )
+        .run();
+        let stats = r.snapshot_stats.expect("stats present");
+        assert!(
+            stats.early_masked > 0,
+            "mostly-masked L2 campaign must reconverge early: {stats:?}"
+        );
+        for d in r.details.as_ref().unwrap() {
+            if d.effect == FaultEffect::Masked {
+                assert_eq!(d.cycles, r.fault_free_cycles);
+            }
+        }
     }
 }
 

@@ -52,4 +52,4 @@ pub use component::HwComponent;
 pub use config::CoreConfig;
 pub use probe::{PipelineProbe, SimProbes};
 pub use regfile::PhysRegFile;
-pub use sim::{Fault, PipelineStats, RunEnd, RunResult, Simulator};
+pub use sim::{Fault, PipelineStats, RunEnd, RunResult, SimSnapshot, Simulator};

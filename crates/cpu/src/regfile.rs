@@ -8,7 +8,7 @@
 //! paper injects into the register file's storage cells).
 
 use mbu_isa::Reg;
-use mbu_sram::{BitCoord, Geometry, Injectable};
+use mbu_sram::{BitCoord, Geometry, Injectable, Restorable, Snapshot};
 use std::collections::VecDeque;
 
 /// Identifier of a physical register.
@@ -29,7 +29,7 @@ pub type PhysReg = u8;
 /// let cur = prf.rename(r1).unwrap();
 /// assert_eq!(prf.read(cur), 42);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysRegFile {
     values: Vec<u32>,
     ready: Vec<bool>,
@@ -172,6 +172,49 @@ impl PhysRegFile {
             Some(p) => self.values[p as usize],
         }
     }
+
+    /// Approximate heap bytes retained by one snapshot (clone) of this file.
+    pub fn snapshot_bytes(&self) -> usize {
+        self.values.len() * 4 + self.ready.len() + self.free.len() + self.rename.len()
+    }
+
+    /// Liveness-aware comparison against a golden checkpoint: `true` when
+    /// every *reachable* bit of rename state equals `golden`.
+    ///
+    /// The rename map, ready bits and the free list (as a sequence — it
+    /// determines future allocation order) must match exactly. Values are
+    /// compared only for registers **not** on the free list: a free
+    /// register's value cannot be read until it is re-allocated (which
+    /// clears its ready bit) and then written, so a fault lingering in a
+    /// freed register is dead state and must not block convergence.
+    pub fn converged_with(&self, golden: &Self) -> bool {
+        if self.rename != golden.rename || self.ready != golden.ready || self.free != golden.free {
+            return false;
+        }
+        let mut free_mask = [0u64; 4];
+        for &p in &self.free {
+            free_mask[p as usize / 64] |= 1 << (p % 64);
+        }
+        self.values
+            .iter()
+            .zip(&golden.values)
+            .enumerate()
+            .all(|(i, (v, g))| free_mask[i / 64] >> (i % 64) & 1 == 1 || v == g)
+    }
+}
+
+impl Snapshot for PhysRegFile {
+    type State = PhysRegFile;
+
+    fn snapshot(&self) -> PhysRegFile {
+        self.clone()
+    }
+}
+
+impl Restorable for PhysRegFile {
+    fn restore(&mut self, state: &PhysRegFile) {
+        self.clone_from(state);
+    }
 }
 
 impl Injectable for PhysRegFile {
@@ -246,5 +289,37 @@ mod tests {
         let prf = PhysRegFile::new(56);
         let g = prf.injectable_geometry();
         assert_eq!((g.rows(), g.cols()), (56, 32));
+    }
+
+    #[test]
+    fn convergence_ignores_free_register_values() {
+        let prf = PhysRegFile::new(20);
+        let golden = prf.snapshot();
+        let mut faulty = prf.clone();
+        // Registers 15.. are on the free list: a flip there is dead state.
+        faulty.inject_flip(BitCoord::new(16, 5));
+        assert!(faulty.converged_with(&golden));
+        assert_ne!(faulty, golden, "bit-exact equality still sees the flip");
+        // A flip in a mapped register is live.
+        faulty.inject_flip(BitCoord::new(3, 5));
+        assert!(!faulty.converged_with(&golden));
+        faulty.inject_flip(BitCoord::new(3, 5));
+        assert!(faulty.converged_with(&golden));
+        // Allocating changes the rename map and free list: not converged.
+        faulty.allocate(Reg::new(1)).unwrap();
+        assert!(!faulty.converged_with(&golden));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut prf = PhysRegFile::new(18);
+        let (n, _) = prf.allocate(Reg::new(2)).unwrap();
+        prf.write(n, 77);
+        let saved = prf.snapshot();
+        prf.allocate(Reg::new(3)).unwrap();
+        prf.inject_flip(BitCoord::new(0, 0));
+        assert_ne!(prf, saved);
+        prf.restore(&saved);
+        assert_eq!(prf, saved);
     }
 }

@@ -16,7 +16,7 @@
 //!   surfaces as the assert failure class.
 
 use crate::phys::{PhysicalMemory, UnmappedPhysical};
-use mbu_sram::{BitCoord, Geometry, Injectable};
+use mbu_sram::{BitCoord, Geometry, Injectable, Restorable, Snapshot};
 
 /// Cache line size in bytes (Cortex-A9 L1/L2).
 pub const LINE_BYTES: u32 = 32;
@@ -213,7 +213,7 @@ const DIRTY_BIT: u64 = 1 << 63;
 /// assert!(hit_lat < miss_lat);
 /// # Ok::<(), mbu_mem::phys::UnmappedPhysical>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cache {
     config: CacheConfig,
     /// Per line: `tag | VALID_BIT | DIRTY_BIT`.
@@ -447,6 +447,43 @@ impl Cache {
         self.tags[coord.row] ^= mask;
     }
 
+    /// Approximate heap bytes retained by one snapshot of this cache.
+    pub fn snapshot_bytes(&self) -> usize {
+        self.tags.len() * 8 + self.data.len() + self.lru.len()
+    }
+
+    /// Liveness-aware state comparison against a golden checkpoint: `true`
+    /// when every *reachable* bit of this cache equals `golden`.
+    ///
+    /// Valid bits, tag words of valid lines, data of valid lines, LRU ranks
+    /// and access counters must all match exactly. The data and tag-word
+    /// remainder of an **invalid** line are skipped: a fill overwrites the
+    /// entire 32-byte line and the whole tag word before setting the valid
+    /// bit, so those bits can never influence future behaviour. This is what
+    /// lets a run whose injected flip landed in a dead line be declared
+    /// reconverged once all *live* state matches the fault-free machine.
+    pub fn converged_with(&self, golden: &Self) -> bool {
+        if self.config != golden.config || self.stats != golden.stats || self.lru != golden.lru {
+            return false;
+        }
+        for (line, (&t, &g)) in self.tags.iter().zip(&golden.tags).enumerate() {
+            if (t & VALID_BIT) != (g & VALID_BIT) {
+                return false;
+            }
+            if t & VALID_BIT != 0 {
+                if t != g {
+                    return false;
+                }
+                let off = line * LINE_BYTES as usize;
+                let end = off + LINE_BYTES as usize;
+                if self.data[off..end] != golden.data[off..end] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Geometry of one internal array.
     pub fn array_geometry(&self, array: CacheArray) -> Geometry {
         match array {
@@ -495,6 +532,20 @@ impl Injectable for Cache {
         let bit = coord.col / i;
         let byte = line * LINE_BYTES as usize + bit / 8;
         self.data[byte] ^= 1 << (bit % 8);
+    }
+}
+
+impl Snapshot for Cache {
+    type State = Cache;
+
+    fn snapshot(&self) -> Cache {
+        self.clone()
+    }
+}
+
+impl Restorable for Cache {
+    fn restore(&mut self, state: &Cache) {
+        self.clone_from(state);
     }
 }
 
@@ -653,6 +704,49 @@ mod tests {
         assert_eq!(l1.injectable_geometry().total_bits(), 262_144);
         let l2 = Cache::new(CacheConfig::l2());
         assert_eq!(l2.injectable_geometry().total_bits(), 4_194_304);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_mid_traffic() {
+        let mut c = small_cache();
+        let mut m = mem();
+        let mut next = DramBacking {
+            mem: &mut m,
+            latency: 50,
+        };
+        let (l, _) = c.access(0x000, true, &mut next).unwrap();
+        c.write_bytes(l, 0, &[0xAA; 4]);
+        c.access(0x080, false, &mut next).unwrap();
+        let saved = c.snapshot();
+        c.access(0x100, false, &mut next).unwrap(); // evicts the dirty line
+        assert_ne!(c, saved);
+        c.restore(&saved);
+        assert_eq!(c, saved);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn convergence_ignores_dead_line_flips_only() {
+        let mut c = small_cache();
+        let mut m = mem();
+        let mut next = DramBacking {
+            mem: &mut m,
+            latency: 50,
+        };
+        c.access(0x000, false, &mut next).unwrap(); // line 0 valid
+        let golden = c.snapshot();
+        // A flip in a never-filled (invalid) line is unreachable state.
+        c.inject_flip(BitCoord::new(7, 0));
+        assert!(c.converged_with(&golden));
+        // A flip in the valid line is live and must block convergence.
+        c.inject_flip(BitCoord::new(0, 0));
+        assert!(!c.converged_with(&golden));
+        c.inject_flip(BitCoord::new(0, 0));
+        assert!(c.converged_with(&golden));
+        // A valid-bit flip changes reachability and must block convergence.
+        let tag_bits = c.config().tag_bits() as usize;
+        c.inject_tag_flip(BitCoord::new(0, tag_bits));
+        assert!(!c.converged_with(&golden));
     }
 
     #[test]

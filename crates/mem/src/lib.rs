@@ -43,7 +43,7 @@ pub use cache::{Cache, CacheArray, CacheConfig, CacheStats};
 pub use paging::{AddressSpace, PagePerms, PageTable};
 pub use phys::PhysicalMemory;
 pub use probe::MemProbes;
-pub use system::{AccessKind, MemFault, MemorySystem, MemorySystemConfig, Timed};
+pub use system::{AccessKind, MemFault, MemSnapshot, MemorySystem, MemorySystemConfig, Timed};
 pub use tlb::{Tlb, TlbConfig};
 
 /// Virtual page size in bytes.

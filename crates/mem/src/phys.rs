@@ -8,8 +8,10 @@
 //! when a corrupted TLB or cache tag produces such an address (paper §IV.E).
 
 use crate::PAGE_SIZE;
+use mbu_sram::{Restorable, Snapshot};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error raised when a physical access leaves the system map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,10 +43,15 @@ impl std::error::Error for UnmappedPhysical {}
 /// assert!(m.read_line(0x0400_0000).is_err()); // beyond DRAM
 /// # Ok::<(), mbu_mem::phys::UnmappedPhysical>(())
 /// ```
+/// Frames are reference-counted so that cloning the memory (checkpointing)
+/// is page-granular copy-on-write: a clone shares every frame with its
+/// source, and a subsequent write to either side copies only the affected
+/// page ([`Arc::make_mut`]). N snapshots therefore cost far less than N full
+/// DRAM copies.
 #[derive(Debug, Clone)]
 pub struct PhysicalMemory {
     dram_frames: u32,
-    frames: BTreeMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    frames: BTreeMap<u32, Arc<[u8; PAGE_SIZE as usize]>>,
 }
 
 impl PhysicalMemory {
@@ -120,9 +127,9 @@ impl PhysicalMemory {
         let frame = self
             .frames
             .entry(pa / PAGE_SIZE)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+            .or_insert_with(|| Arc::new([0; PAGE_SIZE as usize]));
         let off = (pa % PAGE_SIZE) as usize;
-        frame[off..off + 32].copy_from_slice(line);
+        Arc::make_mut(frame)[off..off + 32].copy_from_slice(line);
         Ok(())
     }
 
@@ -150,14 +157,99 @@ impl PhysicalMemory {
         let frame = self
             .frames
             .entry(pa / PAGE_SIZE)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
-        frame[(pa % PAGE_SIZE) as usize] = value;
+            .or_insert_with(|| Arc::new([0; PAGE_SIZE as usize]));
+        Arc::make_mut(frame)[(pa % PAGE_SIZE) as usize] = value;
         Ok(())
     }
 
     /// Number of frames actually allocated (touched) so far.
     pub fn allocated_frames(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Number of frames physically shared (same allocation) with `other` —
+    /// the copy-on-write overlap between two checkpoints.
+    pub fn frames_shared_with(&self, other: &Self) -> usize {
+        self.frames
+            .iter()
+            .filter(|(pfn, frame)| other.frames.get(pfn).is_some_and(|o| Arc::ptr_eq(frame, o)))
+            .count()
+    }
+
+    /// Approximate retained heap bytes of this memory image when `prev` is
+    /// an already-retained checkpoint: only frames *not* shared with `prev`
+    /// are charged. With `prev = None` every allocated frame is charged.
+    pub fn retained_bytes(&self, prev: Option<&Self>) -> usize {
+        let shared = prev.map_or(0, |p| self.frames_shared_with(p));
+        (self.frames.len() - shared) * PAGE_SIZE as usize
+    }
+}
+
+/// Semantic equality: two memories are equal when every physical byte reads
+/// the same. A frame that was never allocated compares equal to an allocated
+/// all-zero frame, and frames shared through copy-on-write compare by
+/// pointer without touching their bytes.
+impl PartialEq for PhysicalMemory {
+    fn eq(&self, other: &Self) -> bool {
+        const ZERO: [u8; PAGE_SIZE as usize] = [0; PAGE_SIZE as usize];
+        if self.dram_frames != other.dram_frames {
+            return false;
+        }
+        let mut a = self.frames.iter().peekable();
+        let mut b = other.frames.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (None, None) => return true,
+                (Some((_, fa)), None) => {
+                    if ***fa != ZERO {
+                        return false;
+                    }
+                    a.next();
+                }
+                (None, Some((_, fb))) => {
+                    if ***fb != ZERO {
+                        return false;
+                    }
+                    b.next();
+                }
+                (Some((ka, fa)), Some((kb, fb))) => {
+                    if ka < kb {
+                        if ***fa != ZERO {
+                            return false;
+                        }
+                        a.next();
+                    } else if kb < ka {
+                        if ***fb != ZERO {
+                            return false;
+                        }
+                        b.next();
+                    } else {
+                        if !Arc::ptr_eq(fa, fb) && fa != fb {
+                            return false;
+                        }
+                        a.next();
+                        b.next();
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Eq for PhysicalMemory {}
+
+impl Snapshot for PhysicalMemory {
+    type State = PhysicalMemory;
+
+    fn snapshot(&self) -> PhysicalMemory {
+        // Clone is copy-on-write: shares every frame with `self`.
+        self.clone()
+    }
+}
+
+impl Restorable for PhysicalMemory {
+    fn restore(&mut self, state: &PhysicalMemory) {
+        self.clone_from(state);
     }
 }
 
@@ -207,5 +299,45 @@ mod tests {
     fn misaligned_line_panics() {
         let m = PhysicalMemory::new(1);
         let _ = m.read_line(16);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut m = PhysicalMemory::new(8);
+        for f in 0..4 {
+            m.write_line(f * PAGE_SIZE, &[f as u8 + 1; 32]).unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.frames_shared_with(&m), 4);
+        // Writing one page after the snapshot unshares only that page.
+        m.write_u8(0, 0xEE).unwrap();
+        assert_eq!(snap.frames_shared_with(&m), 3);
+        assert_eq!(snap.read_u8(0).unwrap(), 1, "snapshot must be unaffected");
+        assert_eq!(m.read_u8(0).unwrap(), 0xEE);
+        assert_eq!(snap.retained_bytes(Some(&m)), PAGE_SIZE as usize);
+    }
+
+    #[test]
+    fn restore_rewinds_contents() {
+        let mut m = PhysicalMemory::new(4);
+        m.write_line(0, &[9; 32]).unwrap();
+        let snap = m.snapshot();
+        m.write_line(0, &[1; 32]).unwrap();
+        m.write_line(PAGE_SIZE, &[2; 32]).unwrap();
+        m.restore(&snap);
+        assert_eq!(m, snap);
+        assert_eq!(m.read_line(0).unwrap(), [9; 32]);
+        assert_eq!(m.read_line(PAGE_SIZE).unwrap(), [0; 32]);
+    }
+
+    #[test]
+    fn equality_treats_zero_frames_as_absent() {
+        let mut a = PhysicalMemory::new(4);
+        let b = PhysicalMemory::new(4);
+        a.write_line(PAGE_SIZE, &[0; 32]).unwrap(); // allocates a zero frame
+        assert_eq!(a.allocated_frames(), 1);
+        assert_eq!(a, b);
+        a.write_u8(PAGE_SIZE, 1).unwrap();
+        assert_ne!(a, b);
     }
 }

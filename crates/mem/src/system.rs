@@ -8,6 +8,7 @@ use crate::probe::{record_cache_access, Demand, MemProbes};
 use crate::tlb::{Tlb, TlbConfig, ENTRY_BITS, PPN_SHIFT, VPN_SHIFT};
 use crate::{AddressSpace, PAGE_SIZE, PPN_BITS, VA_BITS, VPN_BITS};
 use mbu_isa::program::{Program, DATA_BASE, STACK_SIZE, STACK_TOP, TEXT_BASE};
+use mbu_sram::{Restorable, Snapshot};
 use std::fmt;
 
 /// A value annotated with the access latency that produced it.
@@ -548,6 +549,19 @@ impl MemorySystem {
         })
     }
 
+    /// Liveness-aware comparison against a golden checkpoint: every
+    /// reachable bit of every cache, both TLBs and DRAM must match. The page
+    /// table is immutable after construction and is not compared; probe
+    /// attachments are non-architectural and ignored.
+    pub fn converged_with(&self, golden: &MemSnapshot) -> bool {
+        self.l1i.converged_with(&golden.l1i)
+            && self.l1d.converged_with(&golden.l1d)
+            && self.l2.converged_with(&golden.l2)
+            && self.itlb.converged_with(&golden.itlb)
+            && self.dtlb.converged_with(&golden.dtlb)
+            && self.phys == golden.phys
+    }
+
     /// Drains all dirty cache state to DRAM (verification helper).
     ///
     /// # Errors
@@ -570,6 +584,64 @@ impl MemorySystem {
         };
         self.l2.flush_dirty(&mut dram)?;
         Ok(())
+    }
+}
+
+/// A bit-exact checkpoint of all mutable memory-hierarchy state: both L1s,
+/// the L2, both TLBs (arrays, replacement metadata and counters) and the
+/// physical DRAM (shared page-granular copy-on-write, so holding many
+/// checkpoints costs only the pages that differ between them).
+///
+/// The page table is deliberately absent: it is immutable after
+/// [`MemorySystem::for_program`] and is re-created identically by
+/// constructing a fresh system for the same program. Probe attachments are
+/// non-architectural and are likewise excluded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemSnapshot {
+    pub(crate) l1i: Cache,
+    pub(crate) l1d: Cache,
+    pub(crate) l2: Cache,
+    pub(crate) itlb: Tlb,
+    pub(crate) dtlb: Tlb,
+    pub(crate) phys: PhysicalMemory,
+}
+
+impl MemSnapshot {
+    /// Approximate retained heap bytes of this checkpoint. DRAM pages shared
+    /// with `prev` (an already-retained checkpoint) are not charged again.
+    pub fn retained_bytes(&self, prev: Option<&Self>) -> usize {
+        self.l1i.snapshot_bytes()
+            + self.l1d.snapshot_bytes()
+            + self.l2.snapshot_bytes()
+            + self.itlb.snapshot_bytes()
+            + self.dtlb.snapshot_bytes()
+            + self.phys.retained_bytes(prev.map(|p| &p.phys))
+    }
+}
+
+impl Snapshot for MemorySystem {
+    type State = MemSnapshot;
+
+    fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            l1i: self.l1i.snapshot(),
+            l1d: self.l1d.snapshot(),
+            l2: self.l2.snapshot(),
+            itlb: self.itlb.snapshot(),
+            dtlb: self.dtlb.snapshot(),
+            phys: self.phys.snapshot(),
+        }
+    }
+}
+
+impl Restorable for MemorySystem {
+    fn restore(&mut self, state: &MemSnapshot) {
+        self.l1i.restore(&state.l1i);
+        self.l1d.restore(&state.l1d);
+        self.l2.restore(&state.l2);
+        self.itlb.restore(&state.itlb);
+        self.dtlb.restore(&state.dtlb);
+        self.phys.restore(&state.phys);
     }
 }
 
@@ -685,6 +757,22 @@ mod tests {
         }
         let after = ms.fetch(TEXT_BASE).unwrap().value;
         assert_eq!(after, before ^ 1);
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_whole_hierarchy() {
+        let (mut ms, _) = system_for(".text\nmain: nop\n");
+        ms.write(DATA_BASE, 4, 0x1111).unwrap();
+        let saved = ms.snapshot();
+        assert!(ms.converged_with(&saved));
+        ms.write(DATA_BASE, 4, 0x2222).unwrap();
+        ms.write(DATA_BASE + 0x400, 4, 0x3333).unwrap(); // new TLB entry
+        ms.flush_caches().unwrap();
+        assert!(!ms.converged_with(&saved));
+        ms.restore(&saved);
+        assert!(ms.converged_with(&saved));
+        assert_eq!(ms.snapshot(), saved);
+        assert_eq!(ms.read(DATA_BASE, 4).unwrap().value, 0x1111);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use crate::paging::PagePerms;
 use crate::{PPN_BITS, VPN_BITS};
-use mbu_sram::{BitCoord, Geometry, Injectable};
+use mbu_sram::{BitCoord, Geometry, Injectable, Restorable, Snapshot};
 
 /// Bit position of the permission field within an entry.
 pub const PERM_SHIFT: u32 = 0;
@@ -73,7 +73,7 @@ pub struct Translation {
 /// assert_eq!(tlb.lookup(0x400).unwrap().ppn, 0x7F);
 /// assert!(tlb.lookup(0x401).is_none());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tlb {
     config: TlbConfig,
     entries: Vec<u64>,
@@ -167,6 +167,47 @@ impl Tlb {
     /// Raw entry word (test introspection).
     pub fn raw_entry(&self, index: usize) -> u64 {
         self.entries[index]
+    }
+
+    /// Approximate heap bytes retained by one snapshot of this TLB.
+    pub fn snapshot_bytes(&self) -> usize {
+        self.entries.len() * 8
+    }
+
+    /// Liveness-aware state comparison against a golden checkpoint: `true`
+    /// when every *reachable* bit of this TLB equals `golden`.
+    ///
+    /// Valid bits, whole words of valid entries, the round-robin victim
+    /// pointer and the hit/miss counters must match exactly. The non-valid
+    /// bits of an **invalid** entry are skipped: lookups ignore them and a
+    /// fill overwrites the entire entry word before setting the valid bit,
+    /// so they can never influence future behaviour.
+    pub fn converged_with(&self, golden: &Self) -> bool {
+        if self.config != golden.config
+            || self.next_victim != golden.next_victim
+            || self.hits != golden.hits
+            || self.misses != golden.misses
+        {
+            return false;
+        }
+        self.entries.iter().zip(&golden.entries).all(|(&e, &g)| {
+            let valid = (e >> VALID_SHIFT) & 1;
+            valid == (g >> VALID_SHIFT) & 1 && (valid == 0 || e == g)
+        })
+    }
+}
+
+impl Snapshot for Tlb {
+    type State = Tlb;
+
+    fn snapshot(&self) -> Tlb {
+        self.clone()
+    }
+}
+
+impl Restorable for Tlb {
+    fn restore(&mut self, state: &Tlb) {
+        self.clone_from(state);
     }
 }
 
@@ -270,5 +311,35 @@ mod tests {
     fn oversized_ppn_panics() {
         let mut t = tlb();
         t.fill(0, 1 << PPN_BITS, PagePerms::R);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut t = tlb();
+        t.fill(1, 2, PagePerms::RW);
+        let saved = t.snapshot();
+        t.fill(3, 4, PagePerms::R);
+        t.lookup(1);
+        assert_ne!(t, saved);
+        t.restore(&saved);
+        assert_eq!(t, saved);
+    }
+
+    #[test]
+    fn convergence_ignores_invalid_entry_bits() {
+        let mut t = tlb();
+        t.fill(1, 2, PagePerms::RW);
+        let golden = t.snapshot();
+        // Flip a PPN bit of a never-filled (invalid) entry: dead state.
+        t.inject_flip(BitCoord::new(2, PPN_SHIFT as usize));
+        assert!(t.converged_with(&golden));
+        // Flip a live entry's PPN bit: must block convergence.
+        t.inject_flip(BitCoord::new(0, PPN_SHIFT as usize));
+        assert!(!t.converged_with(&golden));
+        t.inject_flip(BitCoord::new(0, PPN_SHIFT as usize));
+        assert!(t.converged_with(&golden));
+        // A valid-bit flip is always live.
+        t.inject_flip(BitCoord::new(2, VALID_SHIFT as usize));
+        assert!(!t.converged_with(&golden));
     }
 }

@@ -349,6 +349,46 @@ impl Injectable for BitArray {
     }
 }
 
+/// Trait implemented by hardware structures whose complete mutable state can
+/// be captured as an owned, bit-exact checkpoint.
+///
+/// A snapshot must cover *every* bit of state that influences future
+/// behaviour — array contents, replacement metadata, counters — so that
+/// restoring it and continuing is cycle-for-cycle identical to never having
+/// stopped. Structures built from smaller `Snapshot` pieces (a memory
+/// hierarchy, a whole core) compose their states structurally.
+pub trait Snapshot {
+    /// The owned checkpoint type.
+    type State;
+
+    /// Captures a bit-exact copy of all mutable state.
+    fn snapshot(&self) -> Self::State;
+}
+
+/// Trait implemented by structures that can be rewound to a previously
+/// captured [`Snapshot::State`].
+pub trait Restorable: Snapshot {
+    /// Overwrites all mutable state with the checkpoint.
+    ///
+    /// After `restore`, the structure must be indistinguishable from the one
+    /// the state was captured from.
+    fn restore(&mut self, state: &Self::State);
+}
+
+impl Snapshot for BitArray {
+    type State = BitArray;
+
+    fn snapshot(&self) -> BitArray {
+        self.clone()
+    }
+}
+
+impl Restorable for BitArray {
+    fn restore(&mut self, state: &BitArray) {
+        self.clone_from(state);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,5 +474,17 @@ mod tests {
     fn word_crossing_row_panics() {
         let a = BitArray::new(Geometry::new(2, 16));
         a.read_word(0, 10, 8);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut a = BitArray::new(Geometry::new(4, 100));
+        a.write_word(1, 90, 10, 0x2AB);
+        let saved = a.snapshot();
+        a.clear();
+        a.write_word(3, 0, 64, u64::MAX);
+        a.restore(&saved);
+        assert_eq!(a, saved);
+        assert_eq!(a.read_word(1, 90, 10), 0x2AB);
     }
 }
