@@ -17,7 +17,9 @@
 //!                    format version, per-row CRCs, golden-run fingerprints
 //!                    vs the current binaries
 //!   snapbench        campaign wall-clock with the snapshot fast path off
-//!                    vs on, per component; emits BENCH_snapshot.json
+//!                    vs on, per component (BENCH_snapshot.json), then a
+//!                    3-component sweep with the golden-artifact cache off
+//!                    vs on (BENCH_sweep.json)
 //!   all              everything in paper order
 //!
 //! flags:
@@ -34,7 +36,8 @@
 //! environment: MBU_RUNS, MBU_SEED, MBU_THREADS, MBU_WORKLOADS,
 //! MBU_ADAPTIVE_MARGIN (adaptive early stopping), MBU_DEADLINE_SECS
 //! (sweep wall-clock budget), MBU_SNAPSHOTS, MBU_SNAPSHOT_INTERVAL,
-//! MBU_SNAPSHOT_MEM_MB (snapshot fast path and its memory cap).
+//! MBU_SNAPSHOT_MEM_MB (snapshot fast path and its memory cap),
+//! MBU_GOLDEN_CACHE (sweep-wide golden-artifact cache, default on).
 //! ```
 
 use mbu_bench::{AnalyticalStore, Experiments, ResultStore};
@@ -108,10 +111,11 @@ fn usage() {
     eprintln!(
         "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|xval|occupancy|verify-store|snapbench|all> [--paper] [--csv] [--chart] [--out path] [--workload w] [--snapshots]\n\
          \x20      repro verify-store <checkpoint.csv>   read-only integrity audit\n\
-         \x20      repro snapbench [--workload w]        snapshot off/on wall-clock -> BENCH_snapshot.json\n\
+         \x20      repro snapbench [--workload w]        snapshot off/on wall-clock -> BENCH_snapshot.json,\n\
+         \x20                                            golden-cache off/on sweep -> BENCH_sweep.json\n\
          env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS,\n\
          \x20      MBU_ADAPTIVE_MARGIN, MBU_DEADLINE_SECS, MBU_SNAPSHOTS,\n\
-         \x20      MBU_SNAPSHOT_INTERVAL, MBU_SNAPSHOT_MEM_MB"
+         \x20      MBU_SNAPSHOT_INTERVAL, MBU_SNAPSHOT_MEM_MB, MBU_GOLDEN_CACHE"
     );
 }
 
@@ -381,6 +385,30 @@ fn run(opts: &Options) -> Result<(), String> {
                 "max speedup {:.2}x; wrote {}",
                 report.max_speedup(),
                 path.display()
+            );
+            // The sweep-level benchmark: the golden-artifact cache amortizes
+            // golden + snapshot-recording runs across a components ×
+            // cardinalities sweep. Basicmath has the costliest golden build
+            // relative to its (mostly early-masked) injection runs, and the
+            // mostly-masked components keep injection time small, so the
+            // fixed cost the cache removes is clearly visible.
+            let sweep_workload = Workload::Basicmath;
+            let sweep_components = [HwComponent::L1I, HwComponent::L2, HwComponent::ITlb];
+            eprintln!(
+                "benchmarking golden-artifact cache off/on: {} components x 3 cardinalities on {sweep_workload}",
+                sweep_components.len()
+            );
+            let sweep = e.sweepbench(sweep_workload, &sweep_components);
+            emit(&sweep.table(), opts.csv);
+            if !sweep.identical {
+                return Err("golden-artifact cache changed a campaign result".into());
+            }
+            let sweep_path = std::path::Path::new("BENCH_sweep.json");
+            std::fs::write(sweep_path, sweep.to_json()).map_err(|err| err.to_string())?;
+            eprintln!(
+                "sweep speedup {:.2}x; wrote {}",
+                sweep.speedup(),
+                sweep_path.display()
             );
         }
         "verify-store" => {

@@ -9,12 +9,13 @@ use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
 use mbu_gefin::avf::{weighted_avf, ClassBreakdown, ComponentAvf};
 use mbu_gefin::beam::{run_beam, BeamConfig};
 use mbu_gefin::campaign::{
-    AdaptiveSpec, Campaign, CampaignConfig, CampaignResult, InjectionTarget,
+    AdaptiveSpec, Anomaly, AnomalyKind, AnomalyLog, Campaign, CampaignConfig, CampaignResult,
+    InjectionTarget,
 };
 use mbu_gefin::classify::FaultEffect;
 use mbu_gefin::error::CampaignError;
 use mbu_gefin::fit::cpu_fit;
-use mbu_gefin::integrity::{golden_fingerprint, GoldenFingerprint};
+use mbu_gefin::integrity::{config_digest, golden_fingerprint, GoldenFingerprint};
 use mbu_gefin::mask::{ClusterSpec, MaskGenerator};
 use mbu_gefin::paper;
 use mbu_gefin::report::{
@@ -25,10 +26,11 @@ use mbu_gefin::stats::{error_margin, fault_population, Z_99};
 use mbu_gefin::tech::{
     assessment_gap, component_bits, node_avf, node_avf_with_rates, projected, TechNode,
 };
-use mbu_gefin::SnapshotSpec;
+use mbu_gefin::{GoldenArtifacts, SnapshotSpec};
 use mbu_workloads::Workload;
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What a [`Experiments::run_sweep`] call actually did — the resume
@@ -57,6 +59,10 @@ pub struct SweepReport {
     /// Achieved error margin per campaign, for every campaign that has one
     /// (executed this call or loaded from a v2 checkpoint).
     pub margins: Vec<(Key, f64)>,
+    /// Sweep-level irregularities — e.g. the golden-artifact cache being
+    /// bypassed (`MBU_GOLDEN_CACHE=off`). Per-campaign anomalies stay on
+    /// their [`CampaignResult`]s; entries here never affect classifications.
+    pub anomalies: AnomalyLog,
 }
 
 impl SweepReport {
@@ -141,6 +147,13 @@ pub struct Experiments {
     /// over the cap the store thins to sparser intervals instead of
     /// growing.
     pub snapshot_mem_mb: Option<u64>,
+    /// Sweep-wide golden-artifact cache (`MBU_GOLDEN_CACHE`, default on):
+    /// each workload's golden run (and snapshot store, when enabled) is
+    /// computed once per sweep and shared read-only across every campaign
+    /// targeting that workload. Results are bit-identical either way; `off`
+    /// is an escape hatch that re-runs the golden execution per campaign
+    /// and logs a sweep-level anomaly.
+    pub use_golden_cache: bool,
 }
 
 impl Default for Experiments {
@@ -157,6 +170,7 @@ impl Default for Experiments {
             use_snapshots: false,
             snapshot_interval: None,
             snapshot_mem_mb: None,
+            use_golden_cache: true,
         }
     }
 }
@@ -205,6 +219,13 @@ impl Experiments {
         }
         if let Ok(v) = std::env::var("MBU_SNAPSHOT_MEM_MB") {
             e.snapshot_mem_mb = Some(v.parse().expect("MBU_SNAPSHOT_MEM_MB must be an integer"));
+        }
+        if let Ok(v) = std::env::var("MBU_GOLDEN_CACHE") {
+            e.use_golden_cache = match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" | "yes" => true,
+                "0" | "false" | "off" | "no" | "" => false,
+                other => panic!("MBU_GOLDEN_CACHE must be on/off, got `{other}`"),
+            };
         }
         e
     }
@@ -297,6 +318,15 @@ impl Experiments {
         t
     }
 
+    /// The snapshot-recording parameters shared by every campaign (and by
+    /// [`GoldenArtifacts`] built for sweep-wide sharing).
+    pub(crate) fn snapshot_spec(&self) -> SnapshotSpec {
+        SnapshotSpec {
+            interval: self.snapshot_interval,
+            mem_cap_bytes: self.snapshot_mem_mb.map(|mb| mb * 1024 * 1024),
+        }
+    }
+
     /// The campaign configuration for one (component, workload,
     /// cardinality) — the single source of truth both execution paths and
     /// the fingerprint computation share.
@@ -312,10 +342,7 @@ impl Experiments {
             .threads(self.threads)
             .adaptive(self.adaptive)
             .use_snapshots(self.use_snapshots)
-            .snapshot_spec(SnapshotSpec {
-                interval: self.snapshot_interval,
-                mem_cap_bytes: self.snapshot_mem_mb.map(|mb| mb * 1024 * 1024),
-            });
+            .snapshot_spec(self.snapshot_spec());
         cfg.core = self.core;
         cfg
     }
@@ -339,6 +366,54 @@ impl Experiments {
         faults: usize,
     ) -> Result<CampaignResult, CampaignError> {
         Campaign::try_new(self.campaign_config(component, workload, faults))?.try_run()
+    }
+
+    /// [`Experiments::try_campaign`] with shared golden artifacts: the
+    /// campaign skips its private golden (and snapshot-recording) run and
+    /// classifies against the pre-built reference instead. Bit-identical to
+    /// the plain path — the simulator is deterministic.
+    pub fn try_campaign_with_artifacts(
+        &self,
+        component: HwComponent,
+        workload: Workload,
+        faults: usize,
+        artifacts: &GoldenArtifacts,
+    ) -> Result<CampaignResult, CampaignError> {
+        Campaign::try_new(self.campaign_config(component, workload, faults))?
+            .try_run_with_artifacts(Some(artifacts))
+    }
+
+    /// Builds (once) and memoizes the golden artifacts of `workload` for
+    /// sweep-wide sharing. A failed golden run is memoized too, so a
+    /// poisoned workload costs one attempt, not one per campaign.
+    fn workload_artifacts(
+        &self,
+        cache: &mut BTreeMap<Workload, Result<Arc<GoldenArtifacts>, CampaignError>>,
+        workload: Workload,
+    ) -> Result<Arc<GoldenArtifacts>, CampaignError> {
+        cache
+            .entry(workload)
+            .or_insert_with(|| {
+                // Any (component, faults) combination yields the same
+                // artifacts; campaign 1-bit is always constructible.
+                Campaign::try_new(self.campaign_config(HwComponent::RegFile, workload, 1))?
+                    .build_artifacts()
+                    .map(Arc::new)
+            })
+            .clone()
+    }
+
+    /// The golden-run fingerprint derived from already-built artifacts —
+    /// the same digest [`golden_fingerprint`] computes, without re-running
+    /// the golden execution.
+    pub(crate) fn artifact_fingerprint(&self, artifacts: &GoldenArtifacts) -> GoldenFingerprint {
+        GoldenFingerprint::digest(
+            artifacts.output(),
+            artifacts.exit_code(),
+            artifacts.cycles(),
+            artifacts.instructions(),
+            config_digest(&self.core),
+        )
     }
 
     /// The crash-safe sweep driver: runs every missing (component, workload,
@@ -410,6 +485,21 @@ impl Experiments {
         let retry_io = RetryIo::new(control.io, control.retry);
         let mut report = SweepReport::default();
         let mut fingerprints: BTreeMap<Workload, Option<GoldenFingerprint>> = BTreeMap::new();
+        let mut artifacts: BTreeMap<Workload, Result<Arc<GoldenArtifacts>, CampaignError>> =
+            BTreeMap::new();
+        if !self.use_golden_cache {
+            report.anomalies.record(Anomaly {
+                run_index: 0,
+                run_seed: self.seed,
+                kind: AnomalyKind::GoldenCacheBypass,
+                message: "golden-artifact cache disabled (MBU_GOLDEN_CACHE=off); every campaign \
+                          re-ran its own golden execution"
+                    .into(),
+            });
+            if self.verbose {
+                eprintln!("  golden-artifact cache bypassed (MBU_GOLDEN_CACHE=off)");
+            }
+        }
         'sweep: for &component in components {
             for &w in &self.workloads {
                 let mut workload_poisoned = false;
@@ -467,7 +557,16 @@ impl Experiments {
                     if workload_poisoned {
                         continue;
                     }
-                    match self.try_campaign(component, w, faults) {
+                    let outcome = if self.use_golden_cache {
+                        // One golden (and recording) run per workload,
+                        // shared read-only across every campaign.
+                        self.workload_artifacts(&mut artifacts, w).and_then(|a| {
+                            self.try_campaign_with_artifacts(component, w, faults, &a)
+                        })
+                    } else {
+                        self.try_campaign(component, w, faults)
+                    };
+                    match outcome {
                         Ok(r) => {
                             report.executed += 1;
                             if let Some(m) = r.achieved_margin {
@@ -479,7 +578,14 @@ impl Experiments {
                                     eprintln!("  {}", r.anomalies);
                                 }
                             }
-                            let fp = self.current_fingerprint(&mut fingerprints, w);
+                            // With cached artifacts the fingerprint is
+                            // derived from them — no extra golden run.
+                            let fp = match artifacts.get(&w) {
+                                Some(Ok(a)) => *fingerprints
+                                    .entry(w)
+                                    .or_insert_with(|| Some(self.artifact_fingerprint(a))),
+                                _ => self.current_fingerprint(&mut fingerprints, w),
+                            };
                             if let Some(path) = checkpoint {
                                 ResultStore::append_row_with(&retry_io, path, &r, fp)?;
                             }

@@ -29,6 +29,10 @@
 //!   auto-tuned from each workload's fault-free execution time).
 //! * `MBU_SNAPSHOT_MEM_MB` — hard cap on retained snapshot memory; over
 //!   the cap the store thins itself to sparser intervals.
+//! * `MBU_GOLDEN_CACHE` — `off` disables the sweep-wide golden-artifact
+//!   cache (default on: one golden run + snapshot store per workload,
+//!   shared across every campaign targeting it). Results are bit-identical
+//!   either way; bypassing logs a sweep-level anomaly.
 
 #![forbid(unsafe_code)]
 
@@ -43,7 +47,7 @@ pub mod tinybench;
 pub use chaos::{ChaosIo, ChaosPlan};
 pub use experiments::{ComponentData, Experiments, SweepControl, SweepReport};
 pub use io::{RealIo, RetryIo, RetryPolicy, StoreIo};
-pub use snapbench::{SnapbenchReport, SnapbenchRow};
+pub use snapbench::{SnapbenchReport, SnapbenchRow, SweepbenchReport};
 pub use store::{
     AnalyticalRow, AnalyticalStore, LoadAudit, QuarantinedRow, ResultStore, RowDefect, StoreError,
     StoreVersion,

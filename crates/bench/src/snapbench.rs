@@ -1,21 +1,29 @@
 //! `repro snapbench` — campaign wall-clock with the snapshot fast path off
-//! vs on, per component, emitted as `BENCH_snapshot.json`.
+//! vs on, per component, emitted as `BENCH_snapshot.json`, plus the
+//! golden-artifact-cache sweep benchmark emitted as `BENCH_sweep.json`.
 //!
-//! Each row times one complete injection campaign twice with identical
-//! configuration (same seed, same run count, same workload) — first the
-//! plain path that re-simulates every run from cycle 0, then the
+//! Each [`SnapbenchRow`] times one complete injection campaign twice with
+//! identical configuration (same seed, same run count, same workload) —
+//! first the plain path that re-simulates every run from cycle 0, then the
 //! checkpoint/restore fast path — and cross-checks that both produce the
 //! same per-class counts, so a speedup can never come from classifying
-//! differently. The feature-gated `benches/snapshot.rs` re-measures the
-//! same pairs under the in-tree `tinybench` harness; this module keeps the
-//! measurement available to the plain `repro` binary (built without the
-//! `bench-harness` feature) and renders the machine-readable JSON.
+//! differently. [`SweepbenchReport`] applies the same discipline one level
+//! up: a whole components × cardinalities sweep over one workload, timed
+//! with the sweep-wide golden-artifact cache off (every campaign pays its
+//! own golden + snapshot-recording runs) vs on (one shared
+//! [`GoldenArtifacts`] build), with every [`CampaignResult`] compared for
+//! bit-identity. The feature-gated `benches/snapshot.rs` re-measures the
+//! campaign pairs under the in-tree `tinybench` harness; this module keeps
+//! the measurements available to the plain `repro` binary (built without
+//! the `bench-harness` feature) and renders the machine-readable JSON.
 
 use crate::experiments::Experiments;
 use crate::store::component_slug;
 use mbu_cpu::HwComponent;
-use mbu_gefin::campaign::Campaign;
+use mbu_gefin::campaign::{Campaign, CampaignResult};
+use mbu_gefin::integrity::golden_fingerprint;
 use mbu_gefin::report::{factor, Table};
+use mbu_gefin::GoldenArtifacts;
 use mbu_workloads::Workload;
 use std::time::Instant;
 
@@ -137,6 +145,106 @@ impl SnapbenchReport {
     }
 }
 
+/// Injections per campaign in [`Experiments::sweepbench`] (an upper
+/// bound; `MBU_RUNS` below it is respected).
+pub const SWEEPBENCH_RUNS: usize = 20;
+
+/// Wall-clock of one components × cardinalities sweep over a single
+/// workload, with the sweep-wide golden-artifact cache off vs on —
+/// rendered as `BENCH_sweep.json`.
+#[derive(Debug, Clone)]
+pub struct SweepbenchReport {
+    /// The benchmarked workload.
+    pub workload: Workload,
+    /// The swept components.
+    pub components: Vec<HwComponent>,
+    /// Configured runs per campaign.
+    pub runs: usize,
+    /// Campaign seed (both paths).
+    pub seed: u64,
+    /// Campaigns per path (components × 3 cardinalities).
+    pub campaigns: usize,
+    /// Cache-off sweep wall-clock, seconds (per-campaign golden, snapshot
+    /// recording and fingerprint runs).
+    pub off_secs: f64,
+    /// Cache-on sweep wall-clock, seconds (one shared artifact build).
+    pub on_secs: f64,
+    /// Whether both paths produced bit-identical campaign results and
+    /// golden-run fingerprints.
+    pub identical: bool,
+}
+
+impl SweepbenchReport {
+    /// Wall-clock speedup of the cached sweep (off / on).
+    pub fn speedup(&self) -> f64 {
+        self.off_secs / self.on_secs.max(1e-9)
+    }
+
+    /// Renders the report as the `BENCH_sweep.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"workload\": \"{}\",\n", self.workload.name()));
+        out.push_str("  \"components\": [");
+        for (i, c) in self.components.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{}\"{}",
+                component_slug(*c),
+                if i + 1 < self.components.len() {
+                    ", "
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"runs_per_campaign\": {},\n", self.runs));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"campaigns\": {},\n", self.campaigns));
+        out.push_str(&format!(
+            "  \"golden_cache_off_secs\": {:.6},\n",
+            self.off_secs
+        ));
+        out.push_str(&format!(
+            "  \"golden_cache_on_secs\": {:.6},\n",
+            self.on_secs
+        ));
+        out.push_str(&format!("  \"speedup\": {:.3},\n", self.speedup()));
+        out.push_str(&format!("  \"identical_results\": {}\n", self.identical));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the report as an ASCII table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            &format!(
+                "Golden-artifact cache sweep speedup — {} ({} campaigns x {} runs, snapshots on)",
+                self.workload, self.campaigns, self.runs
+            ),
+            &["Metric", "Value"],
+        );
+        t.row(vec![
+            "components".into(),
+            self.components
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ]);
+        t.row(vec![
+            "cache off (s)".into(),
+            format!("{:.3}", self.off_secs),
+        ]);
+        t.row(vec!["cache on (s)".into(), format!("{:.3}", self.on_secs)]);
+        t.row(vec!["speedup".into(), factor(self.speedup())]);
+        t.row(vec![
+            "identical results".into(),
+            if self.identical { "yes" } else { "NO" }.into(),
+        ]);
+        t
+    }
+}
+
 impl Experiments {
     /// Benchmarks every component's campaign with snapshots off then on,
     /// cross-checking that both paths classify identically.
@@ -181,6 +289,84 @@ impl Experiments {
             rows,
         }
     }
+
+    /// Benchmarks a components × 1/2/3-bit sweep over one workload with the
+    /// golden-artifact cache off vs on (snapshots enabled on both sides),
+    /// cross-checking that every campaign result and fingerprint is
+    /// bit-identical.
+    ///
+    /// The loop replicates [`Experiments::run_sweep`]'s execution path
+    /// inline rather than calling it: the sweep's default per-run wall
+    /// budget arms a watchdog whose shutdown poll would add constant
+    /// latency to both sides and dilute the measured speedup.
+    ///
+    /// Campaigns are capped at [`SWEEPBENCH_RUNS`] injections: the cache
+    /// removes a *fixed* per-campaign cost (golden + snapshot-recording
+    /// runs), so its wall-clock share — and this benchmark — is defined by
+    /// the exploratory-sweep regime of short campaigns (resumes, adaptive
+    /// early stopping, quick scans). At paper-scale run counts the same
+    /// absolute savings still apply but vanish into injection time; the
+    /// emitted JSON records the run count used.
+    pub fn sweepbench(&self, workload: Workload, components: &[HwComponent]) -> SweepbenchReport {
+        let mut bench = self.clone();
+        bench.use_snapshots = true;
+        bench.runs = bench.runs.min(SWEEPBENCH_RUNS);
+        // Cache off: every campaign pays its own golden + recording run,
+        // plus the sweep's one per-workload fingerprint golden run.
+        if bench.verbose {
+            eprintln!("  sweepbench {workload}: golden cache off");
+        }
+        let t0 = Instant::now();
+        let mut off_results: Vec<CampaignResult> = Vec::new();
+        for &c in components {
+            for faults in 1..=3 {
+                let cfg = bench
+                    .campaign_config(c, workload, faults)
+                    .run_wall_budget(None);
+                off_results.push(Campaign::new(cfg).run());
+            }
+        }
+        let off_fp = golden_fingerprint(bench.core, workload).ok();
+        let off_secs = t0.elapsed().as_secs_f64();
+        // Cache on: one shared artifact build covers the golden run, the
+        // snapshot store and the fingerprint for every campaign.
+        if bench.verbose {
+            eprintln!("  sweepbench {workload}: golden cache on");
+        }
+        let t1 = Instant::now();
+        let artifacts: GoldenArtifacts = Campaign::new(
+            bench
+                .campaign_config(components[0], workload, 1)
+                .run_wall_budget(None),
+        )
+        .build_artifacts()
+        .expect("fault-free run must exit cleanly");
+        let mut on_results: Vec<CampaignResult> = Vec::new();
+        for &c in components {
+            for faults in 1..=3 {
+                let cfg = bench
+                    .campaign_config(c, workload, faults)
+                    .run_wall_budget(None);
+                on_results.push(
+                    Campaign::new(cfg)
+                        .try_run_with_artifacts(Some(&artifacts))
+                        .expect("artifacts were built for this sweep"),
+                );
+            }
+        }
+        let on_fp = Some(bench.artifact_fingerprint(&artifacts));
+        let on_secs = t1.elapsed().as_secs_f64();
+        SweepbenchReport {
+            workload,
+            components: components.to_vec(),
+            runs: bench.runs,
+            seed: bench.seed,
+            campaigns: off_results.len(),
+            off_secs,
+            on_secs,
+            identical: off_results == on_results && off_fp == on_fp,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +389,29 @@ mod tests {
         assert!(json.contains("\"l2\""));
         assert!(json.contains("\"all_identical\": true"));
         assert_eq!(report.table().len(), HwComponent::ALL.len());
+    }
+
+    #[test]
+    fn sweepbench_produces_identical_results_and_renders() {
+        let e = Experiments {
+            runs: 6,
+            workloads: vec![Workload::Stringsearch],
+            ..Experiments::default()
+        };
+        let report = e.sweepbench(
+            Workload::Stringsearch,
+            &[HwComponent::RegFile, HwComponent::DTlb],
+        );
+        assert_eq!(report.campaigns, 6, "2 components x 3 cardinalities");
+        assert!(
+            report.identical,
+            "cache on/off results must be bit-identical"
+        );
+        assert!(report.off_secs > 0.0 && report.on_secs > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"campaigns\": 6"));
+        assert!(json.contains("\"identical_results\": true"));
+        assert!(json.contains("\"regfile\", \"dtlb\""));
+        assert_eq!(report.table().len(), 5);
     }
 }

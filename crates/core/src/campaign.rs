@@ -44,7 +44,7 @@ use crate::tech::component_bits;
 use mbu_ace::LivenessOracle;
 use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
 use mbu_isa::Program;
-use mbu_snap::{SnapshotSpec, SnapshotStats, SnapshotStore};
+use mbu_snap::{GoldenArtifacts, SnapshotSpec, SnapshotStats, SnapshotStore};
 use mbu_sram::{BitCoord, Geometry, Restorable};
 use mbu_workloads::Workload;
 use std::fmt;
@@ -344,6 +344,10 @@ pub enum AnomalyKind {
     /// to a sparser checkpoint interval (campaign-level, logged as run 0;
     /// classifications are unaffected, only the fast-forward granularity).
     SnapshotMemCap,
+    /// The sweep-wide golden-artifact cache was disabled (`MBU_GOLDEN_CACHE`
+    /// off), so every campaign re-ran its own golden execution (sweep-level,
+    /// logged as run 0; classifications are unaffected, only wall-clock).
+    GoldenCacheBypass,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -352,6 +356,7 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::Panic => f.write_str("panic"),
             AnomalyKind::WallClock => f.write_str("wall-clock"),
             AnomalyKind::SnapshotMemCap => f.write_str("snapshot-mem-cap"),
+            AnomalyKind::GoldenCacheBypass => f.write_str("golden-cache-bypass"),
         }
     }
 }
@@ -941,9 +946,82 @@ impl Campaign {
     /// the campaign stops as soon as the achieved margin (measured AVF as
     /// `p`) meets the target — see [`AdaptiveSpec`].
     pub fn try_run(&self) -> Result<CampaignResult, CampaignError> {
+        self.try_run_with_artifacts(None)
+    }
+
+    /// Builds the golden artifacts this campaign would otherwise compute
+    /// inside [`Campaign::try_run`]: the fault-free output/counters and —
+    /// when [`CampaignConfig::use_snapshots`] is set — a recorded
+    /// [`SnapshotStore`] under [`CampaignConfig::snapshot_spec`].
+    ///
+    /// A sweep builds these once per `(core, workload)` pair and passes the
+    /// same value to [`Campaign::try_run_with_artifacts`] for every campaign
+    /// targeting that workload, eliminating the per-campaign golden and
+    /// recording runs.
+    pub fn build_artifacts(&self) -> Result<GoldenArtifacts, CampaignError> {
         let cfg = &self.config;
         let program = cfg.workload.program();
-        let (golden_output, golden_code, cycles, instructions) = self.golden(&program)?;
+        let spec = cfg.use_snapshots.then_some(cfg.snapshot_spec);
+        GoldenArtifacts::build(cfg.core, &program, spec).map_err(|end| {
+            CampaignError::GoldenRunFailed {
+                workload: cfg.workload,
+                end,
+            }
+        })
+    }
+
+    /// [`Campaign::try_run`] with optional pre-built golden artifacts.
+    ///
+    /// With `Some(artifacts)` the golden run (and, with snapshots enabled,
+    /// the recording run) is skipped: the reference output, counters and
+    /// checkpoint store come from the artifacts. The simulator is
+    /// deterministic, so the artifacts are bit-identical to what a private
+    /// golden run would have produced — classifications, anomaly logs and
+    /// details do not depend on which path supplied them. Artifacts built
+    /// for a different core, program or snapshot spec are rejected with
+    /// [`CampaignError::ArtifactMismatch`] rather than silently
+    /// misclassifying every run.
+    pub fn try_run_with_artifacts(
+        &self,
+        artifacts: Option<&GoldenArtifacts>,
+    ) -> Result<CampaignResult, CampaignError> {
+        let cfg = &self.config;
+        let program = cfg.workload.program();
+        if let Some(a) = artifacts {
+            if *a.core() != cfg.core {
+                return Err(CampaignError::ArtifactMismatch {
+                    reason: "artifacts were built for a different core configuration",
+                });
+            }
+            if *a.program() != program {
+                return Err(CampaignError::ArtifactMismatch {
+                    reason: "artifacts were built for a different program",
+                });
+            }
+            if cfg.use_snapshots {
+                if a.snapshot_store().is_none() {
+                    return Err(CampaignError::ArtifactMismatch {
+                        reason: "campaign uses snapshots but the artifacts carry no store",
+                    });
+                }
+                if a.snapshot_spec() != Some(cfg.snapshot_spec) {
+                    return Err(CampaignError::ArtifactMismatch {
+                        reason: "artifacts' snapshot store was recorded under a different spec",
+                    });
+                }
+            }
+        }
+        // Golden reference: from the shared artifacts, or one private run.
+        let owned_golden = match artifacts {
+            Some(_) => None,
+            None => Some(self.golden(&program)?),
+        };
+        let (golden_output, golden_code, cycles, instructions): (&[u8], u32, u64, u64) =
+            match (&owned_golden, artifacts) {
+                (Some((o, c, cy, i)), _) => (o, *c, *cy, *i),
+                (None, Some(a)) => (a.output(), a.exit_code(), a.cycles(), a.instructions()),
+                (None, None) => unreachable!("one golden source always exists"),
+            };
         // Target geometry is config-determined; compute it once instead of
         // per run so the oracle fast path can skip Simulator construction.
         let geometry = {
@@ -964,8 +1042,9 @@ impl Campaign {
         };
         let oracle = oracle.as_ref();
         // One extra golden (recording) run buys checkpointed fast-forwarding
-        // and reconvergence-based early exit for every injection run.
-        let snapshots = if cfg.use_snapshots {
+        // and reconvergence-based early exit for every injection run — paid
+        // here only when no shared store came with the artifacts.
+        let owned_store = if cfg.use_snapshots && artifacts.is_none() {
             Some(SnapshotStore::record_golden(
                 cfg.core,
                 &program,
@@ -975,7 +1054,14 @@ impl Campaign {
         } else {
             None
         };
-        let snapshots = snapshots.as_ref();
+        let snapshots: Option<&SnapshotStore> = if cfg.use_snapshots {
+            match artifacts {
+                Some(a) => a.snapshot_store().map(|s| s.as_ref()),
+                None => owned_store.as_ref(),
+            }
+        } else {
+            None
+        };
         let mut counts = ClassCounts::new();
         let mut details: Vec<RunDetail> = Vec::new();
         let mut anomalies = AnomalyLog::new();
@@ -1011,7 +1097,7 @@ impl Campaign {
                 &program,
                 executed..end,
                 cycles,
-                &golden_output,
+                golden_output,
                 golden_code,
                 geometry,
                 oracle,

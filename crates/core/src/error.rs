@@ -48,6 +48,13 @@ pub enum CampaignError {
         /// What was wrong with it.
         reason: &'static str,
     },
+    /// Pre-built golden artifacts were supplied for a different campaign
+    /// (wrong core configuration, wrong program, or a missing/mismatched
+    /// snapshot store).
+    ArtifactMismatch {
+        /// Which part of the artifacts disagreed with the campaign.
+        reason: &'static str,
+    },
     /// A sampling-statistics computation failed (out-of-range margin,
     /// probability or sample count).
     Stats(StatsError),
@@ -80,6 +87,9 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::InvalidAdaptiveSpec { reason } => {
                 write!(f, "invalid adaptive-sampling spec: {reason}")
+            }
+            CampaignError::ArtifactMismatch { reason } => {
+                write!(f, "golden artifacts do not match this campaign: {reason}")
             }
             CampaignError::Stats(e) => write!(f, "sampling statistics: {e}"),
         }

@@ -64,6 +64,6 @@ pub use classify::{ClassCounts, FaultEffect};
 pub use error::CampaignError;
 pub use integrity::{golden_fingerprint, GoldenFingerprint};
 pub use mask::{ClusterSpec, FaultMask, MaskGenerator};
-pub use mbu_snap::{SnapshotSpec, SnapshotStats, SnapshotStore};
+pub use mbu_snap::{GoldenArtifacts, SnapshotSpec, SnapshotStats, SnapshotStore};
 pub use stats::StatsError;
 pub use tech::TechNode;

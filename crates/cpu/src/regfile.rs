@@ -8,7 +8,7 @@
 //! paper injects into the register file's storage cells).
 
 use mbu_isa::Reg;
-use mbu_sram::{BitCoord, Geometry, Injectable, Restorable, Snapshot};
+use mbu_sram::{BitCoord, CowVec, Geometry, Injectable, Restorable, Snapshot};
 use std::collections::VecDeque;
 
 /// Identifier of a physical register.
@@ -31,7 +31,9 @@ pub type PhysReg = u8;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysRegFile {
-    values: Vec<u32>,
+    /// The injectable value array — copy-on-write, so a snapshot shares it
+    /// until either side writes a register.
+    values: CowVec<u32>,
     ready: Vec<bool>,
     free: VecDeque<PhysReg>,
     rename: [PhysReg; 16], // entry 0 unused (r0 is never renamed)
@@ -55,7 +57,7 @@ impl PhysRegFile {
             *slot = (arch - 1) as PhysReg;
         }
         Self {
-            values: vec![0; n],
+            values: CowVec::new(vec![0; n]),
             ready: vec![true; n],
             free: (15..phys_regs as u8).collect(),
             rename,
@@ -160,7 +162,7 @@ impl PhysRegFile {
 
     /// Writes a result and marks the register ready (writeback stage).
     pub fn write(&mut self, phys: PhysReg, value: u32) {
-        self.values[phys as usize] = value;
+        self.values.make_mut()[phys as usize] = value;
         self.ready[phys as usize] = true;
     }
 
@@ -191,13 +193,18 @@ impl PhysRegFile {
         if self.rename != golden.rename || self.ready != golden.ready || self.free != golden.free {
             return false;
         }
+        if self.values.is_shared_with(&golden.values) {
+            // Copy-on-write array never written since the restore: identical
+            // by construction.
+            return true;
+        }
         let mut free_mask = [0u64; 4];
         for &p in &self.free {
             free_mask[p as usize / 64] |= 1 << (p % 64);
         }
         self.values
             .iter()
-            .zip(&golden.values)
+            .zip(golden.values.iter())
             .enumerate()
             .all(|(i, (v, g))| free_mask[i / 64] >> (i % 64) & 1 == 1 || v == g)
     }
@@ -228,7 +235,7 @@ impl Injectable for PhysRegFile {
             coord.row < self.values.len() && coord.col < 32,
             "register-file injection out of bounds"
         );
-        self.values[coord.row] ^= 1 << coord.col;
+        self.values.make_mut()[coord.row] ^= 1 << coord.col;
     }
 }
 

@@ -202,6 +202,9 @@ pub struct Simulator {
     iq: Vec<u64>,
     decode_q: VecDeque<Decoded>,
     completions: Vec<(u64, u64)>,
+    /// Scratch buffer reused by [`Simulator::writeback_stage`] every cycle;
+    /// not architectural state (always drained), so excluded from snapshots.
+    wb_due: Vec<u64>,
     fetch_pc: u32,
     fetch_stall: FetchStall,
     fetch_ready_at: u64,
@@ -258,6 +261,7 @@ impl Simulator {
             iq: Vec::with_capacity(cfg.iq_entries as usize),
             decode_q: VecDeque::with_capacity(cfg.decode_buffer as usize),
             completions: Vec::new(),
+            wb_due: Vec::new(),
             fetch_pc: program.entry,
             fetch_stall: FetchStall::None,
             fetch_ready_at: 0,
@@ -522,19 +526,24 @@ impl Simulator {
 
     fn writeback_stage(&mut self) {
         // Collect completions due this cycle, oldest first, up to the width.
-        let mut due: Vec<u64> = self
-            .completions
-            .iter()
-            .filter(|(c, _)| *c <= self.cycle)
-            .map(|(_, s)| *s)
-            .collect();
+        // The scratch buffer is reused across cycles to avoid a per-cycle
+        // heap allocation on this hot path.
+        let mut due = std::mem::take(&mut self.wb_due);
+        due.clear();
+        due.extend(
+            self.completions
+                .iter()
+                .filter(|(c, _)| *c <= self.cycle)
+                .map(|(_, s)| *s),
+        );
         due.sort_unstable();
         due.truncate(self.cfg.writeback_width as usize);
         if due.is_empty() {
+            self.wb_due = due;
             return;
         }
         self.completions.retain(|(_, s)| !due.contains(s));
-        for seq in due {
+        for &seq in &due {
             // An older mispredicted branch processed earlier in this loop
             // may have squashed this instruction.
             if seq >= self.head_seq + self.rob.len() as u64 {
@@ -583,6 +592,7 @@ impl Simulator {
                 }
             }
         }
+        self.wb_due = due;
     }
 
     /// Conservative store→load disambiguation. Returns `None` if the load
@@ -1075,11 +1085,10 @@ fn same_completion_set(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
     if a == b {
         return true;
     }
-    let mut sa = a.to_vec();
-    let mut sb = b.to_vec();
-    sa.sort_unstable();
-    sb.sort_unstable();
-    sa == sb
+    // Sequence numbers are unique, so equal-length containment in one
+    // direction is set equality; the sets are at most a few entries, so a
+    // quadratic scan beats sorting two fresh allocations.
+    a.iter().all(|x| b.contains(x))
 }
 
 /// A complete, bit-exact checkpoint of a [`Simulator`]: all pipeline state

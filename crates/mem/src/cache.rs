@@ -16,7 +16,7 @@
 //!   surfaces as the assert failure class.
 
 use crate::phys::{PhysicalMemory, UnmappedPhysical};
-use mbu_sram::{BitCoord, Geometry, Injectable, Restorable, Snapshot};
+use mbu_sram::{BitCoord, CowVec, Geometry, Injectable, Restorable, Snapshot};
 
 /// Cache line size in bytes (Cortex-A9 L1/L2).
 pub const LINE_BYTES: u32 = 32;
@@ -216,12 +216,14 @@ const DIRTY_BIT: u64 = 1 << 63;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cache {
     config: CacheConfig,
-    /// Per line: `tag | VALID_BIT | DIRTY_BIT`.
-    tags: Vec<u64>,
-    /// `lines × LINE_BYTES` bytes.
-    data: Vec<u8>,
-    /// LRU rank per line (0 = most recently used within its set).
-    lru: Vec<u8>,
+    /// Per line: `tag | VALID_BIT | DIRTY_BIT`. Copy-on-write: a snapshot
+    /// shares the array until either side writes it.
+    tags: CowVec<u64>,
+    /// `lines × LINE_BYTES` bytes (copy-on-write).
+    data: CowVec<u8>,
+    /// LRU rank per line (0 = most recently used within its set;
+    /// copy-on-write).
+    lru: CowVec<u8>,
     stats: CacheStats,
 }
 
@@ -260,9 +262,9 @@ impl Cache {
         let lru = (0..lines).map(|l| (l as u32 % config.ways) as u8).collect();
         Self {
             config,
-            tags: vec![0; lines],
-            data: vec![0; lines * LINE_BYTES as usize],
-            lru,
+            tags: CowVec::new(vec![0; lines]),
+            data: CowVec::new(vec![0; lines * LINE_BYTES as usize]),
+            lru: CowVec::new(lru),
             stats: CacheStats::default(),
         }
     }
@@ -291,12 +293,18 @@ impl Cache {
     fn promote(&mut self, set: u32, way: u32) {
         let base = (set * self.config.ways) as usize;
         let old = self.lru[base + way as usize];
+        if old == 0 {
+            // Already most recently used: the ranks are unchanged, so don't
+            // unshare a snapshot-shared array for a no-op.
+            return;
+        }
+        let lru = self.lru.make_mut();
         for w in 0..self.config.ways as usize {
-            if self.lru[base + w] < old {
-                self.lru[base + w] += 1;
+            if lru[base + w] < old {
+                lru[base + w] += 1;
             }
         }
-        self.lru[base + way as usize] = 0;
+        lru[base + way as usize] = 0;
     }
 
     /// Ensures the line containing `pa` is resident and returns its handle
@@ -320,8 +328,8 @@ impl Cache {
             let line = (base + way) as usize;
             let t = self.tags[line];
             if t & VALID_BIT != 0 && (t & !(VALID_BIT | DIRTY_BIT)) == tag {
-                if is_write {
-                    self.tags[line] |= DIRTY_BIT;
+                if is_write && t & DIRTY_BIT == 0 {
+                    self.tags.make_mut()[line] |= DIRTY_BIT;
                 }
                 self.promote(set, way);
                 self.stats.hits += 1;
@@ -355,8 +363,8 @@ impl Cache {
         let (bytes, fetch_lat) = next.load_line(pa_line)?;
         latency += fetch_lat;
         let off = line * LINE_BYTES as usize;
-        self.data[off..off + LINE_BYTES as usize].copy_from_slice(&bytes);
-        self.tags[line] = tag | VALID_BIT | if is_write { DIRTY_BIT } else { 0 };
+        self.data.make_mut()[off..off + LINE_BYTES as usize].copy_from_slice(&bytes);
+        self.tags.make_mut()[line] = tag | VALID_BIT | if is_write { DIRTY_BIT } else { 0 };
         self.promote(set, victim);
         Ok((LineIdx(line as u32), latency))
     }
@@ -391,7 +399,7 @@ impl Cache {
             "write crosses line boundary"
         );
         let base = line.0 as usize * LINE_BYTES as usize + offset as usize;
-        self.data[base..base + bytes.len()].copy_from_slice(bytes);
+        self.data.make_mut()[base..base + bytes.len()].copy_from_slice(bytes);
     }
 
     /// Writes back every dirty line and marks it clean (drain at simulation
@@ -410,7 +418,7 @@ impl Cache {
                     | (set << self.config.offset_bits());
                 let bytes = self.line_bytes(line);
                 next.store_line(pa, &bytes)?;
-                self.tags[line] &= !DIRTY_BIT;
+                self.tags.make_mut()[line] &= !DIRTY_BIT;
             }
         }
         Ok(())
@@ -444,12 +452,22 @@ impl Cache {
         } else {
             DIRTY_BIT
         };
-        self.tags[coord.row] ^= mask;
+        self.tags.make_mut()[coord.row] ^= mask;
     }
 
     /// Approximate heap bytes retained by one snapshot of this cache.
     pub fn snapshot_bytes(&self) -> usize {
         self.tags.len() * 8 + self.data.len() + self.lru.len()
+    }
+
+    /// Retained heap bytes of this cache image when `prev` is an
+    /// already-retained checkpoint: arrays still sharing their allocation
+    /// with `prev` (copy-on-write, untouched between the two checkpoints)
+    /// are charged zero. With `prev = None` every array is charged.
+    pub fn retained_bytes(&self, prev: Option<&Self>) -> usize {
+        self.tags.retained_bytes(prev.map(|p| &p.tags))
+            + self.data.retained_bytes(prev.map(|p| &p.data))
+            + self.lru.retained_bytes(prev.map(|p| &p.lru))
     }
 
     /// Liveness-aware state comparison against a golden checkpoint: `true`
@@ -466,7 +484,13 @@ impl Cache {
         if self.config != golden.config || self.stats != golden.stats || self.lru != golden.lru {
             return false;
         }
-        for (line, (&t, &g)) in self.tags.iter().zip(&golden.tags).enumerate() {
+        // Arrays still sharing their allocation with the golden checkpoint
+        // (copy-on-write, never written since the restore) are identical by
+        // construction: skip the per-line scan.
+        if self.tags.is_shared_with(&golden.tags) && self.data.is_shared_with(&golden.data) {
+            return true;
+        }
+        for (line, (&t, &g)) in self.tags.iter().zip(golden.tags.iter()).enumerate() {
             if (t & VALID_BIT) != (g & VALID_BIT) {
                 return false;
             }
@@ -531,7 +555,7 @@ impl Injectable for Cache {
         let line = coord.row * i + coord.col % i;
         let bit = coord.col / i;
         let byte = line * LINE_BYTES as usize + bit / 8;
-        self.data[byte] ^= 1 << (bit % 8);
+        self.data.make_mut()[byte] ^= 1 << (bit % 8);
     }
 }
 

@@ -607,12 +607,13 @@ pub struct MemSnapshot {
 }
 
 impl MemSnapshot {
-    /// Approximate retained heap bytes of this checkpoint. DRAM pages shared
-    /// with `prev` (an already-retained checkpoint) are not charged again.
+    /// Approximate retained heap bytes of this checkpoint. DRAM pages and
+    /// copy-on-write cache arrays shared with `prev` (an already-retained
+    /// checkpoint) are not charged again.
     pub fn retained_bytes(&self, prev: Option<&Self>) -> usize {
-        self.l1i.snapshot_bytes()
-            + self.l1d.snapshot_bytes()
-            + self.l2.snapshot_bytes()
+        self.l1i.retained_bytes(prev.map(|p| &p.l1i))
+            + self.l1d.retained_bytes(prev.map(|p| &p.l1d))
+            + self.l2.retained_bytes(prev.map(|p| &p.l2))
             + self.itlb.snapshot_bytes()
             + self.dtlb.snapshot_bytes()
             + self.phys.retained_bytes(prev.map(|p| &p.phys))

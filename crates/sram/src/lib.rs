@@ -27,8 +27,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cow;
 pub mod probe;
 
+pub use cow::CowVec;
 pub use probe::LivenessProbe;
 
 use std::fmt;
