@@ -15,7 +15,20 @@
 //!                    workload (--workload), time series saved to results/
 //!   verify-store <csv>  read-only integrity audit of a checkpoint file:
 //!                    format version, per-row CRCs, golden-run fingerprints
-//!                    vs the current binaries
+//!                    vs the current binaries; with --shards <dir> audits a
+//!                    worker shard directory instead (per-shard CRC and
+//!                    fingerprint status, non-zero exit on defective rows)
+//!   sweep            distributed measure: spawns MBU_WORKERS (or
+//!                    --workers N) supervised worker processes, shards
+//!                    every campaign into run-ranges, retries lost or
+//!                    stalled workers, steals straggler tails, and merges
+//!                    the per-worker shard stores into --out — the merged
+//!                    CSV is byte-identical to a single-process measure
+//!   worker           one sweep worker (supervisor-spawned over stdio, or
+//!                    --connect <addr> for a remote supervisor); writes its
+//!                    checksummed shard to --shard <path> before acking
+//!   serve            like sweep, but adopts --workers N workers that
+//!                    connect to --listen <addr> instead of spawning them
 //!   snapbench        campaign wall-clock with the snapshot fast path off
 //!                    vs on, per component (BENCH_snapshot.json), then a
 //!                    3-component sweep with the golden-artifact cache off
@@ -38,8 +51,13 @@
 //! (sweep wall-clock budget), MBU_SNAPSHOTS, MBU_SNAPSHOT_INTERVAL,
 //! MBU_SNAPSHOT_MEM_MB (snapshot fast path and its memory cap),
 //! MBU_GOLDEN_CACHE (sweep-wide golden-artifact cache, default on).
+//! Fabric knobs (sweep/serve/worker): MBU_WORKERS, MBU_UNIT_RUNS,
+//! MBU_HEARTBEAT_MS, MBU_STALL_SECS, MBU_UNIT_DEADLINE_SECS,
+//! MBU_UNIT_RETRIES, MBU_STEAL. Invalid values are rejected with a typed
+//! error, never silently defaulted.
 //! ```
 
+use mbu_bench::supervisor::{FabricConfig, FabricReport, Supervisor, WorkerPool};
 use mbu_bench::{AnalyticalStore, Experiments, ResultStore};
 use mbu_cpu::HwComponent;
 use mbu_gefin::paper;
@@ -58,6 +76,16 @@ struct Options {
     out: PathBuf,
     workload: Workload,
     snapshots: bool,
+    /// `--workers N` override for sweep/serve.
+    workers: Option<usize>,
+    /// `--shards <dir>`: shard directory for sweep/serve/verify-store.
+    shards: Option<PathBuf>,
+    /// `--shard <path>`: this worker's shard store.
+    shard: Option<PathBuf>,
+    /// `--listen <addr>` for serve.
+    listen: Option<String>,
+    /// `--connect <addr>` for worker.
+    connect: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -70,8 +98,37 @@ fn parse_args() -> Result<Options, String> {
     let mut chart = false;
     let mut workload = Workload::Stringsearch;
     let mut snapshots = false;
+    let mut workers = None;
+    let mut shards = None;
+    let mut shard = None;
+    let mut listen = None;
+    let mut connect = None;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--workers must be a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--workers must be a positive integer, got `0`".into());
+                }
+                workers = Some(n);
+            }
+            "--shards" => {
+                shards = Some(PathBuf::from(
+                    args.next().ok_or("--shards needs a directory")?,
+                ));
+            }
+            "--shard" => {
+                shard = Some(PathBuf::from(args.next().ok_or("--shard needs a path")?));
+            }
+            "--listen" => {
+                listen = Some(args.next().ok_or("--listen needs an address")?);
+            }
+            "--connect" => {
+                connect = Some(args.next().ok_or("--connect needs an address")?);
+            }
             "--paper" => use_paper = true,
             "--csv" => csv = true,
             "--chart" => chart = true,
@@ -104,18 +161,29 @@ fn parse_args() -> Result<Options, String> {
         out,
         workload,
         snapshots,
+        workers,
+        shards,
+        shard,
+        listen,
+        connect,
     })
 }
 
 fn usage() {
     eprintln!(
-        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|xval|occupancy|verify-store|snapbench|all> [--paper] [--csv] [--chart] [--out path] [--workload w] [--snapshots]\n\
+        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|xval|occupancy|verify-store|snapbench|sweep|worker|serve|all> [--paper] [--csv] [--chart] [--out path] [--workload w] [--snapshots]\n\
          \x20      repro verify-store <checkpoint.csv>   read-only integrity audit\n\
+         \x20      repro verify-store --shards <dir>     audit worker shard stores (exit 1 on defects)\n\
+         \x20      repro sweep [--workers N] [--shards dir]  distributed measure with supervised workers\n\
+         \x20      repro serve --listen <addr> [--workers N] adopt TCP-connected workers instead\n\
+         \x20      repro worker --shard <path> [--connect <addr>]  one worker (normally supervisor-spawned)\n\
          \x20      repro snapbench [--workload w]        snapshot off/on wall-clock -> BENCH_snapshot.json,\n\
          \x20                                            golden-cache off/on sweep -> BENCH_sweep.json\n\
          env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS,\n\
          \x20      MBU_ADAPTIVE_MARGIN, MBU_DEADLINE_SECS, MBU_SNAPSHOTS,\n\
-         \x20      MBU_SNAPSHOT_INTERVAL, MBU_SNAPSHOT_MEM_MB, MBU_GOLDEN_CACHE"
+         \x20      MBU_SNAPSHOT_INTERVAL, MBU_SNAPSHOT_MEM_MB, MBU_GOLDEN_CACHE,\n\
+         \x20      MBU_WORKERS, MBU_UNIT_RUNS, MBU_HEARTBEAT_MS, MBU_STALL_SECS,\n\
+         \x20      MBU_UNIT_DEADLINE_SECS, MBU_UNIT_RETRIES, MBU_STEAL"
     );
 }
 
@@ -242,8 +310,60 @@ fn measure_all(e: &Experiments, opts: &Options, store: &mut ResultStore) {
     }
 }
 
+/// Prints the fabric's post-sweep accounting and returns whether the sweep
+/// completed clean (no quarantined units, full merge coverage).
+fn report_fabric(report: &FabricReport, store: &ResultStore, out: &std::path::Path) -> bool {
+    eprintln!(
+        "fabric: {} unit(s) planned, {} completed, {} retried, {} stolen tail(s); \
+         {} worker(s) spawned, {} lost",
+        report.units_planned,
+        report.units_completed,
+        report.retries,
+        report.steals,
+        report.workers_spawned,
+        report.workers_lost,
+    );
+    if report.skipped_existing > 0 {
+        eprintln!(
+            "fabric: resumed — {} campaign(s) already fresh in the final store",
+            report.skipped_existing
+        );
+    }
+    if report.stale_rerun > 0 {
+        eprintln!(
+            "fabric: re-ran {} campaign(s) whose golden-run fingerprint was stale",
+            report.stale_rerun
+        );
+    }
+    for (w, err) in &report.failed_workloads {
+        eprintln!("warning: workload {w} skipped — golden run failed: {err}");
+    }
+    let m = &report.merge;
+    eprintln!(
+        "fabric: merged {} campaign(s) from {} shard row(s) \
+         ({} duplicate(s), {} overlap(s), {} stale, {} conflicting dropped)",
+        m.campaigns_merged,
+        m.rows_merged,
+        m.duplicates_dropped,
+        m.overlaps_dropped,
+        m.stale_dropped,
+        m.conflicts_dropped,
+    );
+    for a in report.anomalies.entries() {
+        eprintln!("anomaly: {a}");
+    }
+    for (unit, why) in &report.quarantined {
+        eprintln!("warning: quarantined {unit}: {why}");
+    }
+    for gap in &m.gaps {
+        eprintln!("warning: coverage gap {gap} — re-run `repro sweep` to fill it");
+    }
+    eprintln!("saved {} campaign(s) to {}", store.len(), out.display());
+    report.is_clean()
+}
+
 fn run(opts: &Options) -> Result<(), String> {
-    let mut e = Experiments::from_env();
+    let mut e = Experiments::try_from_env().map_err(|err| err.to_string())?;
     e.verbose = true;
     if opts.snapshots {
         e.use_snapshots = true;
@@ -412,15 +532,97 @@ fn run(opts: &Options) -> Result<(), String> {
             );
         }
         "verify-store" => {
-            // Read-only: audits without quarantining, rewriting or
-            // re-running anything.
-            let path = opts.target.clone().unwrap_or_else(|| opts.out.clone());
-            eprintln!(
-                "auditing {} (read-only; recomputing golden-run fingerprints)",
-                path.display()
-            );
-            let table = e.verify_store(&path).map_err(|err| err.to_string())?;
-            emit(&table, opts.csv);
+            // Read-only either way: audits without quarantining, rewriting
+            // or re-running anything.
+            if let Some(dir) = &opts.shards {
+                eprintln!(
+                    "auditing shard stores in {} (read-only; recomputing golden-run fingerprints)",
+                    dir.display()
+                );
+                let audits =
+                    mbu_bench::fabric::audit_shard_dir(&e, dir).map_err(|err| err.to_string())?;
+                if audits.is_empty() {
+                    eprintln!("no shard stores found in {}", dir.display());
+                }
+                let mut defective = 0;
+                for a in &audits {
+                    println!(
+                        "{}: {} intact row(s) ({} fresh, {} stale), {} defective",
+                        a.path.display(),
+                        a.rows,
+                        a.fresh,
+                        a.stale,
+                        a.quarantined,
+                    );
+                    defective += a.quarantined;
+                }
+                if defective > 0 {
+                    return Err(format!(
+                        "{defective} defective shard row(s) would be quarantined at merge"
+                    ));
+                }
+            } else {
+                let path = opts.target.clone().unwrap_or_else(|| opts.out.clone());
+                eprintln!(
+                    "auditing {} (read-only; recomputing golden-run fingerprints)",
+                    path.display()
+                );
+                let table = e.verify_store(&path).map_err(|err| err.to_string())?;
+                emit(&table, opts.csv);
+            }
+        }
+        "sweep" | "serve" => {
+            let mut config = FabricConfig::from_env().map_err(|err| err.to_string())?;
+            if let Some(w) = opts.workers {
+                config.workers = w;
+            }
+            config.verbose = true;
+            let shard_dir = opts.shards.clone().unwrap_or_else(|| {
+                opts.out
+                    .parent()
+                    .unwrap_or_else(|| std::path::Path::new("results"))
+                    .join("shards")
+            });
+            let pool = if id == "serve" {
+                let addr = opts.listen.clone().ok_or("serve needs --listen <addr>")?;
+                let listener = std::net::TcpListener::bind(&addr)
+                    .map_err(|err| format!("bind {addr}: {err}"))?;
+                WorkerPool::Tcp(listener)
+            } else {
+                WorkerPool::Spawn
+            };
+            let (store, report) =
+                Supervisor::run(&e, &HwComponent::ALL, &config, &shard_dir, &opts.out, pool)
+                    .map_err(|err| err.to_string())?;
+            if !report_fabric(&report, &store, &opts.out) {
+                return Err("sweep completed degraded (quarantined units or coverage gaps)".into());
+            }
+        }
+        "worker" => {
+            let shard = opts.shard.clone().ok_or("worker needs --shard <path>")?;
+            let heartbeat = FabricConfig::from_env()
+                .map_err(|err| err.to_string())?
+                .heartbeat;
+            match &opts.connect {
+                Some(addr) => {
+                    let stream = std::net::TcpStream::connect(addr)
+                        .map_err(|err| format!("connect {addr}: {err}"))?;
+                    let reader = stream.try_clone().map_err(|err| err.to_string())?;
+                    mbu_bench::fabric::run_worker(
+                        std::io::BufReader::new(reader),
+                        stream,
+                        &shard,
+                        heartbeat,
+                    )
+                }
+                None => mbu_bench::fabric::run_worker(
+                    std::io::stdin().lock(),
+                    std::io::stdout(),
+                    &shard,
+                    heartbeat,
+                ),
+            }
+            .map_err(|err| format!("worker: {err}"))?;
         }
         "all" => {
             emit(&e.table1(), opts.csv);

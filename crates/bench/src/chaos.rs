@@ -136,6 +136,174 @@ impl StoreIo for ChaosIo<'_> {
     }
 }
 
+/// A scripted worker-process fault for the distributed-sweep chaos tests.
+///
+/// The crate forbids `unsafe`, so there is no `libc::kill` — instead the
+/// fault fires *inside* the victim worker, wired into the campaign's
+/// per-run hook, which reproduces the observable effect of each failure
+/// mode: an abrupt `SIGKILL` (process vanishes mid-unit, shard file
+/// possibly mid-append), a hung worker (process alive, no heartbeats, no
+/// progress), or a worker that corrupts its control stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Exit abruptly (status 137, the `SIGKILL` exit code) after this many
+    /// runs of the first assigned unit — no shutdown handshake, no final
+    /// flush.
+    KillMidUnit {
+        /// Runs to execute before dying.
+        after_runs: usize,
+    },
+    /// After this many runs, stop forever: mute the heartbeat thread and
+    /// block the run in an endless sleep. The process stays alive, so only
+    /// the supervisor's stall detector can reclaim the unit.
+    HangMidUnit {
+        /// Runs to execute before freezing.
+        after_runs: usize,
+    },
+    /// Write garbage bytes into the control stream instead of the next
+    /// protocol frame — a corrupted or truncated frame on the wire.
+    GarbageFrames,
+}
+
+impl WorkerFault {
+    /// Parses a fault spec: `kill-mid-unit:N`, `hang-mid-unit:N` or
+    /// `garbage-frames`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown kinds or malformed counts.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind, arg) = match spec.split_once(':') {
+            Some((k, a)) => (k, Some(a)),
+            None => (spec, None),
+        };
+        let after = |arg: Option<&str>| -> Result<usize, String> {
+            arg.ok_or_else(|| format!("fault `{kind}` needs `:N`"))?
+                .parse()
+                .map_err(|e| format!("bad run count in `{spec}`: {e}"))
+        };
+        match kind {
+            "kill-mid-unit" => Ok(WorkerFault::KillMidUnit {
+                after_runs: after(arg)?,
+            }),
+            "hang-mid-unit" => Ok(WorkerFault::HangMidUnit {
+                after_runs: after(arg)?,
+            }),
+            "garbage-frames" => Ok(WorkerFault::GarbageFrames),
+            other => Err(format!("unknown worker fault `{other}`")),
+        }
+    }
+}
+
+/// Worker-side chaos driver: counts runs and fires the configured
+/// [`WorkerFault`] at its scripted point. One instance is shared between a
+/// worker's campaign run-hook and its heartbeat thread.
+#[derive(Debug, Default)]
+pub struct WorkerChaos {
+    fault: Option<WorkerFault>,
+    runs_seen: AtomicUsize,
+    muted: std::sync::atomic::AtomicBool,
+}
+
+/// The supervisor-side env var: `<worker index>:<fault spec>`. The
+/// supervisor consumes it and passes the bare spec to the targeted worker
+/// via [`WORKER_FAULT_ENV`] — respawned replacements never inherit it, so
+/// a killed worker does not kill its replacement.
+pub const CHAOS_WORKER_ENV: &str = "MBU_CHAOS_WORKER";
+
+/// The worker-side env var holding a bare fault spec.
+pub const WORKER_FAULT_ENV: &str = "MBU_CHAOS_FAULT";
+
+impl WorkerChaos {
+    /// No chaos.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A driver firing `fault`.
+    pub fn with_fault(fault: WorkerFault) -> Self {
+        Self {
+            fault: Some(fault),
+            ..Self::default()
+        }
+    }
+
+    /// Builds from [`WORKER_FAULT_ENV`] (no chaos when unset).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec — chaos wiring is test scaffolding, and
+    /// a typo'd fault silently not firing would pass the test it was meant
+    /// to arm.
+    pub fn from_env() -> Self {
+        match std::env::var(WORKER_FAULT_ENV) {
+            Ok(spec) => match WorkerFault::parse(&spec) {
+                Ok(fault) => Self::with_fault(fault),
+                Err(e) => panic!("{WORKER_FAULT_ENV}: {e}"),
+            },
+            Err(_) => Self::none(),
+        }
+    }
+
+    /// Parses the supervisor-side [`CHAOS_WORKER_ENV`] into a (worker
+    /// index, fault spec) pair, `None` when unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed value (see [`WorkerChaos::from_env`]).
+    pub fn target_from_env() -> Option<(usize, String)> {
+        let v = std::env::var(CHAOS_WORKER_ENV).ok()?;
+        let (index, spec) = v
+            .split_once(':')
+            .unwrap_or_else(|| panic!("{CHAOS_WORKER_ENV} must be `<worker index>:<fault>`"));
+        let index = index
+            .parse()
+            .unwrap_or_else(|e| panic!("{CHAOS_WORKER_ENV}: bad worker index: {e}"));
+        // Validate the spec eagerly so the failure is at the supervisor,
+        // not buried in a worker's stderr.
+        if let Err(e) = WorkerFault::parse(spec) {
+            panic!("{CHAOS_WORKER_ENV}: {e}");
+        }
+        Some((index, spec.to_string()))
+    }
+
+    /// Hook point for the campaign's per-run hook: counts the run and
+    /// fires kill/hang faults at their scripted run count.
+    pub fn on_run(&self) {
+        let seen = self.runs_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.fault {
+            Some(WorkerFault::KillMidUnit { after_runs }) if seen == after_runs => {
+                // 128 + 9: the wait-status a genuinely SIGKILLed process
+                // reports. No flush, no unwinding past this point.
+                std::process::exit(137);
+            }
+            Some(WorkerFault::HangMidUnit { after_runs }) if seen == after_runs => {
+                self.muted.store(true, Ordering::SeqCst);
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the heartbeat thread must stop sending (the hang fault has
+    /// fired — a frozen process sends nothing).
+    pub fn heartbeat_muted(&self) -> bool {
+        self.muted.load(Ordering::SeqCst)
+    }
+
+    /// Whether the garbage-frames fault is armed.
+    pub fn garbage_frames(&self) -> bool {
+        matches!(self.fault, Some(WorkerFault::GarbageFrames))
+    }
+
+    /// Runs executed so far (test observability).
+    pub fn runs_seen(&self) -> usize {
+        self.runs_seen.load(Ordering::Relaxed)
+    }
+}
+
 /// Truncates the file to its first `keep` bytes — a crash that tore the
 /// tail off a checkpoint.
 ///
@@ -229,6 +397,36 @@ mod tests {
         io.append(&path, "b\n").unwrap();
         assert_eq!(io.read_to_string(&path).unwrap(), "a\nb\n");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_fault_specs_parse() {
+        assert_eq!(
+            WorkerFault::parse("kill-mid-unit:25"),
+            Ok(WorkerFault::KillMidUnit { after_runs: 25 })
+        );
+        assert_eq!(
+            WorkerFault::parse("hang-mid-unit:3"),
+            Ok(WorkerFault::HangMidUnit { after_runs: 3 })
+        );
+        assert_eq!(
+            WorkerFault::parse("garbage-frames"),
+            Ok(WorkerFault::GarbageFrames)
+        );
+        assert!(WorkerFault::parse("kill-mid-unit").is_err());
+        assert!(WorkerFault::parse("kill-mid-unit:x").is_err());
+        assert!(WorkerFault::parse("segfault").is_err());
+    }
+
+    #[test]
+    fn worker_chaos_counts_without_fault() {
+        let chaos = WorkerChaos::none();
+        for _ in 0..5 {
+            chaos.on_run();
+        }
+        assert_eq!(chaos.runs_seen(), 5);
+        assert!(!chaos.heartbeat_muted());
+        assert!(!chaos.garbage_frames());
     }
 
     #[test]

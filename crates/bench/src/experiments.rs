@@ -29,6 +29,7 @@ use mbu_gefin::tech::{
 use mbu_gefin::{GoldenArtifacts, SnapshotSpec};
 use mbu_workloads::Workload;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -109,6 +110,86 @@ impl Default for SweepControl<'static> {
     }
 }
 
+/// An invalid `MBU_*` environment variable. The silent-fallback failure
+/// mode this replaces — an unparsable `MBU_THREADS` quietly running on the
+/// default — is exactly the kind of misconfiguration that makes a
+/// distributed sweep's shards subtly inconsistent, so every defect is
+/// typed and names its variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The variable was set to a value that does not parse.
+    Invalid {
+        /// The environment variable.
+        var: &'static str,
+        /// Its actual value.
+        value: String,
+        /// What a valid value looks like.
+        expected: &'static str,
+    },
+    /// The variable was set to bytes that are not valid unicode — which
+    /// `std::env::var` reports indistinguishably from "unset", silently
+    /// activating the default.
+    NotUnicode {
+        /// The environment variable.
+        var: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Invalid {
+                var,
+                value,
+                expected,
+            } => write!(f, "{var} {expected}, got `{value}`"),
+            ConfigError::NotUnicode { var } => {
+                write!(f, "{var} is set to non-unicode bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Reads an environment variable, distinguishing "unset" from "set to
+/// garbage bytes".
+pub(crate) fn env_value(var: &'static str) -> Result<Option<String>, ConfigError> {
+    match std::env::var_os(var) {
+        None => Ok(None),
+        Some(os) => match os.into_string() {
+            Ok(s) => Ok(Some(s)),
+            Err(_) => Err(ConfigError::NotUnicode { var }),
+        },
+    }
+}
+
+/// Parses an environment value with a typed failure.
+pub(crate) fn parse_env<T: std::str::FromStr>(
+    var: &'static str,
+    value: &str,
+    expected: &'static str,
+) -> Result<T, ConfigError> {
+    value.trim().parse().map_err(|_| ConfigError::Invalid {
+        var,
+        value: value.to_string(),
+        expected,
+    })
+}
+
+/// Parses an on/off switch value.
+pub(crate) fn parse_switch(var: &'static str, value: &str) -> Result<bool, ConfigError> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Ok(true),
+        "0" | "false" | "off" | "no" | "" => Ok(false),
+        _ => Err(ConfigError::Invalid {
+            var,
+            value: value.to_string(),
+            expected: "must be on/off",
+        }),
+    }
+}
+
 /// Per-component campaign data: one [`CampaignResult`] per (workload,
 /// cardinality).
 pub type ComponentData = Vec<CampaignResult>;
@@ -176,58 +257,86 @@ impl Default for Experiments {
 }
 
 impl Experiments {
-    /// Builds the configuration from `MBU_*` environment variables.
+    /// Builds the configuration from `MBU_*` environment variables,
+    /// panicking on invalid values (legacy entry point; prefer
+    /// [`Experiments::try_from_env`] for a typed error).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`]'s message on any invalid variable.
     pub fn from_env() -> Self {
+        match Self::try_from_env() {
+            Ok(e) => e,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the configuration from `MBU_*` environment variables,
+    /// rejecting invalid values with a typed [`ConfigError`] instead of a
+    /// panic or — worse — a silent fallback to the default. Non-unicode
+    /// values (which `std::env::var` reports indistinguishably from
+    /// "unset") are rejected too: a supervisor misconfigured with
+    /// `MBU_THREADS=<garbage bytes>` must fail loudly, not quietly run on
+    /// the default thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending variable, its value, and what
+    /// was expected of it.
+    pub fn try_from_env() -> Result<Self, ConfigError> {
         let mut e = Self::default();
-        if let Ok(v) = std::env::var("MBU_RUNS") {
-            e.runs = v.parse().expect("MBU_RUNS must be an integer");
+        if let Some(v) = env_value("MBU_RUNS")? {
+            e.runs = parse_env("MBU_RUNS", &v, "must be an integer")?;
         }
-        if let Ok(v) = std::env::var("MBU_SEED") {
-            e.seed = v.parse().expect("MBU_SEED must be an integer");
+        if let Some(v) = env_value("MBU_SEED")? {
+            e.seed = parse_env("MBU_SEED", &v, "must be an integer")?;
         }
-        if let Ok(v) = std::env::var("MBU_THREADS") {
-            e.threads = v.parse().expect("MBU_THREADS must be an integer");
+        if let Some(v) = env_value("MBU_THREADS")? {
+            e.threads = parse_env("MBU_THREADS", &v, "must be an integer")?;
         }
-        if let Ok(v) = std::env::var("MBU_WORKLOADS") {
+        if let Some(v) = env_value("MBU_WORKLOADS")? {
             e.workloads = v
                 .split(',')
-                .map(|s| s.trim().parse().expect("unknown workload in MBU_WORKLOADS"))
-                .collect();
+                .map(|s| {
+                    s.trim().parse().map_err(|_| ConfigError::Invalid {
+                        var: "MBU_WORKLOADS",
+                        value: s.trim().to_string(),
+                        expected: "a known workload name",
+                    })
+                })
+                .collect::<Result<_, _>>()?;
         }
-        if let Ok(v) = std::env::var("MBU_ADAPTIVE_MARGIN") {
-            let target_margin: f64 = v.parse().expect("MBU_ADAPTIVE_MARGIN must be a float");
+        if let Some(v) = env_value("MBU_ADAPTIVE_MARGIN")? {
+            let target_margin: f64 = parse_env("MBU_ADAPTIVE_MARGIN", &v, "must be a float")?;
             e.adaptive = Some(AdaptiveSpec {
                 target_margin,
                 ..AdaptiveSpec::paper()
             });
         }
-        if let Ok(v) = std::env::var("MBU_DEADLINE_SECS") {
-            e.deadline = Some(Duration::from_secs(
-                v.parse().expect("MBU_DEADLINE_SECS must be an integer"),
-            ));
+        if let Some(v) = env_value("MBU_DEADLINE_SECS")? {
+            e.deadline = Some(Duration::from_secs(parse_env(
+                "MBU_DEADLINE_SECS",
+                &v,
+                "must be an integer",
+            )?));
         }
-        if let Ok(v) = std::env::var("MBU_SNAPSHOTS") {
-            e.use_snapshots = match v.trim().to_ascii_lowercase().as_str() {
-                "1" | "true" | "on" | "yes" => true,
-                "0" | "false" | "off" | "no" | "" => false,
-                other => panic!("MBU_SNAPSHOTS must be on/off, got `{other}`"),
-            };
+        if let Some(v) = env_value("MBU_SNAPSHOTS")? {
+            e.use_snapshots = parse_switch("MBU_SNAPSHOTS", &v)?;
         }
-        if let Ok(v) = std::env::var("MBU_SNAPSHOT_INTERVAL") {
-            e.snapshot_interval =
-                Some(v.parse().expect("MBU_SNAPSHOT_INTERVAL must be an integer"));
+        if let Some(v) = env_value("MBU_SNAPSHOT_INTERVAL")? {
+            e.snapshot_interval = Some(parse_env(
+                "MBU_SNAPSHOT_INTERVAL",
+                &v,
+                "must be an integer",
+            )?);
         }
-        if let Ok(v) = std::env::var("MBU_SNAPSHOT_MEM_MB") {
-            e.snapshot_mem_mb = Some(v.parse().expect("MBU_SNAPSHOT_MEM_MB must be an integer"));
+        if let Some(v) = env_value("MBU_SNAPSHOT_MEM_MB")? {
+            e.snapshot_mem_mb = Some(parse_env("MBU_SNAPSHOT_MEM_MB", &v, "must be an integer")?);
         }
-        if let Ok(v) = std::env::var("MBU_GOLDEN_CACHE") {
-            e.use_golden_cache = match v.trim().to_ascii_lowercase().as_str() {
-                "1" | "true" | "on" | "yes" => true,
-                "0" | "false" | "off" | "no" | "" => false,
-                other => panic!("MBU_GOLDEN_CACHE must be on/off, got `{other}`"),
-            };
+        if let Some(v) = env_value("MBU_GOLDEN_CACHE")? {
+            e.use_golden_cache = parse_switch("MBU_GOLDEN_CACHE", &v)?;
         }
-        e
+        Ok(e)
     }
 
     /// Table I: the microarchitectural configuration actually in force.

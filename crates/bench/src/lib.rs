@@ -38,17 +38,23 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod fabric;
 pub mod io;
+pub mod protocol;
 pub mod snapbench;
 pub mod store;
+pub mod supervisor;
 #[cfg(feature = "bench-harness")]
 pub mod tinybench;
 
-pub use chaos::{ChaosIo, ChaosPlan};
-pub use experiments::{ComponentData, Experiments, SweepControl, SweepReport};
+pub use chaos::{ChaosIo, ChaosPlan, WorkerChaos};
+pub use experiments::{ComponentData, ConfigError, Experiments, SweepControl, SweepReport};
+pub use fabric::{plan_units, MergeReport, ShardAudit};
 pub use io::{RealIo, RetryIo, RetryPolicy, StoreIo};
+pub use protocol::{ExpSpec, Json, ProtocolError, ToSupervisor, ToWorker};
 pub use snapbench::{SnapbenchReport, SnapbenchRow, SweepbenchReport};
 pub use store::{
-    AnalyticalRow, AnalyticalStore, LoadAudit, QuarantinedRow, ResultStore, RowDefect, StoreError,
-    StoreVersion,
+    AnalyticalRow, AnalyticalStore, LoadAudit, QuarantinedRow, ResultStore, RowDefect, ShardRow,
+    ShardStore, StoreError, StoreVersion,
 };
+pub use supervisor::{FabricConfig, FabricError, FabricReport, Supervisor, WorkerPool};

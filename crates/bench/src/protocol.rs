@@ -1,0 +1,993 @@
+//! Wire protocol between the distributed-sweep supervisor and its worker
+//! processes: length-prefixed JSON frames over stdio or TCP.
+//!
+//! The repo carries no serialization dependency, so the protocol hand-rolls
+//! a minimal JSON value ([`Json`]) with one deliberate twist: numbers are
+//! kept as *raw tokens* ([`Json::Num`] holds the literal text), so a
+//! 64-bit campaign seed or an `f64` margin round-trips bit-exactly instead
+//! of being squeezed through a lossy common numeric type.
+//!
+//! Framing is `<ASCII decimal byte length>\n<payload>`. The length line
+//! makes truncation detectable (a dead worker cannot leave a frame that
+//! parses), and [`MAX_FRAME`] bounds what a garbage length line can make
+//! the supervisor allocate. Anything malformed surfaces as a typed
+//! [`ProtocolError`] — the supervisor treats it as a worker fault, never
+//! as data.
+
+use mbu_cpu::HwComponent;
+use mbu_gefin::campaign::{AdaptiveSpec, UnitSpec};
+use mbu_gefin::classify::ClassCounts;
+use mbu_gefin::integrity::GoldenFingerprint;
+use mbu_workloads::Workload;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::store::{component_slug, ShardRow};
+
+/// Upper bound on a single frame's payload, in bytes. Control messages are
+/// tiny; a length line above this is garbage by definition.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame or message could not be read or decoded.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The peer closed the stream cleanly at a frame boundary.
+    Eof,
+    /// The framing layer was violated: a non-numeric or oversized length
+    /// line, or a payload shorter than its declared length.
+    Frame(String),
+    /// The payload was not valid JSON.
+    Json(String),
+    /// The JSON was well-formed but not a recognizable message.
+    Message(String),
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Eof => f.write_str("peer closed the stream"),
+            ProtocolError::Frame(m) => write!(f, "bad frame: {m}"),
+            ProtocolError::Json(m) => write!(f, "bad JSON: {m}"),
+            ProtocolError::Message(m) => write!(f, "bad message: {m}"),
+            ProtocolError::Io(e) => write!(f, "protocol I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// A minimal JSON value. Numbers are raw source tokens so integer and
+/// float round-trips are bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its literal token text.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered; duplicate keys are never emitted).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A `Num` from a `u64`.
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A `Num` from a `usize`.
+    pub fn usize(v: usize) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A `Num` from an `f64` (shortest-roundtrip formatting).
+    pub fn f64(v: f64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a `Num` holding one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a `Num` holding one.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a `Num`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str`, if it is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, if it is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Json`] on any syntax error, including
+    /// trailing non-whitespace.
+    pub fn parse(text: &str) -> Result<Json, ProtocolError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(ProtocolError::Json(format!(
+                "trailing bytes at offset {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+}
+
+/// Recursive-descent JSON parser over a byte slice.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> ProtocolError {
+        ProtocolError::Json(format!("{what} at offset {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ProtocolError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ProtocolError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ProtocolError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(&format!("unexpected byte 0x{b:02x}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ProtocolError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    saw_digit = true;
+                    self.pos += 1;
+                }
+                b'.' | b'e' | b'E' | b'+' | b'-' => self.pos += 1,
+                _ => break,
+            }
+        }
+        if !saw_digit {
+            return Err(self.err("number with no digits"));
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("sliced on ASCII boundaries")
+            .to_string();
+        // Validate the token parses as a float (every JSON number does);
+        // the raw text is what is stored.
+        token
+            .parse::<f64>()
+            .map_err(|_| self.err("malformed number"))?;
+        Ok(Json::Num(token))
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates are not emitted by this protocol;
+                            // reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // on char boundaries is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ProtocolError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ProtocolError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Writes one length-prefixed frame and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors (a broken pipe here means the peer died).
+pub fn write_frame(w: &mut dyn Write, json: &Json) -> std::io::Result<()> {
+    let payload = json.encode();
+    w.write_all(format!("{}\n", payload.len()).as_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`ProtocolError::Eof`] on clean close at a frame boundary;
+/// [`ProtocolError::Frame`] on a garbage length line, an oversized length,
+/// or a payload truncated mid-frame; [`ProtocolError::Json`] if the payload
+/// is not JSON.
+pub fn read_frame(r: &mut dyn BufRead) -> Result<Json, ProtocolError> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Err(ProtocolError::Eof);
+    }
+    let trimmed = line.trim();
+    let len: usize = trimmed
+        .parse()
+        .map_err(|_| ProtocolError::Frame(format!("length line {trimmed:?} is not a number")))?;
+    if len > MAX_FRAME {
+        return Err(ProtocolError::Frame(format!(
+            "frame length {len} exceeds cap {MAX_FRAME}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| ProtocolError::Frame(format!("payload truncated: {e}")))?;
+    let text = String::from_utf8(payload)
+        .map_err(|_| ProtocolError::Frame("payload is not UTF-8".into()))?;
+    Json::parse(&text)
+}
+
+/// The experiment parameters a worker needs to reconstruct the exact
+/// campaign a supervisor planned: everything in [`crate::Experiments`] that
+/// affects classification or checkpoint rows. The core configuration is
+/// not carried — both sides build the same default, and any drift is caught
+/// by golden-fingerprint verification at merge time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpSpec {
+    /// Runs per full campaign.
+    pub runs: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Worker threads per campaign (0 = available parallelism).
+    pub threads: usize,
+    /// Adaptive early stopping (whole-campaign units only).
+    pub adaptive: Option<AdaptiveSpec>,
+    /// Checkpoint/restore fast-forward injection.
+    pub use_snapshots: bool,
+    /// Snapshot interval override, in cycles.
+    pub snapshot_interval: Option<u64>,
+    /// Snapshot memory cap, in MiB.
+    pub snapshot_mem_mb: Option<u64>,
+    /// Sweep-wide golden-artifact cache (per-process in a worker).
+    pub use_golden_cache: bool,
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    match v {
+        Some(v) => Json::u64(v),
+        None => Json::Null,
+    }
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, ProtocolError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtocolError::Message(format!("missing or non-integer field `{key}`")))
+}
+
+fn get_usize(obj: &Json, key: &str) -> Result<usize, ProtocolError> {
+    obj.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| ProtocolError::Message(format!("missing or non-integer field `{key}`")))
+}
+
+fn get_f64(obj: &Json, key: &str) -> Result<f64, ProtocolError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ProtocolError::Message(format!("missing or non-numeric field `{key}`")))
+}
+
+fn get_bool(obj: &Json, key: &str) -> Result<bool, ProtocolError> {
+    obj.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| ProtocolError::Message(format!("missing or non-bool field `{key}`")))
+}
+
+fn get_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, ProtocolError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::Message(format!("missing or non-string field `{key}`")))
+}
+
+fn get_opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::Message(format!("non-integer field `{key}`"))),
+    }
+}
+
+impl ExpSpec {
+    /// Encodes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let adaptive = match &self.adaptive {
+            None => Json::Null,
+            Some(a) => Json::Obj(vec![
+                ("target_margin".into(), Json::f64(a.target_margin)),
+                ("z".into(), Json::f64(a.z)),
+                ("min_runs".into(), Json::usize(a.min_runs)),
+                ("batch".into(), Json::usize(a.batch)),
+            ]),
+        };
+        Json::Obj(vec![
+            ("runs".into(), Json::usize(self.runs)),
+            ("seed".into(), Json::u64(self.seed)),
+            ("threads".into(), Json::usize(self.threads)),
+            ("adaptive".into(), adaptive),
+            ("snapshots".into(), Json::Bool(self.use_snapshots)),
+            ("snap_interval".into(), opt_u64(self.snapshot_interval)),
+            ("snap_mem_mb".into(), opt_u64(self.snapshot_mem_mb)),
+            ("golden_cache".into(), Json::Bool(self.use_golden_cache)),
+        ])
+    }
+
+    /// Decodes from a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Message`] on a missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        let adaptive = match v.get("adaptive") {
+            None | Some(Json::Null) => None,
+            Some(a) => Some(AdaptiveSpec {
+                target_margin: get_f64(a, "target_margin")?,
+                z: get_f64(a, "z")?,
+                min_runs: get_usize(a, "min_runs")?,
+                batch: get_usize(a, "batch")?,
+            }),
+        };
+        Ok(Self {
+            runs: get_usize(v, "runs")?,
+            seed: get_u64(v, "seed")?,
+            threads: get_usize(v, "threads")?,
+            adaptive,
+            use_snapshots: get_bool(v, "snapshots")?,
+            snapshot_interval: get_opt_u64(v, "snap_interval")?,
+            snapshot_mem_mb: get_opt_u64(v, "snap_mem_mb")?,
+            use_golden_cache: get_bool(v, "golden_cache")?,
+        })
+    }
+}
+
+fn row_to_json(r: &ShardRow) -> Json {
+    Json::Obj(vec![
+        ("unit".into(), unit_to_json(&r.unit)),
+        ("seed".into(), Json::u64(r.seed)),
+        ("masked".into(), Json::u64(r.counts.masked)),
+        ("sdc".into(), Json::u64(r.counts.sdc)),
+        ("crash".into(), Json::u64(r.counts.crash)),
+        ("timeout".into(), Json::u64(r.counts.timeout)),
+        ("assert".into(), Json::u64(r.counts.assert_)),
+        ("cycles".into(), Json::u64(r.fault_free_cycles)),
+        ("instr".into(), Json::u64(r.fault_free_instructions)),
+        ("fp".into(), Json::Str(r.fingerprint.to_string())),
+    ])
+}
+
+fn row_from_json(v: &Json) -> Result<ShardRow, ProtocolError> {
+    let fp: GoldenFingerprint = get_str(v, "fp")?
+        .parse()
+        .map_err(|e| ProtocolError::Message(format!("bad fingerprint: {e}")))?;
+    Ok(ShardRow {
+        unit: unit_from_json(
+            v.get("unit")
+                .ok_or_else(|| ProtocolError::Message("missing `unit`".into()))?,
+        )?,
+        seed: get_u64(v, "seed")?,
+        counts: ClassCounts {
+            masked: get_u64(v, "masked")?,
+            sdc: get_u64(v, "sdc")?,
+            crash: get_u64(v, "crash")?,
+            timeout: get_u64(v, "timeout")?,
+            assert_: get_u64(v, "assert")?,
+        },
+        fault_free_cycles: get_u64(v, "cycles")?,
+        fault_free_instructions: get_u64(v, "instr")?,
+        fingerprint: fp,
+    })
+}
+
+fn unit_to_json(u: &UnitSpec) -> Json {
+    Json::Obj(vec![
+        ("comp".into(), Json::Str(component_slug(u.component).into())),
+        ("wl".into(), Json::Str(u.workload.name().into())),
+        ("faults".into(), Json::usize(u.faults)),
+        ("start".into(), Json::usize(u.start)),
+        ("end".into(), Json::usize(u.end)),
+    ])
+}
+
+fn unit_from_json(v: &Json) -> Result<UnitSpec, ProtocolError> {
+    let component: HwComponent = get_str(v, "comp")?
+        .parse()
+        .map_err(|e| ProtocolError::Message(format!("bad component: {e}")))?;
+    let workload: Workload = get_str(v, "wl")?
+        .parse()
+        .map_err(|e| ProtocolError::Message(format!("bad workload: {e}")))?;
+    Ok(UnitSpec {
+        component,
+        workload,
+        faults: get_usize(v, "faults")?,
+        start: get_usize(v, "start")?,
+        end: get_usize(v, "end")?,
+    })
+}
+
+/// Supervisor → worker messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToWorker {
+    /// Run this unit under these experiment parameters.
+    Assign {
+        /// Supervisor-assigned unit identity (echoed in every reply).
+        unit_id: u64,
+        /// The run-range to execute.
+        unit: UnitSpec,
+        /// The campaign parameters.
+        exp: ExpSpec,
+    },
+    /// Finish up and exit cleanly.
+    Shutdown,
+}
+
+impl ToWorker {
+    /// Encodes to a JSON object with a `t` discriminator.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ToWorker::Assign { unit_id, unit, exp } => Json::Obj(vec![
+                ("t".into(), Json::Str("assign".into())),
+                ("id".into(), Json::u64(*unit_id)),
+                ("unit".into(), unit_to_json(unit)),
+                ("exp".into(), exp.to_json()),
+            ]),
+            ToWorker::Shutdown => Json::Obj(vec![("t".into(), Json::Str("shutdown".into()))]),
+        }
+    }
+
+    /// Decodes from a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Message`] on an unknown discriminator or a missing
+    /// field.
+    pub fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        match get_str(v, "t")? {
+            "assign" => Ok(ToWorker::Assign {
+                unit_id: get_u64(v, "id")?,
+                unit: unit_from_json(
+                    v.get("unit")
+                        .ok_or_else(|| ProtocolError::Message("missing `unit`".into()))?,
+                )?,
+                exp: ExpSpec::from_json(
+                    v.get("exp")
+                        .ok_or_else(|| ProtocolError::Message("missing `exp`".into()))?,
+                )?,
+            }),
+            "shutdown" => Ok(ToWorker::Shutdown),
+            other => Err(ProtocolError::Message(format!(
+                "unknown supervisor message `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Worker → supervisor messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToSupervisor {
+    /// First message after startup.
+    Hello {
+        /// The worker's OS process id, for diagnostics.
+        pid: u32,
+    },
+    /// Periodic liveness signal while a unit is in flight.
+    Heartbeat {
+        /// The unit being executed.
+        unit_id: u64,
+        /// Runs of the unit completed so far (monotonic).
+        done: usize,
+    },
+    /// The unit completed and its row is durably in the worker's shard
+    /// store. The row rides along so a supervisor on the other end of a
+    /// TCP link (which cannot read the worker's local shard file) can
+    /// persist it into its own shard store; for stdio workers the file on
+    /// disk is the authoritative copy and this is a control-plane echo.
+    Done {
+        /// The completed unit.
+        unit_id: u64,
+        /// The shard row the worker persisted.
+        row: ShardRow,
+        /// Anomalies the campaign logged (panics, wall-clock overruns).
+        anomalies: usize,
+    },
+    /// The unit failed with a campaign-level error.
+    Fail {
+        /// The failed unit.
+        unit_id: u64,
+        /// Display form of the error.
+        error: String,
+    },
+}
+
+impl ToSupervisor {
+    /// Encodes to a JSON object with a `t` discriminator.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ToSupervisor::Hello { pid } => Json::Obj(vec![
+                ("t".into(), Json::Str("hello".into())),
+                ("pid".into(), Json::u64(*pid as u64)),
+            ]),
+            ToSupervisor::Heartbeat { unit_id, done } => Json::Obj(vec![
+                ("t".into(), Json::Str("hb".into())),
+                ("id".into(), Json::u64(*unit_id)),
+                ("done".into(), Json::usize(*done)),
+            ]),
+            ToSupervisor::Done {
+                unit_id,
+                row,
+                anomalies,
+            } => Json::Obj(vec![
+                ("t".into(), Json::Str("done".into())),
+                ("id".into(), Json::u64(*unit_id)),
+                ("row".into(), row_to_json(row)),
+                ("anomalies".into(), Json::usize(*anomalies)),
+            ]),
+            ToSupervisor::Fail { unit_id, error } => Json::Obj(vec![
+                ("t".into(), Json::Str("fail".into())),
+                ("id".into(), Json::u64(*unit_id)),
+                ("error".into(), Json::Str(error.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes from a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Message`] on an unknown discriminator or a missing
+    /// field.
+    pub fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        match get_str(v, "t")? {
+            "hello" => Ok(ToSupervisor::Hello {
+                pid: get_u64(v, "pid")? as u32,
+            }),
+            "hb" => Ok(ToSupervisor::Heartbeat {
+                unit_id: get_u64(v, "id")?,
+                done: get_usize(v, "done")?,
+            }),
+            "done" => Ok(ToSupervisor::Done {
+                unit_id: get_u64(v, "id")?,
+                row: row_from_json(
+                    v.get("row")
+                        .ok_or_else(|| ProtocolError::Message("missing `row`".into()))?,
+                )?,
+                anomalies: get_usize(v, "anomalies")?,
+            }),
+            "fail" => Ok(ToSupervisor::Fail {
+                unit_id: get_u64(v, "id")?,
+                error: get_str(v, "error")?.to_string(),
+            }),
+            other => Err(ProtocolError::Message(format!(
+                "unknown worker message `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_frame(json: &Json) -> Json {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, json).unwrap();
+        let mut reader = BufReader::new(&buf[..]);
+        read_frame(&mut reader).unwrap()
+    }
+
+    #[test]
+    fn json_roundtrips_u64_exactly() {
+        let v = Json::u64(u64::MAX);
+        assert_eq!(v.encode(), "18446744073709551615");
+        let back = Json::parse(&v.encode()).unwrap();
+        assert_eq!(back.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn json_roundtrips_f64_exactly() {
+        // 0.0288f32 widened to f64: a value whose shortest round-trip
+        // needs many digits.
+        for v in [0.0288_f32 as f64, f64::MIN_POSITIVE, 1.0 / 3.0] {
+            let back = Json::parse(&Json::f64(v).encode()).unwrap();
+            assert_eq!(back.as_f64(), Some(v), "bit-exact float roundtrip");
+        }
+    }
+
+    #[test]
+    fn json_strings_escape_and_roundtrip() {
+        let s = "line\nquote\"back\\slash\ttab\u{1}control ünïcode";
+        let encoded = Json::Str(s.into()).encode();
+        assert_eq!(Json::parse(&encoded).unwrap(), Json::Str(s.into()));
+    }
+
+    #[test]
+    fn json_rejects_trailing_garbage_and_truncation() {
+        assert!(Json::parse("{\"a\":1}x").is_err());
+        assert!(Json::parse("{\"a\":").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let msg = Json::Obj(vec![
+            ("t".into(), Json::Str("hb".into())),
+            ("id".into(), Json::u64(7)),
+        ]);
+        assert_eq!(roundtrip_frame(&msg), msg);
+    }
+
+    #[test]
+    fn frame_reader_types_each_failure() {
+        // Clean EOF.
+        let mut r = BufReader::new(&b""[..]);
+        assert!(matches!(read_frame(&mut r), Err(ProtocolError::Eof)));
+        // Garbage length line.
+        let mut r = BufReader::new(&b"not-a-number\n{}"[..]);
+        assert!(matches!(read_frame(&mut r), Err(ProtocolError::Frame(_))));
+        // Oversized length.
+        let huge = format!("{}\n", MAX_FRAME + 1);
+        let mut r = BufReader::new(huge.as_bytes());
+        assert!(matches!(read_frame(&mut r), Err(ProtocolError::Frame(_))));
+        // Truncated payload (worker died mid-write).
+        let mut r = BufReader::new(&b"10\n{\"t\""[..]);
+        assert!(matches!(read_frame(&mut r), Err(ProtocolError::Frame(_))));
+        // Valid frame, non-JSON payload.
+        let mut r = BufReader::new(&b"3\nxyz"[..]);
+        assert!(matches!(read_frame(&mut r), Err(ProtocolError::Json(_))));
+    }
+
+    #[test]
+    fn assign_roundtrips_with_all_options() {
+        let msg = ToWorker::Assign {
+            unit_id: 42,
+            unit: UnitSpec {
+                component: HwComponent::L1D,
+                workload: Workload::Sha,
+                faults: 3,
+                start: 50,
+                end: 125,
+            },
+            exp: ExpSpec {
+                runs: 150,
+                seed: 0x6EF1_2019,
+                threads: 2,
+                adaptive: Some(AdaptiveSpec {
+                    target_margin: 0.0288,
+                    ..AdaptiveSpec::paper()
+                }),
+                use_snapshots: true,
+                snapshot_interval: Some(5_000),
+                snapshot_mem_mb: Some(64),
+                use_golden_cache: true,
+            },
+        };
+        let back = ToWorker::from_json(&roundtrip_frame(&msg.to_json())).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn assign_roundtrips_with_defaults() {
+        let msg = ToWorker::Assign {
+            unit_id: 0,
+            unit: UnitSpec::whole(HwComponent::RegFile, Workload::Crc32, 1, 100),
+            exp: ExpSpec {
+                runs: 100,
+                seed: u64::MAX,
+                threads: 0,
+                adaptive: None,
+                use_snapshots: false,
+                snapshot_interval: None,
+                snapshot_mem_mb: None,
+                use_golden_cache: false,
+            },
+        };
+        let back = ToWorker::from_json(&roundtrip_frame(&msg.to_json())).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(
+            ToWorker::from_json(&roundtrip_frame(&ToWorker::Shutdown.to_json())).unwrap(),
+            ToWorker::Shutdown
+        );
+    }
+
+    #[test]
+    fn worker_messages_roundtrip() {
+        for msg in [
+            ToSupervisor::Hello { pid: 1234 },
+            ToSupervisor::Heartbeat {
+                unit_id: 9,
+                done: 55,
+            },
+            ToSupervisor::Done {
+                unit_id: 9,
+                row: ShardRow {
+                    unit: UnitSpec {
+                        component: HwComponent::DTlb,
+                        workload: Workload::Qsort,
+                        faults: 2,
+                        start: 50,
+                        end: 125,
+                    },
+                    seed: u64::MAX,
+                    counts: ClassCounts {
+                        masked: 70,
+                        sdc: 2,
+                        crash: 2,
+                        timeout: 1,
+                        assert_: 0,
+                    },
+                    fault_free_cycles: 123_456,
+                    fault_free_instructions: 65_432,
+                    fingerprint: GoldenFingerprint(0x0123_4567_89ab_cdef),
+                },
+                anomalies: 1,
+            },
+            ToSupervisor::Fail {
+                unit_id: 10,
+                error: "fault cardinality must fit the cluster".into(),
+            },
+        ] {
+            let back = ToSupervisor::from_json(&roundtrip_frame(&msg.to_json())).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn unknown_discriminators_are_typed_errors() {
+        let v = Json::parse("{\"t\":\"explode\"}").unwrap();
+        assert!(matches!(
+            ToWorker::from_json(&v),
+            Err(ProtocolError::Message(_))
+        ));
+        assert!(matches!(
+            ToSupervisor::from_json(&v),
+            Err(ProtocolError::Message(_))
+        ));
+        let v = Json::parse("[]").unwrap();
+        assert!(matches!(
+            ToWorker::from_json(&v),
+            Err(ProtocolError::Message(_))
+        ));
+    }
+}

@@ -36,7 +36,7 @@
 
 use crate::io::{RealIo, StoreIo};
 use mbu_cpu::HwComponent;
-use mbu_gefin::campaign::{AnomalyLog, CampaignResult};
+use mbu_gefin::campaign::{AnomalyLog, CampaignResult, UnitSpec};
 use mbu_gefin::classify::ClassCounts;
 use mbu_gefin::integrity::{crc32, GoldenFingerprint};
 use mbu_workloads::Workload;
@@ -638,6 +638,302 @@ impl ResultStore {
         }
         if !audit.quarantined.is_empty() || audit.version == StoreVersion::Legacy {
             store.save_with(io, path)?;
+        }
+        Ok((store, audit))
+    }
+}
+
+/// The version line of a worker shard store.
+pub const SHARD_VERSION_LINE: &str = "#mbu-shard v1";
+
+/// The fixed CSV header of a worker shard store.
+pub const SHARD_CSV_HEADER: &str = "component,workload,faults,start,end,seed,masked,sdc,crash,\
+                                    timeout,assert,cycles,instructions,fingerprint,crc";
+
+/// One completed work unit in a worker's shard store: the class counts of
+/// a contiguous run-range `[start, end)` of one campaign, stamped with the
+/// campaign seed it ran under and the golden-run fingerprint it was
+/// classified against. Fingerprints are mandatory — shards are born
+/// post-integrity, there is no legacy format to tolerate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRow {
+    /// The unit (campaign key + run-range) this row covers.
+    pub unit: UnitSpec,
+    /// The campaign seed runs were derived from.
+    pub seed: u64,
+    /// Classifications of the range's runs.
+    pub counts: ClassCounts,
+    /// Fault-free reference cycles (range-independent).
+    pub fault_free_cycles: u64,
+    /// Fault-free committed instructions (range-independent).
+    pub fault_free_instructions: u64,
+    /// Fingerprint of the golden run the range was classified against.
+    pub fingerprint: GoldenFingerprint,
+}
+
+impl ShardRow {
+    /// The dedup key the merge uses: identical (unit, range, seed) rows
+    /// are the same work executed more than once.
+    pub fn dedup_key(&self) -> (Key, usize, usize, u64) {
+        (
+            (self.unit.component, self.unit.workload, self.unit.faults),
+            self.unit.start,
+            self.unit.end,
+            self.seed,
+        )
+    }
+}
+
+/// What a lossy shard-store load found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardLoadAudit {
+    /// Intact rows loaded.
+    pub rows_loaded: usize,
+    /// Defective rows, in file order.
+    pub quarantined: Vec<QuarantinedRow>,
+}
+
+impl ShardLoadAudit {
+    /// The audit of an empty / missing file.
+    pub fn empty() -> Self {
+        Self {
+            rows_loaded: 0,
+            quarantined: Vec::new(),
+        }
+    }
+}
+
+/// Append-ordered store of [`ShardRow`]s — one worker's durable record of
+/// every unit it completed. Unlike [`ResultStore`] it is *not* keyed:
+/// duplicate and overlapping ranges are legal on disk (retry and
+/// work-stealing produce them) and are resolved by the supervisor's merge,
+/// not the store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStore {
+    rows: Vec<ShardRow>,
+}
+
+impl ShardStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row in memory.
+    pub fn push(&mut self, row: ShardRow) {
+        self.rows.push(row);
+    }
+
+    /// The rows, in append order.
+    pub fn rows(&self) -> &[ShardRow] {
+        &self.rows
+    }
+
+    /// Renders one row as CSV (no trailing newline): 14 body fields plus
+    /// the CRC-32 of the body text.
+    fn csv_row(r: &ShardRow) -> String {
+        let body = format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            component_slug(r.unit.component),
+            r.unit.workload.name(),
+            r.unit.faults,
+            r.unit.start,
+            r.unit.end,
+            r.seed,
+            r.counts.masked,
+            r.counts.sdc,
+            r.counts.crash,
+            r.counts.timeout,
+            r.counts.assert_,
+            r.fault_free_cycles,
+            r.fault_free_instructions,
+            r.fingerprint,
+        );
+        let crc = crc32(body.as_bytes());
+        format!("{body},{crc:08x}")
+    }
+
+    /// Serializes to shard CSV (version line, header, checksummed rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(SHARD_VERSION_LINE);
+        out.push('\n');
+        out.push_str(SHARD_CSV_HEADER);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&Self::csv_row(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Checks a row's CRC and parses it.
+    fn parse_row(line: &str) -> Result<ShardRow, RowDefect> {
+        let syntax = |message: String| RowDefect::Syntax { message };
+        let (body, crc_hex) = line
+            .rsplit_once(',')
+            .ok_or_else(|| syntax("row has no CRC field".into()))?;
+        if crc_hex.len() != 8 {
+            return Err(syntax(format!("CRC {crc_hex:?} is not 8 hex digits")));
+        }
+        let stored = u32::from_str_radix(crc_hex, 16)
+            .map_err(|e| syntax(format!("{e} (CRC {crc_hex:?})")))?;
+        let computed = crc32(body.as_bytes());
+        if stored != computed {
+            return Err(RowDefect::CrcMismatch { stored, computed });
+        }
+        let fields: Vec<&str> = body.split(',').collect();
+        if fields.len() != 14 {
+            return Err(syntax(format!("expected 14 fields, got {}", fields.len())));
+        }
+        let parse = |s: &str| -> Result<u64, RowDefect> {
+            s.parse().map_err(|e| syntax(format!("{e} (field {s:?})")))
+        };
+        let fp = fields[13];
+        if fp.len() != 16 {
+            return Err(syntax(format!("fingerprint {fp:?} is not 16 hex digits")));
+        }
+        let unit = UnitSpec {
+            component: fields[0].parse().map_err(|e| syntax(format!("{e}")))?,
+            workload: fields[1].parse().map_err(|e| syntax(format!("{e}")))?,
+            faults: parse(fields[2])? as usize,
+            start: parse(fields[3])? as usize,
+            end: parse(fields[4])? as usize,
+        };
+        if unit.is_empty() {
+            return Err(syntax(format!(
+                "empty run-range [{}..{})",
+                unit.start, unit.end
+            )));
+        }
+        let counts = ClassCounts {
+            masked: parse(fields[6])?,
+            sdc: parse(fields[7])?,
+            crash: parse(fields[8])?,
+            timeout: parse(fields[9])?,
+            assert_: parse(fields[10])?,
+        };
+        if counts.total() != unit.len() as u64 {
+            return Err(syntax(format!(
+                "counts sum to {} but the range holds {} runs",
+                counts.total(),
+                unit.len()
+            )));
+        }
+        Ok(ShardRow {
+            unit,
+            seed: parse(fields[5])?,
+            counts,
+            fault_free_cycles: parse(fields[11])?,
+            fault_free_instructions: parse(fields[12])?,
+            fingerprint: fp
+                .parse()
+                .map_err(|e| syntax(format!("{e} (fingerprint {fp:?})")))?,
+        })
+    }
+
+    /// Parses shard CSV, quarantining defective rows instead of failing —
+    /// the merge path: a shard with a torn final line (its worker was
+    /// killed mid-append) yields every intact unit.
+    ///
+    /// # Errors
+    ///
+    /// Only [`StoreError::UnsupportedVersion`]: a file that does not open
+    /// with the shard version line is not a shard store, and none of its
+    /// lines can be trusted as rows.
+    pub fn from_csv_lossy(csv: &str) -> Result<(Self, ShardLoadAudit), StoreError> {
+        match csv.lines().next() {
+            None => return Ok((Self::new(), ShardLoadAudit::empty())),
+            Some(first) if first.trim() == SHARD_VERSION_LINE => {}
+            Some(first) => {
+                return Err(StoreError::UnsupportedVersion {
+                    found: first.to_string(),
+                })
+            }
+        }
+        let mut store = Self::new();
+        let mut audit = ShardLoadAudit::empty();
+        // Line 1 is the version line, line 2 the header.
+        for (lineno, line) in csv.lines().enumerate().skip(2) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Self::parse_row(line) {
+                Ok(row) => {
+                    store.push(row);
+                    audit.rows_loaded += 1;
+                }
+                Err(defect) => audit.quarantined.push(QuarantinedRow {
+                    line: lineno + 1,
+                    raw: line.to_string(),
+                    defect,
+                }),
+            }
+        }
+        Ok((store, audit))
+    }
+
+    /// Appends one completed unit to the shard file (creating it, with
+    /// version line and header, if absent), synced to stable storage
+    /// before returning — the worker's durability point: a unit is only
+    /// reported `done` after this call succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append_row_with(
+        io: &dyn StoreIo,
+        path: &Path,
+        row: &ShardRow,
+    ) -> Result<(), StoreError> {
+        let line = Self::csv_row(row);
+        if io.len(path)? == 0 {
+            io.append(
+                path,
+                &format!("{SHARD_VERSION_LINE}\n{SHARD_CSV_HEADER}\n{line}\n"),
+            )?;
+            return Ok(());
+        }
+        io.append(path, &format!("{line}\n"))?;
+        Ok(())
+    }
+
+    /// Crash-safe load: defective rows are moved to a `<file>.quarantine`
+    /// sidecar and the survivors returned; when anything was quarantined
+    /// the file is atomically rewritten clean. A missing file yields an
+    /// empty store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and [`StoreError::UnsupportedVersion`].
+    pub fn recover_with(
+        io: &dyn StoreIo,
+        path: &Path,
+    ) -> Result<(Self, ShardLoadAudit), StoreError> {
+        let text = match io.read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok((Self::new(), ShardLoadAudit::empty()))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (store, audit) = Self::from_csv_lossy(&text)?;
+        if !audit.quarantined.is_empty() {
+            let mut sidecar = String::new();
+            for q in &audit.quarantined {
+                sidecar.push_str(&format!("line {}: {}: {}\n", q.line, q.defect, q.raw));
+            }
+            io.append(&quarantine_path(path), &sidecar)?;
+            io.write_atomic(path, &store.to_csv())?;
         }
         Ok((store, audit))
     }

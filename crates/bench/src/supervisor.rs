@@ -1,0 +1,979 @@
+//! The distributed-sweep supervisor: spawns worker processes (or adopts
+//! TCP-connected ones), assigns [`UnitSpec`] work units, and treats every
+//! worker as unreliable.
+//!
+//! Fault model and responses:
+//!
+//! * **Lost worker** (process exit, broken pipe, closed socket) — the
+//!   in-flight unit is retried on a surviving worker with bounded backoff;
+//!   a replacement process is spawned (local pools only). Logged as a
+//!   [`AnomalyKind::WorkerLost`] anomaly so degraded sweeps are auditable.
+//! * **Stalled worker** (no message for [`FabricConfig::stall_timeout`]) —
+//!   killed and treated as lost ([`AnomalyKind::WorkerStall`]). A hung
+//!   worker stops heartbeating, so this is the reclaim path for freezes.
+//! * **Garbage frames** (undecodable protocol data) — the worker is
+//!   dropped ([`AnomalyKind::ProtocolGarbage`]); its unit retries.
+//! * **Unit deadline** ([`FabricConfig::unit_deadline`]) — a unit running
+//!   past its wall-clock budget is reclaimed ([`AnomalyKind::WallClock`]).
+//! * **Deterministic failure** — a unit that *fails* (typed campaign
+//!   error) on two distinct workers, or exhausts
+//!   [`FabricConfig::max_attempts`], is quarantined
+//!   ([`AnomalyKind::UnitQuarantined`]): the sweep completes degraded
+//!   rather than aborting or retrying forever.
+//! * **Straggler tails** — when workers idle and nothing is pending, the
+//!   remaining tail of the slowest in-flight unit is split off
+//!   ([`UnitSpec::split_at`]) and run speculatively elsewhere; the merge's
+//!   exact-adjacency dedup resolves the overlap whichever side finishes.
+//!
+//! Durability is delegated: workers persist every completed unit to their
+//! own checksummed shard store *before* acknowledging it, and the final
+//! [`merge_rows`] (plus the pre-flight merge on startup) reads those
+//! files, so a supervisor crash loses no completed runs — re-running the
+//! same sweep resumes from the shard directory and produces a final store
+//! byte-identical to a single-process sweep.
+
+use crate::experiments::{env_value, parse_env, parse_switch, ConfigError};
+use crate::fabric::{campaign_keys, load_shard_dir, merge_rows, split_range, MergeReport};
+use crate::io::RealIo;
+use crate::protocol::{read_frame, write_frame, ExpSpec, ProtocolError, ToSupervisor, ToWorker};
+use crate::store::{Key, ResultStore, ShardStore, StoreError};
+use crate::Experiments;
+use mbu_cpu::HwComponent;
+use mbu_gefin::campaign::{Anomaly, AnomalyKind, AnomalyLog, UnitSpec};
+use mbu_gefin::error::CampaignError;
+use mbu_gefin::integrity::{golden_fingerprint, GoldenFingerprint};
+use mbu_workloads::Workload;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Supervisor knobs, env-configurable (`MBU_WORKERS`, `MBU_UNIT_RUNS`,
+/// `MBU_HEARTBEAT_MS`, `MBU_STALL_SECS`, `MBU_UNIT_DEADLINE_SECS`,
+/// `MBU_UNIT_RETRIES`, `MBU_STEAL`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricConfig {
+    /// Worker processes (`MBU_WORKERS`, default 2, must be ≥ 1).
+    pub workers: usize,
+    /// Runs per planned unit (`MBU_UNIT_RUNS`, 0 = auto-size from the
+    /// worker count; adaptive sweeps always use whole campaigns).
+    pub unit_runs: usize,
+    /// Worker heartbeat interval (`MBU_HEARTBEAT_MS`, default 100 ms).
+    pub heartbeat: Duration,
+    /// Silence window after which a busy worker is declared stalled and
+    /// its unit reclaimed (`MBU_STALL_SECS`, default 30 s).
+    pub stall_timeout: Duration,
+    /// Per-unit wall-clock deadline (`MBU_UNIT_DEADLINE_SECS`, default
+    /// none).
+    pub unit_deadline: Option<Duration>,
+    /// Attempts per unit before quarantine (`MBU_UNIT_RETRIES`, default 3,
+    /// must be ≥ 1).
+    pub max_attempts: usize,
+    /// Base retry backoff, doubled per attempt (default 200 ms).
+    pub retry_backoff: Duration,
+    /// Work-stealing of straggler tails (`MBU_STEAL`, default on).
+    pub steal: bool,
+    /// Smallest tail worth stealing, in runs (default 8).
+    pub min_steal_runs: usize,
+    /// Print scheduling decisions to stderr.
+    pub verbose: bool,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            unit_runs: 0,
+            heartbeat: Duration::from_millis(100),
+            stall_timeout: Duration::from_secs(30),
+            unit_deadline: None,
+            max_attempts: 3,
+            retry_backoff: Duration::from_millis(200),
+            steal: true,
+            min_steal_runs: 8,
+            verbose: false,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Builds from the environment, rejecting invalid values with a typed
+    /// [`ConfigError`] — a sweep fabric silently running with the wrong
+    /// worker count is exactly the misconfiguration this forbids.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending variable.
+    pub fn from_env() -> Result<Self, ConfigError> {
+        let mut c = Self::default();
+        if let Some(v) = env_value("MBU_WORKERS")? {
+            c.workers = parse_env("MBU_WORKERS", &v, "must be a positive integer")?;
+            if c.workers == 0 {
+                return Err(ConfigError::Invalid {
+                    var: "MBU_WORKERS",
+                    value: v,
+                    expected: "must be a positive integer",
+                });
+            }
+        }
+        if let Some(v) = env_value("MBU_UNIT_RUNS")? {
+            c.unit_runs = parse_env("MBU_UNIT_RUNS", &v, "must be an integer")?;
+        }
+        if let Some(v) = env_value("MBU_HEARTBEAT_MS")? {
+            c.heartbeat =
+                Duration::from_millis(parse_env("MBU_HEARTBEAT_MS", &v, "must be an integer")?);
+        }
+        if let Some(v) = env_value("MBU_STALL_SECS")? {
+            c.stall_timeout =
+                Duration::from_secs(parse_env("MBU_STALL_SECS", &v, "must be an integer")?);
+        }
+        if let Some(v) = env_value("MBU_UNIT_DEADLINE_SECS")? {
+            c.unit_deadline = Some(Duration::from_secs(parse_env(
+                "MBU_UNIT_DEADLINE_SECS",
+                &v,
+                "must be an integer",
+            )?));
+        }
+        if let Some(v) = env_value("MBU_UNIT_RETRIES")? {
+            c.max_attempts = parse_env("MBU_UNIT_RETRIES", &v, "must be a positive integer")?;
+            if c.max_attempts == 0 {
+                return Err(ConfigError::Invalid {
+                    var: "MBU_UNIT_RETRIES",
+                    value: v,
+                    expected: "must be a positive integer",
+                });
+            }
+        }
+        if let Some(v) = env_value("MBU_STEAL")? {
+            c.steal = parse_switch("MBU_STEAL", &v)?;
+        }
+        Ok(c)
+    }
+
+    /// The planned unit size: the explicit `unit_runs`, or an auto size
+    /// giving each worker several units per campaign for stealing slack.
+    pub fn effective_unit_runs(&self, runs: usize) -> usize {
+        if self.unit_runs != 0 {
+            self.unit_runs
+        } else {
+            runs.div_ceil(self.workers * 4).max(8).min(runs.max(1))
+        }
+    }
+}
+
+/// Why a distributed sweep could not run to completion.
+#[derive(Debug)]
+pub enum FabricError {
+    /// A store read/write failed.
+    Store(StoreError),
+    /// Spawning or talking to worker processes failed at the OS level.
+    Io(std::io::Error),
+    /// Every worker died and none could be (re)spawned, with work still
+    /// pending.
+    WorkersExhausted {
+        /// Units never completed.
+        pending: usize,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Store(e) => write!(f, "shard store: {e}"),
+            FabricError::Io(e) => write!(f, "worker I/O: {e}"),
+            FabricError::WorkersExhausted { pending } => write!(
+                f,
+                "all workers lost and none respawnable with {pending} unit(s) still pending"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<StoreError> for FabricError {
+    fn from(e: StoreError) -> Self {
+        FabricError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for FabricError {
+    fn from(e: std::io::Error) -> Self {
+        FabricError::Io(e)
+    }
+}
+
+/// What a supervised sweep did, end to end.
+#[derive(Debug, Default)]
+pub struct FabricReport {
+    /// Units planned this invocation (after resume skipping).
+    pub units_planned: usize,
+    /// Units that completed (including steal tails and retries).
+    pub units_completed: usize,
+    /// Retries scheduled (worker loss, stall, deadline, typed failure).
+    pub retries: usize,
+    /// Straggler tails split off and run speculatively.
+    pub steals: usize,
+    /// Worker processes spawned (including replacements).
+    pub workers_spawned: usize,
+    /// Workers lost to crashes, stalls or protocol garbage.
+    pub workers_lost: usize,
+    /// Units abandoned after deterministic failure on ≥ 2 workers or
+    /// attempt exhaustion, with the last error text.
+    pub quarantined: Vec<(UnitSpec, String)>,
+    /// Campaigns skipped because the final store already held fresh rows.
+    pub skipped_existing: usize,
+    /// Campaigns whose stored fingerprint was stale (re-run).
+    pub stale_rerun: usize,
+    /// Workloads whose golden run failed (their campaigns cannot run).
+    pub failed_workloads: Vec<(Workload, CampaignError)>,
+    /// The final merge accounting.
+    pub merge: MergeReport,
+    /// Fabric-level anomalies (worker loss, stalls, quarantines …).
+    pub anomalies: AnomalyLog,
+}
+
+impl FabricReport {
+    /// Whether every planned unit completed and merged.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.merge.is_complete()
+    }
+}
+
+/// How the supervisor acquires workers.
+pub enum WorkerPool {
+    /// Spawn `repro worker` child processes over stdio pipes, respawning
+    /// replacements for lost ones.
+    Spawn,
+    /// Adopt workers that connect to this listener (`repro serve`); lost
+    /// remote workers are not replaced — the pool only shrinks.
+    Tcp(TcpListener),
+}
+
+/// One worker's transport.
+enum Link {
+    Local {
+        child: Child,
+        stdin: BufWriter<ChildStdin>,
+    },
+    Remote(TcpStream),
+}
+
+impl Link {
+    fn send(&mut self, msg: &ToWorker) -> std::io::Result<()> {
+        match self {
+            Link::Local { stdin, .. } => write_frame(stdin, &msg.to_json()),
+            Link::Remote(stream) => write_frame(stream, &msg.to_json()),
+        }
+    }
+
+    fn kill(&mut self) {
+        match self {
+            Link::Local { child, .. } => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            Link::Remote(stream) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    fn wait(&mut self) {
+        if let Link::Local { child, .. } = self {
+            let _ = child.wait();
+        }
+    }
+}
+
+struct Slot {
+    link: Link,
+    /// Hello received; eligible for assignments.
+    ready: bool,
+    alive: bool,
+    /// The in-flight unit id, if busy.
+    busy: Option<u64>,
+    /// Last message of any kind (stall detection).
+    last_seen: Instant,
+}
+
+#[derive(Debug, Clone)]
+struct UnitState {
+    spec: UnitSpec,
+    attempts: usize,
+    /// Distinct workers this unit *failed* (typed error) on.
+    failed_on: BTreeSet<usize>,
+    eligible_at: Instant,
+    last_error: String,
+}
+
+struct Flight {
+    state: UnitState,
+    worker: usize,
+    started: Instant,
+    /// Runs the worker reported started (heartbeats).
+    progress: usize,
+    stolen: bool,
+}
+
+/// The supervisor: plans, schedules, merges.
+pub struct Supervisor<'a> {
+    exp: &'a Experiments,
+    config: &'a FabricConfig,
+    shard_dir: PathBuf,
+    expected: BTreeMap<Workload, GoldenFingerprint>,
+    slots: Vec<Slot>,
+    events: mpsc::Receiver<(usize, Result<ToSupervisor, ProtocolError>)>,
+    events_tx: mpsc::Sender<(usize, Result<ToSupervisor, ProtocolError>)>,
+    pending: Vec<UnitState>,
+    in_flight: BTreeMap<u64, Flight>,
+    next_unit_id: u64,
+    report: FabricReport,
+    can_respawn: bool,
+    /// The chaos target parsed from `MBU_CHAOS_WORKER`, armed once.
+    chaos_target: Option<(usize, String)>,
+}
+
+fn spawn_reader(
+    index: usize,
+    reader: impl std::io::Read + Send + 'static,
+    tx: mpsc::Sender<(usize, Result<ToSupervisor, ProtocolError>)>,
+) {
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(reader);
+        loop {
+            let item = read_frame(&mut reader).and_then(|v| ToSupervisor::from_json(&v));
+            let stop = item.is_err();
+            if tx.send((index, item)).is_err() || stop {
+                // After any framing error the stream cannot be resynced;
+                // the scheduler drops the worker.
+                break;
+            }
+        }
+    });
+}
+
+impl<'a> Supervisor<'a> {
+    /// Plans a sweep over `components` and runs it to completion on the
+    /// given pool, returning the merged accounting. The merged final
+    /// store is saved to `out_csv` atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError`] on store I/O failures, unspawnable workers, or a
+    /// fully-exhausted pool with work remaining. Campaign-level failures
+    /// never abort the sweep — they quarantine.
+    pub fn run(
+        exp: &'a Experiments,
+        components: &[HwComponent],
+        config: &'a FabricConfig,
+        shard_dir: &Path,
+        out_csv: &Path,
+        pool: WorkerPool,
+    ) -> Result<(ResultStore, FabricReport), FabricError> {
+        std::fs::create_dir_all(shard_dir)?;
+        let (events_tx, events) = mpsc::channel();
+        let mut sup = Supervisor {
+            exp,
+            config,
+            shard_dir: shard_dir.to_path_buf(),
+            expected: BTreeMap::new(),
+            slots: Vec::new(),
+            events,
+            events_tx,
+            pending: Vec::new(),
+            in_flight: BTreeMap::new(),
+            next_unit_id: 0,
+            report: FabricReport::default(),
+            can_respawn: matches!(pool, WorkerPool::Spawn),
+            chaos_target: crate::chaos::WorkerChaos::target_from_env(),
+        };
+        // Golden fingerprints per workload: the freshness reference for
+        // resume skipping, shard-row validation and the final merge.
+        for &w in &exp.workloads {
+            match golden_fingerprint(exp.core, w) {
+                Ok(fp) => {
+                    sup.expected.insert(w, fp);
+                }
+                Err(e) => sup.report.failed_workloads.push((w, e)),
+            }
+        }
+        let existing = sup.load_existing(out_csv)?;
+        sup.plan(components, &existing)?;
+        if sup.config.verbose {
+            eprintln!(
+                "fabric: {} unit(s) planned across {} campaign(s), {} worker(s)",
+                sup.report.units_planned,
+                campaign_keys(exp, components).len(),
+                config.workers,
+            );
+        }
+        if !sup.pending.is_empty() {
+            match pool {
+                WorkerPool::Spawn => {
+                    for _ in 0..config.workers {
+                        sup.spawn_worker()?;
+                    }
+                }
+                WorkerPool::Tcp(listener) => sup.accept_workers(&listener)?,
+            }
+            sup.schedule()?;
+            sup.shutdown_workers();
+        }
+        sup.finish(components, existing, out_csv)
+    }
+
+    /// Loads the final store, keeping only rows whose fingerprint matches
+    /// the current build (stale rows re-run).
+    fn load_existing(&mut self, out_csv: &Path) -> Result<ResultStore, FabricError> {
+        let (disk, _audit) = ResultStore::recover(out_csv)?;
+        let mut fresh = ResultStore::new();
+        for r in disk.iter() {
+            let stored = disk.fingerprint(r.component, r.workload, r.faults);
+            if stored.is_some() && stored == self.expected.get(&r.workload).copied() {
+                fresh.insert_with_fingerprint(r.clone(), stored);
+                self.report.skipped_existing += 1;
+            } else {
+                self.report.stale_rerun += 1;
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Plans pending units: all campaigns not already in the final store,
+    /// minus whatever complete coverage the shard directory already holds
+    /// (supervisor-crash resume), split into unit-sized ranges.
+    fn plan(
+        &mut self,
+        components: &[HwComponent],
+        existing: &ResultStore,
+    ) -> Result<(), FabricError> {
+        let keys: Vec<Key> = campaign_keys(self.exp, components)
+            .into_iter()
+            .filter(|&(c, w, f)| !existing.contains(c, w, f))
+            .filter(|&(_, w, _)| self.expected.contains_key(&w))
+            .collect();
+        let (rows, _audits) = load_shard_dir(&RealIo, &self.shard_dir)?;
+        let (_pre, pre_report) = merge_rows(self.exp, &keys, &rows, &self.expected);
+        let unit_runs = if self.exp.adaptive.is_some() {
+            0
+        } else {
+            self.config.effective_unit_runs(self.exp.runs)
+        };
+        let now = Instant::now();
+        for gap in &pre_report.gaps {
+            for spec in split_range(gap.campaign_key(), gap.start, gap.end, unit_runs) {
+                self.pending.push(UnitState {
+                    spec,
+                    attempts: 0,
+                    failed_on: BTreeSet::new(),
+                    eligible_at: now,
+                    last_error: String::new(),
+                });
+            }
+        }
+        // Deterministic dispatch order.
+        self.pending
+            .sort_by_key(|u| (u.spec.campaign_key(), u.spec.start));
+        self.report.units_planned = self.pending.len();
+        Ok(())
+    }
+
+    fn exp_spec(&self) -> ExpSpec {
+        ExpSpec {
+            runs: self.exp.runs,
+            seed: self.exp.seed,
+            threads: self.exp.threads,
+            adaptive: self.exp.adaptive,
+            use_snapshots: self.exp.use_snapshots,
+            snapshot_interval: self.exp.snapshot_interval,
+            snapshot_mem_mb: self.exp.snapshot_mem_mb,
+            use_golden_cache: self.exp.use_golden_cache,
+        }
+    }
+
+    fn shard_path(&self, slot: usize) -> PathBuf {
+        self.shard_dir.join(format!("worker-{slot:03}.csv"))
+    }
+
+    /// Spawns one local worker process, arming the chaos fault if this is
+    /// the targeted index's *first* spawn (replacements never inherit it,
+    /// so a kill fault cannot loop).
+    fn spawn_worker(&mut self) -> Result<(), FabricError> {
+        let index = self.slots.len();
+        let exe = std::env::current_exe()?;
+        let mut cmd = Command::new(exe);
+        cmd.arg("worker")
+            .arg("--shard")
+            .arg(self.shard_path(index))
+            .env_remove(crate::chaos::CHAOS_WORKER_ENV)
+            .env_remove(crate::chaos::WORKER_FAULT_ENV)
+            .env(
+                "MBU_HEARTBEAT_MS",
+                self.config.heartbeat.as_millis().to_string(),
+            )
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if let Some((target, fault)) = &self.chaos_target {
+            if *target == index {
+                cmd.env(crate::chaos::WORKER_FAULT_ENV, fault);
+                // Armed exactly once.
+                self.chaos_target = None;
+            }
+        }
+        let mut child = cmd.spawn()?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let stdin = child.stdin.take().expect("stdin was piped");
+        spawn_reader(index, stdout, self.events_tx.clone());
+        self.slots.push(Slot {
+            link: Link::Local {
+                child,
+                stdin: BufWriter::new(stdin),
+            },
+            ready: false,
+            alive: true,
+            busy: None,
+            last_seen: Instant::now(),
+        });
+        self.report.workers_spawned += 1;
+        if self.config.verbose {
+            eprintln!("fabric: spawned worker {index}");
+        }
+        Ok(())
+    }
+
+    /// Accepts `workers` TCP connections as the worker pool.
+    fn accept_workers(&mut self, listener: &TcpListener) -> Result<(), FabricError> {
+        eprintln!(
+            "fabric: waiting for {} worker(s) on {}",
+            self.config.workers,
+            listener.local_addr()?
+        );
+        for _ in 0..self.config.workers {
+            let (stream, peer) = listener.accept()?;
+            let index = self.slots.len();
+            spawn_reader(index, stream.try_clone()?, self.events_tx.clone());
+            self.slots.push(Slot {
+                link: Link::Remote(stream),
+                ready: false,
+                alive: true,
+                busy: None,
+                last_seen: Instant::now(),
+            });
+            self.report.workers_spawned += 1;
+            eprintln!("fabric: worker {index} connected from {peer}");
+        }
+        Ok(())
+    }
+
+    /// Whether any unit is eligible now (vs. backing off).
+    fn next_pending(&mut self) -> Option<UnitState> {
+        let now = Instant::now();
+        let idx = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.eligible_at <= now)
+            .min_by_key(|(_, u)| (u.eligible_at, u.spec.campaign_key(), u.spec.start))
+            .map(|(i, _)| i)?;
+        Some(self.pending.remove(idx))
+    }
+
+    fn assign(&mut self, slot: usize, state: UnitState) -> Result<(), FabricError> {
+        let unit_id = self.next_unit_id;
+        self.next_unit_id += 1;
+        let msg = ToWorker::Assign {
+            unit_id,
+            unit: state.spec,
+            exp: self.exp_spec(),
+        };
+        if self.config.verbose {
+            eprintln!(
+                "fabric: assign unit {unit_id} ({}) -> worker {slot} (attempt {})",
+                state.spec,
+                state.attempts + 1
+            );
+        }
+        match self.slots[slot].link.send(&msg) {
+            Ok(()) => {
+                self.slots[slot].busy = Some(unit_id);
+                self.slots[slot].last_seen = Instant::now();
+                self.in_flight.insert(
+                    unit_id,
+                    Flight {
+                        state,
+                        worker: slot,
+                        started: Instant::now(),
+                        progress: 0,
+                        stolen: false,
+                    },
+                );
+                Ok(())
+            }
+            Err(e) => {
+                // The worker died between messages; requeue and drop it.
+                self.pending.push(state);
+                self.drop_worker(slot, AnomalyKind::WorkerLost, &format!("send failed: {e}"))?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Marks a worker dead, reclaims its in-flight unit, and spawns a
+    /// replacement when the pool allows it.
+    fn drop_worker(
+        &mut self,
+        slot: usize,
+        kind: AnomalyKind,
+        detail: &str,
+    ) -> Result<(), FabricError> {
+        if !self.slots[slot].alive {
+            return Ok(());
+        }
+        self.slots[slot].alive = false;
+        self.slots[slot].ready = false;
+        self.slots[slot].link.kill();
+        self.report.workers_lost += 1;
+        if let Some(unit_id) = self.slots[slot].busy.take() {
+            if let Some(flight) = self.in_flight.remove(&unit_id) {
+                let spec = flight.state.spec;
+                self.report.anomalies.record(Anomaly {
+                    run_index: spec.start,
+                    run_seed: self.exp.seed,
+                    kind,
+                    message: format!(
+                        "worker {slot} lost while running {spec} ({detail}); unit will be retried"
+                    ),
+                });
+                self.retry(flight.state, None, detail);
+            }
+        } else if self.config.verbose {
+            eprintln!("fabric: idle worker {slot} dropped ({detail})");
+        }
+        if self.can_respawn && !(self.pending.is_empty() && self.in_flight.is_empty()) {
+            // Replacements are bounded: each loss spawns at most one.
+            self.spawn_worker()?;
+        }
+        Ok(())
+    }
+
+    /// Requeues a unit with backoff, or quarantines it after
+    /// deterministic failure on ≥ 2 workers / attempt exhaustion.
+    fn retry(&mut self, mut state: UnitState, failed_worker: Option<usize>, error: &str) {
+        state.attempts += 1;
+        state.last_error = error.to_string();
+        if let Some(w) = failed_worker {
+            state.failed_on.insert(w);
+        }
+        let deterministic = state.failed_on.len() >= 2;
+        if deterministic || state.attempts >= self.config.max_attempts {
+            let spec = state.spec;
+            let why = if deterministic {
+                format!(
+                    "failed deterministically on {} distinct workers: {error}",
+                    state.failed_on.len()
+                )
+            } else {
+                format!("exhausted {} attempts: {error}", state.attempts)
+            };
+            self.report.anomalies.record(Anomaly {
+                run_index: spec.start,
+                run_seed: self.exp.seed,
+                kind: AnomalyKind::UnitQuarantined,
+                message: format!("{spec} quarantined: {why}"),
+            });
+            if self.config.verbose {
+                eprintln!("fabric: quarantined {spec}: {why}");
+            }
+            self.report.quarantined.push((spec, why));
+            return;
+        }
+        self.report.retries += 1;
+        let backoff = self.config.retry_backoff * 2u32.pow((state.attempts - 1).min(8) as u32);
+        state.eligible_at = Instant::now() + backoff;
+        self.pending.push(state);
+    }
+
+    /// Splits the straggler with the largest remaining tail and runs the
+    /// tail speculatively on the idle capacity.
+    fn steal_tail(&mut self) {
+        let Some((unit_id, mid)) = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| !f.stolen)
+            .filter_map(|(&id, f)| {
+                let spec = f.state.spec;
+                // Split at the reported progress frontier (conservative:
+                // runs the straggler already started stay on it).
+                let mid = (spec.start + f.progress).max(spec.start + 1);
+                let remaining = spec.end.saturating_sub(mid);
+                (remaining >= self.config.min_steal_runs).then_some((id, mid, remaining))
+            })
+            .max_by_key(|&(id, _, remaining)| (remaining, std::cmp::Reverse(id)))
+            .map(|(id, mid, _)| (id, mid))
+        else {
+            return;
+        };
+        let flight = self.in_flight.get_mut(&unit_id).expect("picked from map");
+        let Some((_, tail)) = flight.state.spec.split_at(mid) else {
+            return;
+        };
+        flight.stolen = true;
+        self.report.steals += 1;
+        if self.config.verbose {
+            eprintln!(
+                "fabric: stealing tail {tail} from worker {} (unit {unit_id})",
+                flight.worker
+            );
+        }
+        self.pending.push(UnitState {
+            spec: tail,
+            attempts: 0,
+            failed_on: BTreeSet::new(),
+            eligible_at: Instant::now(),
+            last_error: String::new(),
+        });
+    }
+
+    /// The scheduler loop: dispatch, supervise, reclaim, until no work
+    /// remains.
+    fn schedule(&mut self) -> Result<(), FabricError> {
+        let tick = Duration::from_millis(50);
+        loop {
+            // Dispatch to every idle ready worker.
+            while let Some(slot) = self
+                .slots
+                .iter()
+                .position(|s| s.alive && s.ready && s.busy.is_none())
+            {
+                let Some(state) = self.next_pending() else {
+                    break;
+                };
+                self.assign(slot, state)?;
+            }
+            if self.pending.is_empty() && self.in_flight.is_empty() {
+                return Ok(());
+            }
+            if !self.slots.iter().any(|s| s.alive) {
+                return Err(FabricError::WorkersExhausted {
+                    pending: self.pending.len() + self.in_flight.len(),
+                });
+            }
+            // Opportunistic stealing: idle capacity + nothing pending.
+            if self.config.steal
+                && self.pending.is_empty()
+                && self
+                    .slots
+                    .iter()
+                    .any(|s| s.alive && s.ready && s.busy.is_none())
+            {
+                self.steal_tail();
+            }
+            match self.events.recv_timeout(tick) {
+                Ok((slot, Ok(msg))) => self.on_message(slot, msg)?,
+                Ok((slot, Err(ProtocolError::Eof))) => {
+                    self.drop_worker(slot, AnomalyKind::WorkerLost, "connection closed")?;
+                }
+                Ok((slot, Err(e))) => {
+                    self.drop_worker(slot, AnomalyKind::ProtocolGarbage, &e.to_string())?;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(FabricError::WorkersExhausted {
+                        pending: self.pending.len() + self.in_flight.len(),
+                    });
+                }
+            }
+            self.check_liveness()?;
+        }
+    }
+
+    fn on_message(&mut self, slot: usize, msg: ToSupervisor) -> Result<(), FabricError> {
+        if !self.slots[slot].alive {
+            // Late message from a worker already declared dead; its rows
+            // are still on disk and the merge dedups them.
+            return Ok(());
+        }
+        self.slots[slot].last_seen = Instant::now();
+        match msg {
+            ToSupervisor::Hello { pid } => {
+                self.slots[slot].ready = true;
+                if self.config.verbose {
+                    eprintln!("fabric: worker {slot} ready (pid {pid})");
+                }
+            }
+            ToSupervisor::Heartbeat { unit_id, done } => {
+                if let Some(flight) = self.in_flight.get_mut(&unit_id) {
+                    flight.progress = flight.progress.max(done);
+                }
+            }
+            ToSupervisor::Done {
+                unit_id,
+                row,
+                anomalies,
+            } => {
+                if self.slots[slot].busy == Some(unit_id) {
+                    self.slots[slot].busy = None;
+                }
+                if self.in_flight.remove(&unit_id).is_some() {
+                    self.report.units_completed += 1;
+                    if self.config.verbose {
+                        eprintln!(
+                            "fabric: unit {unit_id} done on worker {slot} \
+                             ({} runs, {anomalies} anomalies)",
+                            row.counts.total()
+                        );
+                    }
+                }
+                // Remote workers' shard files are on another machine; the
+                // acknowledged row is persisted supervisor-side so the
+                // merge sees it. (Local rows would merely duplicate —
+                // harmless, but skipped.)
+                if matches!(self.slots[slot].link, Link::Remote(_)) {
+                    ShardStore::append_row_with(
+                        &RealIo,
+                        &self.shard_dir.join("supervisor.csv"),
+                        &row,
+                    )?;
+                }
+            }
+            ToSupervisor::Fail { unit_id, error } => {
+                if self.slots[slot].busy == Some(unit_id) {
+                    self.slots[slot].busy = None;
+                }
+                if let Some(flight) = self.in_flight.remove(&unit_id) {
+                    let spec = flight.state.spec;
+                    self.report.anomalies.record(Anomaly {
+                        run_index: spec.start,
+                        run_seed: self.exp.seed,
+                        kind: AnomalyKind::WorkerLost,
+                        message: format!(
+                            "unit {spec} failed on worker {slot}: {error}; retry scheduled"
+                        ),
+                    });
+                    self.retry(flight.state, Some(slot), &error);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stall and deadline supervision.
+    fn check_liveness(&mut self) -> Result<(), FabricError> {
+        let now = Instant::now();
+        let stalled: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.alive
+                    && s.busy.is_some()
+                    && now.duration_since(s.last_seen) > self.config.stall_timeout
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for slot in stalled {
+            self.drop_worker(
+                slot,
+                AnomalyKind::WorkerStall,
+                &format!(
+                    "no heartbeat for {:.1}s",
+                    self.config.stall_timeout.as_secs_f64()
+                ),
+            )?;
+        }
+        if let Some(deadline) = self.config.unit_deadline {
+            let overdue: Vec<usize> = self
+                .in_flight
+                .values()
+                .filter(|f| now.duration_since(f.started) > deadline)
+                .map(|f| f.worker)
+                .collect();
+            for slot in overdue {
+                self.drop_worker(
+                    slot,
+                    AnomalyKind::WallClock,
+                    &format!("unit exceeded its {:.1}s deadline", deadline.as_secs_f64()),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Clean shutdown of surviving workers.
+    fn shutdown_workers(&mut self) {
+        for slot in &mut self.slots {
+            if slot.alive {
+                let _ = slot.link.send(&ToWorker::Shutdown);
+            }
+        }
+        for slot in &mut self.slots {
+            if slot.alive {
+                slot.link.wait();
+            }
+        }
+    }
+
+    /// The final crash-consistent merge: re-read every shard file, splice
+    /// campaigns, recompute margins, combine with pre-existing fresh rows
+    /// and save atomically.
+    fn finish(
+        mut self,
+        components: &[HwComponent],
+        existing: ResultStore,
+        out_csv: &Path,
+    ) -> Result<(ResultStore, FabricReport), FabricError> {
+        let keys: Vec<Key> = campaign_keys(self.exp, components)
+            .into_iter()
+            .filter(|&(c, w, f)| !existing.contains(c, w, f))
+            .collect();
+        let (rows, _audits) = load_shard_dir(&RealIo, &self.shard_dir)?;
+        let (merged, merge_report) = merge_rows(self.exp, &keys, &rows, &self.expected);
+        let mut store = existing;
+        for r in merged.iter() {
+            let fp = merged.fingerprint(r.component, r.workload, r.faults);
+            store.insert_with_fingerprint(r.clone(), fp);
+        }
+        store.save(out_csv)?;
+        self.report.merge = merge_report;
+        Ok((store, self.report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_env_defaults_are_sane() {
+        let c = FabricConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.max_attempts >= 1);
+        assert!(c.steal);
+    }
+
+    #[test]
+    fn auto_unit_sizing_scales_with_workers() {
+        let c = FabricConfig {
+            workers: 3,
+            ..FabricConfig::default()
+        };
+        // 150 runs / (3 workers × 4) = 13 runs per unit.
+        assert_eq!(c.effective_unit_runs(150), 13);
+        // Tiny campaigns never split below 8 runs…
+        assert_eq!(c.effective_unit_runs(20), 8);
+        // …and a unit never exceeds the campaign.
+        assert_eq!(c.effective_unit_runs(5), 5);
+        // An explicit size wins.
+        let c = FabricConfig {
+            unit_runs: 25,
+            ..FabricConfig::default()
+        };
+        assert_eq!(c.effective_unit_runs(150), 25);
+    }
+}

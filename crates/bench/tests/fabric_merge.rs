@@ -1,0 +1,234 @@
+//! Property tests for the distributed-sweep merge: whatever a fleet of
+//! unreliable workers leaves in the shard stores — permuted rows,
+//! duplicated retries, steal-split overlaps, stale fingerprints — the
+//! merge is idempotent, order-independent, and never invents or alters
+//! coverage. A deterministic engine means any exact cover of `0..runs`
+//! must splice to the same campaign result, bit for bit.
+
+use mbu_bench::fabric::merge_rows;
+use mbu_bench::{Experiments, ShardRow};
+use mbu_cpu::HwComponent;
+use mbu_gefin::campaign::UnitSpec;
+use mbu_gefin::classify::ClassCounts;
+use mbu_gefin::integrity::GoldenFingerprint;
+use mbu_workloads::Workload;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const FP: GoldenFingerprint = GoldenFingerprint(0xFEED_FACE_CAFE_F00D);
+const STALE_FP: GoldenFingerprint = GoldenFingerprint(0xDEAD_DEAD_DEAD_DEAD);
+const CYCLES: u64 = 123_456;
+const INSTRUCTIONS: u64 = 98_765;
+
+fn exp(runs: usize) -> Experiments {
+    Experiments {
+        runs,
+        workloads: vec![Workload::Sha],
+        ..Experiments::default()
+    }
+}
+
+fn key() -> (HwComponent, Workload, usize) {
+    (HwComponent::L1D, Workload::Sha, 1)
+}
+
+/// The synthetic per-run classification: what a deterministic engine
+/// would produce for run `i`. Any range's counts are the sum over its
+/// runs, so *every* consistent cover of `0..runs` sums identically.
+fn run_class(i: usize) -> ClassCounts {
+    let mut c = ClassCounts::new();
+    match i % 7 {
+        0..=3 => c.masked += 1,
+        4 => c.sdc += 1,
+        5 => c.crash += 1,
+        _ => c.timeout += 1,
+    }
+    c
+}
+
+fn range_counts(start: usize, end: usize) -> ClassCounts {
+    let mut total = ClassCounts::new();
+    for i in start..end {
+        let c = run_class(i);
+        total.masked += c.masked;
+        total.sdc += c.sdc;
+        total.crash += c.crash;
+        total.timeout += c.timeout;
+        total.assert_ += c.assert_;
+    }
+    total
+}
+
+fn row(exp: &Experiments, start: usize, end: usize, fingerprint: GoldenFingerprint) -> ShardRow {
+    let (component, workload, faults) = key();
+    ShardRow {
+        unit: UnitSpec {
+            component,
+            workload,
+            faults,
+            start,
+            end,
+        },
+        seed: exp.seed,
+        counts: range_counts(start, end),
+        fault_free_cycles: CYCLES,
+        fault_free_instructions: INSTRUCTIONS,
+        fingerprint,
+    }
+}
+
+fn expected() -> BTreeMap<Workload, GoldenFingerprint> {
+    let mut m = BTreeMap::new();
+    m.insert(Workload::Sha, FP);
+    m
+}
+
+/// An exact cover of `0..runs` from sorted cut points.
+fn cover(exp: &Experiments, cuts: &[usize]) -> Vec<ShardRow> {
+    let mut bounds = vec![0];
+    bounds.extend(cuts.iter().copied());
+    bounds.push(exp.runs);
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+        .windows(2)
+        .filter(|w| w[0] < w[1])
+        .map(|w| row(exp, w[0], w[1], FP))
+        .collect()
+}
+
+/// Deterministic in-place shuffle from a seed (the shim has no shuffle
+/// strategy; order-independence is the property under test, so the
+/// permutation itself need not shrink well).
+fn shuffle<T>(rows: &mut [T], mut seed: u64) {
+    for i in (1..rows.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        rows.swap(i, (seed >> 33) as usize % (i + 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Merging any permutation of any exact cover — with retries
+    /// (duplicate rows) and steal splits (a row plus its two halves)
+    /// layered on top — produces the same complete campaign as the
+    /// whole-range single row, and merging the merge's input again
+    /// changes nothing.
+    #[test]
+    fn merge_is_order_independent_and_idempotent(
+        runs in 4usize..48,
+        raw_cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..6),
+        dup in any::<prop::sample::Index>(),
+        split in any::<prop::sample::Index>(),
+        perm in any::<u64>(),
+    ) {
+        let e = exp(runs);
+        let cuts: Vec<usize> = raw_cuts.iter().map(|c| 1 + c.index(runs - 1)).collect();
+        let mut rows = cover(&e, &cuts);
+        // A retry re-executed one unit verbatim.
+        rows.push(rows[dup.index(rows.len())].clone());
+        // A steal split one unit: its full row *and* both halves exist.
+        let victim = rows[split.index(rows.len())].unit;
+        if victim.len() >= 2 {
+            let mid = victim.start + victim.len() / 2;
+            rows.push(row(&e, victim.start, mid, FP));
+            rows.push(row(&e, mid, victim.end, FP));
+        }
+        shuffle(&mut rows, perm);
+
+        let reference = merge_rows(&e, &[key()], &[row(&e, 0, runs, FP)], &expected());
+        let (store, report) = merge_rows(&e, &[key()], &rows, &expected());
+        prop_assert!(report.is_complete(), "gaps from an exact cover: {:?}", report.gaps);
+        prop_assert_eq!(report.campaigns_merged, 1);
+        prop_assert_eq!(report.stale_dropped, 0);
+        prop_assert_eq!(
+            store.to_csv(),
+            reference.0.to_csv(),
+            "cover {:?} merged differently from the whole-range row",
+            cuts
+        );
+
+        // Idempotence: a second merge of the same shard rows (as after a
+        // supervisor crash + restart) is bit-identical.
+        let (again, report_again) = merge_rows(&e, &[key()], &rows, &expected());
+        prop_assert_eq!(again.to_csv(), store.to_csv());
+        prop_assert_eq!(report_again, report);
+
+        // Order-independence of the *report*, not just the store: the
+        // same rows in a different order account identically.
+        let mut reshuffled = rows.clone();
+        shuffle(&mut reshuffled, perm.wrapping_add(1));
+        let (other, other_report) = merge_rows(&e, &[key()], &reshuffled, &expected());
+        prop_assert_eq!(other.to_csv(), store.to_csv());
+        prop_assert_eq!(other_report, report);
+    }
+
+    /// Rows stamped with a stale golden-run fingerprint or a foreign seed
+    /// are never merged: their ranges stay gaps (the re-run plan), and
+    /// they can never displace fresh rows covering the same range.
+    #[test]
+    fn stale_rows_are_rerun_not_merged(
+        runs in 4usize..48,
+        cut in any::<prop::sample::Index>(),
+        wrong_seed in any::<bool>(),
+        perm in any::<u64>(),
+    ) {
+        let e = exp(runs);
+        let mid = 1 + cut.index(runs - 1);
+        // Fresh head, stale tail: only the head may merge.
+        let mut tail = row(&e, mid, runs, STALE_FP);
+        if wrong_seed {
+            tail.fingerprint = FP;
+            tail.seed = e.seed ^ 0x5A5A;
+        }
+        let mut rows = vec![row(&e, 0, mid, FP), tail];
+        shuffle(&mut rows, perm);
+        let (store, report) = merge_rows(&e, &[key()], &rows, &expected());
+        prop_assert_eq!(store.len(), 0, "partial campaign must not merge");
+        prop_assert_eq!(report.stale_dropped, 1);
+        prop_assert_eq!(report.campaigns_merged, 0);
+        prop_assert_eq!(
+            report.gaps,
+            vec![UnitSpec { start: mid, end: runs, ..rows[0].unit }],
+            "the stale range, exactly, is the resume plan"
+        );
+
+        // A stale row covering the *whole* campaign alongside a fresh
+        // exact cover changes nothing.
+        let mut rows = cover(&e, &[mid]);
+        rows.push(row(&e, 0, runs, STALE_FP));
+        shuffle(&mut rows, perm.wrapping_add(7));
+        let reference = merge_rows(&e, &[key()], &[row(&e, 0, runs, FP)], &expected());
+        let (store, report) = merge_rows(&e, &[key()], &rows, &expected());
+        prop_assert_eq!(report.stale_dropped, 1);
+        prop_assert!(report.is_complete());
+        prop_assert_eq!(store.to_csv(), reference.0.to_csv());
+    }
+
+    /// Shard-store round-trip composes with the merge: writing rows to
+    /// CSV, reading them back, and merging equals merging the originals.
+    #[test]
+    fn merge_survives_store_round_trip(
+        runs in 4usize..32,
+        raw_cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..4),
+        perm in any::<u64>(),
+    ) {
+        let e = exp(runs);
+        let cuts: Vec<usize> = raw_cuts.iter().map(|c| 1 + c.index(runs - 1)).collect();
+        let mut rows = cover(&e, &cuts);
+        shuffle(&mut rows, perm);
+        let mut shard = mbu_bench::ShardStore::new();
+        for r in &rows {
+            shard.push(r.clone());
+        }
+        let (reloaded, audit) = mbu_bench::ShardStore::from_csv_lossy(&shard.to_csv())
+            .expect("round-trip parses");
+        prop_assert!(audit.quarantined.is_empty());
+        let (direct, _) = merge_rows(&e, &[key()], &rows, &expected());
+        let (via_csv, _) = merge_rows(&e, &[key()], reloaded.rows(), &expected());
+        prop_assert_eq!(via_csv.to_csv(), direct.to_csv());
+    }
+}

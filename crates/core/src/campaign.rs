@@ -348,6 +348,24 @@ pub enum AnomalyKind {
     /// off), so every campaign re-ran its own golden execution (sweep-level,
     /// logged as run 0; classifications are unaffected, only wall-clock).
     GoldenCacheBypass,
+    /// A distributed-sweep worker process died (exited, was killed, or its
+    /// connection broke) while a work unit was in flight; the unit was
+    /// retried on a surviving worker (fabric-level, logged with the unit's
+    /// first run index; merged classifications are unaffected).
+    WorkerLost,
+    /// A distributed-sweep worker stopped heartbeating while a work unit was
+    /// in flight and was declared dead by the supervisor's stall detector;
+    /// the unit was retried on a surviving worker.
+    WorkerStall,
+    /// A distributed-sweep worker sent a frame the supervisor could not
+    /// parse (garbage or truncated protocol data); the worker was dropped
+    /// and its in-flight unit retried.
+    ProtocolGarbage,
+    /// A work unit failed deterministically on two or more distinct workers
+    /// and was quarantined: the sweep completed *degraded* (the unit's runs
+    /// are missing from the merged store) instead of aborting or silently
+    /// retrying forever.
+    UnitQuarantined,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -357,8 +375,113 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::WallClock => f.write_str("wall-clock"),
             AnomalyKind::SnapshotMemCap => f.write_str("snapshot-mem-cap"),
             AnomalyKind::GoldenCacheBypass => f.write_str("golden-cache-bypass"),
+            AnomalyKind::WorkerLost => f.write_str("worker-lost"),
+            AnomalyKind::WorkerStall => f.write_str("worker-stall"),
+            AnomalyKind::ProtocolGarbage => f.write_str("protocol-garbage"),
+            AnomalyKind::UnitQuarantined => f.write_str("unit-quarantined"),
         }
     }
+}
+
+/// One distributed-sweep work unit: a contiguous run-range
+/// `[start, end)` of a single (component, workload, cardinality) campaign.
+///
+/// Run outcomes are deterministic per run index ([`derive_run_seed`]), so a
+/// campaign's class counts are the sum of the counts of any disjoint
+/// run-range cover — the shard planner exploits this to split campaigns
+/// across worker processes, and the supervisor to split straggler tails for
+/// work stealing. A full campaign is the unit `[0, runs)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnitSpec {
+    /// Target component.
+    pub component: HwComponent,
+    /// The workload to run.
+    pub workload: Workload,
+    /// Fault cardinality.
+    pub faults: usize,
+    /// First run index of the range (inclusive).
+    pub start: usize,
+    /// One past the last run index of the range (exclusive).
+    pub end: usize,
+}
+
+impl UnitSpec {
+    /// The unit covering a whole campaign.
+    pub fn whole(component: HwComponent, workload: Workload, faults: usize, runs: usize) -> Self {
+        Self {
+            component,
+            workload,
+            faults,
+            start: 0,
+            end: runs,
+        }
+    }
+
+    /// The campaign this unit belongs to.
+    pub fn campaign_key(&self) -> (HwComponent, Workload, usize) {
+        (self.component, self.workload, self.faults)
+    }
+
+    /// Number of runs in the range.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// The run-range as a `Range`.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Splits the unit at run index `mid` (absolute, not relative) into
+    /// `[start, mid)` and `[mid, end)`. Returns `None` unless `mid` falls
+    /// strictly inside the range (both halves must be non-empty).
+    pub fn split_at(&self, mid: usize) -> Option<(UnitSpec, UnitSpec)> {
+        if mid <= self.start || mid >= self.end {
+            return None;
+        }
+        let mut head = *self;
+        let mut tail = *self;
+        head.end = mid;
+        tail.start = mid;
+        Some((head, tail))
+    }
+}
+
+impl fmt::Display for UnitSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}-bit[{}..{})",
+            self.component, self.workload, self.faults, self.start, self.end
+        )
+    }
+}
+
+/// The achieved error margin of `counts` for a campaign targeting
+/// `component`, over the component's per-execution fault population, with
+/// the measured AVF (clamped to `[0.01, 0.99]`) as the probability
+/// estimate.
+///
+/// This is the exact computation a campaign applies to its own counts at
+/// the end of a run; it is exposed as a free function so the distributed
+/// shard merge can recompute a campaign's margin from summed partial
+/// counts and land on the bit-identical `f64` a single-process sweep would
+/// have stored.
+pub fn campaign_margin(
+    component: HwComponent,
+    counts: &ClassCounts,
+    fault_free_cycles: u64,
+    z: f64,
+) -> Result<f64, CampaignError> {
+    let population = stats::fault_population(component_bits(component), fault_free_cycles.max(1));
+    let samples = counts.total().clamp(1, population);
+    let p = counts.avf().clamp(0.01, 0.99);
+    Ok(stats::error_margin(population, samples, z, p)?)
 }
 
 /// One irregular run: enough context to replay it in isolation
@@ -930,13 +1053,7 @@ impl Campaign {
         fault_free_cycles: u64,
         z: f64,
     ) -> Result<f64, CampaignError> {
-        let population = stats::fault_population(
-            component_bits(self.config.component),
-            fault_free_cycles.max(1),
-        );
-        let samples = counts.total().clamp(1, population);
-        let p = counts.avf().clamp(0.01, 0.99);
-        Ok(stats::error_margin(population, samples, z, p)?)
+        campaign_margin(self.config.component, counts, fault_free_cycles, z)
     }
 
     /// Runs the whole campaign (parallel, deterministic), reporting failures
@@ -984,6 +1101,55 @@ impl Campaign {
     pub fn try_run_with_artifacts(
         &self,
         artifacts: Option<&GoldenArtifacts>,
+    ) -> Result<CampaignResult, CampaignError> {
+        self.execute(artifacts, None)
+    }
+
+    /// Runs only the run-range `range` of this campaign — the execution
+    /// primitive behind distributed sweep shards.
+    ///
+    /// Per-run seeds derive from the campaign seed and the *absolute* run
+    /// index alone, so the runs of `range` are classified bit-identically
+    /// to the same indices inside a full [`Campaign::try_run`]; summing the
+    /// [`ClassCounts`] of any disjoint cover of `0..runs` reproduces the
+    /// full campaign's counts exactly. The returned result carries only the
+    /// range's counts/details/anomalies (plus the golden counters, which
+    /// are range-independent); its `achieved_margin` is over the partial
+    /// counts and is recomputed from merged counts by the shard merge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidRunRange`] for an empty or
+    /// out-of-bounds range, and [`CampaignError::InvalidAdaptiveSpec`] for
+    /// a partial range of an adaptive campaign: early stopping depends on
+    /// the global run order, so adaptive campaigns are never split.
+    pub fn try_run_range_with_artifacts(
+        &self,
+        range: std::ops::Range<usize>,
+        artifacts: Option<&GoldenArtifacts>,
+    ) -> Result<CampaignResult, CampaignError> {
+        let cfg = &self.config;
+        if range.start >= range.end || range.end > cfg.runs {
+            return Err(CampaignError::InvalidRunRange {
+                start: range.start,
+                end: range.end,
+                runs: cfg.runs,
+            });
+        }
+        if cfg.adaptive.is_some() && (range.start != 0 || range.end != cfg.runs) {
+            return Err(CampaignError::InvalidAdaptiveSpec {
+                reason: "adaptive campaigns cannot be split into partial run-ranges",
+            });
+        }
+        self.execute(artifacts, Some(range))
+    }
+
+    /// Shared body of [`Campaign::try_run_with_artifacts`] (`range: None`)
+    /// and [`Campaign::try_run_range_with_artifacts`] (`range: Some`).
+    fn execute(
+        &self,
+        artifacts: Option<&GoldenArtifacts>,
+        range: Option<std::ops::Range<usize>>,
     ) -> Result<CampaignResult, CampaignError> {
         let cfg = &self.config;
         let program = cfg.workload.program();
@@ -1087,11 +1253,15 @@ impl Campaign {
         let mut oracle_skips = 0u64;
         let mut snap_restores = 0u64;
         let mut snap_early_masked = 0u64;
-        let mut executed = 0usize;
-        while executed < cfg.runs {
+        let (range_start, range_end) = match &range {
+            Some(r) => (r.start, r.end),
+            None => (0, cfg.runs),
+        };
+        let mut executed = range_start;
+        while executed < range_end {
             let end = match &cfg.adaptive {
-                None => cfg.runs,
-                Some(a) => (executed + a.batch).min(cfg.runs),
+                None => range_end,
+                Some(a) => (executed + a.batch).min(range_end),
             };
             self.run_batch(
                 &program,

@@ -48,6 +48,16 @@ pub enum CampaignError {
         /// What was wrong with it.
         reason: &'static str,
     },
+    /// A partial run-range was empty or did not fit inside `0..runs` —
+    /// a shard-planner or supervisor bug, not a fault effect.
+    InvalidRunRange {
+        /// Requested range start (inclusive).
+        start: usize,
+        /// Requested range end (exclusive).
+        end: usize,
+        /// The campaign's configured run count.
+        runs: usize,
+    },
     /// Pre-built golden artifacts were supplied for a different campaign
     /// (wrong core configuration, wrong program, or a missing/mismatched
     /// snapshot store).
@@ -88,6 +98,10 @@ impl fmt::Display for CampaignError {
             CampaignError::InvalidAdaptiveSpec { reason } => {
                 write!(f, "invalid adaptive-sampling spec: {reason}")
             }
+            CampaignError::InvalidRunRange { start, end, runs } => write!(
+                f,
+                "run-range [{start}..{end}) is empty or outside the campaign's 0..{runs}"
+            ),
             CampaignError::ArtifactMismatch { reason } => {
                 write!(f, "golden artifacts do not match this campaign: {reason}")
             }

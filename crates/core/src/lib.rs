@@ -58,7 +58,8 @@ pub mod tech;
 
 pub use avf::{ClassBreakdown, ComponentAvf};
 pub use campaign::{
-    AdaptiveSpec, Anomaly, AnomalyLog, Campaign, CampaignConfig, CampaignResult, RunHook,
+    campaign_margin, AdaptiveSpec, Anomaly, AnomalyKind, AnomalyLog, Campaign, CampaignConfig,
+    CampaignResult, RunHook, UnitSpec,
 };
 pub use classify::{ClassCounts, FaultEffect};
 pub use error::CampaignError;
