@@ -29,6 +29,17 @@
 //!                    checksummed shard to --shard <path> before acking
 //!   serve            like sweep, but adopts --workers N workers that
 //!                    connect to --listen <addr> instead of spawning them
+//!   daemon           long-running HTTP injection service: accepts sweep
+//!                    submissions (POST /sweeps), runs them concurrently
+//!                    over the fabric, streams live progress, and serves
+//!                    merged results; restart-safe (--state dir)
+//!   submit           client: POST a sweep to a daemon (--to <addr>),
+//!                    prints the job id
+//!   status           client: job status (--to <addr>, id positional);
+//!                    --follow streams live events until the job finishes
+//!   fetch            client: download a finished job's merged CSV
+//!                    (--to <addr>, id positional, --out <path>)
+//!   cancel           client: cancel a queued or running job
 //!   snapbench        campaign wall-clock with the snapshot fast path off
 //!                    vs on, per component (BENCH_snapshot.json), then a
 //!                    3-component sweep with the golden-artifact cache off
@@ -46,6 +57,9 @@
 //!                    every campaign (measure/fig1-6/xval/all);
 //!                    classifications stay bit-identical
 //!
+//! Service knobs (daemon): MBU_HTTP_MAX_JOBS (concurrent sweeps, default
+//! 2), MBU_HTTP_QUEUE (queued submissions before 429, default 8).
+//!
 //! environment: MBU_RUNS, MBU_SEED, MBU_THREADS, MBU_WORKLOADS,
 //! MBU_ADAPTIVE_MARGIN (adaptive early stopping), MBU_DEADLINE_SECS
 //! (sweep wall-clock budget), MBU_SNAPSHOTS, MBU_SNAPSHOT_INTERVAL,
@@ -58,7 +72,7 @@
 //! ```
 
 use mbu_bench::supervisor::{FabricConfig, FabricReport, Supervisor, WorkerPool};
-use mbu_bench::{AnalyticalStore, Experiments, ResultStore};
+use mbu_bench::{AnalyticalStore, Experiments, Json, ResultStore};
 use mbu_cpu::HwComponent;
 use mbu_gefin::paper;
 use mbu_gefin::report::Table;
@@ -82,10 +96,20 @@ struct Options {
     shards: Option<PathBuf>,
     /// `--shard <path>`: this worker's shard store.
     shard: Option<PathBuf>,
-    /// `--listen <addr>` for serve.
+    /// `--listen <addr>` for serve/daemon.
     listen: Option<String>,
     /// `--connect <addr>` for worker.
     connect: Option<String>,
+    /// `--id <name>`: stable worker id for TCP session resume.
+    worker_id: Option<String>,
+    /// `--state <dir>`: daemon job-state directory.
+    state: PathBuf,
+    /// `--to <addr>`: daemon address for the client verbs.
+    to: Option<String>,
+    /// `--follow`: stream live events until the job finishes.
+    follow: bool,
+    /// `--components <a,b,..>` for submit (default: all six).
+    components: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -103,6 +127,11 @@ fn parse_args() -> Result<Options, String> {
     let mut shard = None;
     let mut listen = None;
     let mut connect = None;
+    let mut worker_id = None;
+    let mut state = PathBuf::from("results/serve");
+    let mut to = None;
+    let mut follow = false;
+    let mut components = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workers" => {
@@ -128,6 +157,19 @@ fn parse_args() -> Result<Options, String> {
             }
             "--connect" => {
                 connect = Some(args.next().ok_or("--connect needs an address")?);
+            }
+            "--id" => {
+                worker_id = Some(args.next().ok_or("--id needs a worker name")?);
+            }
+            "--state" => {
+                state = PathBuf::from(args.next().ok_or("--state needs a directory")?);
+            }
+            "--to" => {
+                to = Some(args.next().ok_or("--to needs an address")?);
+            }
+            "--follow" => follow = true,
+            "--components" => {
+                components = Some(args.next().ok_or("--components needs a list")?);
             }
             "--paper" => use_paper = true,
             "--csv" => csv = true,
@@ -166,6 +208,11 @@ fn parse_args() -> Result<Options, String> {
         shard,
         listen,
         connect,
+        worker_id,
+        state,
+        to,
+        follow,
+        components,
     })
 }
 
@@ -176,14 +223,20 @@ fn usage() {
          \x20      repro verify-store --shards <dir>     audit worker shard stores (exit 1 on defects)\n\
          \x20      repro sweep [--workers N] [--shards dir]  distributed measure with supervised workers\n\
          \x20      repro serve --listen <addr> [--workers N] adopt TCP-connected workers instead\n\
-         \x20      repro worker --shard <path> [--connect <addr>]  one worker (normally supervisor-spawned)\n\
+         \x20      repro worker --shard <path> [--connect <addr>] [--id name]  one worker (normally supervisor-spawned)\n\
+         \x20      repro daemon --listen <addr> [--state dir]  HTTP injection service (see README)\n\
+         \x20      repro submit --to <addr> [--components a,b]  POST a sweep, prints the job id\n\
+         \x20      repro status --to <addr> <id> [--follow]    job status / live event stream\n\
+         \x20      repro fetch --to <addr> <id> --out <path>   download the merged CSV\n\
+         \x20      repro cancel --to <addr> <id>               cancel a queued/running job\n\
          \x20      repro snapbench [--workload w]        snapshot off/on wall-clock -> BENCH_snapshot.json,\n\
          \x20                                            golden-cache off/on sweep -> BENCH_sweep.json\n\
          env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS,\n\
          \x20      MBU_ADAPTIVE_MARGIN, MBU_DEADLINE_SECS, MBU_SNAPSHOTS,\n\
          \x20      MBU_SNAPSHOT_INTERVAL, MBU_SNAPSHOT_MEM_MB, MBU_GOLDEN_CACHE,\n\
          \x20      MBU_WORKERS, MBU_UNIT_RUNS, MBU_HEARTBEAT_MS, MBU_STALL_SECS,\n\
-         \x20      MBU_UNIT_DEADLINE_SECS, MBU_UNIT_RETRIES, MBU_STEAL"
+         \x20      MBU_UNIT_DEADLINE_SECS, MBU_UNIT_RETRIES, MBU_STEAL,\n\
+         \x20      MBU_HTTP_MAX_JOBS, MBU_HTTP_QUEUE (daemon)"
     );
 }
 
@@ -360,6 +413,79 @@ fn report_fabric(report: &FabricReport, store: &ResultStore, out: &std::path::Pa
     }
     eprintln!("saved {} campaign(s) to {}", store.len(), out.display());
     report.is_clean()
+}
+
+/// The submission body for `repro submit`: explicit values for everything
+/// the client's environment configures, so the sweep is self-contained
+/// and reproduces identically regardless of the daemon's own environment.
+fn submit_body(e: &Experiments, opts: &Options) -> Result<Json, String> {
+    let mut fields = vec![
+        (
+            "workloads".into(),
+            Json::Arr(e.workloads.iter().map(|w| Json::str(w.name())).collect()),
+        ),
+        ("runs".into(), Json::usize(e.runs)),
+        ("seed".into(), Json::u64(e.seed)),
+        ("cardinality".into(), Json::usize(e.max_cardinality)),
+        ("snapshots".into(), Json::Bool(e.use_snapshots)),
+    ];
+    if let Some(list) = &opts.components {
+        let comps: Vec<Json> = list
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<HwComponent>()
+                    .map(|c| Json::str(mbu_bench::store::component_slug(c)))
+                    .map_err(|err| err.to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        fields.insert(0, ("components".into(), Json::Arr(comps)));
+    }
+    Ok(Json::Obj(fields))
+}
+
+fn parse_reply(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "daemon reply was not UTF-8".to_string())?;
+    Json::parse(text).map_err(|err| format!("daemon reply was not JSON: {err}"))
+}
+
+fn error_of(reply: &Json) -> String {
+    reply
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("(no error message)")
+        .to_string()
+}
+
+fn client_target(opts: &Options, verb: &str) -> Result<(String, String), String> {
+    let addr = opts.to.clone().ok_or(format!("{verb} needs --to <addr>"))?;
+    let id = opts
+        .target
+        .as_ref()
+        .and_then(|p| p.to_str())
+        .map(String::from)
+        .ok_or(format!("{verb} needs a job id"))?;
+    Ok((addr, id))
+}
+
+/// Streams the job's live events to stderr until it reaches a terminal
+/// state.
+fn follow_events(addr: &str, id: &str) -> Result<(), String> {
+    let status = mbu_serve::http::request_stream(
+        addr,
+        "GET",
+        &format!("/sweeps/{id}/events?from=0"),
+        |chunk| {
+            eprint!("{}", String::from_utf8_lossy(chunk));
+            true
+        },
+    )
+    .map_err(|err| format!("event stream from {addr}: {err}"))?;
+    if status != 200 {
+        return Err(format!("event stream failed ({status})"));
+    }
+    Ok(())
 }
 
 fn run(opts: &Options) -> Result<(), String> {
@@ -613,6 +739,7 @@ fn run(opts: &Options) -> Result<(), String> {
                         stream,
                         &shard,
                         heartbeat,
+                        opts.worker_id.clone(),
                     )
                 }
                 None => mbu_bench::fabric::run_worker(
@@ -620,9 +747,72 @@ fn run(opts: &Options) -> Result<(), String> {
                     std::io::stdout(),
                     &shard,
                     heartbeat,
+                    opts.worker_id.clone(),
                 ),
             }
             .map_err(|err| format!("worker: {err}"))?;
+        }
+        "daemon" => {
+            let addr = opts.listen.clone().ok_or("daemon needs --listen <addr>")?;
+            mbu_bench::run_daemon(&addr, &opts.state)?;
+        }
+        "submit" => {
+            let addr = opts.to.clone().ok_or("submit needs --to <addr>")?;
+            let body = submit_body(&e, opts)?;
+            let (status, reply) =
+                mbu_serve::http::request(&addr, "POST", "/sweeps", Some(body.encode().as_bytes()))
+                    .map_err(|err| format!("submit to {addr}: {err}"))?;
+            let reply = parse_reply(&reply)?;
+            if status != 201 {
+                return Err(format!("submit rejected ({status}): {}", error_of(&reply)));
+            }
+            let id = reply
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("daemon reply had no job id")?;
+            eprintln!("submitted as {id}");
+            // Bare id on stdout so scripts can capture it.
+            println!("{id}");
+        }
+        "status" => {
+            let (addr, id) = client_target(opts, "status")?;
+            if opts.follow {
+                follow_events(&addr, &id)?;
+            }
+            let (status, reply) =
+                mbu_serve::http::request(&addr, "GET", &format!("/sweeps/{id}"), None)
+                    .map_err(|err| format!("status from {addr}: {err}"))?;
+            let reply = parse_reply(&reply)?;
+            if status != 200 {
+                return Err(format!("status failed ({status}): {}", error_of(&reply)));
+            }
+            println!("{}", reply.encode());
+        }
+        "fetch" => {
+            let (addr, id) = client_target(opts, "fetch")?;
+            let (status, body) =
+                mbu_serve::http::request(&addr, "GET", &format!("/sweeps/{id}/store"), None)
+                    .map_err(|err| format!("fetch from {addr}: {err}"))?;
+            if status != 200 {
+                let reply = parse_reply(&body)?;
+                return Err(format!("fetch failed ({status}): {}", error_of(&reply)));
+            }
+            if let Some(dir) = opts.out.parent() {
+                std::fs::create_dir_all(dir).map_err(|err| err.to_string())?;
+            }
+            std::fs::write(&opts.out, &body).map_err(|err| err.to_string())?;
+            eprintln!("saved {} byte(s) to {}", body.len(), opts.out.display());
+        }
+        "cancel" => {
+            let (addr, id) = client_target(opts, "cancel")?;
+            let (status, reply) =
+                mbu_serve::http::request(&addr, "POST", &format!("/sweeps/{id}/cancel"), None)
+                    .map_err(|err| format!("cancel at {addr}: {err}"))?;
+            let reply = parse_reply(&reply)?;
+            if status != 202 {
+                return Err(format!("cancel failed ({status}): {}", error_of(&reply)));
+            }
+            println!("{}", reply.encode());
         }
         "all" => {
             emit(&e.table1(), opts.csv);

@@ -163,11 +163,20 @@ pub enum WorkerFault {
     /// Write garbage bytes into the control stream instead of the next
     /// protocol frame — a corrupted or truncated frame on the wire.
     GarbageFrames,
+    /// Exit abruptly (status 137) immediately after the Nth completed
+    /// unit's row is durably in the shard store but *before* the `Done`
+    /// acknowledgement is sent — the precise window where work is done on
+    /// disk yet the supervisor believes it lost. This is the fault the
+    /// worker-rejoin recovery path exists for.
+    DieAfterPersist {
+        /// Completed-and-persisted units before dying.
+        after_units: usize,
+    },
 }
 
 impl WorkerFault {
-    /// Parses a fault spec: `kill-mid-unit:N`, `hang-mid-unit:N` or
-    /// `garbage-frames`.
+    /// Parses a fault spec: `kill-mid-unit:N`, `hang-mid-unit:N`,
+    /// `die-after-persist:N` or `garbage-frames`.
     ///
     /// # Errors
     ///
@@ -190,6 +199,9 @@ impl WorkerFault {
                 after_runs: after(arg)?,
             }),
             "garbage-frames" => Ok(WorkerFault::GarbageFrames),
+            "die-after-persist" => Ok(WorkerFault::DieAfterPersist {
+                after_units: after(arg)?,
+            }),
             other => Err(format!("unknown worker fault `{other}`")),
         }
     }
@@ -202,6 +214,7 @@ impl WorkerFault {
 pub struct WorkerChaos {
     fault: Option<WorkerFault>,
     runs_seen: AtomicUsize,
+    units_persisted: AtomicUsize,
     muted: std::sync::atomic::AtomicBool,
 }
 
@@ -284,6 +297,20 @@ impl WorkerChaos {
                 }
             }
             _ => {}
+        }
+    }
+
+    /// Hook point for the worker loop, called after a completed unit's row
+    /// is durably appended to the shard store and before the `Done` frame
+    /// is written: fires the die-after-persist fault at its scripted unit
+    /// count.
+    pub fn on_unit_persisted(&self) {
+        let seen = self.units_persisted.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(WorkerFault::DieAfterPersist { after_units }) = self.fault {
+            if seen == after_units {
+                // Same abrupt exit as kill-mid-unit: no flush, no ack.
+                std::process::exit(137);
+            }
         }
     }
 
@@ -413,6 +440,11 @@ mod tests {
             WorkerFault::parse("garbage-frames"),
             Ok(WorkerFault::GarbageFrames)
         );
+        assert_eq!(
+            WorkerFault::parse("die-after-persist:1"),
+            Ok(WorkerFault::DieAfterPersist { after_units: 1 })
+        );
+        assert!(WorkerFault::parse("die-after-persist").is_err());
         assert!(WorkerFault::parse("kill-mid-unit").is_err());
         assert!(WorkerFault::parse("kill-mid-unit:x").is_err());
         assert!(WorkerFault::parse("segfault").is_err());

@@ -235,6 +235,11 @@ pub struct Experiments {
     /// is an escape hatch that re-runs the golden execution per campaign
     /// and logs a sweep-level anomaly.
     pub use_golden_cache: bool,
+    /// Highest fault cardinality swept (`MBU_CARDINALITY`, default 3):
+    /// every sweep measures cardinalities `1..=max_cardinality`. The
+    /// paper's per-component figures use 3; the full Fig. 7 sweep goes to
+    /// 8 (the largest multi-bit upset the 2×2…3×3 cluster models produce).
+    pub max_cardinality: usize,
 }
 
 impl Default for Experiments {
@@ -252,6 +257,7 @@ impl Default for Experiments {
             snapshot_interval: None,
             snapshot_mem_mb: None,
             use_golden_cache: true,
+            max_cardinality: 3,
         }
     }
 }
@@ -336,7 +342,22 @@ impl Experiments {
         if let Some(v) = env_value("MBU_GOLDEN_CACHE")? {
             e.use_golden_cache = parse_switch("MBU_GOLDEN_CACHE", &v)?;
         }
+        if let Some(v) = env_value("MBU_CARDINALITY")? {
+            e.max_cardinality = parse_env("MBU_CARDINALITY", &v, "must be an integer in 1..=8")?;
+            if !(1..=8).contains(&e.max_cardinality) {
+                return Err(ConfigError::Invalid {
+                    var: "MBU_CARDINALITY",
+                    value: v,
+                    expected: "must be an integer in 1..=8",
+                });
+            }
+        }
         Ok(e)
+    }
+
+    /// The fault cardinalities this configuration sweeps.
+    pub fn cardinalities(&self) -> std::ops::RangeInclusive<usize> {
+        1..=self.max_cardinality
     }
 
     /// Table I: the microarchitectural configuration actually in force.
@@ -612,7 +633,7 @@ impl Experiments {
         'sweep: for &component in components {
             for &w in &self.workloads {
                 let mut workload_poisoned = false;
-                for faults in 1..=3 {
+                for faults in self.cardinalities() {
                     if let Some(deadline) = control.deadline {
                         if Instant::now() >= deadline {
                             report.deadline_expired = true;
@@ -825,7 +846,7 @@ impl Experiments {
             ],
         );
         for &w in &self.workloads {
-            for faults in 1..=3 {
+            for faults in self.cardinalities() {
                 if let Some(r) = store.get(component, w, faults) {
                     let b = ClassBreakdown::from_counts(&r.counts);
                     t.row(vec![
@@ -1225,7 +1246,7 @@ impl Experiments {
     pub fn figure_chart(&self, component: HwComponent, store: &ResultStore) -> String {
         let mut bars = Vec::new();
         for &w in &self.workloads {
-            for faults in 1..=3 {
+            for faults in self.cardinalities() {
                 if let Some(r) = store.get(component, w, faults) {
                     let b = ClassBreakdown::from_counts(&r.counts);
                     bars.push(StackedBar {

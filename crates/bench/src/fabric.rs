@@ -49,17 +49,14 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// The fault cardinalities every sweep measures (paper cardinality sweep,
-/// mirrored from [`Experiments::run_sweep`]).
-pub const CARDINALITIES: std::ops::RangeInclusive<usize> = 1..=3;
-
 /// Every campaign key of a sweep over `components`, in the same order the
-/// single-process driver visits them.
+/// single-process driver visits them (cardinalities `1..=max_cardinality`,
+/// mirrored from [`Experiments::run_sweep`]).
 pub fn campaign_keys(exp: &Experiments, components: &[HwComponent]) -> Vec<Key> {
     let mut keys = Vec::new();
     for &component in components {
         for &workload in &exp.workloads {
-            for faults in CARDINALITIES {
+            for faults in exp.cardinalities() {
                 keys.push((component, workload, faults));
             }
         }
@@ -542,6 +539,13 @@ fn run_unit(
 /// `heartbeat` is the liveness-report interval. Chaos faults
 /// ([`WorkerChaos::from_env`]) fire inside this loop when armed.
 ///
+/// `worker_id` is the stable session-resume identity: when set, it rides
+/// in the `Hello`, and any rows already in `shard_path` are replayed as
+/// `Recovered` right after — work that was persisted durably but possibly
+/// never acknowledged before a crash or dropped connection. A supervisor
+/// that requeued those units retires them instead of re-running; anything
+/// stale is dropped at merge, so the replay is always safe.
+///
 /// # Errors
 ///
 /// Returns a [`ProtocolError`] on a malformed instruction stream or a
@@ -553,6 +557,7 @@ pub fn run_worker<R, W>(
     output: W,
     shard_path: &Path,
     heartbeat: Duration,
+    worker_id: Option<String>,
 ) -> Result<(), ProtocolError>
 where
     R: BufRead,
@@ -566,7 +571,15 @@ where
     };
     send(&ToSupervisor::Hello {
         pid: std::process::id(),
+        worker_id: worker_id.clone(),
     })?;
+    if worker_id.is_some() && shard_path.exists() {
+        if let Ok((store, _)) = ShardStore::recover_with(&RealIo, shard_path) {
+            for row in store.rows() {
+                send(&ToSupervisor::Recovered { row: row.clone() })?;
+            }
+        }
+    }
     let pulse = Arc::new(Pulse {
         current: Mutex::new(None),
         stop: AtomicBool::new(false),
@@ -638,6 +651,9 @@ where
                                 }
                             });
                         }
+                        // The durable-but-unacknowledged window: the row is
+                        // on disk, the supervisor has not heard about it.
+                        chaos.on_unit_persisted();
                         if send(&ToSupervisor::Done {
                             unit_id,
                             row,

@@ -41,6 +41,7 @@ pub mod experiments;
 pub mod fabric;
 pub mod io;
 pub mod protocol;
+pub mod service;
 pub mod snapbench;
 pub mod store;
 pub mod supervisor;
@@ -52,9 +53,12 @@ pub use experiments::{ComponentData, ConfigError, Experiments, SweepControl, Swe
 pub use fabric::{plan_units, MergeReport, ShardAudit};
 pub use io::{RealIo, RetryIo, RetryPolicy, StoreIo};
 pub use protocol::{ExpSpec, Json, ProtocolError, ToSupervisor, ToWorker};
+pub use service::{run_daemon, ServeConfig, SweepBackend};
 pub use snapbench::{SnapbenchReport, SnapbenchRow, SweepbenchReport};
 pub use store::{
     AnalyticalRow, AnalyticalStore, LoadAudit, QuarantinedRow, ResultStore, RowDefect, ShardRow,
     ShardStore, StoreError, StoreVersion,
 };
-pub use supervisor::{FabricConfig, FabricError, FabricReport, Supervisor, WorkerPool};
+pub use supervisor::{
+    FabricConfig, FabricError, FabricEvent, FabricReport, Supervisor, SweepOptions, WorkerPool,
+};

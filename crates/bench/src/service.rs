@@ -1,0 +1,537 @@
+//! The HTTP service adapter: plugs the distributed sweep fabric into the
+//! generic `mbu-serve` job manager.
+//!
+//! [`SweepBackend`] validates sweep submissions against the same typed
+//! [`ConfigError`] vocabulary as the `MBU_*` environment knobs, executes
+//! each job as a supervised fabric sweep in its own shard directory (so
+//! concurrent jobs never share state and a daemon restart resumes each
+//! job from its shards), streams [`FabricEvent`]s into the job's live
+//! event log, and serves merged results — including the raw checkpoint
+//! CSV, which is byte-identical to a single-process `repro sweep`.
+
+use crate::experiments::{env_value, parse_env, ConfigError, Experiments};
+use crate::store::component_slug;
+use crate::supervisor::{FabricConfig, FabricEvent, Supervisor, SweepOptions, WorkerPool};
+use crate::ResultStore;
+use mbu_cpu::HwComponent;
+use mbu_gefin::json::Json;
+use mbu_serve::{ApiError, Artifact, JobBackend, JobContext, JobManager, JobOutcome, Submission};
+use mbu_workloads::Workload;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Service-level knobs, environment-driven like every other `MBU_*`
+/// setting and rejected through the same typed [`ConfigError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Sweeps running concurrently (`MBU_HTTP_MAX_JOBS`, default 2).
+    pub max_jobs: usize,
+    /// Accepted-but-waiting submissions before `429` (`MBU_HTTP_QUEUE`,
+    /// default 8).
+    pub queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_jobs: 2,
+            queue: 8,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads `MBU_HTTP_MAX_JOBS` / `MBU_HTTP_QUEUE`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the defective variable.
+    pub fn from_env() -> Result<Self, ConfigError> {
+        let mut cfg = ServeConfig::default();
+        if let Some(v) = env_value("MBU_HTTP_MAX_JOBS")? {
+            cfg.max_jobs = parse_env("MBU_HTTP_MAX_JOBS", &v, "must be a positive integer")?;
+            if cfg.max_jobs == 0 {
+                return Err(ConfigError::Invalid {
+                    var: "MBU_HTTP_MAX_JOBS",
+                    value: v,
+                    expected: "must be a positive integer",
+                });
+            }
+        }
+        if let Some(v) = env_value("MBU_HTTP_QUEUE")? {
+            cfg.queue = parse_env("MBU_HTTP_QUEUE", &v, "must be an integer")?;
+        }
+        Ok(cfg)
+    }
+}
+
+/// The figure-number ↔ component mapping of the paper (Fig. 1–6).
+fn figure_component(n: usize) -> Option<HwComponent> {
+    HwComponent::ALL.get(n.checked_sub(1)?).copied()
+}
+
+/// Decrements the active-job counter even when `execute` panics.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The fabric-backed [`JobBackend`]: each job is one supervised sweep.
+pub struct SweepBackend {
+    /// Environment-derived defaults a submission overrides field by field.
+    pub base: Experiments,
+    /// Fabric knobs; `workers` is the *total* pool, divided fairly across
+    /// concurrently running jobs.
+    pub fabric: FabricConfig,
+    active: AtomicUsize,
+}
+
+impl SweepBackend {
+    /// A backend over the given defaults.
+    pub fn new(base: Experiments, fabric: FabricConfig) -> SweepBackend {
+        SweepBackend {
+            base,
+            fabric,
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// Rebuilds the experiment configuration from a canonical spec.
+    fn exp_from_spec(&self, spec: &Json) -> Result<(Experiments, Vec<HwComponent>), ApiError> {
+        let mut exp = self.base.clone();
+        let bad = |what: &str| ApiError::internal(format!("corrupt stored spec: {what}"));
+        exp.runs = spec
+            .get("runs")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("runs"))?;
+        exp.seed = spec
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("seed"))?;
+        exp.max_cardinality = spec
+            .get("cardinality")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("cardinality"))?;
+        exp.use_snapshots = spec
+            .get("snapshots")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| bad("snapshots"))?;
+        exp.workloads = spec
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("workloads"))?
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .and_then(|s| s.parse::<Workload>().ok())
+                    .ok_or_else(|| bad("workloads"))
+            })
+            .collect::<Result<_, _>>()?;
+        let components = spec
+            .get("components")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("components"))?
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .and_then(|s| s.parse::<HwComponent>().ok())
+                    .ok_or_else(|| bad("components"))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok((exp, components))
+    }
+}
+
+fn summary_json(store_len: usize, report: &crate::supervisor::FabricReport) -> Json {
+    Json::Obj(vec![
+        ("campaigns".into(), Json::usize(store_len)),
+        ("units_planned".into(), Json::usize(report.units_planned)),
+        (
+            "units_completed".into(),
+            Json::usize(report.units_completed),
+        ),
+        (
+            "units_recovered".into(),
+            Json::usize(report.units_recovered),
+        ),
+        ("retries".into(), Json::usize(report.retries)),
+        ("steals".into(), Json::usize(report.steals)),
+        (
+            "workers_spawned".into(),
+            Json::usize(report.workers_spawned),
+        ),
+        ("workers_lost".into(), Json::usize(report.workers_lost)),
+        (
+            "workers_rejoined".into(),
+            Json::usize(report.workers_rejoined),
+        ),
+        ("quarantined".into(), Json::usize(report.quarantined.len())),
+        ("gaps".into(), Json::usize(report.merge.gaps.len())),
+        ("clean".into(), Json::Bool(report.is_clean())),
+    ])
+}
+
+impl JobBackend for SweepBackend {
+    fn validate(&self, body: &Json) -> Result<Submission, ApiError> {
+        let Json::Obj(fields) = body else {
+            return Err(ApiError::bad_request("submission must be a JSON object"));
+        };
+        const KNOWN: [&str; 7] = [
+            "title",
+            "components",
+            "workloads",
+            "runs",
+            "seed",
+            "cardinality",
+            "snapshots",
+        ];
+        for (key, _) in fields {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(ApiError::bad_request(format!(
+                    "unknown field `{key}` (expected one of: {})",
+                    KNOWN.join(", ")
+                )));
+            }
+        }
+        let components: Vec<HwComponent> = match body.get("components") {
+            None => HwComponent::ALL.to_vec(),
+            Some(Json::Str(s)) if s == "all" => HwComponent::ALL.to_vec(),
+            Some(Json::Arr(items)) if !items.is_empty() => items
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .ok_or_else(|| ApiError::bad_request("components must be strings"))
+                        .and_then(|s| {
+                            s.parse::<HwComponent>()
+                                .map_err(|e| ApiError::bad_request(e.to_string()))
+                        })
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => {
+                return Err(ApiError::bad_request(
+                    "components must be \"all\" or a non-empty array of component slugs",
+                ))
+            }
+        };
+        let workloads: Vec<Workload> = match body.get("workloads") {
+            None => self.base.workloads.clone(),
+            Some(Json::Arr(items)) if !items.is_empty() => items
+                .iter()
+                .map(|w| {
+                    w.as_str()
+                        .ok_or_else(|| ApiError::bad_request("workloads must be strings"))
+                        .and_then(|s| {
+                            s.parse::<Workload>().map_err(|_| {
+                                ApiError::bad_request(format!("unknown workload `{s}`"))
+                            })
+                        })
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => {
+                return Err(ApiError::bad_request(
+                    "workloads must be a non-empty array of workload names",
+                ))
+            }
+        };
+        let runs = match body.get("runs") {
+            None => self.base.runs,
+            Some(v) => match v.as_usize() {
+                Some(n) if n >= 1 => n,
+                _ => return Err(ApiError::bad_request("runs must be a positive integer")),
+            },
+        };
+        let seed = match body.get("seed") {
+            None => self.base.seed,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| ApiError::bad_request("seed must be a u64"))?,
+        };
+        let cardinality = match body.get("cardinality") {
+            None => self.base.max_cardinality,
+            Some(v) => match v.as_usize() {
+                Some(n) if (1..=8).contains(&n) => n,
+                _ => {
+                    return Err(ApiError::bad_request(
+                        "cardinality must be an integer in 1..=8",
+                    ))
+                }
+            },
+        };
+        let snapshots = match body.get("snapshots") {
+            None => self.base.use_snapshots,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| ApiError::bad_request("snapshots must be a boolean"))?,
+        };
+        let title = match body.get("title") {
+            None => format!(
+                "{} component(s) x {} workload(s) x {runs} runs",
+                components.len(),
+                workloads.len()
+            ),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("title must be a string"))?
+                .to_string(),
+        };
+        // The canonical spec: every knob resolved, so execution after a
+        // daemon restart (different environment) reproduces exactly what
+        // was validated.
+        let spec = Json::Obj(vec![
+            (
+                "components".into(),
+                Json::Arr(
+                    components
+                        .iter()
+                        .map(|&c| Json::str(component_slug(c)))
+                        .collect(),
+                ),
+            ),
+            (
+                "workloads".into(),
+                Json::Arr(workloads.iter().map(|w| Json::str(w.name())).collect()),
+            ),
+            ("runs".into(), Json::usize(runs)),
+            ("seed".into(), Json::u64(seed)),
+            ("cardinality".into(), Json::usize(cardinality)),
+            ("snapshots".into(), Json::Bool(snapshots)),
+        ]);
+        Ok(Submission { title, spec })
+    }
+
+    fn execute(&self, ctx: &JobContext) -> JobOutcome {
+        let (exp, components) = match self.exp_from_spec(&ctx.spec) {
+            Ok(parsed) => parsed,
+            Err(e) => return JobOutcome::Failed(e.message),
+        };
+        // Fair sharing: the configured worker pool is divided across
+        // whatever is running right now.
+        let active = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        let _guard = ActiveGuard(&self.active);
+        let mut fabric = self.fabric.clone();
+        fabric.workers = (self.fabric.workers / active).max(1);
+        let shard_dir = ctx.dir.join("shards");
+        let out_csv = ctx.dir.join("measured.csv");
+        let events_ctx = ctx.clone();
+        let opts = SweepOptions {
+            on_event: Some(Box::new(move |ev: &FabricEvent| {
+                events_ctx.emit(ev.kind(), ev.to_json());
+                if let FabricEvent::UnitDone {
+                    completed, planned, ..
+                }
+                | FabricEvent::UnitRecovered {
+                    completed, planned, ..
+                } = ev
+                {
+                    events_ctx.set_progress(*completed, *planned);
+                }
+            })),
+            cancel: Some(ctx.cancel_token()),
+        };
+        match Supervisor::run_with(
+            &exp,
+            &components,
+            &fabric,
+            &shard_dir,
+            &out_csv,
+            WorkerPool::Spawn,
+            opts,
+        ) {
+            Ok((store, report)) => {
+                let summary = summary_json(store.len(), &report);
+                if report.cancelled {
+                    JobOutcome::Cancelled(summary)
+                } else {
+                    JobOutcome::Done(summary)
+                }
+            }
+            Err(e) => JobOutcome::Failed(e.to_string()),
+        }
+    }
+
+    fn artifact(
+        &self,
+        ctx: &JobContext,
+        tail: &[&str],
+        query: &[(String, String)],
+    ) -> Result<Artifact, ApiError> {
+        let out_csv = ctx.dir.join("measured.csv");
+        match tail {
+            // The raw merged checkpoint, byte-identical to a
+            // single-process `repro sweep` over the same spec.
+            ["store"] => match std::fs::read(&out_csv) {
+                Ok(body) => Ok(Artifact {
+                    content_type: "text/csv".into(),
+                    body,
+                }),
+                Err(_) => Err(ApiError::not_found(
+                    "no merged store (the job may have failed before its merge)",
+                )),
+            },
+            ["results"] => {
+                let (exp, components) = self.exp_from_spec(&ctx.spec)?;
+                let store = load_results(&out_csv)?;
+                let figures = components
+                    .iter()
+                    .map(|&c| exp.figure_table(c, &store).to_json())
+                    .collect();
+                let body = Json::Obj(vec![
+                    ("campaigns".into(), Json::usize(store.len())),
+                    ("figures".into(), Json::Arr(figures)),
+                ]);
+                Ok(Artifact {
+                    content_type: "application/json".into(),
+                    body: body.encode().into_bytes(),
+                })
+            }
+            ["figures", n] => {
+                let component = n
+                    .parse::<usize>()
+                    .ok()
+                    .and_then(figure_component)
+                    .ok_or_else(|| {
+                        ApiError::not_found(format!("no figure `{n}` (figures are 1..=6)"))
+                    })?;
+                let (exp, _) = self.exp_from_spec(&ctx.spec)?;
+                let store = load_results(&out_csv)?;
+                let table = exp.figure_table(component, &store);
+                let csv = query.iter().any(|(k, v)| k == "format" && v == "csv");
+                Ok(if csv {
+                    Artifact {
+                        content_type: "text/csv".into(),
+                        body: table.to_csv().into_bytes(),
+                    }
+                } else {
+                    Artifact {
+                        content_type: "application/json".into(),
+                        body: table.to_json().encode().into_bytes(),
+                    }
+                })
+            }
+            _ => Err(ApiError::not_found(format!(
+                "no artifact `{}` (expected store, results, or figures/N)",
+                tail.join("/")
+            ))),
+        }
+    }
+}
+
+fn load_results(out_csv: &Path) -> Result<ResultStore, ApiError> {
+    if !out_csv.exists() {
+        return Err(ApiError::not_found(
+            "no merged store (the job may have failed before its merge)",
+        ));
+    }
+    ResultStore::load(out_csv).map_err(|e| ApiError::internal(format!("store load failed: {e}")))
+}
+
+/// Boots the daemon: binds `listen`, prints the bound address as the
+/// first stderr line (`mbu-serve: listening on <addr>` — tests and
+/// scripts parse it, so `--listen 127.0.0.1:0` works), restores persisted
+/// jobs from `state_dir`, and serves until killed.
+///
+/// # Errors
+///
+/// Configuration, bind, or state-directory failures as strings (the
+/// `repro` binary's error convention).
+pub fn run_daemon(listen: &str, state_dir: &Path) -> Result<(), String> {
+    let exp = Experiments::try_from_env().map_err(|e| e.to_string())?;
+    let fabric = FabricConfig::from_env().map_err(|e| e.to_string())?;
+    let cfg = ServeConfig::from_env().map_err(|e| e.to_string())?;
+    let listener =
+        std::net::TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("mbu-serve: listening on {addr}");
+    eprintln!(
+        "mbu-serve: {} concurrent job(s), queue depth {}, {} fabric worker(s), state in {}",
+        cfg.max_jobs,
+        cfg.queue,
+        fabric.workers,
+        state_dir.display()
+    );
+    let backend = Arc::new(SweepBackend::new(exp, fabric));
+    let manager = JobManager::new(state_dir, backend, cfg.max_jobs, cfg.queue)
+        .map_err(|e| format!("state dir {}: {e}", state_dir.display()))?;
+    mbu_serve::serve(listener, manager).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> SweepBackend {
+        SweepBackend::new(Experiments::default(), FabricConfig::default())
+    }
+
+    #[test]
+    fn validate_resolves_every_knob() {
+        let b = backend();
+        let body = Json::parse(
+            r#"{"components":["l1d","itlb"],"workloads":["qsort"],"runs":6,"seed":7,"cardinality":2,"snapshots":true}"#,
+        )
+        .unwrap();
+        let sub = b.validate(&body).unwrap();
+        let (exp, components) = b.exp_from_spec(&sub.spec).unwrap();
+        assert_eq!(components, vec![HwComponent::L1D, HwComponent::ITlb]);
+        assert_eq!(exp.runs, 6);
+        assert_eq!(exp.seed, 7);
+        assert_eq!(exp.max_cardinality, 2);
+        assert!(exp.use_snapshots);
+        assert_eq!(exp.workloads, vec![Workload::Qsort]);
+    }
+
+    #[test]
+    fn validate_defaults_and_rejects() {
+        let b = backend();
+        let sub = b.validate(&Json::Obj(vec![])).unwrap();
+        let (exp, components) = b.exp_from_spec(&sub.spec).unwrap();
+        assert_eq!(components, HwComponent::ALL.to_vec());
+        assert_eq!(exp.runs, b.base.runs);
+        let cases = [
+            (r#"{"bogus":1}"#, "unknown field"),
+            (r#"{"components":["warp-core"]}"#, "unknown hardware"),
+            (r#"{"components":[]}"#, "non-empty"),
+            (r#"{"workloads":["nope"]}"#, "unknown workload"),
+            (r#"{"runs":0}"#, "positive"),
+            (r#"{"cardinality":9}"#, "1..=8"),
+            (r#"{"snapshots":"maybe"}"#, "boolean"),
+            (r#"[1]"#, "JSON object"),
+        ];
+        for (body, needle) in cases {
+            let err = b.validate(&Json::parse(body).unwrap()).unwrap_err();
+            assert_eq!(err.status, 400, "{body}");
+            assert!(err.message.contains(needle), "{body}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn serve_config_env_knobs_are_typed() {
+        // Defaults with the variables unset.
+        std::env::remove_var("MBU_HTTP_MAX_JOBS");
+        std::env::remove_var("MBU_HTTP_QUEUE");
+        assert_eq!(ServeConfig::from_env().unwrap(), ServeConfig::default());
+        std::env::set_var("MBU_HTTP_MAX_JOBS", "banana");
+        let err = ServeConfig::from_env().unwrap_err();
+        assert!(err.to_string().contains("MBU_HTTP_MAX_JOBS"));
+        std::env::set_var("MBU_HTTP_MAX_JOBS", "0");
+        assert!(ServeConfig::from_env().is_err());
+        std::env::set_var("MBU_HTTP_MAX_JOBS", "3");
+        std::env::set_var("MBU_HTTP_QUEUE", "1");
+        let cfg = ServeConfig::from_env().unwrap();
+        assert_eq!((cfg.max_jobs, cfg.queue), (3, 1));
+        std::env::remove_var("MBU_HTTP_MAX_JOBS");
+        std::env::remove_var("MBU_HTTP_QUEUE");
+    }
+
+    #[test]
+    fn figure_numbers_map_to_paper_components() {
+        assert_eq!(figure_component(1), Some(HwComponent::L1D));
+        assert_eq!(figure_component(6), Some(HwComponent::ITlb));
+        assert_eq!(figure_component(0), None);
+        assert_eq!(figure_component(7), None);
+    }
+}

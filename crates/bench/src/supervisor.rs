@@ -35,7 +35,9 @@
 use crate::experiments::{env_value, parse_env, parse_switch, ConfigError};
 use crate::fabric::{campaign_keys, load_shard_dir, merge_rows, split_range, MergeReport};
 use crate::io::RealIo;
-use crate::protocol::{read_frame, write_frame, ExpSpec, ProtocolError, ToSupervisor, ToWorker};
+use crate::protocol::{
+    read_frame, write_frame, ExpSpec, Json, ProtocolError, ToSupervisor, ToWorker,
+};
 use crate::store::{Key, ResultStore, ShardStore, StoreError};
 use crate::Experiments;
 use mbu_cpu::HwComponent;
@@ -49,7 +51,8 @@ use std::io::{BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Supervisor knobs, env-configurable (`MBU_WORKERS`, `MBU_UNIT_RUNS`,
@@ -207,6 +210,231 @@ impl From<std::io::Error> for FabricError {
     }
 }
 
+/// A live progress event from a running supervised sweep — the
+/// subscription seam the HTTP service's event streams are fed from.
+/// Every event also has a stable JSON form ([`FabricEvent::to_json`]).
+#[derive(Debug, Clone)]
+pub enum FabricEvent {
+    /// Planning finished; the sweep is about to start.
+    Planned {
+        /// Units planned this invocation (after resume skipping).
+        units: usize,
+        /// Campaigns in the sweep.
+        campaigns: usize,
+    },
+    /// A worker said hello and is eligible for assignments.
+    WorkerReady {
+        /// Worker slot index.
+        slot: usize,
+        /// The worker's OS process id.
+        pid: u32,
+        /// Whether this is a lost TCP worker rejoining under its old id.
+        rejoined: bool,
+    },
+    /// A worker was declared dead (crash, stall, protocol garbage).
+    WorkerLost {
+        /// Worker slot index.
+        slot: usize,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// A unit completed and its row is durable.
+    UnitDone {
+        /// The completed unit.
+        unit: UnitSpec,
+        /// Worker slot that ran it.
+        worker: usize,
+        /// Runs the unit classified.
+        runs: u64,
+        /// Anomalies the campaign logged.
+        anomalies: usize,
+        /// Units finished so far (completed + recovered).
+        completed: usize,
+        /// Units planned this invocation.
+        planned: usize,
+    },
+    /// A requeued unit was retired from a rejoining worker's replayed
+    /// shard row instead of being re-run.
+    UnitRecovered {
+        /// The recovered unit.
+        unit: UnitSpec,
+        /// Worker slot whose shard store held it.
+        worker: usize,
+        /// Units finished so far (completed + recovered).
+        completed: usize,
+        /// Units planned this invocation.
+        planned: usize,
+    },
+    /// A unit failed with a typed campaign error and will retry or
+    /// quarantine.
+    UnitFailed {
+        /// The failed unit.
+        unit: UnitSpec,
+        /// Worker slot it failed on.
+        worker: usize,
+        /// Display form of the error.
+        error: String,
+    },
+    /// A straggler's tail was split off for speculative execution.
+    TailStolen {
+        /// The stolen tail range.
+        unit: UnitSpec,
+        /// Worker slot still running the head.
+        worker: usize,
+    },
+    /// A unit was abandoned after deterministic failure or attempt
+    /// exhaustion.
+    Quarantined {
+        /// The abandoned unit.
+        unit: UnitSpec,
+        /// Why it was given up on.
+        why: String,
+    },
+    /// Cancellation was requested; the sweep is draining in-flight units
+    /// and will merge partial results.
+    Cancelled,
+    /// The final merge ran.
+    Merged {
+        /// Campaigns in the merged store.
+        campaigns: usize,
+        /// Uncovered run-ranges left (the resume plan).
+        gaps: usize,
+        /// The worst achieved error margin across merged campaigns.
+        worst_margin: Option<f64>,
+    },
+}
+
+fn unit_json(u: &UnitSpec) -> Json {
+    Json::Obj(vec![
+        (
+            "comp".into(),
+            Json::str(crate::store::component_slug(u.component)),
+        ),
+        ("wl".into(), Json::str(u.workload.name())),
+        ("faults".into(), Json::usize(u.faults)),
+        ("start".into(), Json::usize(u.start)),
+        ("end".into(), Json::usize(u.end)),
+    ])
+}
+
+impl FabricEvent {
+    /// The event's kind discriminator, kebab-case.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FabricEvent::Planned { .. } => "planned",
+            FabricEvent::WorkerReady { .. } => "worker-ready",
+            FabricEvent::WorkerLost { .. } => "worker-lost",
+            FabricEvent::UnitDone { .. } => "unit-done",
+            FabricEvent::UnitRecovered { .. } => "unit-recovered",
+            FabricEvent::UnitFailed { .. } => "unit-failed",
+            FabricEvent::TailStolen { .. } => "tail-stolen",
+            FabricEvent::Quarantined { .. } => "quarantined",
+            FabricEvent::Cancelled => "cancelled",
+            FabricEvent::Merged { .. } => "merged",
+        }
+    }
+
+    /// The event's payload as a JSON object (kind included).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("kind".into(), Json::str(self.kind()))];
+        match self {
+            FabricEvent::Planned { units, campaigns } => {
+                fields.push(("units".into(), Json::usize(*units)));
+                fields.push(("campaigns".into(), Json::usize(*campaigns)));
+            }
+            FabricEvent::WorkerReady {
+                slot,
+                pid,
+                rejoined,
+            } => {
+                fields.push(("slot".into(), Json::usize(*slot)));
+                fields.push(("pid".into(), Json::u64(*pid as u64)));
+                fields.push(("rejoined".into(), Json::Bool(*rejoined)));
+            }
+            FabricEvent::WorkerLost { slot, detail } => {
+                fields.push(("slot".into(), Json::usize(*slot)));
+                fields.push(("detail".into(), Json::str(detail)));
+            }
+            FabricEvent::UnitDone {
+                unit,
+                worker,
+                runs,
+                anomalies,
+                completed,
+                planned,
+            } => {
+                fields.push(("unit".into(), unit_json(unit)));
+                fields.push(("worker".into(), Json::usize(*worker)));
+                fields.push(("runs".into(), Json::u64(*runs)));
+                fields.push(("anomalies".into(), Json::usize(*anomalies)));
+                fields.push(("completed".into(), Json::usize(*completed)));
+                fields.push(("planned".into(), Json::usize(*planned)));
+            }
+            FabricEvent::UnitRecovered {
+                unit,
+                worker,
+                completed,
+                planned,
+            } => {
+                fields.push(("unit".into(), unit_json(unit)));
+                fields.push(("worker".into(), Json::usize(*worker)));
+                fields.push(("completed".into(), Json::usize(*completed)));
+                fields.push(("planned".into(), Json::usize(*planned)));
+            }
+            FabricEvent::UnitFailed {
+                unit,
+                worker,
+                error,
+            } => {
+                fields.push(("unit".into(), unit_json(unit)));
+                fields.push(("worker".into(), Json::usize(*worker)));
+                fields.push(("error".into(), Json::str(error)));
+            }
+            FabricEvent::TailStolen { unit, worker } => {
+                fields.push(("unit".into(), unit_json(unit)));
+                fields.push(("worker".into(), Json::usize(*worker)));
+            }
+            FabricEvent::Quarantined { unit, why } => {
+                fields.push(("unit".into(), unit_json(unit)));
+                fields.push(("why".into(), Json::str(why)));
+            }
+            FabricEvent::Cancelled => {}
+            FabricEvent::Merged {
+                campaigns,
+                gaps,
+                worst_margin,
+            } => {
+                fields.push(("campaigns".into(), Json::usize(*campaigns)));
+                fields.push(("gaps".into(), Json::usize(*gaps)));
+                fields.push((
+                    "worst_margin".into(),
+                    match worst_margin {
+                        Some(m) => Json::f64(*m),
+                        None => Json::Null,
+                    },
+                ));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A boxed [`FabricEvent`] observer.
+pub type EventSink = Box<dyn FnMut(&FabricEvent) + Send>;
+
+/// Observer and control hooks for a supervised sweep
+/// ([`Supervisor::run_with`]): an event sink fed from inside the
+/// scheduler loop, and a cooperative cancellation flag checked every tick.
+#[derive(Default)]
+pub struct SweepOptions {
+    /// Called synchronously for every [`FabricEvent`].
+    pub on_event: Option<EventSink>,
+    /// When set to `true`, the sweep stops dispatching, drains in-flight
+    /// units, and merges what it has — the shard directory stays
+    /// resumable.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
 /// What a supervised sweep did, end to end.
 #[derive(Debug, Default)]
 pub struct FabricReport {
@@ -222,6 +450,15 @@ pub struct FabricReport {
     pub workers_spawned: usize,
     /// Workers lost to crashes, stalls or protocol garbage.
     pub workers_lost: usize,
+    /// Lost TCP workers that reconnected under their old worker id and
+    /// rejoined the pool.
+    pub workers_rejoined: usize,
+    /// Units retired from a rejoining worker's replayed shard rows
+    /// instead of being re-run.
+    pub units_recovered: usize,
+    /// Whether the sweep was cancelled before finishing (partial results
+    /// merged; shard dir resumable).
+    pub cancelled: bool,
     /// Units abandoned after deterministic failure on ≥ 2 workers or
     /// attempt exhaustion, with the last error text.
     pub quarantined: Vec<(UnitSpec, String)>,
@@ -249,8 +486,10 @@ pub enum WorkerPool {
     /// Spawn `repro worker` child processes over stdio pipes, respawning
     /// replacements for lost ones.
     Spawn,
-    /// Adopt workers that connect to this listener (`repro serve`); lost
-    /// remote workers are not replaced — the pool only shrinks.
+    /// Adopt workers that connect to this listener (`repro serve`); the
+    /// supervisor keeps accepting for the whole sweep, so a lost remote
+    /// worker that reconnects under its old `--id` rejoins the pool and
+    /// replays its durable shard rows instead of re-running them.
     Tcp(TcpListener),
 }
 
@@ -299,6 +538,9 @@ struct Slot {
     busy: Option<u64>,
     /// Last message of any kind (stall detection).
     last_seen: Instant,
+    /// The stable worker id announced in Hello, if any (TCP session
+    /// resume: a reconnecting worker re-registers under the same id).
+    worker_id: Option<String>,
 }
 
 #[derive(Debug, Clone)]
@@ -336,6 +578,11 @@ pub struct Supervisor<'a> {
     can_respawn: bool,
     /// The chaos target parsed from `MBU_CHAOS_WORKER`, armed once.
     chaos_target: Option<(usize, String)>,
+    /// Event sink and cancellation flag.
+    opts: SweepOptions,
+    /// Late TCP connections (rejoining workers) arrive here from the
+    /// acceptor thread after the initial pool is adopted.
+    conn_rx: Option<mpsc::Receiver<TcpStream>>,
 }
 
 fn spawn_reader(
@@ -375,6 +622,36 @@ impl<'a> Supervisor<'a> {
         out_csv: &Path,
         pool: WorkerPool,
     ) -> Result<(ResultStore, FabricReport), FabricError> {
+        Self::run_with(
+            exp,
+            components,
+            config,
+            shard_dir,
+            out_csv,
+            pool,
+            SweepOptions::default(),
+        )
+    }
+
+    /// [`Supervisor::run`] with observer and control hooks: a live
+    /// [`FabricEvent`] sink and a cooperative cancellation flag. On
+    /// cancellation the sweep drains in-flight units (their rows become
+    /// durable), merges the partial coverage, and returns with
+    /// `report.cancelled == true` — the shard directory resumes exactly
+    /// where it stopped.
+    ///
+    /// # Errors
+    ///
+    /// As [`Supervisor::run`].
+    pub fn run_with(
+        exp: &'a Experiments,
+        components: &[HwComponent],
+        config: &'a FabricConfig,
+        shard_dir: &Path,
+        out_csv: &Path,
+        pool: WorkerPool,
+        opts: SweepOptions,
+    ) -> Result<(ResultStore, FabricReport), FabricError> {
         std::fs::create_dir_all(shard_dir)?;
         let (events_tx, events) = mpsc::channel();
         let mut sup = Supervisor {
@@ -391,6 +668,8 @@ impl<'a> Supervisor<'a> {
             report: FabricReport::default(),
             can_respawn: matches!(pool, WorkerPool::Spawn),
             chaos_target: crate::chaos::WorkerChaos::target_from_env(),
+            opts,
+            conn_rx: None,
         };
         // Golden fingerprints per workload: the freshness reference for
         // resume skipping, shard-row validation and the final merge.
@@ -404,27 +683,48 @@ impl<'a> Supervisor<'a> {
         }
         let existing = sup.load_existing(out_csv)?;
         sup.plan(components, &existing)?;
+        let campaigns = campaign_keys(exp, components).len();
         if sup.config.verbose {
             eprintln!(
-                "fabric: {} unit(s) planned across {} campaign(s), {} worker(s)",
-                sup.report.units_planned,
-                campaign_keys(exp, components).len(),
-                config.workers,
+                "fabric: {} unit(s) planned across {campaigns} campaign(s), {} worker(s)",
+                sup.report.units_planned, config.workers,
             );
         }
-        if !sup.pending.is_empty() {
+        sup.emit(FabricEvent::Planned {
+            units: sup.report.units_planned,
+            campaigns,
+        });
+        if sup.cancel_requested() {
+            // Cancelled before any dispatch: merge whatever the shard
+            // directory already holds and return.
+            sup.report.cancelled = true;
+            sup.emit(FabricEvent::Cancelled);
+        } else if !sup.pending.is_empty() {
             match pool {
                 WorkerPool::Spawn => {
                     for _ in 0..config.workers {
                         sup.spawn_worker()?;
                     }
                 }
-                WorkerPool::Tcp(listener) => sup.accept_workers(&listener)?,
+                WorkerPool::Tcp(listener) => sup.accept_workers(listener)?,
             }
             sup.schedule()?;
             sup.shutdown_workers();
         }
         sup.finish(components, existing, out_csv)
+    }
+
+    fn emit(&mut self, ev: FabricEvent) {
+        if let Some(f) = self.opts.on_event.as_mut() {
+            f(&ev);
+        }
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.opts
+            .cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
     /// Loads the final store, keeping only rows whose fingerprint matches
@@ -539,6 +839,7 @@ impl<'a> Supervisor<'a> {
             alive: true,
             busy: None,
             last_seen: Instant::now(),
+            worker_id: None,
         });
         self.report.workers_spawned += 1;
         if self.config.verbose {
@@ -547,28 +848,94 @@ impl<'a> Supervisor<'a> {
         Ok(())
     }
 
-    /// Accepts `workers` TCP connections as the worker pool.
-    fn accept_workers(&mut self, listener: &TcpListener) -> Result<(), FabricError> {
+    /// Accepts `workers` TCP connections as the initial worker pool, then
+    /// keeps the listener alive on an acceptor thread so lost workers can
+    /// reconnect and rejoin mid-sweep.
+    fn accept_workers(&mut self, listener: TcpListener) -> Result<(), FabricError> {
         eprintln!(
             "fabric: waiting for {} worker(s) on {}",
             self.config.workers,
             listener.local_addr()?
         );
+        let (tx, rx) = mpsc::channel();
+        let accept = listener.try_clone()?;
+        std::thread::spawn(move || {
+            // Runs for the life of the process; dies when accept fails or
+            // the supervisor drops the receiver.
+            while let Ok((stream, _)) = accept.accept() {
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+        });
+        drop(listener);
         for _ in 0..self.config.workers {
-            let (stream, peer) = listener.accept()?;
-            let index = self.slots.len();
-            spawn_reader(index, stream.try_clone()?, self.events_tx.clone());
-            self.slots.push(Slot {
-                link: Link::Remote(stream),
-                ready: false,
-                alive: true,
-                busy: None,
-                last_seen: Instant::now(),
-            });
-            self.report.workers_spawned += 1;
-            eprintln!("fabric: worker {index} connected from {peer}");
+            let stream = rx
+                .recv()
+                .map_err(|_| std::io::Error::other("TCP acceptor thread died"))?;
+            self.adopt_remote(stream)?;
         }
+        self.conn_rx = Some(rx);
         Ok(())
+    }
+
+    /// Adopts one remote TCP connection as a new worker slot.
+    fn adopt_remote(&mut self, stream: TcpStream) -> Result<(), FabricError> {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "?".into());
+        let index = self.slots.len();
+        spawn_reader(index, stream.try_clone()?, self.events_tx.clone());
+        self.slots.push(Slot {
+            link: Link::Remote(stream),
+            ready: false,
+            alive: true,
+            busy: None,
+            last_seen: Instant::now(),
+            worker_id: None,
+        });
+        self.report.workers_spawned += 1;
+        eprintln!("fabric: worker {index} connected from {peer}");
+        Ok(())
+    }
+
+    /// Adopts any TCP connections that arrived since the last tick
+    /// (reconnecting workers).
+    fn poll_new_connections(&mut self) -> Result<(), FabricError> {
+        let Some(rx) = self.conn_rx.take() else {
+            return Ok(());
+        };
+        while let Ok(stream) = rx.try_recv() {
+            self.adopt_remote(stream)?;
+        }
+        self.conn_rx = Some(rx);
+        Ok(())
+    }
+
+    /// Blocks (bounded by the stall timeout) for one reconnecting TCP
+    /// worker when the pool is otherwise exhausted. Returns whether a
+    /// connection was adopted.
+    fn await_reconnect(&mut self) -> Result<bool, FabricError> {
+        let Some(rx) = self.conn_rx.take() else {
+            return Ok(false);
+        };
+        eprintln!(
+            "fabric: all workers lost; waiting up to {:.1}s for a reconnect",
+            self.config.stall_timeout.as_secs_f64()
+        );
+        match rx.recv_timeout(self.config.stall_timeout) {
+            Ok(stream) => {
+                self.adopt_remote(stream)?;
+                self.conn_rx = Some(rx);
+                Ok(true)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.conn_rx = Some(rx);
+                Ok(false)
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(false),
+        }
     }
 
     /// Whether any unit is eligible now (vs. backing off).
@@ -639,6 +1006,10 @@ impl<'a> Supervisor<'a> {
         self.slots[slot].ready = false;
         self.slots[slot].link.kill();
         self.report.workers_lost += 1;
+        self.emit(FabricEvent::WorkerLost {
+            slot,
+            detail: detail.to_string(),
+        });
         if let Some(unit_id) = self.slots[slot].busy.take() {
             if let Some(flight) = self.in_flight.remove(&unit_id) {
                 let spec = flight.state.spec;
@@ -690,6 +1061,10 @@ impl<'a> Supervisor<'a> {
             if self.config.verbose {
                 eprintln!("fabric: quarantined {spec}: {why}");
             }
+            self.emit(FabricEvent::Quarantined {
+                unit: spec,
+                why: why.clone(),
+            });
             self.report.quarantined.push((spec, why));
             return;
         }
@@ -724,13 +1099,12 @@ impl<'a> Supervisor<'a> {
             return;
         };
         flight.stolen = true;
+        let worker = flight.worker;
         self.report.steals += 1;
         if self.config.verbose {
-            eprintln!(
-                "fabric: stealing tail {tail} from worker {} (unit {unit_id})",
-                flight.worker
-            );
+            eprintln!("fabric: stealing tail {tail} from worker {worker} (unit {unit_id})");
         }
+        self.emit(FabricEvent::TailStolen { unit: tail, worker });
         self.pending.push(UnitState {
             spec: tail,
             attempts: 0,
@@ -745,27 +1119,51 @@ impl<'a> Supervisor<'a> {
     fn schedule(&mut self) -> Result<(), FabricError> {
         let tick = Duration::from_millis(50);
         loop {
-            // Dispatch to every idle ready worker.
-            while let Some(slot) = self
-                .slots
-                .iter()
-                .position(|s| s.alive && s.ready && s.busy.is_none())
-            {
-                let Some(state) = self.next_pending() else {
-                    break;
-                };
-                self.assign(slot, state)?;
+            // Adopt any reconnecting TCP workers before dispatching.
+            self.poll_new_connections()?;
+            if self.cancel_requested() {
+                // Stop dispatching: drop queued units (their gaps stay in
+                // the merge's resume plan) and drain what's in flight so
+                // every started unit becomes a durable shard row.
+                if !self.report.cancelled {
+                    self.report.cancelled = true;
+                    self.emit(FabricEvent::Cancelled);
+                    if self.config.verbose {
+                        eprintln!(
+                            "fabric: cancellation requested; draining {} in-flight unit(s)",
+                            self.in_flight.len()
+                        );
+                    }
+                }
+                self.pending.clear();
+            } else {
+                // Dispatch to every idle ready worker.
+                while let Some(slot) = self
+                    .slots
+                    .iter()
+                    .position(|s| s.alive && s.ready && s.busy.is_none())
+                {
+                    let Some(state) = self.next_pending() else {
+                        break;
+                    };
+                    self.assign(slot, state)?;
+                }
             }
             if self.pending.is_empty() && self.in_flight.is_empty() {
                 return Ok(());
             }
             if !self.slots.iter().any(|s| s.alive) {
+                // A rejoining TCP worker can still save the sweep.
+                if self.await_reconnect()? {
+                    continue;
+                }
                 return Err(FabricError::WorkersExhausted {
                     pending: self.pending.len() + self.in_flight.len(),
                 });
             }
             // Opportunistic stealing: idle capacity + nothing pending.
             if self.config.steal
+                && !self.report.cancelled
                 && self.pending.is_empty()
                 && self
                     .slots
@@ -801,10 +1199,75 @@ impl<'a> Supervisor<'a> {
         }
         self.slots[slot].last_seen = Instant::now();
         match msg {
-            ToSupervisor::Hello { pid } => {
+            ToSupervisor::Hello { pid, worker_id } => {
                 self.slots[slot].ready = true;
+                let mut rejoined = false;
+                if let Some(id) = &worker_id {
+                    rejoined =
+                        self.slots.iter().enumerate().any(|(i, s)| {
+                            i != slot && !s.alive && s.worker_id.as_deref() == Some(id)
+                        });
+                    if rejoined {
+                        self.report.workers_rejoined += 1;
+                        self.report.anomalies.record(Anomaly {
+                            run_index: 0,
+                            run_seed: self.exp.seed,
+                            kind: AnomalyKind::WorkerRejoined,
+                            message: format!(
+                                "worker `{id}` reconnected as slot {slot}; durable shard \
+                                 rows will be recovered instead of re-run"
+                            ),
+                        });
+                    }
+                }
+                self.slots[slot].worker_id = worker_id;
                 if self.config.verbose {
-                    eprintln!("fabric: worker {slot} ready (pid {pid})");
+                    eprintln!(
+                        "fabric: worker {slot} ready (pid {pid}{})",
+                        if rejoined { ", rejoined" } else { "" }
+                    );
+                }
+                self.emit(FabricEvent::WorkerReady {
+                    slot,
+                    pid,
+                    rejoined,
+                });
+            }
+            ToSupervisor::Recovered { row } => {
+                // A reconnecting worker replayed a durable shard row. For
+                // remote workers the shard file is on another machine, so
+                // persist the replayed row supervisor-side.
+                if matches!(self.slots[slot].link, Link::Remote(_)) {
+                    ShardStore::append_row_with(
+                        &RealIo,
+                        &self.shard_dir.join("supervisor.csv"),
+                        &row,
+                    )?;
+                }
+                // If the row retires a still-pending unit (completed but
+                // never acknowledged before the worker died), take it off
+                // the queue instead of re-running it. An in-flight
+                // duplicate is left alone — the merge dedups rows.
+                let fresh = row.seed == self.exp.seed
+                    && self.expected.get(&row.unit.workload) == Some(&row.fingerprint);
+                if fresh {
+                    if let Some(i) = self.pending.iter().position(|u| u.spec == row.unit) {
+                        let state = self.pending.remove(i);
+                        self.report.units_recovered += 1;
+                        if self.config.verbose {
+                            eprintln!(
+                                "fabric: unit {} recovered from worker {slot}'s shard \
+                                 (completed before its previous session died)",
+                                state.spec
+                            );
+                        }
+                        self.emit(FabricEvent::UnitRecovered {
+                            unit: state.spec,
+                            worker: slot,
+                            completed: self.report.units_completed + self.report.units_recovered,
+                            planned: self.report.units_planned,
+                        });
+                    }
                 }
             }
             ToSupervisor::Heartbeat { unit_id, done } => {
@@ -820,7 +1283,7 @@ impl<'a> Supervisor<'a> {
                 if self.slots[slot].busy == Some(unit_id) {
                     self.slots[slot].busy = None;
                 }
-                if self.in_flight.remove(&unit_id).is_some() {
+                if let Some(flight) = self.in_flight.remove(&unit_id) {
                     self.report.units_completed += 1;
                     if self.config.verbose {
                         eprintln!(
@@ -829,6 +1292,14 @@ impl<'a> Supervisor<'a> {
                             row.counts.total()
                         );
                     }
+                    self.emit(FabricEvent::UnitDone {
+                        unit: flight.state.spec,
+                        worker: slot,
+                        runs: row.counts.total(),
+                        anomalies,
+                        completed: self.report.units_completed + self.report.units_recovered,
+                        planned: self.report.units_planned,
+                    });
                 }
                 // Remote workers' shard files are on another machine; the
                 // acknowledged row is persisted supervisor-side so the
@@ -855,6 +1326,11 @@ impl<'a> Supervisor<'a> {
                         message: format!(
                             "unit {spec} failed on worker {slot}: {error}; retry scheduled"
                         ),
+                    });
+                    self.emit(FabricEvent::UnitFailed {
+                        unit: spec,
+                        worker: slot,
+                        error: error.clone(),
                     });
                     self.retry(flight.state, Some(slot), &error);
                 }
@@ -941,6 +1417,17 @@ impl<'a> Supervisor<'a> {
         }
         store.save(out_csv)?;
         self.report.merge = merge_report;
+        let worst_margin = store
+            .iter()
+            .filter_map(|r| r.achieved_margin)
+            .fold(None, |acc: Option<f64>, m| {
+                Some(acc.map_or(m, |a| a.max(m)))
+            });
+        self.emit(FabricEvent::Merged {
+            campaigns: store.len(),
+            gaps: self.report.merge.gaps.len(),
+            worst_margin,
+        });
         Ok((store, self.report))
     }
 }

@@ -366,6 +366,10 @@ pub enum AnomalyKind {
     /// are missing from the merged store) instead of aborting or silently
     /// retrying forever.
     UnitQuarantined,
+    /// A TCP worker that had been declared lost reconnected with the same
+    /// worker id and rejoined the pool; units it had persisted but never
+    /// acknowledged were recovered from its shard store instead of re-run.
+    WorkerRejoined,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -379,6 +383,7 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::WorkerStall => f.write_str("worker-stall"),
             AnomalyKind::ProtocolGarbage => f.write_str("protocol-garbage"),
             AnomalyKind::UnitQuarantined => f.write_str("unit-quarantined"),
+            AnomalyKind::WorkerRejoined => f.write_str("worker-rejoined"),
         }
     }
 }

@@ -49,6 +49,7 @@ pub mod classify;
 pub mod error;
 pub mod fit;
 pub mod integrity;
+pub mod json;
 pub mod mask;
 pub mod paper;
 pub mod report;

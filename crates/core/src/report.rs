@@ -62,6 +62,24 @@ impl Table {
         }
         out
     }
+
+    /// Serializes the table as a JSON object
+    /// (`{"title": …, "headers": […], "rows": [[…], …]}`), for the HTTP
+    /// results API.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let headers = self.headers.iter().map(Json::str).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| Json::Arr(row.iter().map(Json::str).collect()))
+            .collect();
+        Json::Obj(vec![
+            ("title".into(), Json::str(&self.title)),
+            ("headers".into(), Json::Arr(headers)),
+            ("rows".into(), Json::Arr(rows)),
+        ])
+    }
 }
 
 impl fmt::Display for Table {

@@ -1,0 +1,291 @@
+//! The HTTP daemon: accepts connections and routes requests onto a
+//! [`JobManager`]. Thread-per-connection — the daemon is a control plane
+//! for a handful of clients, not a public web server.
+
+use crate::http::{ChunkedWriter, ReadError, Request, Response};
+use crate::jobs::{ApiError, JobManager, JobState};
+use mbu_gefin::json::Json;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long one event-stream poll blocks before emitting nothing and
+/// re-checking the connection.
+const EVENT_POLL: Duration = Duration::from_millis(250);
+
+/// Accepts and serves connections forever (until `accept` fails).
+///
+/// # Errors
+///
+/// The listener's terminal `accept` error.
+pub fn serve(listener: TcpListener, manager: Arc<JobManager>) -> std::io::Result<()> {
+    loop {
+        let (stream, _) = listener.accept()?;
+        let manager = Arc::clone(&manager);
+        std::thread::spawn(move || handle_connection(stream, &manager));
+    }
+}
+
+fn handle_connection(stream: TcpStream, manager: &Arc<JobManager>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let req = match Request::read(&mut reader) {
+        Ok(req) => req,
+        Err(ReadError::Eof) => return,
+        Err(ReadError::TooLarge) => {
+            let _ = Response::error(413, "request body too large").write(&mut writer);
+            return;
+        }
+        Err(ReadError::Malformed(m)) => {
+            let _ = Response::error(400, &format!("malformed request: {m}")).write(&mut writer);
+            return;
+        }
+        Err(ReadError::Io(_)) => return,
+    };
+    // Event streams write their own (chunked) response.
+    let segments = req.path_segments();
+    if req.method == "GET"
+        && segments.len() == 3
+        && segments[0] == "sweeps"
+        && segments[2] == "events"
+    {
+        stream_events(&req, segments[1], writer, manager);
+        return;
+    }
+    let response = route(&req, manager);
+    let _ = response.write(&mut writer);
+}
+
+fn api_error(e: &ApiError) -> Response {
+    Response::error(e.status, &e.message)
+}
+
+fn route(req: &Request, manager: &Arc<JobManager>) -> Response {
+    let segments = req.path_segments();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            Response::json(200, &Json::Obj(vec![("ok".into(), Json::Bool(true))]))
+        }
+        ("GET", ["sweeps"]) => Response::json(200, &manager.list()),
+        ("POST", ["sweeps"]) => {
+            let body = match std::str::from_utf8(&req.body)
+                .map_err(|_| "body is not UTF-8".to_string())
+                .and_then(|t| Json::parse(t).map_err(|e| e.to_string()))
+            {
+                Ok(v) => v,
+                Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+            };
+            match manager.submit(&body) {
+                Ok(id) => Response::json(
+                    201,
+                    &Json::Obj(vec![
+                        ("id".into(), Json::str(&id)),
+                        ("state".into(), Json::str("queued")),
+                    ]),
+                ),
+                Err(e) => api_error(&e),
+            }
+        }
+        ("GET", ["sweeps", id]) => match manager.status(id) {
+            Ok(status) => Response::json(200, &status),
+            Err(e) => api_error(&e),
+        },
+        ("POST", ["sweeps", id, "cancel"]) => match manager.cancel(id) {
+            Ok(state) => Response::json(
+                202,
+                &Json::Obj(vec![
+                    ("id".into(), Json::str(*id)),
+                    (
+                        "state".into(),
+                        Json::str(match state {
+                            JobState::Cancelled => "cancelled",
+                            _ => "cancelling",
+                        }),
+                    ),
+                ]),
+            ),
+            Err(e) => api_error(&e),
+        },
+        ("GET", ["sweeps", id, tail @ ..]) if !tail.is_empty() => {
+            match manager.artifact(id, tail, &req.query) {
+                Ok(artifact) => Response::bytes(200, &artifact.content_type, artifact.body),
+                Err(e) => api_error(&e),
+            }
+        }
+        (_, ["healthz"]) | (_, ["sweeps"]) | (_, ["sweeps", ..]) => {
+            Response::error(405, &format!("method {} not allowed here", req.method))
+        }
+        _ => Response::error(404, &format!("no route for {}", req.path)),
+    }
+}
+
+/// Streams `{id}`'s events as one JSON object per line, each line its own
+/// chunk, until the job reaches a terminal state (or the client leaves).
+fn stream_events(req: &Request, id: &str, writer: TcpStream, manager: &Arc<JobManager>) {
+    let mut writer = writer;
+    let mut seq = req
+        .query_param("from")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    // 404 before committing to a chunked response.
+    if let Err(e) = manager.status(id) {
+        let _ = api_error(&e).write(&mut writer);
+        return;
+    }
+    let Ok(mut out) = ChunkedWriter::new(&mut writer, 200, "application/x-ndjson") else {
+        return;
+    };
+    while let Ok((events, terminal)) = manager.events_after(id, seq, EVENT_POLL) {
+        for event in &events {
+            seq = seq.max(event.seq);
+            let mut line = event.to_json().encode();
+            line.push('\n');
+            if out.chunk(line.as_bytes()).is_err() {
+                // Client went away.
+                return;
+            }
+        }
+        if terminal && events.is_empty() {
+            break;
+        }
+    }
+    let _ = out.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http;
+    use crate::jobs::{Artifact, JobBackend, JobContext, JobOutcome, Submission};
+    use std::path::PathBuf;
+
+    struct EchoBackend;
+
+    impl JobBackend for EchoBackend {
+        fn validate(&self, body: &Json) -> Result<Submission, ApiError> {
+            if body.get("bad").is_some() {
+                return Err(ApiError::bad_request("bad field"));
+            }
+            Ok(Submission {
+                title: "echo".into(),
+                spec: body.clone(),
+            })
+        }
+
+        fn execute(&self, ctx: &JobContext) -> JobOutcome {
+            ctx.emit("tick", Json::u64(1));
+            JobOutcome::Done(ctx.spec.clone())
+        }
+
+        fn artifact(
+            &self,
+            ctx: &JobContext,
+            tail: &[&str],
+            _query: &[(String, String)],
+        ) -> Result<Artifact, ApiError> {
+            match tail {
+                ["store"] => Ok(Artifact {
+                    content_type: "text/csv".into(),
+                    body: ctx.spec.encode().into_bytes(),
+                }),
+                _ => Err(ApiError::not_found("no such artifact")),
+            }
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mbu-daemon-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn boot(tag: &str) -> (String, PathBuf) {
+        let dir = tmpdir(tag);
+        let manager = JobManager::new(&dir, Arc::new(EchoBackend), 2, 4).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let _ = serve(listener, manager);
+        });
+        (addr, dir)
+    }
+
+    #[test]
+    fn routes_health_submit_status_and_artifacts() {
+        let (addr, dir) = boot("routes");
+        let (status, body) = http::request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!((status, body.as_slice()), (200, &b"{\"ok\":true}"[..]));
+
+        let (status, body) =
+            http::request(&addr, "POST", "/sweeps", Some(b"{\"runs\":5}")).unwrap();
+        assert_eq!(status, 201);
+        let id = Json::parse(std::str::from_utf8(&body).unwrap())
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+
+        // Poll until terminal, then fetch the artifact.
+        for _ in 0..500 {
+            let (_, body) = http::request(&addr, "GET", &format!("/sweeps/{id}"), None).unwrap();
+            let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+            if v.get("outcome").is_some() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (status, body) =
+            http::request(&addr, "GET", &format!("/sweeps/{id}/store"), None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{\"runs\":5}");
+
+        // The event stream replays to terminal and closes.
+        let mut lines = Vec::new();
+        let status = http::request_stream(
+            &addr,
+            "GET",
+            &format!("/sweeps/{id}/events?from=0"),
+            |chunk| {
+                lines.push(String::from_utf8(chunk.to_vec()).unwrap());
+                true
+            },
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let joined = lines.concat();
+        assert!(joined.contains("\"kind\":\"tick\""), "stream: {joined}");
+        assert!(joined.contains("\"kind\":\"state\""), "stream: {joined}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn structured_errors_not_connection_drops() {
+        let (addr, dir) = boot("errors");
+        let cases = [
+            ("GET", "/nope", None, 404),
+            ("DELETE", "/sweeps", None, 405),
+            ("POST", "/sweeps", Some(&b"not json"[..]), 400),
+            ("POST", "/sweeps", Some(&b"{\"bad\":1}"[..]), 400),
+            ("GET", "/sweeps/j9999", None, 404),
+            ("POST", "/sweeps/j9999/cancel", None, 404),
+            ("GET", "/sweeps/j9999/store", None, 404),
+        ];
+        for (method, path, body, want) in cases {
+            let (status, body) = http::request(&addr, method, path, body).unwrap();
+            assert_eq!(status, want, "{method} {path}");
+            let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+            assert!(
+                v.get("error").is_some(),
+                "{method} {path} body not structured"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,500 @@
+//! A minimal hand-rolled HTTP/1.1 implementation.
+//!
+//! Server side: request parsing ([`Request::read`]), fixed-body responses
+//! ([`Response`]) and chunked event streams ([`ChunkedWriter`]). Client
+//! side: [`request`] and [`request_stream`] for the `repro`
+//! submit/status/fetch verbs and the integration tests. Every connection
+//! is request → response → close (`Connection: close`): the daemon is a
+//! low-rate control plane, not a web server, and one-shot connections keep
+//! the state machine trivial.
+
+use mbu_gefin::json::Json;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on request bodies and response bodies read by the client.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request line.
+    Eof,
+    /// The request body exceeded [`MAX_BODY`].
+    TooLarge,
+    /// The bytes were not parseable HTTP/1.1.
+    Malformed(String),
+    /// Transport failure.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path, query string stripped (`/sweeps/j0001`).
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads one request from the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::Eof`] on a cleanly closed idle connection, otherwise
+    /// the defect that stopped parsing.
+    pub fn read(stream: &mut impl BufRead) -> Result<Request, ReadError> {
+        let mut line = String::new();
+        if stream.read_line(&mut line)? == 0 {
+            return Err(ReadError::Eof);
+        }
+        let line = line.trim_end();
+        let mut parts = line.split(' ');
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+            _ => return Err(ReadError::Malformed(format!("bad request line `{line}`"))),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(ReadError::Malformed(format!("bad version `{version}`")));
+        }
+        let (path, query_str) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let query = query_str
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (kv.to_string(), String::new()),
+            })
+            .collect();
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            if stream.read_line(&mut line)? == 0 {
+                return Err(ReadError::Malformed("eof inside headers".into()));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ReadError::Malformed(format!("bad header `{line}`")));
+            };
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let len = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| {
+                v.parse::<usize>()
+                    .map_err(|_| ReadError::Malformed(format!("bad content-length `{v}`")))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        if len > MAX_BODY {
+            return Err(ReadError::TooLarge);
+        }
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body)?;
+        Ok(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query,
+            headers,
+            body,
+        })
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Non-empty path segments (`/sweeps/j1/events` → `["sweeps", "j1",
+    /// "events"]`).
+    pub fn path_segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// First query parameter with this name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// One fixed-body HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: String,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json".into(),
+            body: value.encode().into_bytes(),
+        }
+    }
+
+    /// A structured JSON error (`{"error": message}`) — the service never
+    /// drops connections on bad input.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            &Json::Obj(vec![("error".into(), Json::str(message))]),
+        )
+    }
+
+    /// A raw-bytes response with an explicit content type.
+    pub fn bytes(status: u16, content_type: &str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: content_type.into(),
+            body,
+        }
+    }
+
+    /// Writes the response (with `Content-Length` and `Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn write(&self, stream: &mut impl Write) -> io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// A chunked (`Transfer-Encoding: chunked`) response writer for live event
+/// streams: each [`ChunkedWriter::chunk`] is flushed immediately so a
+/// polling client sees events as they happen.
+pub struct ChunkedWriter<W: Write> {
+    stream: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head and returns the chunk writer.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn new(mut stream: W, status: u16, content_type: &str) -> io::Result<Self> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            reason(status),
+        )?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one chunk and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (typically: the client went away).
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            // An empty chunk would terminate the stream.
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Writes the terminating zero chunk.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Reads a chunked body from `stream` until the zero chunk, feeding each
+/// chunk to `on_chunk`; returning `false` from the callback stops early.
+///
+/// # Errors
+///
+/// Malformed chunk framing or transport failures.
+pub fn read_chunked(
+    stream: &mut impl BufRead,
+    mut on_chunk: impl FnMut(&[u8]) -> bool,
+) -> io::Result<()> {
+    loop {
+        let mut line = String::new();
+        if stream.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "eof inside chunked body",
+            ));
+        }
+        let len = usize::from_str_radix(line.trim_end(), 16)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+        let mut chunk = vec![0u8; len + 2];
+        stream.read_exact(&mut chunk)?;
+        if chunk[len..] != *b"\r\n" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad chunk terminator",
+            ));
+        }
+        if len == 0 {
+            return Ok(());
+        }
+        chunk.truncate(len);
+        if !on_chunk(&chunk) {
+            return Ok(());
+        }
+    }
+}
+
+fn read_response_head(reader: &mut impl BufRead) -> io::Result<(u16, Vec<(String, String)>)> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "empty response",
+        ));
+    }
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "eof inside response headers",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((n, v)) = line.split_once(':') {
+            headers.push((n.to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    Ok((status, headers))
+}
+
+fn send_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<BufReader<TcpStream>> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or(&[]);
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    Ok(BufReader::new(stream))
+}
+
+/// A one-shot HTTP client request; returns `(status, body)`.
+///
+/// # Errors
+///
+/// Connection, transport or framing failures. Non-2xx statuses are *not*
+/// errors — the caller inspects the status.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<(u16, Vec<u8>)> {
+    let mut reader = send_request(addr, method, path, body)?;
+    let (status, headers) = read_response_head(&mut reader)?;
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut out = Vec::new();
+    if chunked {
+        read_chunked(&mut reader, |c| {
+            out.extend_from_slice(c);
+            true
+        })?;
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        if len > MAX_BODY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response too large",
+            ));
+        }
+        out = vec![0u8; len];
+        reader.read_exact(&mut out)?;
+    } else {
+        reader.read_to_end(&mut out)?;
+    }
+    Ok((status, out))
+}
+
+/// A streaming client request: each chunk of a chunked response is passed
+/// to `on_chunk` as it arrives (return `false` to stop). Returns the
+/// status code.
+///
+/// # Errors
+///
+/// Connection, transport or framing failures.
+pub fn request_stream(
+    addr: &str,
+    method: &str,
+    path: &str,
+    on_chunk: impl FnMut(&[u8]) -> bool,
+) -> io::Result<u16> {
+    let mut reader = send_request(addr, method, path, None)?;
+    let (status, headers) = read_response_head(&mut reader)?;
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    if chunked {
+        read_chunked(&mut reader, on_chunk)?;
+    }
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_request_with_query_and_body() {
+        let raw = b"POST /sweeps/j1/events?from=3&x HTTP/1.1\r\n\
+                    Host: test\r\nContent-Length: 4\r\n\r\nbody";
+        let req = Request::read(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sweeps/j1/events");
+        assert_eq!(req.path_segments(), vec!["sweeps", "j1", "events"]);
+        assert_eq!(req.query_param("from"), Some("3"));
+        assert_eq!(req.query_param("x"), Some(""));
+        assert_eq!(req.header("HOST"), Some("test"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized_requests() {
+        let eof = Request::read(&mut Cursor::new(&b""[..]));
+        assert!(matches!(eof, Err(ReadError::Eof)));
+        let bad = Request::read(&mut Cursor::new(&b"NONSENSE\r\n\r\n"[..]));
+        assert!(matches!(bad, Err(ReadError::Malformed(_))));
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let too_large = Request::read(&mut Cursor::new(big.as_bytes()));
+        assert!(matches!(too_large, Err(ReadError::TooLarge)));
+    }
+
+    #[test]
+    fn response_has_length_and_close() {
+        let mut out = Vec::new();
+        Response::error(429, "queue full").write(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Connection: close"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+
+    #[test]
+    fn chunked_roundtrip() {
+        let mut wire = Vec::new();
+        {
+            let mut w = ChunkedWriter::new(&mut wire, 200, "application/json").unwrap();
+            w.chunk(b"{\"a\":1}\n").unwrap();
+            w.chunk(b"").unwrap();
+            w.chunk(b"{\"b\":2}\n").unwrap();
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(wire.clone()).unwrap();
+        let body_at = text.find("\r\n\r\n").unwrap() + 4;
+        let mut got = Vec::new();
+        read_chunked(&mut Cursor::new(&wire[body_at..]), |c| {
+            got.push(String::from_utf8(c.to_vec()).unwrap());
+            true
+        })
+        .unwrap();
+        assert_eq!(got, vec!["{\"a\":1}\n", "{\"b\":2}\n"]);
+    }
+
+    #[test]
+    fn chunked_reader_rejects_bad_framing() {
+        let err = read_chunked(&mut Cursor::new(&b"zz\r\n"[..]), |_| true);
+        assert!(err.is_err());
+        let err = read_chunked(&mut Cursor::new(&b"2\r\nabXX"[..]), |_| true);
+        assert!(err.is_err());
+    }
+}
