@@ -40,6 +40,11 @@
 //!   fetch            client: download a finished job's merged CSV
 //!                    (--to <addr>, id positional, --out <path>)
 //!   cancel           client: cancel a queued or running job
+//!   chaos-http       client: fire the MBU_CHAOS_HTTP fault family
+//!                    (slow-loris, torn bodies, mid-stream disconnects,
+//!                    header floods) at a daemon (--to <addr>) and verify
+//!                    every fault gets a typed response and the acceptor
+//!                    stays healthy; non-zero exit otherwise
 //!   snapbench        campaign wall-clock with the snapshot fast path off
 //!                    vs on, per component (BENCH_snapshot.json), then a
 //!                    3-component sweep with the golden-artifact cache off
@@ -58,7 +63,13 @@
 //!                    classifications stay bit-identical
 //!
 //! Service knobs (daemon): MBU_HTTP_MAX_JOBS (concurrent sweeps, default
-//! 2), MBU_HTTP_QUEUE (queued submissions before 429, default 8).
+//! 2), MBU_HTTP_QUEUE (queued submissions before 429, default 8),
+//! MBU_HTTP_CONN_MAX (connection cap before load-shedding 503s, default
+//! 64), MBU_HTTP_TIMEOUT_SECS (per-connection read/write deadline,
+//! default 30), MBU_DRAIN_TIMEOUT_SECS (graceful-drain budget on
+//! SIGTERM, default 60), MBU_MEM_BUDGET_MB (shared snapshot-memory
+//! budget split across running jobs), MBU_RETAIN_JOBS (terminal jobs
+//! whose shard dirs survive retention GC).
 //!
 //! environment: MBU_RUNS, MBU_SEED, MBU_THREADS, MBU_WORKLOADS,
 //! MBU_ADAPTIVE_MARGIN (adaptive early stopping), MBU_DEADLINE_SECS
@@ -67,7 +78,10 @@
 //! MBU_GOLDEN_CACHE (sweep-wide golden-artifact cache, default on).
 //! Fabric knobs (sweep/serve/worker): MBU_WORKERS, MBU_UNIT_RUNS,
 //! MBU_HEARTBEAT_MS, MBU_STALL_SECS, MBU_UNIT_DEADLINE_SECS,
-//! MBU_UNIT_RETRIES, MBU_STEAL. Invalid values are rejected with a typed
+//! MBU_UNIT_RETRIES, MBU_STEAL, MBU_DISK_WATERMARK_MB (pause assignment
+//! under this much free disk), MBU_BREAKER_TRIP / MBU_BREAKER_COOLDOWN_MS
+//! (worker-respawn circuit breaker), MBU_RETRY_BUDGET (per-sweep retry
+//! ceiling, typed exhaustion). Invalid values are rejected with a typed
 //! error, never silently defaulted.
 //! ```
 
@@ -229,6 +243,7 @@ fn usage() {
          \x20      repro status --to <addr> <id> [--follow]    job status / live event stream\n\
          \x20      repro fetch --to <addr> <id> --out <path>   download the merged CSV\n\
          \x20      repro cancel --to <addr> <id>               cancel a queued/running job\n\
+         \x20      repro chaos-http --to <addr>                fire HTTP faults at a daemon, verify typed replies\n\
          \x20      repro snapbench [--workload w]        snapshot off/on wall-clock -> BENCH_snapshot.json,\n\
          \x20                                            golden-cache off/on sweep -> BENCH_sweep.json\n\
          env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS,\n\
@@ -236,7 +251,11 @@ fn usage() {
          \x20      MBU_SNAPSHOT_INTERVAL, MBU_SNAPSHOT_MEM_MB, MBU_GOLDEN_CACHE,\n\
          \x20      MBU_WORKERS, MBU_UNIT_RUNS, MBU_HEARTBEAT_MS, MBU_STALL_SECS,\n\
          \x20      MBU_UNIT_DEADLINE_SECS, MBU_UNIT_RETRIES, MBU_STEAL,\n\
-         \x20      MBU_HTTP_MAX_JOBS, MBU_HTTP_QUEUE (daemon)"
+         \x20      MBU_DISK_WATERMARK_MB, MBU_BREAKER_TRIP, MBU_BREAKER_COOLDOWN_MS,\n\
+         \x20      MBU_RETRY_BUDGET (fabric governor),\n\
+         \x20      MBU_HTTP_MAX_JOBS, MBU_HTTP_QUEUE, MBU_HTTP_CONN_MAX,\n\
+         \x20      MBU_HTTP_TIMEOUT_SECS, MBU_DRAIN_TIMEOUT_SECS,\n\
+         \x20      MBU_MEM_BUDGET_MB, MBU_RETAIN_JOBS (daemon)"
     );
 }
 
@@ -470,22 +489,56 @@ fn client_target(opts: &Options, verb: &str) -> Result<(String, String), String>
 }
 
 /// Streams the job's live events to stderr until it reaches a terminal
-/// state.
+/// state. A dropped connection (daemon restarting, network blip) is not
+/// fatal: the stream reconnects and resumes from the last event sequence
+/// number actually received, so nothing is lost or replayed.
 fn follow_events(addr: &str, id: &str) -> Result<(), String> {
-    let status = mbu_serve::http::request_stream(
-        addr,
-        "GET",
-        &format!("/sweeps/{id}/events?from=0"),
-        |chunk| {
-            eprint!("{}", String::from_utf8_lossy(chunk));
-            true
-        },
-    )
-    .map_err(|err| format!("event stream from {addr}: {err}"))?;
-    if status != 200 {
-        return Err(format!("event stream failed ({status})"));
+    let mut from: u64 = 0;
+    let mut failures: u64 = 0;
+    loop {
+        let before = from;
+        let mut tail = String::new();
+        let result = mbu_serve::http::request_stream(
+            addr,
+            "GET",
+            &format!("/sweeps/{id}/events?from={from}"),
+            |chunk| {
+                eprint!("{}", String::from_utf8_lossy(chunk));
+                // Track the last *complete* event line's seq so a
+                // reconnect resumes exactly after it.
+                tail.push_str(&String::from_utf8_lossy(chunk));
+                while let Some(pos) = tail.find('\n') {
+                    let line: String = tail.drain(..=pos).collect();
+                    if let Ok(ev) = Json::parse(line.trim()) {
+                        if let Some(seq) = ev.get("seq").and_then(Json::as_u64) {
+                            from = from.max(seq);
+                        }
+                    }
+                }
+                true
+            },
+        );
+        match result {
+            // The daemon closes the stream once the job is terminal.
+            Ok(200) => return Ok(()),
+            Ok(status) => return Err(format!("event stream failed ({status})")),
+            Err(err) => {
+                if from > before {
+                    // Progress was made before the drop; the outage streak
+                    // starts over.
+                    failures = 0;
+                }
+                failures += 1;
+                if failures > 5 {
+                    return Err(format!(
+                        "event stream from {addr}: {err} (gave up after {failures} attempts)"
+                    ));
+                }
+                eprintln!("repro: event stream dropped ({err}); resuming from seq {from}");
+                std::thread::sleep(std::time::Duration::from_millis(200 * failures));
+            }
+        }
     }
-    Ok(())
 }
 
 fn run(opts: &Options) -> Result<(), String> {
@@ -802,6 +855,70 @@ fn run(opts: &Options) -> Result<(), String> {
             }
             std::fs::write(&opts.out, &body).map_err(|err| err.to_string())?;
             eprintln!("saved {} byte(s) to {}", body.len(), opts.out.display());
+        }
+        "chaos-http" => {
+            use mbu_bench::chaos::{HttpFault, HttpFaultOutcome};
+            let addr = opts.to.clone().ok_or("chaos-http needs --to <addr>")?;
+            let faults = {
+                let from_env = HttpFault::from_env();
+                if from_env.is_empty() {
+                    HttpFault::all().to_vec()
+                } else {
+                    from_env
+                }
+            };
+            // The client must outwait the server's I/O budget to observe a
+            // slow-loris 408; both sides read the same environment.
+            let patience = mbu_bench::ServeConfig::from_env()
+                .map_err(|err| err.to_string())?
+                .io_budget
+                + std::time::Duration::from_secs(5);
+            let mut failed = 0usize;
+            for fault in faults {
+                let verdict = match fault.fire(&addr, patience) {
+                    Ok(outcome) => {
+                        let expected = matches!(
+                            (fault, outcome),
+                            (HttpFault::SlowLoris, HttpFaultOutcome::Status(408))
+                                | (HttpFault::TornBody, HttpFaultOutcome::Status(400))
+                                | (HttpFault::MidStreamDisconnect, HttpFaultOutcome::Closed)
+                                | (HttpFault::HeaderFlood, HttpFaultOutcome::Status(431))
+                        );
+                        eprintln!(
+                            "chaos-http: {} -> {outcome:?}{}",
+                            fault.kind(),
+                            if expected { "" } else { " (UNEXPECTED)" }
+                        );
+                        expected
+                    }
+                    Err(err) => {
+                        eprintln!("chaos-http: {} -> error: {err}", fault.kind());
+                        false
+                    }
+                };
+                if !verdict {
+                    failed += 1;
+                }
+                // Whatever the fault did, the acceptor must still answer.
+                match mbu_serve::http::request(&addr, "GET", "/healthz", None) {
+                    Ok((200, _)) => {}
+                    Ok((status, _)) => {
+                        eprintln!(
+                            "chaos-http: healthz degraded after {} ({status})",
+                            fault.kind()
+                        );
+                        failed += 1;
+                    }
+                    Err(err) => {
+                        eprintln!("chaos-http: daemon wedged after {} ({err})", fault.kind());
+                        failed += 1;
+                    }
+                }
+            }
+            if failed > 0 {
+                return Err(format!("chaos-http: {failed} check(s) failed"));
+            }
+            eprintln!("chaos-http: every fault answered typed; acceptor healthy");
         }
         "cancel" => {
             let (addr, id) = client_target(opts, "cancel")?;

@@ -331,6 +331,169 @@ impl WorkerChaos {
     }
 }
 
+/// A scripted misbehaving HTTP client for chaos-proofing the injection
+/// service's acceptor. Each fault is fired *at* a live daemon from the
+/// outside ([`HttpFault::fire`]); the contract under test is that every
+/// one yields a typed 4xx/timeout response or a clean close — never a
+/// wedged acceptor thread, a leaked connection slot, or corrupted job
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpFault {
+    /// Open a connection, send a few bytes of request line, then go
+    /// silent while holding the socket open — the classic slow-loris.
+    /// Expected: a typed 408 once the server's I/O budget expires.
+    SlowLoris,
+    /// Send headers promising a `Content-Length` body, write only part of
+    /// it, then half-close. Expected: a typed 400 for the truncated body.
+    TornBody,
+    /// Disconnect abruptly mid-request-line. Expected: a clean close
+    /// server-side (nothing to respond to) and a healthy acceptor after.
+    MidStreamDisconnect,
+    /// Send an unbounded stream of headers. Expected: a typed 431 once
+    /// the server's header cap is hit.
+    HeaderFlood,
+}
+
+/// What the server observably did in response to an [`HttpFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpFaultOutcome {
+    /// The server answered with an HTTP status line — a typed response.
+    Status(u16),
+    /// The server closed the connection without a response (the correct
+    /// answer to a client that vanished mid-request).
+    Closed,
+}
+
+/// The env var naming HTTP faults to fire: a comma-separated list of
+/// kebab specs (`slow-loris,header-flood`) or `all`.
+pub const CHAOS_HTTP_ENV: &str = "MBU_CHAOS_HTTP";
+
+impl HttpFault {
+    /// Every fault in the family, in firing order.
+    pub fn all() -> [HttpFault; 4] {
+        [
+            HttpFault::SlowLoris,
+            HttpFault::TornBody,
+            HttpFault::MidStreamDisconnect,
+            HttpFault::HeaderFlood,
+        ]
+    }
+
+    /// The fault's kebab-case spec name.
+    pub fn kind(self) -> &'static str {
+        match self {
+            HttpFault::SlowLoris => "slow-loris",
+            HttpFault::TornBody => "torn-body",
+            HttpFault::MidStreamDisconnect => "mid-stream-disconnect",
+            HttpFault::HeaderFlood => "header-flood",
+        }
+    }
+
+    /// Parses one kebab spec.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown kinds.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "slow-loris" => Ok(HttpFault::SlowLoris),
+            "torn-body" => Ok(HttpFault::TornBody),
+            "mid-stream-disconnect" => Ok(HttpFault::MidStreamDisconnect),
+            "header-flood" => Ok(HttpFault::HeaderFlood),
+            other => Err(format!("unknown HTTP fault `{other}`")),
+        }
+    }
+
+    /// Builds the firing list from [`CHAOS_HTTP_ENV`] (empty when unset;
+    /// `all` expands to the whole family).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec — a typo'd fault silently not firing
+    /// would pass the test it was meant to arm.
+    pub fn from_env() -> Vec<HttpFault> {
+        match std::env::var(CHAOS_HTTP_ENV) {
+            Ok(v) if v.trim() == "all" => HttpFault::all().to_vec(),
+            Ok(v) => v
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| match HttpFault::parse(s) {
+                    Ok(f) => f,
+                    Err(e) => panic!("{CHAOS_HTTP_ENV}: {e}"),
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Fires this fault at `addr` and reports what the server did. The
+    /// client waits up to `patience` for a response — set it comfortably
+    /// above the server's I/O budget so a slow-loris 408 is observed
+    /// rather than raced.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from connecting or reading (a *connect* failure means
+    /// the acceptor is wedged — exactly what the chaos tests fail on).
+    pub fn fire(self, addr: &str, patience: Duration) -> io::Result<HttpFaultOutcome> {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(patience))?;
+        match self {
+            HttpFault::SlowLoris => {
+                stream.write_all(b"GET /healthz HT")?;
+                // Hold the socket open and silent; the server's deadline
+                // must fire, not ours.
+            }
+            HttpFault::TornBody => {
+                stream.write_all(
+                    b"POST /sweeps HTTP/1.1\r\nContent-Type: application/json\r\n\
+                      Content-Length: 512\r\n\r\n{\"runs\": 8",
+                )?;
+                // Half-close: the body can never complete, but the read
+                // side stays open for the server's verdict.
+                stream.shutdown(std::net::Shutdown::Write)?;
+            }
+            HttpFault::MidStreamDisconnect => {
+                stream.write_all(b"POST /sweeps HTTP/1.1\r\nContent-")?;
+                stream.shutdown(std::net::Shutdown::Both)?;
+                return Ok(HttpFaultOutcome::Closed);
+            }
+            HttpFault::HeaderFlood => {
+                stream.write_all(b"GET /healthz HTTP/1.1\r\n")?;
+                // Keep flooding until the server gives up on us; write
+                // errors (reset after the 431) end the flood, not the test.
+                for i in 0..10_000 {
+                    let header = format!("X-Flood-{i}: {}\r\n", "a".repeat(64));
+                    if stream.write_all(header.as_bytes()).is_err() {
+                        break;
+                    }
+                }
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+            }
+        }
+        let mut reply = Vec::new();
+        match stream.read_to_end(&mut reply) {
+            Ok(_) => {}
+            // A reset instead of EOF still counts as a close if nothing
+            // was received; with bytes in hand, parse what we got.
+            Err(_) if reply.is_empty() => return Ok(HttpFaultOutcome::Closed),
+            Err(_) => {}
+        }
+        if reply.is_empty() {
+            return Ok(HttpFaultOutcome::Closed);
+        }
+        let text = String::from_utf8_lossy(&reply);
+        let status = text
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|rest| rest.get(..3))
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| io::Error::other(format!("unparseable reply: {text:.60}")))?;
+        Ok(HttpFaultOutcome::Status(status))
+    }
+}
+
 /// Truncates the file to its first `keep` bytes — a crash that tore the
 /// tail off a checkpoint.
 ///
@@ -448,6 +611,24 @@ mod tests {
         assert!(WorkerFault::parse("kill-mid-unit").is_err());
         assert!(WorkerFault::parse("kill-mid-unit:x").is_err());
         assert!(WorkerFault::parse("segfault").is_err());
+    }
+
+    #[test]
+    fn http_fault_specs_parse() {
+        for fault in HttpFault::all() {
+            assert_eq!(HttpFault::parse(fault.kind()), Ok(fault));
+        }
+        assert!(HttpFault::parse("teardrop").is_err());
+        std::env::remove_var(CHAOS_HTTP_ENV);
+        assert!(HttpFault::from_env().is_empty());
+        std::env::set_var(CHAOS_HTTP_ENV, "slow-loris, header-flood");
+        assert_eq!(
+            HttpFault::from_env(),
+            vec![HttpFault::SlowLoris, HttpFault::HeaderFlood]
+        );
+        std::env::set_var(CHAOS_HTTP_ENV, "all");
+        assert_eq!(HttpFault::from_env(), HttpFault::all().to_vec());
+        std::env::remove_var(CHAOS_HTTP_ENV);
     }
 
     #[test]

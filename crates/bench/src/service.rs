@@ -15,11 +15,14 @@ use crate::supervisor::{FabricConfig, FabricEvent, Supervisor, SweepOptions, Wor
 use crate::ResultStore;
 use mbu_cpu::HwComponent;
 use mbu_gefin::json::Json;
-use mbu_serve::{ApiError, Artifact, JobBackend, JobContext, JobManager, JobOutcome, Submission};
+use mbu_serve::{
+    ApiError, Artifact, JobBackend, JobContext, JobManager, JobOutcome, ServeOptions, Submission,
+};
 use mbu_workloads::Workload;
-use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Service-level knobs, environment-driven like every other `MBU_*`
 /// setting and rejected through the same typed [`ConfigError`].
@@ -30,6 +33,24 @@ pub struct ServeConfig {
     /// Accepted-but-waiting submissions before `429` (`MBU_HTTP_QUEUE`,
     /// default 8).
     pub queue: usize,
+    /// Simultaneous HTTP connections before load-shedding 503s
+    /// (`MBU_HTTP_CONN_MAX`, default 64, must be ≥ 1).
+    pub conn_max: usize,
+    /// Per-connection read/write deadline (`MBU_HTTP_TIMEOUT_SECS`,
+    /// default 30 s) — the slow-loris budget.
+    pub io_budget: Duration,
+    /// How long a SIGTERM'd daemon waits for in-flight sweeps to park as
+    /// drained before giving up (`MBU_DRAIN_TIMEOUT_SECS`, default 60 s).
+    pub drain_timeout: Duration,
+    /// Shared snapshot-memory budget in MiB, divided across concurrently
+    /// running jobs (`MBU_MEM_BUDGET_MB`, default none = each job keeps
+    /// its own `MBU_SNAPSHOT_MEM_MB`).
+    pub mem_budget_mb: Option<u64>,
+    /// Terminal jobs whose `shards/` directories are retained; older ones
+    /// are garbage-collected (`MBU_RETAIN_JOBS`, default none = keep all).
+    /// Merged results and job records are never GC'd — only the shard
+    /// files already folded into `measured.csv`.
+    pub retain_jobs: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -37,12 +58,19 @@ impl Default for ServeConfig {
         ServeConfig {
             max_jobs: 2,
             queue: 8,
+            conn_max: 64,
+            io_budget: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(60),
+            mem_budget_mb: None,
+            retain_jobs: None,
         }
     }
 }
 
 impl ServeConfig {
-    /// Reads `MBU_HTTP_MAX_JOBS` / `MBU_HTTP_QUEUE`.
+    /// Reads `MBU_HTTP_MAX_JOBS`, `MBU_HTTP_QUEUE`, `MBU_HTTP_CONN_MAX`,
+    /// `MBU_HTTP_TIMEOUT_SECS`, `MBU_DRAIN_TIMEOUT_SECS`,
+    /// `MBU_MEM_BUDGET_MB` and `MBU_RETAIN_JOBS`.
     ///
     /// # Errors
     ///
@@ -61,6 +89,40 @@ impl ServeConfig {
         }
         if let Some(v) = env_value("MBU_HTTP_QUEUE")? {
             cfg.queue = parse_env("MBU_HTTP_QUEUE", &v, "must be an integer")?;
+        }
+        if let Some(v) = env_value("MBU_HTTP_CONN_MAX")? {
+            cfg.conn_max = parse_env("MBU_HTTP_CONN_MAX", &v, "must be a positive integer")?;
+            if cfg.conn_max == 0 {
+                return Err(ConfigError::Invalid {
+                    var: "MBU_HTTP_CONN_MAX",
+                    value: v,
+                    expected: "must be a positive integer",
+                });
+            }
+        }
+        if let Some(v) = env_value("MBU_HTTP_TIMEOUT_SECS")? {
+            cfg.io_budget = Duration::from_secs(parse_env(
+                "MBU_HTTP_TIMEOUT_SECS",
+                &v,
+                "must be an integer",
+            )?);
+        }
+        if let Some(v) = env_value("MBU_DRAIN_TIMEOUT_SECS")? {
+            cfg.drain_timeout = Duration::from_secs(parse_env(
+                "MBU_DRAIN_TIMEOUT_SECS",
+                &v,
+                "must be an integer",
+            )?);
+        }
+        if let Some(v) = env_value("MBU_MEM_BUDGET_MB")? {
+            cfg.mem_budget_mb = Some(parse_env(
+                "MBU_MEM_BUDGET_MB",
+                &v,
+                "must be an integer (MiB)",
+            )?);
+        }
+        if let Some(v) = env_value("MBU_RETAIN_JOBS")? {
+            cfg.retain_jobs = Some(parse_env("MBU_RETAIN_JOBS", &v, "must be an integer")?);
         }
         Ok(cfg)
     }
@@ -87,6 +149,9 @@ pub struct SweepBackend {
     /// Fabric knobs; `workers` is the *total* pool, divided fairly across
     /// concurrently running jobs.
     pub fabric: FabricConfig,
+    /// Shared snapshot-memory budget in MiB; divided across running jobs,
+    /// never raising a job's own tighter `MBU_SNAPSHOT_MEM_MB`.
+    pub mem_budget_mb: Option<u64>,
     active: AtomicUsize,
 }
 
@@ -96,8 +161,16 @@ impl SweepBackend {
         SweepBackend {
             base,
             fabric,
+            mem_budget_mb: None,
             active: AtomicUsize::new(0),
         }
+    }
+
+    /// Sets the shared snapshot-memory budget (see [`ServeConfig`]).
+    #[must_use]
+    pub fn with_mem_budget(mut self, budget: Option<u64>) -> SweepBackend {
+        self.mem_budget_mb = budget;
+        self
     }
 
     /// Rebuilds the experiment configuration from a canonical spec.
@@ -304,7 +377,7 @@ impl JobBackend for SweepBackend {
     }
 
     fn execute(&self, ctx: &JobContext) -> JobOutcome {
-        let (exp, components) = match self.exp_from_spec(&ctx.spec) {
+        let (mut exp, components) = match self.exp_from_spec(&ctx.spec) {
             Ok(parsed) => parsed,
             Err(e) => return JobOutcome::Failed(e.message),
         };
@@ -314,9 +387,35 @@ impl JobBackend for SweepBackend {
         let _guard = ActiveGuard(&self.active);
         let mut fabric = self.fabric.clone();
         fabric.workers = (self.fabric.workers / active).max(1);
+        // Shared memory budget: each running job gets an equal share, and
+        // a job's own tighter MBU_SNAPSHOT_MEM_MB is never raised.
+        if let Some(budget) = self.mem_budget_mb {
+            let share = (budget / active as u64).max(1);
+            exp.snapshot_mem_mb = Some(exp.snapshot_mem_mb.map_or(share, |m| m.min(share)));
+        }
         let shard_dir = ctx.dir.join("shards");
         let out_csv = ctx.dir.join("measured.csv");
         let events_ctx = ctx.clone();
+        // The supervisor only understands one stop signal; drain and
+        // cancel both pull it. A watcher thread folds the two job-level
+        // conditions into the fabric's flag, and the outcome below
+        // distinguishes them again.
+        let stop = Arc::new(AtomicBool::new(false));
+        let finished = Arc::new(AtomicBool::new(false));
+        let watcher = {
+            let stop = Arc::clone(&stop);
+            let finished = Arc::clone(&finished);
+            let ctx = ctx.clone();
+            std::thread::spawn(move || {
+                while !finished.load(Ordering::SeqCst) {
+                    if ctx.cancelled() || ctx.draining() {
+                        stop.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            })
+        };
         let opts = SweepOptions {
             on_event: Some(Box::new(move |ev: &FabricEvent| {
                 events_ctx.emit(ev.kind(), ev.to_json());
@@ -330,9 +429,9 @@ impl JobBackend for SweepBackend {
                     events_ctx.set_progress(*completed, *planned);
                 }
             })),
-            cancel: Some(ctx.cancel_token()),
+            cancel: Some(Arc::clone(&stop)),
         };
-        match Supervisor::run_with(
+        let result = Supervisor::run_with(
             &exp,
             &components,
             &fabric,
@@ -340,11 +439,21 @@ impl JobBackend for SweepBackend {
             &out_csv,
             WorkerPool::Spawn,
             opts,
-        ) {
+        );
+        finished.store(true, Ordering::SeqCst);
+        let _ = watcher.join();
+        match result {
             Ok((store, report)) => {
                 let summary = summary_json(store.len(), &report);
                 if report.cancelled {
-                    JobOutcome::Cancelled(summary)
+                    if ctx.draining() && !ctx.cancelled() {
+                        // The daemon is shutting down, not the user giving
+                        // up: every in-flight unit's row is durable, so the
+                        // job parks for the restart to resume.
+                        JobOutcome::Drained
+                    } else {
+                        JobOutcome::Cancelled(summary)
+                    }
                 } else {
                     JobOutcome::Done(summary)
                 }
@@ -429,6 +538,37 @@ fn load_results(out_csv: &Path) -> Result<ResultStore, ApiError> {
     ResultStore::load(out_csv).map_err(|e| ApiError::internal(format!("store load failed: {e}")))
 }
 
+/// Retention GC: deletes the `shards/` directories of all but the newest
+/// `retain` *terminal* jobs (those with an `outcome.json`, newest by its
+/// mtime). Shard rows of a terminal job are already folded into its
+/// merged `measured.csv`, so only resume scaffolding is reclaimed — job
+/// records, outcomes and merged results are never touched, and
+/// non-terminal (queued, running, drained) jobs keep their shards.
+/// Returns how many directories were removed.
+pub fn gc_terminal_shards(state_dir: &Path, retain: usize) -> usize {
+    let Ok(entries) = std::fs::read_dir(state_dir) else {
+        return 0;
+    };
+    let mut terminal: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        let outcome = dir.join("outcome.json");
+        if outcome.is_file() && dir.join("shards").is_dir() {
+            let stamp = outcome
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            terminal.push((stamp, dir));
+        }
+    }
+    terminal.sort_by_key(|t| std::cmp::Reverse(t.0));
+    terminal
+        .into_iter()
+        .skip(retain)
+        .filter(|(_, dir)| std::fs::remove_dir_all(dir.join("shards")).is_ok())
+        .count()
+}
+
 /// Boots the daemon: binds `listen`, prints the bound address as the
 /// first stderr line (`mbu-serve: listening on <addr>` — tests and
 /// scripts parse it, so `--listen 127.0.0.1:0` works), restores persisted
@@ -453,10 +593,91 @@ pub fn run_daemon(listen: &str, state_dir: &Path) -> Result<(), String> {
         fabric.workers,
         state_dir.display()
     );
-    let backend = Arc::new(SweepBackend::new(exp, fabric));
+    let backend =
+        Arc::new(SweepBackend::new(exp, fabric.clone()).with_mem_budget(cfg.mem_budget_mb));
     let manager = JobManager::new(state_dir, backend, cfg.max_jobs, cfg.queue)
         .map_err(|e| format!("state dir {}: {e}", state_dir.display()))?;
-    mbu_serve::serve(listener, manager).map_err(|e| e.to_string())
+    if let Some(retain) = cfg.retain_jobs {
+        let removed = gc_terminal_shards(state_dir, retain);
+        if removed > 0 {
+            eprintln!("mbu-serve: retention GC reclaimed {removed} terminal shard dir(s)");
+        }
+    }
+    // SIGTERM → graceful drain. The handler itself only sets a flag; this
+    // watcher thread does the real work: stop admission, wait for running
+    // sweeps to park as drained (their shard rows durable, their jobs
+    // re-queued), then exit — 0 for a clean drain, 1 for a timeout.
+    mbu_serve::signal::install_term_handler();
+    {
+        let manager = Arc::clone(&manager);
+        let state = state_dir.to_path_buf();
+        let drain_timeout = cfg.drain_timeout;
+        let retain = cfg.retain_jobs;
+        std::thread::spawn(move || {
+            let mut ticks: u64 = 0;
+            loop {
+                if mbu_serve::signal::term_requested() {
+                    let (running, queued) = manager.counts();
+                    eprintln!(
+                        "mbu-serve: term signal received; draining {running} running / \
+                         {queued} queued job(s), budget {:.0}s",
+                        drain_timeout.as_secs_f64()
+                    );
+                    manager.begin_drain();
+                    if manager.await_drained(drain_timeout) {
+                        eprintln!("mbu-serve: drain complete; exiting");
+                        std::process::exit(0);
+                    }
+                    eprintln!(
+                        "mbu-serve: drain timed out after {:.0}s with jobs still running",
+                        drain_timeout.as_secs_f64()
+                    );
+                    std::process::exit(1);
+                }
+                ticks += 1;
+                // Periodic retention GC (~ every 15 s at the 50 ms tick).
+                if let Some(retain) = retain {
+                    if ticks.is_multiple_of(300) {
+                        let removed = gc_terminal_shards(&state, retain);
+                        if removed > 0 {
+                            eprintln!(
+                                "mbu-serve: retention GC reclaimed {removed} terminal \
+                                 shard dir(s)"
+                            );
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+    }
+    let options = ServeOptions {
+        conn_max: cfg.conn_max,
+        io_budget: cfg.io_budget,
+        health: Some(Box::new(move || {
+            vec![
+                ("conn_max".into(), Json::usize(cfg.conn_max)),
+                ("io_budget_secs".into(), Json::u64(cfg.io_budget.as_secs())),
+                (
+                    "drain_timeout_secs".into(),
+                    Json::u64(cfg.drain_timeout.as_secs()),
+                ),
+                (
+                    "mem_budget_mb".into(),
+                    cfg.mem_budget_mb.map_or(Json::Null, Json::u64),
+                ),
+                (
+                    "retain_jobs".into(),
+                    cfg.retain_jobs.map_or(Json::Null, Json::usize),
+                ),
+                (
+                    "disk_watermark_mb".into(),
+                    fabric.disk_watermark_mb.map_or(Json::Null, Json::u64),
+                ),
+            ]
+        })),
+    };
+    mbu_serve::serve_with(listener, manager, options).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -508,23 +729,85 @@ mod tests {
         }
     }
 
+    const SERVE_VARS: [&str; 7] = [
+        "MBU_HTTP_MAX_JOBS",
+        "MBU_HTTP_QUEUE",
+        "MBU_HTTP_CONN_MAX",
+        "MBU_HTTP_TIMEOUT_SECS",
+        "MBU_DRAIN_TIMEOUT_SECS",
+        "MBU_MEM_BUDGET_MB",
+        "MBU_RETAIN_JOBS",
+    ];
+
     #[test]
     fn serve_config_env_knobs_are_typed() {
         // Defaults with the variables unset.
-        std::env::remove_var("MBU_HTTP_MAX_JOBS");
-        std::env::remove_var("MBU_HTTP_QUEUE");
+        for var in SERVE_VARS {
+            std::env::remove_var(var);
+        }
         assert_eq!(ServeConfig::from_env().unwrap(), ServeConfig::default());
-        std::env::set_var("MBU_HTTP_MAX_JOBS", "banana");
-        let err = ServeConfig::from_env().unwrap_err();
-        assert!(err.to_string().contains("MBU_HTTP_MAX_JOBS"));
+        // Every knob rejects garbage with a typed error that names it.
+        for var in SERVE_VARS {
+            std::env::set_var(var, "banana");
+            let err = ServeConfig::from_env().unwrap_err();
+            assert!(
+                err.to_string().contains(var),
+                "error for {var} should name it: {err}"
+            );
+            std::env::remove_var(var);
+        }
         std::env::set_var("MBU_HTTP_MAX_JOBS", "0");
         assert!(ServeConfig::from_env().is_err());
+        std::env::remove_var("MBU_HTTP_MAX_JOBS");
+        std::env::set_var("MBU_HTTP_CONN_MAX", "0");
+        assert!(ServeConfig::from_env().is_err());
+        std::env::remove_var("MBU_HTTP_CONN_MAX");
+        // Valid values land in the right fields.
         std::env::set_var("MBU_HTTP_MAX_JOBS", "3");
         std::env::set_var("MBU_HTTP_QUEUE", "1");
+        std::env::set_var("MBU_HTTP_CONN_MAX", "9");
+        std::env::set_var("MBU_HTTP_TIMEOUT_SECS", "7");
+        std::env::set_var("MBU_DRAIN_TIMEOUT_SECS", "11");
+        std::env::set_var("MBU_MEM_BUDGET_MB", "512");
+        std::env::set_var("MBU_RETAIN_JOBS", "4");
         let cfg = ServeConfig::from_env().unwrap();
         assert_eq!((cfg.max_jobs, cfg.queue), (3, 1));
-        std::env::remove_var("MBU_HTTP_MAX_JOBS");
-        std::env::remove_var("MBU_HTTP_QUEUE");
+        assert_eq!(cfg.conn_max, 9);
+        assert_eq!(cfg.io_budget, Duration::from_secs(7));
+        assert_eq!(cfg.drain_timeout, Duration::from_secs(11));
+        assert_eq!(cfg.mem_budget_mb, Some(512));
+        assert_eq!(cfg.retain_jobs, Some(4));
+        for var in SERVE_VARS {
+            std::env::remove_var(var);
+        }
+    }
+
+    #[test]
+    fn retention_gc_keeps_newest_terminal_jobs() {
+        let root = std::env::temp_dir().join(format!("mbu-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        // Three terminal jobs (outcome.json present) and one still
+        // running; retention 1 keeps the newest terminal shards and the
+        // running job untouched.
+        for (name, terminal) in [("a", true), ("b", true), ("c", true), ("live", false)] {
+            let dir = root.join(name);
+            std::fs::create_dir_all(dir.join("shards")).unwrap();
+            std::fs::write(dir.join("shards/worker-000.csv"), "rows").unwrap();
+            if terminal {
+                std::fs::write(dir.join("outcome.json"), "{}").unwrap();
+                // Distinct mtimes so "newest" is well-defined.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+        let removed = gc_terminal_shards(&root, 1);
+        assert_eq!(removed, 2, "two older terminal jobs reclaimed");
+        assert!(!root.join("a/shards").exists());
+        assert!(!root.join("b/shards").exists());
+        assert!(root.join("c/shards").exists(), "newest terminal kept");
+        assert!(root.join("live/shards").exists(), "non-terminal kept");
+        // Idempotent: nothing left to reclaim.
+        assert_eq!(gc_terminal_shards(&root, 1), 0);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -57,7 +57,8 @@ use std::time::{Duration, Instant};
 
 /// Supervisor knobs, env-configurable (`MBU_WORKERS`, `MBU_UNIT_RUNS`,
 /// `MBU_HEARTBEAT_MS`, `MBU_STALL_SECS`, `MBU_UNIT_DEADLINE_SECS`,
-/// `MBU_UNIT_RETRIES`, `MBU_STEAL`).
+/// `MBU_UNIT_RETRIES`, `MBU_STEAL`, `MBU_DISK_WATERMARK_MB`,
+/// `MBU_BREAKER_TRIP`, `MBU_BREAKER_COOLDOWN_MS`, `MBU_RETRY_BUDGET`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FabricConfig {
     /// Worker processes (`MBU_WORKERS`, default 2, must be ≥ 1).
@@ -82,6 +83,24 @@ pub struct FabricConfig {
     pub steal: bool,
     /// Smallest tail worth stealing, in runs (default 8).
     pub min_steal_runs: usize,
+    /// Free-disk watermark in MiB under the shard directory
+    /// (`MBU_DISK_WATERMARK_MB`, default none). Below it, the supervisor
+    /// pauses assigning new units — pending work queues, shard appends
+    /// stop — and logs a typed `disk-pressure` anomaly instead of running
+    /// into raw ENOSPC; assignment resumes when space recovers.
+    pub disk_watermark_mb: Option<u64>,
+    /// Consecutive worker losses (no unit completing in between) that open
+    /// the respawn circuit breaker (`MBU_BREAKER_TRIP`, default 3, must be
+    /// ≥ 1). An open breaker holds replacement spawns for the cooldown
+    /// instead of hot-looping respawns of a worker that dies on arrival.
+    pub breaker_trip: usize,
+    /// How long the respawn breaker stays open once tripped
+    /// (`MBU_BREAKER_COOLDOWN_MS`, default 2000 ms).
+    pub breaker_cooldown: Duration,
+    /// Total retries a sweep may schedule before failing with the typed
+    /// [`FabricError::RetryBudgetExhausted`] (`MBU_RETRY_BUDGET`, default
+    /// none = unbounded). Shard rows stay durable; the sweep is resumable.
+    pub retry_budget: Option<usize>,
     /// Print scheduling decisions to stderr.
     pub verbose: bool,
 }
@@ -98,6 +117,10 @@ impl Default for FabricConfig {
             retry_backoff: Duration::from_millis(200),
             steal: true,
             min_steal_runs: 8,
+            disk_watermark_mb: None,
+            breaker_trip: 3,
+            breaker_cooldown: Duration::from_millis(2000),
+            retry_budget: None,
             verbose: false,
         }
     }
@@ -154,6 +177,33 @@ impl FabricConfig {
         if let Some(v) = env_value("MBU_STEAL")? {
             c.steal = parse_switch("MBU_STEAL", &v)?;
         }
+        if let Some(v) = env_value("MBU_DISK_WATERMARK_MB")? {
+            c.disk_watermark_mb = Some(parse_env(
+                "MBU_DISK_WATERMARK_MB",
+                &v,
+                "must be an integer (MiB)",
+            )?);
+        }
+        if let Some(v) = env_value("MBU_BREAKER_TRIP")? {
+            c.breaker_trip = parse_env("MBU_BREAKER_TRIP", &v, "must be a positive integer")?;
+            if c.breaker_trip == 0 {
+                return Err(ConfigError::Invalid {
+                    var: "MBU_BREAKER_TRIP",
+                    value: v,
+                    expected: "must be a positive integer",
+                });
+            }
+        }
+        if let Some(v) = env_value("MBU_BREAKER_COOLDOWN_MS")? {
+            c.breaker_cooldown = Duration::from_millis(parse_env(
+                "MBU_BREAKER_COOLDOWN_MS",
+                &v,
+                "must be an integer",
+            )?);
+        }
+        if let Some(v) = env_value("MBU_RETRY_BUDGET")? {
+            c.retry_budget = Some(parse_env("MBU_RETRY_BUDGET", &v, "must be an integer")?);
+        }
         Ok(c)
     }
 
@@ -181,6 +231,16 @@ pub enum FabricError {
         /// Units never completed.
         pending: usize,
     },
+    /// The sweep spent its whole retry budget ([`FabricConfig::retry_budget`])
+    /// and another retry was needed. The shard directory keeps every durable
+    /// row, so the sweep is resumable once the underlying instability is
+    /// fixed.
+    RetryBudgetExhausted {
+        /// The configured budget that was spent.
+        budget: usize,
+        /// The last per-unit error that asked for one retry too many.
+        last_error: String,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -191,6 +251,11 @@ impl fmt::Display for FabricError {
             FabricError::WorkersExhausted { pending } => write!(
                 f,
                 "all workers lost and none respawnable with {pending} unit(s) still pending"
+            ),
+            FabricError::RetryBudgetExhausted { budget, last_error } => write!(
+                f,
+                "retry budget of {budget} exhausted (last error: {last_error}); \
+                 durable shard rows are kept and the sweep is resumable"
             ),
         }
     }
@@ -290,6 +355,17 @@ pub enum FabricEvent {
         /// Why it was given up on.
         why: String,
     },
+    /// Free disk under the shard directory crossed the configured
+    /// watermark (`paused == true`: assignment paused) or recovered above
+    /// it (`paused == false`: assignment resumed).
+    DiskPressure {
+        /// Free space measured, in MiB.
+        free_mb: u64,
+        /// The configured watermark, in MiB.
+        watermark_mb: u64,
+        /// Whether unit assignment is paused as of this event.
+        paused: bool,
+    },
     /// Cancellation was requested; the sweep is draining in-flight units
     /// and will merge partial results.
     Cancelled,
@@ -329,6 +405,7 @@ impl FabricEvent {
             FabricEvent::UnitFailed { .. } => "unit-failed",
             FabricEvent::TailStolen { .. } => "tail-stolen",
             FabricEvent::Quarantined { .. } => "quarantined",
+            FabricEvent::DiskPressure { .. } => "disk-pressure",
             FabricEvent::Cancelled => "cancelled",
             FabricEvent::Merged { .. } => "merged",
         }
@@ -397,6 +474,15 @@ impl FabricEvent {
             FabricEvent::Quarantined { unit, why } => {
                 fields.push(("unit".into(), unit_json(unit)));
                 fields.push(("why".into(), Json::str(why)));
+            }
+            FabricEvent::DiskPressure {
+                free_mb,
+                watermark_mb,
+                paused,
+            } => {
+                fields.push(("free_mb".into(), Json::u64(*free_mb)));
+                fields.push(("watermark_mb".into(), Json::u64(*watermark_mb)));
+                fields.push(("paused".into(), Json::Bool(*paused)));
             }
             FabricEvent::Cancelled => {}
             FabricEvent::Merged {
@@ -583,6 +669,19 @@ pub struct Supervisor<'a> {
     /// Late TCP connections (rejoining workers) arrive here from the
     /// acceptor thread after the initial pool is adopted.
     conn_rx: Option<mpsc::Receiver<TcpStream>>,
+    /// Replacement spawns owed for lost workers; paid down from the
+    /// scheduler tick while the circuit breaker is closed.
+    respawn_deficit: usize,
+    /// Worker losses since the last completed unit; reaching
+    /// [`FabricConfig::breaker_trip`] opens the breaker.
+    consecutive_losses: usize,
+    /// While set, the respawn breaker is open: replacements wait until
+    /// this instant instead of hot-looping a worker that dies on arrival.
+    breaker_open_until: Option<Instant>,
+    /// Whether the disk-space governor has paused unit assignment.
+    disk_paused: bool,
+    /// Last free-disk probe (throttles the `df` subprocess to ~2/s).
+    last_disk_probe: Option<Instant>,
 }
 
 fn spawn_reader(
@@ -670,6 +769,11 @@ impl<'a> Supervisor<'a> {
             chaos_target: crate::chaos::WorkerChaos::target_from_env(),
             opts,
             conn_rx: None,
+            respawn_deficit: 0,
+            consecutive_losses: 0,
+            breaker_open_until: None,
+            disk_paused: false,
+            last_disk_probe: None,
         };
         // Golden fingerprints per workload: the freshness reference for
         // resume skipping, shard-row validation and the final merge.
@@ -991,8 +1095,10 @@ impl<'a> Supervisor<'a> {
         }
     }
 
-    /// Marks a worker dead, reclaims its in-flight unit, and spawns a
-    /// replacement when the pool allows it.
+    /// Marks a worker dead, reclaims its in-flight unit, and records a
+    /// replacement spawn to be paid down by the scheduler tick — through
+    /// the circuit breaker, so a worker that dies on arrival cools down
+    /// instead of hot-looping respawns.
     fn drop_worker(
         &mut self,
         slot: usize,
@@ -1006,6 +1112,7 @@ impl<'a> Supervisor<'a> {
         self.slots[slot].ready = false;
         self.slots[slot].link.kill();
         self.report.workers_lost += 1;
+        self.consecutive_losses += 1;
         self.emit(FabricEvent::WorkerLost {
             slot,
             detail: detail.to_string(),
@@ -1021,21 +1128,130 @@ impl<'a> Supervisor<'a> {
                         "worker {slot} lost while running {spec} ({detail}); unit will be retried"
                     ),
                 });
-                self.retry(flight.state, None, detail);
+                self.retry(flight.state, None, detail)?;
             }
         } else if self.config.verbose {
             eprintln!("fabric: idle worker {slot} dropped ({detail})");
         }
         if self.can_respawn && !(self.pending.is_empty() && self.in_flight.is_empty()) {
-            // Replacements are bounded: each loss spawns at most one.
+            // Replacements stay bounded: each loss owes at most one spawn.
+            self.respawn_deficit += 1;
+            if self.consecutive_losses >= self.config.breaker_trip
+                && self.breaker_open_until.is_none()
+            {
+                self.breaker_open_until = Some(Instant::now() + self.config.breaker_cooldown);
+                self.report.anomalies.record(Anomaly {
+                    run_index: 0,
+                    run_seed: self.exp.seed,
+                    kind: AnomalyKind::WorkerLost,
+                    message: format!(
+                        "respawn breaker opened after {} consecutive worker losses; \
+                         cooling down {:.1}s before spawning replacements",
+                        self.consecutive_losses,
+                        self.config.breaker_cooldown.as_secs_f64()
+                    ),
+                });
+                eprintln!(
+                    "fabric: respawn breaker open ({} consecutive losses); \
+                     cooldown {:.1}s",
+                    self.consecutive_losses,
+                    self.config.breaker_cooldown.as_secs_f64()
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Pays down owed replacement spawns, but only while the circuit
+    /// breaker is closed. Called from the scheduler tick.
+    fn pump_respawns(&mut self) -> Result<(), FabricError> {
+        if !self.can_respawn || self.respawn_deficit == 0 {
+            return Ok(());
+        }
+        if let Some(until) = self.breaker_open_until {
+            if Instant::now() < until {
+                return Ok(());
+            }
+            self.breaker_open_until = None;
+            self.consecutive_losses = 0;
+            if self.config.verbose {
+                eprintln!("fabric: respawn breaker closed; resuming replacements");
+            }
+        }
+        while self.respawn_deficit > 0 {
+            if self.pending.is_empty() && self.in_flight.is_empty() {
+                self.respawn_deficit = 0;
+                break;
+            }
+            self.respawn_deficit -= 1;
             self.spawn_worker()?;
         }
         Ok(())
     }
 
+    /// The disk-space governor: probes free space under the shard
+    /// directory (throttled) and pauses/resumes unit assignment around the
+    /// configured watermark, logging one typed `disk-pressure` anomaly per
+    /// breach instead of letting shard appends hit raw ENOSPC.
+    fn check_disk(&mut self) {
+        let Some(watermark) = self.config.disk_watermark_mb else {
+            return;
+        };
+        if self
+            .last_disk_probe
+            .is_some_and(|t| t.elapsed() < Duration::from_millis(500))
+        {
+            return;
+        }
+        self.last_disk_probe = Some(Instant::now());
+        // An unprobeable disk is "no information", not pressure.
+        let Some(free) = crate::io::free_disk_mb(&self.shard_dir) else {
+            return;
+        };
+        if !self.disk_paused && free < watermark {
+            self.disk_paused = true;
+            self.report.anomalies.record(Anomaly {
+                run_index: 0,
+                run_seed: self.exp.seed,
+                kind: AnomalyKind::DiskPressure,
+                message: format!(
+                    "free disk {free} MiB under watermark {watermark} MiB; \
+                     pausing unit assignment until space recovers"
+                ),
+            });
+            eprintln!(
+                "fabric: disk pressure ({free} MiB free < {watermark} MiB watermark); \
+                 pausing unit assignment"
+            );
+            self.emit(FabricEvent::DiskPressure {
+                free_mb: free,
+                watermark_mb: watermark,
+                paused: true,
+            });
+        } else if self.disk_paused && free >= watermark {
+            self.disk_paused = false;
+            eprintln!("fabric: disk pressure cleared ({free} MiB free); resuming unit assignment");
+            self.emit(FabricEvent::DiskPressure {
+                free_mb: free,
+                watermark_mb: watermark,
+                paused: false,
+            });
+        }
+    }
+
     /// Requeues a unit with backoff, or quarantines it after
     /// deterministic failure on ≥ 2 workers / attempt exhaustion.
-    fn retry(&mut self, mut state: UnitState, failed_worker: Option<usize>, error: &str) {
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::RetryBudgetExhausted`] when scheduling this retry
+    /// would exceed the sweep's configured retry budget.
+    fn retry(
+        &mut self,
+        mut state: UnitState,
+        failed_worker: Option<usize>,
+        error: &str,
+    ) -> Result<(), FabricError> {
         state.attempts += 1;
         state.last_error = error.to_string();
         if let Some(w) = failed_worker {
@@ -1066,12 +1282,21 @@ impl<'a> Supervisor<'a> {
                 why: why.clone(),
             });
             self.report.quarantined.push((spec, why));
-            return;
+            return Ok(());
+        }
+        if let Some(budget) = self.config.retry_budget {
+            if self.report.retries >= budget {
+                return Err(FabricError::RetryBudgetExhausted {
+                    budget,
+                    last_error: error.to_string(),
+                });
+            }
         }
         self.report.retries += 1;
         let backoff = self.config.retry_backoff * 2u32.pow((state.attempts - 1).min(8) as u32);
         state.eligible_at = Instant::now() + backoff;
         self.pending.push(state);
+        Ok(())
     }
 
     /// Splits the straggler with the largest remaining tail and runs the
@@ -1121,6 +1346,10 @@ impl<'a> Supervisor<'a> {
         loop {
             // Adopt any reconnecting TCP workers before dispatching.
             self.poll_new_connections()?;
+            // Pay down owed replacement spawns (breaker permitting) and
+            // probe the disk-space governor.
+            self.pump_respawns()?;
+            self.check_disk();
             if self.cancel_requested() {
                 // Stop dispatching: drop queued units (their gaps stay in
                 // the merge's resume plan) and drain what's in flight so
@@ -1136,8 +1365,9 @@ impl<'a> Supervisor<'a> {
                     }
                 }
                 self.pending.clear();
-            } else {
-                // Dispatch to every idle ready worker.
+            } else if !self.disk_paused {
+                // Dispatch to every idle ready worker (held while the
+                // disk-space governor has assignment paused).
                 while let Some(slot) = self
                     .slots
                     .iter()
@@ -1153,17 +1383,24 @@ impl<'a> Supervisor<'a> {
                 return Ok(());
             }
             if !self.slots.iter().any(|s| s.alive) {
-                // A rejoining TCP worker can still save the sweep.
-                if self.await_reconnect()? {
+                if self.can_respawn && self.respawn_deficit > 0 {
+                    // Replacements are owed but the breaker is open (or
+                    // about to pay them down next tick); keep ticking
+                    // through the cooldown instead of declaring the pool
+                    // exhausted.
+                } else if self.await_reconnect()? {
+                    // A rejoining TCP worker can still save the sweep.
                     continue;
+                } else {
+                    return Err(FabricError::WorkersExhausted {
+                        pending: self.pending.len() + self.in_flight.len(),
+                    });
                 }
-                return Err(FabricError::WorkersExhausted {
-                    pending: self.pending.len() + self.in_flight.len(),
-                });
             }
             // Opportunistic stealing: idle capacity + nothing pending.
             if self.config.steal
                 && !self.report.cancelled
+                && !self.disk_paused
                 && self.pending.is_empty()
                 && self
                     .slots
@@ -1285,6 +1522,9 @@ impl<'a> Supervisor<'a> {
                 }
                 if let Some(flight) = self.in_flight.remove(&unit_id) {
                     self.report.units_completed += 1;
+                    // Real progress: the pool is healthy enough that the
+                    // respawn breaker's loss streak resets.
+                    self.consecutive_losses = 0;
                     if self.config.verbose {
                         eprintln!(
                             "fabric: unit {unit_id} done on worker {slot} \
@@ -1332,7 +1572,7 @@ impl<'a> Supervisor<'a> {
                         worker: slot,
                         error: error.clone(),
                     });
-                    self.retry(flight.state, Some(slot), &error);
+                    self.retry(flight.state, Some(slot), &error)?;
                 }
             }
         }
@@ -1442,6 +1682,54 @@ mod tests {
         assert!(c.workers >= 1);
         assert!(c.max_attempts >= 1);
         assert!(c.steal);
+        assert!(c.disk_watermark_mb.is_none(), "governor off by default");
+        assert!(c.breaker_trip >= 1);
+        assert!(
+            c.retry_budget.is_none(),
+            "retry budget unbounded by default"
+        );
+    }
+
+    #[test]
+    fn governor_env_knobs_are_typed() {
+        // Each governor knob rejects garbage with a typed ConfigError that
+        // names the variable — no silent fallback to defaults.
+        for var in [
+            "MBU_DISK_WATERMARK_MB",
+            "MBU_BREAKER_TRIP",
+            "MBU_BREAKER_COOLDOWN_MS",
+            "MBU_RETRY_BUDGET",
+        ] {
+            std::env::set_var(var, "banana");
+            let err = FabricConfig::from_env().unwrap_err();
+            assert!(
+                err.to_string().contains(var),
+                "error for {var} should name it: {err}"
+            );
+            std::env::remove_var(var);
+        }
+        // Zero is not a sane breaker trip point (it could never close).
+        std::env::set_var("MBU_BREAKER_TRIP", "0");
+        assert!(FabricConfig::from_env().is_err());
+        std::env::remove_var("MBU_BREAKER_TRIP");
+        // Valid values land in the right fields.
+        std::env::set_var("MBU_DISK_WATERMARK_MB", "256");
+        std::env::set_var("MBU_BREAKER_TRIP", "5");
+        std::env::set_var("MBU_BREAKER_COOLDOWN_MS", "750");
+        std::env::set_var("MBU_RETRY_BUDGET", "12");
+        let c = FabricConfig::from_env().unwrap();
+        assert_eq!(c.disk_watermark_mb, Some(256));
+        assert_eq!(c.breaker_trip, 5);
+        assert_eq!(c.breaker_cooldown, Duration::from_millis(750));
+        assert_eq!(c.retry_budget, Some(12));
+        for var in [
+            "MBU_DISK_WATERMARK_MB",
+            "MBU_BREAKER_TRIP",
+            "MBU_BREAKER_COOLDOWN_MS",
+            "MBU_RETRY_BUDGET",
+        ] {
+            std::env::remove_var(var);
+        }
     }
 
     #[test]

@@ -370,6 +370,11 @@ pub enum AnomalyKind {
     /// worker id and rejoined the pool; units it had persisted but never
     /// acknowledged were recovered from its shard store instead of re-run.
     WorkerRejoined,
+    /// Free disk space under the shard directory fell below the configured
+    /// watermark; the supervisor paused assigning new units (pending work
+    /// queued, shard appends stopped) until space recovered, instead of
+    /// running into raw ENOSPC mid-append.
+    DiskPressure,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -384,6 +389,7 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::ProtocolGarbage => f.write_str("protocol-garbage"),
             AnomalyKind::UnitQuarantined => f.write_str("unit-quarantined"),
             AnomalyKind::WorkerRejoined => f.write_str("worker-rejoined"),
+            AnomalyKind::DiskPressure => f.write_str("disk-pressure"),
         }
     }
 }

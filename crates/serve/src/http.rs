@@ -11,9 +11,16 @@
 use mbu_gefin::json::Json;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Hard cap on request bodies and response bodies read by the client.
 pub const MAX_BODY: usize = 1 << 20;
+
+/// Hard cap on one request-line or header line, bytes including CRLF.
+pub const MAX_HEADER_LINE: usize = 8192;
+
+/// Hard cap on the number of request headers (header-flood defence).
+pub const MAX_HEADERS: usize = 64;
 
 /// Why a request could not be read.
 #[derive(Debug)]
@@ -22,6 +29,9 @@ pub enum ReadError {
     Eof,
     /// The request body exceeded [`MAX_BODY`].
     TooLarge,
+    /// A header line exceeded [`MAX_HEADER_LINE`] or the header count
+    /// exceeded [`MAX_HEADERS`] (slow-loris / header-flood defence).
+    HeadersTooLarge,
     /// The bytes were not parseable HTTP/1.1.
     Malformed(String),
     /// Transport failure.
@@ -32,6 +42,122 @@ impl From<io::Error> for ReadError {
     fn from(e: io::Error) -> Self {
         ReadError::Io(e)
     }
+}
+
+/// A [`TcpStream`] wrapper enforcing one absolute wall-clock deadline
+/// across every read and write on the connection. Per-call socket
+/// timeouts alone do not stop a slow-loris peer that trickles one byte
+/// per timeout window; the deadline is fixed when the connection is
+/// accepted and each operation re-arms the socket timeout with whatever
+/// budget is left.
+pub struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineStream {
+    /// Wraps `stream` with a deadline `budget` from now.
+    pub fn new(stream: TcpStream, budget: Duration) -> DeadlineStream {
+        DeadlineStream {
+            stream,
+            deadline: Instant::now() + budget,
+        }
+    }
+
+    /// Unwraps the stream (for long-lived event streams that outlive the
+    /// connection deadline). Socket timeouts armed by previous operations
+    /// stay armed; the caller re-arms or clears them.
+    pub fn into_inner(self) -> TcpStream {
+        self.stream
+    }
+
+    fn remaining(&self) -> io::Result<Duration> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "connection deadline exceeded",
+            ));
+        }
+        Ok(self.deadline - now)
+    }
+}
+
+fn timeout_kind(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock)
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let left = self.remaining()?;
+        self.stream.set_read_timeout(Some(left))?;
+        self.stream.read(buf).map_err(|e| {
+            if timeout_kind(e.kind()) {
+                io::Error::new(io::ErrorKind::TimedOut, "read deadline exceeded")
+            } else {
+                e
+            }
+        })
+    }
+}
+
+impl Write for DeadlineStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let left = self.remaining()?;
+        self.stream.set_write_timeout(Some(left))?;
+        self.stream.write(buf).map_err(|e| {
+            if timeout_kind(e.kind()) {
+                io::Error::new(io::ErrorKind::TimedOut, "write deadline exceeded")
+            } else {
+                e
+            }
+        })
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// Reads one `\n`-terminated line into `line`, refusing to buffer more
+/// than `cap` bytes. `read_line` without a cap lets a header-flood peer
+/// grow the buffer without bound; this is the bounded replacement.
+fn read_line_capped(
+    stream: &mut impl BufRead,
+    line: &mut String,
+    cap: usize,
+) -> Result<usize, ReadError> {
+    let mut buf = Vec::new();
+    loop {
+        let (done, used) = {
+            let available = match stream.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ReadError::Io(e)),
+            };
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..=i]);
+                    (true, i + 1)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (false, available.len())
+                }
+            }
+        };
+        stream.consume(used);
+        if buf.len() > cap {
+            return Err(ReadError::HeadersTooLarge);
+        }
+        if done || used == 0 {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&buf)
+        .map_err(|_| ReadError::Malformed("non-utf8 bytes in headers".into()))?;
+    line.push_str(text);
+    Ok(buf.len())
 }
 
 /// One parsed HTTP request.
@@ -58,7 +184,7 @@ impl Request {
     /// the defect that stopped parsing.
     pub fn read(stream: &mut impl BufRead) -> Result<Request, ReadError> {
         let mut line = String::new();
-        if stream.read_line(&mut line)? == 0 {
+        if read_line_capped(stream, &mut line, MAX_HEADER_LINE)? == 0 {
             return Err(ReadError::Eof);
         }
         let line = line.trim_end();
@@ -85,7 +211,7 @@ impl Request {
         let mut headers = Vec::new();
         loop {
             let mut line = String::new();
-            if stream.read_line(&mut line)? == 0 {
+            if read_line_capped(stream, &mut line, MAX_HEADER_LINE)? == 0 {
                 return Err(ReadError::Malformed("eof inside headers".into()));
             }
             let line = line.trim_end();
@@ -95,6 +221,9 @@ impl Request {
             let Some((name, value)) = line.split_once(':') else {
                 return Err(ReadError::Malformed(format!("bad header `{line}`")));
             };
+            if headers.len() >= MAX_HEADERS {
+                return Err(ReadError::HeadersTooLarge);
+            }
             headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         }
         let len = headers
@@ -152,10 +281,13 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -167,6 +299,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: String,
+    /// Extra response headers (e.g. `Retry-After` on a 503).
+    pub headers: Vec<(String, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
 }
@@ -177,6 +311,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json".into(),
+            headers: Vec::new(),
             body: value.encode().into_bytes(),
         }
     }
@@ -195,8 +330,16 @@ impl Response {
         Response {
             status,
             content_type: content_type.into(),
+            headers: Vec::new(),
             body,
         }
+    }
+
+    /// Adds an extra response header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
     }
 
     /// Writes the response (with `Content-Length` and `Connection: close`).
@@ -207,12 +350,16 @@ impl Response {
     pub fn write(&self, stream: &mut impl Write) -> io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
@@ -488,6 +635,47 @@ mod tests {
         })
         .unwrap();
         assert_eq!(got, vec!["{\"a\":1}\n", "{\"b\":2}\n"]);
+    }
+
+    #[test]
+    fn header_floods_and_oversized_lines_are_typed() {
+        // One header line longer than the cap.
+        let long = format!("GET / HTTP/1.1\r\nx-filler: {}\r\n\r\n", "a".repeat(9000));
+        let err = Request::read(&mut Cursor::new(long.as_bytes()));
+        assert!(matches!(err, Err(ReadError::HeadersTooLarge)), "{err:?}");
+        // An oversized request line hits the same cap.
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "p".repeat(9000));
+        let err = Request::read(&mut Cursor::new(long_line.as_bytes()));
+        assert!(matches!(err, Err(ReadError::HeadersTooLarge)), "{err:?}");
+        // Too many individually-small headers.
+        let mut flood = String::from("GET / HTTP/1.1\r\n");
+        for n in 0..100 {
+            flood.push_str(&format!("x-{n}: v\r\n"));
+        }
+        flood.push_str("\r\n");
+        let err = Request::read(&mut Cursor::new(flood.as_bytes()));
+        assert!(matches!(err, Err(ReadError::HeadersTooLarge)), "{err:?}");
+        // At the boundary everything still parses.
+        let mut ok = String::from("GET / HTTP/1.1\r\n");
+        for n in 0..MAX_HEADERS {
+            ok.push_str(&format!("x-{n}: v\r\n"));
+        }
+        ok.push_str("\r\n");
+        let req = Request::read(&mut Cursor::new(ok.as_bytes())).unwrap();
+        assert_eq!(req.headers.len(), MAX_HEADERS);
+    }
+
+    #[test]
+    fn extra_headers_are_written() {
+        let mut out = Vec::new();
+        Response::error(503, "draining")
+            .with_header("Retry-After", "5")
+            .write(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 5\r\n"), "{text}");
+        assert!(text.ends_with("{\"error\":\"draining\"}"));
     }
 
     #[test]

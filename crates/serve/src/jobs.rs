@@ -73,6 +73,14 @@ impl ApiError {
             message: msg.into(),
         }
     }
+
+    /// 503 — the service is up but refusing new work (draining).
+    pub fn unavailable(msg: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 503,
+            message: msg.into(),
+        }
+    }
 }
 
 /// A job's lifecycle state.
@@ -153,6 +161,11 @@ pub enum JobOutcome {
     Cancelled(Json),
     /// Failure, with an error message.
     Failed(String),
+    /// Interrupted by a graceful drain: every in-flight unit persisted its
+    /// shard rows, but the job is *not* finished. No `outcome.json` is
+    /// written, so a restarted manager re-queues (resumes) the job with
+    /// zero lost runs.
+    Drained,
 }
 
 impl JobOutcome {
@@ -161,6 +174,9 @@ impl JobOutcome {
             JobOutcome::Done(_) => JobState::Done,
             JobOutcome::Cancelled(_) => JobState::Cancelled,
             JobOutcome::Failed(_) => JobState::Failed,
+            // Drained jobs go back to the queue; they never reach the
+            // terminal-outcome path.
+            JobOutcome::Drained => JobState::Queued,
         }
     }
 
@@ -178,6 +194,7 @@ impl JobOutcome {
                 ("state".into(), Json::str("failed")),
                 ("error".into(), Json::str(e)),
             ]),
+            JobOutcome::Drained => Json::Obj(vec![("state".into(), Json::str("drained"))]),
         }
     }
 
@@ -275,6 +292,10 @@ struct Inner {
 struct Shared {
     inner: Mutex<Inner>,
     cond: Condvar,
+    /// Graceful-drain latch: set once, never cleared in-process. While
+    /// set, submissions are refused (503), queued jobs stay queued, and
+    /// running jobs are asked to stop at the next unit boundary.
+    drain: AtomicBool,
 }
 
 /// Execution context handed to [`JobBackend::execute`] and
@@ -300,6 +321,12 @@ impl JobContext {
     /// Whether cancellation was requested.
     pub fn cancelled(&self) -> bool {
         self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Whether the manager is draining: the job should stop at the next
+    /// clean checkpoint and return [`JobOutcome::Drained`].
+    pub fn draining(&self) -> bool {
+        self.shared.drain.load(Ordering::SeqCst)
     }
 
     /// Appends a live event to the job's stream and wakes event waiters.
@@ -438,6 +465,7 @@ impl JobManager {
             shared: Arc::new(Shared {
                 inner: Mutex::new(inner),
                 cond: Condvar::new(),
+                drain: AtomicBool::new(false),
             }),
         });
         mgr.pump();
@@ -456,6 +484,10 @@ impl JobManager {
 
     /// Starts queued jobs while runner slots are free.
     fn pump(self: &Arc<Self>) {
+        if self.draining() {
+            // Queued jobs stay queued; a restarted manager picks them up.
+            return;
+        }
         let mut inner = self.shared.inner.lock().expect("jobs lock");
         while inner.running < self.max_jobs {
             let Some(id) = inner.queue.pop_front() else {
@@ -483,6 +515,12 @@ impl JobManager {
     /// Records a terminal outcome (durably, then in memory) and frees the
     /// runner slot.
     fn complete(self: &Arc<Self>, id: &str, outcome: JobOutcome) {
+        if matches!(outcome, JobOutcome::Drained) {
+            // Not terminal: no outcome.json, so both this process and a
+            // restarted one see the job as interrupted-and-resumable.
+            self.park_drained(id);
+            return;
+        }
         let dir = {
             let inner = self.shared.inner.lock().expect("jobs lock");
             inner.jobs.get(id).map(|j| j.dir.clone())
@@ -515,12 +553,78 @@ impl JobManager {
         self.pump();
     }
 
+    /// Parks a drained job: frees the runner slot, re-queues the job in
+    /// memory, and wakes [`JobManager::await_drained`] waiters. Nothing is
+    /// written — the absence of `outcome.json` is the durable record.
+    fn park_drained(self: &Arc<Self>, id: &str) {
+        let mut inner = self.shared.inner.lock().expect("jobs lock");
+        let was_running = inner
+            .jobs
+            .get(id)
+            .is_some_and(|j| j.state == JobState::Running);
+        if was_running {
+            inner.running = inner.running.saturating_sub(1);
+        }
+        if let Some(job) = inner.jobs.get_mut(id) {
+            job.state = JobState::Queued;
+            push_event(job, "drained", Json::Null);
+        }
+        inner.queue.push_front(id.to_string());
+        self.shared.cond.notify_all();
+    }
+
+    /// Begins a graceful drain: refuses new submissions (503), stops
+    /// starting queued jobs, and asks running jobs to stop at their next
+    /// clean checkpoint. Irreversible for this process — the intent is to
+    /// exit and restart.
+    pub fn begin_drain(&self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+    }
+
+    /// Whether [`JobManager::begin_drain`] was called.
+    pub fn draining(&self) -> bool {
+        self.shared.drain.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every running job has parked or finished, or until
+    /// `timeout` passes; returns whether the drain completed in time.
+    pub fn await_drained(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().expect("jobs lock");
+        while inner.running > 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .cond
+                .wait_timeout(inner, deadline - now)
+                .expect("jobs lock");
+            inner = guard;
+        }
+        true
+    }
+
+    /// `(running, queued)` job counts, for health reporting.
+    pub fn counts(&self) -> (usize, usize) {
+        let inner = self.shared.inner.lock().expect("jobs lock");
+        (inner.running, inner.queue.len())
+    }
+
     /// Validates and enqueues a submission, returning the new job id.
     ///
     /// # Errors
     ///
-    /// 400 from the backend's validation; 429 when the queue is full.
+    /// 400 from the backend's validation; 429 when the queue is full; 503
+    /// while the manager is draining.
     pub fn submit(self: &Arc<Self>, body: &Json) -> Result<String, ApiError> {
+        if self.draining() {
+            return Err(ApiError::unavailable(
+                "draining: not accepting new sweeps; retry after restart",
+            ));
+        }
         let submission = self.backend.validate(body)?;
         let (id, dir, meta) = {
             let mut inner = self.shared.inner.lock().expect("jobs lock");
@@ -738,10 +842,15 @@ mod tests {
         fn execute(&self, ctx: &JobContext) -> JobOutcome {
             ctx.emit("working", Json::Null);
             if ctx.spec.get("hang").and_then(Json::as_bool) == Some(true) {
-                while !ctx.cancelled() {
+                loop {
+                    if ctx.cancelled() {
+                        return JobOutcome::Cancelled(Json::Null);
+                    }
+                    if ctx.draining() {
+                        return JobOutcome::Drained;
+                    }
                     std::thread::sleep(Duration::from_millis(5));
                 }
-                return JobOutcome::Cancelled(Json::Null);
             }
             if ctx.spec.get("panic").is_some() {
                 panic!("boom");
@@ -842,6 +951,58 @@ mod tests {
             .unwrap();
         let status = wait_terminal(&mgr, &id);
         assert_eq!(status.get("state").unwrap().as_str(), Some("failed"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_parks_running_jobs_and_refuses_new_work() {
+        let dir = tmpdir("drain");
+        let hang = Json::Obj(vec![("hang".into(), Json::Bool(true))]);
+        let (running, queued);
+        {
+            let mgr = JobManager::new(&dir, Arc::new(EchoBackend), 1, 4).unwrap();
+            running = mgr.submit(&hang).unwrap();
+            queued = mgr.submit(&hang).unwrap();
+            for _ in 0..500 {
+                let s = mgr.status(&running).unwrap();
+                if s.get("state").unwrap().as_str() == Some("running") {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            mgr.begin_drain();
+            assert!(mgr.draining());
+            // Admission is refused with a typed 503.
+            assert_eq!(mgr.submit(&hang).unwrap_err().status, 503);
+            // The running job parks within the timeout…
+            assert!(mgr.await_drained(Duration::from_secs(30)));
+            // …back to queued, with a drained event and no outcome.json.
+            let s = mgr.status(&running).unwrap();
+            assert_eq!(s.get("state").unwrap().as_str(), Some("queued"));
+            assert!(s.get("outcome").is_none());
+            let (events, _) = mgr.events_after(&running, 0, Duration::ZERO).unwrap();
+            assert!(events.iter().any(|e| e.kind == "drained"));
+            assert!(!dir
+                .join("jobs")
+                .join(&running)
+                .join("outcome.json")
+                .exists());
+            assert!(!dir.join("jobs").join(&queued).join("outcome.json").exists());
+            // The queued job never started.
+            let s = mgr.status(&queued).unwrap();
+            assert_eq!(s.get("state").unwrap().as_str(), Some("queued"));
+        }
+        // A restarted manager re-adopts both jobs as resumable work.
+        let mgr = JobManager::new(&dir, Arc::new(EchoBackend), 1, 4).unwrap();
+        for id in [&running, &queued] {
+            let (events, _) = mgr.events_after(id, 0, Duration::ZERO).unwrap();
+            assert!(events.iter().any(|e| e.kind == "resumed"), "{id}");
+            mgr.cancel(id).unwrap();
+            assert_eq!(
+                wait_terminal(&mgr, id).get("state").unwrap().as_str(),
+                Some("cancelled")
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -19,13 +19,17 @@
 //! is persisted under the manager's state directory, so a restarted daemon
 //! re-adopts finished jobs and re-queues interrupted ones.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one tiny, documented exception — the
+// SIGTERM latch in [`signal`] — can opt in with a scoped `allow`.
+#![deny(unsafe_code)]
 
 pub mod daemon;
 pub mod http;
 pub mod jobs;
+#[allow(unsafe_code)]
+pub mod signal;
 
-pub use daemon::serve;
+pub use daemon::{serve, serve_with, HealthFn, ServeOptions};
 pub use http::{Request, Response};
 pub use jobs::{
     ApiError, Artifact, JobBackend, JobContext, JobManager, JobOutcome, JobState, Submission,
