@@ -287,8 +287,19 @@ fn rows_for(structure: AceStructure, core: &CoreConfig) -> usize {
     }
 }
 
-fn recorder_for(structure: AceStructure, core: &CoreConfig, sim: &Simulator) -> ResidencyRecorder {
-    ResidencyRecorder::new(rows_for(structure, core), field_map_for(structure, sim))
+fn recorder_for(
+    structure: AceStructure,
+    core: &CoreConfig,
+    sim: &Simulator,
+    with_segments: bool,
+) -> ResidencyRecorder {
+    let rows = rows_for(structure, core);
+    let map = field_map_for(structure, sim);
+    if with_segments {
+        ResidencyRecorder::with_segments(rows, map)
+    } else {
+        ResidencyRecorder::new(rows, map)
+    }
 }
 
 fn slot_mut(
@@ -313,11 +324,12 @@ fn run_with_probes(
     program: &Program,
     structures: &[AceStructure],
     with_occupancy: bool,
+    with_segments: bool,
 ) -> Result<LivenessMap, CaptureError> {
     let mut sim = Simulator::new(core, program);
     let mut probes = SimProbes::default();
     for &s in structures {
-        *slot_mut(&mut probes, s) = Some(Box::new(recorder_for(s, &core, &sim)));
+        *slot_mut(&mut probes, s) = Some(Box::new(recorder_for(s, &core, &sim, with_segments)));
     }
     if with_occupancy {
         probes.pipeline = Some(Box::new(OccupancyProbe::default()));
@@ -365,7 +377,7 @@ fn run_with_probes(
 ///
 /// [`CaptureError::RunFailed`] if the fault-free run does not exit cleanly.
 pub fn capture(core: CoreConfig, program: &Program) -> Result<LivenessMap, CaptureError> {
-    run_with_probes(core, program, &AceStructure::ALL, true)
+    run_with_probes(core, program, &AceStructure::ALL, true, false)
 }
 
 /// Observes a fault-free run recording only `component`'s data array — the
@@ -379,8 +391,33 @@ pub fn capture_component(
     program: &Program,
     component: HwComponent,
 ) -> Result<(StructureResidency, u64), CaptureError> {
+    capture_component_inner(core, program, component, false)
+}
+
+/// Like [`capture_component`], but additionally records every access-event
+/// boundary ([`crate::residency::SegmentEvent`]) so the returned residency
+/// exposes the exact fault-equivalence segmentation of the component's
+/// (bit, cycle) fault space — the input to `mbu-equiv` partitions.
+///
+/// # Errors
+///
+/// [`CaptureError::RunFailed`] if the fault-free run does not exit cleanly.
+pub fn capture_component_segments(
+    core: CoreConfig,
+    program: &Program,
+    component: HwComponent,
+) -> Result<(StructureResidency, u64), CaptureError> {
+    capture_component_inner(core, program, component, true)
+}
+
+fn capture_component_inner(
+    core: CoreConfig,
+    program: &Program,
+    component: HwComponent,
+    with_segments: bool,
+) -> Result<(StructureResidency, u64), CaptureError> {
     let structure = AceStructure::for_component(component);
-    let mut map = run_with_probes(core, program, &[structure], false)?;
+    let mut map = run_with_probes(core, program, &[structure], false, with_segments)?;
     let residency = map
         .structures
         .remove(&structure)

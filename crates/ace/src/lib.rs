@@ -21,7 +21,11 @@
 //!   issue-queue / store-buffer occupancy summaries and time series;
 //! * **Campaign fast path** ([`LivenessOracle`]) — a conservative
 //!   provably-masked pre-filter that lets campaigns skip simulating faults
-//!   whose flipped bits are dead, with bit-identical classifications.
+//!   whose flipped bits are dead, with bit-identical classifications;
+//! * **Fault-equivalence segmentation** ([`capture_component_segments`] /
+//!   [`StructureResidency::slot_events`]) — the exact per-field
+//!   access-event boundaries that partition the (bit, cycle) fault space
+//!   into provably-equivalent classes (consumed by `mbu-equiv`).
 
 #![forbid(unsafe_code)]
 
@@ -30,8 +34,8 @@ pub mod oracle;
 pub mod residency;
 
 pub use capture::{
-    capture, capture_component, AceStructure, CaptureError, LivenessMap, OccupancyPoint,
-    OccupancyProbe, OccupancyStats,
+    capture, capture_component, capture_component_segments, AceStructure, CaptureError,
+    LivenessMap, OccupancyPoint, OccupancyProbe, OccupancyStats,
 };
 pub use oracle::LivenessOracle;
-pub use residency::{FieldMap, ResidencyRecorder, StructureResidency};
+pub use residency::{FieldMap, ResidencyRecorder, SegmentEvent, SegmentKind, StructureResidency};

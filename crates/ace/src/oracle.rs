@@ -19,7 +19,7 @@
 //! simulation, so classifications are bit-identical with the oracle on or
 //! off — only the wall-clock changes.
 
-use crate::capture::{capture_component, CaptureError};
+use crate::capture::{capture_component, capture_component_segments, CaptureError};
 use crate::residency::StructureResidency;
 use mbu_cpu::{CoreConfig, HwComponent};
 use mbu_isa::program::Program;
@@ -50,7 +50,37 @@ impl LivenessOracle {
         program: &Program,
         component: HwComponent,
     ) -> Result<Self, CaptureError> {
-        let (residency, total_cycles) = capture_component(core, program, component)?;
+        Self::build_inner(core, program, component, false)
+    }
+
+    /// Like [`LivenessOracle::build`], but captures with access-event
+    /// boundaries recorded, so [`LivenessOracle::residency`] exposes the
+    /// exact fault-equivalence segmentation (`StructureResidency::
+    /// slot_events`) in addition to the liveness intervals.
+    ///
+    /// # Errors
+    ///
+    /// [`CaptureError::RunFailed`] if the observation run does not exit
+    /// cleanly.
+    pub fn build_with_segments(
+        core: CoreConfig,
+        program: &Program,
+        component: HwComponent,
+    ) -> Result<Self, CaptureError> {
+        Self::build_inner(core, program, component, true)
+    }
+
+    fn build_inner(
+        core: CoreConfig,
+        program: &Program,
+        component: HwComponent,
+        with_segments: bool,
+    ) -> Result<Self, CaptureError> {
+        let (residency, total_cycles) = if with_segments {
+            capture_component_segments(core, program, component)?
+        } else {
+            capture_component(core, program, component)?
+        };
         let interleave = match component {
             HwComponent::L1D => core.mem.l1d.interleave as usize,
             HwComponent::L1I => core.mem.l1i.interleave as usize,
@@ -68,6 +98,14 @@ impl LivenessOracle {
     /// The component this oracle describes.
     pub fn component(&self) -> HwComponent {
         self.component
+    }
+
+    /// Physical column interleaving of the component's bit array — the
+    /// forward map from the logical `(row, bit)` coordinates the residency
+    /// (and `mbu-equiv` partitions) use to the physical [`BitCoord`]s the
+    /// injector flips is `phys.row = row / I`, `phys.col = bit·I + row % I`.
+    pub fn interleave(&self) -> usize {
+        self.interleave
     }
 
     /// Cycles of the observed fault-free run.

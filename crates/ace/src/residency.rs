@@ -94,6 +94,50 @@ impl FieldMap {
     }
 }
 
+/// How a recorded access event terminates the fault-equivalence segment
+/// that precedes it (see [`StructureResidency::slot_events`]).
+///
+/// Two flips of the same bit whose injection cycles fall strictly between
+/// the same pair of consecutive access events are provably equivalent: the
+/// flipped bit is not consulted until the next event, so both runs reach
+/// that event in bit-identical states and share one outcome. The event
+/// *kind* additionally tells which segments are provably `Masked` without
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SegmentKind {
+    /// The event *fully overwrites* the field: a flip anywhere in the
+    /// preceding segment is erased before any observation — provably
+    /// masked, same soundness argument as the liveness oracle.
+    Overwritten,
+    /// The event is an advisory invalidation (or an unordered same-cycle
+    /// mix of invalidate + overwrite): it may mutate unprobed metadata, so
+    /// the preceding segment is a real class but cannot be pruned.
+    Barrier,
+    /// The event observes the field (a read, or a partial write that
+    /// preserves old bits): the preceding segment's outcome requires
+    /// simulation of one representative.
+    Observed,
+}
+
+impl SegmentKind {
+    /// Merges two same-cycle events on one field. Intra-cycle event order
+    /// is not recorded, so the merge must be conservative: any observation
+    /// dominates (the flip may have been consumed), otherwise any barrier
+    /// dominates (the overwrite may have been undone or reordered).
+    fn merge(self, other: SegmentKind) -> SegmentKind {
+        self.max(other)
+    }
+}
+
+/// One access-event boundary of a field's fault-equivalence segmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentEvent {
+    /// The cycle the event was observed at.
+    pub cycle: u64,
+    /// How the event terminates the segment preceding it.
+    pub kind: SegmentKind,
+}
+
 /// Per-field interval-tracking state.
 #[derive(Debug, Clone, Copy)]
 struct FieldState {
@@ -128,6 +172,9 @@ pub struct ResidencyRecorder {
     /// Advisory invalidation events seen (statistic only; see module docs).
     invalidates: u64,
     events: u64,
+    /// Per-slot sorted access-event boundaries, recorded only when the
+    /// recorder was built with [`ResidencyRecorder::with_segments`].
+    segments: Option<Vec<Vec<SegmentEvent>>>,
 }
 
 impl ResidencyRecorder {
@@ -142,6 +189,42 @@ impl ResidencyRecorder {
             live_bit_cycles: 0,
             invalidates: 0,
             events: 0,
+            segments: None,
+        }
+    }
+
+    /// Like [`ResidencyRecorder::new`], but additionally records every
+    /// per-field access-event boundary ([`SegmentEvent`]) so the finished
+    /// [`StructureResidency`] can expose the exact fault-equivalence
+    /// segmentation of the (bit, cycle) space.
+    pub fn with_segments(rows: usize, map: FieldMap) -> Self {
+        let nfields = rows * map.fields_per_row();
+        let mut r = Self::new(rows, map);
+        r.segments = Some(vec![Vec::new(); nfields]);
+        r
+    }
+
+    /// Records one segment-boundary event on `slot`. Events arrive in
+    /// nondecreasing cycle order from a monotonic simulator; same-cycle
+    /// events merge conservatively, and a (never expected) out-of-order
+    /// event is inserted at its sorted position rather than corrupting the
+    /// boundary list.
+    fn push_event(&mut self, slot: usize, now: u64, kind: SegmentKind) {
+        let Some(segments) = &mut self.segments else {
+            return;
+        };
+        let v = &mut segments[slot];
+        match v.last_mut() {
+            Some(last) if last.cycle == now => last.kind = last.kind.merge(kind),
+            Some(last) if last.cycle > now => {
+                let i = v.partition_point(|e| e.cycle < now);
+                if i < v.len() && v[i].cycle == now {
+                    v[i].kind = v[i].kind.merge(kind);
+                } else {
+                    v.insert(i, SegmentEvent { cycle: now, kind });
+                }
+            }
+            _ => v.push(SegmentEvent { cycle: now, kind }),
         }
     }
 
@@ -181,6 +264,7 @@ impl ResidencyRecorder {
             let st = &mut self.states[base + field];
             st.last_read = st.last_read.max(now);
             st.has_read = true;
+            self.push_event(base + field, now, SegmentKind::Observed);
         }
     }
 
@@ -200,6 +284,7 @@ impl ResidencyRecorder {
             total_cycles,
             invalidates: self.invalidates,
             events: self.events,
+            segments: self.segments,
         }
     }
 }
@@ -217,12 +302,14 @@ impl LivenessProbe for ResidencyRecorder {
                 // Full overwrite: the old value's observation window closes.
                 self.close_interval(base + field, field);
                 self.states[base + field] = FieldState::fresh(now);
+                self.push_event(base + field, now, SegmentKind::Overwritten);
             } else {
                 // Partial write: the field's old bits may survive — treat
                 // as an observation (keeps the whole field conservative).
                 let st = &mut self.states[base + field];
                 st.last_read = st.last_read.max(now);
                 st.has_read = true;
+                self.push_event(base + field, now, SegmentKind::Observed);
             }
         }
     }
@@ -232,12 +319,21 @@ impl LivenessProbe for ResidencyRecorder {
         self.mark_read(now, row, col, width);
     }
 
-    fn on_invalidate(&mut self, _now: u64, _row: usize, _col: usize, _width: usize) {
-        // Advisory only: invalidated bits persist physically and could still
-        // be observed by a later read, so deadness is decided purely by the
-        // read/overwrite pattern (module docs).
+    fn on_invalidate(&mut self, now: u64, row: usize, col: usize, width: usize) {
+        // Advisory only for *liveness*: invalidated bits persist physically
+        // and could still be observed by a later read, so deadness is
+        // decided purely by the read/overwrite pattern (module docs). For
+        // fault-equivalence *segmentation* the event is still a boundary —
+        // an invalidation may mutate unprobed metadata, so segments on
+        // either side of it must not be merged (recorded as a barrier).
         self.events += 1;
         self.invalidates += 1;
+        if self.segments.is_some() && row < self.rows && width > 0 {
+            let base = row * self.map.fields_per_row();
+            for field in self.touched(col, width) {
+                self.push_event(base + field, now, SegmentKind::Barrier);
+            }
+        }
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
@@ -258,6 +354,9 @@ pub struct StructureResidency {
     pub invalidates: u64,
     /// Total probe events observed during the run.
     pub events: u64,
+    /// Per-slot sorted access-event boundaries; `None` unless the recorder
+    /// was built with [`ResidencyRecorder::with_segments`].
+    segments: Option<Vec<Vec<SegmentEvent>>>,
 }
 
 impl StructureResidency {
@@ -321,6 +420,38 @@ impl StructureResidency {
     /// Number of stored (merged) live intervals across all fields.
     pub fn interval_count(&self) -> usize {
         self.intervals.iter().map(Vec::len).sum()
+    }
+
+    /// The field map the recording was made under.
+    pub fn field_map(&self) -> &FieldMap {
+        &self.map
+    }
+
+    /// Number of field slots (`rows × fields_per_row`). Slot `s` covers
+    /// row `s / fields_per_row`, field `s % fields_per_row`.
+    pub fn slot_count(&self) -> usize {
+        self.rows * self.map.fields_per_row()
+    }
+
+    /// The field slot containing logical bit `(row, col)`. Out-of-range
+    /// coordinates return `None`.
+    pub fn slot_of(&self, row: usize, col: usize) -> Option<usize> {
+        if row >= self.rows || col >= self.map.cols() {
+            return None;
+        }
+        Some(row * self.map.fields_per_row() + self.map.field_of(col))
+    }
+
+    /// Whether access-event boundaries were recorded
+    /// (see [`ResidencyRecorder::with_segments`]).
+    pub fn has_segments(&self) -> bool {
+        self.segments.is_some()
+    }
+
+    /// The sorted access-event boundaries of one field slot, or `None` if
+    /// the recording was made without segment capture.
+    pub fn slot_events(&self, slot: usize) -> Option<&[SegmentEvent]> {
+        self.segments.as_ref().map(|s| s[slot].as_slice())
     }
 }
 
@@ -426,6 +557,101 @@ mod tests {
         let res = rec().finish(10);
         assert!(res.is_live_at(99, 0, 0));
         assert!(res.is_live_at(0, 99, 0));
+    }
+
+    #[test]
+    fn segments_record_sorted_boundaries_with_kinds() {
+        let mut r = ResidencyRecorder::with_segments(4, FieldMap::Row { cols: 32 });
+        r.on_write(10, 0, 0, 32);
+        r.on_read(20, 0, 0, 32);
+        r.on_read(40, 0, 4, 8);
+        r.on_invalidate(60, 0, 0, 32);
+        r.on_write(100, 0, 0, 32);
+        let res = r.finish(200);
+        assert!(res.has_segments());
+        let slot = res.slot_of(0, 0).unwrap();
+        let events = res.slot_events(slot).unwrap();
+        assert_eq!(
+            events,
+            &[
+                SegmentEvent {
+                    cycle: 10,
+                    kind: SegmentKind::Overwritten
+                },
+                SegmentEvent {
+                    cycle: 20,
+                    kind: SegmentKind::Observed
+                },
+                SegmentEvent {
+                    cycle: 40,
+                    kind: SegmentKind::Observed
+                },
+                SegmentEvent {
+                    cycle: 60,
+                    kind: SegmentKind::Barrier
+                },
+                SegmentEvent {
+                    cycle: 100,
+                    kind: SegmentKind::Overwritten
+                },
+            ]
+        );
+        // Untouched rows have empty (but present) boundary lists.
+        let other = res.slot_of(1, 0).unwrap();
+        assert_eq!(res.slot_events(other).unwrap(), &[]);
+    }
+
+    #[test]
+    fn same_cycle_events_merge_conservatively() {
+        let mut r = ResidencyRecorder::with_segments(1, FieldMap::Row { cols: 32 });
+        r.on_write(5, 0, 0, 32);
+        r.on_read(5, 0, 0, 32);
+        r.on_invalidate(9, 0, 0, 32);
+        r.on_write(9, 0, 0, 32);
+        let res = r.finish(20);
+        let events = res.slot_events(0).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].cycle, 5);
+        assert_eq!(
+            events[0].kind,
+            SegmentKind::Observed,
+            "an observation in the cycle dominates"
+        );
+        assert_eq!(events[1].cycle, 9);
+        assert_eq!(
+            events[1].kind,
+            SegmentKind::Barrier,
+            "invalidate + overwrite in one cycle cannot be pruned"
+        );
+    }
+
+    #[test]
+    fn segments_absent_by_default_and_partial_writes_observe() {
+        let mut r = rec();
+        r.on_write(10, 0, 0, 32);
+        let res = r.finish(50);
+        assert!(!res.has_segments());
+        assert!(res.slot_events(0).is_none());
+
+        let mut r = ResidencyRecorder::with_segments(1, FieldMap::Ranges(vec![0..3, 3..21]));
+        r.on_write(5, 0, 0, 2); // partial cover of field 0
+        let res = r.finish(50);
+        assert_eq!(
+            res.slot_events(0).unwrap(),
+            &[SegmentEvent {
+                cycle: 5,
+                kind: SegmentKind::Observed
+            }]
+        );
+    }
+
+    #[test]
+    fn slot_of_rejects_out_of_range() {
+        let res = rec().finish(10);
+        assert!(res.slot_of(99, 0).is_none());
+        assert!(res.slot_of(0, 99).is_none());
+        assert_eq!(res.slot_count(), 4);
+        assert_eq!(res.field_map().cols(), 32);
     }
 
     #[test]

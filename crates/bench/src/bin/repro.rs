@@ -49,6 +49,17 @@
 //!                    vs on, per component (BENCH_snapshot.json), then a
 //!                    3-component sweep with the golden-artifact cache off
 //!                    vs on (BENCH_sweep.json)
+//!   exhaustive       provable-coverage equivalence-class campaigns: one
+//!                    run per live (bit, access-interval) class on the
+//!                    small structures (ITLB/DTLB/PRF), weight-multiplied
+//!                    into the same FIT pipeline with margin exactly 0;
+//!                    checkpoints to results/exhaustive.csv next to --out
+//!                    and resumes like measure; MBU_EQUIV=on extends to
+//!                    the big arrays (L1D/L1I/L2) via class-weighted
+//!                    stratified sampling; --components restricts the set
+//!   equivbench       run-count economics of the class-weighted stratified
+//!                    campaigns vs the paper's uniform 2000-run protocol
+//!                    at matched margin (BENCH_equiv.json)
 //!   all              everything in paper order
 //!
 //! flags:
@@ -75,7 +86,10 @@
 //! MBU_ADAPTIVE_MARGIN (adaptive early stopping), MBU_DEADLINE_SECS
 //! (sweep wall-clock budget), MBU_SNAPSHOTS, MBU_SNAPSHOT_INTERVAL,
 //! MBU_SNAPSHOT_MEM_MB (snapshot fast path and its memory cap),
-//! MBU_GOLDEN_CACHE (sweep-wide golden-artifact cache, default on).
+//! MBU_GOLDEN_CACHE (sweep-wide golden-artifact cache, default on),
+//! MBU_EQUIV (stratified big-array coverage for `exhaustive`),
+//! MBU_EXHAUSTIVE_MAX_CLASSES (live-class cap per exhaustive campaign,
+//! default 4 000 000; larger partitions are rejected, never subsampled).
 //! Fabric knobs (sweep/serve/worker): MBU_WORKERS, MBU_UNIT_RUNS,
 //! MBU_HEARTBEAT_MS, MBU_STALL_SECS, MBU_UNIT_DEADLINE_SECS,
 //! MBU_UNIT_RETRIES, MBU_STEAL, MBU_DISK_WATERMARK_MB (pause assignment
@@ -86,7 +100,9 @@
 //! ```
 
 use mbu_bench::supervisor::{FabricConfig, FabricReport, Supervisor, WorkerPool};
-use mbu_bench::{AnalyticalStore, Experiments, Json, ResultStore};
+use mbu_bench::{
+    AnalyticalStore, Experiments, Json, ResultStore, EXHAUSTIVE_COMPONENTS, STRATIFIED_COMPONENTS,
+};
 use mbu_cpu::HwComponent;
 use mbu_gefin::paper;
 use mbu_gefin::report::Table;
@@ -232,7 +248,7 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() {
     eprintln!(
-        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|xval|occupancy|verify-store|snapbench|sweep|worker|serve|all> [--paper] [--csv] [--chart] [--out path] [--workload w] [--snapshots]\n\
+        "usage: repro <table1..table8|fig1..fig8|measure|summary|ablation|xval|occupancy|verify-store|snapbench|exhaustive|equivbench|sweep|worker|serve|all> [--paper] [--csv] [--chart] [--out path] [--workload w] [--snapshots]\n\
          \x20      repro verify-store <checkpoint.csv>   read-only integrity audit\n\
          \x20      repro verify-store --shards <dir>     audit worker shard stores (exit 1 on defects)\n\
          \x20      repro sweep [--workers N] [--shards dir]  distributed measure with supervised workers\n\
@@ -246,9 +262,13 @@ fn usage() {
          \x20      repro chaos-http --to <addr>                fire HTTP faults at a daemon, verify typed replies\n\
          \x20      repro snapbench [--workload w]        snapshot off/on wall-clock -> BENCH_snapshot.json,\n\
          \x20                                            golden-cache off/on sweep -> BENCH_sweep.json\n\
+         \x20      repro exhaustive [--components a,b]   one run per live equivalence class (ITLB/DTLB/PRF;\n\
+         \x20                                            MBU_EQUIV=on adds stratified L1/L2) -> results/exhaustive.csv\n\
+         \x20      repro equivbench [--workload w]       stratified vs uniform-2000 run economics -> BENCH_equiv.json\n\
          env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS,\n\
          \x20      MBU_ADAPTIVE_MARGIN, MBU_DEADLINE_SECS, MBU_SNAPSHOTS,\n\
          \x20      MBU_SNAPSHOT_INTERVAL, MBU_SNAPSHOT_MEM_MB, MBU_GOLDEN_CACHE,\n\
+         \x20      MBU_EQUIV, MBU_EXHAUSTIVE_MAX_CLASSES (equivalence-class modes),\n\
          \x20      MBU_WORKERS, MBU_UNIT_RUNS, MBU_HEARTBEAT_MS, MBU_STALL_SECS,\n\
          \x20      MBU_UNIT_DEADLINE_SECS, MBU_UNIT_RETRIES, MBU_STEAL,\n\
          \x20      MBU_DISK_WATERMARK_MB, MBU_BREAKER_TRIP, MBU_BREAKER_COOLDOWN_MS,\n\
@@ -709,6 +729,95 @@ fn run(opts: &Options) -> Result<(), String> {
                 sweep.speedup(),
                 sweep_path.display()
             );
+        }
+        "exhaustive" => {
+            // Equivalence-class campaigns checkpoint next to the measured
+            // CSV (like xval) so exhaustive rows never mix into the
+            // uniform-sampling store.
+            let dir = opts
+                .out
+                .parent()
+                .unwrap_or_else(|| std::path::Path::new("results"));
+            let path = dir.join("exhaustive.csv");
+            let mut store = if path.exists() {
+                ResultStore::load(&path).map_err(|err| err.to_string())?
+            } else {
+                ResultStore::new()
+            };
+            eprintln!(
+                "exhaustive equivalence-class campaigns: {} workload(s), one run per live class",
+                e.workloads.len()
+            );
+            if e.equiv {
+                eprintln!(
+                    "  MBU_EQUIV on: big arrays covered by class-weighted stratified sampling"
+                );
+            }
+            let report = match &opts.components {
+                Some(list) => {
+                    // --components restricts the set; each name must land in
+                    // a mode that can actually cover it.
+                    let mut ex = Vec::new();
+                    let mut strat = Vec::new();
+                    for s in list.split(',').filter(|s| !s.trim().is_empty()) {
+                        let c: HwComponent = s.trim().parse().map_err(|err| format!("{err}"))?;
+                        if EXHAUSTIVE_COMPONENTS.contains(&c) {
+                            ex.push(c);
+                        } else if e.equiv {
+                            strat.push(c);
+                        } else {
+                            return Err(format!(
+                                "{c} is a big array: exhaustive enumeration covers only \
+                                 ITLB/DTLB/PRF; set MBU_EQUIV=on for stratified coverage"
+                            ));
+                        }
+                    }
+                    e.run_equiv_with(&ex, &strat, &mut store, Some(&path))
+                }
+                None => e.run_equiv(&mut store, Some(&path)),
+            }
+            .map_err(|err| err.to_string())?;
+            for ((comp, w, faults), err) in &report.failed {
+                eprintln!("warning: skipped {comp}/{w}/{faults}-bit: {err}");
+            }
+            // Compact the append-only checkpoint (drops resumed duplicates).
+            store.save(&path).map_err(|err| err.to_string())?;
+            emit(&e.equiv_table(&store), opts.csv);
+            eprintln!(
+                "{} campaign(s) executed ({} resumed), {} class sim(s) covering {} bit-cycles \
+                 ({} proved dead without simulation); saved to {}",
+                report.executed,
+                report.skipped_existing,
+                report.simulated,
+                report.covered_weight,
+                report.pruned_weight,
+                path.display()
+            );
+            if !report.is_clean() {
+                return Err(format!(
+                    "{} equivalence-class campaign(s) failed",
+                    report.failed.len()
+                ));
+            }
+        }
+        "equivbench" => {
+            let w = opts.workload;
+            eprintln!(
+                "benchmarking class-weighted stratified campaigns vs {} uniform runs on {w}",
+                mbu_bench::equivbench::BASELINE_RUNS
+            );
+            let report = e.equivbench(w, &STRATIFIED_COMPONENTS);
+            emit(&report.table(), opts.csv);
+            let path = std::path::Path::new("BENCH_equiv.json");
+            std::fs::write(path, report.to_json()).map_err(|err| err.to_string())?;
+            eprintln!(
+                "headline run-count reduction {:.1}x at equal-or-better margin; wrote {}",
+                report.headline_reduction(),
+                path.display()
+            );
+            if !report.all_at_margin() {
+                return Err("a stratified campaign missed the uniform-baseline margin".into());
+            }
         }
         "verify-store" => {
             // Read-only either way: audits without quarantining, rewriting

@@ -2,7 +2,8 @@
 
 use crate::io::{RealIo, RetryIo, RetryPolicy, StoreIo};
 use crate::store::{
-    component_slug, AnalyticalRow, AnalyticalStore, Key, ResultStore, StoreError, StoreVersion,
+    component_slug, AnalyticalRow, AnalyticalStore, ExhaustiveMeta, Key, ResultStore, StoreError,
+    StoreVersion,
 };
 use mbu_ace::{capture, AceStructure, CaptureError, LivenessMap};
 use mbu_cpu::{CoreConfig, HwComponent, RunEnd, Simulator};
@@ -14,6 +15,7 @@ use mbu_gefin::campaign::{
 };
 use mbu_gefin::classify::FaultEffect;
 use mbu_gefin::error::CampaignError;
+use mbu_gefin::exhaustive::{ExhaustivePlan, ExhaustiveSpec, StratifiedSpec, DEFAULT_MAX_CLASSES};
 use mbu_gefin::fit::cpu_fit;
 use mbu_gefin::integrity::{config_digest, golden_fingerprint, GoldenFingerprint};
 use mbu_gefin::mask::{ClusterSpec, MaskGenerator};
@@ -107,6 +109,46 @@ impl Default for SweepControl<'static> {
             deadline: None,
             verify_fingerprints: true,
         }
+    }
+}
+
+/// Small structures whose full fault space the exhaustive driver
+/// enumerates by equivalence class: the partition is provably exact and
+/// every live class simulates exactly once, so the result carries margin 0.
+pub const EXHAUSTIVE_COMPONENTS: [HwComponent; 3] =
+    [HwComponent::ITlb, HwComponent::DTlb, HwComponent::RegFile];
+
+/// Big data arrays covered by class-weighted stratified sampling when
+/// [`Experiments::equiv`] is on — exhaustively enumerating their live
+/// classes is infeasible, but the dead stratum is still pruned exactly.
+pub const STRATIFIED_COMPONENTS: [HwComponent; 3] =
+    [HwComponent::L1D, HwComponent::L1I, HwComponent::L2];
+
+/// What one [`Experiments::run_equiv`] call did — resume accounting plus
+/// the coverage aggregates the CLI and the equivalence benchmark report.
+#[derive(Debug, Clone, Default)]
+pub struct EquivReport {
+    /// Campaigns executed in this call (exhaustive + stratified).
+    pub executed: usize,
+    /// Campaigns skipped because the store already held their key.
+    pub skipped_existing: usize,
+    /// Campaigns that could not run; the sweep continues past them.
+    pub failed: Vec<(Key, CampaignError)>,
+    /// Distinct simulations actually run across the executed campaigns.
+    pub simulated: u64,
+    /// Fault-space population (bit × cycle pairs) the executed campaigns
+    /// covered — exactly for exhaustive keys, by scaling for stratified.
+    pub covered_weight: u64,
+    /// Population mass proven `Masked` without simulation (dead classes).
+    pub pruned_weight: u64,
+    /// Weight-proportional draws taken by the stratified campaigns.
+    pub stratified_draws: u64,
+}
+
+impl EquivReport {
+    /// Whether every attempted campaign succeeded.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty()
     }
 }
 
@@ -235,6 +277,16 @@ pub struct Experiments {
     /// is an escape hatch that re-runs the golden execution per campaign
     /// and logs a sweep-level anomaly.
     pub use_golden_cache: bool,
+    /// Fault-equivalence mode (`MBU_EQUIV`, default off): the exhaustive
+    /// driver additionally covers the big data arrays (L1D/L1I/L2) with
+    /// class-weighted stratified sampling — draws proportional to
+    /// live-interval mass, the dead stratum credited `Masked` exactly.
+    pub equiv: bool,
+    /// Hard cap on live equivalence classes per exhaustive campaign
+    /// (`MBU_EXHAUSTIVE_MAX_CLASSES`, default 4 000 000). A partition
+    /// larger than the cap is rejected with a typed
+    /// [`CampaignError::ClassCapExceeded`] — never silently subsampled.
+    pub exhaustive_max_classes: u64,
     /// Highest fault cardinality swept (`MBU_CARDINALITY`, default 3):
     /// every sweep measures cardinalities `1..=max_cardinality`. The
     /// paper's per-component figures use 3; the full Fig. 7 sweep goes to
@@ -257,6 +309,8 @@ impl Default for Experiments {
             snapshot_interval: None,
             snapshot_mem_mb: None,
             use_golden_cache: true,
+            equiv: false,
+            exhaustive_max_classes: DEFAULT_MAX_CLASSES,
             max_cardinality: 3,
         }
     }
@@ -341,6 +395,23 @@ impl Experiments {
         }
         if let Some(v) = env_value("MBU_GOLDEN_CACHE")? {
             e.use_golden_cache = parse_switch("MBU_GOLDEN_CACHE", &v)?;
+        }
+        if let Some(v) = env_value("MBU_EQUIV")? {
+            e.equiv = parse_switch("MBU_EQUIV", &v)?;
+        }
+        if let Some(v) = env_value("MBU_EXHAUSTIVE_MAX_CLASSES")? {
+            e.exhaustive_max_classes = parse_env(
+                "MBU_EXHAUSTIVE_MAX_CLASSES",
+                &v,
+                "must be a positive integer",
+            )?;
+            if e.exhaustive_max_classes == 0 {
+                return Err(ConfigError::Invalid {
+                    var: "MBU_EXHAUSTIVE_MAX_CLASSES",
+                    value: v,
+                    expected: "must be a positive integer",
+                });
+            }
         }
         if let Some(v) = env_value("MBU_CARDINALITY")? {
             e.max_cardinality = parse_env("MBU_CARDINALITY", &v, "must be an integer in 1..=8")?;
@@ -738,6 +809,224 @@ impl Experiments {
         Ok(report)
     }
 
+    /// The exhaustive-campaign parameters this configuration implies.
+    pub fn exhaustive_spec(&self) -> ExhaustiveSpec {
+        ExhaustiveSpec {
+            max_classes: self.exhaustive_max_classes,
+            ..ExhaustiveSpec::default()
+        }
+    }
+
+    /// The stratified-sampling parameters this configuration implies: the
+    /// paper's 2.88 % @ 99 % target, drawn with this sweep's seed.
+    pub fn stratified_spec(&self) -> StratifiedSpec {
+        StratifiedSpec {
+            seed: self.seed,
+            ..StratifiedSpec::paper()
+        }
+    }
+
+    /// The single-bit campaign configuration an equivalence-class campaign
+    /// runs under — the sampled-path configuration with adaptive stopping
+    /// cleared (exhaustive campaigns enumerate, they never stop early).
+    pub(crate) fn equiv_config(
+        &self,
+        component: HwComponent,
+        workload: Workload,
+    ) -> CampaignConfig {
+        let mut cfg = self.campaign_config(component, workload, 1);
+        cfg.adaptive = None;
+        cfg
+    }
+
+    /// The crash-safe equivalence-class campaign driver: enumerates the
+    /// full single-bit fault space of every small structure in
+    /// [`EXHAUSTIVE_COMPONENTS`] by fault-equivalence class (one simulation
+    /// per live class, dead classes pruned `Masked`, margin exactly 0) and
+    /// — when [`Experiments::equiv`] is on — covers the big arrays in
+    /// [`STRATIFIED_COMPONENTS`] with class-weighted stratified sampling.
+    ///
+    /// Results land in `store` under the exhaustive row flavor
+    /// ([`ResultStore::insert_exhaustive`]) and flush to `checkpoint` as
+    /// they complete, so an interrupted run resumes where it stopped
+    /// exactly like [`Experiments::run_sweep`].
+    ///
+    /// # Errors
+    ///
+    /// Only checkpoint I/O aborts the driver; campaign failures are
+    /// reported in [`EquivReport::failed`] and skipped.
+    pub fn run_equiv(
+        &self,
+        store: &mut ResultStore,
+        checkpoint: Option<&Path>,
+    ) -> Result<EquivReport, StoreError> {
+        let stratified: &[HwComponent] = if self.equiv {
+            &STRATIFIED_COMPONENTS
+        } else {
+            &[]
+        };
+        self.run_equiv_with(&EXHAUSTIVE_COMPONENTS, stratified, store, checkpoint)
+    }
+
+    /// [`Experiments::run_equiv`] with explicit component sets: every
+    /// component in `exhaustive` gets a full class enumeration, every
+    /// component in `stratified` a class-weighted stratified campaign.
+    ///
+    /// # Errors
+    ///
+    /// Only checkpoint I/O aborts the driver.
+    pub fn run_equiv_with(
+        &self,
+        exhaustive_components: &[HwComponent],
+        stratified_components: &[HwComponent],
+        store: &mut ResultStore,
+        checkpoint: Option<&Path>,
+    ) -> Result<EquivReport, StoreError> {
+        let retry_io = RetryIo::new(&RealIo, RetryPolicy::DEFAULT);
+        let mut report = EquivReport::default();
+        let mut artifacts: BTreeMap<Workload, Result<Arc<GoldenArtifacts>, CampaignError>> =
+            BTreeMap::new();
+        let mut fingerprints: BTreeMap<Workload, Option<GoldenFingerprint>> = BTreeMap::new();
+        let spec = self.exhaustive_spec();
+        for (i, &component) in exhaustive_components
+            .iter()
+            .chain(stratified_components)
+            .enumerate()
+        {
+            let exhaustive = i < exhaustive_components.len();
+            for &w in &self.workloads {
+                if store.contains(component, w, 1) {
+                    report.skipped_existing += 1;
+                    continue;
+                }
+                let outcome = self.run_equiv_campaign(
+                    component,
+                    w,
+                    spec,
+                    exhaustive,
+                    &mut artifacts,
+                    &mut report,
+                );
+                match outcome {
+                    Ok((result, meta)) => {
+                        report.executed += 1;
+                        report.covered_weight = report.covered_weight.saturating_add(meta.weight);
+                        let fp = match artifacts.get(&w) {
+                            Some(Ok(a)) => *fingerprints
+                                .entry(w)
+                                .or_insert_with(|| Some(self.artifact_fingerprint(a))),
+                            _ => self.current_fingerprint(&mut fingerprints, w),
+                        };
+                        if self.verbose {
+                            eprintln!(
+                                "  {result} [{} classes over {} bit-cycles]",
+                                meta.classes, meta.weight
+                            );
+                        }
+                        if let Some(path) = checkpoint {
+                            ResultStore::append_flavored_row_with(
+                                &retry_io,
+                                path,
+                                &result,
+                                fp,
+                                Some(meta),
+                            )?;
+                        }
+                        store.insert_exhaustive(result, meta, fp);
+                    }
+                    Err(e) => {
+                        if self.verbose {
+                            eprintln!("  {component}/{w}/1-bit failed: {e}");
+                        }
+                        report.failed.push(((component, w, 1), e));
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Runs one equivalence-class campaign (exhaustive or stratified) and
+    /// returns the population-weighted result plus its store metadata.
+    fn run_equiv_campaign(
+        &self,
+        component: HwComponent,
+        workload: Workload,
+        spec: ExhaustiveSpec,
+        exhaustive: bool,
+        artifacts: &mut BTreeMap<Workload, Result<Arc<GoldenArtifacts>, CampaignError>>,
+        report: &mut EquivReport,
+    ) -> Result<(CampaignResult, ExhaustiveMeta), CampaignError> {
+        let plan = ExhaustivePlan::try_new(self.equiv_config(component, workload), spec)?;
+        let shared = if self.use_golden_cache {
+            Some(self.workload_artifacts(artifacts, workload)?)
+        } else {
+            None
+        };
+        if exhaustive {
+            let r = plan.run(shared.as_deref())?;
+            report.simulated += r.simulated;
+            report.pruned_weight = report.pruned_weight.saturating_add(r.pruned_weight);
+            let meta = ExhaustiveMeta {
+                classes: r.simulated,
+                weight: r.coverage.population,
+            };
+            Ok((r.campaign, meta))
+        } else {
+            let r = plan.run_stratified(self.stratified_spec(), shared.as_deref())?;
+            report.simulated += r.simulated;
+            report.pruned_weight = report.pruned_weight.saturating_add(r.coverage.dead_weight);
+            report.stratified_draws += r.draws;
+            let meta = ExhaustiveMeta {
+                classes: r.simulated,
+                weight: r.coverage.population,
+            };
+            Ok((r.campaign, meta))
+        }
+    }
+
+    /// Renders the equivalence-class campaigns the store holds — one row
+    /// per key carrying the exhaustive flavor, with its coverage proof.
+    pub fn equiv_table(&self, store: &ResultStore) -> Table {
+        let mut t = Table::new(
+            "Equivalence-class campaigns — coverage per (component, workload)",
+            &[
+                "Component",
+                "Workload",
+                "Mode",
+                "Classes",
+                "Population",
+                "AVF",
+                "±margin",
+                "Coverage",
+            ],
+        );
+        for &c in EXHAUSTIVE_COMPONENTS.iter().chain(&STRATIFIED_COMPONENTS) {
+            for &w in &self.workloads {
+                let (Some(r), Some(meta)) = (store.get(c, w, 1), store.exhaustive_meta(c, w, 1))
+                else {
+                    continue;
+                };
+                let proved = r.achieved_margin == Some(0.0);
+                t.row(vec![
+                    c.to_string(),
+                    w.to_string(),
+                    if proved { "exhaustive" } else { "stratified" }.into(),
+                    meta.classes.to_string(),
+                    meta.weight.to_string(),
+                    pct(r.avf()),
+                    pct_opt(r.achieved_margin),
+                    if proved {
+                        "100% (proved)".into()
+                    } else {
+                        "100% (dead exact, live scaled)".into()
+                    },
+                ]);
+            }
+        }
+        t
+    }
+
     /// Read-only integrity audit of a checkpoint file: format version,
     /// per-row CRC verification, and each stored golden-run fingerprint
     /// checked against what the *current* binaries produce. Nothing is
@@ -802,6 +1091,46 @@ impl Experiments {
                 .map(pct)
                 .unwrap_or_else(|| "-".into()),
         ]);
+        // Exhaustive-flavor rows: the class/weight columns already parsed
+        // (counts summing to the declared population), so what remains to
+        // audit is whether that population reconciles with the structure's
+        // actual bit × cycle fault space under the current configuration.
+        let mut geometry: BTreeMap<HwComponent, u64> = BTreeMap::new();
+        let (mut exhaustive_rows, mut reconciled) = (0usize, 0usize);
+        let mut mismatches = Vec::new();
+        for r in store.iter() {
+            let Some(meta) = store.exhaustive_meta(r.component, r.workload, r.faults) else {
+                continue;
+            };
+            exhaustive_rows += 1;
+            let bits = *geometry.entry(r.component).or_insert_with(|| {
+                Simulator::new(self.core, &r.workload.program())
+                    .component_geometry(r.component)
+                    .total_bits() as u64
+            });
+            let expected = bits.saturating_mul(r.fault_free_cycles);
+            if meta.weight == expected {
+                reconciled += 1;
+            } else {
+                mismatches.push(format!(
+                    "  {}/{}/{}-bit: weight {} != {} bits x {} cycles",
+                    r.component, r.workload, r.faults, meta.weight, bits, r.fault_free_cycles
+                ));
+            }
+        }
+        t.row(vec![
+            "exhaustive-flavor rows".into(),
+            exhaustive_rows.to_string(),
+        ]);
+        if exhaustive_rows > 0 {
+            t.row(vec![
+                "exhaustive weights reconciling with bit x cycle space".into(),
+                reconciled.to_string(),
+            ]);
+            for m in mismatches {
+                t.row(vec![m, "WEIGHT MISMATCH".into()]);
+            }
+        }
         Ok(t)
     }
 
@@ -1730,6 +2059,108 @@ mod tests {
         assert_eq!(resumed.executed, 1, "only the missing campaign re-runs");
         assert_eq!(resumed.skipped_existing, 2);
         assert_eq!(partial.get(c, w, 2).unwrap(), store.get(c, w, 2).unwrap());
+    }
+
+    #[test]
+    fn equiv_env_knobs_parse_and_reject_typed() {
+        // Defaults: off, with the documented class cap.
+        let e = Experiments::default();
+        assert!(!e.equiv);
+        assert_eq!(e.exhaustive_max_classes, DEFAULT_MAX_CLASSES);
+        // Valid values round-trip.
+        std::env::set_var("MBU_EQUIV", "on");
+        std::env::set_var("MBU_EXHAUSTIVE_MAX_CLASSES", "1234");
+        let e = Experiments::try_from_env().unwrap();
+        assert!(e.equiv);
+        assert_eq!(e.exhaustive_max_classes, 1234);
+        // Invalid values are typed errors naming the variable — never a
+        // silent fallback to the default.
+        std::env::set_var("MBU_EQUIV", "maybe");
+        assert_eq!(
+            Experiments::try_from_env().unwrap_err(),
+            ConfigError::Invalid {
+                var: "MBU_EQUIV",
+                value: "maybe".into(),
+                expected: "must be on/off",
+            }
+        );
+        std::env::set_var("MBU_EQUIV", "off");
+        std::env::set_var("MBU_EXHAUSTIVE_MAX_CLASSES", "lots");
+        assert_eq!(
+            Experiments::try_from_env().unwrap_err(),
+            ConfigError::Invalid {
+                var: "MBU_EXHAUSTIVE_MAX_CLASSES",
+                value: "lots".into(),
+                expected: "must be a positive integer",
+            }
+        );
+        // Zero would disable exhaustive mode entirely while looking set.
+        std::env::set_var("MBU_EXHAUSTIVE_MAX_CLASSES", "0");
+        assert_eq!(
+            Experiments::try_from_env().unwrap_err(),
+            ConfigError::Invalid {
+                var: "MBU_EXHAUSTIVE_MAX_CLASSES",
+                value: "0".into(),
+                expected: "must be a positive integer",
+            }
+        );
+        std::env::remove_var("MBU_EQUIV");
+        std::env::remove_var("MBU_EXHAUSTIVE_MAX_CLASSES");
+        let e = Experiments::try_from_env().unwrap();
+        assert!(!e.equiv);
+        assert_eq!(e.exhaustive_max_classes, DEFAULT_MAX_CLASSES);
+    }
+
+    #[test]
+    fn equiv_driver_stratified_covers_l2_and_resumes() {
+        let e = tiny();
+        let w = Workload::Stringsearch;
+        let c = HwComponent::L2;
+        let dir = std::env::temp_dir().join(format!("mbu-equiv-test-{}", std::process::id()));
+        let path = dir.join("equiv.csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ResultStore::new();
+        let report = e
+            .run_equiv_with(&[], &[c], &mut store, Some(&path))
+            .unwrap();
+        assert_eq!(report.executed, 1);
+        assert!(report.is_clean(), "{:?}", report.failed);
+        assert!(report.stratified_draws >= 100, "paper spec draws ≥ min");
+        assert!(report.simulated > 0);
+        let meta = store.exhaustive_meta(c, w, 1).unwrap();
+        let row = store.get(c, w, 1).unwrap();
+        // Scaled counts cover the whole population, and that population
+        // reconciles with the structure's actual bit × cycle fault space.
+        assert_eq!(row.counts.total(), meta.weight);
+        let bits = Simulator::new(e.core, &w.program())
+            .component_geometry(c)
+            .total_bits() as u64;
+        assert_eq!(meta.weight, bits * row.fault_free_cycles);
+        assert!(row.achieved_margin.unwrap() > 0.0, "stratified, not proved");
+        // The flavored checkpoint row survives a reload with its metadata,
+        // and the resumed driver re-runs nothing.
+        let mut reloaded = ResultStore::load(&path).unwrap();
+        assert_eq!(reloaded.exhaustive_meta(c, w, 1), Some(meta));
+        let back = reloaded.get(c, w, 1).unwrap();
+        // oracle_skips (like details) is not a persisted column; the
+        // classification payload must round-trip bit-identically.
+        assert_eq!(back.counts, row.counts);
+        assert_eq!(back.achieved_margin, row.achieved_margin);
+        assert_eq!(back.fault_free_cycles, row.fault_free_cycles);
+        assert_eq!(back.fault_free_instructions, row.fault_free_instructions);
+        let again = e
+            .run_equiv_with(&[], &[c], &mut reloaded, Some(&path))
+            .unwrap();
+        assert_eq!(again.executed, 0);
+        assert_eq!(again.skipped_existing, 1);
+        // The audit reports the flavor and reconciles its weight.
+        let audit = e.verify_store(&path).unwrap().to_string();
+        assert!(audit.contains("exhaustive-flavor rows"));
+        assert!(!audit.contains("WEIGHT MISMATCH"), "{audit}");
+        // The coverage table renders the stratified row.
+        let t = e.equiv_table(&reloaded).to_string();
+        assert!(t.contains("stratified"), "{t}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

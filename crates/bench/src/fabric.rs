@@ -163,6 +163,17 @@ fn row_order(a: &ShardRow, b: &ShardRow) -> std::cmp::Ordering {
                     r.counts.assert_,
                     r.fault_free_cycles,
                     r.fault_free_instructions,
+                    r.exhaustive.map(|ex| {
+                        (
+                            ex.weighted.masked,
+                            ex.weighted.sdc,
+                            ex.weighted.crash,
+                            ex.weighted.timeout,
+                            ex.weighted.assert_,
+                            ex.weight_total,
+                            ex.pruned,
+                        )
+                    }),
                 )
             };
             payload(a).cmp(&payload(b))
@@ -184,19 +195,37 @@ pub fn merge_rows(
     rows: &[ShardRow],
     expected: &BTreeMap<Workload, GoldenFingerprint>,
 ) -> (ResultStore, MergeReport) {
+    let with_totals: Vec<(Key, usize)> = campaigns.iter().map(|&k| (k, exp.runs)).collect();
+    merge_rows_with_totals(exp, &with_totals, rows, expected)
+}
+
+/// [`merge_rows`] with an explicit per-campaign unit total — the shape
+/// exhaustive sweeps need, where each campaign's unit space is its own
+/// live-class count rather than the sweep-wide `runs`. The merge is
+/// flavor-aware: a campaign whose rows carry [`ShardExhaustive`] columns
+/// finalizes by summing the *weighted* counts, crediting the pruned dead
+/// mass as `Masked` once, and stamping the result with margin 0 and an
+/// [`crate::store::ExhaustiveMeta`] annotation; rows that disagree on the
+/// population or mix flavors are conflicts, never merged.
+pub fn merge_rows_with_totals(
+    exp: &Experiments,
+    campaigns: &[(Key, usize)],
+    rows: &[ShardRow],
+    expected: &BTreeMap<Workload, GoldenFingerprint>,
+) -> (ResultStore, MergeReport) {
     let mut report = MergeReport::default();
     let mut by_campaign: BTreeMap<Key, Vec<ShardRow>> = BTreeMap::new();
-    let wanted: std::collections::BTreeSet<Key> = campaigns.iter().copied().collect();
+    let totals: BTreeMap<Key, usize> = campaigns.iter().copied().collect();
     for row in rows {
         let key = row.unit.campaign_key();
-        if !wanted.contains(&key) {
+        let Some(&total) = totals.get(&key) else {
             // A row for a campaign outside this sweep (e.g. a narrower
             // resume) is simply not merged — not an error, not a gap.
             continue;
-        }
+        };
         let fresh = row.seed == exp.seed
             && expected.get(&row.unit.workload) == Some(&row.fingerprint)
-            && row.unit.end <= exp.runs;
+            && row.unit.end <= total;
         if !fresh {
             report.stale_dropped += 1;
             continue;
@@ -204,7 +233,7 @@ pub fn merge_rows(
         by_campaign.entry(key).or_default().push(row.clone());
     }
     let mut store = ResultStore::new();
-    for &key in campaigns {
+    for &(key, total) in campaigns {
         let (component, workload, faults) = key;
         let Some(&fingerprint) = expected.get(&workload) else {
             continue;
@@ -214,14 +243,39 @@ pub fn merge_rows(
         let before = rows.len();
         rows.dedup();
         report.duplicates_dropped += before - rows.len();
+        // One flavor per campaign: exhaustive iff every row agrees on the
+        // annotation's campaign-wide constants. A mixed set cannot be
+        // spliced into either kind of result.
+        let exhaustive = rows.first().and_then(|r| r.exhaustive).and_then(|first| {
+            rows.iter()
+                .all(|r| {
+                    r.exhaustive.is_some_and(|ex| {
+                        (ex.weight_total, ex.pruned) == (first.weight_total, first.pruned)
+                    })
+                })
+                .then_some(first)
+        });
+        let mixed = rows.iter().any(|r| r.exhaustive.is_some()) && exhaustive.is_none();
+        if mixed {
+            report.conflicts_dropped += rows.len();
+            report.gaps.push(UnitSpec {
+                component,
+                workload,
+                faults,
+                start: 0,
+                end: total,
+            });
+            continue;
+        }
         // Greedy exact-adjacency splice: only a row starting exactly at
         // the covered frontier extends the cover.
         let mut covered = 0usize;
         let mut counts = ClassCounts::new();
+        let mut weighted = ClassCounts::new();
         let mut golden: Option<(u64, u64)> = None;
         let mut merged_rows = 0usize;
         let mut gaps: Vec<(usize, usize)> = Vec::new();
-        let adaptive = exp.adaptive.is_some();
+        let adaptive = exp.adaptive.is_some() && exhaustive.is_none();
         for row in &rows {
             if adaptive && covered > 0 {
                 // Adaptive campaigns are one row; a deterministic engine
@@ -253,10 +307,10 @@ pub fn merge_rows(
                     continue;
                 }
             }
-            if rows
-                .iter()
-                .any(|other| other.unit == row.unit && other.counts != row.counts)
-            {
+            if rows.iter().any(|other| {
+                other.unit == row.unit
+                    && (other.counts != row.counts || other.exhaustive != row.exhaustive)
+            }) {
                 // Same range, different classifications: neither copy can
                 // be trusted. Leave the range uncovered so it re-runs.
                 report.conflicts_dropped += 1;
@@ -264,22 +318,34 @@ pub fn merge_rows(
             }
             golden = Some((row.fault_free_cycles, row.fault_free_instructions));
             add_counts(&mut counts, &row.counts);
+            if let Some(ex) = &row.exhaustive {
+                add_counts(&mut weighted, &ex.weighted);
+            }
             covered = row.unit.end;
             merged_rows += 1;
         }
         // An adaptive campaign is complete at its own stopping point; a
-        // fixed campaign only at `runs`.
+        // fixed or exhaustive campaign only at its full unit count.
         let complete = if adaptive {
             merged_rows == 1
         } else {
-            covered == exp.runs && gaps.is_empty()
+            covered == total && gaps.is_empty()
         };
-        if !complete {
-            if covered < exp.runs && !adaptive {
-                gaps.push((covered, exp.runs));
-            }
-            if adaptive || gaps.is_empty() {
-                gaps = vec![(0, exp.runs)];
+        // An exhaustive cover must also reconcile exactly with the
+        // population: live mass + dead mass == bits × cycles.
+        let reconciled = exhaustive
+            .is_none_or(|ex| weighted.total().checked_add(ex.pruned) == Some(ex.weight_total));
+        if !complete || !reconciled {
+            if !reconciled {
+                report.conflicts_dropped += merged_rows;
+                gaps = vec![(0, total)];
+            } else {
+                if covered < total && !adaptive {
+                    gaps.push((covered, total));
+                }
+                if adaptive || gaps.is_empty() {
+                    gaps = vec![(0, total)];
+                }
             }
             for (start, end) in gaps {
                 report.gaps.push(UnitSpec {
@@ -293,21 +359,55 @@ pub fn merge_rows(
             continue;
         }
         let (cycles, instructions) = golden.expect("complete cover has at least one row");
-        let z = exp.adaptive.as_ref().map(|a| a.z).unwrap_or(Z_99);
-        let result = mbu_gefin::campaign::CampaignResult {
-            workload,
-            component,
-            faults,
-            counts,
-            fault_free_cycles: cycles,
-            fault_free_instructions: instructions,
-            details: None,
-            anomalies: mbu_gefin::campaign::AnomalyLog::new(),
-            oracle_skips: 0,
-            achieved_margin: campaign_margin(component, &counts, cycles, z).ok(),
-            snapshot_stats: None,
+        let result = match exhaustive {
+            Some(ex) => {
+                // Full class cover: weighted outcomes plus the pruned dead
+                // mass, credited Masked once. Margin is exactly 0 — every
+                // fault site of the population is classified.
+                let mut final_counts = weighted;
+                final_counts.record_weighted(mbu_gefin::FaultEffect::Masked, ex.pruned);
+                mbu_gefin::campaign::CampaignResult {
+                    workload,
+                    component,
+                    faults,
+                    counts: final_counts,
+                    fault_free_cycles: cycles,
+                    fault_free_instructions: instructions,
+                    details: None,
+                    anomalies: mbu_gefin::campaign::AnomalyLog::new(),
+                    oracle_skips: 0,
+                    achieved_margin: Some(0.0),
+                    snapshot_stats: None,
+                }
+            }
+            None => {
+                let z = exp.adaptive.as_ref().map(|a| a.z).unwrap_or(Z_99);
+                mbu_gefin::campaign::CampaignResult {
+                    workload,
+                    component,
+                    faults,
+                    counts,
+                    fault_free_cycles: cycles,
+                    fault_free_instructions: instructions,
+                    details: None,
+                    anomalies: mbu_gefin::campaign::AnomalyLog::new(),
+                    oracle_skips: 0,
+                    achieved_margin: campaign_margin(component, &counts, cycles, z).ok(),
+                    snapshot_stats: None,
+                }
+            }
         };
-        store.insert_with_fingerprint(result, Some(fingerprint));
+        match exhaustive {
+            Some(ex) => store.insert_exhaustive(
+                result,
+                crate::store::ExhaustiveMeta {
+                    classes: total as u64,
+                    weight: ex.weight_total,
+                },
+                Some(fingerprint),
+            ),
+            None => store.insert_with_fingerprint(result, Some(fingerprint)),
+        }
         report.campaigns_merged += 1;
         report.rows_merged += merged_rows;
     }
@@ -527,6 +627,7 @@ fn run_unit(
         fault_free_cycles: result.fault_free_cycles,
         fault_free_instructions: result.fault_free_instructions,
         fingerprint,
+        exhaustive: None,
     };
     Ok((row, result.anomalies.len()))
 }
@@ -755,6 +856,7 @@ mod tests {
             fault_free_cycles: 5000,
             fault_free_instructions: 2500,
             fingerprint: GoldenFingerprint(fp),
+            exhaustive: None,
         }
     }
 

@@ -33,10 +33,18 @@
 //!   cache (default on: one golden run + snapshot store per workload,
 //!   shared across every campaign targeting it). Results are bit-identical
 //!   either way; bypassing logs a sweep-level anomaly.
+//! * `MBU_EQUIV` — `on` extends `repro exhaustive` past the small
+//!   structures: the big data arrays (L1D/L1I/L2) are covered by
+//!   class-weighted stratified sampling (draws proportional to
+//!   live-interval mass, the dead stratum credited `Masked` exactly).
+//! * `MBU_EXHAUSTIVE_MAX_CLASSES` — hard cap on live equivalence classes
+//!   per exhaustive campaign (default 4 000 000); a larger partition is
+//!   rejected with a typed error, never silently subsampled.
 
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod equivbench;
 pub mod experiments;
 pub mod fabric;
 pub mod io;
@@ -49,7 +57,11 @@ pub mod supervisor;
 pub mod tinybench;
 
 pub use chaos::{ChaosIo, ChaosPlan, WorkerChaos};
-pub use experiments::{ComponentData, ConfigError, Experiments, SweepControl, SweepReport};
+pub use equivbench::{EquivbenchReport, EquivbenchRow};
+pub use experiments::{
+    ComponentData, ConfigError, EquivReport, Experiments, SweepControl, SweepReport,
+    EXHAUSTIVE_COMPONENTS, STRATIFIED_COMPONENTS,
+};
 pub use fabric::{plan_units, MergeReport, ShardAudit};
 pub use io::{RealIo, RetryIo, RetryPolicy, StoreIo};
 pub use protocol::{ExpSpec, Json, ProtocolError, ToSupervisor, ToWorker};

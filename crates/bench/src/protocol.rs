@@ -239,7 +239,7 @@ impl ExpSpec {
 }
 
 fn row_to_json(r: &ShardRow) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("unit".into(), unit_to_json(&r.unit)),
         ("seed".into(), Json::u64(r.seed)),
         ("masked".into(), Json::u64(r.counts.masked)),
@@ -250,13 +250,42 @@ fn row_to_json(r: &ShardRow) -> Json {
         ("cycles".into(), Json::u64(r.fault_free_cycles)),
         ("instr".into(), Json::u64(r.fault_free_instructions)),
         ("fp".into(), Json::Str(r.fingerprint.to_string())),
-    ])
+    ];
+    if let Some(ex) = &r.exhaustive {
+        fields.push((
+            "ex".into(),
+            Json::Obj(vec![
+                ("masked".into(), Json::u64(ex.weighted.masked)),
+                ("sdc".into(), Json::u64(ex.weighted.sdc)),
+                ("crash".into(), Json::u64(ex.weighted.crash)),
+                ("timeout".into(), Json::u64(ex.weighted.timeout)),
+                ("assert".into(), Json::u64(ex.weighted.assert_)),
+                ("weight".into(), Json::u64(ex.weight_total)),
+                ("pruned".into(), Json::u64(ex.pruned)),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 fn row_from_json(v: &Json) -> Result<ShardRow, ProtocolError> {
     let fp: GoldenFingerprint = get_str(v, "fp")?
         .parse()
         .map_err(|e| ProtocolError::Message(format!("bad fingerprint: {e}")))?;
+    let exhaustive = match v.get("ex") {
+        None | Some(Json::Null) => None,
+        Some(ex) => Some(crate::store::ShardExhaustive {
+            weighted: ClassCounts {
+                masked: get_u64(ex, "masked")?,
+                sdc: get_u64(ex, "sdc")?,
+                crash: get_u64(ex, "crash")?,
+                timeout: get_u64(ex, "timeout")?,
+                assert_: get_u64(ex, "assert")?,
+            },
+            weight_total: get_u64(ex, "weight")?,
+            pruned: get_u64(ex, "pruned")?,
+        }),
+    };
     Ok(ShardRow {
         unit: unit_from_json(
             v.get("unit")
@@ -273,6 +302,7 @@ fn row_from_json(v: &Json) -> Result<ShardRow, ProtocolError> {
         fault_free_cycles: get_u64(v, "cycles")?,
         fault_free_instructions: get_u64(v, "instr")?,
         fingerprint: fp,
+        exhaustive,
     })
 }
 
@@ -531,6 +561,7 @@ mod tests {
             fault_free_cycles: 123_456,
             fault_free_instructions: 65_432,
             fingerprint: GoldenFingerprint(0x0123_4567_89ab_cdef),
+            exhaustive: None,
         }
     }
 

@@ -205,11 +205,26 @@ pub fn quarantine_path(path: &Path) -> PathBuf {
     PathBuf::from(s)
 }
 
+/// The exhaustive-campaign annotation of a result row: how the row's
+/// counts were produced from the fault-equivalence partition. Rows
+/// carrying one have counts summing to the *whole* `bits × cycles`
+/// population (weighted per class, or population-scaled for stratified
+/// sampling — the two are told apart by the row's margin: exactly 0 means
+/// provable full coverage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhaustiveMeta {
+    /// Distinct live classes actually simulated.
+    pub classes: u64,
+    /// The fault-space population the counts cover (`bits × cycles`).
+    pub weight: u64,
+}
+
 /// An in-memory, CSV-backed store of campaign results.
 #[derive(Debug, Clone, Default)]
 pub struct ResultStore {
     entries: BTreeMap<Key, CampaignResult>,
     fingerprints: BTreeMap<Key, GoldenFingerprint>,
+    exhaustive_meta: BTreeMap<Key, ExhaustiveMeta>,
 }
 
 impl ResultStore {
@@ -225,6 +240,7 @@ impl ResultStore {
     pub fn insert(&mut self, r: CampaignResult) {
         let key = (r.component, r.workload, r.faults);
         self.fingerprints.remove(&key);
+        self.exhaustive_meta.remove(&key);
         self.entries.insert(key, r);
     }
 
@@ -245,7 +261,33 @@ impl ResultStore {
                 self.fingerprints.remove(&key);
             }
         }
+        self.exhaustive_meta.remove(&key);
         self.entries.insert(key, r);
+    }
+
+    /// Inserts an equivalence-class campaign result with its
+    /// [`ExhaustiveMeta`] annotation and fingerprint.
+    pub fn insert_exhaustive(
+        &mut self,
+        r: CampaignResult,
+        meta: ExhaustiveMeta,
+        fingerprint: Option<GoldenFingerprint>,
+    ) {
+        let key = (r.component, r.workload, r.faults);
+        self.insert_with_fingerprint(r, fingerprint);
+        self.exhaustive_meta.insert(key, meta);
+    }
+
+    /// The exhaustive annotation of a stored result, if it carries one.
+    pub fn exhaustive_meta(
+        &self,
+        component: HwComponent,
+        workload: Workload,
+        faults: usize,
+    ) -> Option<ExhaustiveMeta> {
+        self.exhaustive_meta
+            .get(&(component, workload, faults))
+            .copied()
     }
 
     /// Looks up a campaign result.
@@ -297,12 +339,17 @@ impl ResultStore {
     }
 
     /// Renders one result as a v2 CSV row (no trailing newline): 12 body
-    /// fields plus the CRC-32 of the body text.
+    /// fields (14 with an exhaustive annotation) plus the CRC-32 of the
+    /// body text.
     ///
     /// The margin is serialized with Rust's shortest-roundtrip float
     /// formatting, so a saved and reloaded store is *bit-identical* — the
     /// chaos harness depends on this.
-    fn csv_row(r: &CampaignResult, fingerprint: Option<GoldenFingerprint>) -> String {
+    fn csv_row(
+        r: &CampaignResult,
+        fingerprint: Option<GoldenFingerprint>,
+        meta: Option<ExhaustiveMeta>,
+    ) -> String {
         let margin = match r.achieved_margin {
             Some(m) => m.to_string(),
             None => "-".to_string(),
@@ -311,7 +358,7 @@ impl ResultStore {
             Some(fp) => fp.to_string(),
             None => "-".to_string(),
         };
-        let body = format!(
+        let mut body = format!(
             "{},{},{},{},{},{},{},{},{},{},{},{}",
             component_slug(r.component),
             r.workload.name(),
@@ -326,6 +373,9 @@ impl ResultStore {
             margin,
             fp,
         );
+        if let Some(meta) = meta {
+            body.push_str(&format!(",{},{}", meta.classes, meta.weight));
+        }
         let crc = crc32(body.as_bytes());
         format!("{body},{crc:08x}")
     }
@@ -337,21 +387,39 @@ impl ResultStore {
         out.push_str(CSV_HEADER);
         out.push('\n');
         for (key, r) in &self.entries {
-            out.push_str(&Self::csv_row(r, self.fingerprints.get(key).copied()));
+            out.push_str(&Self::csv_row(
+                r,
+                self.fingerprints.get(key).copied(),
+                self.exhaustive_meta.get(key).copied(),
+            ));
             out.push('\n');
         }
         out
     }
 
-    /// Parses one row body (v2: 12 fields; legacy: 10 fields) into a result
-    /// and optional fingerprint. `Err` is a human-readable defect message.
+    /// Parses one row body (v2: 12 fields, 14 with the exhaustive
+    /// annotation; legacy: 10 fields) into a result, optional fingerprint
+    /// and optional exhaustive meta. `Err` is a human-readable defect
+    /// message.
     fn parse_body(
         fields: &[&str],
         legacy: bool,
-    ) -> Result<(CampaignResult, Option<GoldenFingerprint>), String> {
-        let expected = if legacy { 10 } else { 12 };
-        if fields.len() != expected {
-            return Err(format!("expected {expected} fields, got {}", fields.len()));
+    ) -> Result<
+        (
+            CampaignResult,
+            Option<GoldenFingerprint>,
+            Option<ExhaustiveMeta>,
+        ),
+        String,
+    > {
+        if legacy && fields.len() != 10 {
+            return Err(format!("expected 10 fields, got {}", fields.len()));
+        }
+        if !legacy && fields.len() != 12 && fields.len() != 14 {
+            return Err(format!(
+                "expected 12 (sampled) or 14 (exhaustive) fields, got {}",
+                fields.len()
+            ));
         }
         let parse = |s: &str| -> Result<u64, String> {
             s.parse().map_err(|e| format!("{e} (field {s:?})"))
@@ -402,11 +470,46 @@ impl ResultStore {
             achieved_margin,
             snapshot_stats: None,
         };
-        Ok((result, fingerprint))
+        let meta = if fields.len() == 14 {
+            let meta = ExhaustiveMeta {
+                classes: parse(fields[12])?,
+                weight: parse(fields[13])?,
+            };
+            // The defining invariant of the flavor: the counts cover the
+            // whole fault-space population (weighted or population-scaled),
+            // from no more simulations than the population holds.
+            if result.counts.total() != meta.weight {
+                return Err(format!(
+                    "exhaustive counts sum to {} but claim a population of {}",
+                    result.counts.total(),
+                    meta.weight
+                ));
+            }
+            if meta.classes > meta.weight {
+                return Err(format!(
+                    "{} simulated classes exceed the population {}",
+                    meta.classes, meta.weight
+                ));
+            }
+            Some(meta)
+        } else {
+            None
+        };
+        Ok((result, fingerprint, meta))
     }
 
     /// Checks a v2 row's CRC and parses it.
-    fn parse_v2_row(line: &str) -> Result<(CampaignResult, Option<GoldenFingerprint>), RowDefect> {
+    #[allow(clippy::type_complexity)]
+    fn parse_v2_row(
+        line: &str,
+    ) -> Result<
+        (
+            CampaignResult,
+            Option<GoldenFingerprint>,
+            Option<ExhaustiveMeta>,
+        ),
+        RowDefect,
+    > {
         let syntax = |message: String| RowDefect::Syntax { message };
         let (body, crc_hex) = line
             .rsplit_once(',')
@@ -476,8 +579,11 @@ impl ResultStore {
                 }
             };
             match parsed {
-                Ok((result, fingerprint)) => {
-                    store.insert_with_fingerprint(result, fingerprint);
+                Ok((result, fingerprint, meta)) => {
+                    match meta {
+                        Some(meta) => store.insert_exhaustive(result, meta, fingerprint),
+                        None => store.insert_with_fingerprint(result, fingerprint),
+                    }
                     audit.rows_loaded += 1;
                 }
                 Err(defect) => audit.quarantined.push(QuarantinedRow {
@@ -569,7 +675,24 @@ impl ResultStore {
         r: &CampaignResult,
         fingerprint: Option<GoldenFingerprint>,
     ) -> Result<(), StoreError> {
-        let row = Self::csv_row(r, fingerprint);
+        Self::append_flavored_row_with(io, path, r, fingerprint, None)
+    }
+
+    /// [`ResultStore::append_row_with`] for either flavor: with
+    /// `Some(meta)` the row is written with the two exhaustive columns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a corrupt legacy file surfaces its parse
+    /// error rather than being silently rewritten.
+    pub fn append_flavored_row_with(
+        io: &dyn StoreIo,
+        path: &Path,
+        r: &CampaignResult,
+        fingerprint: Option<GoldenFingerprint>,
+        meta: Option<ExhaustiveMeta>,
+    ) -> Result<(), StoreError> {
+        let row = Self::csv_row(r, fingerprint, meta);
         if io.len(path)? == 0 {
             // One append call for version + header + row: a single
             // crash-consistency unit, so no observable state has the header
@@ -646,9 +769,30 @@ impl ResultStore {
 /// The version line of a worker shard store.
 pub const SHARD_VERSION_LINE: &str = "#mbu-shard v1";
 
-/// The fixed CSV header of a worker shard store.
+/// The fixed CSV header of a worker shard store. Exhaustive-flavor rows
+/// append seven more columns (`w_masked..w_assert,weight,pruned`) between
+/// `fingerprint` and `crc`; the parser dispatches on field count.
 pub const SHARD_CSV_HEADER: &str = "component,workload,faults,start,end,seed,masked,sdc,crash,\
                                     timeout,assert,cycles,instructions,fingerprint,crc";
+
+/// The exhaustive-campaign annotation of a [`ShardRow`]: the row's
+/// `[start, end)` range indexes *live equivalence classes* (not runs), its
+/// standard counts are the unweighted per-class outcomes (so the
+/// `total == len` invariant and the splice merge hold unchanged), and
+/// these columns carry the population-weighted view the final result is
+/// assembled from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardExhaustive {
+    /// Class outcomes multiplied by their class weights: the population
+    /// mass this unit's classes account for, per effect.
+    pub weighted: ClassCounts,
+    /// The structure's whole fault-space population (`bits × cycles` of
+    /// the fault-free run). Every row of a campaign must agree.
+    pub weight_total: u64,
+    /// Population mass of the provably-dead classes, credited `Masked`
+    /// once at merge (never per row). Every row of a campaign must agree.
+    pub pruned: u64,
+}
 
 /// One completed work unit in a worker's shard store: the class counts of
 /// a contiguous run-range `[start, end)` of one campaign, stamped with the
@@ -669,6 +813,8 @@ pub struct ShardRow {
     pub fault_free_instructions: u64,
     /// Fingerprint of the golden run the range was classified against.
     pub fingerprint: GoldenFingerprint,
+    /// Exhaustive-campaign weight columns; `None` on sampled-sweep rows.
+    pub exhaustive: Option<ShardExhaustive>,
 }
 
 impl ShardRow {
@@ -739,10 +885,10 @@ impl ShardStore {
         &self.rows
     }
 
-    /// Renders one row as CSV (no trailing newline): 14 body fields plus
-    /// the CRC-32 of the body text.
+    /// Renders one row as CSV (no trailing newline): 14 body fields (21
+    /// for exhaustive-flavor rows) plus the CRC-32 of the body text.
     fn csv_row(r: &ShardRow) -> String {
-        let body = format!(
+        let mut body = format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             component_slug(r.unit.component),
             r.unit.workload.name(),
@@ -759,6 +905,18 @@ impl ShardStore {
             r.fault_free_instructions,
             r.fingerprint,
         );
+        if let Some(ex) = &r.exhaustive {
+            body.push_str(&format!(
+                ",{},{},{},{},{},{},{}",
+                ex.weighted.masked,
+                ex.weighted.sdc,
+                ex.weighted.crash,
+                ex.weighted.timeout,
+                ex.weighted.assert_,
+                ex.weight_total,
+                ex.pruned,
+            ));
+        }
         let crc = crc32(body.as_bytes());
         format!("{body},{crc:08x}")
     }
@@ -792,8 +950,11 @@ impl ShardStore {
             return Err(RowDefect::CrcMismatch { stored, computed });
         }
         let fields: Vec<&str> = body.split(',').collect();
-        if fields.len() != 14 {
-            return Err(syntax(format!("expected 14 fields, got {}", fields.len())));
+        if fields.len() != 14 && fields.len() != 21 {
+            return Err(syntax(format!(
+                "expected 14 (sampled) or 21 (exhaustive) fields, got {}",
+                fields.len()
+            )));
         }
         let parse = |s: &str| -> Result<u64, RowDefect> {
             s.parse().map_err(|e| syntax(format!("{e} (field {s:?})")))
@@ -829,6 +990,39 @@ impl ShardStore {
                 unit.len()
             )));
         }
+        let exhaustive = if fields.len() == 21 {
+            let ex = ShardExhaustive {
+                weighted: ClassCounts {
+                    masked: parse(fields[14])?,
+                    sdc: parse(fields[15])?,
+                    crash: parse(fields[16])?,
+                    timeout: parse(fields[17])?,
+                    assert_: parse(fields[18])?,
+                },
+                weight_total: parse(fields[19])?,
+                pruned: parse(fields[20])?,
+            };
+            // Each class carries weight ≥ 1, and this unit's live mass plus
+            // the dead mass can never exceed the whole population.
+            if ex.weighted.total() < unit.len() as u64 {
+                return Err(syntax(format!(
+                    "weighted counts sum to {} but the range holds {} classes",
+                    ex.weighted.total(),
+                    unit.len()
+                )));
+            }
+            if ex.weighted.total().saturating_add(ex.pruned) > ex.weight_total {
+                return Err(syntax(format!(
+                    "weighted mass {} + pruned {} exceeds the population {}",
+                    ex.weighted.total(),
+                    ex.pruned,
+                    ex.weight_total
+                )));
+            }
+            Some(ex)
+        } else {
+            None
+        };
         Ok(ShardRow {
             unit,
             seed: parse(fields[5])?,
@@ -838,6 +1032,7 @@ impl ShardStore {
             fingerprint: fp
                 .parse()
                 .map_err(|e| syntax(format!("{e} (fingerprint {fp:?})")))?,
+            exhaustive,
         })
     }
 
@@ -1158,6 +1353,105 @@ mod tests {
         );
         // Serialize-again is bit-identical.
         assert_eq!(back.to_csv(), csv);
+    }
+
+    /// An exhaustive sample: weighted counts covering the whole population
+    /// (the flavor's defining invariant), margin exactly 0.
+    fn exhaustive_sample(component: HwComponent, workload: Workload) -> CampaignResult {
+        let mut r = sample(component, workload, 1);
+        r.achieved_margin = Some(0.0);
+        r
+    }
+
+    #[test]
+    fn exhaustive_flavor_roundtrips_meta_and_checkpoints() {
+        let meta = ExhaustiveMeta {
+            classes: 7,
+            weight: 100, // == sample counts.total()
+        };
+        let mut s = ResultStore::new();
+        s.insert_exhaustive(
+            exhaustive_sample(HwComponent::DTlb, Workload::Sha),
+            meta,
+            Some(GoldenFingerprint(0x0123_4567_89AB_CDEF)),
+        );
+        s.insert(sample(HwComponent::L1D, Workload::Sha, 1));
+        let csv = s.to_csv();
+        let back = ResultStore::from_csv(&csv).unwrap();
+        assert_eq!(
+            back.exhaustive_meta(HwComponent::DTlb, Workload::Sha, 1),
+            Some(meta)
+        );
+        assert_eq!(
+            back.exhaustive_meta(HwComponent::L1D, Workload::Sha, 1),
+            None,
+            "sampled rows carry no annotation"
+        );
+        assert_eq!(back.to_csv(), csv, "serialize-again is bit-identical");
+        // A plain re-measurement of the key drops the stale annotation.
+        let mut s = back;
+        s.insert(sample(HwComponent::DTlb, Workload::Sha, 1));
+        assert_eq!(s.exhaustive_meta(HwComponent::DTlb, Workload::Sha, 1), None);
+
+        // The incremental checkpoint path writes and reloads the flavor.
+        let dir = std::env::temp_dir().join(format!("mbu-store-flavor-{}", std::process::id()));
+        let path = dir.join("exhaustive.csv");
+        let _ = std::fs::remove_file(&path);
+        ResultStore::append_flavored_row_with(
+            &RealIo,
+            &path,
+            &exhaustive_sample(HwComponent::ITlb, Workload::Qsort),
+            None,
+            Some(meta),
+        )
+        .unwrap();
+        let loaded = ResultStore::load(&path).unwrap();
+        assert_eq!(
+            loaded.exhaustive_meta(HwComponent::ITlb, Workload::Qsort, 1),
+            Some(meta)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Rows whose class/weight columns don't reconcile with the counts are
+    /// typed syntax defects even with a valid CRC — the weight-multiply
+    /// must never load a row that claims more (or less) than it covers.
+    #[test]
+    fn exhaustive_flavor_validation_rejects_unreconciled_rows() {
+        let tampered_csv = |classes: u64, weight: u64| {
+            let r = exhaustive_sample(HwComponent::DTlb, Workload::Sha);
+            let mut s = ResultStore::new();
+            s.insert_exhaustive(r, ExhaustiveMeta { classes, weight }, None);
+            s.to_csv()
+        };
+        // Re-checksum a body so only the semantic validation can object.
+        let reseal = |csv: &str, from: &str, to: &str| {
+            let row = csv.lines().nth(2).expect("one data row");
+            let (body, _) = row.rsplit_once(',').expect("crc field");
+            let body = body.replacen(from, to, 1);
+            assert_ne!(body, row, "tamper must apply");
+            let crc = crc32(body.as_bytes());
+            format!("{}\n{}\n{body},{crc:08x}\n", STORE_VERSION_LINE, CSV_HEADER)
+        };
+        let good = tampered_csv(7, 100);
+        assert!(ResultStore::from_csv(&good).is_ok());
+        // Weight disagreeing with the counts sum.
+        let bad_weight = reseal(&good, ",7,100", ",7,101");
+        match ResultStore::from_csv(&bad_weight) {
+            Err(StoreError::Syntax { message, .. }) => {
+                assert!(message.contains("claim a population"), "{message}")
+            }
+            other => panic!("expected syntax defect, got {other:?}"),
+        }
+        // More simulated classes than the population holds. (The counts
+        // must still sum to the claimed weight to reach the class check.)
+        let bad_classes = reseal(&tampered_csv(7, 100), ",7,100", ",101,100");
+        match ResultStore::from_csv(&bad_classes) {
+            Err(StoreError::Syntax { message, .. }) => {
+                assert!(message.contains("exceed the population"), "{message}")
+            }
+            other => panic!("expected syntax defect, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! coverage. A deterministic engine means any exact cover of `0..runs`
 //! must splice to the same campaign result, bit for bit.
 
-use mbu_bench::fabric::merge_rows;
+use mbu_bench::fabric::{merge_rows, merge_rows_with_totals};
+use mbu_bench::store::ShardExhaustive;
 use mbu_bench::{Experiments, ShardRow};
 use mbu_cpu::HwComponent;
 use mbu_gefin::campaign::UnitSpec;
@@ -74,7 +75,56 @@ fn row(exp: &Experiments, start: usize, end: usize, fingerprint: GoldenFingerpri
         fault_free_cycles: CYCLES,
         fault_free_instructions: INSTRUCTIONS,
         fingerprint,
+        exhaustive: None,
     }
+}
+
+/// Synthetic class weight for live class `i` — varied so different covers
+/// only reconcile if the weighted sums are computed range-exactly.
+fn class_weight(i: usize) -> u64 {
+    (i % 5) as u64 + 1
+}
+
+/// Dead (pruned) population mass of the synthetic exhaustive campaign.
+const PRUNED: u64 = 1000;
+
+/// The whole synthetic fault population: live mass + dead mass.
+fn ex_population(classes: usize) -> u64 {
+    (0..classes).map(class_weight).sum::<u64>() + PRUNED
+}
+
+/// One exhaustive shard row covering live classes `start..end`: per-class
+/// outcomes from the same deterministic engine, weighted by class weight.
+fn ex_row(exp: &Experiments, start: usize, end: usize, classes: usize) -> ShardRow {
+    let mut weighted = ClassCounts::new();
+    for i in start..end {
+        let c = run_class(i);
+        weighted.masked += c.masked * class_weight(i);
+        weighted.sdc += c.sdc * class_weight(i);
+        weighted.crash += c.crash * class_weight(i);
+        weighted.timeout += c.timeout * class_weight(i);
+        weighted.assert_ += c.assert_ * class_weight(i);
+    }
+    let mut r = row(exp, start, end, FP);
+    r.exhaustive = Some(ShardExhaustive {
+        weighted,
+        weight_total: ex_population(classes),
+        pruned: PRUNED,
+    });
+    r
+}
+
+/// An exact exhaustive cover of `0..classes` from sorted cut points.
+fn ex_cover(exp: &Experiments, classes: usize, cuts: &[usize]) -> Vec<ShardRow> {
+    let mut points: Vec<usize> = cuts.to_vec();
+    points.push(0);
+    points.push(classes);
+    points.sort_unstable();
+    points.dedup();
+    points
+        .windows(2)
+        .map(|w| ex_row(exp, w[0], w[1], classes))
+        .collect()
 }
 
 fn expected() -> BTreeMap<Workload, GoldenFingerprint> {
@@ -230,5 +280,70 @@ proptest! {
         let (direct, _) = merge_rows(&e, &[key()], &rows, &expected());
         let (via_csv, _) = merge_rows(&e, &[key()], reloaded.rows(), &expected());
         prop_assert_eq!(via_csv.to_csv(), direct.to_csv());
+    }
+
+    /// Exhaustive-flavor merge: any exact cover of the live-class space
+    /// splices to the same weighted, margin-0, meta-annotated campaign as
+    /// the whole-range row, independent of row order.
+    #[test]
+    fn exhaustive_cover_merges_weighted_and_annotated(
+        classes in 4usize..40,
+        raw_cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..5),
+        perm in any::<u64>(),
+    ) {
+        let e = exp(classes);
+        let cuts: Vec<usize> = raw_cuts.iter().map(|c| 1 + c.index(classes - 1)).collect();
+        let mut rows = ex_cover(&e, classes, &cuts);
+        shuffle(&mut rows, perm);
+        let totals = [(key(), classes)];
+        let reference = merge_rows_with_totals(
+            &e, &totals, &[ex_row(&e, 0, classes, classes)], &expected(),
+        );
+        let (store, report) = merge_rows_with_totals(&e, &totals, &rows, &expected());
+        prop_assert!(report.is_complete(), "gaps from an exact cover: {:?}", report.gaps);
+        prop_assert_eq!(report.campaigns_merged, 1);
+        prop_assert_eq!(store.to_csv(), reference.0.to_csv());
+        let (c, w, f) = key();
+        let merged = store.get(c, w, f).expect("merged campaign");
+        // Weighted cover + pruned dead mass == the whole population,
+        // margin exactly 0, meta carried through.
+        prop_assert_eq!(merged.achieved_margin, Some(0.0));
+        prop_assert_eq!(merged.counts.total(), ex_population(classes));
+        let meta = store.exhaustive_meta(c, w, f).expect("annotation survives merge");
+        prop_assert_eq!(meta.classes, classes as u64);
+        prop_assert_eq!(meta.weight, ex_population(classes));
+    }
+
+    /// Flavor mixing and population disagreement are conflicts, never
+    /// merged: the whole campaign becomes a gap so it re-runs cleanly.
+    #[test]
+    fn mixed_or_disagreeing_exhaustive_rows_conflict(
+        classes in 4usize..40,
+        cut in any::<prop::sample::Index>(),
+        disagree in any::<bool>(),
+        perm in any::<u64>(),
+    ) {
+        let e = exp(classes);
+        let mid = 1 + cut.index(classes - 1);
+        let mut tail = ex_row(&e, mid, classes, classes);
+        if disagree {
+            // Same flavor, different claimed population.
+            tail.exhaustive.as_mut().unwrap().weight_total += 1;
+        } else {
+            // Sampled row inside an exhaustive campaign.
+            tail.exhaustive = None;
+        }
+        let mut rows = vec![ex_row(&e, 0, mid, classes), tail];
+        shuffle(&mut rows, perm);
+        let totals = [(key(), classes)];
+        let (store, report) = merge_rows_with_totals(&e, &totals, &rows, &expected());
+        prop_assert_eq!(store.len(), 0, "conflicting flavor must not merge");
+        prop_assert_eq!(report.campaigns_merged, 0);
+        prop_assert!(report.conflicts_dropped > 0);
+        prop_assert_eq!(
+            report.gaps,
+            vec![UnitSpec { start: 0, end: classes, ..rows[0].unit }],
+            "the whole campaign is the re-run plan"
+        );
     }
 }

@@ -810,6 +810,48 @@ impl Campaign {
                 return (detail, extras);
             }
         }
+        let (effect, cycles, run_extras) = self.run_injection(
+            program,
+            &mask.coords,
+            inject_at,
+            fault_free_cycles,
+            golden_output,
+            golden_code,
+            snapshots,
+            Some(cancel),
+        );
+        extras.snapshot_restore = run_extras.snapshot_restore;
+        extras.snapshot_early_masked = run_extras.snapshot_early_masked;
+        let detail = RunDetail {
+            index: run_index,
+            inject_cycle: inject_at,
+            mask,
+            effect,
+            cycles,
+        };
+        (detail, extras)
+    }
+
+    /// Simulates exactly one injection: flip `coords` at `inject_at` under
+    /// the configured target, classify against the golden reference. The
+    /// deterministic tail of [`Campaign::one_run`], and — via
+    /// [`Campaign::probe_injection`] — the primitive the exhaustive
+    /// (per-equivalence-class) engine drives with chosen fault sites
+    /// instead of seed-drawn ones.
+    #[allow(clippy::too_many_arguments)]
+    fn run_injection(
+        &self,
+        program: &Program,
+        coords: &[BitCoord],
+        inject_at: u64,
+        fault_free_cycles: u64,
+        golden_output: &[u8],
+        golden_code: u32,
+        snapshots: Option<&SnapshotStore>,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> (FaultEffect, u64, RunExtras) {
+        let cfg = &self.config;
+        let mut extras = RunExtras::default();
         let mut sim = Simulator::new(cfg.core, program);
         if let Some(store) = snapshots {
             // Fast-forward: skip the fault-free prefix by restoring the
@@ -817,14 +859,16 @@ impl Campaign {
             sim.restore(store.nearest_at_or_before(inject_at));
             extras.snapshot_restore = true;
         }
-        sim.set_cancel_flag(Arc::clone(cancel));
+        if let Some(cancel) = cancel {
+            sim.set_cancel_flag(Arc::clone(cancel));
+        }
         let limit = fault_free_cycles * cfg.timeout_factor;
         // The injection point precedes the fault-free end, so the run cannot
         // have finished yet.
         if sim.run_until_cycle(inject_at).is_none() {
             match cfg.target {
-                InjectionTarget::DataArray => sim.inject_flips(cfg.component, &mask.coords),
-                InjectionTarget::TagArray => sim.inject_tag_flips(cfg.component, &mask.coords),
+                InjectionTarget::DataArray => sim.inject_flips(cfg.component, coords),
+                InjectionTarget::TagArray => sim.inject_tag_flips(cfg.component, coords),
             }
         }
         let end = match snapshots {
@@ -833,14 +877,7 @@ impl Campaign {
                 let (end, early) = run_with_reconvergence(&mut sim, store, limit);
                 if early {
                     extras.snapshot_early_masked = true;
-                    let detail = RunDetail {
-                        index: run_index,
-                        inject_cycle: inject_at,
-                        mask,
-                        effect: FaultEffect::Masked,
-                        cycles: fault_free_cycles,
-                    };
-                    return (detail, extras);
+                    return (FaultEffect::Masked, fault_free_cycles, extras);
                 }
                 end
             }
@@ -851,14 +888,48 @@ impl Campaign {
             cycles: sim.cycle(),
             instructions: sim.instructions(),
         };
-        let detail = RunDetail {
-            index: run_index,
-            inject_cycle: inject_at,
-            mask,
-            effect: classify(&result, golden_output, golden_code),
-            cycles: result.cycles,
-        };
-        (detail, extras)
+        let effect = classify(&result, golden_output, golden_code);
+        (effect, result.cycles, extras)
+    }
+
+    /// [`Campaign::run_injection`] inside the isolation boundary, for
+    /// callers that choose the fault site deterministically (the exhaustive
+    /// engine): panics inside the simulated run classify as
+    /// [`FaultEffect::Assert`] with zero cycles, mirroring the sampled
+    /// path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_injection(
+        &self,
+        program: &Program,
+        coords: &[BitCoord],
+        inject_at: u64,
+        fault_free_cycles: u64,
+        golden_output: &[u8],
+        golden_code: u32,
+        snapshots: Option<&SnapshotStore>,
+    ) -> (FaultEffect, u64) {
+        install_quiet_panic_hook();
+        let outcome = IN_ISOLATED_RUN.with(|flag| {
+            flag.set(true);
+            let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.run_injection(
+                    program,
+                    coords,
+                    inject_at,
+                    fault_free_cycles,
+                    golden_output,
+                    golden_code,
+                    snapshots,
+                    None,
+                )
+            }));
+            flag.set(false);
+            r
+        });
+        match outcome {
+            Ok((effect, cycles, _)) => (effect, cycles),
+            Err(_) => (FaultEffect::Assert, 0),
+        }
     }
 
     /// Executes one injection run inside the isolation boundary: panics are
@@ -1155,6 +1226,40 @@ impl Campaign {
         self.execute(artifacts, Some(range))
     }
 
+    /// Rejects golden artifacts built for a different campaign (wrong core
+    /// configuration, wrong program, or a missing/mismatched snapshot
+    /// store) — shared by the sampled executor and the exhaustive engine.
+    pub(crate) fn validate_artifacts(
+        &self,
+        program: &Program,
+        artifacts: &GoldenArtifacts,
+    ) -> Result<(), CampaignError> {
+        let cfg = &self.config;
+        if *artifacts.core() != cfg.core {
+            return Err(CampaignError::ArtifactMismatch {
+                reason: "artifacts were built for a different core configuration",
+            });
+        }
+        if artifacts.program() != program {
+            return Err(CampaignError::ArtifactMismatch {
+                reason: "artifacts were built for a different program",
+            });
+        }
+        if cfg.use_snapshots {
+            if artifacts.snapshot_store().is_none() {
+                return Err(CampaignError::ArtifactMismatch {
+                    reason: "campaign uses snapshots but the artifacts carry no store",
+                });
+            }
+            if artifacts.snapshot_spec() != Some(cfg.snapshot_spec) {
+                return Err(CampaignError::ArtifactMismatch {
+                    reason: "artifacts' snapshot store was recorded under a different spec",
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Shared body of [`Campaign::try_run_with_artifacts`] (`range: None`)
     /// and [`Campaign::try_run_range_with_artifacts`] (`range: Some`).
     fn execute(
@@ -1165,28 +1270,7 @@ impl Campaign {
         let cfg = &self.config;
         let program = cfg.workload.program();
         if let Some(a) = artifacts {
-            if *a.core() != cfg.core {
-                return Err(CampaignError::ArtifactMismatch {
-                    reason: "artifacts were built for a different core configuration",
-                });
-            }
-            if *a.program() != program {
-                return Err(CampaignError::ArtifactMismatch {
-                    reason: "artifacts were built for a different program",
-                });
-            }
-            if cfg.use_snapshots {
-                if a.snapshot_store().is_none() {
-                    return Err(CampaignError::ArtifactMismatch {
-                        reason: "campaign uses snapshots but the artifacts carry no store",
-                    });
-                }
-                if a.snapshot_spec() != Some(cfg.snapshot_spec) {
-                    return Err(CampaignError::ArtifactMismatch {
-                        reason: "artifacts' snapshot store was recorded under a different spec",
-                    });
-                }
-            }
+            self.validate_artifacts(&program, a)?;
         }
         // Golden reference: from the shared artifacts, or one private run.
         let owned_golden = match artifacts {

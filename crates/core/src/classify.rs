@@ -90,12 +90,19 @@ impl ClassCounts {
 
     /// Records one classified run.
     pub fn record(&mut self, effect: FaultEffect) {
+        self.record_weighted(effect, 1);
+    }
+
+    /// Records `weight` faults sharing one classification — how the
+    /// exhaustive engine credits a whole equivalence class from its single
+    /// simulated representative.
+    pub fn record_weighted(&mut self, effect: FaultEffect, weight: u64) {
         match effect {
-            FaultEffect::Masked => self.masked += 1,
-            FaultEffect::Sdc => self.sdc += 1,
-            FaultEffect::Crash => self.crash += 1,
-            FaultEffect::Timeout => self.timeout += 1,
-            FaultEffect::Assert => self.assert_ += 1,
+            FaultEffect::Masked => self.masked += weight,
+            FaultEffect::Sdc => self.sdc += weight,
+            FaultEffect::Crash => self.crash += weight,
+            FaultEffect::Timeout => self.timeout += weight,
+            FaultEffect::Assert => self.assert_ += weight,
         }
     }
 

@@ -68,6 +68,45 @@ pub enum CampaignError {
     /// A sampling-statistics computation failed (out-of-range margin,
     /// probability or sample count).
     Stats(StatsError),
+    /// The campaign configuration cannot be run exhaustively (multi-bit
+    /// cardinality, tag-array target, or an adaptive spec — equivalence
+    /// classes are defined per single data-array bit and enumerated, not
+    /// sampled).
+    ExhaustiveUnsupported {
+        /// Which part of the configuration is incompatible.
+        reason: &'static str,
+    },
+    /// The structure's live-class census exceeds the configured cap
+    /// (`MBU_EXHAUSTIVE_MAX_CLASSES`) — the campaign would be intractable,
+    /// so it is refused rather than silently truncated.
+    ClassCapExceeded {
+        /// Live (must-simulate) classes of the partition.
+        classes: u64,
+        /// The configured cap.
+        cap: u64,
+    },
+    /// The segment-capture observation run failed or produced a partition
+    /// that does not exactly cover the fault space.
+    PartitionFailed {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A class-range was empty or did not fit the plan's live-class count —
+    /// a shard-planner bug, not a fault effect.
+    InvalidClassRange {
+        /// Requested range start (inclusive).
+        start: usize,
+        /// Requested range end (exclusive).
+        end: usize,
+        /// The plan's live-class count.
+        classes: usize,
+    },
+    /// Finalization received class outcomes that do not cover every live
+    /// class exactly once.
+    IncompleteClassCover {
+        /// Live classes with no (or duplicate) outcome.
+        missing: u64,
+    },
 }
 
 impl From<StatsError> for CampaignError {
@@ -106,6 +145,29 @@ impl fmt::Display for CampaignError {
                 write!(f, "golden artifacts do not match this campaign: {reason}")
             }
             CampaignError::Stats(e) => write!(f, "sampling statistics: {e}"),
+            CampaignError::ExhaustiveUnsupported { reason } => {
+                write!(f, "configuration cannot run exhaustively: {reason}")
+            }
+            CampaignError::ClassCapExceeded { classes, cap } => write!(
+                f,
+                "{classes} live equivalence classes exceed the {cap}-class cap \
+                 (raise MBU_EXHAUSTIVE_MAX_CLASSES or use stratified sampling)"
+            ),
+            CampaignError::PartitionFailed { reason } => {
+                write!(f, "fault-equivalence partition failed: {reason}")
+            }
+            CampaignError::InvalidClassRange {
+                start,
+                end,
+                classes,
+            } => write!(
+                f,
+                "class-range [{start}..{end}) is empty or outside the plan's 0..{classes}"
+            ),
+            CampaignError::IncompleteClassCover { missing } => write!(
+                f,
+                "exhaustive finalization is missing outcomes for {missing} live classes"
+            ),
         }
     }
 }

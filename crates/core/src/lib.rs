@@ -47,6 +47,7 @@ pub mod beam;
 pub mod campaign;
 pub mod classify;
 pub mod error;
+pub mod exhaustive;
 pub mod fit;
 pub mod integrity;
 pub mod json;
@@ -64,6 +65,10 @@ pub use campaign::{
 };
 pub use classify::{ClassCounts, FaultEffect};
 pub use error::CampaignError;
+pub use exhaustive::{
+    ClassOutcome, ExhaustivePlan, ExhaustiveResult, ExhaustiveSpec, StratifiedResult,
+    StratifiedSpec,
+};
 pub use integrity::{golden_fingerprint, GoldenFingerprint};
 pub use mask::{ClusterSpec, FaultMask, MaskGenerator};
 pub use mbu_snap::{GoldenArtifacts, SnapshotSpec, SnapshotStats, SnapshotStore};

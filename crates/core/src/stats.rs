@@ -125,6 +125,39 @@ pub fn fault_population(bits: u64, cycles: u64) -> u64 {
     bits.saturating_mul(cycles)
 }
 
+/// The error margin over the *whole* population achieved by a stratified
+/// campaign that covers the dead stratum exactly (weight
+/// `population − live_weight`, provably `Masked`) and samples only the
+/// live stratum with `draws` weight-proportional draws: the live-stratum
+/// margin, scaled by the live mass fraction `λ = live_weight /
+/// population`. With no live mass the whole population is provably
+/// classified and the margin is 0.
+///
+/// # Errors
+///
+/// Returns a [`StatsError`] if `live_weight` exceeds `population`, if
+/// `draws` is zero while live mass exists, or if `z` / `p` are out of
+/// range; never panics.
+pub fn stratified_margin(
+    population: u64,
+    live_weight: u64,
+    draws: u64,
+    z: f64,
+    p: f64,
+) -> Result<f64, StatsError> {
+    if live_weight > population {
+        return Err(StatsError::SamplesOutOfRange {
+            samples: live_weight,
+            population,
+        });
+    }
+    if live_weight == 0 {
+        return Ok(0.0);
+    }
+    let live_margin = error_margin(live_weight, draws.min(live_weight), z, p)?;
+    Ok(live_margin * live_weight as f64 / population as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +201,37 @@ mod tests {
     fn fault_population_saturates() {
         assert_eq!(fault_population(u64::MAX, 2), u64::MAX);
         assert_eq!(fault_population(262_144, 1000), 262_144_000);
+    }
+
+    #[test]
+    fn stratified_margin_scales_by_live_mass() {
+        // Sampling only the live stratum shrinks the whole-population
+        // margin by λ = live/population compared to uniform sampling.
+        let uniform = error_margin(1_000_000, 2000, Z_99, 0.5).unwrap();
+        let strat = stratified_margin(1_000_000, 100_000, 2000, Z_99, 0.5).unwrap();
+        assert!((strat - 0.1 * uniform).abs() < 1e-4, "λ = 0.1: {strat}");
+        assert!(strat < uniform);
+    }
+
+    #[test]
+    fn stratified_margin_edges() {
+        // No live mass: everything is provably classified.
+        assert_eq!(stratified_margin(1000, 0, 0, Z_99, 0.5), Ok(0.0));
+        // Draws covering the whole live stratum: exhaustive, margin 0.
+        assert_eq!(stratified_margin(1000, 100, 100, Z_99, 0.5), Ok(0.0));
+        // Draws past the stratum clamp to it (replacement draws add no
+        // information beyond full coverage).
+        assert_eq!(stratified_margin(1000, 100, 5000, Z_99, 0.5), Ok(0.0));
+        // Live mass cannot exceed the population.
+        assert_eq!(
+            stratified_margin(100, 200, 10, Z_99, 0.5),
+            Err(StatsError::SamplesOutOfRange {
+                samples: 200,
+                population: 100
+            })
+        );
+        // Zero draws with live mass present is an error, not a claim.
+        assert!(stratified_margin(1000, 100, 0, Z_99, 0.5).is_err());
     }
 
     #[test]

@@ -225,6 +225,19 @@ impl SnapshotStore {
         let idx = self.snapshots.partition_point(|s| s.cycle() <= cycle);
         self.snapshots.get(idx).map(|s| s.cycle())
     }
+
+    /// The latest checkpoint cycle inside `[start, end]`, if any — the
+    /// cheapest fault-equivalence class member to simulate: injecting at a
+    /// checkpoint cycle makes the restore land exactly on the injection
+    /// point, so the run costs only the post-injection suffix.
+    pub fn nearest_cycle_in(&self, start: u64, end: u64) -> Option<u64> {
+        let idx = self
+            .snapshots
+            .partition_point(|s| s.cycle() <= end)
+            .checked_sub(1)?;
+        let cycle = self.snapshots[idx].cycle();
+        (cycle >= start).then_some(cycle)
+    }
 }
 
 /// Everything a campaign derives from the fault-free execution of one
@@ -360,6 +373,15 @@ mod tests {
         assert!(store.golden_at(1000).is_some());
         assert!(store.golden_at(999).is_none());
         assert!(store.retained_bytes() > 0);
+        // Range lookup: the latest checkpoint inside a class's cycle span.
+        assert_eq!(store.nearest_cycle_in(0, 999), Some(0));
+        assert_eq!(store.nearest_cycle_in(500, 1500), Some(1000));
+        assert_eq!(store.nearest_cycle_in(900, 2500), Some(2000));
+        assert_eq!(
+            store.nearest_cycle_in(1001, 1999),
+            None,
+            "no checkpoint strictly inside the span"
+        );
     }
 
     #[test]
