@@ -17,7 +17,9 @@
 //!                    format version, per-row CRCs, golden-run fingerprints
 //!                    vs the current binaries; with --shards <dir> audits a
 //!                    worker shard directory instead (per-shard CRC and
-//!                    fingerprint status, non-zero exit on defective rows)
+//!                    fingerprint status plus class-range weight
+//!                    reconciliation for exhaustive-flavor shards,
+//!                    non-zero exit on defective rows or annotations)
 //!   sweep            distributed measure: spawns MBU_WORKERS (or
 //!                    --workers N) supervised worker processes, shards
 //!                    every campaign into run-ranges, retries lost or
@@ -56,10 +58,17 @@
 //!                    checkpoints to results/exhaustive.csv next to --out
 //!                    and resumes like measure; MBU_EQUIV=on extends to
 //!                    the big arrays (L1D/L1I/L2) via class-weighted
-//!                    stratified sampling; --components restricts the set
+//!                    stratified sampling; --components restricts the set;
+//!                    --workers N (or --listen <addr>) shards each campaign
+//!                    by live-class range over the distributed fabric —
+//!                    class-range shards land in shards-equiv/ and the
+//!                    flavor-aware merge is bit-identical to the
+//!                    single-process sweep (MBU_UNIT_CLASSES sizes units)
 //!   equivbench       run-count economics of the class-weighted stratified
 //!                    campaigns vs the paper's uniform 2000-run protocol
-//!                    at matched margin (BENCH_equiv.json)
+//!                    at matched margin (BENCH_equiv.json); --workers N
+//!                    appends a distributed class-range scaling section
+//!                    (1 vs N single-threaded workers, bit-identity checked)
 //!   all              everything in paper order
 //!
 //! flags:
@@ -91,6 +100,7 @@
 //! MBU_EXHAUSTIVE_MAX_CLASSES (live-class cap per exhaustive campaign,
 //! default 4 000 000; larger partitions are rejected, never subsampled).
 //! Fabric knobs (sweep/serve/worker): MBU_WORKERS, MBU_UNIT_RUNS,
+//! MBU_UNIT_CLASSES (classes per exhaustive unit, 0 = auto),
 //! MBU_HEARTBEAT_MS, MBU_STALL_SECS, MBU_UNIT_DEADLINE_SECS,
 //! MBU_UNIT_RETRIES, MBU_STEAL, MBU_DISK_WATERMARK_MB (pause assignment
 //! under this much free disk), MBU_BREAKER_TRIP / MBU_BREAKER_COOLDOWN_MS
@@ -99,7 +109,7 @@
 //! error, never silently defaulted.
 //! ```
 
-use mbu_bench::supervisor::{FabricConfig, FabricReport, Supervisor, WorkerPool};
+use mbu_bench::supervisor::{FabricConfig, FabricReport, Supervisor, SweepOptions, WorkerPool};
 use mbu_bench::{
     AnalyticalStore, Experiments, Json, ResultStore, EXHAUSTIVE_COMPONENTS, STRATIFIED_COMPONENTS,
 };
@@ -140,6 +150,8 @@ struct Options {
     follow: bool,
     /// `--components <a,b,..>` for submit (default: all six).
     components: Option<String>,
+    /// `--mode <measure|exhaustive>` for submit (default: measure).
+    mode: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -162,6 +174,7 @@ fn parse_args() -> Result<Options, String> {
     let mut to = None;
     let mut follow = false;
     let mut components = None;
+    let mut mode = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workers" => {
@@ -200,6 +213,9 @@ fn parse_args() -> Result<Options, String> {
             "--follow" => follow = true,
             "--components" => {
                 components = Some(args.next().ok_or("--components needs a list")?);
+            }
+            "--mode" => {
+                mode = Some(args.next().ok_or("--mode needs measure|exhaustive")?);
             }
             "--paper" => use_paper = true,
             "--csv" => csv = true,
@@ -243,6 +259,7 @@ fn parse_args() -> Result<Options, String> {
         to,
         follow,
         components,
+        mode,
     })
 }
 
@@ -255,7 +272,7 @@ fn usage() {
          \x20      repro serve --listen <addr> [--workers N] adopt TCP-connected workers instead\n\
          \x20      repro worker --shard <path> [--connect <addr>] [--id name]  one worker (normally supervisor-spawned)\n\
          \x20      repro daemon --listen <addr> [--state dir]  HTTP injection service (see README)\n\
-         \x20      repro submit --to <addr> [--components a,b]  POST a sweep, prints the job id\n\
+         \x20      repro submit --to <addr> [--components a,b] [--mode measure|exhaustive]  POST a sweep, prints the job id\n\
          \x20      repro status --to <addr> <id> [--follow]    job status / live event stream\n\
          \x20      repro fetch --to <addr> <id> --out <path>   download the merged CSV\n\
          \x20      repro cancel --to <addr> <id>               cancel a queued/running job\n\
@@ -264,12 +281,15 @@ fn usage() {
          \x20                                            golden-cache off/on sweep -> BENCH_sweep.json\n\
          \x20      repro exhaustive [--components a,b]   one run per live equivalence class (ITLB/DTLB/PRF;\n\
          \x20                                            MBU_EQUIV=on adds stratified L1/L2) -> results/exhaustive.csv\n\
+         \x20      repro exhaustive --workers N [--shards dir]  same sweep sharded by class range over the fabric\n\
+         \x20                                            (bit-identical merge; --listen <addr> adopts TCP workers)\n\
          \x20      repro equivbench [--workload w]       stratified vs uniform-2000 run economics -> BENCH_equiv.json\n\
+         \x20      repro equivbench --workers N          adds distributed class-range scaling (1 vs N workers)\n\
          env:   MBU_RUNS (default 150), MBU_SEED, MBU_THREADS, MBU_WORKLOADS,\n\
          \x20      MBU_ADAPTIVE_MARGIN, MBU_DEADLINE_SECS, MBU_SNAPSHOTS,\n\
          \x20      MBU_SNAPSHOT_INTERVAL, MBU_SNAPSHOT_MEM_MB, MBU_GOLDEN_CACHE,\n\
          \x20      MBU_EQUIV, MBU_EXHAUSTIVE_MAX_CLASSES (equivalence-class modes),\n\
-         \x20      MBU_WORKERS, MBU_UNIT_RUNS, MBU_HEARTBEAT_MS, MBU_STALL_SECS,\n\
+         \x20      MBU_WORKERS, MBU_UNIT_RUNS, MBU_UNIT_CLASSES, MBU_HEARTBEAT_MS, MBU_STALL_SECS,\n\
          \x20      MBU_UNIT_DEADLINE_SECS, MBU_UNIT_RETRIES, MBU_STEAL,\n\
          \x20      MBU_DISK_WATERMARK_MB, MBU_BREAKER_TRIP, MBU_BREAKER_COOLDOWN_MS,\n\
          \x20      MBU_RETRY_BUDGET (fabric governor),\n\
@@ -458,6 +478,7 @@ fn report_fabric(report: &FabricReport, store: &ResultStore, out: &std::path::Pa
 /// the client's environment configures, so the sweep is self-contained
 /// and reproduces identically regardless of the daemon's own environment.
 fn submit_body(e: &Experiments, opts: &Options) -> Result<Json, String> {
+    let exhaustive = opts.mode.as_deref() == Some("exhaustive");
     let mut fields = vec![
         (
             "workloads".into(),
@@ -465,9 +486,14 @@ fn submit_body(e: &Experiments, opts: &Options) -> Result<Json, String> {
         ),
         ("runs".into(), Json::usize(e.runs)),
         ("seed".into(), Json::u64(e.seed)),
-        ("cardinality".into(), Json::usize(e.max_cardinality)),
         ("snapshots".into(), Json::Bool(e.use_snapshots)),
     ];
+    // Equivalence classes cover single-bit faults, so the daemon pins
+    // cardinality to 1 in exhaustive mode; echoing the sampled-sweep
+    // default (MBU_CARDINALITY, usually > 1) would be a typed 400.
+    if !exhaustive {
+        fields.push(("cardinality".into(), Json::usize(e.max_cardinality)));
+    }
     if let Some(list) = &opts.components {
         let comps: Vec<Json> = list
             .split(',')
@@ -480,6 +506,9 @@ fn submit_body(e: &Experiments, opts: &Options) -> Result<Json, String> {
             })
             .collect::<Result<_, _>>()?;
         fields.insert(0, ("components".into(), Json::Arr(comps)));
+    }
+    if let Some(mode) = &opts.mode {
+        fields.push(("mode".into(), Json::str(mode)));
     }
     Ok(Json::Obj(fields))
 }
@@ -753,10 +782,10 @@ fn run(opts: &Options) -> Result<(), String> {
                     "  MBU_EQUIV on: big arrays covered by class-weighted stratified sampling"
                 );
             }
-            let report = match &opts.components {
+            // --components restricts the set; each name must land in a
+            // mode that can actually cover it.
+            let (ex, strat): (Vec<HwComponent>, Vec<HwComponent>) = match &opts.components {
                 Some(list) => {
-                    // --components restricts the set; each name must land in
-                    // a mode that can actually cover it.
                     let mut ex = Vec::new();
                     let mut strat = Vec::new();
                     for s in list.split(',').filter(|s| !s.trim().is_empty()) {
@@ -772,11 +801,63 @@ fn run(opts: &Options) -> Result<(), String> {
                             ));
                         }
                     }
-                    e.run_equiv_with(&ex, &strat, &mut store, Some(&path))
+                    (ex, strat)
                 }
-                None => e.run_equiv(&mut store, Some(&path)),
+                None => (
+                    EXHAUSTIVE_COMPONENTS.to_vec(),
+                    if e.equiv {
+                        STRATIFIED_COMPONENTS.to_vec()
+                    } else {
+                        Vec::new()
+                    },
+                ),
+            };
+            if opts.workers.is_some() || opts.listen.is_some() {
+                // Distributed: shard each exhaustive campaign by class
+                // range over supervised workers; the merged store is
+                // byte-identical to the single-process path below.
+                let mut config = FabricConfig::from_env().map_err(|err| err.to_string())?;
+                if let Some(w) = opts.workers {
+                    config.workers = w;
+                }
+                config.verbose = true;
+                // Class-range shards never share a directory with
+                // run-range shards: same campaign key, different flavor.
+                let shard_dir = opts
+                    .shards
+                    .clone()
+                    .unwrap_or_else(|| dir.join("shards-equiv"));
+                let pool = match &opts.listen {
+                    Some(addr) => {
+                        let listener = std::net::TcpListener::bind(addr)
+                            .map_err(|err| format!("bind {addr}: {err}"))?;
+                        WorkerPool::Tcp(listener)
+                    }
+                    None => WorkerPool::Spawn,
+                };
+                let (dist_store, fabric_report) = Supervisor::run_equiv(
+                    &e,
+                    &ex,
+                    &strat,
+                    &config,
+                    &shard_dir,
+                    &path,
+                    pool,
+                    SweepOptions::default(),
+                )
+                .map_err(|err| err.to_string())?;
+                emit(&e.equiv_table(&dist_store), opts.csv);
+                if !report_fabric(&fabric_report, &dist_store, &path) {
+                    return Err(
+                        "exhaustive sweep completed degraded (quarantined units or coverage gaps)"
+                            .into(),
+                    );
+                }
+                return Ok(());
             }
-            .map_err(|err| err.to_string())?;
+            let report = e
+                .run_equiv_with(&ex, &strat, &mut store, Some(&path))
+                .map_err(|err| err.to_string())?;
             for ((comp, w, faults), err) in &report.failed {
                 eprintln!("warning: skipped {comp}/{w}/{faults}-bit: {err}");
             }
@@ -806,7 +887,32 @@ fn run(opts: &Options) -> Result<(), String> {
                 "benchmarking class-weighted stratified campaigns vs {} uniform runs on {w}",
                 mbu_bench::equivbench::BASELINE_RUNS
             );
-            let report = e.equivbench(w, &STRATIFIED_COMPONENTS);
+            let mut report = e.equivbench(w, &STRATIFIED_COMPONENTS);
+            if let Some(n) = opts.workers {
+                eprintln!(
+                    "benchmarking distributed class-range scaling: DTLB/{w}, \
+                     1 vs {n} single-threaded worker(s)"
+                );
+                let fabric = e
+                    .equivbench_fabric(w, HwComponent::DTlb, n)
+                    .map_err(|err| format!("fabric scaling benchmark: {err}"))?;
+                eprintln!(
+                    "  {} live classes: 1 worker {:.1}s, {} workers {:.1}s -> {:.2}x \
+                     on {} core(s); merged stores {}",
+                    fabric.live_classes,
+                    fabric.secs_one,
+                    fabric.workers,
+                    fabric.secs_many,
+                    fabric.speedup(),
+                    fabric.cores,
+                    if fabric.bit_identical {
+                        "bit-identical"
+                    } else {
+                        "DIVERGED"
+                    }
+                );
+                report.fabric = Some(fabric);
+            }
             emit(&report.table(), opts.csv);
             let path = std::path::Path::new("BENCH_equiv.json");
             std::fs::write(path, report.to_json()).map_err(|err| err.to_string())?;
@@ -817,6 +923,9 @@ fn run(opts: &Options) -> Result<(), String> {
             );
             if !report.all_at_margin() {
                 return Err("a stratified campaign missed the uniform-baseline margin".into());
+            }
+            if report.fabric.as_ref().is_some_and(|f| !f.bit_identical) {
+                return Err("distributed and single-worker exhaustive stores diverged".into());
             }
         }
         "verify-store" => {
@@ -834,7 +943,7 @@ fn run(opts: &Options) -> Result<(), String> {
                 }
                 let mut defective = 0;
                 for a in &audits {
-                    println!(
+                    print!(
                         "{}: {} intact row(s) ({} fresh, {} stale), {} defective",
                         a.path.display(),
                         a.rows,
@@ -842,11 +951,19 @@ fn run(opts: &Options) -> Result<(), String> {
                         a.stale,
                         a.quarantined,
                     );
-                    defective += a.quarantined;
+                    if a.exhaustive > 0 || a.weight_defects > 0 {
+                        print!(
+                            ", {} class-range ({} weight defect(s))",
+                            a.exhaustive, a.weight_defects
+                        );
+                    }
+                    println!();
+                    defective += a.quarantined + a.weight_defects;
                 }
                 if defective > 0 {
                     return Err(format!(
-                        "{defective} defective shard row(s) would be quarantined at merge"
+                        "{defective} defective shard row(s)/annotation(s) would be \
+                         quarantined or rejected at merge"
                     ));
                 }
             } else {

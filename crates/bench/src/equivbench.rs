@@ -23,6 +23,7 @@
 
 use crate::experiments::Experiments;
 use crate::store::component_slug;
+use crate::supervisor::{FabricConfig, Supervisor, SweepOptions, WorkerPool};
 use mbu_cpu::HwComponent;
 use mbu_gefin::report::{factor, pct, Table};
 use mbu_gefin::stats::{error_margin, Z_99};
@@ -77,6 +78,39 @@ impl EquivbenchRow {
     }
 }
 
+/// Distributed class-range scaling of one real exhaustive campaign
+/// (`repro equivbench --workers N`): the same sweep through the fabric
+/// with one worker and with `workers`, every worker single-threaded so
+/// the ratio measures process scaling, not thread scaling. Wall-clock
+/// scaling needs at least `workers` cores — `cores` records what this
+/// machine actually had, so a ~1× ratio on a small box is attributable.
+#[derive(Debug, Clone)]
+pub struct FabricBench {
+    /// The exhaustively-enumerated structure.
+    pub component: HwComponent,
+    /// The benchmarked workload.
+    pub workload: Workload,
+    /// Live classes the campaign simulates (per worker count, identical).
+    pub live_classes: u64,
+    /// Cores available to the benchmark process.
+    pub cores: usize,
+    /// Worker count of the scaled run.
+    pub workers: usize,
+    /// Wall-clock of the 1-worker sweep, seconds.
+    pub secs_one: f64,
+    /// Wall-clock of the `workers`-worker sweep, seconds.
+    pub secs_many: f64,
+    /// Whether the two merged exhaustive stores were byte-identical.
+    pub bit_identical: bool,
+}
+
+impl FabricBench {
+    /// Wall-clock speedup of `workers` workers over one.
+    pub fn speedup(&self) -> f64 {
+        self.secs_one / self.secs_many.max(1e-9)
+    }
+}
+
 /// The full stratified sweep over the benchmarked components.
 #[derive(Debug, Clone)]
 pub struct EquivbenchReport {
@@ -90,6 +124,8 @@ pub struct EquivbenchReport {
     pub target_margin: f64,
     /// One row per component.
     pub rows: Vec<EquivbenchRow>,
+    /// Distributed scaling section (`--workers N`), absent by default.
+    pub fabric: Option<FabricBench>,
 }
 
 impl EquivbenchReport {
@@ -142,6 +178,23 @@ impl EquivbenchReport {
             ));
         }
         out.push_str("  ],\n");
+        if let Some(f) = &self.fabric {
+            out.push_str(&format!(
+                "  \"fabric\": {{\"component\": \"{}\", \"workload\": \"{}\", \
+                 \"live_classes\": {}, \"cores\": {}, \"workers\": {}, \
+                 \"secs_one_worker\": {:.3}, \"secs_n_workers\": {:.3}, \
+                 \"speedup\": {:.3}, \"bit_identical\": {}}},\n",
+                component_slug(f.component),
+                f.workload.name(),
+                f.live_classes,
+                f.cores,
+                f.workers,
+                f.secs_one,
+                f.secs_many,
+                f.speedup(),
+                f.bit_identical,
+            ));
+        }
         out.push_str(&format!(
             "  \"headline_reduction\": {:.3},\n",
             self.headline_reduction()
@@ -230,7 +283,79 @@ impl Experiments {
             baseline_runs: BASELINE_RUNS,
             target_margin: spec.target_margin,
             rows,
+            fabric: None,
         }
+    }
+
+    /// Benchmarks distributed class-range scaling of one real exhaustive
+    /// campaign: the full sweep through the fabric with one worker, then
+    /// with `workers`, every worker pinned to a single thread so the
+    /// ratio measures process scaling. Also checks the two merged stores
+    /// byte for byte — the fabric's core promise.
+    ///
+    /// # Errors
+    ///
+    /// A degraded sweep (quarantined units, coverage gaps) or I/O failure
+    /// as a string, per the `repro` binary's error convention.
+    pub fn equivbench_fabric(
+        &self,
+        workload: Workload,
+        component: HwComponent,
+        workers: usize,
+    ) -> Result<FabricBench, String> {
+        let mut exp = self.clone();
+        exp.workloads = vec![workload];
+        exp.threads = 1;
+        let base =
+            std::env::temp_dir().join(format!("mbu-equivbench-fabric-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let mut csvs = Vec::new();
+        let mut secs = Vec::new();
+        let mut live_classes = 0;
+        for (tag, n) in [("one", 1), ("many", workers)] {
+            let dir = base.join(tag);
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            let config = FabricConfig {
+                workers: n,
+                ..FabricConfig::default()
+            };
+            let out_csv = dir.join("exhaustive.csv");
+            let t0 = Instant::now();
+            let (store, report) = Supervisor::run_equiv(
+                &exp,
+                &[component],
+                &[],
+                &config,
+                &dir.join("shards"),
+                &out_csv,
+                WorkerPool::Spawn,
+                SweepOptions::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            if !report.is_clean() {
+                return Err(format!(
+                    "fabric bench sweep with {n} worker(s) completed degraded \
+                     (quarantined units or coverage gaps)"
+                ));
+            }
+            secs.push(t0.elapsed().as_secs_f64());
+            live_classes = store
+                .exhaustive_meta(component, workload, 1)
+                .map_or(0, |m| m.classes);
+            csvs.push(std::fs::read_to_string(&out_csv).map_err(|e| e.to_string())?);
+        }
+        let bench = FabricBench {
+            component,
+            workload,
+            live_classes,
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            workers,
+            secs_one: secs[0],
+            secs_many: secs[1],
+            bit_identical: !csvs[0].is_empty() && csvs[0] == csvs[1],
+        };
+        let _ = std::fs::remove_dir_all(&base);
+        Ok(bench)
     }
 }
 

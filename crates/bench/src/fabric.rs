@@ -12,6 +12,19 @@
 //! back into campaigns and lands on a [`ResultStore`] *byte-identical* to a
 //! single-process sweep.
 //!
+//! Equivalence-class campaigns shard the same way, but a unit's range
+//! indexes *live classes* of the deterministic [`ExhaustivePlan`] instead
+//! of runs: each class is simulated once regardless of which worker owns
+//! it, so any disjoint cover of `0..live_classes` reproduces the
+//! single-process exhaustive sweep exactly, outcome for outcome. Such
+//! rows carry a [`ShardExhaustive`] annotation (class-weighted counts,
+//! campaign-wide population and pruned mass); stratified big-array
+//! campaigns ride as one whole-campaign unit annotated with
+//! [`ShardStratified`]. The flavor-aware merge reconciles annotations
+//! across rows — disagreeing totals or mixed flavors are conflicts — and
+//! re-derives the exhaustive store entry (weighted counts, margin,
+//! metadata) bit-identically to `repro exhaustive` in one process.
+//!
 //! The merge trusts nothing:
 //!
 //! * rows ride in checksummed shard CSVs; torn/corrupt rows were already
@@ -31,13 +44,17 @@
 
 use crate::chaos::WorkerChaos;
 use crate::io::{RealIo, StoreIo};
-use crate::protocol::{read_frame, write_frame, ProtocolError, ToSupervisor, ToWorker};
-use crate::store::{Key, ResultStore, ShardLoadAudit, ShardRow, ShardStore, StoreError};
+use crate::protocol::{read_frame, write_frame, EquivSpec, ProtocolError, ToSupervisor, ToWorker};
+use crate::store::{
+    Key, ResultStore, ShardExhaustive, ShardLoadAudit, ShardRow, ShardStore, ShardStratified,
+    StoreError,
+};
 use crate::Experiments;
 use mbu_cpu::HwComponent;
 use mbu_gefin::campaign::{campaign_margin, Campaign, UnitSpec};
 use mbu_gefin::classify::ClassCounts;
 use mbu_gefin::error::CampaignError;
+use mbu_gefin::exhaustive::{ExhaustivePlan, ExhaustiveSpec};
 use mbu_gefin::integrity::{golden_fingerprint, GoldenFingerprint};
 use mbu_gefin::stats::Z_99;
 use mbu_gefin::GoldenArtifacts;
@@ -172,6 +189,7 @@ fn row_order(a: &ShardRow, b: &ShardRow) -> std::cmp::Ordering {
                             ex.weighted.assert_,
                             ex.weight_total,
                             ex.pruned,
+                            ex.stratified.map(|s| (s.margin_bits, s.simulated)),
                         )
                     }),
                 )
@@ -250,7 +268,8 @@ pub fn merge_rows_with_totals(
             rows.iter()
                 .all(|r| {
                     r.exhaustive.is_some_and(|ex| {
-                        (ex.weight_total, ex.pruned) == (first.weight_total, first.pruned)
+                        (ex.weight_total, ex.pruned, ex.stratified)
+                            == (first.weight_total, first.pruned, first.stratified)
                     })
                 })
                 .then_some(first)
@@ -363,7 +382,9 @@ pub fn merge_rows_with_totals(
             Some(ex) => {
                 // Full class cover: weighted outcomes plus the pruned dead
                 // mass, credited Masked once. Margin is exactly 0 — every
-                // fault site of the population is classified.
+                // fault site of the population is classified — except for
+                // whole-campaign stratified rows, which carry the sampler's
+                // achieved margin through bit-exactly.
                 let mut final_counts = weighted;
                 final_counts.record_weighted(mbu_gefin::FaultEffect::Masked, ex.pruned);
                 mbu_gefin::campaign::CampaignResult {
@@ -376,7 +397,7 @@ pub fn merge_rows_with_totals(
                     details: None,
                     anomalies: mbu_gefin::campaign::AnomalyLog::new(),
                     oracle_skips: 0,
-                    achieved_margin: Some(0.0),
+                    achieved_margin: Some(ex.stratified.map_or(0.0, |s| s.margin())),
                     snapshot_stats: None,
                 }
             }
@@ -401,7 +422,10 @@ pub fn merge_rows_with_totals(
             Some(ex) => store.insert_exhaustive(
                 result,
                 crate::store::ExhaustiveMeta {
-                    classes: total as u64,
+                    // Exhaustive campaigns shard over live classes, so the
+                    // unit total *is* the simulated-class census; stratified
+                    // rows are one synthetic unit and carry theirs along.
+                    classes: ex.stratified.map_or(total as u64, |s| s.simulated),
                     weight: ex.weight_total,
                 },
                 Some(fingerprint),
@@ -495,6 +519,16 @@ pub struct ShardAudit {
     pub fresh: usize,
     /// Intact rows that would be dropped as stale at merge.
     pub stale: usize,
+    /// Intact rows carrying class-range (exhaustive or stratified)
+    /// annotations.
+    pub exhaustive: usize,
+    /// Campaigns inside this shard whose class-range annotations fail
+    /// reconciliation: rows mixing run-range and class-range flavors,
+    /// disagreeing on the campaign-wide population or pruned mass, class
+    /// weights exceeding the campaign's live mass, or stratified rows not
+    /// covering it exactly. The merge would reject these, so they count
+    /// as defects.
+    pub weight_defects: usize,
 }
 
 /// Audits every shard store of `dir` *read-only* (no sidecars written, no
@@ -518,6 +552,8 @@ pub fn audit_shard_dir(exp: &Experiments, dir: &Path) -> Result<Vec<ShardAudit>,
                     quarantined: 1,
                     fresh: 0,
                     stale: 0,
+                    exhaustive: 0,
+                    weight_defects: 0,
                 });
                 continue;
             }
@@ -529,6 +565,8 @@ pub fn audit_shard_dir(exp: &Experiments, dir: &Path) -> Result<Vec<ShardAudit>,
             quarantined: load.quarantined.len(),
             fresh: 0,
             stale: 0,
+            exhaustive: 0,
+            weight_defects: 0,
         };
         for row in store.rows() {
             let current = expected
@@ -541,9 +579,51 @@ pub fn audit_shard_dir(exp: &Experiments, dir: &Path) -> Result<Vec<ShardAudit>,
                 audit.stale += 1;
             }
         }
+        reconcile_exhaustive(store.rows(), &mut audit);
         audits.push(audit);
     }
     Ok(audits)
+}
+
+/// Class-range reconciliation for one shard store: within every campaign,
+/// annotated rows must agree on the campaign-wide population and pruned
+/// mass, never mix with run-range rows, and their per-class weights must
+/// fit inside the campaign's live mass (a stratified annotation covers it
+/// exactly; exhaustive ranges, possibly partial in this shard, at most).
+fn reconcile_exhaustive(rows: &[ShardRow], audit: &mut ShardAudit) {
+    let mut groups: BTreeMap<(HwComponent, Workload), Vec<&ShardRow>> = BTreeMap::new();
+    for row in rows {
+        groups
+            .entry((row.unit.component, row.unit.workload))
+            .or_default()
+            .push(row);
+    }
+    for campaign in groups.values() {
+        let annotated: Vec<_> = campaign
+            .iter()
+            .filter_map(|r| r.exhaustive.as_ref())
+            .collect();
+        if annotated.is_empty() {
+            continue;
+        }
+        audit.exhaustive += annotated.len();
+        let first = annotated[0];
+        let agree = annotated.len() == campaign.len()
+            && annotated.iter().all(|ex| {
+                ex.weight_total == first.weight_total
+                    && ex.pruned == first.pruned
+                    && ex.stratified.is_some() == first.stratified.is_some()
+            });
+        let live = first.weight_total.saturating_sub(first.pruned);
+        let covered = if first.stratified.is_some() {
+            annotated.iter().all(|ex| ex.weighted.total() == live)
+        } else {
+            annotated.iter().map(|ex| ex.weighted.total()).sum::<u64>() <= live
+        };
+        if !agree || !covered {
+            audit.weight_defects += 1;
+        }
+    }
 }
 
 /// Rebuilds an [`Experiments`] from the wire [`crate::protocol::ExpSpec`]
@@ -574,16 +654,36 @@ struct Pulse {
 }
 
 type ArtifactKey = (Workload, bool, Option<u64>, Option<u64>);
+type ArtifactCache = BTreeMap<ArtifactKey, Result<Arc<GoldenArtifacts>, CampaignError>>;
+
+/// One compiled [`ExhaustivePlan`] per (campaign, snapshot knobs, equiv
+/// spec) per worker process: the golden + liveness capture and the
+/// partition are paid once, then every class-range unit of the campaign
+/// reuses them.
+type PlanKey = (
+    HwComponent,
+    Workload,
+    ExhaustiveSpec,
+    bool,
+    Option<u64>,
+    Option<u64>,
+);
+type PlanCache = BTreeMap<PlanKey, Result<Arc<ExhaustivePlan>, CampaignError>>;
 
 /// Executes one assigned unit and returns the shard row to persist plus
 /// the campaign's anomaly count.
 fn run_unit(
     exp: &Experiments,
     unit: &UnitSpec,
-    artifacts: &mut BTreeMap<ArtifactKey, Result<Arc<GoldenArtifacts>, CampaignError>>,
+    equiv: Option<&EquivSpec>,
+    artifacts: &mut ArtifactCache,
+    plans: &mut PlanCache,
     chaos: &Arc<WorkerChaos>,
     progress: &Arc<AtomicUsize>,
 ) -> Result<(ShardRow, usize), CampaignError> {
+    if let Some(eq) = equiv {
+        return run_equiv_unit(exp, unit, eq, artifacts, plans, chaos, progress);
+    }
     let chaos = Arc::clone(chaos);
     let started = Arc::clone(progress);
     let cfg = exp
@@ -630,6 +730,120 @@ fn run_unit(
         exhaustive: None,
     };
     Ok((row, result.anomalies.len()))
+}
+
+/// Executes one equivalence-class unit: a class-index range of an
+/// exhaustive campaign, or (when the spec carries a stratified sampler)
+/// the whole campaign as one `[0, 1)` unit.
+///
+/// The compiled [`ExhaustivePlan`] — golden run, liveness capture,
+/// partition — is cached per worker process, so every unit of a campaign
+/// after the first pays only its own class simulations. Golden artifacts
+/// are cached unconditionally (the row needs `instructions()` and the
+/// snapshot store drives locality scheduling).
+fn run_equiv_unit(
+    exp: &Experiments,
+    unit: &UnitSpec,
+    eq: &EquivSpec,
+    artifacts: &mut ArtifactCache,
+    plans: &mut PlanCache,
+    chaos: &Arc<WorkerChaos>,
+    progress: &Arc<AtomicUsize>,
+) -> Result<(ShardRow, usize), CampaignError> {
+    let plan_key = (
+        unit.component,
+        unit.workload,
+        eq.exhaustive,
+        exp.use_snapshots,
+        exp.snapshot_interval,
+        exp.snapshot_mem_mb,
+    );
+    let plan = plans
+        .entry(plan_key)
+        .or_insert_with(|| {
+            let chaos = Arc::clone(chaos);
+            let started = Arc::clone(progress);
+            let cfg = exp
+                .equiv_config(unit.component, unit.workload)
+                .with_run_hook(move |_| {
+                    chaos.on_run();
+                    started.fetch_add(1, Ordering::Relaxed);
+                });
+            ExhaustivePlan::try_new(cfg, eq.exhaustive).map(Arc::new)
+        })
+        .clone()?;
+    let artifact_key = (
+        unit.workload,
+        exp.use_snapshots,
+        exp.snapshot_interval,
+        exp.snapshot_mem_mb,
+    );
+    let shared = artifacts
+        .entry(artifact_key)
+        .or_insert_with(|| {
+            Campaign::try_new(exp.equiv_config(unit.component, unit.workload))
+                .and_then(|c| c.build_artifacts())
+                .map(Arc::new)
+        })
+        .clone()?;
+    let cov = plan.coverage();
+    let fingerprint = exp.artifact_fingerprint(&shared);
+    let row = match eq.stratified {
+        None => {
+            let outcomes = plan.run_class_range(unit.range(), Some(&shared))?;
+            let mut counts = ClassCounts::new();
+            let mut weighted = ClassCounts::new();
+            for o in &outcomes {
+                counts.record(o.effect);
+                weighted.record_weighted(o.effect, o.weight);
+            }
+            ShardRow {
+                unit: *unit,
+                seed: exp.seed,
+                counts,
+                fault_free_cycles: plan.partition().total_cycles(),
+                fault_free_instructions: shared.instructions(),
+                fingerprint,
+                exhaustive: Some(ShardExhaustive {
+                    weighted,
+                    weight_total: cov.population,
+                    pruned: cov.dead_weight,
+                    stratified: None,
+                }),
+            }
+        }
+        Some(spec) => {
+            let r = plan.run_stratified(spec, Some(&shared))?;
+            // The dead stratum is re-credited at merge from `pruned`;
+            // the row's weighted counts carry only the scaled live mass.
+            let mut weighted = r.campaign.counts;
+            weighted.masked -= cov.dead_weight;
+            let mut counts = ClassCounts::new();
+            counts.record_weighted(mbu_gefin::classify::FaultEffect::Masked, 1);
+            ShardRow {
+                unit: UnitSpec {
+                    start: 0,
+                    end: 1,
+                    ..*unit
+                },
+                seed: exp.seed,
+                counts,
+                fault_free_cycles: r.campaign.fault_free_cycles,
+                fault_free_instructions: r.campaign.fault_free_instructions,
+                fingerprint,
+                exhaustive: Some(ShardExhaustive {
+                    weighted,
+                    weight_total: cov.population,
+                    pruned: cov.dead_weight,
+                    stratified: Some(ShardStratified {
+                        margin_bits: r.campaign.achieved_margin.unwrap_or(0.0).to_bits(),
+                        simulated: r.simulated,
+                    }),
+                }),
+            }
+        }
+    };
+    Ok((row, 0))
 }
 
 /// The worker process's control loop: announce, then execute assignments
@@ -713,8 +927,12 @@ where
             }
         })
     };
-    let mut artifacts: BTreeMap<ArtifactKey, Result<Arc<GoldenArtifacts>, CampaignError>> =
-        BTreeMap::new();
+    let mut artifacts: ArtifactCache = BTreeMap::new();
+    let mut plans: PlanCache = BTreeMap::new();
+    // One worker-lifetime progress counter, reset per assignment: cached
+    // exhaustive plans bake the counter into their run hook, so it must
+    // outlive any single unit.
+    let progress = Arc::new(AtomicUsize::new(0));
     let mut garbage_sent = false;
     let outcome = loop {
         let msg = match read_frame(&mut input) {
@@ -735,10 +953,18 @@ where
                     let _ = w.flush();
                 }
                 let e = spec_experiments(&exp, unit.workload);
-                let progress = Arc::new(AtomicUsize::new(0));
+                progress.store(0, Ordering::Relaxed);
                 *pulse.current.lock().unwrap_or_else(|e| e.into_inner()) =
                     Some((unit_id, Arc::clone(&progress)));
-                let outcome = run_unit(&e, &unit, &mut artifacts, &chaos, &progress);
+                let outcome = run_unit(
+                    &e,
+                    &unit,
+                    exp.equiv.as_ref(),
+                    &mut artifacts,
+                    &mut plans,
+                    &chaos,
+                    &progress,
+                );
                 *pulse.current.lock().unwrap_or_else(|e| e.into_inner()) = None;
                 match outcome {
                     Ok((row, anomalies)) => {
@@ -865,6 +1091,82 @@ mod tests {
             .iter()
             .map(|&w| (w, GoldenFingerprint(fp)))
             .collect()
+    }
+
+    #[test]
+    fn shard_audit_reconciles_class_range_annotations() {
+        fn ex_row(
+            key: Key,
+            start: usize,
+            end: usize,
+            weighted: u64,
+            total: u64,
+            pruned: u64,
+            stratified: Option<ShardStratified>,
+        ) -> ShardRow {
+            let mut r = row(key, start, end, 7);
+            r.exhaustive = Some(ShardExhaustive {
+                weighted: ClassCounts {
+                    masked: weighted,
+                    ..ClassCounts::new()
+                },
+                weight_total: total,
+                pruned,
+                stratified,
+            });
+            r
+        }
+        fn defects(rows: &[ShardRow]) -> (usize, usize) {
+            let mut audit = ShardAudit {
+                path: PathBuf::new(),
+                rows: rows.len(),
+                quarantined: 0,
+                fresh: 0,
+                stale: 0,
+                exhaustive: 0,
+                weight_defects: 0,
+            };
+            reconcile_exhaustive(rows, &mut audit);
+            (audit.exhaustive, audit.weight_defects)
+        }
+        let key = (HwComponent::ITlb, Workload::Sha, 1);
+        // Two class ranges inside the live mass (150 total, 30 pruned).
+        let clean = [
+            ex_row(key, 0, 5, 60, 150, 30, None),
+            ex_row(key, 5, 9, 40, 150, 30, None),
+        ];
+        assert_eq!(defects(&clean), (2, 0));
+        // Run-range rows alone are not the audit's business.
+        assert_eq!(defects(&[row(key, 0, 10, 7)]), (0, 0));
+        // Rows of one campaign disagreeing on the pruned mass.
+        let disagree = [
+            ex_row(key, 0, 5, 60, 150, 30, None),
+            ex_row(key, 5, 9, 40, 150, 31, None),
+        ];
+        assert_eq!(defects(&disagree), (2, 1));
+        // Class weights exceeding the campaign's live mass.
+        let over = [
+            ex_row(key, 0, 5, 100, 150, 30, None),
+            ex_row(key, 5, 9, 100, 150, 30, None),
+        ];
+        assert_eq!(defects(&over), (2, 1));
+        // Run-range and class-range flavors mixed in one campaign.
+        let mixed = [row(key, 0, 5, 7), ex_row(key, 5, 9, 40, 150, 30, None)];
+        assert_eq!(defects(&mixed), (1, 1));
+        // A stratified annotation covers the live mass exactly — or not.
+        let strat = Some(ShardStratified {
+            margin_bits: 0.05_f64.to_bits(),
+            simulated: 200,
+        });
+        assert_eq!(defects(&[ex_row(key, 0, 1, 120, 150, 30, strat)]), (1, 0));
+        assert_eq!(defects(&[ex_row(key, 0, 1, 90, 150, 30, strat)]), (1, 1));
+        // Independent campaigns reconcile independently.
+        let other = (HwComponent::DTlb, Workload::Crc32, 1);
+        let two = [
+            ex_row(key, 0, 9, 120, 150, 30, None),
+            ex_row(other, 0, 4, 999, 150, 30, None),
+        ];
+        assert_eq!(defects(&two), (2, 1));
     }
 
     #[test]

@@ -15,13 +15,14 @@
 use mbu_cpu::HwComponent;
 use mbu_gefin::campaign::{AdaptiveSpec, UnitSpec};
 use mbu_gefin::classify::ClassCounts;
+use mbu_gefin::exhaustive::{ExhaustiveSpec, StratifiedSpec};
 use mbu_gefin::integrity::GoldenFingerprint;
 use mbu_gefin::json::JsonError;
 use mbu_workloads::Workload;
 use std::fmt;
 use std::io::{BufRead, Write};
 
-use crate::store::{component_slug, ShardRow};
+use crate::store::{component_slug, ShardRow, ShardStratified};
 
 pub use mbu_gefin::json::Json;
 
@@ -137,6 +138,69 @@ pub struct ExpSpec {
     pub snapshot_mem_mb: Option<u64>,
     /// Sweep-wide golden-artifact cache (per-process in a worker).
     pub use_golden_cache: bool,
+    /// Equivalence-class dispatch: `Some` turns the assigned unit's
+    /// `[start, end)` into a *class range* over the campaign's dense live
+    /// order (or a whole-campaign stratified sampler) instead of a run
+    /// range. Absent on run-range units, so old and new peers interoperate
+    /// on the sampled path.
+    pub equiv: Option<EquivSpec>,
+}
+
+/// The equivalence-class engine knobs a worker needs to rebuild the exact
+/// [`mbu_gefin::exhaustive::ExhaustivePlan`] the supervisor planned from.
+/// The plan is deterministic in these plus the golden run, and any drift
+/// is still caught by golden-fingerprint verification at merge time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquivSpec {
+    /// Representative picker / class-cap / snapshot-alignment knobs.
+    pub exhaustive: ExhaustiveSpec,
+    /// `Some` makes the unit a whole-campaign class-weighted stratified
+    /// sampler (L1/L2 scale); `None` makes it an exhaustive class range.
+    pub stratified: Option<StratifiedSpec>,
+}
+
+impl EquivSpec {
+    fn to_json(self) -> Json {
+        let strat = match self.stratified {
+            None => Json::Null,
+            Some(s) => Json::Obj(vec![
+                ("target_margin".into(), Json::f64(s.target_margin)),
+                ("z".into(), Json::f64(s.z)),
+                ("min_draws".into(), Json::u64(s.min_draws)),
+                ("batch".into(), Json::u64(s.batch)),
+                ("max_draws".into(), Json::u64(s.max_draws)),
+                ("seed".into(), Json::u64(s.seed)),
+            ]),
+        };
+        Json::Obj(vec![
+            ("rep_seed".into(), Json::u64(self.exhaustive.rep_seed)),
+            ("max_classes".into(), Json::u64(self.exhaustive.max_classes)),
+            ("snap_align".into(), Json::Bool(self.exhaustive.snap_align)),
+            ("strat".into(), strat),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        let stratified = match v.get("strat") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(StratifiedSpec {
+                target_margin: get_f64(s, "target_margin")?,
+                z: get_f64(s, "z")?,
+                min_draws: get_u64(s, "min_draws")?,
+                batch: get_u64(s, "batch")?,
+                max_draws: get_u64(s, "max_draws")?,
+                seed: get_u64(s, "seed")?,
+            }),
+        };
+        Ok(Self {
+            exhaustive: ExhaustiveSpec {
+                rep_seed: get_u64(v, "rep_seed")?,
+                max_classes: get_u64(v, "max_classes")?,
+                snap_align: get_bool(v, "snap_align")?,
+            },
+            stratified,
+        })
+    }
 }
 
 fn opt_u64(v: Option<u64>) -> Json {
@@ -207,6 +271,13 @@ impl ExpSpec {
             ("snap_interval".into(), opt_u64(self.snapshot_interval)),
             ("snap_mem_mb".into(), opt_u64(self.snapshot_mem_mb)),
             ("golden_cache".into(), Json::Bool(self.use_golden_cache)),
+            (
+                "equiv".into(),
+                match self.equiv {
+                    None => Json::Null,
+                    Some(e) => e.to_json(),
+                },
+            ),
         ])
     }
 
@@ -234,6 +305,10 @@ impl ExpSpec {
             snapshot_interval: get_opt_u64(v, "snap_interval")?,
             snapshot_mem_mb: get_opt_u64(v, "snap_mem_mb")?,
             use_golden_cache: get_bool(v, "golden_cache")?,
+            equiv: match v.get("equiv") {
+                None | Some(Json::Null) => None,
+                Some(e) => Some(EquivSpec::from_json(e)?),
+            },
         })
     }
 }
@@ -252,18 +327,20 @@ fn row_to_json(r: &ShardRow) -> Json {
         ("fp".into(), Json::Str(r.fingerprint.to_string())),
     ];
     if let Some(ex) = &r.exhaustive {
-        fields.push((
-            "ex".into(),
-            Json::Obj(vec![
-                ("masked".into(), Json::u64(ex.weighted.masked)),
-                ("sdc".into(), Json::u64(ex.weighted.sdc)),
-                ("crash".into(), Json::u64(ex.weighted.crash)),
-                ("timeout".into(), Json::u64(ex.weighted.timeout)),
-                ("assert".into(), Json::u64(ex.weighted.assert_)),
-                ("weight".into(), Json::u64(ex.weight_total)),
-                ("pruned".into(), Json::u64(ex.pruned)),
-            ]),
-        ));
+        let mut ex_fields = vec![
+            ("masked".into(), Json::u64(ex.weighted.masked)),
+            ("sdc".into(), Json::u64(ex.weighted.sdc)),
+            ("crash".into(), Json::u64(ex.weighted.crash)),
+            ("timeout".into(), Json::u64(ex.weighted.timeout)),
+            ("assert".into(), Json::u64(ex.weighted.assert_)),
+            ("weight".into(), Json::u64(ex.weight_total)),
+            ("pruned".into(), Json::u64(ex.pruned)),
+        ];
+        if let Some(s) = &ex.stratified {
+            ex_fields.push(("margin_bits".into(), Json::u64(s.margin_bits)));
+            ex_fields.push(("simulated".into(), Json::u64(s.simulated)));
+        }
+        fields.push(("ex".into(), Json::Obj(ex_fields)));
     }
     Json::Obj(fields)
 }
@@ -274,17 +351,35 @@ fn row_from_json(v: &Json) -> Result<ShardRow, ProtocolError> {
         .map_err(|e| ProtocolError::Message(format!("bad fingerprint: {e}")))?;
     let exhaustive = match v.get("ex") {
         None | Some(Json::Null) => None,
-        Some(ex) => Some(crate::store::ShardExhaustive {
-            weighted: ClassCounts {
-                masked: get_u64(ex, "masked")?,
-                sdc: get_u64(ex, "sdc")?,
-                crash: get_u64(ex, "crash")?,
-                timeout: get_u64(ex, "timeout")?,
-                assert_: get_u64(ex, "assert")?,
-            },
-            weight_total: get_u64(ex, "weight")?,
-            pruned: get_u64(ex, "pruned")?,
-        }),
+        Some(ex) => {
+            let stratified = match (
+                get_opt_u64(ex, "margin_bits")?,
+                get_opt_u64(ex, "simulated")?,
+            ) {
+                (None, None) => None,
+                (Some(margin_bits), Some(simulated)) => Some(ShardStratified {
+                    margin_bits,
+                    simulated,
+                }),
+                _ => {
+                    return Err(ProtocolError::Message(
+                        "stratified annotation needs both `margin_bits` and `simulated`".into(),
+                    ))
+                }
+            };
+            Some(crate::store::ShardExhaustive {
+                weighted: ClassCounts {
+                    masked: get_u64(ex, "masked")?,
+                    sdc: get_u64(ex, "sdc")?,
+                    crash: get_u64(ex, "crash")?,
+                    timeout: get_u64(ex, "timeout")?,
+                    assert_: get_u64(ex, "assert")?,
+                },
+                weight_total: get_u64(ex, "weight")?,
+                pruned: get_u64(ex, "pruned")?,
+                stratified,
+            })
+        }
     };
     Ok(ShardRow {
         unit: unit_from_json(
@@ -333,6 +428,10 @@ fn unit_from_json(v: &Json) -> Result<UnitSpec, ProtocolError> {
 }
 
 /// Supervisor → worker messages.
+///
+/// `Assign` dominates both traffic and allocation count, so the size
+/// skew against the payload-free `Shutdown` is harmless.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum ToWorker {
     /// Run this unit under these experiment parameters.
@@ -617,10 +716,106 @@ mod tests {
                 snapshot_interval: Some(5_000),
                 snapshot_mem_mb: Some(64),
                 use_golden_cache: true,
+                equiv: None,
             },
         };
         let back = ToWorker::from_json(&roundtrip_frame(&msg.to_json())).unwrap();
         assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn class_range_assigns_roundtrip() {
+        // An exhaustive class-range unit and a whole-campaign stratified
+        // unit: both ride the same Assign with an `equiv` spec.
+        for stratified in [None, Some(StratifiedSpec::paper())] {
+            let msg = ToWorker::Assign {
+                unit_id: 7,
+                unit: UnitSpec {
+                    component: HwComponent::ITlb,
+                    workload: Workload::Crc32,
+                    faults: 1,
+                    start: 128,
+                    end: 256,
+                },
+                exp: ExpSpec {
+                    runs: 150,
+                    seed: 0x6EF1_2019,
+                    threads: 1,
+                    adaptive: None,
+                    use_snapshots: true,
+                    snapshot_interval: None,
+                    snapshot_mem_mb: None,
+                    use_golden_cache: true,
+                    equiv: Some(EquivSpec {
+                        exhaustive: ExhaustiveSpec {
+                            rep_seed: 3,
+                            max_classes: 1_000_000,
+                            snap_align: true,
+                        },
+                        stratified,
+                    }),
+                },
+            };
+            let back = ToWorker::from_json(&roundtrip_frame(&msg.to_json())).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn stratified_rows_roundtrip_margin_bit_exactly() {
+        let mut row = sample_row();
+        row.counts = ClassCounts {
+            masked: 1,
+            sdc: 0,
+            crash: 0,
+            timeout: 0,
+            assert_: 0,
+        };
+        row.unit.start = 0;
+        row.unit.end = 1;
+        row.exhaustive = Some(crate::store::ShardExhaustive {
+            weighted: ClassCounts {
+                masked: 900,
+                sdc: 60,
+                crash: 30,
+                timeout: 8,
+                assert_: 2,
+            },
+            weight_total: 1_500,
+            pruned: 500,
+            stratified: Some(ShardStratified {
+                margin_bits: 0.028_799_123_f64.to_bits(),
+                simulated: 42,
+            }),
+        });
+        let msg = ToSupervisor::Done {
+            unit_id: 3,
+            row: row.clone(),
+            anomalies: 0,
+        };
+        let back = ToSupervisor::from_json(&roundtrip_frame(&msg.to_json())).unwrap();
+        assert_eq!(back, msg);
+        // A half-present annotation is a typed message error.
+        let mut json = msg.to_json();
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "row" {
+                    if let Json::Obj(row_fields) = v {
+                        for (rk, rv) in row_fields.iter_mut() {
+                            if rk == "ex" {
+                                if let Json::Obj(ex_fields) = rv {
+                                    ex_fields.retain(|(ek, _)| ek != "simulated");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(matches!(
+            ToSupervisor::from_json(&json),
+            Err(ProtocolError::Message(_))
+        ));
     }
 
     #[test]
@@ -637,6 +832,7 @@ mod tests {
                 snapshot_interval: None,
                 snapshot_mem_mb: None,
                 use_golden_cache: false,
+                equiv: None,
             },
         };
         let back = ToWorker::from_json(&roundtrip_frame(&msg.to_json())).unwrap();

@@ -8,11 +8,19 @@
 //! job from its shards), streams [`FabricEvent`]s into the job's live
 //! event log, and serves merged results — including the raw checkpoint
 //! CSV, which is byte-identical to a single-process `repro sweep`.
+//!
+//! Submissions carry an optional `mode` field: `"measure"` (default)
+//! runs the paper's statistical campaigns sharded by run range;
+//! `"exhaustive"` runs the provable-coverage equivalence-class sweep
+//! sharded by live-class range (small structures exhaustively, the big
+//! arrays stratified), merged bit-identically to a single-process
+//! `repro exhaustive`. Exhaustive submissions are single-bit by
+//! construction, so a `cardinality` above 1 is a typed 400.
 
 use crate::experiments::{env_value, parse_env, ConfigError, Experiments};
 use crate::store::component_slug;
 use crate::supervisor::{FabricConfig, FabricEvent, Supervisor, SweepOptions, WorkerPool};
-use crate::ResultStore;
+use crate::{ResultStore, EXHAUSTIVE_COMPONENTS, STRATIFIED_COMPONENTS};
 use mbu_cpu::HwComponent;
 use mbu_gefin::json::Json;
 use mbu_serve::{
@@ -173,8 +181,13 @@ impl SweepBackend {
         self
     }
 
-    /// Rebuilds the experiment configuration from a canonical spec.
-    fn exp_from_spec(&self, spec: &Json) -> Result<(Experiments, Vec<HwComponent>), ApiError> {
+    /// Rebuilds the experiment configuration from a canonical spec. The
+    /// final `bool` is true for exhaustive-mode jobs; specs persisted by
+    /// daemons that predate the `mode` field parse as measure.
+    fn exp_from_spec(
+        &self,
+        spec: &Json,
+    ) -> Result<(Experiments, Vec<HwComponent>, bool), ApiError> {
         let mut exp = self.base.clone();
         let bad = |what: &str| ApiError::internal(format!("corrupt stored spec: {what}"));
         exp.runs = spec
@@ -215,7 +228,15 @@ impl SweepBackend {
                     .ok_or_else(|| bad("components"))
             })
             .collect::<Result<_, _>>()?;
-        Ok((exp, components))
+        let exhaustive = match spec.get("mode") {
+            None => false,
+            Some(v) => match v.as_str() {
+                Some("measure") => false,
+                Some("exhaustive") => true,
+                _ => return Err(bad("mode")),
+            },
+        };
+        Ok((exp, components, exhaustive))
     }
 }
 
@@ -253,7 +274,7 @@ impl JobBackend for SweepBackend {
         let Json::Obj(fields) = body else {
             return Err(ApiError::bad_request("submission must be a JSON object"));
         };
-        const KNOWN: [&str; 7] = [
+        const KNOWN: [&str; 8] = [
             "title",
             "components",
             "workloads",
@@ -261,6 +282,7 @@ impl JobBackend for SweepBackend {
             "seed",
             "cardinality",
             "snapshots",
+            "mode",
         ];
         for (key, _) in fields {
             if !KNOWN.contains(&key.as_str()) {
@@ -270,7 +292,22 @@ impl JobBackend for SweepBackend {
                 )));
             }
         }
+        let mode = match body.get("mode") {
+            None => "measure",
+            Some(v) => match v.as_str() {
+                Some(m @ ("measure" | "exhaustive")) => m,
+                _ => {
+                    return Err(ApiError::bad_request(
+                        "mode must be \"measure\" or \"exhaustive\"",
+                    ))
+                }
+            },
+        };
         let components: Vec<HwComponent> = match body.get("components") {
+            // Exhaustive mode defaults to the provably-coverable small
+            // structures; "all" or an explicit list can add the stratified
+            // big arrays.
+            None if mode == "exhaustive" => EXHAUSTIVE_COMPONENTS.to_vec(),
             None => HwComponent::ALL.to_vec(),
             Some(Json::Str(s)) if s == "all" => HwComponent::ALL.to_vec(),
             Some(Json::Arr(items)) if !items.is_empty() => items
@@ -324,9 +361,21 @@ impl JobBackend for SweepBackend {
                 .ok_or_else(|| ApiError::bad_request("seed must be a u64"))?,
         };
         let cardinality = match body.get("cardinality") {
+            // Equivalence classes are single-bit by construction, so an
+            // exhaustive job never inherits a multi-bit default.
+            None if mode == "exhaustive" => 1,
             None => self.base.max_cardinality,
             Some(v) => match v.as_usize() {
-                Some(n) if (1..=8).contains(&n) => n,
+                Some(1) => 1,
+                Some(n) if (2..=8).contains(&n) => {
+                    if mode == "exhaustive" {
+                        return Err(ApiError::bad_request(
+                            "cardinality must be 1 in exhaustive mode \
+                             (equivalence classes cover single-bit faults)",
+                        ));
+                    }
+                    n
+                }
                 _ => {
                     return Err(ApiError::bad_request(
                         "cardinality must be an integer in 1..=8",
@@ -372,12 +421,13 @@ impl JobBackend for SweepBackend {
             ("seed".into(), Json::u64(seed)),
             ("cardinality".into(), Json::usize(cardinality)),
             ("snapshots".into(), Json::Bool(snapshots)),
+            ("mode".into(), Json::str(mode)),
         ]);
         Ok(Submission { title, spec })
     }
 
     fn execute(&self, ctx: &JobContext) -> JobOutcome {
-        let (mut exp, components) = match self.exp_from_spec(&ctx.spec) {
+        let (mut exp, components, exhaustive) = match self.exp_from_spec(&ctx.spec) {
             Ok(parsed) => parsed,
             Err(e) => return JobOutcome::Failed(e.message),
         };
@@ -431,15 +481,42 @@ impl JobBackend for SweepBackend {
             })),
             cancel: Some(Arc::clone(&stop)),
         };
-        let result = Supervisor::run_with(
-            &exp,
-            &components,
-            &fabric,
-            &shard_dir,
-            &out_csv,
-            WorkerPool::Spawn,
-            opts,
-        );
+        let result = if exhaustive {
+            // Class-range dispatch: exhaustive campaigns on the small
+            // structures, stratified on the big arrays. A job runs in one
+            // mode for its whole life, so its private shard dir never
+            // mixes run-range and class-range flavors.
+            let ex: Vec<HwComponent> = components
+                .iter()
+                .copied()
+                .filter(|c| EXHAUSTIVE_COMPONENTS.contains(c))
+                .collect();
+            let strat: Vec<HwComponent> = components
+                .iter()
+                .copied()
+                .filter(|c| STRATIFIED_COMPONENTS.contains(c))
+                .collect();
+            Supervisor::run_equiv(
+                &exp,
+                &ex,
+                &strat,
+                &fabric,
+                &shard_dir,
+                &out_csv,
+                WorkerPool::Spawn,
+                opts,
+            )
+        } else {
+            Supervisor::run_with(
+                &exp,
+                &components,
+                &fabric,
+                &shard_dir,
+                &out_csv,
+                WorkerPool::Spawn,
+                opts,
+            )
+        };
         finished.store(true, Ordering::SeqCst);
         let _ = watcher.join();
         match result {
@@ -482,7 +559,7 @@ impl JobBackend for SweepBackend {
                 )),
             },
             ["results"] => {
-                let (exp, components) = self.exp_from_spec(&ctx.spec)?;
+                let (exp, components, _) = self.exp_from_spec(&ctx.spec)?;
                 let store = load_results(&out_csv)?;
                 let figures = components
                     .iter()
@@ -505,7 +582,7 @@ impl JobBackend for SweepBackend {
                     .ok_or_else(|| {
                         ApiError::not_found(format!("no figure `{n}` (figures are 1..=6)"))
                     })?;
-                let (exp, _) = self.exp_from_spec(&ctx.spec)?;
+                let (exp, _, _) = self.exp_from_spec(&ctx.spec)?;
                 let store = load_results(&out_csv)?;
                 let table = exp.figure_table(component, &store);
                 let csv = query.iter().any(|(k, v)| k == "format" && v == "csv");
@@ -696,20 +773,50 @@ mod tests {
         )
         .unwrap();
         let sub = b.validate(&body).unwrap();
-        let (exp, components) = b.exp_from_spec(&sub.spec).unwrap();
+        let (exp, components, exhaustive) = b.exp_from_spec(&sub.spec).unwrap();
         assert_eq!(components, vec![HwComponent::L1D, HwComponent::ITlb]);
         assert_eq!(exp.runs, 6);
         assert_eq!(exp.seed, 7);
         assert_eq!(exp.max_cardinality, 2);
         assert!(exp.use_snapshots);
+        assert!(!exhaustive);
         assert_eq!(exp.workloads, vec![Workload::Qsort]);
+    }
+
+    #[test]
+    fn validate_exhaustive_mode() {
+        let b = backend();
+        // Defaults: the provably-coverable small structures, single-bit.
+        let sub = b
+            .validate(&Json::parse(r#"{"mode":"exhaustive"}"#).unwrap())
+            .unwrap();
+        let (exp, components, exhaustive) = b.exp_from_spec(&sub.spec).unwrap();
+        assert!(exhaustive);
+        assert_eq!(components, EXHAUSTIVE_COMPONENTS.to_vec());
+        assert_eq!(exp.max_cardinality, 1);
+        // Explicit components (including stratified arrays) pass through.
+        let sub = b
+            .validate(
+                &Json::parse(r#"{"mode":"exhaustive","components":["itlb","l2"],"cardinality":1}"#)
+                    .unwrap(),
+            )
+            .unwrap();
+        let (_, components, exhaustive) = b.exp_from_spec(&sub.spec).unwrap();
+        assert!(exhaustive);
+        assert_eq!(components, vec![HwComponent::ITlb, HwComponent::L2]);
+        // Specs persisted before the mode field existed parse as measure.
+        let legacy = Json::parse(
+            r#"{"components":["l1d"],"workloads":["qsort"],"runs":2,"seed":1,"cardinality":1,"snapshots":false}"#,
+        )
+        .unwrap();
+        assert!(!b.exp_from_spec(&legacy).unwrap().2);
     }
 
     #[test]
     fn validate_defaults_and_rejects() {
         let b = backend();
         let sub = b.validate(&Json::Obj(vec![])).unwrap();
-        let (exp, components) = b.exp_from_spec(&sub.spec).unwrap();
+        let (exp, components, _) = b.exp_from_spec(&sub.spec).unwrap();
         assert_eq!(components, HwComponent::ALL.to_vec());
         assert_eq!(exp.runs, b.base.runs);
         let cases = [
@@ -720,6 +827,12 @@ mod tests {
             (r#"{"runs":0}"#, "positive"),
             (r#"{"cardinality":9}"#, "1..=8"),
             (r#"{"snapshots":"maybe"}"#, "boolean"),
+            (r#"{"mode":"banana"}"#, "measure"),
+            (r#"{"mode":7}"#, "measure"),
+            (
+                r#"{"mode":"exhaustive","cardinality":3}"#,
+                "exhaustive mode",
+            ),
             (r#"[1]"#, "JSON object"),
         ];
         for (body, needle) in cases {

@@ -771,9 +771,32 @@ pub const SHARD_VERSION_LINE: &str = "#mbu-shard v1";
 
 /// The fixed CSV header of a worker shard store. Exhaustive-flavor rows
 /// append seven more columns (`w_masked..w_assert,weight,pruned`) between
-/// `fingerprint` and `crc`; the parser dispatches on field count.
+/// `fingerprint` and `crc`, and whole-campaign stratified rows two more
+/// (`margin_bits,simulated`); the parser dispatches on field count.
 pub const SHARD_CSV_HEADER: &str = "component,workload,faults,start,end,seed,masked,sdc,crash,\
                                     timeout,assert,cycles,instructions,fingerprint,crc";
+
+/// The stratified-sampler annotation of an exhaustive-flavor [`ShardRow`]:
+/// present only on whole-campaign rows produced by the class-weighted
+/// stratified sampler (L1/L2 scale), whose result carries a nonzero
+/// achieved margin and a memoized distinct-class count that cannot be
+/// recomputed from the weighted columns alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStratified {
+    /// The achieved whole-population margin as IEEE-754 bits — transported
+    /// exactly so the merged store is byte-identical to the single-process
+    /// result's shortest-roundtrip rendering.
+    pub margin_bits: u64,
+    /// Distinct live classes simulated (the memo size).
+    pub simulated: u64,
+}
+
+impl ShardStratified {
+    /// The margin as a float.
+    pub fn margin(self) -> f64 {
+        f64::from_bits(self.margin_bits)
+    }
+}
 
 /// The exhaustive-campaign annotation of a [`ShardRow`]: the row's
 /// `[start, end)` range indexes *live equivalence classes* (not runs), its
@@ -792,6 +815,8 @@ pub struct ShardExhaustive {
     /// Population mass of the provably-dead classes, credited `Masked`
     /// once at merge (never per row). Every row of a campaign must agree.
     pub pruned: u64,
+    /// Stratified-sampler annotation; `None` on exhaustive class ranges.
+    pub stratified: Option<ShardStratified>,
 }
 
 /// One completed work unit in a worker's shard store: the class counts of
@@ -886,7 +911,8 @@ impl ShardStore {
     }
 
     /// Renders one row as CSV (no trailing newline): 14 body fields (21
-    /// for exhaustive-flavor rows) plus the CRC-32 of the body text.
+    /// for exhaustive-flavor rows, 23 for stratified ones) plus the CRC-32
+    /// of the body text.
     fn csv_row(r: &ShardRow) -> String {
         let mut body = format!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
@@ -916,6 +942,9 @@ impl ShardStore {
                 ex.weight_total,
                 ex.pruned,
             ));
+            if let Some(s) = &ex.stratified {
+                body.push_str(&format!(",{},{}", s.margin_bits, s.simulated));
+            }
         }
         let crc = crc32(body.as_bytes());
         format!("{body},{crc:08x}")
@@ -950,9 +979,9 @@ impl ShardStore {
             return Err(RowDefect::CrcMismatch { stored, computed });
         }
         let fields: Vec<&str> = body.split(',').collect();
-        if fields.len() != 14 && fields.len() != 21 {
+        if fields.len() != 14 && fields.len() != 21 && fields.len() != 23 {
             return Err(syntax(format!(
-                "expected 14 (sampled) or 21 (exhaustive) fields, got {}",
+                "expected 14 (sampled), 21 (exhaustive) or 23 (stratified) fields, got {}",
                 fields.len()
             )));
         }
@@ -990,7 +1019,30 @@ impl ShardStore {
                 unit.len()
             )));
         }
-        let exhaustive = if fields.len() == 21 {
+        let exhaustive = if fields.len() >= 21 {
+            let stratified = if fields.len() == 23 {
+                let s = ShardStratified {
+                    margin_bits: parse(fields[21])?,
+                    simulated: parse(fields[22])?,
+                };
+                let margin = s.margin();
+                if !margin.is_finite() || !(0.0..=1.0).contains(&margin) {
+                    return Err(syntax(format!(
+                        "stratified margin bits {:#x} decode to {margin}, not a fraction",
+                        s.margin_bits
+                    )));
+                }
+                // A stratified row is whole-campaign by construction.
+                if (unit.start, unit.end) != (0, 1) {
+                    return Err(syntax(format!(
+                        "stratified rows cover the whole campaign, not [{}..{})",
+                        unit.start, unit.end
+                    )));
+                }
+                Some(s)
+            } else {
+                None
+            };
             let ex = ShardExhaustive {
                 weighted: ClassCounts {
                     masked: parse(fields[14])?,
@@ -1001,10 +1053,14 @@ impl ShardStore {
                 },
                 weight_total: parse(fields[19])?,
                 pruned: parse(fields[20])?,
+                stratified,
             };
             // Each class carries weight ≥ 1, and this unit's live mass plus
-            // the dead mass can never exceed the whole population.
-            if ex.weighted.total() < unit.len() as u64 {
+            // the dead mass can never exceed the whole population. A
+            // stratified row covers the live stratum as one synthetic unit,
+            // so only the population bound applies (its live mass may even
+            // be zero when every class is provably dead).
+            if stratified.is_none() && ex.weighted.total() < unit.len() as u64 {
                 return Err(syntax(format!(
                     "weighted counts sum to {} but the range holds {} classes",
                     ex.weighted.total(),

@@ -33,16 +33,19 @@
 //! byte-identical to a single-process sweep.
 
 use crate::experiments::{env_value, parse_env, parse_switch, ConfigError};
-use crate::fabric::{campaign_keys, load_shard_dir, merge_rows, split_range, MergeReport};
+use crate::fabric::{
+    campaign_keys, load_shard_dir, merge_rows, merge_rows_with_totals, split_range, MergeReport,
+};
 use crate::io::RealIo;
 use crate::protocol::{
-    read_frame, write_frame, ExpSpec, Json, ProtocolError, ToSupervisor, ToWorker,
+    read_frame, write_frame, EquivSpec, ExpSpec, Json, ProtocolError, ToSupervisor, ToWorker,
 };
-use crate::store::{Key, ResultStore, ShardStore, StoreError};
+use crate::store::{ExhaustiveMeta, Key, ResultStore, ShardStore, StoreError};
 use crate::Experiments;
 use mbu_cpu::HwComponent;
 use mbu_gefin::campaign::{Anomaly, AnomalyKind, AnomalyLog, UnitSpec};
 use mbu_gefin::error::CampaignError;
+use mbu_gefin::exhaustive::{ExhaustivePlan, ExhaustiveSpec, StratifiedSpec};
 use mbu_gefin::integrity::{golden_fingerprint, GoldenFingerprint};
 use mbu_workloads::Workload;
 use std::collections::{BTreeMap, BTreeSet};
@@ -56,9 +59,10 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Supervisor knobs, env-configurable (`MBU_WORKERS`, `MBU_UNIT_RUNS`,
-/// `MBU_HEARTBEAT_MS`, `MBU_STALL_SECS`, `MBU_UNIT_DEADLINE_SECS`,
-/// `MBU_UNIT_RETRIES`, `MBU_STEAL`, `MBU_DISK_WATERMARK_MB`,
-/// `MBU_BREAKER_TRIP`, `MBU_BREAKER_COOLDOWN_MS`, `MBU_RETRY_BUDGET`).
+/// `MBU_UNIT_CLASSES`, `MBU_HEARTBEAT_MS`, `MBU_STALL_SECS`,
+/// `MBU_UNIT_DEADLINE_SECS`, `MBU_UNIT_RETRIES`, `MBU_STEAL`,
+/// `MBU_DISK_WATERMARK_MB`, `MBU_BREAKER_TRIP`, `MBU_BREAKER_COOLDOWN_MS`,
+/// `MBU_RETRY_BUDGET`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FabricConfig {
     /// Worker processes (`MBU_WORKERS`, default 2, must be ≥ 1).
@@ -66,6 +70,10 @@ pub struct FabricConfig {
     /// Runs per planned unit (`MBU_UNIT_RUNS`, 0 = auto-size from the
     /// worker count; adaptive sweeps always use whole campaigns).
     pub unit_runs: usize,
+    /// Live classes per planned unit of a distributed exhaustive sweep
+    /// (`MBU_UNIT_CLASSES`, 0 = auto-size from the worker count;
+    /// stratified campaigns always dispatch as one whole-campaign unit).
+    pub unit_classes: usize,
     /// Worker heartbeat interval (`MBU_HEARTBEAT_MS`, default 100 ms).
     pub heartbeat: Duration,
     /// Silence window after which a busy worker is declared stalled and
@@ -110,6 +118,7 @@ impl Default for FabricConfig {
         Self {
             workers: 2,
             unit_runs: 0,
+            unit_classes: 0,
             heartbeat: Duration::from_millis(100),
             stall_timeout: Duration::from_secs(30),
             unit_deadline: None,
@@ -148,6 +157,9 @@ impl FabricConfig {
         }
         if let Some(v) = env_value("MBU_UNIT_RUNS")? {
             c.unit_runs = parse_env("MBU_UNIT_RUNS", &v, "must be an integer")?;
+        }
+        if let Some(v) = env_value("MBU_UNIT_CLASSES")? {
+            c.unit_classes = parse_env("MBU_UNIT_CLASSES", &v, "must be an integer")?;
         }
         if let Some(v) = env_value("MBU_HEARTBEAT_MS")? {
             c.heartbeat =
@@ -214,6 +226,21 @@ impl FabricConfig {
             self.unit_runs
         } else {
             runs.div_ceil(self.workers * 4).max(8).min(runs.max(1))
+        }
+    }
+
+    /// The planned class-range size of an exhaustive campaign with
+    /// `classes` live classes: the explicit `unit_classes`, or the same
+    /// auto sizing as [`FabricConfig::effective_unit_runs`] over the
+    /// live-class unit space.
+    pub fn effective_unit_classes(&self, classes: usize) -> usize {
+        if self.unit_classes != 0 {
+            self.unit_classes
+        } else {
+            classes
+                .div_ceil(self.workers * 4)
+                .max(8)
+                .min(classes.max(1))
         }
     }
 }
@@ -648,10 +675,46 @@ struct Flight {
     stolen: bool,
 }
 
+/// What kind of units a supervised sweep dispatches and how its shard
+/// rows merge back into campaigns.
+enum SweepMode {
+    /// Sampled run-range units: every campaign's unit space is the
+    /// sweep-wide `exp.runs` (adaptive campaigns go whole).
+    Runs {
+        /// The components swept, for the final merge's key set.
+        components: Vec<HwComponent>,
+    },
+    /// Equivalence-class units: exhaustive campaigns shard by live-class
+    /// range, stratified campaigns dispatch as one whole-campaign
+    /// sampler unit.
+    Equiv {
+        /// The exhaustive spec every worker compiles its plan under.
+        exhaustive: ExhaustiveSpec,
+        /// The sampler stratified campaigns run.
+        sampler: StratifiedSpec,
+        /// Per-campaign unit-space size: the supervisor-validated live
+        /// class count (exhaustive) or 1 (stratified). Also the merge's
+        /// completeness reference.
+        totals: Vec<(Key, usize)>,
+        /// Campaigns dispatched as whole-campaign stratified samplers.
+        stratified: BTreeSet<Key>,
+    },
+}
+
+/// Component sets selecting the sweep flavor at entry.
+enum ModeInput<'c> {
+    Runs(&'c [HwComponent]),
+    Equiv {
+        exhaustive: &'c [HwComponent],
+        stratified: &'c [HwComponent],
+    },
+}
+
 /// The supervisor: plans, schedules, merges.
 pub struct Supervisor<'a> {
     exp: &'a Experiments,
     config: &'a FabricConfig,
+    mode: SweepMode,
     shard_dir: PathBuf,
     expected: BTreeMap<Workload, GoldenFingerprint>,
     slots: Vec<Slot>,
@@ -751,11 +814,78 @@ impl<'a> Supervisor<'a> {
         pool: WorkerPool,
         opts: SweepOptions,
     ) -> Result<(ResultStore, FabricReport), FabricError> {
+        Self::run_inner(
+            exp,
+            ModeInput::Runs(components),
+            config,
+            shard_dir,
+            out_csv,
+            pool,
+            opts,
+        )
+    }
+
+    /// Plans and runs a distributed *equivalence-class* sweep: every
+    /// campaign in `exhaustive_components` is sharded by live-class range
+    /// (one simulation per class, dead classes credited `Masked` at
+    /// merge), every campaign in `stratified_components` dispatches as a
+    /// single whole-campaign stratified-sampler unit. All campaigns are
+    /// single-bit.
+    ///
+    /// The supervisor compiles each exhaustive campaign's
+    /// [`ExhaustivePlan`] itself — the `LiveIndex` is the unit space, and
+    /// the `CoverageReport` proves the partition exact *before* anything
+    /// is dispatched. Workers compile the identical plan (the spec rides
+    /// the wire) and cache it across that campaign's units, so the merged
+    /// store is byte-identical to a single-process
+    /// [`Experiments::run_equiv_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Supervisor::run`]. Campaigns whose plan cannot compile are
+    /// quarantined, not fatal.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_equiv(
+        exp: &'a Experiments,
+        exhaustive_components: &[HwComponent],
+        stratified_components: &[HwComponent],
+        config: &'a FabricConfig,
+        shard_dir: &Path,
+        out_csv: &Path,
+        pool: WorkerPool,
+        opts: SweepOptions,
+    ) -> Result<(ResultStore, FabricReport), FabricError> {
+        Self::run_inner(
+            exp,
+            ModeInput::Equiv {
+                exhaustive: exhaustive_components,
+                stratified: stratified_components,
+            },
+            config,
+            shard_dir,
+            out_csv,
+            pool,
+            opts,
+        )
+    }
+
+    fn run_inner(
+        exp: &'a Experiments,
+        input: ModeInput<'_>,
+        config: &'a FabricConfig,
+        shard_dir: &Path,
+        out_csv: &Path,
+        pool: WorkerPool,
+        opts: SweepOptions,
+    ) -> Result<(ResultStore, FabricReport), FabricError> {
         std::fs::create_dir_all(shard_dir)?;
         let (events_tx, events) = mpsc::channel();
         let mut sup = Supervisor {
             exp,
             config,
+            mode: SweepMode::Runs {
+                components: Vec::new(),
+            },
             shard_dir: shard_dir.to_path_buf(),
             expected: BTreeMap::new(),
             slots: Vec::new(),
@@ -785,9 +915,23 @@ impl<'a> Supervisor<'a> {
                 Err(e) => sup.report.failed_workloads.push((w, e)),
             }
         }
-        let existing = sup.load_existing(out_csv)?;
-        sup.plan(components, &existing)?;
-        let campaigns = campaign_keys(exp, components).len();
+        let mut existing = sup.load_existing(out_csv)?;
+        let campaigns = match input {
+            ModeInput::Runs(components) => {
+                sup.mode = SweepMode::Runs {
+                    components: components.to_vec(),
+                };
+                sup.plan(components, &existing)?;
+                campaign_keys(exp, components).len()
+            }
+            ModeInput::Equiv {
+                exhaustive,
+                stratified,
+            } => {
+                sup.plan_equiv(exhaustive, stratified, &mut existing)?;
+                (exhaustive.len() + stratified.len()) * exp.workloads.len()
+            }
+        };
         if sup.config.verbose {
             eprintln!(
                 "fabric: {} unit(s) planned across {campaigns} campaign(s), {} worker(s)",
@@ -815,7 +959,7 @@ impl<'a> Supervisor<'a> {
             sup.schedule()?;
             sup.shutdown_workers();
         }
-        sup.finish(components, existing, out_csv)
+        sup.finish(existing, out_csv)
     }
 
     fn emit(&mut self, ev: FabricEvent) {
@@ -839,7 +983,11 @@ impl<'a> Supervisor<'a> {
         for r in disk.iter() {
             let stored = disk.fingerprint(r.component, r.workload, r.faults);
             if stored.is_some() && stored == self.expected.get(&r.workload).copied() {
-                fresh.insert_with_fingerprint(r.clone(), stored);
+                // Exhaustive rows keep their coverage metadata on resume.
+                match disk.exhaustive_meta(r.component, r.workload, r.faults) {
+                    Some(meta) => fresh.insert_exhaustive(r.clone(), meta, stored),
+                    None => fresh.insert_with_fingerprint(r.clone(), stored),
+                }
                 self.report.skipped_existing += 1;
             } else {
                 self.report.stale_rerun += 1;
@@ -887,7 +1035,166 @@ impl<'a> Supervisor<'a> {
         Ok(())
     }
 
-    fn exp_spec(&self) -> ExpSpec {
+    /// Plans an equivalence-class sweep: compiles every exhaustive
+    /// campaign's [`ExhaustivePlan`] supervisor-side so the `LiveIndex`
+    /// defines the unit space and the `CoverageReport` proves the
+    /// partition exact before dispatch; stratified campaigns become one
+    /// whole-campaign unit each. Shard rows already on disk pre-merge
+    /// exactly as in run-range mode, so a crashed sweep resumes from its
+    /// class-range gaps.
+    fn plan_equiv(
+        &mut self,
+        exhaustive_components: &[HwComponent],
+        stratified_components: &[HwComponent],
+        existing: &mut ResultStore,
+    ) -> Result<(), FabricError> {
+        let ex_spec = self.exp.exhaustive_spec();
+        let sampler = self.exp.stratified_spec();
+        let mut totals: Vec<(Key, usize)> = Vec::new();
+        let mut stratified: BTreeSet<Key> = BTreeSet::new();
+        for (i, &component) in exhaustive_components
+            .iter()
+            .chain(stratified_components)
+            .enumerate()
+        {
+            let is_exhaustive = i < exhaustive_components.len();
+            for &w in &self.exp.workloads.clone() {
+                let key = (component, w, 1);
+                if existing.contains(component, w, 1) || !self.expected.contains_key(&w) {
+                    continue;
+                }
+                if !is_exhaustive {
+                    totals.push((key, 1));
+                    stratified.insert(key);
+                    continue;
+                }
+                let plan =
+                    match ExhaustivePlan::try_new(self.exp.equiv_config(component, w), ex_spec) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            self.quarantine_campaign(key, &format!("plan compilation: {e}"));
+                            continue;
+                        }
+                    };
+                let cov = plan.coverage();
+                if cov.holes != 0 || cov.overlaps != 0 {
+                    self.quarantine_campaign(
+                        key,
+                        &format!(
+                            "coverage proof failed: {} hole(s), {} overlap(s)",
+                            cov.holes, cov.overlaps
+                        ),
+                    );
+                    continue;
+                }
+                if plan.live_classes() == 0 {
+                    // Every class is provably dead: nothing to dispatch.
+                    // Resolve the campaign supervisor-side so the merge
+                    // never sees a zero-row cover.
+                    match plan.run(None) {
+                        Ok(r) => {
+                            let meta = ExhaustiveMeta {
+                                classes: r.simulated,
+                                weight: r.coverage.population,
+                            };
+                            existing.insert_exhaustive(
+                                r.campaign,
+                                meta,
+                                self.expected.get(&w).copied(),
+                            );
+                        }
+                        Err(e) => {
+                            self.quarantine_campaign(key, &format!("dead-only campaign: {e}"))
+                        }
+                    }
+                    continue;
+                }
+                totals.push((key, plan.live_classes()));
+            }
+        }
+        // Pre-merge whatever class ranges the shard directory already
+        // holds (supervisor-crash resume), then split the gaps.
+        let (rows, _audits) = load_shard_dir(&RealIo, &self.shard_dir)?;
+        let (_pre, pre_report) = merge_rows_with_totals(self.exp, &totals, &rows, &self.expected);
+        let now = Instant::now();
+        for gap in &pre_report.gaps {
+            let key = gap.campaign_key();
+            // A stratified sampler is indivisible (its one unit is the
+            // whole campaign); exhaustive gaps split into class ranges.
+            let unit_classes = if stratified.contains(&key) {
+                0
+            } else {
+                self.config.effective_unit_classes(gap.len())
+            };
+            for spec in split_range(key, gap.start, gap.end, unit_classes) {
+                self.pending.push(UnitState {
+                    spec,
+                    attempts: 0,
+                    failed_on: BTreeSet::new(),
+                    eligible_at: now,
+                    last_error: String::new(),
+                });
+            }
+        }
+        self.pending
+            .sort_by_key(|u| (u.spec.campaign_key(), u.spec.start));
+        self.report.units_planned = self.pending.len();
+        self.mode = SweepMode::Equiv {
+            exhaustive: ex_spec,
+            sampler,
+            totals,
+            stratified,
+        };
+        Ok(())
+    }
+
+    /// Quarantines a whole campaign at planning time (plan compilation or
+    /// coverage-proof failure) as its zero-length unit — the same
+    /// accounting path units that fail at execution time take.
+    fn quarantine_campaign(&mut self, key: Key, why: &str) {
+        let (component, workload, faults) = key;
+        let spec = UnitSpec {
+            component,
+            workload,
+            faults,
+            start: 0,
+            end: 0,
+        };
+        self.report.anomalies.record(Anomaly {
+            run_index: 0,
+            run_seed: self.exp.seed,
+            kind: AnomalyKind::UnitQuarantined,
+            message: format!("{spec} quarantined at planning: {why}"),
+        });
+        if self.config.verbose {
+            eprintln!("fabric: quarantined {spec} at planning: {why}");
+        }
+        self.emit(FabricEvent::Quarantined {
+            unit: spec,
+            why: why.to_string(),
+        });
+        self.report.quarantined.push((spec, why.to_string()));
+    }
+
+    /// The per-unit equivalence-class instruction, if this sweep
+    /// dispatches class units: the shared exhaustive spec, plus the
+    /// sampler for campaigns in the stratified set.
+    fn unit_equiv(&self, key: Key) -> Option<EquivSpec> {
+        match &self.mode {
+            SweepMode::Runs { .. } => None,
+            SweepMode::Equiv {
+                exhaustive,
+                sampler,
+                stratified,
+                ..
+            } => Some(EquivSpec {
+                exhaustive: *exhaustive,
+                stratified: stratified.contains(&key).then_some(*sampler),
+            }),
+        }
+    }
+
+    fn exp_spec(&self, equiv: Option<EquivSpec>) -> ExpSpec {
         ExpSpec {
             runs: self.exp.runs,
             seed: self.exp.seed,
@@ -897,6 +1204,7 @@ impl<'a> Supervisor<'a> {
             snapshot_interval: self.exp.snapshot_interval,
             snapshot_mem_mb: self.exp.snapshot_mem_mb,
             use_golden_cache: self.exp.use_golden_cache,
+            equiv,
         }
     }
 
@@ -1061,7 +1369,7 @@ impl<'a> Supervisor<'a> {
         let msg = ToWorker::Assign {
             unit_id,
             unit: state.spec,
-            exp: self.exp_spec(),
+            exp: self.exp_spec(self.unit_equiv(state.spec.campaign_key())),
         };
         if self.config.verbose {
             eprintln!(
@@ -1640,20 +1948,33 @@ impl<'a> Supervisor<'a> {
     /// and save atomically.
     fn finish(
         mut self,
-        components: &[HwComponent],
         existing: ResultStore,
         out_csv: &Path,
     ) -> Result<(ResultStore, FabricReport), FabricError> {
-        let keys: Vec<Key> = campaign_keys(self.exp, components)
-            .into_iter()
-            .filter(|&(c, w, f)| !existing.contains(c, w, f))
-            .collect();
         let (rows, _audits) = load_shard_dir(&RealIo, &self.shard_dir)?;
-        let (merged, merge_report) = merge_rows(self.exp, &keys, &rows, &self.expected);
+        let (merged, merge_report) = match &self.mode {
+            SweepMode::Runs { components } => {
+                let keys: Vec<Key> = campaign_keys(self.exp, components)
+                    .into_iter()
+                    .filter(|&(c, w, f)| !existing.contains(c, w, f))
+                    .collect();
+                merge_rows(self.exp, &keys, &rows, &self.expected)
+            }
+            // `totals` only ever holds campaigns that were not already in
+            // the final store at planning time, so no filtering here.
+            SweepMode::Equiv { totals, .. } => {
+                merge_rows_with_totals(self.exp, totals, &rows, &self.expected)
+            }
+        };
         let mut store = existing;
         for r in merged.iter() {
             let fp = merged.fingerprint(r.component, r.workload, r.faults);
-            store.insert_with_fingerprint(r.clone(), fp);
+            // Exhaustive campaigns carry their coverage metadata
+            // (classes, population) into the final store.
+            match merged.exhaustive_meta(r.component, r.workload, r.faults) {
+                Some(meta) => store.insert_exhaustive(r.clone(), meta, fp),
+                None => store.insert_with_fingerprint(r.clone(), fp),
+            }
         }
         store.save(out_csv)?;
         self.report.merge = merge_report;
@@ -1699,6 +2020,7 @@ mod tests {
             "MBU_BREAKER_TRIP",
             "MBU_BREAKER_COOLDOWN_MS",
             "MBU_RETRY_BUDGET",
+            "MBU_UNIT_CLASSES",
         ] {
             std::env::set_var(var, "banana");
             let err = FabricConfig::from_env().unwrap_err();
@@ -1708,6 +2030,10 @@ mod tests {
             );
             std::env::remove_var(var);
         }
+        // A negative class count is garbage too (usize parse).
+        std::env::set_var("MBU_UNIT_CLASSES", "-4");
+        assert!(FabricConfig::from_env().is_err());
+        std::env::remove_var("MBU_UNIT_CLASSES");
         // Zero is not a sane breaker trip point (it could never close).
         std::env::set_var("MBU_BREAKER_TRIP", "0");
         assert!(FabricConfig::from_env().is_err());
@@ -1717,16 +2043,19 @@ mod tests {
         std::env::set_var("MBU_BREAKER_TRIP", "5");
         std::env::set_var("MBU_BREAKER_COOLDOWN_MS", "750");
         std::env::set_var("MBU_RETRY_BUDGET", "12");
+        std::env::set_var("MBU_UNIT_CLASSES", "64");
         let c = FabricConfig::from_env().unwrap();
         assert_eq!(c.disk_watermark_mb, Some(256));
         assert_eq!(c.breaker_trip, 5);
         assert_eq!(c.breaker_cooldown, Duration::from_millis(750));
         assert_eq!(c.retry_budget, Some(12));
+        assert_eq!(c.unit_classes, 64);
         for var in [
             "MBU_DISK_WATERMARK_MB",
             "MBU_BREAKER_TRIP",
             "MBU_BREAKER_COOLDOWN_MS",
             "MBU_RETRY_BUDGET",
+            "MBU_UNIT_CLASSES",
         ] {
             std::env::remove_var(var);
         }
@@ -1750,5 +2079,25 @@ mod tests {
             ..FabricConfig::default()
         };
         assert_eq!(c.effective_unit_runs(150), 25);
+    }
+
+    #[test]
+    fn auto_unit_class_sizing_scales_with_workers() {
+        let c = FabricConfig {
+            workers: 4,
+            ..FabricConfig::default()
+        };
+        // 1000 live classes / (4 workers × 4) = 63 classes per unit.
+        assert_eq!(c.effective_unit_classes(1000), 63);
+        // Tiny campaigns never split below 8 classes…
+        assert_eq!(c.effective_unit_classes(20), 8);
+        // …a unit never exceeds the live-class count…
+        assert_eq!(c.effective_unit_classes(3), 3);
+        // …and an explicit `MBU_UNIT_CLASSES` wins.
+        let c = FabricConfig {
+            unit_classes: 50,
+            ..FabricConfig::default()
+        };
+        assert_eq!(c.effective_unit_classes(1000), 50);
     }
 }

@@ -110,6 +110,7 @@ fn ex_row(exp: &Experiments, start: usize, end: usize, classes: usize) -> ShardR
         weighted,
         weight_total: ex_population(classes),
         pruned: PRUNED,
+        stratified: None,
     });
     r
 }
@@ -344,6 +345,49 @@ proptest! {
             report.gaps,
             vec![UnitSpec { start: 0, end: classes, ..rows[0].unit }],
             "the whole campaign is the re-run plan"
+        );
+    }
+
+    /// Work-stealing on class ranges: any sequence of `split_at` steals
+    /// leaves a set of units that is pairwise disjoint and still covers
+    /// every live class exactly once — no class is lost or simulated
+    /// under two owners' names, so the merge's exact-adjacency splicing
+    /// always finds a perfect cover.
+    #[test]
+    fn class_range_split_at_partitions_are_disjoint_and_total(
+        classes in 1usize..500,
+        steals in proptest::collection::vec(any::<prop::sample::Index>(), 1..10),
+    ) {
+        let (component, workload, faults) = key();
+        let root = UnitSpec { component, workload, faults, start: 0, end: classes };
+        // Degenerate split points are refused outright.
+        prop_assert!(root.split_at(root.start).is_none());
+        prop_assert!(root.split_at(root.end).is_none());
+        let mut units = vec![root];
+        for steal in &steals {
+            let i = steal.index(units.len());
+            let u = units[i];
+            if u.len() < 2 {
+                continue;
+            }
+            let mid = u.start + 1 + steal.index(u.len() - 1);
+            let (head, tail) = u.split_at(mid).expect("interior split point");
+            prop_assert_eq!((head.start, head.end, tail.start, tail.end),
+                            (u.start, mid, mid, u.end));
+            prop_assert!(!head.is_empty() && !tail.is_empty());
+            units[i] = head;
+            units.push(tail);
+        }
+        let mut owners = vec![0u32; classes];
+        for u in &units {
+            prop_assert_eq!(u.campaign_key(), key());
+            for class in u.range() {
+                owners[class] += 1;
+            }
+        }
+        prop_assert!(
+            owners.iter().all(|&n| n == 1),
+            "every class owned exactly once: {owners:?}"
         );
     }
 }

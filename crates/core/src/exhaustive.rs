@@ -47,7 +47,7 @@ type ClassSim = (u64, (FaultEffect, u64));
 pub const DEFAULT_MAX_CLASSES: u64 = 4_000_000;
 
 /// Knobs of the equivalence-class engine, on top of a [`CampaignConfig`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct ExhaustiveSpec {
     /// Representative-picker seed (`0` = class midpoint; any other value
     /// spreads picks deterministically per class). Class-member invariance
@@ -311,11 +311,40 @@ impl ExhaustivePlan {
         }
     }
 
+    /// Execution order for the range's live positions: ascending member
+    /// (injection) cycle when snapshot alignment is active — consecutive
+    /// sims then restore the same or neighbouring checkpoints instead of
+    /// cold-seeking across the store — plain range order otherwise. Pure
+    /// scheduling: every class sim is independent and deterministic and
+    /// [`ExhaustivePlan::run_class_range`] re-sorts outcomes by class id,
+    /// so the order cannot change results.
+    fn locality_order(
+        &self,
+        range: &std::ops::Range<usize>,
+        artifacts: &GoldenArtifacts,
+    ) -> Vec<usize> {
+        let mut order: Vec<usize> = range.clone().collect();
+        if self.spec.snap_align
+            && self.campaign.config().use_snapshots
+            && artifacts.snapshot_store().is_some()
+        {
+            order.sort_by_cached_key(|&i| {
+                let class = self.live_class(i);
+                (self.member_cycle(&class, artifacts), i)
+            });
+        }
+        order
+    }
+
     /// Simulates the live classes `range` (positions in the dense live
-    /// order), one representative each, in parallel. Outcomes come back
-    /// sorted by class id and are bit-identical for any thread count,
-    /// representative seed, and snapshots on or off — the shard primitive
-    /// behind distributed exhaustive sweeps.
+    /// order), one representative each, in parallel, scheduled in
+    /// snapshot-locality order (see [`ExhaustivePlan::locality_order`]).
+    /// Outcomes come back sorted by class id and are bit-identical for any
+    /// thread count, representative seed, and snapshots on or off — the
+    /// shard primitive behind distributed exhaustive sweeps. The
+    /// campaign's per-run hook (when set) fires once per class sim with
+    /// the live position index, so fabric workers get heartbeat progress
+    /// and chaos injection at class granularity.
     ///
     /// # Errors
     ///
@@ -350,21 +379,27 @@ impl ExhaustivePlan {
         }
         .min(range.len())
         .max(1);
-        let next = AtomicUsize::new(range.start);
+        let order = self.locality_order(&range, artifacts);
+        let hook = cfg.run_hook.as_ref();
+        let next = AtomicUsize::new(0);
         let mut outcomes: Vec<ClassOutcome> = Vec::with_capacity(range.len());
         let mut worker_panicked = false;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..threads {
                 let next = &next;
-                let range = &range;
+                let order = &order;
                 let program = &program;
                 handles.push(scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= range.end {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= order.len() {
                             break;
+                        }
+                        let i = order[k];
+                        if let Some(hook) = hook {
+                            (hook.0)(i);
                         }
                         let class = self.live_class(i);
                         local.push(self.simulate_class(&class, program, artifacts, snapshots));
@@ -634,6 +669,9 @@ impl ExhaustivePlan {
     }
 
     /// Simulates a sorted, deduplicated batch of class ids in parallel.
+    /// The campaign's per-run hook (when set) fires once per class sim —
+    /// the progress/chaos seam stratified fabric units share with
+    /// [`ExhaustivePlan::run_class_range`].
     fn simulate_batch(
         &self,
         ids: &[u64],
@@ -654,6 +692,7 @@ impl ExhaustivePlan {
         }
         .min(ids.len())
         .max(1);
+        let hook = cfg.run_hook.as_ref();
         let next = AtomicUsize::new(0);
         let results = Mutex::new(Vec::with_capacity(ids.len()));
         let mut worker_panicked = false;
@@ -666,6 +705,9 @@ impl ExhaustivePlan {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= ids.len() {
                         break;
+                    }
+                    if let Some(hook) = hook {
+                        (hook.0)(i);
                     }
                     let class = self.partition.class(ids[i]).expect("live id");
                     let o = self.simulate_class(&class, program, artifacts, snapshots);
@@ -854,6 +896,45 @@ mod tests {
             plan.finalize(&one, artifacts.instructions()),
             Err(CampaignError::IncompleteClassCover { .. })
         ));
+    }
+
+    #[test]
+    fn locality_order_is_a_cycle_sorted_permutation() {
+        let plan = ExhaustivePlan::try_new(
+            config(HwComponent::DTlb).use_snapshots(true),
+            ExhaustiveSpec::default(),
+        )
+        .unwrap();
+        let artifacts = plan.campaign.build_artifacts().unwrap();
+        assert!(
+            artifacts.snapshot_store().is_some(),
+            "snapshot capture must be on for this test to exercise locality"
+        );
+        let n = 24.min(plan.live_classes());
+        let range = 0..n;
+        let order = plan.locality_order(&range, &artifacts);
+        // A permutation of the range…
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        // …visited in ascending member (injection) cycle, so consecutive
+        // sims restore the same or neighbouring checkpoints.
+        let cycles: Vec<u64> = order
+            .iter()
+            .map(|&i| plan.member_cycle(&plan.live_class(i), &artifacts))
+            .collect();
+        assert!(
+            cycles.windows(2).all(|w| w[0] <= w[1]),
+            "member cycles must be non-decreasing along the schedule: {cycles:?}"
+        );
+        // Without a snapshot store scheduling falls back to range order.
+        let plain =
+            ExhaustivePlan::try_new(config(HwComponent::DTlb), ExhaustiveSpec::default()).unwrap();
+        let cold = plain.campaign.build_artifacts().unwrap();
+        assert_eq!(
+            plain.locality_order(&range, &cold),
+            (0..n).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -506,6 +506,27 @@ impl LiveIndex {
     pub fn ids(&self) -> &[u64] {
         &self.ids
     }
+
+    /// Summed weight of the dense live-index range `range` — O(1) from
+    /// the cumulative prefix sums. This is the population mass one
+    /// class-range work unit of a distributed exhaustive sweep covers,
+    /// letting a planner budget units by weight without walking classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > len()` (as slice indexing would).
+    pub fn range_weight(&self, range: std::ops::Range<usize>) -> u64 {
+        assert!(range.end <= self.ids.len(), "range beyond live index");
+        if range.start >= range.end {
+            return 0;
+        }
+        let below = if range.start == 0 {
+            0
+        } else {
+            self.cum[range.start - 1]
+        };
+        self.cum[range.end - 1] - below
+    }
 }
 
 /// Forward map from a partition's logical `(row, col)` to the physical
@@ -642,6 +663,32 @@ mod tests {
             let id = idx.pick(t).unwrap();
             let c = p.class(id).unwrap();
             assert!(!c.kind.is_dead());
+        }
+    }
+
+    #[test]
+    fn range_weight_matches_prefix_sums_over_every_subrange() {
+        let p = small();
+        let idx = p.live_index();
+        // 8 live classes, 10 cycles each.
+        assert_eq!(idx.range_weight(0..idx.len()), idx.total_weight());
+        assert_eq!(idx.range_weight(0..0), 0);
+        assert_eq!(idx.range_weight(3..3), 0);
+        for start in 0..=idx.len() {
+            for end in start..=idx.len() {
+                assert_eq!(
+                    idx.range_weight(start..end),
+                    (end - start) as u64 * 10,
+                    "uniform-weight range [{start}, {end})"
+                );
+            }
+        }
+        // Disjoint splits always sum to the whole.
+        for mid in 0..=idx.len() {
+            assert_eq!(
+                idx.range_weight(0..mid) + idx.range_weight(mid..idx.len()),
+                idx.total_weight()
+            );
         }
     }
 
